@@ -1,0 +1,125 @@
+// Figure 1 — the paper's motivating example: TPC-C runs without the
+// CUSTOMER (w, d, last) secondary index; after a warm-up period the DBMS
+// builds it with 4 or 8 threads. More build threads finish sooner but
+// degrade the running workload more. Timeline is scaled ~10x down from the
+// paper's 200s run.
+
+#include <thread>
+
+#include "harness.h"
+#include "index/index_builder.h"
+#include "workload/tpcc.h"
+#include "workload/workload_driver.h"
+
+using namespace mb2;
+using namespace mb2::bench;
+
+namespace {
+
+struct RunResult {
+  DriverResult driver;
+  double build_start_us = 0.0;
+  double build_elapsed_us = 0.0;     // simulated parallel elapsed (labels)
+  double build_wall_us = 0.0;        // observed wall time under load
+};
+
+RunResult RunScenario(uint32_t build_threads, double total_s, double build_at_s,
+                      uint32_t workload_threads, uint32_t customers) {
+  Database db;
+  TpccWorkload tpcc(&db, 1, 11, customers, /*items=*/2000);
+  tpcc.Load(/*with_customer_last_index=*/false);
+
+  RunResult out;
+  std::thread builder([&] {
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(static_cast<int64_t>(build_at_s * 1e6)));
+    out.build_start_us = NowMicros();
+    auto index = db.catalog().CreateIndex(tpcc.CustomerLastIndexSchema(),
+                                          /*ready=*/false);
+    const int64_t wall0 = NowMicros();
+    IndexBuildStats stats = IndexBuilder::Build(
+        &db.catalog(), &db.txn_manager(), index.value(), build_threads);
+    out.build_wall_us = static_cast<double>(NowMicros() - wall0);
+    out.build_elapsed_us = stats.elapsed_us;
+    tpcc.InvalidateTemplates();
+  });
+
+  out.driver = WorkloadDriver::Run(
+      [&](Rng *rng) { return tpcc.RunRandomTransaction(rng); },
+      workload_threads, /*rate=*/-1.0, total_s, /*seed=*/1);
+  builder.join();
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  Section header("Figure 1: TPC-C latency while building the CUSTOMER index");
+  const bool small = BenchScale() == "small";
+  const double total_s = small ? 10.0 : 24.0;
+  const double build_at_s = small ? 4.0 : 8.0;
+  const uint32_t workload_threads = 4;
+  const uint32_t customers = small ? 12000 : 24000;  // per district
+  std::printf("(scale=%s; %0.fs run, index build starts at %.0fs, %u workload "
+              "threads; paper: 200s run, build at 60s)\n",
+              BenchScale().c_str(), total_s, build_at_s, workload_threads);
+
+  for (uint32_t threads : {4u, 8u}) {
+    RunResult result = RunScenario(threads, total_s, build_at_s,
+                                   workload_threads, customers);
+    Section run("Create-index threads: " + std::to_string(threads));
+    PrintKv("txns completed", std::to_string(result.driver.latencies.size()));
+    PrintKv("index build wall time under load",
+            Fmt(result.build_wall_us / 1e6) + " s");
+    PrintKv("index build parallel-elapsed label",
+            Fmt(result.build_elapsed_us / 1e6) + " s");
+
+    // Latency timeline in 1s buckets, annotated with the build window.
+    const auto timeline = result.driver.LatencyTimeline(1000000);
+    std::printf("  %-8s %16s\n", "t (s)", "avg latency (us)");
+    for (const auto &[t_us, latency] : timeline) {
+      const double t_s = static_cast<double>(t_us - timeline.front().first) / 1e6;
+      const bool in_build =
+          result.build_start_us > 0 &&
+          t_us >= static_cast<int64_t>(result.build_start_us) &&
+          t_us < static_cast<int64_t>(result.build_start_us +
+                                      result.build_wall_us);
+      std::printf("  %-8.0f %16.1f%s\n", t_s, latency,
+                  in_build ? "   <- index building" : "");
+    }
+
+    // Phase averages from raw completion timestamps (the build window can
+    // be shorter than one display bucket).
+    const int64_t build_start = static_cast<int64_t>(result.build_start_us);
+    const int64_t build_end =
+        static_cast<int64_t>(result.build_start_us + result.build_wall_us);
+    double before = 0.0, during = 0.0, after = 0.0;
+    int nb = 0, nd = 0, na = 0;
+    for (const auto &[t_us, latency] : result.driver.latencies) {
+      if (t_us < build_start) {
+        before += latency;
+        nb++;
+      } else if (t_us < build_end) {
+        during += latency;
+        nd++;
+      } else {
+        after += latency;
+        na++;
+      }
+    }
+    if (nb > 0) PrintKv("avg latency before build", Fmt(before / nb) + " us");
+    if (nd > 0) PrintKv("avg latency during build", Fmt(during / nd) + " us");
+    if (na > 0) PrintKv("avg latency after build", Fmt(after / na) + " us");
+    if (nb > 0 && nd > 0) {
+      PrintKv("workload degradation during build",
+              Fmt(((during / nd) / (before / nb) - 1.0) * 100.0) + " %");
+    }
+    if (nb > 0 && na > 0) {
+      PrintKv("speedup from the index",
+              Fmt(((before / nb) / (after / na) - 1.0) * 100.0) + " %");
+    }
+  }
+  std::printf("\nPaper shape: 8 threads finish ~2x sooner than 4 but degrade "
+              "the workload more while running\n");
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Figure 5 — OU-model accuracy: test relative error for each OU, averaged
+// across all output labels, for four ML algorithms (random forest, neural
+// network, Huber regression, gradient boosting machine). Paper result: >80%
+// of OU-models under 20% error; transaction OUs and agg-probe higher
+// because their elapsed times are < 10µs.
+
+#include <map>
+
+#include "harness.h"
+#include "modeling/normalization.h"
+
+using namespace mb2;
+using namespace mb2::bench;
+
+int main() {
+  Section header("Figure 5: OU-model accuracy per OU (avg test relative error)");
+  std::printf("(scale=%s)\n", BenchScale().c_str());
+
+  Database db;
+  OuRunner runner(&db, RunnerConfig());
+  std::vector<OuRecord> records = runner.RunAll();
+  auto datasets = GroupRecordsByOu(records);
+  std::printf("collected %zu records across %zu OUs\n", records.size(),
+              datasets.size());
+
+  const auto algos = Fig5Algorithms();
+  std::printf("\n%-16s", "OU");
+  for (MlAlgorithm algo : algos) std::printf("%22s", MlAlgorithmName(algo));
+  std::printf("\n");
+
+  std::map<MlAlgorithm, std::pair<double, int>> totals;
+  int under20_best = 0, total_ous = 0;
+  for (auto &[type, dataset] : datasets) {
+    if (dataset.x.rows() < 50) continue;  // skip under-trained OUs
+    // Normalize labels by the OU's complexity (Sec 4.3) before training.
+    Matrix y = dataset.y;
+    for (size_t r = 0; r < y.rows(); r++) {
+      Labels labels{};
+      for (size_t j = 0; j < kNumLabels; j++) labels[j] = y.At(r, j);
+      NormalizeLabels(type, dataset.x.Row(r), &labels);
+      for (size_t j = 0; j < kNumLabels; j++) y.At(r, j) = labels[j];
+    }
+    std::printf("%-16s", OuTypeName(type));
+    double best = 1e300;
+    for (MlAlgorithm algo : algos) {
+      const TrainTestSplit split = SplitData(dataset.x, y, 0.2, 42);
+      auto model = CreateRegressor(algo, 42);
+      model->Fit(split.x_train, split.y_train);
+      const double err = AvgRelativeError(*model, split.x_test, split.y_test);
+      totals[algo].first += err;
+      totals[algo].second++;
+      best = std::min(best, err);
+      std::printf("%22.3f", err);
+    }
+    std::printf("\n");
+    total_ous++;
+    if (best < 0.2) under20_best++;
+  }
+
+  std::printf("\n%-16s", "MEAN");
+  for (MlAlgorithm algo : algos) {
+    const auto &[sum, n] = totals[algo];
+    std::printf("%22.3f", n == 0 ? 0.0 : sum / n);
+  }
+  std::printf("\n\nOUs whose best model is under 20%% error: %d / %d "
+              "(paper: >80%%)\n",
+              under20_best, total_ous);
+  return 0;
+}

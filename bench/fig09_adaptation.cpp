@@ -1,0 +1,173 @@
+// Figure 9 — model adaptation and robustness.
+//  (a) DBMS software updates: the join-hash-table build is "updated" by
+//      injecting 1µs sleeps every 1000 / 100 inserted tuples. Old models
+//      mispredict; re-running ONLY the hash-join OU-runner and retraining
+//      that one OU-model restores accuracy at a fraction of full-training
+//      cost (paper: 24x faster than retraining everything).
+//  (b) Noisy cardinality estimates: Gaussian noise (30%) on row/cardinality
+//      features changes MB2's TPC-H error by < 2%.
+
+#include <chrono>
+
+#include "common/stats.h"
+#include "harness.h"
+#include "workload/tpch.h"
+
+using namespace mb2;
+using namespace mb2::bench;
+
+namespace {
+
+double MeasurePlanUs(Database *db, const PlanNode &plan, int reps = 5) {
+  db->Execute(plan);
+  std::vector<double> samples;
+  for (int i = 0; i < reps; i++) samples.push_back(db->Execute(plan).elapsed_us);
+  return TrimmedMean(std::move(samples));
+}
+
+/// Average relative error of MB2 runtime predictions over the TPC-H
+/// templates under the CURRENT engine configuration.
+double TpchError(Database *db, ModelBot *bot, TpchWorkload *tpch) {
+  std::vector<double> actual, predicted;
+  for (const auto &name : TpchWorkload::QueryNames()) {
+    const PlanNode *plan = tpch->TemplatePlan(name);
+    actual.push_back(MeasurePlanUs(db, *plan));
+    predicted.push_back(bot->PredictQuery(*plan).ElapsedUs());
+  }
+  return AverageRelativeError(actual, predicted);
+}
+
+double Seconds(const std::chrono::steady_clock::time_point &a,
+               const std::chrono::steady_clock::time_point &b) {
+  return std::chrono::duration_cast<std::chrono::duration<double>>(b - a).count();
+}
+
+/// Relative error of the HASHJOIN_BUILD OU-model itself over the TPC-H
+/// joins — the clean view of the software-update effect. (At our scaled
+/// dataset sizes the build is a small share of end-to-end query time, so
+/// query-level error moves much less than the paper's 1 GB runs.)
+double JhtBuildError(Database *db, ModelBot *bot, TpchWorkload *tpch) {
+  auto &metrics = MetricsManager::Instance();
+  std::vector<double> actual, predicted;
+  for (const auto &name : TpchWorkload::QueryNames()) {
+    const PlanNode *plan = tpch->TemplatePlan(name);
+    db->Execute(*plan);
+    metrics.DrainAll();
+    metrics.SetEnabled(true);
+    db->Execute(*plan);
+    metrics.SetEnabled(false);
+    for (const auto &r : metrics.DrainAll()) {
+      if (r.ou != OuType::kHashJoinBuild) continue;
+      const OuModel *model = bot->GetOuModel(OuType::kHashJoinBuild);
+      if (model == nullptr) continue;
+      actual.push_back(r.labels[kLabelElapsedUs]);
+      predicted.push_back(model->Predict(r.features)[kLabelElapsedUs]);
+    }
+  }
+  // Elapsed-weighted error (sum of |error| over total time): µs-scale
+  // builds carry µs of weight instead of drowning the big builds' signal.
+  double err_sum = 0.0, actual_sum = 0.0;
+  for (size_t i = 0; i < actual.size(); i++) {
+    err_sum += std::fabs(actual[i] - predicted[i]);
+    actual_sum += actual[i];
+  }
+  return actual_sum <= 0.0 ? 0.0 : err_sum / actual_sum;
+}
+
+}  // namespace
+
+int main() {
+  Section header("Figure 9: model adaptation and robustness");
+  std::printf("(scale=%s)\n", BenchScale().c_str());
+
+  Database db;
+  OuRunnerConfig cfg = RunnerConfig();
+  OuRunner runner(&db, cfg);
+
+  const auto full_t0 = std::chrono::steady_clock::now();
+  std::vector<OuRecord> records = runner.RunAll();
+  ModelBot bot(&db.catalog(), &db.estimator(), &db.settings());
+  bot.TrainOuModels(records, AllAlgorithms());
+  const auto full_t1 = std::chrono::steady_clock::now();
+  const double full_seconds = Seconds(full_t0, full_t1);
+
+  TpchWorkload tpch(&db, TpchMediumSf(), "h_");
+  tpch.Load();
+
+  Section a("Fig 9a: DBMS software updates (JHT-build sleep injection)");
+  // The paper stalls 1µs per 1000/100 inserts; its JHT inserts cost ~10 ns,
+  // so that is a 10-100% slowdown. Our engine's inserts are ~10-30x more
+  // expensive per tuple, so the equivalent perturbation is 1/100 and 1/10.
+  // Query-level error moves less than the paper's (at our scaled dataset
+  // sizes the build is a small share of query time); the JHT-OU columns are
+  // the clean view.
+  std::printf("%-14s %12s %12s | %14s %14s | %10s\n", "JHT version",
+              "stale query", "fresh query", "stale JHT OU", "fresh JHT OU",
+              "retrain");
+  double last_retrain_seconds = 1.0;
+  for (double sleep_every : {0.0, 100.0, 10.0}) {
+    db.settings().SetDouble("jht_sleep_every_n", sleep_every);
+    const double stale_error = TpchError(&db, &bot, &tpch);
+    const double stale_ou_error = JhtBuildError(&db, &bot, &tpch);
+
+    // Sec 7: only the affected OU's runner re-runs; only its model retrains.
+    const auto t0 = std::chrono::steady_clock::now();
+    std::vector<OuRecord> join_records = runner.RunJoins();
+    bot.RetrainOu(OuType::kHashJoinBuild, join_records, AllAlgorithms());
+    bot.RetrainOu(OuType::kHashJoinProbe, join_records, AllAlgorithms());
+    const auto t1 = std::chrono::steady_clock::now();
+    const double updated_error = TpchError(&db, &bot, &tpch);
+    const double updated_ou_error = JhtBuildError(&db, &bot, &tpch);
+
+    char label[64];
+    if (sleep_every == 0.0) std::snprintf(label, sizeof(label), "no sleep");
+    else std::snprintf(label, sizeof(label), "1/%d sleep", static_cast<int>(sleep_every));
+    last_retrain_seconds = Seconds(t0, t1);
+    std::printf("%-14s %12.3f %12.3f | %14.3f %14.3f | %8.1fs\n", label,
+                stale_error, updated_error, stale_ou_error, updated_ou_error,
+                last_retrain_seconds);
+  }
+  std::printf("full data collection + training took %.1fs — restricted "
+              "retraining is %.0fx cheaper (paper: 24x)\n", full_seconds,
+              full_seconds / std::max(0.1, last_retrain_seconds));
+  db.settings().SetDouble("jht_sleep_every_n", 0.0);
+
+  // Rebuild clean models for part (b).
+  bot.RetrainOu(OuType::kHashJoinBuild, records, AllAlgorithms());
+  bot.RetrainOu(OuType::kHashJoinProbe, records, AllAlgorithms());
+
+  Section b("Fig 9b: robustness to noisy cardinality estimates (30% noise)");
+  std::printf("%-28s %20s %20s\n", "dataset", "accurate cardinality",
+              "noisy cardinality");
+  struct Size {
+    const char *label;
+    double sf;
+    std::string prefix;
+  };
+  for (const Size &size : {Size{"TPC-H small (0.1G)", TpchSmallSf(), "n1_"},
+                           Size{"TPC-H mid   (1G)", TpchMediumSf(), "n2_"},
+                           Size{"TPC-H large (10G)", TpchLargeSf(), "n3_"}}) {
+    TpchWorkload wl(&db, size.sf, size.prefix);
+    wl.Load();
+    db.estimator().SetNoise(0.0);
+    std::vector<double> actual, clean_pred;
+    for (const auto &name : TpchWorkload::QueryNames()) {
+      PlanPtr plan = wl.MakePlan(name);
+      actual.push_back(MeasurePlanUs(&db, *plan));
+      clean_pred.push_back(bot.PredictQuery(*plan).ElapsedUs());
+    }
+    db.estimator().SetNoise(0.30);
+    std::vector<double> noisy_pred;
+    for (const auto &name : TpchWorkload::QueryNames()) {
+      PlanPtr plan = wl.MakePlan(name);  // estimates drawn with noise
+      noisy_pred.push_back(bot.PredictQuery(*plan).ElapsedUs());
+    }
+    db.estimator().SetNoise(0.0);
+    std::printf("%-28s %20.3f %20.3f\n", size.label,
+                AverageRelativeError(actual, clean_pred),
+                AverageRelativeError(actual, noisy_pred));
+  }
+  std::printf("\nPaper shape: stale models degrade sharply under the update "
+              "and recover after single-OU retraining; noise costs <2%%\n");
+  return 0;
+}

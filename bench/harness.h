@@ -1,0 +1,108 @@
+#pragma once
+
+/// \file harness.h
+/// Shared utilities for the experiment benches (one binary per paper table /
+/// figure). Each bench prints the paper-style rows for its experiment;
+/// EXPERIMENTS.md records the paper-vs-measured comparison.
+///
+/// Environment knobs:
+///   MB2_BENCH_SCALE=small|medium|full   sweep sizes (default medium)
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "database.h"
+#include "modeling/model_bot.h"
+#include "runner/concurrent_runner.h"
+#include "runner/ou_runner.h"
+
+namespace mb2::bench {
+
+inline std::string BenchScale() {
+  const char *env = std::getenv("MB2_BENCH_SCALE");
+  return env == nullptr ? "medium" : env;
+}
+
+/// OU-runner sweep sized for the bench scale.
+inline OuRunnerConfig RunnerConfig() {
+  const std::string scale = BenchScale();
+  if (scale == "small") {
+    OuRunnerConfig cfg = OuRunnerConfig::Small();
+    return cfg;
+  }
+  OuRunnerConfig cfg;
+  if (scale == "full") {
+    cfg.row_counts = {64, 512, 4096, 32768, 131072, 524288};
+    cfg.repetitions = 10;
+    cfg.warmups = 5;
+    return cfg;
+  }
+  // medium. The smallest table is 256 rows: sub-µs OU invocations are
+  // dominated by timer noise and poison relative-error metrics (the paper
+  // hits the same wall with short OLTP OUs).
+  cfg.row_counts = {256, 1024, 8192, 32768};
+  cfg.cardinality_fractions = {0.05, 0.5, 1.0};
+  cfg.column_counts = {2, 4, 8};
+  cfg.index_build_threads = {1, 2, 4, 8};
+  cfg.repetitions = 7;
+  cfg.warmups = 2;
+  return cfg;
+}
+
+/// TPC-H scale factors standing in for the paper's 0.1 / 1 / 10 GB.
+inline double TpchSmallSf() { return BenchScale() == "small" ? 0.001 : 0.004; }
+inline double TpchMediumSf() { return BenchScale() == "small" ? 0.01 : 0.04; }
+inline double TpchLargeSf() { return BenchScale() == "small" ? 0.1 : 0.4; }
+
+/// The four algorithms Figs 5/6 report.
+inline std::vector<MlAlgorithm> Fig5Algorithms() {
+  return {MlAlgorithm::kRandomForest, MlAlgorithm::kNeuralNetwork,
+          MlAlgorithm::kHuber, MlAlgorithm::kGradientBoosting};
+}
+
+struct Section {
+  explicit Section(const std::string &title) {
+    std::printf("\n=== %s ===\n", title.c_str());
+  }
+};
+
+inline void PrintKv(const std::string &key, const std::string &value) {
+  std::printf("  %-44s %s\n", key.c_str(), value.c_str());
+}
+
+inline std::string Fmt(double v) {
+  char buf[64];
+  if (v >= 1e6) std::snprintf(buf, sizeof(buf), "%.3g", v);
+  else std::snprintf(buf, sizeof(buf), "%.4g", v);
+  return buf;
+}
+
+/// Runs the full OU-runner battery and trains OU-models.
+struct TrainedStack {
+  std::unique_ptr<Database> db;
+  std::unique_ptr<ModelBot> bot;
+  std::vector<OuRecord> ou_records;
+  double runner_seconds = 0.0;
+  TrainingReport ou_report;
+};
+
+inline TrainedStack BuildTrainedStack(
+    const std::vector<MlAlgorithm> &algorithms = AllAlgorithms(),
+    bool normalize = true) {
+  TrainedStack stack;
+  stack.db = std::make_unique<Database>();
+  OuRunner runner(stack.db.get(), RunnerConfig());
+  stack.ou_records = runner.RunAll();
+  stack.runner_seconds = runner.runner_seconds();
+  stack.bot = std::make_unique<ModelBot>(&stack.db->catalog(),
+                                         &stack.db->estimator(),
+                                         &stack.db->settings());
+  stack.ou_report =
+      stack.bot->TrainOuModels(stack.ou_records, algorithms, normalize);
+  return stack;
+}
+
+}  // namespace mb2::bench

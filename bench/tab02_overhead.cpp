@@ -1,0 +1,94 @@
+// Table 2 — MB2 overhead: runner time, training-data size, training time,
+// and model size, for the OU-models and the interference model, plus the
+// translator / inference / tracker micro costs quoted in Sec 8.1.
+
+#include <chrono>
+
+#include "harness.h"
+#include "runner/data_repository.h"
+#include "workload/tpch.h"
+
+using namespace mb2;
+using namespace mb2::bench;
+
+int main() {
+  Section header("Table 2: MB2 behavior-model computation and storage cost");
+  std::printf("(scale=%s; paper ran 514min of OU-runners on a 20-core Xeon "
+              "— absolute values are expected to differ, the breakdown "
+              "shape is the result)\n",
+              BenchScale().c_str());
+
+  Database db;
+
+  // --- OU-runners + OU-model training ---------------------------------
+  OuRunner runner(&db, RunnerConfig());
+  std::vector<OuRecord> ou_records = runner.RunAll();
+
+  DataRepository repo("/tmp/mb2_tab02_repo");
+  repo.Save(ou_records);
+
+  ModelBot bot(&db.catalog(), &db.estimator(), &db.settings());
+  TrainingReport ou_report = bot.TrainOuModels(ou_records, AllAlgorithms());
+
+  // --- Concurrent runner + interference training -----------------------
+  TpchWorkload tpch(&db, TpchSmallSf(), "tab02_");
+  tpch.Load();
+  ConcurrentRunner concurrent(&db, tpch.AllTemplates());
+  ConcurrentRunnerConfig ccfg;
+  if (BenchScale() == "small") ccfg = ConcurrentRunnerConfig::Small();
+  std::vector<OuRecord> cr_records = concurrent.Run(ccfg);
+
+  DataRepository cr_repo("/tmp/mb2_tab02_cr_repo");
+  cr_repo.Save(cr_records);
+  TrainingReport if_report = bot.TrainInterferenceModel(cr_records, AllAlgorithms());
+
+  std::printf("\n%-14s %14s %12s %14s %12s\n", "Model Type", "Runner Time",
+              "Data Size", "Training Time", "Model Size");
+  std::printf("%-14s %12.1f m %9.2f MB %12.2f m %9.2f MB\n", "OUs",
+              runner.runner_seconds() / 60.0,
+              repo.TotalBytes() / 1048576.0, ou_report.train_seconds / 60.0,
+              ou_report.model_bytes / 1048576.0);
+  std::printf("%-14s %12.1f m %9.2f MB %12.2f m %9.2f KB\n", "Interference",
+              concurrent.runner_seconds() / 60.0,
+              cr_repo.TotalBytes() / 1048576.0, if_report.train_seconds / 60.0,
+              if_report.model_bytes / 1024.0);
+  std::printf("\nOU records: %zu   concurrent records: %zu\n",
+              ou_records.size(), cr_records.size());
+
+  // --- Sec 8.1 micro costs ---------------------------------------------
+  Section micro("Sec 8.1 micro costs");
+  {
+    const PlanNode *plan = tpch.TemplatePlan("Q3");
+    const auto t0 = std::chrono::steady_clock::now();
+    constexpr int kReps = 1000;
+    size_t sink = 0;
+    for (int i = 0; i < kReps; i++) {
+      sink += bot.translator().TranslateQuery(*plan).size();
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+    for (int i = 0; i < kReps; i++) {
+      sink += bot.PredictQuery(*plan).per_ou.size();
+    }
+    const auto t2 = std::chrono::steady_clock::now();
+    ResourceTracker tracker;
+    for (int i = 0; i < kReps; i++) {
+      tracker.Start();
+      sink += tracker.Stop()[0] >= 0.0 ? 1 : 0;
+    }
+    const auto t3 = std::chrono::steady_clock::now();
+    auto us = [](auto a, auto b) {
+      return std::chrono::duration_cast<std::chrono::nanoseconds>(b - a)
+                 .count() / 1000.0 / kReps;
+    };
+    PrintKv("OU translator per query (paper: ~10us)", Fmt(us(t0, t1)) + " us");
+    PrintKv("OU-model inference per query (paper: ~0.5ms)",
+            Fmt(us(t1, t2) - us(t0, t1)) + " us");
+    PrintKv("resource tracker invocation (paper: ~20us)",
+            Fmt(us(t2, t3)) + " us");
+    PrintKv("perf counters", ResourceTracker::UsingPerfCounters()
+                                 ? "hardware"
+                                 : "synthetic fallback");
+    MB2_UNUSED(sink);
+  }
+  return 0;
+}

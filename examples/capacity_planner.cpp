@@ -1,0 +1,58 @@
+// Capacity planner: behavior models double as a what-if simulator. Given a
+// forecasted workload, sweep the arrival rate and the worker-thread count
+// and read off predicted average latency and CPU demand — the resource-knob
+// reasoning of Sec 4.3 (e.g. "do I have enough CPU for 4x traffic?") —
+// without running any of it.
+//
+// Build & run:  ./build/examples/capacity_planner
+
+#include <cstdio>
+
+#include "database.h"
+#include "modeling/model_bot.h"
+#include "runner/concurrent_runner.h"
+#include "runner/ou_runner.h"
+#include "workload/tpch.h"
+
+using namespace mb2;
+
+int main() {
+  Database db;
+
+  std::printf("training behavior models (incl. interference)...\n");
+  OuRunner runner(&db, OuRunnerConfig::Small());
+  ModelBot bot(&db.catalog(), &db.estimator(), &db.settings());
+  bot.TrainOuModels(runner.RunAll(),
+                    {MlAlgorithm::kLinear, MlAlgorithm::kRandomForest});
+
+  TpchWorkload tpch(&db, 0.004);
+  tpch.Load();
+  {
+    ConcurrentRunner concurrent(&db, tpch.AllTemplates());
+    bot.TrainInterferenceModel(concurrent.Run(ConcurrentRunnerConfig::Small()),
+                               {MlAlgorithm::kLinear, MlAlgorithm::kRandomForest});
+  }
+
+  std::printf("\nworkload: 6 TPC-H templates, 10s forecast interval\n");
+  std::printf("%-18s %-10s %18s %16s %16s\n", "rate (q/s/tmpl)", "threads",
+              "avg latency (us)", "CPU demand", "memory (MB)");
+  for (double rate : {0.5, 2.0, 8.0}) {
+    for (uint32_t threads : {2u, 4u, 8u}) {
+      WorkloadForecast forecast;
+      forecast.interval_s = 10.0;
+      forecast.num_threads = threads;
+      for (const auto &name : TpchWorkload::QueryNames()) {
+        forecast.entries.push_back({tpch.TemplatePlan(name), rate, name});
+      }
+      IntervalPrediction p = bot.PredictInterval(forecast);
+      std::printf("%-18.1f %-10u %18.1f %15.2f%% %16.2f\n", rate, threads,
+                  p.avg_query_elapsed_us, p.cpu_utilization * 100.0,
+                  p.interval_totals[kLabelMemoryBytes] / 1048576.0);
+    }
+  }
+
+  std::printf("\nread: latency climbs with rate (interference), CPU demand "
+              "scales with offered load; a self-driving DBMS would grant "
+              "threads until the latency objective is met\n");
+  return 0;
+}

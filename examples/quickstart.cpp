@@ -1,0 +1,85 @@
+// Quickstart: the MB2 loop in one page.
+//   1. stand up the in-memory engine and load a table
+//   2. exercise the OUs with the runners (training data)
+//   3. train the OU behavior models
+//   4. predict a query's runtime & resources, then execute and compare
+//
+// Build & run:  ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "database.h"
+#include "modeling/model_bot.h"
+#include "runner/ou_runner.h"
+
+using namespace mb2;
+
+int main() {
+  // 1. Engine + data -------------------------------------------------------
+  Database db;
+  Table *orders = db.catalog().CreateTable(
+      "orders", Schema({{"id", TypeId::kInteger, 0},
+                        {"customer", TypeId::kInteger, 0},
+                        {"amount", TypeId::kDouble, 0}}));
+  Rng rng(1);
+  auto txn = db.txn_manager().Begin();
+  for (int64_t i = 0; i < 50000; i++) {
+    orders->Insert(txn.get(), {Value::Integer(i),
+                               Value::Integer(rng.Uniform(0, 999)),
+                               Value::Double(rng.Uniform(1.0, 500.0))});
+  }
+  db.txn_manager().Commit(txn.get());
+  db.estimator().RefreshStats();
+
+  // 2.+3. Train the behavior models (offline, workload-independent) --------
+  std::printf("running OU-runners (small sweep)...\n");
+  OuRunner runner(&db, OuRunnerConfig::Small());
+  ModelBot bot(&db.catalog(), &db.estimator(), &db.settings());
+  TrainingReport report = bot.TrainOuModels(
+      runner.RunAll(), {MlAlgorithm::kLinear, MlAlgorithm::kHuber,
+                        MlAlgorithm::kRandomForest});
+  std::printf("trained %zu OU-models from %llu samples in %.1fs\n",
+              report.per_ou_algorithm.size(),
+              static_cast<unsigned long long>(report.samples),
+              report.train_seconds);
+
+  // Models are trained offline and deployed: persist + restore them.
+  bot.SaveModels("/tmp");
+  ModelBot deployed(&db.catalog(), &db.estimator(), &db.settings());
+  deployed.LoadModels("/tmp");
+  std::printf("persisted and reloaded the model set (%llu bytes)\n",
+              static_cast<unsigned long long>(deployed.TotalOuModelBytes()));
+
+  // 4. Predict, then verify ------------------------------------------------
+  // SELECT customer, SUM(amount) FROM orders WHERE id < 25000
+  // GROUP BY customer ORDER BY 2 DESC
+  auto scan = std::make_unique<SeqScanPlan>();
+  scan->table = "orders";
+  scan->columns = {0, 1, 2};
+  scan->predicate = Cmp(CmpOp::kLt, ColRef(0), ConstInt(25000));
+  auto agg = std::make_unique<AggregatePlan>();
+  agg->group_by = {1};
+  agg->terms.push_back({AggFunc::kSum, ColRef(2)});
+  agg->children.push_back(std::move(scan));
+  auto sort = std::make_unique<SortPlan>();
+  sort->sort_keys = {1};
+  sort->descending = {true};
+  sort->children.push_back(std::move(agg));
+  PlanPtr plan = FinalizePlan(std::move(sort), db.catalog());
+  db.estimator().Estimate(plan.get());
+
+  QueryPrediction prediction = bot.PredictQuery(*plan);
+  std::printf("\npredicted per-OU elapsed:\n");
+  for (size_t i = 0; i < prediction.ous.size(); i++) {
+    std::printf("  %-14s %10.1f us\n", OuTypeName(prediction.ous[i].type),
+                prediction.per_ou[i][kLabelElapsedUs]);
+  }
+  std::printf("predicted total: %.1f us elapsed, %.0f bytes peak memory\n",
+              prediction.ElapsedUs(), prediction.total[kLabelMemoryBytes]);
+
+  db.Execute(*plan);  // warm-up
+  QueryResult result = db.Execute(*plan);
+  std::printf("actual:          %.1f us (%zu result rows)\n",
+              result.elapsed_us, result.batch.rows.size());
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Interactive SQL shell over the engine, with an MB2 twist: after training
+// the behavior models, every query is predicted BEFORE it runs and the
+// prediction is printed next to the measured latency — the self-driving
+// DBMS's view of its own future.
+//
+// Usage:  ./build/examples/sql_shell            (interactive)
+//         echo "SELECT ..." | ./build/examples/sql_shell
+// Meta-commands: \train (fit models), \q (quit).
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "database.h"
+#include "modeling/model_bot.h"
+#include "runner/ou_runner.h"
+#include "sql/parser.h"
+
+using namespace mb2;
+
+int main() {
+  Database db;
+  ModelBot bot(&db.catalog(), &db.estimator(), &db.settings());
+  bool trained = false;
+
+  // A starter table so SELECTs work out of the box.
+  sql::ExecuteSql(&db, "CREATE TABLE demo (id INTEGER, grp INTEGER, v DOUBLE)");
+  for (int i = 0; i < 20000; i++) {
+    char stmt[96];
+    std::snprintf(stmt, sizeof(stmt), "INSERT INTO demo VALUES (%d, %d, %d.25)",
+                  i, i % 100, i % 997);
+    sql::ExecuteSql(&db, stmt);
+  }
+  db.estimator().RefreshStats();
+
+  std::printf("mb2 sql shell — table `demo` (20k rows) is loaded.\n"
+              "\\train fits the behavior models; \\q quits.\n");
+
+  std::string line;
+  while (std::printf("mb2> "), std::fflush(stdout),
+         std::getline(std::cin, line)) {
+    if (line.empty()) continue;
+    if (line == "\\q") break;
+    if (line == "\\train") {
+      std::printf("running OU-runners (small sweep)...\n");
+      OuRunner runner(&db, OuRunnerConfig::Small());
+      TrainingReport report = bot.TrainOuModels(
+          runner.RunAll(), {MlAlgorithm::kLinear, MlAlgorithm::kRandomForest});
+      std::printf("trained %zu OU-models (%.1fs)\n",
+                  report.per_ou_algorithm.size(), report.train_seconds);
+      trained = true;
+      continue;
+    }
+
+    auto bound = sql::Parse(&db, line);
+    if (!bound.ok()) {
+      std::printf("error: %s\n", bound.status().ToString().c_str());
+      continue;
+    }
+    if (trained && bound.value().plan != nullptr) {
+      const QueryPrediction p = bot.PredictQuery(*bound.value().plan);
+      std::printf("-- predicted: %.0f us, %.0f KB peak\n", p.ElapsedUs(),
+                  p.total[kLabelMemoryBytes] / 1024.0);
+    }
+    auto result = sql::ExecuteSql(&db, line);
+    if (!result.ok()) {
+      std::printf("error: %s\n", result.status().ToString().c_str());
+      continue;
+    }
+    const Batch &batch = result.value().batch;
+    const size_t show = std::min<size_t>(batch.rows.size(), 10);
+    for (size_t r = 0; r < show; r++) {
+      std::string row;
+      for (size_t c = 0; c < batch.rows[r].size(); c++) {
+        row += (c ? " | " : "") + batch.rows[r][c].ToString();
+      }
+      std::printf("%s\n", row.c_str());
+    }
+    if (batch.rows.size() > show) {
+      std::printf("... (%zu rows)\n", batch.rows.size());
+    }
+    std::printf("-- actual: %zu rows in %.0f us\n", batch.rows.size(),
+                result.value().elapsed_us);
+  }
+  return 0;
+}

@@ -1,0 +1,246 @@
+#include "baseline/qppnet.h"
+
+#include <cmath>
+
+namespace mb2 {
+
+namespace {
+constexpr double kBeta1 = 0.9, kBeta2 = 0.999, kAdamEps = 1e-8;
+constexpr size_t kInDim = QppNet::kFeatureDim + QppNet::kOutputDim;
+
+void CollectFeatures(const PlanNode &node, Matrix *out) {
+  out->AppendRow(QppNet::NodeFeatures(node));
+  for (const auto &child : node.children) CollectFeatures(*child, out);
+}
+
+double ExprComplexityOf(const PlanNode &node) {
+  switch (node.type) {
+    case PlanNodeType::kSeqScan: {
+      const auto *scan = node.As<SeqScanPlan>();
+      return scan->predicate ? scan->predicate->Complexity() : 0.0;
+    }
+    case PlanNodeType::kIndexScan: {
+      const auto *scan = node.As<IndexScanPlan>();
+      return scan->predicate ? scan->predicate->Complexity() : 0.0;
+    }
+    case PlanNodeType::kProjection: {
+      const auto *proj = node.As<ProjectionPlan>();
+      double c = 0.0;
+      for (const auto &e : proj->exprs) c += e->Complexity();
+      return c;
+    }
+    default:
+      return 0.0;
+  }
+}
+
+}  // namespace
+
+std::vector<double> QppNet::NodeFeatures(const PlanNode &node) {
+  double limit = 0.0;
+  if (node.type == PlanNodeType::kSort) limit = node.As<SortPlan>()->limit;
+  if (node.type == PlanNodeType::kLimit) limit = node.As<LimitPlan>()->limit;
+  return {
+      node.estimated_rows,
+      node.estimated_cardinality,
+      static_cast<double>(node.output_schema.NumColumns()),
+      static_cast<double>(node.output_schema.TupleByteSize()),
+      static_cast<double>(node.children.size()),
+      ExprComplexityOf(node),
+      limit,
+      static_cast<double>(node.type == PlanNodeType::kIndexScan),
+  };
+}
+
+QppNet::Unit &QppNet::GetUnit(PlanNodeType type) {
+  auto it = units_.find(type);
+  if (it != units_.end()) return it->second;
+  Unit unit;
+  unit.w1.resize(kHiddenDim * kInDim);
+  unit.b1.assign(kHiddenDim, 0.0);
+  unit.w2.resize(kOutputDim * kHiddenDim);
+  unit.b2.assign(kOutputDim, 0.0);
+  const double s1 = std::sqrt(2.0 / kInDim), s2 = std::sqrt(2.0 / kHiddenDim);
+  for (auto &w : unit.w1) w = rng_.Gaussian(0.0, s1);
+  for (auto &w : unit.w2) w = rng_.Gaussian(0.0, s2);
+  unit.mw1.assign(unit.w1.size(), 0.0);
+  unit.vw1.assign(unit.w1.size(), 0.0);
+  unit.mb1.assign(unit.b1.size(), 0.0);
+  unit.vb1.assign(unit.b1.size(), 0.0);
+  unit.mw2.assign(unit.w2.size(), 0.0);
+  unit.vw2.assign(unit.w2.size(), 0.0);
+  unit.mb2.assign(unit.b2.size(), 0.0);
+  unit.vb2.assign(unit.b2.size(), 0.0);
+  return units_.emplace(type, std::move(unit)).first->second;
+}
+
+const QppNet::Unit *QppNet::FindUnit(PlanNodeType type) const {
+  auto it = units_.find(type);
+  return it == units_.end() ? nullptr : &it->second;
+}
+
+void QppNet::Forward(const PlanNode &node, NodeState *state) const {
+  state->node = &node;
+  std::vector<double> child_sum(kOutputDim, 0.0);
+  state->children.resize(node.children.size());
+  for (size_t i = 0; i < node.children.size(); i++) {
+    Forward(*node.children[i], &state->children[i]);
+    for (size_t j = 0; j < kOutputDim; j++) {
+      child_sum[j] += state->children[i].output[j];
+    }
+  }
+
+  state->input = feature_std_.Transform(NodeFeatures(node));
+  state->input.insert(state->input.end(), child_sum.begin(), child_sum.end());
+
+  const Unit *unit = FindUnit(node.type);
+  state->hidden.assign(kHiddenDim, 0.0);
+  state->output.assign(kOutputDim, 0.0);
+  if (unit == nullptr) {
+    // Unseen operator type (the paper notes QPPNet cannot infer on plans
+    // whose operator combinations were absent from training); pass children
+    // through so the prediction degrades instead of crashing.
+    state->output = child_sum;
+    return;
+  }
+  for (size_t h = 0; h < kHiddenDim; h++) {
+    double sum = unit->b1[h];
+    const double *w = unit->w1.data() + h * kInDim;
+    for (size_t i = 0; i < kInDim; i++) sum += w[i] * state->input[i];
+    state->hidden[h] = sum > 0.0 ? sum : 0.0;
+  }
+  for (size_t o = 0; o < kOutputDim; o++) {
+    double sum = unit->b2[o];
+    const double *w = unit->w2.data() + o * kHiddenDim;
+    for (size_t h = 0; h < kHiddenDim; h++) sum += w[h] * state->hidden[h];
+    // Linear outputs: a ReLU here creates dead units at the root (the loss
+    // gradient vanishes whenever the prediction starts negative). Final
+    // predictions are clamped non-negative in PredictUs instead.
+    state->output[o] = sum;
+  }
+}
+
+void QppNet::Backward(const NodeState &state, const std::vector<double> &dout,
+                      std::map<PlanNodeType, Unit> *grads) {
+  const Unit *unit = FindUnit(state.node->type);
+  std::vector<double> dchild(kOutputDim, 0.0);
+  if (unit == nullptr) {
+    dchild = dout;  // pass-through node
+  } else {
+    Unit &g = (*grads)[state.node->type];
+    if (g.w1.empty()) {
+      g.w1.assign(unit->w1.size(), 0.0);
+      g.b1.assign(unit->b1.size(), 0.0);
+      g.w2.assign(unit->w2.size(), 0.0);
+      g.b2.assign(unit->b2.size(), 0.0);
+    }
+    // Linear output layer: gradient passes straight through.
+    const std::vector<double> &dz2 = dout;
+    std::vector<double> dh(kHiddenDim, 0.0);
+    for (size_t o = 0; o < kOutputDim; o++) {
+      if (dz2[o] == 0.0) continue;
+      double *gw = g.w2.data() + o * kHiddenDim;
+      const double *w = unit->w2.data() + o * kHiddenDim;
+      for (size_t h = 0; h < kHiddenDim; h++) {
+        gw[h] += dz2[o] * state.hidden[h];
+        dh[h] += dz2[o] * w[h];
+      }
+      g.b2[o] += dz2[o];
+    }
+    for (size_t h = 0; h < kHiddenDim; h++) {
+      if (state.hidden[h] <= 0.0) dh[h] = 0.0;
+    }
+    std::vector<double> dx(kInDim, 0.0);
+    for (size_t h = 0; h < kHiddenDim; h++) {
+      if (dh[h] == 0.0) continue;
+      double *gw = g.w1.data() + h * kInDim;
+      const double *w = unit->w1.data() + h * kInDim;
+      for (size_t i = 0; i < kInDim; i++) {
+        gw[i] += dh[h] * state.input[i];
+        dx[i] += dh[h] * w[i];
+      }
+      g.b1[h] += dh[h];
+    }
+    for (size_t j = 0; j < kOutputDim; j++) dchild[j] = dx[kFeatureDim + j];
+  }
+  for (const auto &child : state.children) Backward(child, dchild, grads);
+}
+
+void QppNet::AdamStep(uint64_t step) {
+  const double bc1 = 1.0 - std::pow(kBeta1, static_cast<double>(step));
+  const double bc2 = 1.0 - std::pow(kBeta2, static_cast<double>(step));
+  auto update = [&](std::vector<double> &w, std::vector<double> &m,
+                    std::vector<double> &v, const std::vector<double> &g) {
+    for (size_t i = 0; i < w.size(); i++) {
+      m[i] = kBeta1 * m[i] + (1.0 - kBeta1) * g[i];
+      v[i] = kBeta2 * v[i] + (1.0 - kBeta2) * g[i] * g[i];
+      w[i] -= learning_rate_ * (m[i] / bc1) / (std::sqrt(v[i] / bc2) + kAdamEps);
+    }
+  };
+  for (auto &[type, grad] : grad_acc_) {
+    if (grad.w1.empty()) continue;
+    Unit &unit = units_.at(type);
+    update(unit.w1, unit.mw1, unit.vw1, grad.w1);
+    update(unit.b1, unit.mb1, unit.vb1, grad.b1);
+    update(unit.w2, unit.mw2, unit.vw2, grad.w2);
+    update(unit.b2, unit.mb2, unit.vb2, grad.b2);
+  }
+}
+
+void QppNet::Fit(const std::vector<PlanSample> &samples) {
+  if (samples.empty()) return;
+
+  // Fit the feature standardizer over all nodes of all training plans and
+  // the target scale over latencies.
+  Matrix all_features;
+  double latency_sum = 0.0;
+  for (const auto &s : samples) {
+    CollectFeatures(*s.plan, &all_features);
+    latency_sum += s.latency_us;
+  }
+  feature_std_.Fit(all_features);
+  target_scale_ = std::max(1.0, latency_sum / samples.size());
+
+  // Pre-create units for every operator type seen.
+  for (const auto &s : samples) {
+    std::vector<const PlanNode *> stack = {s.plan};
+    while (!stack.empty()) {
+      const PlanNode *node = stack.back();
+      stack.pop_back();
+      GetUnit(node->type);
+      for (const auto &c : node->children) stack.push_back(c.get());
+    }
+  }
+
+  std::vector<size_t> order(samples.size());
+  for (size_t i = 0; i < order.size(); i++) order[i] = i;
+  uint64_t step = 0;
+  constexpr size_t kBatch = 8;
+
+  for (uint32_t epoch = 0; epoch < epochs_; epoch++) {
+    rng_.Shuffle(&order);
+    for (size_t start = 0; start < order.size(); start += kBatch) {
+      grad_acc_.clear();
+      const size_t end = std::min(start + kBatch, order.size());
+      for (size_t i = start; i < end; i++) {
+        const PlanSample &s = samples[order[i]];
+        NodeState root;
+        Forward(*s.plan, &root);
+        const double target = s.latency_us / target_scale_;
+        std::vector<double> dout(kOutputDim, 0.0);
+        dout[0] = 2.0 * (root.output[0] - target) / (end - start);
+        Backward(root, dout, &grad_acc_);
+      }
+      step++;
+      AdamStep(step);
+    }
+  }
+}
+
+double QppNet::PredictUs(const PlanNode &plan) const {
+  NodeState root;
+  Forward(plan, &root);
+  return std::max(0.0, root.output[0]) * target_scale_;
+}
+
+}  // namespace mb2

@@ -1,0 +1,80 @@
+#pragma once
+
+/// \file qppnet.h
+/// QPPNet-style baseline (Marcus & Papaemmanouil, VLDB'19): a
+/// plan-structured neural network in which each operator type owns a small
+/// "neural unit" whose input is the operator's plan features concatenated
+/// with the sum of its children's hidden outputs; the root unit's first
+/// output is the predicted query latency. Trained end-to-end by
+/// backpropagation through the plan tree on (plan, latency) pairs. As in
+/// the paper's adaptation, disk-oriented features are dropped and the
+/// per-operator feature vector matches our in-memory engine.
+///
+/// This is the monolithic external model MB2 is compared against in Fig 7:
+/// it sees whole plans and absolute cardinalities, so it must be retrained
+/// per dataset/workload and extrapolates poorly across scales.
+
+#include <map>
+#include <vector>
+
+#include "common/rng.h"
+#include "ml/matrix.h"
+#include "plan/plan_node.h"
+
+namespace mb2 {
+
+struct PlanSample {
+  const PlanNode *plan;
+  double latency_us;
+};
+
+class QppNet {
+ public:
+  static constexpr size_t kFeatureDim = 8;
+  static constexpr size_t kHiddenDim = 16;
+  static constexpr size_t kOutputDim = 8;
+
+  explicit QppNet(uint32_t epochs = 200, double learning_rate = 1e-3,
+                  uint64_t seed = 42)
+      : epochs_(epochs), learning_rate_(learning_rate), rng_(seed) {}
+
+  void Fit(const std::vector<PlanSample> &samples);
+  double PredictUs(const PlanNode &plan) const;
+
+  /// Raw per-node plan features (exposed for tests).
+  static std::vector<double> NodeFeatures(const PlanNode &node);
+
+ private:
+  struct Unit {
+    // Layer 1: kHiddenDim × (kFeatureDim + kOutputDim); layer 2: kOutputDim ×
+    // kHiddenDim. Flat row-major plus Adam moments.
+    std::vector<double> w1, b1, w2, b2;
+    std::vector<double> mw1, vw1, mb1, vb1, mw2, vw2, mb2, vb2;
+  };
+
+  struct NodeState {
+    const PlanNode *node;
+    std::vector<double> input;   // standardized features ++ child sum
+    std::vector<double> hidden;  // post-ReLU
+    std::vector<double> output;
+    std::vector<NodeState> children;
+  };
+
+  Unit &GetUnit(PlanNodeType type);
+  const Unit *FindUnit(PlanNodeType type) const;
+  void Forward(const PlanNode &node, NodeState *state) const;
+  /// Backprop for one node; accumulates parameter grads and recurses.
+  void Backward(const NodeState &state, const std::vector<double> &dout,
+                std::map<PlanNodeType, Unit> *grads);
+  void AdamStep(uint64_t step);
+
+  uint32_t epochs_;
+  double learning_rate_;
+  Rng rng_;
+  std::map<PlanNodeType, Unit> units_;
+  std::map<PlanNodeType, Unit> grad_acc_;
+  Standardizer feature_std_;
+  double target_scale_ = 1.0;
+};
+
+}  // namespace mb2

@@ -1,0 +1,72 @@
+#include "catalog/catalog.h"
+
+namespace mb2 {
+
+Table *Catalog::CreateTable(const std::string &name, Schema schema) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (tables_.count(name) != 0) return nullptr;
+  auto table = std::make_unique<Table>(next_table_id_++, name, std::move(schema));
+  Table *raw = table.get();
+  tables_[name] = std::move(table);
+  return raw;
+}
+
+Table *Catalog::GetTable(const std::string &name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = tables_.find(name);
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+Result<BPlusTree *> Catalog::CreateIndex(IndexSchema schema, bool ready) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (indexes_.count(schema.name) != 0) {
+    return Status::AlreadyExists("index " + schema.name);
+  }
+  if (tables_.count(schema.table_name) == 0) {
+    return Status::NotFound("table " + schema.table_name);
+  }
+  auto index = std::make_unique<BPlusTree>(schema);
+  index->set_ready(ready);
+  BPlusTree *raw = index.get();
+  indexes_[schema.name] = std::move(index);
+  return raw;
+}
+
+Status Catalog::DropIndex(const std::string &name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = indexes_.find(name);
+  if (it == indexes_.end()) return Status::NotFound("index " + name);
+  indexes_.erase(it);
+  return Status::Ok();
+}
+
+BPlusTree *Catalog::GetIndex(const std::string &name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = indexes_.find(name);
+  return it == indexes_.end() ? nullptr : it->second.get();
+}
+
+std::vector<BPlusTree *> Catalog::GetTableIndexes(const std::string &table) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<BPlusTree *> out;
+  for (const auto &[name, index] : indexes_) {
+    if (index->schema().table_name == table) out.push_back(index.get());
+  }
+  return out;
+}
+
+std::vector<std::string> Catalog::TableNames() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> out;
+  for (const auto &[name, table] : tables_) out.push_back(name);
+  return out;
+}
+
+std::vector<std::string> Catalog::IndexNames() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> out;
+  for (const auto &[name, index] : indexes_) out.push_back(name);
+  return out;
+}
+
+}  // namespace mb2

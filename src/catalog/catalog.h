@@ -1,0 +1,51 @@
+#pragma once
+
+/// \file catalog.h
+/// The database catalog: owns tables and indexes, resolves names, and lists
+/// the indexes the executors must maintain on writes.
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "common/macros.h"
+#include "common/status.h"
+#include "index/bplus_tree.h"
+#include "storage/table.h"
+
+namespace mb2 {
+
+class Catalog {
+ public:
+  Catalog() = default;
+  MB2_DISALLOW_COPY_AND_MOVE(Catalog);
+
+  /// Creates an empty table; returns null if the name is taken.
+  Table *CreateTable(const std::string &name, Schema schema);
+  Table *GetTable(const std::string &name) const;
+
+  /// Registers an empty index (population is the IndexBuilder's job, or
+  /// incremental via executor write paths). Pass ready=false for deferred
+  /// builds: the index is maintained by writes but not used by reads until
+  /// the IndexBuilder publishes it.
+  Result<BPlusTree *> CreateIndex(IndexSchema schema, bool ready = true);
+  Status DropIndex(const std::string &name);
+  BPlusTree *GetIndex(const std::string &name) const;
+
+  /// All indexes defined on the given table.
+  std::vector<BPlusTree *> GetTableIndexes(const std::string &table) const;
+
+  std::vector<std::string> TableNames() const;
+  std::vector<std::string> IndexNames() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Table>> tables_;
+  std::map<std::string, std::unique_ptr<BPlusTree>> indexes_;
+  uint32_t next_table_id_ = 1;
+};
+
+}  // namespace mb2

@@ -1,0 +1,27 @@
+#include "catalog/schema.h"
+
+namespace mb2 {
+
+int32_t Schema::ColumnIndex(const std::string &name) const {
+  for (size_t i = 0; i < columns_.size(); i++) {
+    if (columns_[i].name == name) return static_cast<int32_t>(i);
+  }
+  return -1;
+}
+
+uint32_t Schema::TupleByteSize() const {
+  uint32_t size = 0;
+  for (const auto &col : columns_) {
+    size += col.type == TypeId::kVarchar ? col.varchar_len : 8;
+  }
+  return size;
+}
+
+Schema Schema::Project(const std::vector<uint32_t> &cols) const {
+  std::vector<Column> out;
+  out.reserve(cols.size());
+  for (uint32_t c : cols) out.push_back(columns_[c]);
+  return Schema(std::move(out));
+}
+
+}  // namespace mb2

@@ -1,0 +1,54 @@
+#pragma once
+
+/// \file schema.h
+/// Table and index schemas. The catalog type-checks plans against these and
+/// the workload generators drive data population from them.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/value.h"
+
+namespace mb2 {
+
+/// A column definition. `varchar_len` is the generation length for varchar
+/// columns and contributes to tuple-size features.
+struct Column {
+  std::string name;
+  TypeId type = TypeId::kInteger;
+  uint32_t varchar_len = 16;
+};
+
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Column> columns) : columns_(std::move(columns)) {}
+
+  const std::vector<Column> &columns() const { return columns_; }
+  uint32_t NumColumns() const { return static_cast<uint32_t>(columns_.size()); }
+  const Column &GetColumn(uint32_t idx) const { return columns_[idx]; }
+
+  /// Index of the column with the given name; -1 if absent.
+  int32_t ColumnIndex(const std::string &name) const;
+
+  /// Expected bytes per tuple (varchars use their nominal length).
+  uint32_t TupleByteSize() const;
+
+  /// Schema holding a subset of this schema's columns.
+  Schema Project(const std::vector<uint32_t> &cols) const;
+
+ private:
+  std::vector<Column> columns_;
+};
+
+/// Secondary (or primary) index metadata. key_columns index into the base
+/// table's schema.
+struct IndexSchema {
+  std::string name;
+  std::string table_name;
+  std::vector<uint32_t> key_columns;
+  bool unique = false;
+};
+
+}  // namespace mb2

@@ -1,0 +1,52 @@
+#include "catalog/settings.h"
+
+namespace mb2 {
+
+SettingsManager::SettingsManager() {
+  knobs_["execution_mode"] = {0.0, KnobKind::kBehavior};
+  knobs_["log_flush_interval_us"] = {10000.0, KnobKind::kBehavior};
+  knobs_["gc_interval_us"] = {10000.0, KnobKind::kBehavior};
+  knobs_["index_build_threads"] = {4.0, KnobKind::kBehavior};
+  knobs_["working_mem_limit_bytes"] = {1.0 * (1ull << 30), KnobKind::kResource};
+  knobs_["simulated_cpu_freq_ghz"] = {0.0, KnobKind::kBehavior};  // 0 = native
+  // Fault-injection knob for the software-update study (Sec 8.5 / Fig 9a):
+  // sleep 1µs every N tuples inserted into a join hash table. 0 disables.
+  knobs_["jht_sleep_every_n"] = {0.0, KnobKind::kBehavior};
+}
+
+int64_t SettingsManager::GetInt(const std::string &name) const {
+  auto it = knobs_.find(name);
+  MB2_ASSERT(it != knobs_.end(), "unknown knob");
+  return static_cast<int64_t>(it->second.value);
+}
+
+double SettingsManager::GetDouble(const std::string &name) const {
+  auto it = knobs_.find(name);
+  MB2_ASSERT(it != knobs_.end(), "unknown knob");
+  return it->second.value;
+}
+
+Status SettingsManager::SetInt(const std::string &name, int64_t value) {
+  return SetDouble(name, static_cast<double>(value));
+}
+
+Status SettingsManager::SetDouble(const std::string &name, double value) {
+  auto it = knobs_.find(name);
+  if (it == knobs_.end()) return Status::NotFound("unknown knob: " + name);
+  it->second.value = value;
+  return Status::Ok();
+}
+
+KnobKind SettingsManager::Kind(const std::string &name) const {
+  auto it = knobs_.find(name);
+  MB2_ASSERT(it != knobs_.end(), "unknown knob");
+  return it->second.kind;
+}
+
+std::map<std::string, double> SettingsManager::Snapshot() const {
+  std::map<std::string, double> out;
+  for (const auto &[name, knob] : knobs_) out[name] = knob.value;
+  return out;
+}
+
+}  // namespace mb2

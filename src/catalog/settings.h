@@ -1,0 +1,58 @@
+#pragma once
+
+/// \file settings.h
+/// The DBMS's tunable knobs. The paper distinguishes *behavior knobs*
+/// (appended to the affected OUs' features, e.g. execution mode, log flush
+/// interval) from *resource knobs* (evaluated against OU-model resource
+/// predictions, e.g. working-memory limit). Self-driving actions change
+/// knobs through this manager.
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "common/macros.h"
+#include "common/status.h"
+
+namespace mb2 {
+
+/// Query execution strategy. Interpret runs Volcano-style iterators with
+/// virtual dispatch; Compiled runs fused, batched pipelines (our stand-in
+/// for NoisePage's JIT, with a genuine measured performance difference).
+enum class ExecutionMode : int64_t { kInterpret = 0, kCompiled = 1 };
+
+enum class KnobKind { kBehavior, kResource };
+
+class SettingsManager {
+ public:
+  SettingsManager();
+
+  int64_t GetInt(const std::string &name) const;
+  double GetDouble(const std::string &name) const;
+  Status SetInt(const std::string &name, int64_t value);
+  Status SetDouble(const std::string &name, double value);
+
+  ExecutionMode GetExecutionMode() const {
+    return static_cast<ExecutionMode>(GetInt("execution_mode"));
+  }
+
+  KnobKind Kind(const std::string &name) const;
+  std::map<std::string, double> Snapshot() const;
+
+  /// Knob defaults (also serve as documentation of the knob set):
+  ///   execution_mode          0=interpret, 1=compiled           (behavior)
+  ///   log_flush_interval_us   WAL flush period                  (behavior)
+  ///   gc_interval_us          garbage-collection period         (behavior)
+  ///   index_build_threads     parallel index-build degree       (behavior)
+  ///   working_mem_limit_bytes per-query memory budget           (resource)
+  ///   simulated_cpu_freq_ghz  hardware-context simulation knob  (behavior)
+
+ private:
+  struct Knob {
+    double value;
+    KnobKind kind;
+  };
+  std::map<std::string, Knob> knobs_;
+};
+
+}  // namespace mb2

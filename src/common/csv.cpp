@@ -1,0 +1,91 @@
+#include "common/csv.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/macros.h"
+
+namespace mb2 {
+
+Result<CsvWriter> CsvWriter::Open(const std::string &path,
+                                  const std::vector<std::string> &header) {
+  FILE *f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return Status::IoError("cannot open " + path);
+  CsvWriter writer;
+  writer.file_ = f;
+  writer.width_ = header.size();
+  for (size_t i = 0; i < header.size(); i++) {
+    std::fprintf(f, "%s%s", header[i].c_str(), i + 1 == header.size() ? "\n" : ",");
+  }
+  return writer;
+}
+
+CsvWriter::CsvWriter(CsvWriter &&other) noexcept
+    : file_(other.file_), width_(other.width_) {
+  other.file_ = nullptr;
+}
+
+CsvWriter &CsvWriter::operator=(CsvWriter &&other) noexcept {
+  if (this != &other) {
+    Close();
+    file_ = other.file_;
+    width_ = other.width_;
+    other.file_ = nullptr;
+  }
+  return *this;
+}
+
+void CsvWriter::WriteRow(const std::vector<double> &row) {
+  MB2_ASSERT(file_ != nullptr, "writer closed");
+  MB2_ASSERT(row.size() == width_, "row width mismatch");
+  FILE *f = static_cast<FILE *>(file_);
+  for (size_t i = 0; i < row.size(); i++) {
+    std::fprintf(f, "%.17g%s", row[i], i + 1 == row.size() ? "\n" : ",");
+  }
+}
+
+void CsvWriter::Close() {
+  if (file_ != nullptr) {
+    std::fclose(static_cast<FILE *>(file_));
+    file_ = nullptr;
+  }
+}
+
+Result<CsvData> ReadCsv(const std::string &path) {
+  FILE *f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) return Status::IoError("cannot open " + path);
+  CsvData data;
+  char line[1 << 16];
+  bool first = true;
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    size_t len = std::strlen(line);
+    while (len > 0 && (line[len - 1] == '\n' || line[len - 1] == '\r')) line[--len] = '\0';
+    if (len == 0) continue;
+    if (first) {
+      first = false;
+      char *start = line;
+      for (size_t i = 0; i <= len; i++) {
+        if (line[i] == ',' || line[i] == '\0') {
+          data.header.emplace_back(start, line + i);
+          start = line + i + 1;
+        }
+      }
+      continue;
+    }
+    std::vector<double> row;
+    row.reserve(data.header.size());
+    const char *p = line;
+    char *end = nullptr;
+    for (;;) {
+      row.push_back(std::strtod(p, &end));
+      if (*end != ',') break;
+      p = end + 1;
+    }
+    data.rows.push_back(std::move(row));
+  }
+  std::fclose(f);
+  return data;
+}
+
+}  // namespace mb2

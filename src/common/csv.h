@@ -1,0 +1,46 @@
+#pragma once
+
+/// \file csv.h
+/// Minimal CSV reader/writer for the training-data repository. Values are
+/// doubles only (feature/label matrices); the first row is a header.
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace mb2 {
+
+class CsvWriter {
+ public:
+  /// Opens `path` for writing and emits the header row.
+  static Result<CsvWriter> Open(const std::string &path,
+                                const std::vector<std::string> &header);
+
+  /// Appends one data row; must match the header width.
+  void WriteRow(const std::vector<double> &row);
+
+  /// Flushes and closes the file. Safe to call more than once.
+  void Close();
+
+  ~CsvWriter() { Close(); }
+  CsvWriter(CsvWriter &&other) noexcept;
+  CsvWriter &operator=(CsvWriter &&other) noexcept;
+  CsvWriter(const CsvWriter &) = delete;
+  CsvWriter &operator=(const CsvWriter &) = delete;
+
+ private:
+  CsvWriter() = default;
+  void *file_ = nullptr;  // FILE*
+  size_t width_ = 0;
+};
+
+struct CsvData {
+  std::vector<std::string> header;
+  std::vector<std::vector<double>> rows;
+};
+
+/// Reads an entire numeric CSV file into memory.
+Result<CsvData> ReadCsv(const std::string &path);
+
+}  // namespace mb2

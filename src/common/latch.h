@@ -1,0 +1,66 @@
+#pragma once
+
+/// \file latch.h
+/// Lightweight synchronization primitives used inside the engine. The B+tree
+/// and transaction manager deliberately use real latches so that parallel
+/// invocations exhibit genuine contention — the behavior the "contending"
+/// OU-models (Sec 4.2) must learn.
+
+#include <atomic>
+#include <shared_mutex>
+
+#include "common/macros.h"
+
+namespace mb2 {
+
+/// Test-and-test-and-set spin latch with exponential pause.
+class SpinLatch {
+ public:
+  SpinLatch() = default;
+  MB2_DISALLOW_COPY_AND_MOVE(SpinLatch);
+
+  void Lock() {
+    for (;;) {
+      if (!flag_.exchange(true, std::memory_order_acquire)) return;
+      while (flag_.load(std::memory_order_relaxed)) {
+#if defined(__x86_64__)
+        __builtin_ia32_pause();
+#endif
+      }
+    }
+  }
+
+  bool TryLock() { return !flag_.exchange(true, std::memory_order_acquire); }
+
+  void Unlock() { flag_.store(false, std::memory_order_release); }
+
+  /// RAII guard.
+  class ScopedLock {
+   public:
+    explicit ScopedLock(SpinLatch *latch) : latch_(latch) { latch_->Lock(); }
+    ~ScopedLock() { latch_->Unlock(); }
+    MB2_DISALLOW_COPY_AND_MOVE(ScopedLock);
+
+   private:
+    SpinLatch *latch_;
+  };
+
+ private:
+  std::atomic<bool> flag_{false};
+};
+
+/// Reader-writer latch (wrapper so we can later swap the implementation
+/// without touching call sites).
+class SharedLatch {
+ public:
+  void LockShared() { mutex_.lock_shared(); }
+  void UnlockShared() { mutex_.unlock_shared(); }
+  void LockExclusive() { mutex_.lock(); }
+  void UnlockExclusive() { mutex_.unlock(); }
+  bool TryLockExclusive() { return mutex_.try_lock(); }
+
+ private:
+  std::shared_mutex mutex_;
+};
+
+}  // namespace mb2

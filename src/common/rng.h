@@ -1,0 +1,135 @@
+#pragma once
+
+/// \file rng.h
+/// Deterministic pseudo-random generation used by workload generators and
+/// the ML library. A thin wrapper over xoshiro256** plus distribution
+/// helpers (uniform, zipfian, gaussian, alphanumeric strings).
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+namespace mb2 {
+
+/// xoshiro256** generator: fast, high quality, reproducible across builds.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL) {
+    // SplitMix64 seeding as recommended by the xoshiro authors.
+    uint64_t x = seed;
+    for (auto &word : state_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  uint64_t Next() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [lo, hi] inclusive. Templated over integral types so
+  /// mixed int/int64 call sites resolve without ambiguity vs. the double
+  /// overload.
+  template <typename A, typename B,
+            typename = std::enable_if_t<std::is_integral_v<A> &&
+                                        std::is_integral_v<B>>>
+  int64_t Uniform(A lo_arg, B hi_arg) {
+    const int64_t lo = static_cast<int64_t>(lo_arg);
+    const int64_t hi = static_cast<int64_t>(hi_arg);
+    if (hi <= lo) return lo;
+    const uint64_t range = static_cast<uint64_t>(hi - lo) + 1;
+    return lo + static_cast<int64_t>(Next() % range);
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() { return static_cast<double>(Next() >> 11) * 0x1.0p-53; }
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi) { return lo + (hi - lo) * NextDouble(); }
+
+  /// Standard normal via Box-Muller.
+  double Gaussian(double mean = 0.0, double stddev = 1.0) {
+    double u1 = NextDouble();
+    while (u1 <= 1e-12) u1 = NextDouble();
+    const double u2 = NextDouble();
+    const double z = std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+    return mean + stddev * z;
+  }
+
+  /// TPC-C style NURand non-uniform distribution.
+  int64_t NuRand(int64_t a, int64_t x, int64_t y, int64_t c = 42) {
+    return (((Uniform(int64_t{0}, a) | Uniform(x, y)) + c) % (y - x + 1)) + x;
+  }
+
+  /// Random alphanumeric string of the given length.
+  std::string AlphaString(size_t len) {
+    static constexpr char kChars[] =
+        "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789";
+    std::string out;
+    out.reserve(len);
+    for (size_t i = 0; i < len; i++) out.push_back(kChars[Next() % 62]);
+    return out;
+  }
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T> *v) {
+    for (size_t i = v->size(); i > 1; i--) {
+      std::swap((*v)[i - 1], (*v)[Next() % i]);
+    }
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+  uint64_t state_[4];
+};
+
+/// Zipfian generator over [0, n) with parameter theta, using the Gray et al.
+/// rejection-free method (precomputed zeta).
+class Zipf {
+ public:
+  Zipf(uint64_t n, double theta, uint64_t seed = 7)
+      : n_(n), theta_(theta), rng_(seed) {
+    zetan_ = Zeta(n, theta);
+    zeta2_ = Zeta(2, theta);
+    alpha_ = 1.0 / (1.0 - theta);
+    eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n), 1.0 - theta)) /
+           (1.0 - zeta2_ / zetan_);
+  }
+
+  uint64_t Next() {
+    const double u = rng_.NextDouble();
+    const double uz = u * zetan_;
+    if (uz < 1.0) return 0;
+    if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+    return static_cast<uint64_t>(static_cast<double>(n_) *
+                                 std::pow(eta_ * u - eta_ + 1.0, alpha_));
+  }
+
+ private:
+  static double Zeta(uint64_t n, double theta) {
+    double sum = 0.0;
+    for (uint64_t i = 1; i <= n; i++) sum += 1.0 / std::pow(static_cast<double>(i), theta);
+    return sum;
+  }
+
+  uint64_t n_;
+  double theta_;
+  Rng rng_;
+  double zetan_, zeta2_, alpha_, eta_;
+};
+
+}  // namespace mb2

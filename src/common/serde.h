@@ -1,0 +1,144 @@
+#pragma once
+
+/// \file serde.h
+/// Minimal binary serialization for model persistence: scalars, strings,
+/// and double vectors with a leading magic/version header. Little-endian
+/// host assumption (x86-64 / aarch64 targets).
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/status.h"
+
+namespace mb2 {
+
+class BinaryWriter {
+ public:
+  static Result<BinaryWriter> Open(const std::string &path) {
+    FILE *f = std::fopen(path.c_str(), "wb");
+    if (f == nullptr) return Status::IoError("cannot open " + path);
+    BinaryWriter w;
+    w.file_ = f;
+    return w;
+  }
+
+  BinaryWriter(BinaryWriter &&other) noexcept : file_(other.file_) {
+    other.file_ = nullptr;
+  }
+  BinaryWriter &operator=(BinaryWriter &&other) noexcept {
+    if (this != &other) {
+      Close();
+      file_ = other.file_;
+      other.file_ = nullptr;
+    }
+    return *this;
+  }
+  BinaryWriter(const BinaryWriter &) = delete;
+  BinaryWriter &operator=(const BinaryWriter &) = delete;
+  ~BinaryWriter() { Close(); }
+
+  void Close() {
+    if (file_ != nullptr) {
+      std::fclose(file_);
+      file_ = nullptr;
+    }
+  }
+
+  template <typename T>
+  void Put(T value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    std::fwrite(&value, sizeof(T), 1, file_);
+  }
+
+  void PutString(const std::string &s) {
+    Put<uint32_t>(static_cast<uint32_t>(s.size()));
+    std::fwrite(s.data(), 1, s.size(), file_);
+  }
+
+  void PutDoubles(const std::vector<double> &v) {
+    Put<uint64_t>(v.size());
+    std::fwrite(v.data(), sizeof(double), v.size(), file_);
+  }
+
+ private:
+  BinaryWriter() = default;
+  FILE *file_ = nullptr;
+};
+
+class BinaryReader {
+ public:
+  static Result<BinaryReader> Open(const std::string &path) {
+    FILE *f = std::fopen(path.c_str(), "rb");
+    if (f == nullptr) return Status::IoError("cannot open " + path);
+    BinaryReader r;
+    r.file_ = f;
+    return r;
+  }
+
+  BinaryReader(BinaryReader &&other) noexcept : file_(other.file_) {
+    other.file_ = nullptr;
+  }
+  BinaryReader &operator=(BinaryReader &&other) noexcept {
+    if (this != &other) {
+      Close();
+      file_ = other.file_;
+      other.file_ = nullptr;
+    }
+    return *this;
+  }
+  BinaryReader(const BinaryReader &) = delete;
+  BinaryReader &operator=(const BinaryReader &) = delete;
+  ~BinaryReader() { Close(); }
+
+  void Close() {
+    if (file_ != nullptr) {
+      std::fclose(file_);
+      file_ = nullptr;
+    }
+  }
+
+  bool ok() const { return !failed_; }
+
+  template <typename T>
+  T Get() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    T value{};
+    if (std::fread(&value, sizeof(T), 1, file_) != 1) failed_ = true;
+    return value;
+  }
+
+  std::string GetString() {
+    const uint32_t len = Get<uint32_t>();
+    if (failed_ || len > (1u << 20)) {
+      failed_ = true;
+      return {};
+    }
+    std::string s(len, '\0');
+    if (len > 0 && std::fread(s.data(), 1, len, file_) != len) failed_ = true;
+    return s;
+  }
+
+  std::vector<double> GetDoubles() {
+    const uint64_t n = Get<uint64_t>();
+    if (failed_ || n > (1ull << 30)) {
+      failed_ = true;
+      return {};
+    }
+    std::vector<double> v(n);
+    if (n > 0 && std::fread(v.data(), sizeof(double), n, file_) != n) {
+      failed_ = true;
+    }
+    return v;
+  }
+
+ private:
+  BinaryReader() = default;
+  FILE *file_ = nullptr;
+  bool failed_ = false;
+};
+
+}  // namespace mb2

@@ -1,0 +1,76 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/macros.h"
+
+namespace mb2 {
+
+double Mean(const std::vector<double> &xs) {
+  if (xs.empty()) return 0.0;
+  double sum = 0.0;
+  for (double x : xs) sum += x;
+  return sum / static_cast<double>(xs.size());
+}
+
+double Variance(const std::vector<double> &xs) {
+  if (xs.size() < 2) return 0.0;
+  const double mu = Mean(xs);
+  double sum = 0.0;
+  for (double x : xs) sum += (x - mu) * (x - mu);
+  return sum / static_cast<double>(xs.size() - 1);
+}
+
+double StdDev(const std::vector<double> &xs) { return std::sqrt(Variance(xs)); }
+
+double TrimmedMean(std::vector<double> xs, double trim_fraction) {
+  if (xs.empty()) return 0.0;
+  MB2_ASSERT(trim_fraction >= 0.0 && trim_fraction < 0.5, "invalid trim fraction");
+  std::sort(xs.begin(), xs.end());
+  const size_t k = static_cast<size_t>(trim_fraction * static_cast<double>(xs.size()));
+  double sum = 0.0;
+  size_t count = 0;
+  for (size_t i = k; i + k < xs.size(); i++) {
+    sum += xs[i];
+    count++;
+  }
+  if (count == 0) return Mean(xs);
+  return sum / static_cast<double>(count);
+}
+
+double Median(std::vector<double> xs) { return Percentile(std::move(xs), 50.0); }
+
+double Percentile(std::vector<double> xs, double p) {
+  if (xs.empty()) return 0.0;
+  std::sort(xs.begin(), xs.end());
+  const double rank = p / 100.0 * static_cast<double>(xs.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, xs.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+}
+
+double AverageRelativeError(const std::vector<double> &actual,
+                            const std::vector<double> &predicted) {
+  MB2_ASSERT(actual.size() == predicted.size(), "size mismatch");
+  double sum = 0.0;
+  size_t count = 0;
+  for (size_t i = 0; i < actual.size(); i++) {
+    if (std::abs(actual[i]) < 1e-12) continue;
+    sum += std::abs(actual[i] - predicted[i]) / std::abs(actual[i]);
+    count++;
+  }
+  return count == 0 ? 0.0 : sum / static_cast<double>(count);
+}
+
+double AverageAbsoluteError(const std::vector<double> &actual,
+                            const std::vector<double> &predicted) {
+  MB2_ASSERT(actual.size() == predicted.size(), "size mismatch");
+  if (actual.empty()) return 0.0;
+  double sum = 0.0;
+  for (size_t i = 0; i < actual.size(); i++) sum += std::abs(actual[i] - predicted[i]);
+  return sum / static_cast<double>(actual.size());
+}
+
+}  // namespace mb2

@@ -1,0 +1,35 @@
+#pragma once
+
+/// \file stats.h
+/// Robust statistics helpers (Sec 6.2 of the paper): MB2 derives OU labels
+/// from repeated measurements with the 20% trimmed mean, which tolerates up
+/// to a 0.4 breakdown point of outliers.
+
+#include <cstddef>
+#include <vector>
+
+namespace mb2 {
+
+double Mean(const std::vector<double> &xs);
+double Variance(const std::vector<double> &xs);
+double StdDev(const std::vector<double> &xs);
+
+/// Trimmed mean: discard `trim_fraction` of the mass from each tail, then
+/// average the rest. trim_fraction=0.2 is MB2's default (Stigler 1973).
+double TrimmedMean(std::vector<double> xs, double trim_fraction = 0.2);
+
+double Median(std::vector<double> xs);
+
+/// p in [0, 100]; linear interpolation between order statistics.
+double Percentile(std::vector<double> xs, double p);
+
+/// Average relative error |actual - predicted| / |actual|, skipping
+/// zero-actual rows. The paper's OLAP metric (Sec 8).
+double AverageRelativeError(const std::vector<double> &actual,
+                            const std::vector<double> &predicted);
+
+/// Average absolute error |actual - predicted|. The paper's OLTP metric.
+double AverageAbsoluteError(const std::vector<double> &actual,
+                            const std::vector<double> &predicted);
+
+}  // namespace mb2

@@ -1,0 +1,103 @@
+#pragma once
+
+/// \file status.h
+/// Lightweight Status / Result types for error propagation without
+/// exceptions, following the convention used by Arrow and RocksDB.
+
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace mb2 {
+
+/// Error categories produced by the engine and the modeling framework.
+enum class ErrorCode {
+  kOk = 0,
+  kNotFound,
+  kAlreadyExists,
+  kInvalidArgument,
+  kAborted,
+  kIoError,
+  kNotSupported,
+  kInternal,
+};
+
+/// A Status describes the outcome of an operation: OK or an error code with
+/// a human-readable message. Statuses are cheap to copy in the OK case.
+class Status {
+ public:
+  Status() : code_(ErrorCode::kOk) {}
+  Status(ErrorCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status NotFound(std::string msg) {
+    return Status(ErrorCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(ErrorCode::kAlreadyExists, std::move(msg));
+  }
+  static Status InvalidArgument(std::string msg) {
+    return Status(ErrorCode::kInvalidArgument, std::move(msg));
+  }
+  static Status Aborted(std::string msg) {
+    return Status(ErrorCode::kAborted, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(ErrorCode::kIoError, std::move(msg));
+  }
+  static Status NotSupported(std::string msg) {
+    return Status(ErrorCode::kNotSupported, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(ErrorCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == ErrorCode::kOk; }
+  ErrorCode code() const { return code_; }
+  const std::string &message() const { return message_; }
+
+  std::string ToString() const {
+    if (ok()) return "OK";
+    return CodeName(code_) + ": " + message_;
+  }
+
+ private:
+  static std::string CodeName(ErrorCode code) {
+    switch (code) {
+      case ErrorCode::kOk: return "OK";
+      case ErrorCode::kNotFound: return "NotFound";
+      case ErrorCode::kAlreadyExists: return "AlreadyExists";
+      case ErrorCode::kInvalidArgument: return "InvalidArgument";
+      case ErrorCode::kAborted: return "Aborted";
+      case ErrorCode::kIoError: return "IoError";
+      case ErrorCode::kNotSupported: return "NotSupported";
+      case ErrorCode::kInternal: return "Internal";
+    }
+    return "Unknown";
+  }
+
+  ErrorCode code_;
+  std::string message_;
+};
+
+/// Result<T> carries either a value or an error Status.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : status_(), value_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Status status) : status_(std::move(status)) {}     // NOLINT(google-explicit-constructor)
+
+  bool ok() const { return status_.ok(); }
+  const Status &status() const { return status_; }
+  T &value() { return *value_; }
+  const T &value() const { return *value_; }
+  T &operator*() { return *value_; }
+  const T &operator*() const { return *value_; }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace mb2

@@ -1,0 +1,55 @@
+#include "common/thread_pool.h"
+
+namespace mb2 {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  if (num_threads == 0) num_threads = 1;
+  workers_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; i++) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  task_available_.notify_all();
+  for (auto &worker : workers_) worker.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    tasks_.push(std::move(task));
+    outstanding_++;
+  }
+  task_available_.notify_one();
+}
+
+void ThreadPool::WaitAll() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  all_done_.wait(lock, [this] { return outstanding_ == 0; });
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      task_available_.wait(lock, [this] { return shutdown_ || !tasks_.empty(); });
+      if (shutdown_ && tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      outstanding_--;
+      if (outstanding_ == 0) all_done_.notify_all();
+    }
+  }
+}
+
+}  // namespace mb2

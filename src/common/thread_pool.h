@@ -1,0 +1,44 @@
+#pragma once
+
+/// \file thread_pool.h
+/// A fixed-size worker pool used by the parallel index builder and the
+/// concurrent runners.
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace mb2 {
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+  MB2_DISALLOW_COPY_AND_MOVE(ThreadPool);
+
+  /// Enqueues a task for execution on some worker.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.
+  void WaitAll();
+
+  size_t NumThreads() const { return workers_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable task_available_;
+  std::condition_variable all_done_;
+  size_t outstanding_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace mb2

@@ -1,0 +1,23 @@
+#include "database.h"
+
+namespace mb2 {
+
+Database::Database(Options options) : options_(std::move(options)) {
+  log_manager_ = std::make_unique<LogManager>(options_.wal_path, &settings_);
+  txn_manager_ = std::make_unique<TransactionManager>(
+      log_manager_->enabled() ? log_manager_.get() : nullptr);
+  gc_ = std::make_unique<GarbageCollector>(&catalog_, txn_manager_.get(),
+                                           &settings_);
+  engine_ = std::make_unique<ExecutionEngine>(&catalog_, txn_manager_.get(),
+                                              &settings_);
+  estimator_ = std::make_unique<CardinalityEstimator>(&catalog_);
+  if (options_.start_flusher) log_manager_->StartFlusher();
+  if (options_.start_gc) gc_->StartBackground();
+}
+
+Database::~Database() {
+  gc_->StopBackground();
+  log_manager_->StopFlusher();
+}
+
+}  // namespace mb2

@@ -1,0 +1,58 @@
+#pragma once
+
+/// \file database.h
+/// Convenience facade bundling the engine's subsystems (catalog, settings,
+/// WAL, transactions, GC, execution, statistics) the way an embedded user
+/// would consume them. All benches, examples, and workloads run through
+/// this.
+
+#include <memory>
+#include <string>
+
+#include "catalog/catalog.h"
+#include "catalog/settings.h"
+#include "exec/execution_engine.h"
+#include "gc/garbage_collector.h"
+#include "plan/cardinality_estimator.h"
+#include "txn/transaction_manager.h"
+#include "wal/log_manager.h"
+
+namespace mb2 {
+
+class Database {
+ public:
+  struct Options {
+    /// WAL device path; empty disables logging entirely.
+    std::string wal_path;
+    bool start_flusher = false;
+    bool start_gc = false;
+  };
+
+  Database() : Database(Options()) {}
+  explicit Database(Options options);
+  ~Database();
+  MB2_DISALLOW_COPY_AND_MOVE(Database);
+
+  Catalog &catalog() { return catalog_; }
+  SettingsManager &settings() { return settings_; }
+  TransactionManager &txn_manager() { return *txn_manager_; }
+  LogManager &log_manager() { return *log_manager_; }
+  GarbageCollector &gc() { return *gc_; }
+  ExecutionEngine &engine() { return *engine_; }
+  CardinalityEstimator &estimator() { return *estimator_; }
+
+  /// Executes a finalized plan in its own transaction.
+  QueryResult Execute(const PlanNode &plan) { return engine_->ExecuteQuery(plan); }
+
+ private:
+  SettingsManager settings_;
+  Catalog catalog_;
+  std::unique_ptr<LogManager> log_manager_;
+  std::unique_ptr<TransactionManager> txn_manager_;
+  std::unique_ptr<GarbageCollector> gc_;
+  std::unique_ptr<ExecutionEngine> engine_;
+  std::unique_ptr<CardinalityEstimator> estimator_;
+  Options options_;
+};
+
+}  // namespace mb2

@@ -1,0 +1,4 @@
+#include "exec/execution_context.h"
+
+// Currently header-only; this translation unit anchors the header in the
+// build so include errors surface early.

@@ -1,0 +1,35 @@
+#include "exec/execution_engine.h"
+
+#include <chrono>
+
+#include "exec/executors.h"
+
+namespace mb2 {
+
+QueryResult ExecutionEngine::ExecuteQuery(const PlanNode &plan) {
+  QueryResult result;
+  const auto start = std::chrono::steady_clock::now();
+
+  auto txn = txn_manager_->Begin();
+  ExecutionContext ctx(txn.get(), catalog_, settings_);
+  result.status = ExecuteNode(plan, &ctx, &result.batch);
+  if (result.status.ok()) {
+    txn_manager_->Commit(txn.get());
+  } else {
+    txn_manager_->Abort(txn.get());
+    result.aborted = true;
+  }
+
+  result.elapsed_us = std::chrono::duration_cast<std::chrono::microseconds>(
+                          std::chrono::steady_clock::now() - start)
+                          .count();
+  return result;
+}
+
+Status ExecutionEngine::ExecuteInTxn(const PlanNode &plan, Transaction *txn,
+                                     Batch *out) {
+  ExecutionContext ctx(txn, catalog_, settings_);
+  return ExecuteNode(plan, &ctx, out);
+}
+
+}  // namespace mb2

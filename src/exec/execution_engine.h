@@ -1,0 +1,49 @@
+#pragma once
+
+/// \file execution_engine.h
+/// Top-level query execution facade: wraps plan execution in a transaction,
+/// dispatches to the operator executors, and reports end-to-end latency.
+
+#include <memory>
+
+#include "catalog/catalog.h"
+#include "catalog/settings.h"
+#include "exec/execution_context.h"
+#include "plan/plan_node.h"
+#include "txn/transaction_manager.h"
+
+namespace mb2 {
+
+struct QueryResult {
+  Status status;
+  Batch batch;            ///< materialized root output
+  double elapsed_us = 0;  ///< end-to-end latency (begin..commit)
+  bool aborted = false;
+};
+
+class ExecutionEngine {
+ public:
+  ExecutionEngine(Catalog *catalog, TransactionManager *txn_manager,
+                  SettingsManager *settings)
+      : catalog_(catalog), txn_manager_(txn_manager), settings_(settings) {}
+  MB2_DISALLOW_COPY_AND_MOVE(ExecutionEngine);
+
+  /// Runs the plan in a fresh transaction; commits on success, aborts on
+  /// conflict. The write-conflict abort is surfaced in QueryResult::aborted.
+  QueryResult ExecuteQuery(const PlanNode &plan);
+
+  /// Executes inside a caller-managed transaction (multi-statement
+  /// workload transactions).
+  Status ExecuteInTxn(const PlanNode &plan, Transaction *txn, Batch *out);
+
+  Catalog *catalog() const { return catalog_; }
+  TransactionManager *txn_manager() const { return txn_manager_; }
+  SettingsManager *settings() const { return settings_; }
+
+ private:
+  Catalog *catalog_;
+  TransactionManager *txn_manager_;
+  SettingsManager *settings_;
+};
+
+}  // namespace mb2

@@ -1,0 +1,667 @@
+#include "exec/executors.h"
+
+#include <algorithm>
+#include <chrono>
+#include <unordered_map>
+
+#include "exec/compiled_executor.h"
+#include "exec/interpreter.h"
+#include "index/bplus_tree.h"
+#include "metrics/metrics_collector.h"
+#include "metrics/work_stats.h"
+#include "wal/log_record.h"
+
+namespace mb2 {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Helpers
+// ---------------------------------------------------------------------------
+
+/// Evaluates `expr` over every row of `batch`, keeping matches. Tracked as
+/// the ARITHMETIC (filter) OU. The interpret path walks the expression tree
+/// per tuple; the compiled path runs the flattened program.
+void FilterBatch(const Expression &expr, ExecutionContext *ctx, Batch *batch) {
+  const double n = static_cast<double>(batch->NumRows());
+  OuTrackerScope scope(OuType::kArithmetic,
+                       {n, static_cast<double>(expr.Complexity()),
+                        ctx->ModeFeature()});
+  const bool with_slots = !batch->slots.empty();
+  size_t kept = 0;
+  WorkStats::Current().tuples_processed += batch->rows.size();
+  if (ctx->mode() == ExecutionMode::kCompiled) {
+    CompiledExpression compiled(expr);
+    for (size_t i = 0; i < batch->rows.size(); i++) {
+      if (compiled.EvaluateBool(batch->rows[i])) {
+        if (kept != i) {
+          batch->rows[kept] = std::move(batch->rows[i]);
+          if (with_slots) batch->slots[kept] = batch->slots[i];
+        }
+        kept++;
+      }
+    }
+  } else {
+    for (size_t i = 0; i < batch->rows.size(); i++) {
+      if (expr.EvaluateBool(batch->rows[i])) {
+        if (kept != i) {
+          batch->rows[kept] = std::move(batch->rows[i]);
+          if (with_slots) batch->slots[kept] = batch->slots[i];
+        }
+        kept++;
+      }
+    }
+  }
+  batch->rows.resize(kept);
+  if (with_slots) batch->slots.resize(kept);
+}
+
+Tuple ProjectRow(const Tuple &row, const std::vector<uint32_t> &columns) {
+  if (columns.empty()) return row;
+  Tuple out;
+  out.reserve(columns.size());
+  for (uint32_t c : columns) out.push_back(row[c]);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Interpreted tuple access. In interpret mode the scan's inner loop goes
+// through a virtual per-value accessor — the dispatch cost a bytecode
+// interpreter pays on every attribute, which NoisePage's compiled engine
+// eliminates. Compiled mode copies directly. This is what makes the
+// execution-mode knob a genuine, measurable whole-query tradeoff rather
+// than an expression-only one.
+// ---------------------------------------------------------------------------
+
+
+/// Copies `row` into the output batch under the given execution mode.
+void EmitRow(ExecutionMode mode, const TupleAccessor &accessor,
+             const Tuple &row, const std::vector<uint32_t> &columns,
+             std::vector<Tuple> *out) {
+  if (mode == ExecutionMode::kCompiled) {
+    out->push_back(ProjectRow(row, columns));
+    return;
+  }
+  // Interpreter: one virtual dispatch per attribute.
+  Tuple projected;
+  if (columns.empty()) {
+    projected.reserve(row.size());
+    for (uint32_t c = 0; c < row.size(); c++) {
+      projected.push_back(accessor.Get(row, c));
+    }
+  } else {
+    projected.reserve(columns.size());
+    for (uint32_t c : columns) projected.push_back(accessor.Get(row, c));
+  }
+  out->push_back(std::move(projected));
+}
+
+/// Exact distinct count of the key columns across a batch (used as the
+/// training-time cardinality feature for joins/aggs/sorts).
+double DistinctKeys(const Batch &batch, const std::vector<uint32_t> &keys) {
+  std::unordered_map<uint64_t, uint32_t> seen;
+  seen.reserve(batch.rows.size());
+  for (const auto &row : batch.rows) seen.emplace(HashColumns(row, keys), 0);
+  return static_cast<double>(seen.size());
+}
+
+bool KeysEqual(const Tuple &a, const std::vector<uint32_t> &a_cols,
+               const Tuple &b, const std::vector<uint32_t> &b_cols) {
+  for (size_t i = 0; i < a_cols.size(); i++) {
+    if (!(a[a_cols[i]] == b[b_cols[i]])) return false;
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Scans
+// ---------------------------------------------------------------------------
+
+Status ExecSeqScan(const SeqScanPlan &plan, ExecutionContext *ctx, Batch *out) {
+  Table *table = ctx->catalog()->GetTable(plan.table);
+  if (table == nullptr) return Status::NotFound("table " + plan.table);
+  const SlotId num_slots = table->NumSlots();
+  {
+    FeatureVector features = MakeExecFeatures(
+        static_cast<double>(num_slots),
+        static_cast<double>(plan.columns.empty() ? table->schema().NumColumns()
+                                                 : plan.columns.size()),
+        table->schema().TupleByteSize(), 0.0, 0.0, 1.0, ctx->ModeFeature());
+    OuTrackerScope scope(OuType::kSeqScan, std::move(features));
+    out->rows.reserve(num_slots);
+    const TupleAccessor &accessor = *GetInterpretedAccessor();
+    Tuple row;
+    for (SlotId slot = 0; slot < num_slots; slot++) {
+      if (!table->Select(ctx->txn(), slot, &row)) continue;
+      EmitRow(ctx->mode(), accessor, row, plan.columns, &out->rows);
+      if (plan.with_slots) out->slots.push_back(slot);
+    }
+    // Output cardinality becomes the scan's cardinality feature.
+    scope.MutableFeatures()[exec_feature::kCardinality] =
+        static_cast<double>(out->rows.size());
+  }
+  if (plan.predicate != nullptr) FilterBatch(*plan.predicate, ctx, out);
+  return Status::Ok();
+}
+
+Status ExecIndexScan(const IndexScanPlan &plan, ExecutionContext *ctx,
+                     Batch *out) {
+  Table *table = ctx->catalog()->GetTable(plan.table);
+  BPlusTree *index = ctx->catalog()->GetIndex(plan.index);
+  if (table == nullptr) return Status::NotFound("table " + plan.table);
+  if (index == nullptr) return Status::NotFound("index " + plan.index);
+  {
+    FeatureVector features = MakeExecFeatures(
+        0.0,
+        static_cast<double>(plan.columns.empty() ? table->schema().NumColumns()
+                                                 : plan.columns.size()),
+        table->schema().TupleByteSize(),
+        static_cast<double>(index->NumEntries()), 0.0, 1.0, ctx->ModeFeature());
+    OuTrackerScope scope(OuType::kIdxScan, std::move(features));
+
+    std::vector<SlotId> slots;
+    if (!plan.key_hi.empty()) {
+      index->ScanRange(plan.key_lo, plan.key_hi, &slots, plan.limit);
+    } else if (plan.key_lo.size() < index->schema().key_columns.size()) {
+      index->ScanPrefix(plan.key_lo, &slots);
+    } else {
+      index->ScanKey(plan.key_lo, &slots);
+    }
+    const TupleAccessor &accessor = *GetInterpretedAccessor();
+    Tuple row;
+    out->rows.reserve(slots.size());
+    for (SlotId slot : slots) {
+      if (!table->Select(ctx->txn(), slot, &row)) continue;
+      EmitRow(ctx->mode(), accessor, row, plan.columns, &out->rows);
+      if (plan.with_slots) out->slots.push_back(slot);
+      if (plan.limit != 0 && out->rows.size() >= plan.limit) break;
+    }
+    scope.MutableFeatures()[exec_feature::kNumRows] =
+        static_cast<double>(out->rows.size());
+  }
+  if (plan.predicate != nullptr) FilterBatch(*plan.predicate, ctx, out);
+  return Status::Ok();
+}
+
+// ---------------------------------------------------------------------------
+// Hash join
+// ---------------------------------------------------------------------------
+
+Status ExecHashJoin(const HashJoinPlan &plan, ExecutionContext *ctx,
+                    Batch *out) {
+  Batch build, probe;
+  Status status = ExecuteNode(*plan.children[0], ctx, &build);
+  if (!status.ok()) return status;
+  status = ExecuteNode(*plan.children[1], ctx, &probe);
+  if (!status.ok()) return status;
+
+  // Join hash table: key hash -> row indexes. Pre-sized by the build count
+  // (the paper's memory-normalization special case for join hash tables).
+  std::unordered_map<uint64_t, std::vector<uint32_t>> ht;
+  const double build_n = static_cast<double>(build.NumRows());
+  const double payload = build.AvgTupleBytes();
+  {
+    FeatureVector features = MakeExecFeatures(
+        build_n, static_cast<double>(build.rows.empty() ? 0 : build.rows[0].size()),
+        payload, 0.0, payload, 1.0, ctx->ModeFeature());
+    OuTrackerScope scope(OuType::kHashJoinBuild, std::move(features));
+    ht.reserve(build.rows.size());
+    WorkStats &ws = WorkStats::Current();
+    // Sec 8.5's simulated "software update": a 1µs stall every N inserts.
+    const auto sleep_every = static_cast<uint64_t>(
+        ctx->settings()->GetDouble("jht_sleep_every_n"));
+    for (uint32_t i = 0; i < build.rows.size(); i++) {
+      ht[HashColumns(build.rows[i], plan.build_keys)].push_back(i);
+      ws.hash_ops++;
+      if (sleep_every != 0 && (i + 1) % sleep_every == 0) {
+        const auto deadline =
+            std::chrono::steady_clock::now() + std::chrono::microseconds(1);
+        while (std::chrono::steady_clock::now() < deadline) {
+        }
+      }
+    }
+    ws.tuples_processed += build.rows.size();
+    const double ht_bytes =
+        static_cast<double>(ht.bucket_count()) * 16.0 +
+        static_cast<double>(build.rows.size()) * (payload + 24.0);
+    ws.alloc_bytes += static_cast<uint64_t>(ht_bytes);
+    scope.MutableFeatures()[exec_feature::kCardinality] =
+        static_cast<double>(ht.size());
+    scope.SetMemoryBytes(ht_bytes);
+  }
+
+  {
+    FeatureVector features = MakeExecFeatures(
+        static_cast<double>(probe.NumRows()),
+        static_cast<double>(probe.rows.empty() ? 0 : probe.rows[0].size()),
+        probe.AvgTupleBytes(), 0.0, payload, 1.0, ctx->ModeFeature());
+    OuTrackerScope scope(OuType::kHashJoinProbe, std::move(features));
+    WorkStats &ws = WorkStats::Current();
+    for (const auto &probe_row : probe.rows) {
+      ws.hash_ops++;
+      auto it = ht.find(HashColumns(probe_row, plan.probe_keys));
+      if (it == ht.end()) continue;
+      for (uint32_t build_idx : it->second) {
+        const Tuple &build_row = build.rows[build_idx];
+        if (!KeysEqual(build_row, plan.build_keys, probe_row, plan.probe_keys)) {
+          continue;  // hash collision
+        }
+        Tuple joined;
+        joined.reserve(build_row.size() + probe_row.size());
+        joined.insert(joined.end(), build_row.begin(), build_row.end());
+        joined.insert(joined.end(), probe_row.begin(), probe_row.end());
+        out->rows.push_back(std::move(joined));
+      }
+    }
+    ws.tuples_processed += probe.rows.size();
+    scope.MutableFeatures()[exec_feature::kCardinality] =
+        static_cast<double>(out->rows.size());
+  }
+  return Status::Ok();
+}
+
+// ---------------------------------------------------------------------------
+// Aggregation
+// ---------------------------------------------------------------------------
+
+struct Accumulator {
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  uint64_t count = 0;
+
+  void Add(double v) {
+    if (count == 0) {
+      min = max = v;
+    } else {
+      min = std::min(min, v);
+      max = std::max(max, v);
+    }
+    sum += v;
+    count++;
+  }
+  void AddCountOnly() { count++; }
+
+  Value Finish(AggFunc func) const {
+    switch (func) {
+      case AggFunc::kCount: return Value::Integer(static_cast<int64_t>(count));
+      case AggFunc::kSum: return Value::Double(sum);
+      case AggFunc::kAvg:
+        return Value::Double(count == 0 ? 0.0 : sum / static_cast<double>(count));
+      case AggFunc::kMin: return Value::Double(min);
+      case AggFunc::kMax: return Value::Double(max);
+    }
+    return Value::Integer(0);
+  }
+};
+
+struct Group {
+  Tuple keys;
+  std::vector<Accumulator> accs;
+};
+
+Status ExecAggregate(const AggregatePlan &plan, ExecutionContext *ctx,
+                     Batch *out) {
+  Batch input;
+  Status status = ExecuteNode(*plan.children[0], ctx, &input);
+  if (!status.ok()) return status;
+
+  std::unordered_map<uint64_t, Group> groups;
+  const double n = static_cast<double>(input.NumRows());
+
+  // Pre-compile the aggregate argument expressions once per execution.
+  std::vector<std::unique_ptr<CompiledExpression>> compiled;
+  if (ctx->mode() == ExecutionMode::kCompiled) {
+    for (const auto &term : plan.terms) {
+      compiled.push_back(term.arg ? std::make_unique<CompiledExpression>(*term.arg)
+                                  : nullptr);
+    }
+  }
+
+  {
+    FeatureVector features = MakeExecFeatures(
+        n, static_cast<double>(input.rows.empty() ? 0 : input.rows[0].size()),
+        input.AvgTupleBytes(), 0.0,
+        static_cast<double>(plan.group_by.size() * 8 + plan.terms.size() * 32),
+        1.0, ctx->ModeFeature());
+    OuTrackerScope scope(OuType::kAggBuild, std::move(features));
+    WorkStats &ws = WorkStats::Current();
+    for (const auto &row : input.rows) {
+      const uint64_t h = plan.group_by.empty()
+                             ? 0
+                             : HashColumns(row, plan.group_by);
+      ws.hash_ops++;
+      auto [it, inserted] = groups.try_emplace(h);
+      Group &g = it->second;
+      if (inserted) {
+        g.keys.reserve(plan.group_by.size());
+        for (uint32_t c : plan.group_by) g.keys.push_back(row[c]);
+        g.accs.resize(plan.terms.size());
+        ws.alloc_bytes += 64 + plan.group_by.size() * 8 + plan.terms.size() * 32;
+      }
+      for (size_t t = 0; t < plan.terms.size(); t++) {
+        const auto &term = plan.terms[t];
+        if (term.arg == nullptr) {
+          g.accs[t].AddCountOnly();
+        } else if (ctx->mode() == ExecutionMode::kCompiled) {
+          g.accs[t].Add(compiled[t]->IsNumeric()
+                            ? compiled[t]->EvaluateNumeric(row)
+                            : compiled[t]->Evaluate(row).AsDouble());
+        } else {
+          g.accs[t].Add(term.arg->Evaluate(row).AsDouble());
+        }
+      }
+    }
+    ws.tuples_processed += input.rows.size();
+    scope.MutableFeatures()[exec_feature::kCardinality] =
+        static_cast<double>(groups.size());
+    // The agg hash table grows with distinct keys (memory normalized by
+    // cardinality, not input rows — Sec 4.3).
+    scope.SetMemoryBytes(static_cast<double>(groups.size()) *
+                         (64.0 + plan.group_by.size() * 8.0 +
+                          plan.terms.size() * 32.0));
+  }
+
+  {
+    FeatureVector features = MakeExecFeatures(
+        static_cast<double>(groups.size()),
+        static_cast<double>(plan.group_by.size() + plan.terms.size()),
+        static_cast<double>(plan.group_by.size() * 8 + plan.terms.size() * 8),
+        static_cast<double>(groups.size()), 0.0, 1.0, ctx->ModeFeature());
+    OuTrackerScope scope(OuType::kAggProbe, std::move(features));
+    out->rows.reserve(groups.size());
+    for (auto &[h, g] : groups) {
+      Tuple row = std::move(g.keys);
+      for (size_t t = 0; t < plan.terms.size(); t++) {
+        row.push_back(g.accs[t].Finish(plan.terms[t].func));
+      }
+      out->rows.push_back(std::move(row));
+    }
+    WorkStats::Current().tuples_processed += out->rows.size();
+  }
+  return Status::Ok();
+}
+
+// ---------------------------------------------------------------------------
+// Sort
+// ---------------------------------------------------------------------------
+
+Status ExecSort(const SortPlan &plan, ExecutionContext *ctx, Batch *out) {
+  Batch input;
+  Status status = ExecuteNode(*plan.children[0], ctx, &input);
+  if (!status.ok()) return status;
+
+  const double n = static_cast<double>(input.NumRows());
+  auto cmp = [&plan](const Tuple &a, const Tuple &b) {
+    WorkStats::Current().comparisons++;
+    for (size_t i = 0; i < plan.sort_keys.size(); i++) {
+      const uint32_t k = plan.sort_keys[i];
+      const int c = a[k].Compare(b[k]);
+      if (c != 0) {
+        const bool desc = i < plan.descending.size() && plan.descending[i];
+        return desc ? c > 0 : c < 0;
+      }
+    }
+    return false;
+  };
+
+  {
+    FeatureVector features = MakeExecFeatures(
+        n, static_cast<double>(input.rows.empty() ? 0 : input.rows[0].size()),
+        input.AvgTupleBytes(), DistinctKeys(input, plan.sort_keys),
+        input.AvgTupleBytes(), 1.0, ctx->ModeFeature());
+    OuTrackerScope scope(OuType::kSortBuild, std::move(features));
+    WorkStats &ws = WorkStats::Current();
+    ws.tuples_processed += input.rows.size();
+    ws.alloc_bytes += static_cast<uint64_t>(n * input.AvgTupleBytes());
+    std::sort(input.rows.begin(), input.rows.end(), cmp);
+    scope.SetMemoryBytes(n * (input.AvgTupleBytes() + 24.0));
+  }
+
+  {
+    const double out_n =
+        plan.limit != 0 ? std::min(n, static_cast<double>(plan.limit)) : n;
+    FeatureVector features = MakeExecFeatures(
+        out_n, static_cast<double>(input.rows.empty() ? 0 : input.rows[0].size()),
+        input.AvgTupleBytes(), 0.0, 0.0, 1.0, ctx->ModeFeature());
+    OuTrackerScope scope(OuType::kSortIterate, std::move(features));
+    if (plan.limit != 0 && input.rows.size() > plan.limit) {
+      input.rows.resize(plan.limit);
+    }
+    out->rows = std::move(input.rows);
+    WorkStats::Current().tuples_processed += out->rows.size();
+  }
+  return Status::Ok();
+}
+
+// ---------------------------------------------------------------------------
+// Projection / Limit
+// ---------------------------------------------------------------------------
+
+Status ExecProjection(const ProjectionPlan &plan, ExecutionContext *ctx,
+                      Batch *out) {
+  Batch input;
+  Status status = ExecuteNode(*plan.children[0], ctx, &input);
+  if (!status.ok()) return status;
+
+  uint32_t complexity = 0;
+  for (const auto &e : plan.exprs) complexity += e->Complexity();
+  FeatureVector features = {static_cast<double>(input.NumRows()),
+                            static_cast<double>(complexity), ctx->ModeFeature()};
+  OuTrackerScope scope(OuType::kArithmetic, std::move(features));
+
+  std::vector<std::unique_ptr<CompiledExpression>> compiled;
+  if (ctx->mode() == ExecutionMode::kCompiled) {
+    for (const auto &e : plan.exprs) {
+      compiled.push_back(std::make_unique<CompiledExpression>(*e));
+    }
+  }
+  out->rows.reserve(input.rows.size());
+  for (const auto &row : input.rows) {
+    Tuple projected;
+    projected.reserve(plan.exprs.size());
+    if (ctx->mode() == ExecutionMode::kCompiled) {
+      // The Value-typed program preserves integer results exactly; the
+      // numeric fast path is reserved for filters and aggregates where the
+      // output is a double or a boolean anyway.
+      for (const auto &ce : compiled) projected.push_back(ce->Evaluate(row));
+    } else {
+      for (const auto &e : plan.exprs) projected.push_back(e->Evaluate(row));
+    }
+    out->rows.push_back(std::move(projected));
+  }
+  WorkStats::Current().tuples_processed += out->rows.size();
+  return Status::Ok();
+}
+
+Status ExecLimit(const LimitPlan &plan, ExecutionContext *ctx, Batch *out) {
+  Status status = ExecuteNode(*plan.children[0], ctx, out);
+  if (!status.ok()) return status;
+  if (out->rows.size() > plan.limit) {
+    out->rows.resize(plan.limit);
+    if (!out->slots.empty()) out->slots.resize(plan.limit);
+  }
+  return Status::Ok();
+}
+
+// ---------------------------------------------------------------------------
+// DML
+// ---------------------------------------------------------------------------
+
+/// Inserts `row`'s index entries for every index on `table`.
+void MaintainIndexesInsert(ExecutionContext *ctx, const std::string &table,
+                           const Tuple &row, SlotId slot) {
+  for (BPlusTree *index : ctx->catalog()->GetTableIndexes(table)) {
+    Tuple key;
+    key.reserve(index->schema().key_columns.size());
+    for (uint32_t c : index->schema().key_columns) key.push_back(row[c]);
+    index->Insert(key, slot);
+  }
+}
+
+Status ExecInsert(const InsertPlan &plan, ExecutionContext *ctx, Batch *out) {
+  Table *table = ctx->catalog()->GetTable(plan.table);
+  if (table == nullptr) return Status::NotFound("table " + plan.table);
+
+  const std::vector<Tuple> *rows = &plan.rows;
+  Batch child;
+  if (!plan.children.empty()) {
+    Status status = ExecuteNode(*plan.children[0], ctx, &child);
+    if (!status.ok()) return status;
+    rows = &child.rows;
+  }
+
+  double avg_size = 0.0;
+  for (const auto &r : *rows) avg_size += TupleSize(r);
+  if (!rows->empty()) avg_size /= static_cast<double>(rows->size());
+
+  FeatureVector features = MakeExecFeatures(
+      static_cast<double>(rows->size()),
+      static_cast<double>(rows->empty() ? 0 : (*rows)[0].size()), avg_size, 0.0,
+      0.0, 1.0, ctx->ModeFeature());
+  OuTrackerScope scope(OuType::kInsert, std::move(features));
+  for (const auto &row : *rows) {
+    const SlotId slot = table->Insert(ctx->txn(), row);
+    MaintainIndexesInsert(ctx, plan.table, row, slot);
+  }
+  out->rows.push_back({Value::Integer(static_cast<int64_t>(rows->size()))});
+  return Status::Ok();
+}
+
+Status ExecUpdate(const UpdatePlan &plan, ExecutionContext *ctx, Batch *out) {
+  Table *table = ctx->catalog()->GetTable(plan.table);
+  if (table == nullptr) return Status::NotFound("table " + plan.table);
+  Batch input;
+  Status status = ExecuteNode(*plan.children[0], ctx, &input);
+  if (!status.ok()) return status;
+  MB2_ASSERT(input.slots.size() == input.rows.size(),
+             "update child must carry slots (set with_slots on the scan)");
+
+  const auto indexes = ctx->catalog()->GetTableIndexes(plan.table);
+  FeatureVector features = MakeExecFeatures(
+      static_cast<double>(input.NumRows()),
+      static_cast<double>(plan.sets.size()), input.AvgTupleBytes(), 0.0, 0.0,
+      1.0, ctx->ModeFeature());
+  OuTrackerScope scope(OuType::kUpdate, std::move(features));
+
+  for (size_t i = 0; i < input.rows.size(); i++) {
+    Tuple new_row = input.rows[i];
+    for (const auto &[col, expr] : plan.sets) {
+      new_row[col] = expr->Evaluate(input.rows[i]);
+    }
+    status = table->Update(ctx->txn(), input.slots[i], new_row);
+    if (!status.ok()) return status;
+    // Maintain indexes whose keys changed.
+    for (BPlusTree *index : indexes) {
+      bool key_changed = false;
+      for (uint32_t c : index->schema().key_columns) {
+        for (const auto &[col, expr] : plan.sets) {
+          if (col == c && !(new_row[c] == input.rows[i][c])) key_changed = true;
+        }
+      }
+      if (!key_changed) continue;
+      Tuple old_key, new_key;
+      for (uint32_t c : index->schema().key_columns) {
+        old_key.push_back(input.rows[i][c]);
+        new_key.push_back(new_row[c]);
+      }
+      index->Delete(old_key, input.slots[i]);
+      index->Insert(new_key, input.slots[i]);
+    }
+  }
+  out->rows.push_back({Value::Integer(static_cast<int64_t>(input.rows.size()))});
+  return Status::Ok();
+}
+
+Status ExecDelete(const DeletePlan &plan, ExecutionContext *ctx, Batch *out) {
+  Table *table = ctx->catalog()->GetTable(plan.table);
+  if (table == nullptr) return Status::NotFound("table " + plan.table);
+  Batch input;
+  Status status = ExecuteNode(*plan.children[0], ctx, &input);
+  if (!status.ok()) return status;
+  MB2_ASSERT(input.slots.size() == input.rows.size(),
+             "delete child must carry slots (set with_slots on the scan)");
+
+  const auto indexes = ctx->catalog()->GetTableIndexes(plan.table);
+  FeatureVector features = MakeExecFeatures(
+      static_cast<double>(input.NumRows()),
+      static_cast<double>(input.rows.empty() ? 0 : input.rows[0].size()),
+      input.AvgTupleBytes(), 0.0, 0.0, 1.0, ctx->ModeFeature());
+  OuTrackerScope scope(OuType::kDelete, std::move(features));
+
+  for (size_t i = 0; i < input.rows.size(); i++) {
+    status = table->Delete(ctx->txn(), input.slots[i]);
+    if (!status.ok()) return status;
+    for (BPlusTree *index : indexes) {
+      Tuple key;
+      for (uint32_t c : index->schema().key_columns) {
+        key.push_back(input.rows[i][c]);
+      }
+      index->Delete(key, input.slots[i]);
+    }
+  }
+  out->rows.push_back({Value::Integer(static_cast<int64_t>(input.rows.size()))});
+  return Status::Ok();
+}
+
+// ---------------------------------------------------------------------------
+// Output (simulated network)
+// ---------------------------------------------------------------------------
+
+Status ExecOutput(const OutputPlan &plan, ExecutionContext *ctx, Batch *out) {
+  Status status = ExecuteNode(*plan.children[0], ctx, out);
+  if (!status.ok()) return status;
+
+  FeatureVector features = MakeExecFeatures(
+      static_cast<double>(out->NumRows()),
+      static_cast<double>(out->rows.empty() ? 0 : out->rows[0].size()),
+      out->AvgTupleBytes(), 0.0, 0.0, 1.0, ctx->ModeFeature());
+  OuTrackerScope scope(OuType::kOutput, std::move(features));
+
+  // Serialize rows into the wire buffer (row-count header per row batch).
+  auto &wire = ctx->output_buffer();
+  wire.clear();
+  RedoRecord fake;  // reuse the value serializer
+  fake.op = LogOpType::kCommit;
+  WorkStats &ws = WorkStats::Current();
+  for (const auto &row : out->rows) {
+    fake.after = row;
+    SerializeRedoRecord(fake, 0, &wire);
+  }
+  ws.tuples_processed += out->rows.size();
+  ws.bytes_written += wire.size();
+  ctx->rows_output += out->rows.size();
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status ExecuteNode(const PlanNode &node, ExecutionContext *ctx, Batch *out) {
+  switch (node.type) {
+    case PlanNodeType::kSeqScan:
+      return ExecSeqScan(*node.As<SeqScanPlan>(), ctx, out);
+    case PlanNodeType::kIndexScan:
+      return ExecIndexScan(*node.As<IndexScanPlan>(), ctx, out);
+    case PlanNodeType::kHashJoin:
+      return ExecHashJoin(*node.As<HashJoinPlan>(), ctx, out);
+    case PlanNodeType::kAggregate:
+      return ExecAggregate(*node.As<AggregatePlan>(), ctx, out);
+    case PlanNodeType::kSort:
+      return ExecSort(*node.As<SortPlan>(), ctx, out);
+    case PlanNodeType::kProjection:
+      return ExecProjection(*node.As<ProjectionPlan>(), ctx, out);
+    case PlanNodeType::kLimit:
+      return ExecLimit(*node.As<LimitPlan>(), ctx, out);
+    case PlanNodeType::kInsert:
+      return ExecInsert(*node.As<InsertPlan>(), ctx, out);
+    case PlanNodeType::kUpdate:
+      return ExecUpdate(*node.As<UpdatePlan>(), ctx, out);
+    case PlanNodeType::kDelete:
+      return ExecDelete(*node.As<DeletePlan>(), ctx, out);
+    case PlanNodeType::kOutput:
+      return ExecOutput(*node.As<OutputPlan>(), ctx, out);
+  }
+  return Status::Internal("unknown plan node");
+}
+
+}  // namespace mb2

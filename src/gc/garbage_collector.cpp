@@ -1,0 +1,55 @@
+#include "gc/garbage_collector.h"
+
+#include "metrics/metrics_collector.h"
+#include "metrics/work_stats.h"
+
+namespace mb2 {
+
+GcResult GarbageCollector::RunOnce() {
+  GcResult result;
+  const double interval = settings_->GetDouble("gc_interval_us");
+  // Features (versions unlinked, bytes reclaimed) are only known after the
+  // pass; amend them before the scope records.
+  OuTrackerScope scope(OuType::kGarbageCollection, {0.0, 0.0, interval});
+
+  const uint64_t horizon = txn_manager_->OldestActiveTs();
+  for (const auto &name : catalog_->TableNames()) {
+    Table *table = catalog_->GetTable(name);
+    uint64_t bytes = 0;
+    result.versions_unlinked += table->GarbageCollect(horizon, &bytes);
+    result.bytes_reclaimed += bytes;
+  }
+  WorkStats::Current().bytes_read += result.bytes_reclaimed;
+
+  scope.MutableFeatures()[0] = static_cast<double>(result.versions_unlinked);
+  scope.MutableFeatures()[1] = static_cast<double>(result.bytes_reclaimed);
+  return result;
+}
+
+void GarbageCollector::StartBackground() {
+  if (running_.load()) return;
+  running_.store(true);
+  worker_ = std::thread([this] { Loop(); });
+}
+
+void GarbageCollector::StopBackground() {
+  if (!running_.load()) return;
+  running_.store(false);
+  cv_.notify_all();
+  if (worker_.joinable()) worker_.join();
+}
+
+void GarbageCollector::Loop() {
+  while (running_.load()) {
+    const auto interval =
+        std::chrono::microseconds(settings_->GetInt("gc_interval_us"));
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait_for(lock, interval, [this] { return !running_.load(); });
+    }
+    if (!running_.load()) break;
+    RunOnce();
+  }
+}
+
+}  // namespace mb2

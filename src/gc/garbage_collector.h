@@ -1,0 +1,52 @@
+#pragma once
+
+/// \file garbage_collector.h
+/// Epoch-batched version-chain garbage collection (the GC "batch" OU): on a
+/// knob-controlled interval, unlinks committed versions that no active
+/// transaction can still read.
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+#include "catalog/catalog.h"
+#include "catalog/settings.h"
+#include "common/macros.h"
+#include "txn/transaction_manager.h"
+
+namespace mb2 {
+
+struct GcResult {
+  uint64_t versions_unlinked = 0;
+  uint64_t bytes_reclaimed = 0;
+};
+
+class GarbageCollector {
+ public:
+  GarbageCollector(Catalog *catalog, TransactionManager *txn_manager,
+                   SettingsManager *settings)
+      : catalog_(catalog), txn_manager_(txn_manager), settings_(settings) {}
+  ~GarbageCollector() { StopBackground(); }
+  MB2_DISALLOW_COPY_AND_MOVE(GarbageCollector);
+
+  /// One GC pass over every table; tracked as the GC OU.
+  GcResult RunOnce();
+
+  void StartBackground();
+  void StopBackground();
+
+ private:
+  void Loop();
+
+  Catalog *catalog_;
+  TransactionManager *txn_manager_;
+  SettingsManager *settings_;
+
+  std::thread worker_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::atomic<bool> running_{false};
+};
+
+}  // namespace mb2

@@ -1,0 +1,306 @@
+#include "index/bplus_tree.h"
+
+#include <algorithm>
+
+#include "metrics/work_stats.h"
+
+namespace mb2 {
+
+int CompareKeys(const Tuple &a, const Tuple &b) {
+  WorkStats::Current().comparisons++;
+  const size_t n = std::min(a.size(), b.size());
+  for (size_t i = 0; i < n; i++) {
+    const int c = a[i].Compare(b[i]);
+    if (c != 0) return c;
+  }
+  if (a.size() == b.size()) return 0;
+  return a.size() < b.size() ? -1 : 1;
+}
+
+int BPlusTree::CompareEntry(const Entry &e, const Tuple &key, SlotId slot) {
+  const int c = CompareKeys(e.key, key);
+  if (c != 0) return c;
+  if (e.slot == slot) return 0;
+  return e.slot < slot ? -1 : 1;
+}
+
+BPlusTree::BPlusTree(IndexSchema schema) : schema_(std::move(schema)) {
+  root_ = new Node(/*leaf=*/true);
+  memory_bytes_.store(sizeof(Node), std::memory_order_relaxed);
+}
+
+BPlusTree::~BPlusTree() { FreeRecursive(root_); }
+
+void BPlusTree::FreeRecursive(Node *node) {
+  if (!node->is_leaf) {
+    for (Node *child : node->children) FreeRecursive(child);
+  }
+  delete node;
+}
+
+size_t BPlusTree::ChildIndex(const Node *node, const Tuple &key) {
+  // First separator >= key; duplicates may span children, so readers start
+  // at the leftmost candidate and walk sibling links.
+  size_t lo = 0, hi = node->entries.size();
+  while (lo < hi) {
+    const size_t mid = (lo + hi) / 2;
+    if (CompareKeys(node->entries[mid].key, key) < 0) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+namespace {
+
+/// Entry bytes for memory accounting (vector bookkeeping + key + slot).
+uint64_t EntryBytes(const Tuple &key) {
+  return 16 + TupleSize(key) + sizeof(SlotId);
+}
+
+}  // namespace
+
+void BPlusTree::SplitChild(Node *parent, size_t child_idx) {
+  Node *child = parent->children[child_idx];
+  auto *right = new Node(child->is_leaf);
+  memory_bytes_.fetch_add(sizeof(Node), std::memory_order_relaxed);
+  WorkStats &ws = WorkStats::Current();
+  ws.allocations++;
+  ws.alloc_bytes += sizeof(Node);
+
+  const size_t mid = child->entries.size() / 2;
+  Entry separator;
+  if (child->is_leaf) {
+    right->entries.assign(child->entries.begin() + mid, child->entries.end());
+    child->entries.resize(mid);
+    right->next = child->next;
+    child->next = right;
+    separator = child->entries.back();
+  } else {
+    separator = child->entries[mid];
+    right->entries.assign(child->entries.begin() + mid + 1, child->entries.end());
+    right->children.assign(child->children.begin() + mid + 1,
+                           child->children.end());
+    child->entries.resize(mid);
+    child->children.resize(mid + 1);
+  }
+  parent->entries.insert(parent->entries.begin() + child_idx, separator);
+  parent->children.insert(parent->children.begin() + child_idx + 1, right);
+}
+
+void BPlusTree::Insert(const Tuple &key, SlotId slot) {
+  WorkStats &ws = WorkStats::Current();
+  ws.tuples_processed++;
+  ws.hash_ops++;  // key digest for accounting parity with hash indexes
+
+  root_latch_.LockExclusive();
+  if (root_->entries.size() >= kFanout) {
+    auto *new_root = new Node(/*leaf=*/false);
+    memory_bytes_.fetch_add(sizeof(Node), std::memory_order_relaxed);
+    new_root->children.push_back(root_);
+    // No other writer can touch root_ while we hold root_latch_ exclusively.
+    SplitChild(new_root, 0);
+    root_ = new_root;
+  }
+  Node *node = root_;
+  node->latch.LockExclusive();
+  root_latch_.UnlockExclusive();
+
+  while (!node->is_leaf) {
+    // Find the child for (key, slot) under the full duplicate order.
+    size_t idx = 0;
+    {
+      size_t lo = 0, hi = node->entries.size();
+      while (lo < hi) {
+        const size_t mid = (lo + hi) / 2;
+        if (CompareEntry(node->entries[mid], key, slot) < 0) {
+          lo = mid + 1;
+        } else {
+          hi = mid;
+        }
+      }
+      idx = lo;
+    }
+    Node *child = node->children[idx];
+    if (!child->latch.TryLockExclusive()) {
+      ws.latch_waits++;
+      child->latch.LockExclusive();
+    }
+    if (child->entries.size() >= kFanout) {
+      SplitChild(node, idx);
+      // Re-decide direction against the new separator.
+      if (CompareEntry(node->entries[idx], key, slot) < 0) {
+        Node *right = node->children[idx + 1];
+        right->latch.LockExclusive();  // fresh node: uncontended
+        child->latch.UnlockExclusive();
+        child = right;
+      }
+    }
+    node->latch.UnlockExclusive();
+    node = child;
+  }
+
+  InsertIntoLeaf(node, key, slot);
+  node->latch.UnlockExclusive();
+  num_entries_.fetch_add(1, std::memory_order_relaxed);
+  memory_bytes_.fetch_add(EntryBytes(key), std::memory_order_relaxed);
+  ws.alloc_bytes += EntryBytes(key);
+}
+
+void BPlusTree::InsertIntoLeaf(Node *leaf, const Tuple &key, SlotId slot) {
+  auto it = std::lower_bound(
+      leaf->entries.begin(), leaf->entries.end(), key,
+      [&](const Entry &e, const Tuple &k) { return CompareEntry(e, k, slot) < 0; });
+  leaf->entries.insert(it, Entry{key, slot});
+}
+
+bool BPlusTree::Delete(const Tuple &key, SlotId slot) {
+  // Exclusive crabbing without rebalancing (lazy deletion, as in PostgreSQL
+  // nbtree): underflowed nodes are tolerated.
+  root_latch_.LockExclusive();
+  Node *node = root_;
+  node->latch.LockExclusive();
+  root_latch_.UnlockExclusive();
+  while (!node->is_leaf) {
+    size_t lo = 0, hi = node->entries.size();
+    while (lo < hi) {
+      const size_t mid = (lo + hi) / 2;
+      if (CompareEntry(node->entries[mid], key, slot) < 0) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    Node *child = node->children[lo];
+    child->latch.LockExclusive();
+    node->latch.UnlockExclusive();
+    node = child;
+  }
+  bool found = false;
+  for (auto it = node->entries.begin(); it != node->entries.end(); ++it) {
+    if (CompareEntry(*it, key, slot) == 0) {
+      node->entries.erase(it);
+      found = true;
+      break;
+    }
+  }
+  node->latch.UnlockExclusive();
+  if (found) {
+    num_entries_.fetch_sub(1, std::memory_order_relaxed);
+    memory_bytes_.fetch_sub(EntryBytes(key), std::memory_order_relaxed);
+  }
+  return found;
+}
+
+const BPlusTree::Node *BPlusTree::FindLeafShared(const Tuple &key) const {
+  root_latch_.LockShared();
+  const Node *node = root_;
+  node->latch.LockShared();
+  root_latch_.UnlockShared();
+  while (!node->is_leaf) {
+    const size_t idx = ChildIndex(node, key);
+    const Node *child = node->children[idx];
+    child->latch.LockShared();
+    node->latch.UnlockShared();
+    node = child;
+  }
+  return node;
+}
+
+void BPlusTree::ScanKey(const Tuple &key, std::vector<SlotId> *out) const {
+  const Node *leaf = FindLeafShared(key);
+  for (;;) {
+    bool past_key = false;
+    for (const Entry &e : leaf->entries) {
+      const int c = CompareKeys(e.key, key);
+      if (c == 0) {
+        out->push_back(e.slot);
+        WorkStats::Current().bytes_read += TupleSize(e.key);
+      } else if (c > 0) {
+        past_key = true;
+        break;
+      }
+    }
+    const Node *next = leaf->next;
+    if (past_key || next == nullptr) {
+      leaf->latch.UnlockShared();
+      return;
+    }
+    next->latch.LockShared();
+    leaf->latch.UnlockShared();
+    leaf = next;
+  }
+}
+
+void BPlusTree::ScanRange(const Tuple &lo, const Tuple &hi,
+                          std::vector<SlotId> *out, uint64_t limit) const {
+  const Node *leaf = FindLeafShared(lo);
+  for (;;) {
+    bool done = false;
+    for (const Entry &e : leaf->entries) {
+      if (CompareKeys(e.key, lo) < 0) continue;
+      if (CompareKeys(e.key, hi) > 0) {
+        done = true;
+        break;
+      }
+      out->push_back(e.slot);
+      WorkStats::Current().bytes_read += TupleSize(e.key);
+      if (limit != 0 && out->size() >= limit) {
+        done = true;
+        break;
+      }
+    }
+    const Node *next = leaf->next;
+    if (done || next == nullptr) {
+      leaf->latch.UnlockShared();
+      return;
+    }
+    next->latch.LockShared();
+    leaf->latch.UnlockShared();
+    leaf = next;
+  }
+}
+
+void BPlusTree::ScanPrefix(const Tuple &prefix, std::vector<SlotId> *out) const {
+  const Node *leaf = FindLeafShared(prefix);
+  const size_t plen = prefix.size();
+  for (;;) {
+    bool done = false;
+    for (const Entry &e : leaf->entries) {
+      Tuple head(e.key.begin(),
+                 e.key.begin() + std::min(plen, e.key.size()));
+      const int c = CompareKeys(head, prefix);
+      if (c < 0) continue;
+      if (c > 0) {
+        done = true;
+        break;
+      }
+      out->push_back(e.slot);
+      WorkStats::Current().bytes_read += TupleSize(e.key);
+    }
+    const Node *next = leaf->next;
+    if (done || next == nullptr) {
+      leaf->latch.UnlockShared();
+      return;
+    }
+    next->latch.LockShared();
+    leaf->latch.UnlockShared();
+    leaf = next;
+  }
+}
+
+uint32_t BPlusTree::Height() const {
+  root_latch_.LockShared();
+  uint32_t height = 1;
+  const Node *node = root_;
+  while (!node->is_leaf) {
+    height++;
+    node = node->children[0];
+  }
+  root_latch_.UnlockShared();
+  return height;
+}
+
+}  // namespace mb2

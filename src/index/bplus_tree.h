@@ -1,0 +1,106 @@
+#pragma once
+
+/// \file bplus_tree.h
+/// Concurrent in-memory B+tree mapping composite-value keys to tuple slots.
+/// Writers use exclusive latch crabbing (ancestors released once a child is
+/// split-safe); readers use shared latch coupling. The genuine latch
+/// contention under parallel inserts is what the INDEX_BUILD contending
+/// OU-model learns (Sec 4.2).
+///
+/// Keys are non-unique: entries are (key, slot) pairs ordered by key then
+/// slot, so duplicates coexist and deletes are exact.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "common/latch.h"
+#include "common/macros.h"
+#include "common/value.h"
+#include "storage/version.h"
+
+namespace mb2 {
+
+/// Lexicographic comparison of composite keys (instrumented: bumps the
+/// comparison work counter).
+int CompareKeys(const Tuple &a, const Tuple &b);
+
+class BPlusTree {
+ public:
+  static constexpr uint32_t kFanout = 64;  ///< max entries per node
+
+  explicit BPlusTree(IndexSchema schema);
+  ~BPlusTree();
+  MB2_DISALLOW_COPY_AND_MOVE(BPlusTree);
+
+  const IndexSchema &schema() const { return schema_; }
+
+  /// Inserts (key, slot). Thread-safe.
+  void Insert(const Tuple &key, SlotId slot);
+
+  /// Removes the exact (key, slot) entry; returns false if absent.
+  bool Delete(const Tuple &key, SlotId slot);
+
+  /// All slots whose key equals `key`.
+  void ScanKey(const Tuple &key, std::vector<SlotId> *out) const;
+
+  /// All slots with lo <= key <= hi, up to `limit` (0 = unlimited).
+  void ScanRange(const Tuple &lo, const Tuple &hi, std::vector<SlotId> *out,
+                 uint64_t limit = 0) const;
+
+  /// All slots whose leading columns equal `prefix`.
+  void ScanPrefix(const Tuple &prefix, std::vector<SlotId> *out) const;
+
+  /// Readiness: an index under construction is registered in the catalog
+  /// (so write paths maintain it) but must not serve reads until the
+  /// builder publishes it.
+  bool ready() const { return ready_.load(std::memory_order_acquire); }
+  void set_ready(bool ready) { ready_.store(ready, std::memory_order_release); }
+
+  uint64_t NumEntries() const { return num_entries_.load(std::memory_order_relaxed); }
+  uint32_t Height() const;
+  /// Approximate heap footprint (for the memory output label).
+  uint64_t MemoryBytes() const { return memory_bytes_.load(std::memory_order_relaxed); }
+
+ private:
+  struct Node;
+  struct Entry {
+    Tuple key;
+    SlotId slot;  // leaf: tuple slot; inner: unused
+  };
+
+  struct Node {
+    bool is_leaf;
+    mutable SharedLatch latch;
+    std::vector<Entry> entries;       // leaf payload or inner separator keys
+    std::vector<Node *> children;     // inner only: entries.size()+1 children
+    Node *next = nullptr;             // leaf sibling link
+
+    explicit Node(bool leaf) : is_leaf(leaf) {}
+  };
+
+  /// Compares (key, slot) pairs for total order among duplicates.
+  static int CompareEntry(const Entry &e, const Tuple &key, SlotId slot);
+
+  /// First child index to follow for `key` in an inner node.
+  static size_t ChildIndex(const Node *node, const Tuple &key);
+
+  void InsertIntoLeaf(Node *leaf, const Tuple &key, SlotId slot);
+  /// Splits a full child; parent must be exclusively latched and non-full.
+  void SplitChild(Node *parent, size_t child_idx);
+  void FreeRecursive(Node *node);
+
+  /// Descends to the leaf containing `key` with shared latch coupling; the
+  /// returned leaf is share-latched (caller unlocks).
+  const Node *FindLeafShared(const Tuple &key) const;
+
+  IndexSchema schema_;
+  Node *root_;
+  mutable SharedLatch root_latch_;  ///< guards the root pointer itself
+  std::atomic<uint64_t> num_entries_{0};
+  std::atomic<uint64_t> memory_bytes_{0};
+  std::atomic<bool> ready_{true};
+};
+
+}  // namespace mb2

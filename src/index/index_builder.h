@@ -1,0 +1,43 @@
+#pragma once
+
+/// \file index_builder.h
+/// Parallel index population — the paper's running example of a contending
+/// self-driving action. N worker threads insert disjoint slot ranges into
+/// the shared latched B+tree; more threads build faster but contend on
+/// upper-level latches and steal CPU from the regular workload (Figs 1, 11).
+
+#include <cstdint>
+
+#include "catalog/catalog.h"
+#include "index/bplus_tree.h"
+#include "metrics/resource_tracker.h"
+#include "txn/transaction_manager.h"
+
+namespace mb2 {
+
+struct IndexBuildStats {
+  double elapsed_us = 0.0;   ///< wall time of the whole build
+  uint64_t tuples_indexed = 0;
+  Labels labels{};           ///< combined per-thread labels (see below)
+};
+
+/// Combines per-thread labels of a parallel OU per the paper's footnote 1:
+/// elapsed time is the max across threads; resource labels are summed.
+Labels CombineParallelLabels(const std::vector<Labels> &per_thread);
+
+class IndexBuilder {
+ public:
+  /// Populates `index` from the committed contents of its base table using
+  /// `num_threads` workers. Records one INDEX_BUILD OU with the combined
+  /// labels. The snapshot is taken at call time; concurrent writers keep
+  /// maintaining the index through the executor write paths afterward.
+  static IndexBuildStats Build(Catalog *catalog, TransactionManager *txn_manager,
+                               BPlusTree *index, uint32_t num_threads);
+
+  /// Estimated distinct-key count by sampling (an INDEX_BUILD feature).
+  static double EstimateKeyCardinality(Table *table,
+                                       const std::vector<uint32_t> &key_cols,
+                                       uint64_t read_ts);
+};
+
+}  // namespace mb2

@@ -1,0 +1,91 @@
+#include "metrics/metrics_collector.h"
+
+#include <chrono>
+#include <thread>
+
+namespace mb2 {
+
+int64_t NowMicros() {
+  static const auto start = std::chrono::steady_clock::now();
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+MetricsManager &MetricsManager::Instance() {
+  static MetricsManager instance;
+  return instance;
+}
+
+MetricsManager::ThreadBuffer *MetricsManager::LocalBuffer() {
+  thread_local ThreadBuffer *buffer = [this] {
+    auto owned = std::make_unique<ThreadBuffer>();
+    ThreadBuffer *raw = owned.get();
+    std::lock_guard<std::mutex> lock(registry_mutex_);
+    buffers_.push_back(std::move(owned));
+    return raw;
+  }();
+  return buffer;
+}
+
+void MetricsManager::Record(OuType ou, FeatureVector features,
+                            const Labels &labels) {
+  if (!Enabled()) return;
+  // Hardware-context mode (Sec 8.6): CPU frequency as a trailing feature.
+  if (SimulatedHardware::AppendContextFeature()) {
+    features.push_back(SimulatedHardware::EffectiveFreqGhz());
+  }
+  ThreadBuffer *buffer = LocalBuffer();
+  OuRecord record;
+  record.ou = ou;
+  record.features = std::move(features);
+  record.labels = labels;
+  record.thread_id =
+      std::hash<std::thread::id>{}(std::this_thread::get_id());
+  record.end_time_us = NowMicros();
+  SpinLatch::ScopedLock guard(&buffer->latch);
+  buffer->records.push_back(std::move(record));
+}
+
+std::vector<OuRecord> MetricsManager::DrainAll() {
+  std::vector<OuRecord> out;
+  std::lock_guard<std::mutex> lock(registry_mutex_);
+  for (auto &buffer : buffers_) {
+    SpinLatch::ScopedLock guard(&buffer->latch);
+    out.insert(out.end(), std::make_move_iterator(buffer->records.begin()),
+               std::make_move_iterator(buffer->records.end()));
+    buffer->records.clear();
+  }
+  return out;
+}
+
+size_t MetricsManager::BufferedCount() {
+  size_t total = 0;
+  std::lock_guard<std::mutex> lock(registry_mutex_);
+  for (auto &buffer : buffers_) {
+    SpinLatch::ScopedLock guard(&buffer->latch);
+    total += buffer->records.size();
+  }
+  return total;
+}
+
+OuTrackerScope::OuTrackerScope(OuType ou, FeatureVector features)
+    : ou_(ou),
+      features_(std::move(features)),
+      record_(MetricsManager::Instance().Enabled()),
+      active_(record_ || SimulatedHardware::GetCpuFreqGhz() > 0.0) {
+  // The tracker also runs (without recording) whenever the CPU-frequency
+  // simulation is on: the slowdown is injected at Stop(), and it must apply
+  // to production-style runs too, not just training mode.
+  if (active_) tracker_.Start();
+}
+
+OuTrackerScope::~OuTrackerScope() {
+  if (!active_) return;
+  const Labels labels = tracker_.Stop();
+  if (record_) {
+    MetricsManager::Instance().Record(ou_, std::move(features_), labels);
+  }
+}
+
+}  // namespace mb2

@@ -1,0 +1,91 @@
+#pragma once
+
+/// \file metrics_collector.h
+/// Decentralized training-data collection (Sec 6.1): each worker thread
+/// records the features and labels of every OU it executes into thread-local
+/// memory; a dedicated aggregator periodically drains them into the training
+/// data repository. Tracking can be toggled globally (training mode) so
+/// production-style runs pay nothing.
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/latch.h"
+#include "common/macros.h"
+#include "metrics/resource_tracker.h"
+#include "modeling/operating_unit.h"
+
+namespace mb2 {
+
+/// One observed OU invocation: its input features and measured labels.
+struct OuRecord {
+  OuType ou = OuType::kSeqScan;
+  FeatureVector features;
+  Labels labels{};
+  uint64_t thread_id = 0;
+  int64_t end_time_us = 0;  ///< wall-clock µs since process start
+};
+
+/// Wall-clock µs since process start (shared timeline for all records).
+int64_t NowMicros();
+
+class MetricsManager {
+ public:
+  static MetricsManager &Instance();
+  MB2_DISALLOW_COPY_AND_MOVE(MetricsManager);
+
+  /// Global training-mode switch; when off, Record() is a no-op and OU
+  /// scopes skip the resource tracker entirely.
+  void SetEnabled(bool enabled) { enabled_.store(enabled, std::memory_order_relaxed); }
+  bool Enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Appends a record to the calling thread's local buffer.
+  void Record(OuType ou, FeatureVector features, const Labels &labels);
+
+  /// Aggregator: moves every thread's records out. Thread-safe.
+  std::vector<OuRecord> DrainAll();
+
+  /// Total records currently buffered (approximate under concurrency).
+  size_t BufferedCount();
+
+ private:
+  MetricsManager() = default;
+
+  struct ThreadBuffer {
+    SpinLatch latch;
+    std::vector<OuRecord> records;
+  };
+
+  ThreadBuffer *LocalBuffer();
+
+  std::mutex registry_mutex_;
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
+  std::atomic<bool> enabled_{false};
+};
+
+/// RAII scope that tracks one OU invocation and records it. Features may be
+/// finalized (or amended) before destruction via MutableFeatures(), since
+/// some features (e.g. true output cardinality during training) are only
+/// known after the work runs.
+class OuTrackerScope {
+ public:
+  OuTrackerScope(OuType ou, FeatureVector features);
+  ~OuTrackerScope();
+  MB2_DISALLOW_COPY_AND_MOVE(OuTrackerScope);
+
+  FeatureVector &MutableFeatures() { return features_; }
+  void SetMemoryBytes(double bytes) {
+    if (active_) tracker_.SetMemoryBytes(bytes);
+  }
+
+ private:
+  OuType ou_;
+  FeatureVector features_;
+  ResourceTracker tracker_;
+  bool record_;  ///< training mode: emit an OU record at scope exit
+  bool active_;  ///< tracker runs (recording, or frequency simulation)
+};
+
+}  // namespace mb2

@@ -1,0 +1,238 @@
+#include "metrics/resource_tracker.h"
+
+#include <time.h>
+
+#include <atomic>
+#include <cstring>
+
+#if defined(__linux__)
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
+#include "common/macros.h"
+
+namespace mb2 {
+
+namespace {
+
+int64_t NowWallNs() {
+  timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<int64_t>(ts.tv_sec) * 1000000000LL + ts.tv_nsec;
+}
+
+int64_t NowCpuNs() {
+  timespec ts;
+  clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+  return static_cast<int64_t>(ts.tv_sec) * 1000000000LL + ts.tv_nsec;
+}
+
+std::atomic<double> g_sim_freq_ghz{0.0};
+std::atomic<bool> g_append_context{false};
+
+}  // namespace
+
+const char *LabelName(size_t idx) {
+  static const char *kNames[kNumLabels] = {
+      "elapsed_us",  "cpu_time_us", "cycles",      "instructions", "cache_refs",
+      "cache_misses", "block_reads", "block_writes", "memory_bytes"};
+  MB2_ASSERT(idx < kNumLabels, "bad label index");
+  return kNames[idx];
+}
+
+double SimulatedHardware::GetCpuFreqGhz() {
+  return g_sim_freq_ghz.load(std::memory_order_relaxed);
+}
+
+void SimulatedHardware::SetCpuFreqGhz(double ghz) {
+  g_sim_freq_ghz.store(ghz, std::memory_order_relaxed);
+}
+
+bool SimulatedHardware::AppendContextFeature() {
+  return g_append_context.load(std::memory_order_relaxed);
+}
+
+void SimulatedHardware::SetAppendContextFeature(bool enabled) {
+  g_append_context.store(enabled, std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// perf_event group (cycles, instructions, cache refs, cache misses)
+// ---------------------------------------------------------------------------
+
+struct ResourceTracker::PerfGroup {
+#if defined(__linux__)
+  int fds[4] = {-1, -1, -1, -1};
+  uint64_t ids[4] = {0, 0, 0, 0};
+  bool valid = false;
+
+  PerfGroup() {
+    static const uint64_t kConfigs[4] = {
+        PERF_COUNT_HW_CPU_CYCLES, PERF_COUNT_HW_INSTRUCTIONS,
+        PERF_COUNT_HW_CACHE_REFERENCES, PERF_COUNT_HW_CACHE_MISSES};
+    for (int i = 0; i < 4; i++) {
+      perf_event_attr attr;
+      std::memset(&attr, 0, sizeof(attr));
+      attr.size = sizeof(attr);
+      attr.type = PERF_TYPE_HARDWARE;
+      attr.config = kConfigs[i];
+      attr.disabled = (i == 0) ? 1 : 0;
+      attr.exclude_kernel = 1;
+      attr.exclude_hv = 1;
+      attr.read_format = PERF_FORMAT_GROUP | PERF_FORMAT_ID;
+      const int group_fd = (i == 0) ? -1 : fds[0];
+      fds[i] = static_cast<int>(
+          syscall(SYS_perf_event_open, &attr, 0, -1, group_fd, 0));
+      if (fds[i] < 0) {
+        CloseAll();
+        return;
+      }
+      ioctl(fds[i], PERF_EVENT_IOC_ID, &ids[i]);
+    }
+    valid = true;
+  }
+
+  ~PerfGroup() { CloseAll(); }
+
+  void CloseAll() {
+    for (int &fd : fds) {
+      if (fd >= 0) close(fd);
+      fd = -1;
+    }
+    valid = false;
+  }
+
+  void StartCounting() {
+    ioctl(fds[0], PERF_EVENT_IOC_RESET, PERF_IOC_FLAG_GROUP);
+    ioctl(fds[0], PERF_EVENT_IOC_ENABLE, PERF_IOC_FLAG_GROUP);
+  }
+
+  /// Reads the four counters (in config order) after stopping the group.
+  bool StopCounting(uint64_t out[4]) {
+    ioctl(fds[0], PERF_EVENT_IOC_DISABLE, PERF_IOC_FLAG_GROUP);
+    struct ReadFormat {
+      uint64_t nr;
+      struct {
+        uint64_t value;
+        uint64_t id;
+      } values[8];
+    } data;
+    const ssize_t n = read(fds[0], &data, sizeof(data));
+    if (n <= 0) return false;
+    for (int i = 0; i < 4; i++) out[i] = 0;
+    for (uint64_t j = 0; j < data.nr && j < 8; j++) {
+      for (int i = 0; i < 4; i++) {
+        if (data.values[j].id == ids[i]) out[i] = data.values[j].value;
+      }
+    }
+    return true;
+  }
+#else
+  bool valid = false;
+  void StartCounting() {}
+  bool StopCounting(uint64_t[4]) { return false; }
+#endif
+};
+
+// Tracks whether any PerfGroup ever opened successfully.
+static std::atomic<int> g_perf_state{-1};  // -1 unknown, 0 unavailable, 1 ok
+
+ResourceTracker::ResourceTracker() {
+  if (g_perf_state.load(std::memory_order_relaxed) != 0) {
+    perf_ = new PerfGroup();
+    if (perf_->valid) {
+      g_perf_state.store(1, std::memory_order_relaxed);
+    } else {
+      g_perf_state.store(0, std::memory_order_relaxed);
+      delete perf_;
+      perf_ = nullptr;
+    }
+  }
+}
+
+ResourceTracker::~ResourceTracker() { delete perf_; }
+
+bool ResourceTracker::UsingPerfCounters() {
+  return g_perf_state.load(std::memory_order_relaxed) == 1;
+}
+
+void ResourceTracker::Start() {
+  memory_bytes_ = 0.0;
+  start_stats_ = WorkStats::Current();
+  if (perf_ != nullptr) perf_->StartCounting();
+  start_cpu_ns_ = NowCpuNs();
+  start_wall_ns_ = NowWallNs();
+}
+
+Labels ResourceTracker::Stop() {
+  const int64_t wall_ns = NowWallNs() - start_wall_ns_;
+  const int64_t cpu_ns = NowCpuNs() - start_cpu_ns_;
+  uint64_t counters[4] = {0, 0, 0, 0};
+  const bool have_perf = perf_ != nullptr && perf_->StopCounting(counters);
+  const WorkStats delta = WorkStats::Current().Delta(start_stats_);
+
+  // Hardware-frequency simulation: consume extra CPU proportional to the
+  // work just performed so both this OU's labels and the system-wide load
+  // reflect the slower clock.
+  double slowdown = 1.0;
+  const double freq = SimulatedHardware::GetCpuFreqGhz();
+  if (freq > 0.0 && freq < SimulatedHardware::kBaseFreqGhz) {
+    slowdown = SimulatedHardware::kBaseFreqGhz / freq;
+    const int64_t extra_ns =
+        static_cast<int64_t>(static_cast<double>(wall_ns) * (slowdown - 1.0));
+    const int64_t deadline = NowWallNs() + extra_ns;
+    while (NowWallNs() < deadline) {
+#if defined(__x86_64__)
+      __builtin_ia32_pause();
+#endif
+    }
+  }
+
+  Labels labels{};
+  labels[kLabelElapsedUs] = static_cast<double>(wall_ns) / 1000.0 * slowdown;
+  labels[kLabelCpuTimeUs] = static_cast<double>(cpu_ns) / 1000.0 * slowdown;
+
+  const double effective_ghz =
+      freq > 0.0 ? freq : SimulatedHardware::kBaseFreqGhz;
+  if (have_perf) {
+    labels[kLabelCycles] = static_cast<double>(counters[0]) * slowdown;
+    labels[kLabelInstructions] = static_cast<double>(counters[1]);
+    labels[kLabelCacheRefs] = static_cast<double>(counters[2]);
+    labels[kLabelCacheMisses] = static_cast<double>(counters[3]);
+  } else {
+    // Synthetic counter model: a fixed calibration over the instrumented
+    // work stats. Deterministic in the OU's actual work, which is exactly
+    // the function the OU-models must learn.
+    const double tuples = static_cast<double>(delta.tuples_processed);
+    const double bytes =
+        static_cast<double>(delta.bytes_read + delta.bytes_written);
+    const double hashes = static_cast<double>(delta.hash_ops);
+    const double cmps = static_cast<double>(delta.comparisons);
+    labels[kLabelCycles] =
+        labels[kLabelCpuTimeUs] * effective_ghz * 1000.0;
+    labels[kLabelInstructions] =
+        400.0 + 24.0 * tuples + 0.9 * bytes + 30.0 * hashes + 12.0 * cmps;
+    const double refs = 8.0 + bytes / 64.0 + 2.0 * hashes + cmps;
+    labels[kLabelCacheRefs] = refs;
+    // Miss ratio grows with the working set (hash tables / sort buffers)
+    // relative to a nominal 16 MB last-level cache.
+    const double working_set =
+        static_cast<double>(delta.alloc_bytes) + memory_bytes_;
+    const double kL3 = 16.0 * 1024 * 1024;
+    double miss_ratio = 0.02 + 0.6 * (working_set / (working_set + kL3));
+    labels[kLabelCacheMisses] = refs * miss_ratio;
+  }
+
+  labels[kLabelBlockReads] = 0.0;  // in-memory engine: no data-block reads
+  labels[kLabelBlockWrites] =
+      static_cast<double>(delta.log_bytes) / 4096.0;
+  labels[kLabelMemoryBytes] =
+      memory_bytes_ > 0.0 ? memory_bytes_
+                          : static_cast<double>(delta.alloc_bytes);
+  return labels;
+}
+
+}  // namespace mb2

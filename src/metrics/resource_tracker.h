@@ -1,0 +1,89 @@
+#pragma once
+
+/// \file resource_tracker.h
+/// Records the elapsed time and resource consumption of one OU invocation —
+/// the nine output labels shared by every OU-model (Sec 4.3). Uses
+/// std::chrono for wall time, CLOCK_THREAD_CPUTIME_ID for CPU time, and
+/// perf_event_open for hardware counters when the environment permits;
+/// otherwise a calibrated synthetic counter model driven by the engine's
+/// instrumented WorkStats (substitution documented in DESIGN.md).
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+#include "metrics/work_stats.h"
+
+namespace mb2 {
+
+/// Output-label indices. Identical across all OUs so the interference model
+/// can summarize arbitrary concurrent OUs (Sec 5).
+enum LabelIdx : size_t {
+  kLabelElapsedUs = 0,
+  kLabelCpuTimeUs,
+  kLabelCycles,
+  kLabelInstructions,
+  kLabelCacheRefs,
+  kLabelCacheMisses,
+  kLabelBlockReads,
+  kLabelBlockWrites,
+  kLabelMemoryBytes,
+  kNumLabels,
+};
+
+using Labels = std::array<double, kNumLabels>;
+
+const char *LabelName(size_t idx);
+
+/// Global simulated-hardware context. When `cpu_freq_ghz` is non-zero and
+/// below the calibration base frequency, every tracked OU is slowed
+/// proportionally (a busy-wait that really consumes CPU, so concurrent
+/// interference stays genuine). This substitutes for the paper's CPU power
+/// governor sweep (Sec 8.6), which cannot be set inside a container.
+struct SimulatedHardware {
+  static double GetCpuFreqGhz();
+  static void SetCpuFreqGhz(double ghz);  ///< 0 disables simulation
+  static constexpr double kBaseFreqGhz = 3.0;
+
+  /// Frequency the system is (simulated to be) running at.
+  static double EffectiveFreqGhz() {
+    const double f = GetCpuFreqGhz();
+    return f > 0.0 ? f : kBaseFreqGhz;
+  }
+
+  /// Hardware-context mode (Sec 8.6): when on, the CPU frequency is appended
+  /// as an extra input feature to every recorded OU and every translated OU,
+  /// so one model set generalizes across frequencies.
+  static bool AppendContextFeature();
+  static void SetAppendContextFeature(bool enabled);
+};
+
+/// Scoped tracker: Start() snapshots clocks/counters, Stop() produces the
+/// label vector for the work in between. One tracker per thread per OU
+/// invocation; cheap enough (~µs) to wrap every OU.
+class ResourceTracker {
+ public:
+  ResourceTracker();
+  ~ResourceTracker();
+
+  void Start();
+  Labels Stop();
+
+  /// True when real perf counters are being used (vs. the synthetic model).
+  static bool UsingPerfCounters();
+
+  /// Extra memory (bytes) to report for this invocation, set by operators
+  /// that know their data-structure footprint (hash tables, sorters).
+  void SetMemoryBytes(double bytes) { memory_bytes_ = bytes; }
+
+ private:
+  struct PerfGroup;  // pimpl for perf_event fds
+
+  int64_t start_wall_ns_ = 0;
+  int64_t start_cpu_ns_ = 0;
+  WorkStats start_stats_;
+  double memory_bytes_ = 0.0;
+  PerfGroup *perf_ = nullptr;
+};
+
+}  // namespace mb2

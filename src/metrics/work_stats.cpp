@@ -1,0 +1,10 @@
+#include "metrics/work_stats.h"
+
+namespace mb2 {
+
+WorkStats &WorkStats::Current() {
+  thread_local WorkStats stats;
+  return stats;
+}
+
+}  // namespace mb2

@@ -1,0 +1,42 @@
+#pragma once
+
+/// \file work_stats.h
+/// Thread-local work counters incremented by the engine's hot paths. Two
+/// consumers: (1) the resource tracker's synthetic hardware-counter model
+/// (when perf counters are unavailable in the environment), and (2) memory
+/// accounting for the memory_bytes output label.
+
+#include <cstdint>
+
+namespace mb2 {
+
+struct WorkStats {
+  uint64_t tuples_processed = 0;  ///< tuples touched by operators
+  uint64_t bytes_read = 0;        ///< payload bytes read
+  uint64_t bytes_written = 0;     ///< payload bytes written (incl. WAL)
+  uint64_t hash_ops = 0;          ///< hash computations + probes
+  uint64_t comparisons = 0;       ///< key comparisons (sort, B+tree)
+  uint64_t allocations = 0;       ///< tracked allocations
+  uint64_t alloc_bytes = 0;       ///< bytes allocated (memory label source)
+  uint64_t log_bytes = 0;         ///< bytes written to the WAL device
+  uint64_t latch_waits = 0;       ///< contended latch acquisitions
+
+  /// The calling thread's stats instance.
+  static WorkStats &Current();
+
+  WorkStats Delta(const WorkStats &since) const {
+    WorkStats d;
+    d.tuples_processed = tuples_processed - since.tuples_processed;
+    d.bytes_read = bytes_read - since.bytes_read;
+    d.bytes_written = bytes_written - since.bytes_written;
+    d.hash_ops = hash_ops - since.hash_ops;
+    d.comparisons = comparisons - since.comparisons;
+    d.allocations = allocations - since.allocations;
+    d.alloc_bytes = alloc_bytes - since.alloc_bytes;
+    d.log_bytes = log_bytes - since.log_bytes;
+    d.latch_waits = latch_waits - since.latch_waits;
+    return d;
+  }
+};
+
+}  // namespace mb2

@@ -1,0 +1,179 @@
+#include "ml/decision_tree.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mb2 {
+
+uint64_t DecisionTree::NumLeafValueBytes() const {
+  uint64_t bytes = 0;
+  for (const auto &n : nodes_) bytes += n.leaf.size() * sizeof(double);
+  return bytes;
+}
+
+void DecisionTree::Fit(const Matrix &x, const Matrix &y) {
+  std::vector<size_t> rows(x.rows());
+  for (size_t i = 0; i < rows.size(); i++) rows[i] = i;
+  FitRows(x, y, rows);
+}
+
+void DecisionTree::FitRows(const Matrix &x, const Matrix &y,
+                           const std::vector<size_t> &rows) {
+  nodes_.clear();
+  const size_t k = y.cols();
+  // Per-output scaling so the split criterion is scale-free.
+  output_scale_.assign(k, 1.0);
+  for (size_t j = 0; j < k; j++) {
+    double mean = 0.0, var = 0.0;
+    for (size_t r : rows) mean += y.At(r, j);
+    mean /= std::max<size_t>(rows.size(), 1);
+    for (size_t r : rows) {
+      const double d = y.At(r, j) - mean;
+      var += d * d;
+    }
+    var /= std::max<size_t>(rows.size(), 1);
+    output_scale_[j] = var < 1e-18 ? 0.0 : 1.0 / var;
+  }
+  std::vector<size_t> mutable_rows = rows;
+  Build(x, y, &mutable_rows, 0);
+}
+
+std::vector<double> DecisionTree::MeanOf(const Matrix &y,
+                                         const std::vector<size_t> &rows) const {
+  std::vector<double> mean(y.cols(), 0.0);
+  for (size_t r : rows) {
+    for (size_t j = 0; j < y.cols(); j++) mean[j] += y.At(r, j);
+  }
+  for (auto &m : mean) m /= std::max<size_t>(rows.size(), 1);
+  return mean;
+}
+
+int32_t DecisionTree::Build(const Matrix &x, const Matrix &y,
+                            std::vector<size_t> *rows, uint32_t depth) {
+  const size_t n = rows->size();
+  const size_t d = x.cols();
+  const size_t k = y.cols();
+  const int32_t node_id = static_cast<int32_t>(nodes_.size());
+  nodes_.emplace_back();
+
+  if (depth >= params_.max_depth || n < 2 * params_.min_samples_leaf) {
+    nodes_[node_id].leaf = MeanOf(y, *rows);
+    return node_id;
+  }
+
+  // Total sums for parent impurity bookkeeping.
+  std::vector<double> total_sum(k, 0.0), total_sq(k, 0.0);
+  for (size_t r : *rows) {
+    for (size_t j = 0; j < k; j++) {
+      const double v = y.At(r, j);
+      total_sum[j] += v;
+      total_sq[j] += v * v;
+    }
+  }
+  auto impurity = [&](const std::vector<double> &sum,
+                      const std::vector<double> &sq, double count) {
+    // Scaled SSE: sum_j scale_j * (sq_j - sum_j^2 / count).
+    if (count <= 0.0) return 0.0;
+    double out = 0.0;
+    for (size_t j = 0; j < k; j++) {
+      out += output_scale_[j] * (sq[j] - sum[j] * sum[j] / count);
+    }
+    return out;
+  };
+  const double parent_impurity = impurity(total_sum, total_sq, static_cast<double>(n));
+
+  // Candidate features (random subset for forests).
+  std::vector<size_t> features(d);
+  for (size_t i = 0; i < d; i++) features[i] = i;
+  size_t n_features = d;
+  if (params_.feature_fraction < 1.0) {
+    rng_.Shuffle(&features);
+    n_features = std::max<size_t>(
+        1, static_cast<size_t>(std::ceil(params_.feature_fraction *
+                                         static_cast<double>(d))));
+  }
+
+  double best_gain = 1e-12;
+  int32_t best_feature = -1;
+  double best_threshold = 0.0;
+
+  std::vector<std::pair<double, size_t>> sorted(n);
+  std::vector<double> left_sum(k), left_sq(k);
+  for (size_t fi = 0; fi < n_features; fi++) {
+    const size_t f = features[fi];
+    for (size_t i = 0; i < n; i++) {
+      sorted[i] = {x.At((*rows)[i], f), (*rows)[i]};
+    }
+    std::sort(sorted.begin(), sorted.end());
+    if (sorted.front().first == sorted.back().first) continue;  // constant
+
+    std::fill(left_sum.begin(), left_sum.end(), 0.0);
+    std::fill(left_sq.begin(), left_sq.end(), 0.0);
+    const size_t stride = std::max<size_t>(1, n / params_.max_thresholds);
+    for (size_t i = 0; i + 1 < n; i++) {
+      const size_t r = sorted[i].second;
+      for (size_t j = 0; j < k; j++) {
+        const double v = y.At(r, j);
+        left_sum[j] += v;
+        left_sq[j] += v * v;
+      }
+      // Only evaluate at stride boundaries where the value actually changes.
+      if ((i + 1) % stride != 0) continue;
+      if (sorted[i].first == sorted[i + 1].first) continue;
+      const size_t nl = i + 1, nr = n - nl;
+      if (nl < params_.min_samples_leaf || nr < params_.min_samples_leaf) continue;
+      std::vector<double> right_sum(k), right_sq(k);
+      for (size_t j = 0; j < k; j++) {
+        right_sum[j] = total_sum[j] - left_sum[j];
+        right_sq[j] = total_sq[j] - left_sq[j];
+      }
+      const double gain = parent_impurity -
+                          impurity(left_sum, left_sq, static_cast<double>(nl)) -
+                          impurity(right_sum, right_sq, static_cast<double>(nr));
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_feature = static_cast<int32_t>(f);
+        best_threshold = 0.5 * (sorted[i].first + sorted[i + 1].first);
+      }
+    }
+  }
+
+  if (best_feature < 0) {
+    nodes_[node_id].leaf = MeanOf(y, *rows);
+    return node_id;
+  }
+
+  std::vector<size_t> left_rows, right_rows;
+  left_rows.reserve(n);
+  right_rows.reserve(n);
+  for (size_t r : *rows) {
+    if (x.At(r, static_cast<size_t>(best_feature)) <= best_threshold) {
+      left_rows.push_back(r);
+    } else {
+      right_rows.push_back(r);
+    }
+  }
+  rows->clear();
+  rows->shrink_to_fit();
+
+  const int32_t left_id = Build(x, y, &left_rows, depth + 1);
+  const int32_t right_id = Build(x, y, &right_rows, depth + 1);
+  nodes_[node_id].feature = best_feature;
+  nodes_[node_id].threshold = best_threshold;
+  nodes_[node_id].left = left_id;
+  nodes_[node_id].right = right_id;
+  return node_id;
+}
+
+std::vector<double> DecisionTree::Predict(const std::vector<double> &x) const {
+  MB2_ASSERT(!nodes_.empty(), "predict before fit");
+  int32_t id = 0;
+  for (;;) {
+    const Node &node = nodes_[id];
+    if (node.feature < 0) return node.leaf;
+    id = x[static_cast<size_t>(node.feature)] <= node.threshold ? node.left
+                                                                : node.right;
+  }
+}
+
+}  // namespace mb2

@@ -1,0 +1,61 @@
+#pragma once
+
+/// \file decision_tree.h
+/// Multi-output CART regression tree. Splits minimize the summed per-output
+/// SSE, with each output scaled by its global variance so labels with large
+/// magnitudes (cycles) don't drown out small ones (block writes). Shared by
+/// the random forest and gradient boosting ensembles.
+
+#include "common/rng.h"
+#include "ml/regressor.h"
+
+namespace mb2 {
+
+struct TreeParams {
+  uint32_t max_depth = 12;
+  size_t min_samples_leaf = 4;
+  size_t max_thresholds = 32;    ///< split candidates evaluated per feature
+  double feature_fraction = 1.0; ///< fraction of features tried per node
+};
+
+class DecisionTree : public Regressor {
+ public:
+  explicit DecisionTree(TreeParams params = {}, uint64_t seed = 42)
+      : params_(params), rng_(seed) {}
+
+  void Fit(const Matrix &x, const Matrix &y) override;
+  /// Fits on a subset of rows (bootstrap support for ensembles).
+  void FitRows(const Matrix &x, const Matrix &y, const std::vector<size_t> &rows);
+
+  std::vector<double> Predict(const std::vector<double> &x) const override;
+  MlAlgorithm algorithm() const override { return MlAlgorithm::kRandomForest; }
+  uint64_t SerializedBytes() const override {
+    return nodes_.size() * (sizeof(Node) - sizeof(std::vector<double>)) +
+           NumLeafValueBytes() + 64;
+  }
+
+  void Save(BinaryWriter *writer) const override;
+  void LoadFrom(BinaryReader *reader) override;
+
+  size_t NumNodes() const { return nodes_.size(); }
+
+ private:
+  struct Node {
+    int32_t feature = -1;  ///< -1 = leaf
+    double threshold = 0.0;
+    int32_t left = -1, right = -1;
+    std::vector<double> leaf;  ///< mean target vector (leaves only)
+  };
+
+  uint64_t NumLeafValueBytes() const;
+  int32_t Build(const Matrix &x, const Matrix &y, std::vector<size_t> *rows,
+                uint32_t depth);
+  std::vector<double> MeanOf(const Matrix &y, const std::vector<size_t> &rows) const;
+
+  TreeParams params_;
+  Rng rng_;
+  std::vector<Node> nodes_;
+  std::vector<double> output_scale_;  ///< 1/var per output for split scoring
+};
+
+}  // namespace mb2

@@ -1,0 +1,70 @@
+#include "ml/huber_regression.h"
+
+#include <cmath>
+
+namespace mb2 {
+
+void HuberRegression::Fit(const Matrix &x, const Matrix &y) {
+  const size_t n = x.rows(), d = x.cols(), k = y.cols();
+  x_std_.Fit(x);
+  const Matrix xs = x_std_.TransformAll(x);
+  const size_t dim = d + 1;
+  weights_ = Matrix(dim, k);
+
+  for (size_t out = 0; out < k; out++) {
+    std::vector<double> w(dim, 0.0);
+    std::vector<double> sample_weight(n, 1.0);
+    // Scale of this output: used to make delta meaningful across labels
+    // with wildly different magnitudes.
+    double scale = 0.0;
+    for (size_t r = 0; r < n; r++) scale += std::fabs(y.At(r, out));
+    scale = scale / std::max<size_t>(n, 1) + 1e-9;
+
+    for (uint32_t iter = 0; iter < iterations_; iter++) {
+      // Weighted least squares with the current sample weights.
+      Matrix a(dim, dim);
+      std::vector<double> b(dim, 0.0);
+      for (size_t r = 0; r < n; r++) {
+        const double sw = sample_weight[r];
+        const double *row = xs.RowPtr(r);
+        const double target = y.At(r, out);
+        for (size_t i = 0; i < d; i++) {
+          for (size_t j = i; j < d; j++) a.At(i, j) += sw * row[i] * row[j];
+          a.At(i, d) += sw * row[i];
+          b[i] += sw * row[i] * target;
+        }
+        a.At(d, d) += sw;
+        b[d] += sw * target;
+      }
+      for (size_t i = 0; i < dim; i++) {
+        for (size_t j = 0; j < i; j++) a.At(i, j) = a.At(j, i);
+        a.At(i, i) += 1e-6;
+      }
+      if (!SolveLinearSystem(a, b, &w)) break;
+
+      // Reweight by Huber psi: w_i = min(1, delta / |r_i / scale|).
+      for (size_t r = 0; r < n; r++) {
+        const double *row = xs.RowPtr(r);
+        double pred = w[d];
+        for (size_t i = 0; i < d; i++) pred += w[i] * row[i];
+        const double resid = std::fabs(y.At(r, out) - pred) / scale;
+        sample_weight[r] = resid <= delta_ ? 1.0 : delta_ / resid;
+      }
+    }
+    for (size_t i = 0; i < dim; i++) weights_.At(i, out) = w[i];
+  }
+}
+
+std::vector<double> HuberRegression::Predict(const std::vector<double> &x) const {
+  const std::vector<double> xs = x_std_.Transform(x);
+  const size_t d = xs.size(), k = weights_.cols();
+  std::vector<double> out(k, 0.0);
+  for (size_t j = 0; j < k; j++) {
+    double sum = weights_.At(d, j);
+    for (size_t i = 0; i < d; i++) sum += weights_.At(i, j) * xs[i];
+    out[j] = sum;
+  }
+  return out;
+}
+
+}  // namespace mb2

@@ -1,0 +1,33 @@
+#pragma once
+
+/// \file huber_regression.h
+/// Huber-loss linear regression via iteratively reweighted least squares —
+/// robust to the measurement outliers that short-running OUs produce.
+
+#include "ml/linear_regression.h"
+
+namespace mb2 {
+
+class HuberRegression : public Regressor {
+ public:
+  explicit HuberRegression(double delta = 1.35, uint32_t iterations = 15)
+      : delta_(delta), iterations_(iterations) {}
+
+  void Fit(const Matrix &x, const Matrix &y) override;
+  std::vector<double> Predict(const std::vector<double> &x) const override;
+  MlAlgorithm algorithm() const override { return MlAlgorithm::kHuber; }
+  uint64_t SerializedBytes() const override {
+    return weights_.rows() * weights_.cols() * sizeof(double) + 64;
+  }
+
+  void Save(BinaryWriter *writer) const override;
+  void LoadFrom(BinaryReader *reader) override;
+
+ private:
+  double delta_;
+  uint32_t iterations_;
+  Standardizer x_std_;
+  Matrix weights_;  ///< (d+1) × k
+};
+
+}  // namespace mb2

@@ -1,0 +1,51 @@
+#include "ml/kernel_regression.h"
+
+#include <cmath>
+
+namespace mb2 {
+
+void KernelRegression::Fit(const Matrix &x, const Matrix &y) {
+  x_std_.Fit(x);
+  const size_t n = x.rows();
+  std::vector<size_t> idx(n);
+  for (size_t i = 0; i < n; i++) idx[i] = i;
+  if (n > max_points_) {
+    rng_.Shuffle(&idx);
+    idx.resize(max_points_);
+  }
+  x_ = x_std_.TransformAll(x).SelectRows(idx);
+  y_ = y.SelectRows(idx);
+}
+
+std::vector<double> KernelRegression::Predict(const std::vector<double> &x) const {
+  const std::vector<double> q = x_std_.Transform(x);
+  const size_t n = x_.rows(), d = x_.cols(), k = y_.cols();
+  std::vector<double> out(k, 0.0);
+  if (n == 0) return out;
+
+  const double inv_2h2 = 1.0 / (2.0 * bandwidth_ * bandwidth_ *
+                                static_cast<double>(d));
+  double weight_sum = 0.0;
+  double best_dist = 1e300;
+  size_t best_row = 0;
+  for (size_t r = 0; r < n; r++) {
+    const double *row = x_.RowPtr(r);
+    double dist2 = 0.0;
+    for (size_t c = 0; c < d; c++) {
+      const double dlt = row[c] - q[c];
+      dist2 += dlt * dlt;
+    }
+    if (dist2 < best_dist) {
+      best_dist = dist2;
+      best_row = r;
+    }
+    const double w = std::exp(-dist2 * inv_2h2);
+    weight_sum += w;
+    for (size_t j = 0; j < k; j++) out[j] += w * y_.At(r, j);
+  }
+  if (weight_sum < 1e-30) return y_.Row(best_row);  // far from all data: 1-NN
+  for (size_t j = 0; j < k; j++) out[j] /= weight_sum;
+  return out;
+}
+
+}  // namespace mb2

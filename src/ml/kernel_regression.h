@@ -1,0 +1,37 @@
+#pragma once
+
+/// \file kernel_regression.h
+/// Nadaraya-Watson kernel regression with a Gaussian kernel over
+/// standardized features. Non-parametric: keeps a (subsampled) copy of the
+/// training set and predicts the kernel-weighted mean of neighbors.
+
+#include "common/rng.h"
+#include "ml/regressor.h"
+
+namespace mb2 {
+
+class KernelRegression : public Regressor {
+ public:
+  explicit KernelRegression(double bandwidth = 0.5, size_t max_points = 2000,
+                            uint64_t seed = 42)
+      : bandwidth_(bandwidth), max_points_(max_points), rng_(seed) {}
+
+  void Fit(const Matrix &x, const Matrix &y) override;
+  std::vector<double> Predict(const std::vector<double> &x) const override;
+  MlAlgorithm algorithm() const override { return MlAlgorithm::kKernel; }
+  uint64_t SerializedBytes() const override {
+    return (x_.rows() * x_.cols() + y_.rows() * y_.cols()) * sizeof(double) + 64;
+  }
+
+  void Save(BinaryWriter *writer) const override;
+  void LoadFrom(BinaryReader *reader) override;
+
+ private:
+  double bandwidth_;
+  size_t max_points_;
+  Rng rng_;
+  Standardizer x_std_;
+  Matrix x_, y_;  ///< retained (standardized) training points
+};
+
+}  // namespace mb2

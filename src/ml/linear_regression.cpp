@@ -1,0 +1,55 @@
+#include "ml/linear_regression.h"
+
+namespace mb2 {
+
+void LinearRegression::Fit(const Matrix &x, const Matrix &y) {
+  const size_t n = x.rows(), d = x.cols(), k = y.cols();
+  x_std_.Fit(x);
+  const Matrix xs = x_std_.TransformAll(x);
+
+  // Normal equations with bias: A = Z^T Z + λI where Z = [xs | 1].
+  const size_t dim = d + 1;
+  Matrix a(dim, dim);
+  for (size_t r = 0; r < n; r++) {
+    const double *row = xs.RowPtr(r);
+    for (size_t i = 0; i < d; i++) {
+      for (size_t j = i; j < d; j++) a.At(i, j) += row[i] * row[j];
+      a.At(i, d) += row[i];
+    }
+  }
+  for (size_t i = 0; i < d; i++) {
+    for (size_t j = 0; j < i; j++) a.At(i, j) = a.At(j, i);
+    a.At(d, i) = a.At(i, d);
+  }
+  a.At(d, d) = static_cast<double>(n);
+  for (size_t i = 0; i < dim; i++) a.At(i, i) += l2_;
+
+  weights_ = Matrix(dim, k);
+  for (size_t out = 0; out < k; out++) {
+    std::vector<double> b(dim, 0.0);
+    for (size_t r = 0; r < n; r++) {
+      const double target = y.At(r, out);
+      const double *row = xs.RowPtr(r);
+      for (size_t i = 0; i < d; i++) b[i] += row[i] * target;
+      b[d] += target;
+    }
+    std::vector<double> w;
+    if (SolveLinearSystem(a, b, &w)) {
+      for (size_t i = 0; i < dim; i++) weights_.At(i, out) = w[i];
+    }
+  }
+}
+
+std::vector<double> LinearRegression::Predict(const std::vector<double> &x) const {
+  const std::vector<double> xs = x_std_.Transform(x);
+  const size_t d = xs.size(), k = weights_.cols();
+  std::vector<double> out(k, 0.0);
+  for (size_t j = 0; j < k; j++) {
+    double sum = weights_.At(d, j);  // bias
+    for (size_t i = 0; i < d; i++) sum += weights_.At(i, j) * xs[i];
+    out[j] = sum;
+  }
+  return out;
+}
+
+}  // namespace mb2

@@ -1,0 +1,116 @@
+#include "ml/matrix.h"
+
+#include <cmath>
+
+namespace mb2 {
+
+Matrix Matrix::FromRows(const std::vector<std::vector<double>> &rows) {
+  if (rows.empty()) return Matrix();
+  Matrix m(rows.size(), rows[0].size());
+  for (size_t r = 0; r < rows.size(); r++) {
+    MB2_ASSERT(rows[r].size() == m.cols_, "ragged rows");
+    for (size_t c = 0; c < m.cols_; c++) m.At(r, c) = rows[r][c];
+  }
+  return m;
+}
+
+std::vector<double> Matrix::Col(size_t c) const {
+  std::vector<double> out(rows_);
+  for (size_t r = 0; r < rows_; r++) out[r] = At(r, c);
+  return out;
+}
+
+Matrix Matrix::SelectRows(const std::vector<size_t> &idx) const {
+  Matrix out(idx.size(), cols_);
+  for (size_t i = 0; i < idx.size(); i++) {
+    const double *src = RowPtr(idx[i]);
+    double *dst = out.RowPtr(i);
+    for (size_t c = 0; c < cols_; c++) dst[c] = src[c];
+  }
+  return out;
+}
+
+void Matrix::AppendRow(const std::vector<double> &row) {
+  if (rows_ == 0 && cols_ == 0) cols_ = row.size();
+  MB2_ASSERT(row.size() == cols_, "row width mismatch");
+  data_.insert(data_.end(), row.begin(), row.end());
+  rows_++;
+}
+
+bool SolveLinearSystem(Matrix a, std::vector<double> b, std::vector<double> *x) {
+  const size_t n = a.rows();
+  MB2_ASSERT(a.cols() == n && b.size() == n, "not a square system");
+  for (size_t col = 0; col < n; col++) {
+    // Partial pivot.
+    size_t pivot = col;
+    for (size_t r = col + 1; r < n; r++) {
+      if (std::fabs(a.At(r, col)) > std::fabs(a.At(pivot, col))) pivot = r;
+    }
+    if (std::fabs(a.At(pivot, col)) < 1e-12) return false;
+    if (pivot != col) {
+      for (size_t c = 0; c < n; c++) std::swap(a.At(col, c), a.At(pivot, c));
+      std::swap(b[col], b[pivot]);
+    }
+    const double diag = a.At(col, col);
+    for (size_t r = col + 1; r < n; r++) {
+      const double factor = a.At(r, col) / diag;
+      if (factor == 0.0) continue;
+      for (size_t c = col; c < n; c++) a.At(r, c) -= factor * a.At(col, c);
+      b[r] -= factor * b[col];
+    }
+  }
+  x->assign(n, 0.0);
+  for (size_t ri = n; ri-- > 0;) {
+    double sum = b[ri];
+    for (size_t c = ri + 1; c < n; c++) sum -= a.At(ri, c) * (*x)[c];
+    (*x)[ri] = sum / a.At(ri, ri);
+  }
+  return true;
+}
+
+void Standardizer::Fit(const Matrix &x) {
+  const size_t n = x.rows(), d = x.cols();
+  mean_.assign(d, 0.0);
+  stddev_.assign(d, 1.0);
+  if (n == 0) return;
+  for (size_t r = 0; r < n; r++) {
+    for (size_t c = 0; c < d; c++) mean_[c] += x.At(r, c);
+  }
+  for (size_t c = 0; c < d; c++) mean_[c] /= static_cast<double>(n);
+  std::vector<double> var(d, 0.0);
+  for (size_t r = 0; r < n; r++) {
+    for (size_t c = 0; c < d; c++) {
+      const double dlt = x.At(r, c) - mean_[c];
+      var[c] += dlt * dlt;
+    }
+  }
+  for (size_t c = 0; c < d; c++) {
+    const double s = std::sqrt(var[c] / static_cast<double>(n));
+    stddev_[c] = s < 1e-12 ? 1.0 : s;
+  }
+}
+
+std::vector<double> Standardizer::Transform(const std::vector<double> &row) const {
+  std::vector<double> out(row.size());
+  for (size_t c = 0; c < row.size(); c++) out[c] = (row[c] - mean_[c]) / stddev_[c];
+  return out;
+}
+
+Matrix Standardizer::TransformAll(const Matrix &x) const {
+  Matrix out(x.rows(), x.cols());
+  for (size_t r = 0; r < x.rows(); r++) {
+    for (size_t c = 0; c < x.cols(); c++) {
+      out.At(r, c) = (x.At(r, c) - mean_[c]) / stddev_[c];
+    }
+  }
+  return out;
+}
+
+std::vector<double> Standardizer::InverseTransform(
+    const std::vector<double> &row) const {
+  std::vector<double> out(row.size());
+  for (size_t c = 0; c < row.size(); c++) out[c] = row[c] * stddev_[c] + mean_[c];
+  return out;
+}
+
+}  // namespace mb2

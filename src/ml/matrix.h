@@ -1,0 +1,75 @@
+#pragma once
+
+/// \file matrix.h
+/// Dense row-major matrix plus the small linear-algebra kit the regressors
+/// need (Gaussian-elimination solve, standardization). OU-model problems are
+/// tiny (≤ ~11 features), so clarity beats BLAS here.
+
+#include <cstddef>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace mb2 {
+
+class Matrix {
+ public:
+  Matrix() : rows_(0), cols_(0) {}
+  Matrix(size_t rows, size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  static Matrix FromRows(const std::vector<std::vector<double>> &rows);
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+
+  double &At(size_t r, size_t c) { return data_[r * cols_ + c]; }
+  double At(size_t r, size_t c) const { return data_[r * cols_ + c]; }
+
+  double *RowPtr(size_t r) { return data_.data() + r * cols_; }
+  const double *RowPtr(size_t r) const { return data_.data() + r * cols_; }
+
+  std::vector<double> Row(size_t r) const {
+    return {RowPtr(r), RowPtr(r) + cols_};
+  }
+  std::vector<double> Col(size_t c) const;
+
+  /// Returns the sub-matrix made of the given row indexes.
+  Matrix SelectRows(const std::vector<size_t> &idx) const;
+
+  void AppendRow(const std::vector<double> &row);
+
+  const std::vector<double> &data() const { return data_; }
+
+ private:
+  size_t rows_, cols_;
+  std::vector<double> data_;
+};
+
+/// Solves the square system A x = b in place via Gaussian elimination with
+/// partial pivoting. Returns false on a singular system.
+bool SolveLinearSystem(Matrix a, std::vector<double> b, std::vector<double> *x);
+
+/// Z-score standardization fit on training data and reused at inference.
+class Standardizer {
+ public:
+  void Fit(const Matrix &x);
+  std::vector<double> Transform(const std::vector<double> &row) const;
+  Matrix TransformAll(const Matrix &x) const;
+  /// Undo for a single standardized output vector.
+  std::vector<double> InverseTransform(const std::vector<double> &row) const;
+
+  const std::vector<double> &mean() const { return mean_; }
+  const std::vector<double> &stddev() const { return stddev_; }
+
+  /// Restores a fitted state (model persistence).
+  void SetState(std::vector<double> mean, std::vector<double> stddev) {
+    mean_ = std::move(mean);
+    stddev_ = std::move(stddev);
+  }
+
+ private:
+  std::vector<double> mean_, stddev_;
+};
+
+}  // namespace mb2

@@ -1,0 +1,128 @@
+#include "ml/model_selection.h"
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "ml/gradient_boosting.h"
+#include "ml/huber_regression.h"
+#include "ml/kernel_regression.h"
+#include "ml/linear_regression.h"
+#include "ml/neural_network.h"
+#include "ml/random_forest.h"
+#include "ml/svr.h"
+
+namespace mb2 {
+
+const char *MlAlgorithmName(MlAlgorithm algo) {
+  switch (algo) {
+    case MlAlgorithm::kLinear: return "LinearRegression";
+    case MlAlgorithm::kHuber: return "HuberRegression";
+    case MlAlgorithm::kSvr: return "SVR";
+    case MlAlgorithm::kKernel: return "KernelRegression";
+    case MlAlgorithm::kRandomForest: return "RandomForest";
+    case MlAlgorithm::kGradientBoosting: return "GradientBoosting";
+    case MlAlgorithm::kNeuralNetwork: return "NeuralNetwork";
+  }
+  return "Unknown";
+}
+
+std::unique_ptr<Regressor> CreateRegressor(MlAlgorithm algo, uint64_t seed) {
+  switch (algo) {
+    case MlAlgorithm::kLinear: return std::make_unique<LinearRegression>();
+    case MlAlgorithm::kHuber: return std::make_unique<HuberRegression>();
+    case MlAlgorithm::kSvr:
+      return std::make_unique<SupportVectorRegression>(0.05, 1e-4, 40, seed);
+    case MlAlgorithm::kKernel:
+      return std::make_unique<KernelRegression>(0.5, 2000, seed);
+    case MlAlgorithm::kRandomForest:
+      return std::make_unique<RandomForest>(50, RandomForest::DefaultParams(), seed);
+    case MlAlgorithm::kGradientBoosting:
+      return std::make_unique<GradientBoosting>(
+          80, 0.1, GradientBoosting::DefaultParams(), seed);
+    case MlAlgorithm::kNeuralNetwork:
+      return std::make_unique<NeuralNetwork>(std::vector<size_t>{25, 25}, 120,
+                                             32, 1e-3, seed);
+  }
+  return nullptr;
+}
+
+std::vector<MlAlgorithm> AllAlgorithms() {
+  return {MlAlgorithm::kLinear,       MlAlgorithm::kHuber,
+          MlAlgorithm::kSvr,          MlAlgorithm::kKernel,
+          MlAlgorithm::kRandomForest, MlAlgorithm::kGradientBoosting,
+          MlAlgorithm::kNeuralNetwork};
+}
+
+TrainTestSplit SplitData(const Matrix &x, const Matrix &y, double test_fraction,
+                         uint64_t seed) {
+  const size_t n = x.rows();
+  std::vector<size_t> idx(n);
+  for (size_t i = 0; i < n; i++) idx[i] = i;
+  Rng rng(seed);
+  rng.Shuffle(&idx);
+  const size_t n_test = static_cast<size_t>(test_fraction * static_cast<double>(n));
+  std::vector<size_t> test_idx(idx.begin(), idx.begin() + n_test);
+  std::vector<size_t> train_idx(idx.begin() + n_test, idx.end());
+  TrainTestSplit split;
+  split.x_train = x.SelectRows(train_idx);
+  split.y_train = y.SelectRows(train_idx);
+  split.x_test = x.SelectRows(test_idx);
+  split.y_test = y.SelectRows(test_idx);
+  return split;
+}
+
+std::vector<double> PerOutputRelativeError(const Regressor &model,
+                                           const Matrix &x, const Matrix &y) {
+  const size_t k = y.cols();
+  std::vector<double> sums(k, 0.0);
+  std::vector<size_t> counts(k, 0);
+  for (size_t r = 0; r < x.rows(); r++) {
+    const std::vector<double> pred = model.Predict(x.Row(r));
+    for (size_t j = 0; j < k; j++) {
+      const double actual = y.At(r, j);
+      if (std::fabs(actual) < 1e-9) continue;
+      sums[j] += std::fabs(actual - pred[j]) / std::fabs(actual);
+      counts[j]++;
+    }
+  }
+  std::vector<double> out(k, 0.0);
+  for (size_t j = 0; j < k; j++) {
+    out[j] = counts[j] == 0 ? 0.0 : sums[j] / static_cast<double>(counts[j]);
+  }
+  return out;
+}
+
+double AvgRelativeError(const Regressor &model, const Matrix &x, const Matrix &y) {
+  const std::vector<double> per_output = PerOutputRelativeError(model, x, y);
+  double sum = 0.0;
+  size_t counted = 0;
+  for (double e : per_output) {
+    sum += e;
+    counted++;
+  }
+  return counted == 0 ? 0.0 : sum / static_cast<double>(counted);
+}
+
+SelectionResult SelectAndTrain(const Matrix &x, const Matrix &y,
+                               const std::vector<MlAlgorithm> &algorithms,
+                               uint64_t seed) {
+  SelectionResult result;
+  const TrainTestSplit split = SplitData(x, y, 0.2, seed);
+  double best_error = 1e300;
+  for (MlAlgorithm algo : algorithms) {
+    auto model = CreateRegressor(algo, seed);
+    model->Fit(split.x_train, split.y_train);
+    const double err = AvgRelativeError(*model, split.x_test, split.y_test);
+    result.test_errors[algo] = err;
+    if (err < best_error) {
+      best_error = err;
+      result.best_algorithm = algo;
+    }
+  }
+  // Retrain the winner on everything (Sec 6.4).
+  result.final_model = CreateRegressor(result.best_algorithm, seed);
+  result.final_model->Fit(x, y);
+  return result;
+}
+
+}  // namespace mb2

@@ -1,0 +1,45 @@
+#pragma once
+
+/// \file model_selection.h
+/// MB2's training procedure (Sec 6.4): for each OU dataset, split 80/20,
+/// train every algorithm, pick the best by test error, then retrain the
+/// winner on all available data.
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "ml/regressor.h"
+
+namespace mb2 {
+
+struct TrainTestSplit {
+  Matrix x_train, y_train, x_test, y_test;
+};
+
+TrainTestSplit SplitData(const Matrix &x, const Matrix &y,
+                         double test_fraction = 0.2, uint64_t seed = 42);
+
+/// Mean over output columns of the average relative error on (x, y),
+/// skipping near-zero actuals (the paper's OU-model accuracy metric).
+double AvgRelativeError(const Regressor &model, const Matrix &x, const Matrix &y);
+
+/// Per-output-column relative errors (Fig 6's per-label breakdown).
+std::vector<double> PerOutputRelativeError(const Regressor &model,
+                                           const Matrix &x, const Matrix &y);
+
+struct SelectionResult {
+  MlAlgorithm best_algorithm = MlAlgorithm::kLinear;
+  std::map<MlAlgorithm, double> test_errors;
+  std::unique_ptr<Regressor> final_model;  ///< winner retrained on all data
+};
+
+/// Runs the full procedure over the given candidate algorithms.
+SelectionResult SelectAndTrain(const Matrix &x, const Matrix &y,
+                               const std::vector<MlAlgorithm> &algorithms,
+                               uint64_t seed = 42);
+
+/// All seven algorithms (the default candidate set).
+std::vector<MlAlgorithm> AllAlgorithms();
+
+}  // namespace mb2

@@ -1,0 +1,158 @@
+#include "ml/neural_network.h"
+
+#include <cmath>
+
+namespace mb2 {
+
+namespace {
+constexpr double kBeta1 = 0.9;
+constexpr double kBeta2 = 0.999;
+constexpr double kAdamEps = 1e-8;
+}  // namespace
+
+void NeuralNetwork::Forward(const std::vector<double> &x,
+                            std::vector<std::vector<double>> *activations) const {
+  activations->clear();
+  activations->push_back(x);
+  for (size_t l = 0; l < layers_.size(); l++) {
+    const Layer &layer = layers_[l];
+    const std::vector<double> &in = activations->back();
+    std::vector<double> out(layer.out, 0.0);
+    for (size_t o = 0; o < layer.out; o++) {
+      double sum = layer.b[o];
+      const double *w = layer.w.data() + o * layer.in;
+      for (size_t i = 0; i < layer.in; i++) sum += w[i] * in[i];
+      // ReLU on hidden layers, identity on the output layer.
+      out[o] = (l + 1 < layers_.size() && sum < 0.0) ? 0.0 : sum;
+    }
+    activations->push_back(std::move(out));
+  }
+}
+
+void NeuralNetwork::Fit(const Matrix &x, const Matrix &y) {
+  const size_t n = x.rows(), d = x.cols(), k = y.cols();
+  x_std_.Fit(x);
+  y_std_.Fit(y);
+  const Matrix xs = x_std_.TransformAll(x);
+  const Matrix ys = y_std_.TransformAll(y);
+
+  // Build layers: d -> hidden... -> k with He initialization.
+  layers_.clear();
+  std::vector<size_t> sizes = {d};
+  sizes.insert(sizes.end(), hidden_.begin(), hidden_.end());
+  sizes.push_back(k);
+  for (size_t l = 0; l + 1 < sizes.size(); l++) {
+    Layer layer;
+    layer.in = sizes[l];
+    layer.out = sizes[l + 1];
+    layer.w.resize(layer.in * layer.out);
+    layer.b.assign(layer.out, 0.0);
+    const double scale = std::sqrt(2.0 / static_cast<double>(layer.in));
+    for (auto &w : layer.w) w = rng_.Gaussian(0.0, scale);
+    layer.mw.assign(layer.w.size(), 0.0);
+    layer.vw.assign(layer.w.size(), 0.0);
+    layer.mb.assign(layer.out, 0.0);
+    layer.vb.assign(layer.out, 0.0);
+    layers_.push_back(std::move(layer));
+  }
+  if (n == 0) return;
+
+  std::vector<size_t> order(n);
+  for (size_t i = 0; i < n; i++) order[i] = i;
+  uint64_t step = 0;
+
+  // Gradient accumulators, one per layer per batch.
+  std::vector<std::vector<double>> gw(layers_.size()), gb(layers_.size());
+  std::vector<std::vector<double>> activations;
+  std::vector<std::vector<double>> deltas(layers_.size() + 1);
+
+  for (uint32_t epoch = 0; epoch < epochs_; epoch++) {
+    rng_.Shuffle(&order);
+    for (size_t start = 0; start < n; start += batch_size_) {
+      const size_t end = std::min(start + batch_size_, n);
+      const double batch_n = static_cast<double>(end - start);
+      for (size_t l = 0; l < layers_.size(); l++) {
+        gw[l].assign(layers_[l].w.size(), 0.0);
+        gb[l].assign(layers_[l].out, 0.0);
+      }
+
+      for (size_t bi = start; bi < end; bi++) {
+        const size_t r = order[bi];
+        Forward(xs.Row(r), &activations);
+
+        // Output delta: squared loss derivative.
+        std::vector<double> &out_act = activations.back();
+        deltas[layers_.size()].assign(out_act.size(), 0.0);
+        for (size_t j = 0; j < out_act.size(); j++) {
+          deltas[layers_.size()][j] = 2.0 * (out_act[j] - ys.At(r, j)) /
+                                      static_cast<double>(out_act.size());
+        }
+
+        // Backprop.
+        for (size_t li = layers_.size(); li-- > 0;) {
+          const Layer &layer = layers_[li];
+          const std::vector<double> &in_act = activations[li];
+          const std::vector<double> &delta_out = deltas[li + 1];
+          std::vector<double> &delta_in = deltas[li];
+          delta_in.assign(layer.in, 0.0);
+          for (size_t o = 0; o < layer.out; o++) {
+            const double dout = delta_out[o];
+            if (dout == 0.0) continue;
+            double *gwp = gw[li].data() + o * layer.in;
+            const double *wp = layer.w.data() + o * layer.in;
+            for (size_t i = 0; i < layer.in; i++) {
+              gwp[i] += dout * in_act[i];
+              delta_in[i] += dout * wp[i];
+            }
+            gb[li][o] += dout;
+          }
+          // ReLU derivative for the layer below (skip for the input).
+          if (li > 0) {
+            const std::vector<double> &act = activations[li];
+            for (size_t i = 0; i < layer.in; i++) {
+              if (act[i] <= 0.0) delta_in[i] = 0.0;
+            }
+          }
+        }
+      }
+
+      // Adam update.
+      step++;
+      const double bc1 = 1.0 - std::pow(kBeta1, static_cast<double>(step));
+      const double bc2 = 1.0 - std::pow(kBeta2, static_cast<double>(step));
+      for (size_t l = 0; l < layers_.size(); l++) {
+        Layer &layer = layers_[l];
+        for (size_t i = 0; i < layer.w.size(); i++) {
+          const double g = gw[l][i] / batch_n;
+          layer.mw[i] = kBeta1 * layer.mw[i] + (1.0 - kBeta1) * g;
+          layer.vw[i] = kBeta2 * layer.vw[i] + (1.0 - kBeta2) * g * g;
+          layer.w[i] -= learning_rate_ * (layer.mw[i] / bc1) /
+                        (std::sqrt(layer.vw[i] / bc2) + kAdamEps);
+        }
+        for (size_t o = 0; o < layer.out; o++) {
+          const double g = gb[l][o] / batch_n;
+          layer.mb[o] = kBeta1 * layer.mb[o] + (1.0 - kBeta1) * g;
+          layer.vb[o] = kBeta2 * layer.vb[o] + (1.0 - kBeta2) * g * g;
+          layer.b[o] -= learning_rate_ * (layer.mb[o] / bc1) /
+                        (std::sqrt(layer.vb[o] / bc2) + kAdamEps);
+        }
+      }
+    }
+  }
+}
+
+std::vector<double> NeuralNetwork::Predict(const std::vector<double> &x) const {
+  std::vector<std::vector<double>> activations;
+  Forward(x_std_.Transform(x), &activations);
+  return y_std_.InverseTransform(activations.back());
+}
+
+uint64_t NeuralNetwork::SerializedBytes() const {
+  uint64_t bytes = 128;
+  for (const auto &layer : layers_) {
+    bytes += (layer.w.size() + layer.b.size()) * sizeof(double);
+  }
+  return bytes;
+}
+
+}  // namespace mb2

@@ -1,0 +1,208 @@
+// Model persistence: tagged binary save/load for every regressor family.
+// Format: [u8 algorithm][class-specific payload]. Shared helpers serialize
+// matrices and standardizers.
+
+#include "ml/gradient_boosting.h"
+#include "ml/huber_regression.h"
+#include "ml/kernel_regression.h"
+#include "ml/linear_regression.h"
+#include "ml/neural_network.h"
+#include "ml/random_forest.h"
+#include "ml/regressor.h"
+#include "ml/svr.h"
+
+namespace mb2 {
+
+void SaveMatrix(const Matrix &m, BinaryWriter *writer) {
+  writer->Put<uint64_t>(m.rows());
+  writer->Put<uint64_t>(m.cols());
+  writer->PutDoubles(m.data());
+}
+
+Matrix LoadMatrix(BinaryReader *reader) {
+  const uint64_t rows = reader->Get<uint64_t>();
+  const uint64_t cols = reader->Get<uint64_t>();
+  const std::vector<double> data = reader->GetDoubles();
+  Matrix m(rows, cols);
+  if (data.size() == rows * cols) {
+    for (uint64_t r = 0; r < rows; r++) {
+      for (uint64_t c = 0; c < cols; c++) m.At(r, c) = data[r * cols + c];
+    }
+  }
+  return m;
+}
+
+void SaveStandardizer(const Standardizer &s, BinaryWriter *writer) {
+  writer->PutDoubles(s.mean());
+  writer->PutDoubles(s.stddev());
+}
+
+Standardizer LoadStandardizer(BinaryReader *reader) {
+  Standardizer s;
+  std::vector<double> mean = reader->GetDoubles();
+  std::vector<double> stddev = reader->GetDoubles();
+  s.SetState(std::move(mean), std::move(stddev));
+  return s;
+}
+
+void SaveRegressor(const Regressor &model, BinaryWriter *writer) {
+  writer->Put<uint8_t>(static_cast<uint8_t>(model.algorithm()));
+  model.Save(writer);
+}
+
+std::unique_ptr<Regressor> LoadRegressor(BinaryReader *reader) {
+  const uint8_t tag = reader->Get<uint8_t>();
+  if (!reader->ok() || tag >= kNumMlAlgorithms) return nullptr;
+  auto model = CreateRegressor(static_cast<MlAlgorithm>(tag));
+  model->LoadFrom(reader);
+  if (!reader->ok()) return nullptr;
+  return model;
+}
+
+// --- Linear / Huber ----------------------------------------------------------
+
+void LinearRegression::Save(BinaryWriter *writer) const {
+  SaveStandardizer(x_std_, writer);
+  SaveMatrix(weights_, writer);
+}
+
+void LinearRegression::LoadFrom(BinaryReader *reader) {
+  x_std_ = LoadStandardizer(reader);
+  weights_ = LoadMatrix(reader);
+}
+
+void HuberRegression::Save(BinaryWriter *writer) const {
+  SaveStandardizer(x_std_, writer);
+  SaveMatrix(weights_, writer);
+}
+
+void HuberRegression::LoadFrom(BinaryReader *reader) {
+  x_std_ = LoadStandardizer(reader);
+  weights_ = LoadMatrix(reader);
+}
+
+// --- SVR ----------------------------------------------------------------------
+
+void SupportVectorRegression::Save(BinaryWriter *writer) const {
+  SaveStandardizer(x_std_, writer);
+  SaveStandardizer(y_std_, writer);
+  SaveMatrix(weights_, writer);
+}
+
+void SupportVectorRegression::LoadFrom(BinaryReader *reader) {
+  x_std_ = LoadStandardizer(reader);
+  y_std_ = LoadStandardizer(reader);
+  weights_ = LoadMatrix(reader);
+}
+
+// --- Kernel ---------------------------------------------------------------------
+
+void KernelRegression::Save(BinaryWriter *writer) const {
+  writer->Put<double>(bandwidth_);
+  SaveStandardizer(x_std_, writer);
+  SaveMatrix(x_, writer);
+  SaveMatrix(y_, writer);
+}
+
+void KernelRegression::LoadFrom(BinaryReader *reader) {
+  bandwidth_ = reader->Get<double>();
+  x_std_ = LoadStandardizer(reader);
+  x_ = LoadMatrix(reader);
+  y_ = LoadMatrix(reader);
+}
+
+// --- Decision tree ----------------------------------------------------------------
+
+void DecisionTree::Save(BinaryWriter *writer) const {
+  writer->Put<uint64_t>(nodes_.size());
+  for (const Node &node : nodes_) {
+    writer->Put<int32_t>(node.feature);
+    writer->Put<double>(node.threshold);
+    writer->Put<int32_t>(node.left);
+    writer->Put<int32_t>(node.right);
+    writer->PutDoubles(node.leaf);
+  }
+}
+
+void DecisionTree::LoadFrom(BinaryReader *reader) {
+  const uint64_t n = reader->Get<uint64_t>();
+  if (!reader->ok() || n > (1ull << 28)) return;
+  nodes_.clear();
+  nodes_.reserve(n);
+  for (uint64_t i = 0; i < n && reader->ok(); i++) {
+    Node node;
+    node.feature = reader->Get<int32_t>();
+    node.threshold = reader->Get<double>();
+    node.left = reader->Get<int32_t>();
+    node.right = reader->Get<int32_t>();
+    node.leaf = reader->GetDoubles();
+    nodes_.push_back(std::move(node));
+  }
+}
+
+// --- Ensembles ----------------------------------------------------------------------
+
+void RandomForest::Save(BinaryWriter *writer) const {
+  writer->Put<uint32_t>(static_cast<uint32_t>(trees_.size()));
+  for (const auto &tree : trees_) tree->Save(writer);
+}
+
+void RandomForest::LoadFrom(BinaryReader *reader) {
+  const uint32_t n = reader->Get<uint32_t>();
+  trees_.clear();
+  for (uint32_t i = 0; i < n && reader->ok(); i++) {
+    auto tree = std::make_unique<DecisionTree>();
+    tree->LoadFrom(reader);
+    trees_.push_back(std::move(tree));
+  }
+}
+
+void GradientBoosting::Save(BinaryWriter *writer) const {
+  writer->Put<double>(learning_rate_);
+  writer->PutDoubles(base_);
+  writer->Put<uint32_t>(static_cast<uint32_t>(trees_.size()));
+  for (const auto &tree : trees_) tree->Save(writer);
+}
+
+void GradientBoosting::LoadFrom(BinaryReader *reader) {
+  learning_rate_ = reader->Get<double>();
+  base_ = reader->GetDoubles();
+  const uint32_t n = reader->Get<uint32_t>();
+  trees_.clear();
+  for (uint32_t i = 0; i < n && reader->ok(); i++) {
+    auto tree = std::make_unique<DecisionTree>();
+    tree->LoadFrom(reader);
+    trees_.push_back(std::move(tree));
+  }
+}
+
+// --- Neural network -------------------------------------------------------------------
+
+void NeuralNetwork::Save(BinaryWriter *writer) const {
+  SaveStandardizer(x_std_, writer);
+  SaveStandardizer(y_std_, writer);
+  writer->Put<uint32_t>(static_cast<uint32_t>(layers_.size()));
+  for (const Layer &layer : layers_) {
+    writer->Put<uint64_t>(layer.in);
+    writer->Put<uint64_t>(layer.out);
+    writer->PutDoubles(layer.w);
+    writer->PutDoubles(layer.b);
+  }
+}
+
+void NeuralNetwork::LoadFrom(BinaryReader *reader) {
+  x_std_ = LoadStandardizer(reader);
+  y_std_ = LoadStandardizer(reader);
+  const uint32_t n = reader->Get<uint32_t>();
+  layers_.clear();
+  for (uint32_t i = 0; i < n && reader->ok(); i++) {
+    Layer layer;
+    layer.in = reader->Get<uint64_t>();
+    layer.out = reader->Get<uint64_t>();
+    layer.w = reader->GetDoubles();
+    layer.b = reader->GetDoubles();
+    layers_.push_back(std::move(layer));
+  }
+}
+
+}  // namespace mb2

@@ -1,0 +1,74 @@
+#pragma once
+
+/// \file regressor.h
+/// Common interface for MB2's seven regression algorithms (Sec 6.4). Every
+/// model is multi-output: an OU-model predicts all nine labels jointly.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/serde.h"
+#include "ml/matrix.h"
+
+namespace mb2 {
+
+enum class MlAlgorithm : uint8_t {
+  kLinear = 0,
+  kHuber,
+  kSvr,
+  kKernel,
+  kRandomForest,
+  kGradientBoosting,
+  kNeuralNetwork,
+};
+
+constexpr size_t kNumMlAlgorithms = 7;
+const char *MlAlgorithmName(MlAlgorithm algo);
+
+class Regressor {
+ public:
+  virtual ~Regressor() = default;
+
+  /// Trains on features X (n×d) and targets Y (n×k).
+  virtual void Fit(const Matrix &x, const Matrix &y) = 0;
+
+  /// Predicts the k-vector of targets for one feature row.
+  virtual std::vector<double> Predict(const std::vector<double> &x) const = 0;
+
+  Matrix PredictAll(const Matrix &x) const {
+    Matrix out;
+    for (size_t r = 0; r < x.rows(); r++) out.AppendRow(Predict(x.Row(r)));
+    return out;
+  }
+
+  virtual MlAlgorithm algorithm() const = 0;
+  const char *Name() const { return MlAlgorithmName(algorithm()); }
+
+  /// Approximate size of the persisted model (Table 2's model-size column).
+  virtual uint64_t SerializedBytes() const = 0;
+
+  /// Persists the fitted parameters (algorithm tag written by
+  /// SaveRegressor, not here).
+  virtual void Save(BinaryWriter *writer) const = 0;
+  /// Restores parameters into a freshly constructed instance.
+  virtual void LoadFrom(BinaryReader *reader) = 0;
+};
+
+/// Writes the algorithm tag + parameters.
+void SaveRegressor(const Regressor &model, BinaryWriter *writer);
+/// Reads the tag, constructs via CreateRegressor, restores parameters.
+/// Returns null when the stream is corrupt.
+std::unique_ptr<Regressor> LoadRegressor(BinaryReader *reader);
+
+// Shared helpers for model state.
+void SaveMatrix(const Matrix &m, BinaryWriter *writer);
+Matrix LoadMatrix(BinaryReader *reader);
+void SaveStandardizer(const Standardizer &s, BinaryWriter *writer);
+Standardizer LoadStandardizer(BinaryReader *reader);
+
+/// Factory with MB2's default hyperparameters (Sec 8: random forest with 50
+/// estimators, NN with 2×25 neurons, GBM defaults scaled to our data sizes).
+std::unique_ptr<Regressor> CreateRegressor(MlAlgorithm algo, uint64_t seed = 42);
+
+}  // namespace mb2

@@ -1,0 +1,63 @@
+#include "ml/svr.h"
+
+#include <cmath>
+
+namespace mb2 {
+
+void SupportVectorRegression::Fit(const Matrix &x, const Matrix &y) {
+  const size_t n = x.rows(), d = x.cols(), k = y.cols();
+  x_std_.Fit(x);
+  y_std_.Fit(y);
+  const Matrix xs = x_std_.TransformAll(x);
+  const Matrix ys = y_std_.TransformAll(y);
+  const size_t dim = d + 1;
+  weights_ = Matrix(dim, k);
+  if (n == 0) return;
+
+  std::vector<size_t> order(n);
+  for (size_t i = 0; i < n; i++) order[i] = i;
+
+  for (size_t out = 0; out < k; out++) {
+    std::vector<double> w(dim, 0.0), w_avg(dim, 0.0);
+    uint64_t t = 0;
+    for (uint32_t epoch = 0; epoch < epochs_; epoch++) {
+      rng_.Shuffle(&order);
+      for (size_t oi = 0; oi < n; oi++) {
+        const size_t r = order[oi];
+        t++;
+        const double lr = 1.0 / (l2_ * static_cast<double>(t) + 100.0);
+        const double *row = xs.RowPtr(r);
+        double pred = w[d];
+        for (size_t i = 0; i < d; i++) pred += w[i] * row[i];
+        const double resid = pred - ys.At(r, out);
+        // Subgradient of the epsilon-insensitive loss.
+        double g = 0.0;
+        if (resid > epsilon_) g = 1.0;
+        else if (resid < -epsilon_) g = -1.0;
+        for (size_t i = 0; i < d; i++) {
+          w[i] -= lr * (g * row[i] + l2_ * w[i]);
+        }
+        w[d] -= lr * g;
+        for (size_t i = 0; i < dim; i++) {
+          w_avg[i] += (w[i] - w_avg[i]) / static_cast<double>(t);
+        }
+      }
+    }
+    for (size_t i = 0; i < dim; i++) weights_.At(i, out) = w_avg[i];
+  }
+}
+
+std::vector<double> SupportVectorRegression::Predict(
+    const std::vector<double> &x) const {
+  const std::vector<double> xs = x_std_.Transform(x);
+  const size_t d = xs.size(), k = weights_.cols();
+  std::vector<double> out(k, 0.0);
+  for (size_t j = 0; j < k; j++) {
+    double sum = weights_.At(d, j);
+    for (size_t i = 0; i < d; i++) sum += weights_.At(i, j) * xs[i];
+    out[j] = sum;
+  }
+  return y_std_.InverseTransform(out);
+}
+
+}  // namespace mb2

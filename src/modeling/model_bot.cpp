@@ -1,0 +1,300 @@
+#include "modeling/model_bot.h"
+
+#include <chrono>
+
+namespace mb2 {
+
+namespace {
+
+double SecondsSince(const std::chrono::steady_clock::time_point &start) {
+  return std::chrono::duration_cast<std::chrono::duration<double>>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+TrainingReport ModelBot::TrainOuModels(const std::vector<OuRecord> &records,
+                                       const std::vector<MlAlgorithm> &algorithms,
+                                       bool normalize, uint64_t seed) {
+  TrainingReport report;
+  const auto start = std::chrono::steady_clock::now();
+  auto datasets = GroupRecordsByOu(records);
+  for (auto &[type, dataset] : datasets) {
+    if (dataset.x.rows() < 10) continue;  // not enough data to split
+    auto model = std::make_unique<OuModel>(type);
+    model->Train(dataset.x, dataset.y, algorithms, normalize, seed);
+    report.per_ou_test_error[type] = model->best_test_error();
+    report.per_ou_algorithm[type] = model->best_algorithm();
+    report.model_bytes += model->SerializedBytes();
+    report.samples += dataset.x.rows();
+    ou_models_[type] = std::move(model);
+  }
+  report.train_seconds = SecondsSince(start);
+  return report;
+}
+
+void ModelBot::RetrainOu(OuType type, const std::vector<OuRecord> &records,
+                         const std::vector<MlAlgorithm> &algorithms,
+                         bool normalize, uint64_t seed) {
+  auto datasets = GroupRecordsByOu(records);
+  auto it = datasets.find(type);
+  if (it == datasets.end()) return;
+  auto model = std::make_unique<OuModel>(type);
+  model->Train(it->second.x, it->second.y, algorithms, normalize, seed);
+  ou_models_[type] = std::move(model);
+}
+
+TrainingReport ModelBot::TrainInterferenceModel(
+    const std::vector<OuRecord> &records,
+    const std::vector<MlAlgorithm> &algorithms, uint64_t seed) {
+  TrainingReport report;
+  const auto start = std::chrono::steady_clock::now();
+  InterferenceDataset dataset = BuildInterferenceDataset(records, ou_models_);
+  // Cap the training-set size: concurrent runners emit one record per OU
+  // invocation and can easily produce 10x more samples than the model needs.
+  constexpr size_t kMaxSamples = 20000;
+  if (dataset.x.rows() > kMaxSamples) {
+    std::vector<size_t> idx(dataset.x.rows());
+    for (size_t i = 0; i < idx.size(); i++) idx[i] = i;
+    Rng rng(seed);
+    rng.Shuffle(&idx);
+    idx.resize(kMaxSamples);
+    dataset.x = dataset.x.SelectRows(idx);
+    dataset.y = dataset.y.SelectRows(idx);
+  }
+  if (dataset.x.rows() >= 10) {
+    interference_.Train(dataset.x, dataset.y, algorithms, seed);
+  }
+  report.samples = dataset.x.rows();
+  report.model_bytes = interference_.SerializedBytes();
+  report.train_seconds = SecondsSince(start);
+  return report;
+}
+
+const OuModel *ModelBot::GetOuModel(OuType type) const {
+  auto it = ou_models_.find(type);
+  return it == ou_models_.end() ? nullptr : it->second.get();
+}
+
+uint64_t ModelBot::TotalOuModelBytes() const {
+  uint64_t bytes = 0;
+  for (const auto &[type, model] : ou_models_) bytes += model->SerializedBytes();
+  return bytes;
+}
+
+Labels ModelBot::PredictOu(const TranslatedOu &ou) const {
+  const OuModel *model = GetOuModel(ou.type);
+  if (model == nullptr) {
+    Labels zero{};
+    return zero;
+  }
+  if (SimulatedHardware::AppendContextFeature()) {
+    FeatureVector with_context = ou.features;
+    with_context.push_back(SimulatedHardware::EffectiveFreqGhz());
+    return model->Predict(with_context);
+  }
+  return model->Predict(ou.features);
+}
+
+QueryPrediction ModelBot::PredictQuery(const PlanNode &plan,
+                                       double exec_mode_override) const {
+  QueryPrediction prediction;
+  prediction.ous = translator_.TranslateQuery(plan, exec_mode_override);
+  prediction.total.fill(0.0);
+  for (const auto &ou : prediction.ous) {
+    const Labels labels = PredictOu(ou);
+    for (size_t j = 0; j < kNumLabels; j++) prediction.total[j] += labels[j];
+    prediction.per_ou.push_back(labels);
+  }
+  return prediction;
+}
+
+QueryPrediction ModelBot::PredictAction(const Action &action) const {
+  QueryPrediction prediction;
+  prediction.ous = translator_.TranslateAction(action);
+  prediction.total.fill(0.0);
+  for (const auto &ou : prediction.ous) {
+    const Labels labels = PredictOu(ou);
+    for (size_t j = 0; j < kNumLabels; j++) prediction.total[j] += labels[j];
+    prediction.per_ou.push_back(labels);
+  }
+  return prediction;
+}
+
+IntervalPrediction ModelBot::PredictInterval(
+    const WorkloadForecast &forecast, const std::vector<Action> &actions) const {
+  IntervalPrediction out;
+  out.interval_totals.fill(0.0);
+  out.action_labels.fill(0.0);
+
+  const uint32_t threads = std::max(1u, forecast.num_threads);
+  const double interval_us = forecast.interval_s * 1e6;
+
+  // 1. Predict per-execution labels for each template.
+  struct EntryPrediction {
+    const ForecastEntry *entry;
+    QueryPrediction isolated;
+    double executions;
+  };
+  std::vector<EntryPrediction> entries;
+  for (const auto &entry : forecast.entries) {
+    if (entry.plan == nullptr) continue;
+    EntryPrediction ep;
+    ep.entry = &entry;
+    ep.isolated = PredictQuery(*entry.plan);
+    ep.executions = entry.arrival_rate * forecast.interval_s;
+    entries.push_back(std::move(ep));
+  }
+
+  // 2. Per-thread predicted totals, scaled to the interference model's
+  //    training window so summaries are load intensities, not interval sums.
+  const double window_scale =
+      InterferenceModel::kWindowUs / std::max(1.0, interval_us);
+  std::vector<Labels> per_thread(threads);
+  for (auto &labels : per_thread) labels.fill(0.0);
+  for (const auto &ep : entries) {
+    for (uint32_t t = 0; t < threads; t++) {
+      const double share = ep.executions / threads * window_scale;
+      for (size_t j = 0; j < kNumLabels; j++) {
+        per_thread[t][j] += ep.isolated.total[j] * share;
+      }
+    }
+  }
+
+  // Maintenance + transaction OUs are spread across all threads.
+  std::vector<TranslatedOu> maintenance =
+      translator_.TranslateIntervalMaintenance(forecast);
+  {
+    const auto txns = translator_.TranslateTransactions(forecast);
+    maintenance.insert(maintenance.end(), txns.begin(), txns.end());
+  }
+  std::vector<Labels> maintenance_pred;
+  for (const auto &ou : maintenance) {
+    const Labels labels = PredictOu(ou);
+    maintenance_pred.push_back(labels);
+    for (uint32_t t = 0; t < threads; t++) {
+      for (size_t j = 0; j < kNumLabels; j++) {
+        per_thread[t][j] += labels[j] / threads * window_scale;
+      }
+    }
+  }
+
+  // Actions: index builds run on their own worker threads, which contribute
+  // load for the fraction of the interval the build is active.
+  std::vector<std::pair<const Action *, QueryPrediction>> action_preds;
+  for (const auto &action : actions) {
+    QueryPrediction ap = PredictAction(action);
+    if (ap.ous.empty()) continue;
+    const double build_elapsed = ap.total[kLabelElapsedUs];
+    const double active_fraction =
+        std::min(1.0, build_elapsed / std::max(1.0, interval_us));
+    const uint32_t build_threads = std::max(1u, action.build_threads);
+    for (uint32_t t = 0; t < build_threads; t++) {
+      Labels thread_load{};
+      for (size_t j = 0; j < kNumLabels; j++) {
+        // Per-build-thread share of the build's resources, as an intensity
+        // over the training window.
+        thread_load[j] = ap.total[j] / build_threads * active_fraction *
+                         (InterferenceModel::kWindowUs /
+                          std::max(1.0, build_elapsed));
+      }
+      per_thread.push_back(thread_load);
+    }
+    action_preds.emplace_back(&action, std::move(ap));
+  }
+
+  // 3. Adjust every OU's prediction with the interference model and
+  //    aggregate per query template.
+  double weighted_latency = 0.0;
+  double total_rate = 0.0;
+  double total_cpu_us = 0.0;
+  for (const auto &ep : entries) {
+    double adjusted_elapsed = 0.0;
+    for (size_t i = 0; i < ep.isolated.ous.size(); i++) {
+      const Labels &pred = ep.isolated.per_ou[i];
+      const Labels ratios = interference_.AdjustmentRatios(pred, per_thread);
+      for (size_t j = 0; j < kNumLabels; j++) {
+        const double adj = pred[j] * ratios[j];
+        out.interval_totals[j] += adj * ep.executions;
+        if (j == kLabelElapsedUs) adjusted_elapsed += adj;
+        if (j == kLabelCpuTimeUs) total_cpu_us += adj * ep.executions;
+      }
+    }
+    out.query_elapsed_us[ep.entry->label] = adjusted_elapsed;
+    weighted_latency += adjusted_elapsed * ep.entry->arrival_rate;
+    total_rate += ep.entry->arrival_rate;
+  }
+  out.avg_query_elapsed_us = total_rate > 0.0 ? weighted_latency / total_rate : 0.0;
+
+  for (size_t i = 0; i < maintenance.size(); i++) {
+    const Labels &pred = maintenance_pred[i];
+    const Labels ratios = interference_.AdjustmentRatios(pred, per_thread);
+    for (size_t j = 0; j < kNumLabels; j++) {
+      out.interval_totals[j] += pred[j] * ratios[j];
+    }
+    total_cpu_us += pred[kLabelCpuTimeUs] * ratios[kLabelCpuTimeUs];
+  }
+
+  double action_cpu_us = 0.0;
+  for (const auto &[action, ap] : action_preds) {
+    const Labels ratios = interference_.AdjustmentRatios(ap.total, per_thread);
+    for (size_t j = 0; j < kNumLabels; j++) {
+      out.action_labels[j] += ap.total[j] * ratios[j];
+    }
+    action_cpu_us += ap.total[kLabelCpuTimeUs] * ratios[kLabelCpuTimeUs];
+  }
+  out.action_elapsed_us = out.action_labels[kLabelElapsedUs];
+
+  // CPU utilization relative to one core over the window the work occupies.
+  const double action_window_us =
+      actions.empty() ? interval_us
+                      : std::min(interval_us, std::max(1.0, out.action_elapsed_us));
+  out.cpu_utilization = (total_cpu_us + action_cpu_us) / interval_us;
+  out.action_cpu_utilization = action_cpu_us / action_window_us;
+  return out;
+}
+
+
+namespace {
+constexpr uint32_t kModelFileMagic = 0x4d42324dU;  // "MB2M"
+constexpr uint32_t kModelFileVersion = 1;
+}  // namespace
+
+Status ModelBot::SaveModels(const std::string &dir) const {
+  auto writer = BinaryWriter::Open(dir + "/mb2_models.bin");
+  if (!writer.ok()) return writer.status();
+  BinaryWriter &w = writer.value();
+  w.Put<uint32_t>(kModelFileMagic);
+  w.Put<uint32_t>(kModelFileVersion);
+  w.Put<uint32_t>(static_cast<uint32_t>(ou_models_.size()));
+  for (const auto &[type, model] : ou_models_) model->Save(&w);
+  interference_.Save(&w);
+  return Status::Ok();
+}
+
+Status ModelBot::LoadModels(const std::string &dir) {
+  auto reader = BinaryReader::Open(dir + "/mb2_models.bin");
+  if (!reader.ok()) return reader.status();
+  BinaryReader &r = reader.value();
+  if (r.Get<uint32_t>() != kModelFileMagic) {
+    return Status::InvalidArgument("not an MB2 model file");
+  }
+  if (r.Get<uint32_t>() != kModelFileVersion) {
+    return Status::InvalidArgument("unsupported model file version");
+  }
+  const uint32_t count = r.Get<uint32_t>();
+  std::map<OuType, std::unique_ptr<OuModel>> loaded;
+  for (uint32_t i = 0; i < count; i++) {
+    auto model = OuModel::Load(&r);
+    if (model == nullptr) return Status::InvalidArgument("corrupt OU-model");
+    const OuType type = model->type();
+    loaded[type] = std::move(model);
+  }
+  interference_.LoadFrom(&r);
+  if (!r.ok()) return Status::InvalidArgument("corrupt model file");
+  ou_models_ = std::move(loaded);
+  return Status::Ok();
+}
+
+}  // namespace mb2

@@ -1,0 +1,118 @@
+#pragma once
+
+/// \file model_bot.h
+/// ModelBot2 (MB2): the end-to-end behavior-modeling framework. Owns the
+/// OU-models and the interference model, trains them from runner-generated
+/// data, and answers the planning system's questions: how long will an
+/// action take, what resources will it consume, and how will the forecasted
+/// workload perform while (and after) it runs.
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "modeling/interference_model.h"
+#include "modeling/ou_model.h"
+#include "modeling/ou_translator.h"
+#include "selfdriving/action.h"
+#include "workload/forecast.h"
+
+namespace mb2 {
+
+/// Per-query behavior prediction.
+struct QueryPrediction {
+  std::vector<TranslatedOu> ous;
+  std::vector<Labels> per_ou;  ///< parallel to `ous`
+  Labels total{};              ///< element-wise sum
+  double ElapsedUs() const { return total[kLabelElapsedUs]; }
+};
+
+/// Whole-interval prediction under concurrency (+ optional actions).
+struct IntervalPrediction {
+  /// Interference-adjusted average latency per query template.
+  std::map<std::string, double> query_elapsed_us;
+  /// Average over templates weighted by arrival rate.
+  double avg_query_elapsed_us = 0.0;
+  /// Predicted elapsed time of each action (index builds), adjusted.
+  double action_elapsed_us = 0.0;
+  Labels action_labels{};
+  /// Fraction of total CPU the interval's work consumes (0..num_threads).
+  double cpu_utilization = 0.0;
+  /// Fraction of total CPU consumed by the actions alone.
+  double action_cpu_utilization = 0.0;
+  /// Element-wise totals of all adjusted OU labels in the interval.
+  Labels interval_totals{};
+};
+
+struct TrainingReport {
+  double train_seconds = 0.0;
+  uint64_t samples = 0;
+  uint64_t model_bytes = 0;
+  std::map<OuType, double> per_ou_test_error;
+  std::map<OuType, MlAlgorithm> per_ou_algorithm;
+};
+
+class ModelBot {
+ public:
+  ModelBot(Catalog *catalog, CardinalityEstimator *estimator,
+           SettingsManager *settings)
+      : translator_(catalog, estimator, settings), settings_(settings) {}
+  MB2_DISALLOW_COPY_AND_MOVE(ModelBot);
+
+  // --- Training -----------------------------------------------------------
+
+  /// Trains one OU-model per OU present in `records` (Sec 6.4 procedure).
+  TrainingReport TrainOuModels(const std::vector<OuRecord> &records,
+                               const std::vector<MlAlgorithm> &algorithms,
+                               bool normalize = true, uint64_t seed = 42);
+
+  /// Retrains a single OU (software-update adaptation, Sec 7).
+  void RetrainOu(OuType type, const std::vector<OuRecord> &records,
+                 const std::vector<MlAlgorithm> &algorithms,
+                 bool normalize = true, uint64_t seed = 42);
+
+  /// Trains the interference model from concurrent-runner records.
+  TrainingReport TrainInterferenceModel(const std::vector<OuRecord> &records,
+                                        const std::vector<MlAlgorithm> &algorithms,
+                                        uint64_t seed = 42);
+
+  // --- Inference ----------------------------------------------------------
+
+  /// Isolated-execution prediction for one query plan (estimates must be
+  /// filled by the CardinalityEstimator; the plan must be finalized).
+  QueryPrediction PredictQuery(const PlanNode &plan,
+                               double exec_mode_override = -1.0) const;
+
+  /// Prediction of an action's isolated cost (e.g. index-build time).
+  QueryPrediction PredictAction(const Action &action) const;
+
+  /// Full interval prediction: queries + maintenance + transactions +
+  /// actions, adjusted for interference among the interval's OUs.
+  IntervalPrediction PredictInterval(const WorkloadForecast &forecast,
+                                     const std::vector<Action> &actions = {}) const;
+
+  // --- Introspection ------------------------------------------------------
+
+  /// Persists every trained OU-model plus the interference model to
+  /// `<dir>/mb2_models.bin` (offline train -> production deploy, Sec 3).
+  Status SaveModels(const std::string &dir) const;
+  /// Restores a previously saved model set, replacing any trained models.
+  Status LoadModels(const std::string &dir);
+
+  const OuModel *GetOuModel(OuType type) const;
+  const InterferenceModel &interference_model() const { return interference_; }
+  OuTranslator &translator() { return translator_; }
+  const OuTranslator &translator() const { return translator_; }
+  uint64_t TotalOuModelBytes() const;
+
+ private:
+  Labels PredictOu(const TranslatedOu &ou) const;
+
+  OuTranslator translator_;
+  SettingsManager *settings_;
+  std::map<OuType, std::unique_ptr<OuModel>> ou_models_;
+  InterferenceModel interference_;
+};
+
+}  // namespace mb2

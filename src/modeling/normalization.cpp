@@ -1,0 +1,51 @@
+#include "modeling/normalization.h"
+
+#include <cmath>
+
+namespace mb2 {
+
+double ComplexityFactor(OuComplexity complexity, double n) {
+  const double safe_n = std::max(1.0, n);
+  switch (complexity) {
+    case OuComplexity::kConstant: return 1.0;
+    case OuComplexity::kLinear: return safe_n;
+    case OuComplexity::kNLogN: return safe_n * std::log2(std::max(2.0, safe_n));
+  }
+  return safe_n;
+}
+
+namespace {
+
+void ApplyFactors(OuType type, const FeatureVector &features, Labels *labels,
+                  bool inverse) {
+  const OuDescriptor &desc = GetOuDescriptor(type);
+  if (desc.tuple_count_feature < 0) return;
+  const double n = features[static_cast<size_t>(desc.tuple_count_feature)];
+  const double factor = ComplexityFactor(desc.complexity, n);
+
+  // Memory normalizes by a (possibly different) linear driver.
+  double mem_factor;
+  if (desc.memory_normalizer_feature >= 0) {
+    mem_factor = std::max(
+        1.0, features[static_cast<size_t>(desc.memory_normalizer_feature)]);
+  } else {
+    mem_factor = std::max(1.0, n);
+  }
+
+  for (size_t i = 0; i < kNumLabels; i++) {
+    const double f = (i == kLabelMemoryBytes) ? mem_factor : factor;
+    (*labels)[i] = inverse ? (*labels)[i] * f : (*labels)[i] / f;
+  }
+}
+
+}  // namespace
+
+void NormalizeLabels(OuType type, const FeatureVector &features, Labels *labels) {
+  ApplyFactors(type, features, labels, /*inverse=*/false);
+}
+
+void DenormalizeLabels(OuType type, const FeatureVector &features, Labels *labels) {
+  ApplyFactors(type, features, labels, /*inverse=*/true);
+}
+
+}  // namespace mb2

@@ -1,0 +1,25 @@
+#pragma once
+
+/// \file normalization.h
+/// Output-label normalization (Sec 4.3): labels are divided by the OU's
+/// asymptotic complexity in the processed tuple count n, so OU-runners only
+/// need to sweep n up to the convergence point (~1M) yet the models
+/// generalize to datasets orders of magnitude larger. The memory label for
+/// aggregation hash tables normalizes by cardinality instead of n (they
+/// grow with distinct keys, not input rows).
+
+#include "metrics/resource_tracker.h"
+#include "modeling/operating_unit.h"
+
+namespace mb2 {
+
+/// Complexity factor C(n) the labels are divided by.
+double ComplexityFactor(OuComplexity complexity, double n);
+
+/// In-place normalization of one record's labels given its features.
+void NormalizeLabels(OuType type, const FeatureVector &features, Labels *labels);
+
+/// Inverse transform applied to model outputs at inference.
+void DenormalizeLabels(OuType type, const FeatureVector &features, Labels *labels);
+
+}  // namespace mb2

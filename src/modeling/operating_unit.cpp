@@ -1,0 +1,89 @@
+#include "modeling/operating_unit.h"
+
+#include <array>
+
+#include "common/macros.h"
+
+namespace mb2 {
+
+namespace {
+
+std::vector<std::string> ExecFeatureNames() {
+  return {"num_rows", "num_cols",     "avg_tuple_size", "cardinality",
+          "payload_size", "num_loops", "exec_mode"};
+}
+
+std::array<OuDescriptor, kNumOuTypes> BuildDescriptors() {
+  std::array<OuDescriptor, kNumOuTypes> d{};
+  auto set = [&](OuType t, const char *name, OuClass cls,
+                 std::vector<std::string> feats, OuComplexity cx,
+                 int32_t n_feat, int32_t mem_feat = -1) {
+    d[static_cast<size_t>(t)] =
+        OuDescriptor{t, name, cls, std::move(feats), cx, n_feat, mem_feat};
+  };
+
+  set(OuType::kSeqScan, "SEQ_SCAN", OuClass::kSingular, ExecFeatureNames(),
+      OuComplexity::kLinear, 0);
+  set(OuType::kIdxScan, "IDX_SCAN", OuClass::kSingular, ExecFeatureNames(),
+      OuComplexity::kLinear, 0);
+  set(OuType::kHashJoinBuild, "HASHJOIN_BUILD", OuClass::kSingular,
+      ExecFeatureNames(), OuComplexity::kLinear, 0);
+  set(OuType::kHashJoinProbe, "HASHJOIN_PROBE", OuClass::kSingular,
+      ExecFeatureNames(), OuComplexity::kLinear, 0);
+  set(OuType::kAggBuild, "AGG_BUILD", OuClass::kSingular, ExecFeatureNames(),
+      OuComplexity::kLinear, 0, /*mem_feat=*/3);
+  set(OuType::kAggProbe, "AGG_PROBE", OuClass::kSingular, ExecFeatureNames(),
+      OuComplexity::kLinear, 0);
+  set(OuType::kSortBuild, "SORT_BUILD", OuClass::kSingular, ExecFeatureNames(),
+      OuComplexity::kNLogN, 0);
+  set(OuType::kSortIterate, "SORT_ITER", OuClass::kSingular, ExecFeatureNames(),
+      OuComplexity::kLinear, 0);
+  set(OuType::kInsert, "INSERT", OuClass::kSingular, ExecFeatureNames(),
+      OuComplexity::kLinear, 0);
+  set(OuType::kUpdate, "UPDATE", OuClass::kSingular, ExecFeatureNames(),
+      OuComplexity::kLinear, 0);
+  set(OuType::kDelete, "DELETE", OuClass::kSingular, ExecFeatureNames(),
+      OuComplexity::kLinear, 0);
+  set(OuType::kArithmetic, "ARITHMETICS", OuClass::kSingular,
+      {"num_rows", "op_complexity", "exec_mode"}, OuComplexity::kLinear, 0);
+  set(OuType::kOutput, "OUTPUT", OuClass::kSingular, ExecFeatureNames(),
+      OuComplexity::kLinear, 0);
+  set(OuType::kGarbageCollection, "GC", OuClass::kBatch,
+      {"versions_unlinked", "bytes_reclaimed", "gc_interval_us"},
+      OuComplexity::kLinear, 0);
+  set(OuType::kIndexBuild, "INDEX_BUILD", OuClass::kContending,
+      {"num_rows", "num_keys", "key_size", "cardinality", "num_threads"},
+      OuComplexity::kNLogN, 0);
+  set(OuType::kLogSerialize, "LOG_SERIALIZE", OuClass::kBatch,
+      {"num_records", "num_bytes", "num_buffers", "interval_us"},
+      OuComplexity::kLinear, 0);
+  set(OuType::kLogFlush, "LOG_FLUSH", OuClass::kBatch,
+      {"num_bytes", "num_buffers", "flush_interval_us"}, OuComplexity::kLinear,
+      1);
+  set(OuType::kTxnBegin, "TXN_BEGIN", OuClass::kContending,
+      {"arrival_rate", "running_txns"}, OuComplexity::kConstant, -1);
+  set(OuType::kTxnCommit, "TXN_COMMIT", OuClass::kContending,
+      {"arrival_rate", "running_txns"}, OuComplexity::kConstant, -1);
+  return d;
+}
+
+}  // namespace
+
+const OuDescriptor &GetOuDescriptor(OuType type) {
+  static const std::array<OuDescriptor, kNumOuTypes> kDescriptors =
+      BuildDescriptors();
+  MB2_ASSERT(type < OuType::kNumOuTypes, "bad OU type");
+  return kDescriptors[static_cast<size_t>(type)];
+}
+
+const char *OuTypeName(OuType type) { return GetOuDescriptor(type).name; }
+
+FeatureVector MakeExecFeatures(double num_rows, double num_cols,
+                               double avg_tuple_size, double cardinality,
+                               double payload_size, double num_loops,
+                               double exec_mode) {
+  return {num_rows, num_cols, avg_tuple_size, cardinality,
+          payload_size, num_loops, exec_mode};
+}
+
+}  // namespace mb2

@@ -1,0 +1,91 @@
+#include "modeling/ou_model.h"
+
+#include "modeling/normalization.h"
+
+namespace mb2 {
+
+Matrix OuModel::NormalizeDataset(const Matrix &x, const Matrix &y_raw) const {
+  Matrix y = y_raw;
+  if (!normalize_) return y;
+  for (size_t r = 0; r < y.rows(); r++) {
+    Labels labels{};
+    for (size_t j = 0; j < kNumLabels; j++) labels[j] = y.At(r, j);
+    const FeatureVector features = x.Row(r);
+    NormalizeLabels(type_, features, &labels);
+    for (size_t j = 0; j < kNumLabels; j++) y.At(r, j) = labels[j];
+  }
+  return y;
+}
+
+void OuModel::Train(const Matrix &x, const Matrix &y_raw,
+                    const std::vector<MlAlgorithm> &algorithms, bool normalize,
+                    uint64_t seed) {
+  normalize_ = normalize;
+  const Matrix y = NormalizeDataset(x, y_raw);
+  SelectionResult selection = SelectAndTrain(x, y, algorithms, seed);
+  best_algorithm_ = selection.best_algorithm;
+  test_errors_ = selection.test_errors;
+  model_ = std::move(selection.final_model);
+}
+
+void OuModel::TrainWith(MlAlgorithm algo, const Matrix &x, const Matrix &y_raw,
+                        bool normalize, uint64_t seed) {
+  normalize_ = normalize;
+  const Matrix y = NormalizeDataset(x, y_raw);
+  const TrainTestSplit split = SplitData(x, y, 0.2, seed);
+  auto model = CreateRegressor(algo, seed);
+  model->Fit(split.x_train, split.y_train);
+  test_errors_[algo] = AvgRelativeError(*model, split.x_test, split.y_test);
+  best_algorithm_ = algo;
+  model_ = CreateRegressor(algo, seed);
+  model_->Fit(x, y);
+}
+
+Labels OuModel::Predict(const FeatureVector &features) const {
+  MB2_ASSERT(model_ != nullptr, "predict before train");
+  const std::vector<double> raw = model_->Predict(features);
+  Labels labels{};
+  for (size_t j = 0; j < kNumLabels && j < raw.size(); j++) {
+    labels[j] = raw[j];
+  }
+  if (normalize_) DenormalizeLabels(type_, features, &labels);
+  // Physical labels are non-negative.
+  for (auto &v : labels) v = std::max(0.0, v);
+  return labels;
+}
+
+std::map<OuType, OuDataset> GroupRecordsByOu(const std::vector<OuRecord> &records) {
+  std::map<OuType, OuDataset> out;
+  for (const OuRecord &record : records) {
+    OuDataset &ds = out[record.ou];
+    ds.x.AppendRow(record.features);
+    std::vector<double> y(record.labels.begin(), record.labels.end());
+    ds.y.AppendRow(y);
+  }
+  return out;
+}
+
+
+
+void OuModel::Save(BinaryWriter *writer) const {
+  writer->Put<uint8_t>(static_cast<uint8_t>(type_));
+  writer->Put<uint8_t>(normalize_ ? 1 : 0);
+  writer->Put<uint8_t>(static_cast<uint8_t>(best_algorithm_));
+  writer->Put<uint8_t>(model_ != nullptr ? 1 : 0);
+  if (model_ != nullptr) SaveRegressor(*model_, writer);
+}
+
+std::unique_ptr<OuModel> OuModel::Load(BinaryReader *reader) {
+  const uint8_t type_tag = reader->Get<uint8_t>();
+  if (!reader->ok() || type_tag >= kNumOuTypes) return nullptr;
+  auto model = std::make_unique<OuModel>(static_cast<OuType>(type_tag));
+  model->normalize_ = reader->Get<uint8_t>() != 0;
+  model->best_algorithm_ = static_cast<MlAlgorithm>(reader->Get<uint8_t>());
+  if (reader->Get<uint8_t>() != 0) {
+    model->model_ = LoadRegressor(reader);
+    if (model->model_ == nullptr) return nullptr;
+  }
+  return model;
+}
+
+}  // namespace mb2

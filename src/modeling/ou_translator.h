@@ -1,0 +1,63 @@
+#pragma once
+
+/// \file ou_translator.h
+/// Extracts OUs and their input features from query plans and self-driving
+/// actions (Sec 6.1). The same translator serves training-time feature
+/// generation and inference: at inference the feature values come from the
+/// optimizer's cardinality estimates instead of observed counts.
+
+#include <vector>
+
+#include "catalog/settings.h"
+#include "modeling/operating_unit.h"
+#include "plan/cardinality_estimator.h"
+#include "plan/plan_node.h"
+#include "selfdriving/action.h"
+#include "workload/forecast.h"
+
+namespace mb2 {
+
+/// One OU occurrence with its model input features.
+struct TranslatedOu {
+  OuType type;
+  FeatureVector features;
+};
+
+class OuTranslator {
+ public:
+  OuTranslator(Catalog *catalog, CardinalityEstimator *estimator,
+               SettingsManager *settings)
+      : catalog_(catalog), estimator_(estimator), settings_(settings) {}
+
+  /// OUs for one execution of a (finalized, estimated) query plan.
+  /// `exec_mode_override` < 0 uses the current knob value.
+  std::vector<TranslatedOu> TranslateQuery(const PlanNode &plan,
+                                           double exec_mode_override = -1.0) const;
+
+  /// OUs for a self-driving action. Index builds become an INDEX_BUILD OU;
+  /// knob changes produce no OUs themselves (their effect shows up through
+  /// the knob features of subsequent queries).
+  std::vector<TranslatedOu> TranslateAction(const Action &action) const;
+
+  /// Batch OUs (WAL serialize/flush, GC) for a whole forecast interval, from
+  /// the interval's estimated write volume (Sec 4.2's batch-OU features are
+  /// interval totals, independent of individual query plans).
+  std::vector<TranslatedOu> TranslateIntervalMaintenance(
+      const WorkloadForecast &forecast) const;
+
+  /// Transaction begin/commit OUs for the interval's expected rate.
+  std::vector<TranslatedOu> TranslateTransactions(
+      const WorkloadForecast &forecast) const;
+
+ private:
+  void TranslateNode(const PlanNode &node, double mode,
+                     std::vector<TranslatedOu> *out) const;
+  /// Estimated bytes a plan writes (redo volume) per execution.
+  double EstimateWriteBytes(const PlanNode &node) const;
+
+  Catalog *catalog_;
+  CardinalityEstimator *estimator_;
+  SettingsManager *settings_;
+};
+
+}  // namespace mb2

@@ -1,0 +1,361 @@
+#include "plan/cardinality_estimator.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "catalog/catalog.h"
+#include "index/bplus_tree.h"
+#include "storage/table.h"
+
+namespace mb2 {
+
+namespace {
+constexpr uint64_t kSampleTarget = 2048;
+constexpr uint64_t kStatsReadTs = UINT64_MAX - 2;  // "latest committed"
+}  // namespace
+
+void CardinalityEstimator::RefreshStats() {
+  stats_.clear();
+  for (const auto &name : catalog_->TableNames()) {
+    Table *table = catalog_->GetTable(name);
+    TableStats ts;
+    const SlotId n = table->NumSlots();
+    const uint32_t ncols = table->schema().NumColumns();
+    ts.distinct.assign(ncols, 1.0);
+    ts.min_val.assign(ncols, 0.0);
+    ts.max_val.assign(ncols, 0.0);
+    std::vector<bool> minmax_init(ncols, false);
+    std::vector<std::unordered_set<uint64_t>> seen(ncols);
+    const SlotId step = std::max<SlotId>(1, n / kSampleTarget);
+    uint64_t sampled = 0;
+    uint64_t visible_in_sample = 0;
+    for (SlotId slot = 0; slot < n; slot += step) {
+      const VersionNode *node = table->Head(slot);
+      while (node != nullptr) {
+        const uint64_t begin = node->begin_ts.load(std::memory_order_acquire);
+        const uint64_t end = node->end_ts.load(std::memory_order_acquire);
+        if (node->owner.load(std::memory_order_acquire) == kNoOwner &&
+            begin != kUncommittedTs && begin <= kStatsReadTs &&
+            kStatsReadTs < end) {
+          if (!node->deleted) {
+            visible_in_sample++;
+            for (uint32_t c = 0; c < ncols; c++) {
+              seen[c].insert(node->data[c].Hash());
+              if (node->data[c].type() != TypeId::kVarchar) {
+                const double v = node->data[c].AsDouble();
+                if (!minmax_init[c]) {
+                  ts.min_val[c] = ts.max_val[c] = v;
+                  minmax_init[c] = true;
+                } else {
+                  ts.min_val[c] = std::min(ts.min_val[c], v);
+                  ts.max_val[c] = std::max(ts.max_val[c], v);
+                }
+              }
+            }
+          }
+          break;
+        }
+        node = node->next;
+      }
+      sampled++;
+    }
+    const double visible_ratio =
+        sampled == 0 ? 0.0
+                     : static_cast<double>(visible_in_sample) /
+                           static_cast<double>(sampled);
+    ts.rows = visible_ratio * static_cast<double>(n);
+    for (uint32_t c = 0; c < ncols; c++) {
+      if (visible_in_sample == 0) continue;
+      const double d = static_cast<double>(seen[c].size());
+      const double ratio = d / static_cast<double>(visible_in_sample);
+      // Distinct counts saturate at both ends: a fully-distinct sample
+      // implies a fully-distinct column, while a heavily repeating sample
+      // means the observed distinct count IS the domain size. Only the
+      // middle regime scales by the sampling fraction.
+      if (ratio > 0.95) {
+        ts.distinct[c] = ts.rows;
+      } else if (ratio < 0.5) {
+        ts.distinct[c] = std::max(1.0, d);
+      } else {
+        ts.distinct[c] = std::max(1.0, ratio * ts.rows);
+      }
+    }
+    stats_[name] = ts;
+  }
+}
+
+double CardinalityEstimator::TableRows(const std::string &table) const {
+  auto it = stats_.find(table);
+  return it == stats_.end() ? 0.0 : it->second.rows;
+}
+
+double CardinalityEstimator::ColumnDistinct(const std::string &table,
+                                            uint32_t col) const {
+  auto it = stats_.find(table);
+  if (it == stats_.end() || col >= it->second.distinct.size()) return 1.0;
+  return it->second.distinct[col];
+}
+
+double CardinalityEstimator::Noisy(double v) {
+  if (noise_ <= 0.0) return v;
+  return std::max(1.0, v * (1.0 + rng_.Gaussian(0.0, noise_)));
+}
+
+double CardinalityEstimator::Selectivity(const Expression *expr,
+                                         const TableStats &stats) const {
+  if (expr == nullptr) return 1.0;
+  switch (expr->type) {
+    case ExprType::kComparison: {
+      // Column-vs-constant heuristics: exact-match via distinct counts,
+      // ranges via min/max interpolation, System R's 1/3 as the fallback.
+      const Expression *lhs = expr->children[0].get();
+      const Expression *rhs = expr->children[1].get();
+      uint32_t col = UINT32_MAX;
+      if (lhs->type == ExprType::kColumnRef) col = lhs->col_idx;
+      double constant = 0.0;
+      bool have_constant = false;
+      if (rhs->type == ExprType::kConstant &&
+          rhs->constant.type() != TypeId::kVarchar) {
+        constant = rhs->constant.AsDouble();
+        have_constant = true;
+      }
+      switch (expr->cmp_op) {
+        case CmpOp::kEq:
+          if (col != UINT32_MAX && col < stats.distinct.size()) {
+            return 1.0 / std::max(1.0, stats.distinct[col]);
+          }
+          return 0.1;
+        case CmpOp::kNe:
+          return 0.9;
+        case CmpOp::kLt:
+        case CmpOp::kLe:
+        case CmpOp::kGt:
+        case CmpOp::kGe: {
+          if (col == UINT32_MAX || !have_constant ||
+              col >= stats.min_val.size() ||
+              stats.max_val[col] <= stats.min_val[col]) {
+            return 1.0 / 3.0;
+          }
+          const double span = stats.max_val[col] - stats.min_val[col];
+          double below = (constant - stats.min_val[col]) / span;
+          below = std::clamp(below, 0.0, 1.0);
+          const bool less = expr->cmp_op == CmpOp::kLt || expr->cmp_op == CmpOp::kLe;
+          return less ? below : 1.0 - below;
+        }
+      }
+      return 1.0 / 3.0;
+    }
+    case ExprType::kLogic: {
+      const double s0 = Selectivity(expr->children[0].get(), stats);
+      switch (expr->logic_op) {
+        case LogicOp::kAnd:
+          return s0 * Selectivity(expr->children[1].get(), stats);
+        case LogicOp::kOr: {
+          const double s1 = Selectivity(expr->children[1].get(), stats);
+          return s0 + s1 - s0 * s1;
+        }
+        case LogicOp::kNot:
+          return 1.0 - s0;
+      }
+      return 0.5;
+    }
+    default:
+      return 0.5;
+  }
+}
+
+void CardinalityEstimator::Estimate(PlanNode *plan) { EstimateNode(plan); }
+
+namespace {
+
+/// Remaps table stats through a scan's projection so predicate column
+/// indices (which reference the projected schema) resolve correctly.
+template <typename Stats>
+Stats ProjectStats(const Stats &base, const std::vector<uint32_t> &columns) {
+  if (columns.empty()) return base;
+  Stats out = base;
+  out.distinct.clear();
+  out.min_val.clear();
+  out.max_val.clear();
+  for (uint32_t c : columns) {
+    out.distinct.push_back(c < base.distinct.size() ? base.distinct[c] : 1.0);
+    out.min_val.push_back(c < base.min_val.size() ? base.min_val[c] : 0.0);
+    out.max_val.push_back(c < base.max_val.size() ? base.max_val[c] : 0.0);
+  }
+  return out;
+}
+
+}  // namespace
+
+double CardinalityEstimator::KeyDistinct(const PlanNode &child,
+                                         uint32_t key_col) const {
+  // Scans expose base-column distinct counts through their projection;
+  // derived nodes fall back to their estimated cardinality.
+  double distinct;
+  if (child.type == PlanNodeType::kSeqScan) {
+    const auto *scan = child.As<SeqScanPlan>();
+    const uint32_t base_col =
+        scan->columns.empty() ? key_col : scan->columns[key_col];
+    distinct = ColumnDistinct(scan->table, base_col);
+  } else if (child.type == PlanNodeType::kIndexScan) {
+    const auto *scan = child.As<IndexScanPlan>();
+    const uint32_t base_col =
+        scan->columns.empty() ? key_col : scan->columns[key_col];
+    distinct = ColumnDistinct(scan->table, base_col);
+  } else {
+    distinct = std::max(1.0, child.estimated_cardinality);
+  }
+  // Can't have more distinct keys than rows.
+  return std::clamp(distinct, 1.0, std::max(1.0, child.estimated_rows));
+}
+
+void CardinalityEstimator::EstimateNode(PlanNode *node) {
+  for (auto &child : node->children) EstimateNode(child.get());
+
+  switch (node->type) {
+    case PlanNodeType::kSeqScan: {
+      auto *scan = node->As<SeqScanPlan>();
+      auto it = stats_.find(scan->table);
+      const TableStats empty;
+      const TableStats &base = it == stats_.end() ? empty : it->second;
+      // Predicate column indices reference the projected schema.
+      const TableStats ts = ProjectStats(base, scan->columns);
+      const double sel = Selectivity(scan->predicate.get(), ts);
+      node->estimated_rows = Noisy(std::max(0.0, base.rows * sel));
+      node->estimated_cardinality = node->estimated_rows;
+      break;
+    }
+    case PlanNodeType::kIndexScan: {
+      auto *scan = node->As<IndexScanPlan>();
+      auto it = stats_.find(scan->table);
+      const TableStats empty;
+      const TableStats &ts = it == stats_.end() ? empty : it->second;
+      const BPlusTree *index = catalog_->GetIndex(scan->index);
+      double rows = 1.0;
+      if (index != nullptr) {
+        // Distinct count over the used key prefix.
+        double distinct = 1.0;
+        const auto &key_cols = index->schema().key_columns;
+        for (size_t i = 0; i < scan->key_lo.size() && i < key_cols.size(); i++) {
+          if (key_cols[i] < ts.distinct.size()) {
+            distinct = std::max(distinct, ts.distinct[key_cols[i]]);
+          }
+        }
+        if (!scan->key_hi.empty()) {
+          rows = ts.rows / 3.0;  // range default
+        } else {
+          rows = ts.rows / std::max(1.0, distinct);
+        }
+      }
+      const double sel =
+          Selectivity(scan->predicate.get(), ProjectStats(ts, scan->columns));
+      rows *= sel;
+      if (scan->limit != 0) rows = std::min(rows, static_cast<double>(scan->limit));
+      node->estimated_rows = Noisy(std::max(1.0, rows));
+      node->estimated_cardinality = node->estimated_rows;
+      break;
+    }
+    case PlanNodeType::kHashJoin: {
+      auto *join = node->As<HashJoinPlan>();
+      const double build_rows = node->children[0]->estimated_rows;
+      const double probe_rows = node->children[1]->estimated_rows;
+      // |R ⋈ S| = |R||S| / max(d_R, d_S) on the join key. Per-side key
+      // distincts come from base-column statistics when the child is a
+      // scan (the common case), else from the child's cardinality. Use the
+      // UNFILTERED key domain on each side: a filter that keeps k of d key
+      // values also shrinks |R| by k/d, so dividing by the full domain is
+      // the containment-assumption estimate.
+      double d_build = 1.0, d_probe = 1.0;
+      if (!join->build_keys.empty()) {
+        d_build = KeyDistinct(*node->children[0], join->build_keys[0]);
+        d_probe = KeyDistinct(*node->children[1], join->probe_keys[0]);
+        // Rescale scan-side distincts to the unfiltered domain.
+        auto domain = [this](const PlanNode &child, uint32_t key_col,
+                             double filtered) {
+          if (child.type != PlanNodeType::kSeqScan &&
+              child.type != PlanNodeType::kIndexScan) {
+            return filtered;
+          }
+          const std::string &table =
+              child.type == PlanNodeType::kSeqScan
+                  ? child.As<SeqScanPlan>()->table
+                  : child.As<IndexScanPlan>()->table;
+          const std::vector<uint32_t> &cols =
+              child.type == PlanNodeType::kSeqScan
+                  ? child.As<SeqScanPlan>()->columns
+                  : child.As<IndexScanPlan>()->columns;
+          const uint32_t base_col = cols.empty() ? key_col : cols[key_col];
+          return std::max(filtered, ColumnDistinct(table, base_col));
+        };
+        d_build = domain(*node->children[0], join->build_keys[0], d_build);
+        d_probe = domain(*node->children[1], join->probe_keys[0], d_probe);
+      }
+      const double distinct = std::max(1.0, std::max(d_build, d_probe));
+      node->estimated_rows =
+          Noisy(std::max(1.0, build_rows * probe_rows / distinct));
+      node->estimated_cardinality =
+          Noisy(std::max(1.0, std::min(d_build, d_probe)));
+      break;
+    }
+    case PlanNodeType::kAggregate: {
+      auto *agg = node->As<AggregatePlan>();
+      const PlanNode &child = *node->children[0];
+      const double in_rows = child.estimated_rows;
+      double groups = 1.0;
+      if (!agg->group_by.empty()) {
+        // Product of group-key distincts when derivable from base-column
+        // statistics; sqrt(n) as the derived-input fallback.
+        if (child.type == PlanNodeType::kSeqScan ||
+            child.type == PlanNodeType::kIndexScan) {
+          groups = 1.0;
+          for (uint32_t g : agg->group_by) groups *= KeyDistinct(child, g);
+        } else {
+          groups = std::pow(std::max(in_rows, 1.0), 0.5) *
+                   static_cast<double>(agg->group_by.size());
+        }
+        groups = std::clamp(groups, 1.0, std::max(in_rows, 1.0));
+      }
+      node->estimated_rows = Noisy(groups);
+      node->estimated_cardinality = node->estimated_rows;
+      break;
+    }
+    case PlanNodeType::kSort: {
+      auto *sort = node->As<SortPlan>();
+      const double in_rows = node->children[0]->estimated_rows;
+      node->estimated_rows =
+          sort->limit != 0 ? std::min(in_rows, static_cast<double>(sort->limit))
+                           : in_rows;
+      node->estimated_cardinality = Noisy(std::max(1.0, in_rows));
+      break;
+    }
+    case PlanNodeType::kProjection:
+    case PlanNodeType::kOutput: {
+      node->estimated_rows = node->children[0]->estimated_rows;
+      node->estimated_cardinality = node->children[0]->estimated_cardinality;
+      break;
+    }
+    case PlanNodeType::kLimit: {
+      auto *limit = node->As<LimitPlan>();
+      node->estimated_rows = std::min(node->children[0]->estimated_rows,
+                                      static_cast<double>(limit->limit));
+      node->estimated_cardinality = node->estimated_rows;
+      break;
+    }
+    case PlanNodeType::kInsert: {
+      auto *insert = node->As<InsertPlan>();
+      node->estimated_rows =
+          node->children.empty() ? static_cast<double>(insert->rows.size())
+                                 : node->children[0]->estimated_rows;
+      node->estimated_cardinality = node->estimated_rows;
+      break;
+    }
+    case PlanNodeType::kUpdate:
+    case PlanNodeType::kDelete: {
+      node->estimated_rows = node->children[0]->estimated_rows;
+      node->estimated_cardinality = node->estimated_rows;
+      break;
+    }
+  }
+}
+
+}  // namespace mb2

@@ -1,0 +1,64 @@
+#pragma once
+
+/// \file cardinality_estimator.h
+/// A sampling-based optimizer statistics module. It fills every plan node's
+/// estimated_rows / estimated_cardinality, which become OU-model input
+/// features at inference time (Sec 4.2). Estimation error is a fact of life
+/// the paper studies (Sec 8.5); SetNoise() injects the same Gaussian
+/// perturbation used in Fig 9b.
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "plan/plan_node.h"
+
+namespace mb2 {
+
+class Catalog;
+class Table;
+
+class CardinalityEstimator {
+ public:
+  explicit CardinalityEstimator(Catalog *catalog) : catalog_(catalog) {}
+
+  /// Recomputes row counts and per-column distinct estimates for every
+  /// table (sampled; call after bulk loads).
+  void RefreshStats();
+
+  /// Fills estimated_rows / estimated_cardinality over the plan tree.
+  void Estimate(PlanNode *plan);
+
+  /// Gaussian multiplicative noise on row/cardinality estimates:
+  /// value * (1 + N(0, stddev_fraction)). 0 disables.
+  void SetNoise(double stddev_fraction, uint64_t seed = 17) {
+    noise_ = stddev_fraction;
+    rng_ = Rng(seed);
+  }
+
+  double TableRows(const std::string &table) const;
+  double ColumnDistinct(const std::string &table, uint32_t col) const;
+
+ private:
+  struct TableStats {
+    double rows = 0.0;
+    std::vector<double> distinct;  // per column
+    std::vector<double> min_val;   // per numeric column (0 for varchar)
+    std::vector<double> max_val;
+  };
+
+  double Noisy(double v);
+  /// Selectivity of a predicate against a base table's columns.
+  double Selectivity(const Expression *expr, const TableStats &stats) const;
+  /// Distinct-count estimate for a join/group key of a child's output.
+  double KeyDistinct(const PlanNode &child, uint32_t key_col) const;
+  void EstimateNode(PlanNode *node);
+
+  Catalog *catalog_;
+  std::map<std::string, TableStats> stats_;
+  double noise_ = 0.0;
+  Rng rng_{17};
+};
+
+}  // namespace mb2

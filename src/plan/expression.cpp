@@ -1,0 +1,138 @@
+#include "plan/expression.h"
+
+namespace mb2 {
+
+Value Expression::Evaluate(const Tuple &row) const {
+  switch (type) {
+    case ExprType::kColumnRef:
+      return row[col_idx];
+    case ExprType::kConstant:
+      return constant;
+    case ExprType::kArithmetic: {
+      const Value lhs = children[0]->Evaluate(row);
+      const Value rhs = children[1]->Evaluate(row);
+      if (lhs.type() == TypeId::kInteger && rhs.type() == TypeId::kInteger) {
+        const int64_t a = lhs.AsInt(), b = rhs.AsInt();
+        switch (arith_op) {
+          case ArithOp::kAdd: return Value::Integer(a + b);
+          case ArithOp::kSub: return Value::Integer(a - b);
+          case ArithOp::kMul: return Value::Integer(a * b);
+          case ArithOp::kDiv: return Value::Integer(b == 0 ? 0 : a / b);
+        }
+        MB2_UNREACHABLE("bad arith op");
+      }
+      const double a = lhs.AsDouble(), b = rhs.AsDouble();
+      switch (arith_op) {
+        case ArithOp::kAdd: return Value::Double(a + b);
+        case ArithOp::kSub: return Value::Double(a - b);
+        case ArithOp::kMul: return Value::Double(a * b);
+        case ArithOp::kDiv: return Value::Double(b == 0.0 ? 0.0 : a / b);
+      }
+      MB2_UNREACHABLE("bad arith op");
+    }
+    case ExprType::kComparison: {
+      const Value lhs = children[0]->Evaluate(row);
+      const Value rhs = children[1]->Evaluate(row);
+      const int c = lhs.Compare(rhs);
+      bool result = false;
+      switch (cmp_op) {
+        case CmpOp::kEq: result = c == 0; break;
+        case CmpOp::kNe: result = c != 0; break;
+        case CmpOp::kLt: result = c < 0; break;
+        case CmpOp::kLe: result = c <= 0; break;
+        case CmpOp::kGt: result = c > 0; break;
+        case CmpOp::kGe: result = c >= 0; break;
+      }
+      return Value::Integer(result ? 1 : 0);
+    }
+    case ExprType::kLogic: {
+      switch (logic_op) {
+        case LogicOp::kAnd:
+          // Short-circuit: skip the right side when the left is false.
+          if (!children[0]->EvaluateBool(row)) return Value::Integer(0);
+          return Value::Integer(children[1]->EvaluateBool(row) ? 1 : 0);
+        case LogicOp::kOr:
+          if (children[0]->EvaluateBool(row)) return Value::Integer(1);
+          return Value::Integer(children[1]->EvaluateBool(row) ? 1 : 0);
+        case LogicOp::kNot:
+          return Value::Integer(children[0]->EvaluateBool(row) ? 0 : 1);
+      }
+      MB2_UNREACHABLE("bad logic op");
+    }
+  }
+  MB2_UNREACHABLE("bad expression type");
+}
+
+uint32_t Expression::Complexity() const {
+  uint32_t ops = type == ExprType::kColumnRef || type == ExprType::kConstant ? 0 : 1;
+  for (const auto &child : children) ops += child->Complexity();
+  return ops;
+}
+
+ExprPtr Expression::Clone() const {
+  auto out = std::make_unique<Expression>(type);
+  out->col_idx = col_idx;
+  out->constant = constant;
+  out->arith_op = arith_op;
+  out->cmp_op = cmp_op;
+  out->logic_op = logic_op;
+  out->children.reserve(children.size());
+  for (const auto &child : children) out->children.push_back(child->Clone());
+  return out;
+}
+
+ExprPtr ColRef(uint32_t idx) {
+  auto e = std::make_unique<Expression>(ExprType::kColumnRef);
+  e->col_idx = idx;
+  return e;
+}
+
+ExprPtr Const(Value v) {
+  auto e = std::make_unique<Expression>(ExprType::kConstant);
+  e->constant = std::move(v);
+  return e;
+}
+
+ExprPtr ConstInt(int64_t v) { return Const(Value::Integer(v)); }
+ExprPtr ConstDouble(double v) { return Const(Value::Double(v)); }
+
+ExprPtr Arith(ArithOp op, ExprPtr lhs, ExprPtr rhs) {
+  auto e = std::make_unique<Expression>(ExprType::kArithmetic);
+  e->arith_op = op;
+  e->children.push_back(std::move(lhs));
+  e->children.push_back(std::move(rhs));
+  return e;
+}
+
+ExprPtr Cmp(CmpOp op, ExprPtr lhs, ExprPtr rhs) {
+  auto e = std::make_unique<Expression>(ExprType::kComparison);
+  e->cmp_op = op;
+  e->children.push_back(std::move(lhs));
+  e->children.push_back(std::move(rhs));
+  return e;
+}
+
+ExprPtr And(ExprPtr lhs, ExprPtr rhs) {
+  auto e = std::make_unique<Expression>(ExprType::kLogic);
+  e->logic_op = LogicOp::kAnd;
+  e->children.push_back(std::move(lhs));
+  e->children.push_back(std::move(rhs));
+  return e;
+}
+
+ExprPtr Or(ExprPtr lhs, ExprPtr rhs) {
+  auto e = std::make_unique<Expression>(ExprType::kLogic);
+  e->logic_op = LogicOp::kOr;
+  e->children.push_back(std::move(lhs));
+  e->children.push_back(std::move(rhs));
+  return e;
+}
+
+ExprPtr Not(ExprPtr child) {
+  auto e = std::make_unique<Expression>(ExprType::kLogic);
+  e->logic_op = LogicOp::kNot;
+  e->children.push_back(std::move(child));
+  return e;
+}
+
+}  // namespace mb2

@@ -1,0 +1,227 @@
+#include "plan/plan_node.h"
+
+#include "catalog/catalog.h"
+
+namespace mb2 {
+
+const char *PlanNodeTypeName(PlanNodeType type) {
+  switch (type) {
+    case PlanNodeType::kSeqScan: return "SeqScan";
+    case PlanNodeType::kIndexScan: return "IndexScan";
+    case PlanNodeType::kHashJoin: return "HashJoin";
+    case PlanNodeType::kAggregate: return "Aggregate";
+    case PlanNodeType::kSort: return "Sort";
+    case PlanNodeType::kProjection: return "Projection";
+    case PlanNodeType::kLimit: return "Limit";
+    case PlanNodeType::kInsert: return "Insert";
+    case PlanNodeType::kUpdate: return "Update";
+    case PlanNodeType::kDelete: return "Delete";
+    case PlanNodeType::kOutput: return "Output";
+  }
+  return "Unknown";
+}
+
+namespace {
+
+Schema ScanSchema(const Catalog &catalog, const std::string &table,
+                  const std::vector<uint32_t> &columns) {
+  const Table *t = catalog.GetTable(table);
+  MB2_ASSERT(t != nullptr, "scan references missing table");
+  if (columns.empty()) return t->schema();
+  return t->schema().Project(columns);
+}
+
+}  // namespace
+
+void SeqScanPlan::DeriveSchema(const Catalog &catalog) {
+  output_schema = ScanSchema(catalog, table, columns);
+}
+
+void IndexScanPlan::DeriveSchema(const Catalog &catalog) {
+  output_schema = ScanSchema(catalog, table, columns);
+}
+
+void HashJoinPlan::DeriveSchema(const Catalog &catalog) {
+  children[0]->DeriveSchema(catalog);
+  children[1]->DeriveSchema(catalog);
+  std::vector<Column> cols = children[0]->output_schema.columns();
+  const auto &probe_cols = children[1]->output_schema.columns();
+  cols.insert(cols.end(), probe_cols.begin(), probe_cols.end());
+  output_schema = Schema(std::move(cols));
+}
+
+void AggregatePlan::DeriveSchema(const Catalog &catalog) {
+  children[0]->DeriveSchema(catalog);
+  std::vector<Column> cols;
+  for (uint32_t g : group_by) {
+    cols.push_back(children[0]->output_schema.GetColumn(g));
+  }
+  for (size_t i = 0; i < terms.size(); i++) {
+    const bool integral = terms[i].func == AggFunc::kCount;
+    cols.push_back(Column{"agg" + std::to_string(i),
+                          integral ? TypeId::kInteger : TypeId::kDouble, 0});
+  }
+  output_schema = Schema(std::move(cols));
+}
+
+void SortPlan::DeriveSchema(const Catalog &catalog) {
+  children[0]->DeriveSchema(catalog);
+  output_schema = children[0]->output_schema;
+}
+
+void ProjectionPlan::DeriveSchema(const Catalog &catalog) {
+  children[0]->DeriveSchema(catalog);
+  std::vector<Column> cols;
+  for (size_t i = 0; i < exprs.size(); i++) {
+    // Column refs keep their source column type; computed expressions are
+    // treated as doubles for sizing purposes.
+    if (exprs[i]->type == ExprType::kColumnRef) {
+      cols.push_back(children[0]->output_schema.GetColumn(exprs[i]->col_idx));
+    } else {
+      cols.push_back(Column{"expr" + std::to_string(i), TypeId::kDouble, 0});
+    }
+  }
+  output_schema = Schema(std::move(cols));
+}
+
+void LimitPlan::DeriveSchema(const Catalog &catalog) {
+  children[0]->DeriveSchema(catalog);
+  output_schema = children[0]->output_schema;
+}
+
+void InsertPlan::DeriveSchema(const Catalog &catalog) {
+  if (!children.empty()) children[0]->DeriveSchema(catalog);
+  output_schema = Schema({Column{"inserted", TypeId::kInteger, 0}});
+}
+
+void UpdatePlan::DeriveSchema(const Catalog &catalog) {
+  children[0]->DeriveSchema(catalog);
+  output_schema = Schema({Column{"updated", TypeId::kInteger, 0}});
+}
+
+void DeletePlan::DeriveSchema(const Catalog &catalog) {
+  children[0]->DeriveSchema(catalog);
+  output_schema = Schema({Column{"deleted", TypeId::kInteger, 0}});
+}
+
+void OutputPlan::DeriveSchema(const Catalog &catalog) {
+  children[0]->DeriveSchema(catalog);
+  output_schema = children[0]->output_schema;
+}
+
+PlanPtr FinalizePlan(PlanPtr root, const Catalog &catalog) {
+  auto output = std::make_unique<OutputPlan>();
+  output->children.push_back(std::move(root));
+  output->DeriveSchema(catalog);
+  return output;
+}
+
+PlanPtr ClonePlan(const PlanNode &node) {
+  PlanPtr out;
+  switch (node.type) {
+    case PlanNodeType::kSeqScan: {
+      const auto *src = node.As<SeqScanPlan>();
+      auto p = std::make_unique<SeqScanPlan>();
+      p->table = src->table;
+      p->columns = src->columns;
+      p->predicate = src->predicate ? src->predicate->Clone() : nullptr;
+      p->with_slots = src->with_slots;
+      out = std::move(p);
+      break;
+    }
+    case PlanNodeType::kIndexScan: {
+      const auto *src = node.As<IndexScanPlan>();
+      auto p = std::make_unique<IndexScanPlan>();
+      p->index = src->index;
+      p->table = src->table;
+      p->key_lo = src->key_lo;
+      p->key_hi = src->key_hi;
+      p->columns = src->columns;
+      p->predicate = src->predicate ? src->predicate->Clone() : nullptr;
+      p->with_slots = src->with_slots;
+      p->limit = src->limit;
+      out = std::move(p);
+      break;
+    }
+    case PlanNodeType::kHashJoin: {
+      const auto *src = node.As<HashJoinPlan>();
+      auto p = std::make_unique<HashJoinPlan>();
+      p->build_keys = src->build_keys;
+      p->probe_keys = src->probe_keys;
+      out = std::move(p);
+      break;
+    }
+    case PlanNodeType::kAggregate: {
+      const auto *src = node.As<AggregatePlan>();
+      auto p = std::make_unique<AggregatePlan>();
+      p->group_by = src->group_by;
+      for (const auto &t : src->terms) {
+        p->terms.push_back(
+            AggregatePlan::Term{t.func, t.arg ? t.arg->Clone() : nullptr});
+      }
+      out = std::move(p);
+      break;
+    }
+    case PlanNodeType::kSort: {
+      const auto *src = node.As<SortPlan>();
+      auto p = std::make_unique<SortPlan>();
+      p->sort_keys = src->sort_keys;
+      p->descending = src->descending;
+      p->limit = src->limit;
+      out = std::move(p);
+      break;
+    }
+    case PlanNodeType::kProjection: {
+      const auto *src = node.As<ProjectionPlan>();
+      auto p = std::make_unique<ProjectionPlan>();
+      for (const auto &e : src->exprs) p->exprs.push_back(e->Clone());
+      out = std::move(p);
+      break;
+    }
+    case PlanNodeType::kLimit: {
+      const auto *src = node.As<LimitPlan>();
+      auto p = std::make_unique<LimitPlan>();
+      p->limit = src->limit;
+      out = std::move(p);
+      break;
+    }
+    case PlanNodeType::kInsert: {
+      const auto *src = node.As<InsertPlan>();
+      auto p = std::make_unique<InsertPlan>();
+      p->table = src->table;
+      p->rows = src->rows;
+      out = std::move(p);
+      break;
+    }
+    case PlanNodeType::kUpdate: {
+      const auto *src = node.As<UpdatePlan>();
+      auto p = std::make_unique<UpdatePlan>();
+      p->table = src->table;
+      for (const auto &[col, expr] : src->sets) {
+        p->sets.emplace_back(col, expr->Clone());
+      }
+      out = std::move(p);
+      break;
+    }
+    case PlanNodeType::kDelete: {
+      const auto *src = node.As<DeletePlan>();
+      auto p = std::make_unique<DeletePlan>();
+      p->table = src->table;
+      out = std::move(p);
+      break;
+    }
+    case PlanNodeType::kOutput: {
+      out = std::make_unique<OutputPlan>();
+      break;
+    }
+  }
+  out->output_schema = node.output_schema;
+  out->estimated_rows = node.estimated_rows;
+  out->estimated_cardinality = node.estimated_cardinality;
+  for (const auto &child : node.children) {
+    out->children.push_back(ClonePlan(*child));
+  }
+  return out;
+}
+
+}  // namespace mb2

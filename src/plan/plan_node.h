@@ -1,0 +1,187 @@
+#pragma once
+
+/// \file plan_node.h
+/// Physical query plan nodes. Plans are built programmatically (the
+/// workloads and OU-runners construct them directly, playing the role of
+/// NoisePage's cached prepared-statement plans). Execution is
+/// operator-at-a-time with full materialization between operators, so each
+/// operator instance maps onto exactly one (or two, for build/probe pairs)
+/// OU invocations with cleanly separable measurements.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "plan/expression.h"
+#include "storage/version.h"
+
+namespace mb2 {
+
+class Catalog;
+
+enum class PlanNodeType : uint8_t {
+  kSeqScan,
+  kIndexScan,
+  kHashJoin,
+  kAggregate,
+  kSort,
+  kProjection,
+  kLimit,
+  kInsert,
+  kUpdate,
+  kDelete,
+  kOutput,
+};
+
+const char *PlanNodeTypeName(PlanNodeType type);
+
+class PlanNode {
+ public:
+  explicit PlanNode(PlanNodeType t) : type(t) {}
+  virtual ~PlanNode() = default;
+
+  PlanNodeType type;
+  std::vector<std::unique_ptr<PlanNode>> children;
+
+  /// Filled by Catalog-aware schema derivation (DeriveSchemas).
+  Schema output_schema;
+
+  /// Filled by the CardinalityEstimator before translation/execution.
+  double estimated_rows = 0.0;
+  double estimated_cardinality = 0.0;  ///< distinct keys (join/agg/sort)
+
+  /// Recursively computes output schemas bottom-up.
+  virtual void DeriveSchema(const Catalog &catalog) = 0;
+
+  template <typename T>
+  T *As() {
+    return static_cast<T *>(this);
+  }
+  template <typename T>
+  const T *As() const {
+    return static_cast<const T *>(this);
+  }
+};
+
+using PlanPtr = std::unique_ptr<PlanNode>;
+
+/// Sequential scan with optional filter predicate and column projection.
+/// The scan and the predicate evaluation are tracked as separate OUs
+/// (SEQ_SCAN and ARITHMETIC) even though one node describes both.
+class SeqScanPlan : public PlanNode {
+ public:
+  SeqScanPlan() : PlanNode(PlanNodeType::kSeqScan) {}
+  std::string table;
+  std::vector<uint32_t> columns;  ///< projected columns (empty = all)
+  ExprPtr predicate;              ///< over the full base row; may be null
+  bool with_slots = false;        ///< carry slot ids (for update/delete)
+  void DeriveSchema(const Catalog &catalog) override;
+};
+
+/// Index scan: equality / prefix / range over a named B+tree, then fetch +
+/// residual filter on the base table.
+class IndexScanPlan : public PlanNode {
+ public:
+  IndexScanPlan() : PlanNode(PlanNodeType::kIndexScan) {}
+  std::string index;
+  std::string table;
+  Tuple key_lo;       ///< equality or range start (values for key prefix)
+  Tuple key_hi;       ///< range end; empty = equality/prefix scan on key_lo
+  std::vector<uint32_t> columns;
+  ExprPtr predicate;  ///< residual filter over the base row; may be null
+  bool with_slots = false;
+  uint64_t limit = 0;  ///< 0 = unlimited
+  void DeriveSchema(const Catalog &catalog) override;
+};
+
+/// Hash join; children[0] is the build side, children[1] the probe side.
+class HashJoinPlan : public PlanNode {
+ public:
+  HashJoinPlan() : PlanNode(PlanNodeType::kHashJoin) {}
+  std::vector<uint32_t> build_keys;
+  std::vector<uint32_t> probe_keys;
+  void DeriveSchema(const Catalog &catalog) override;
+};
+
+enum class AggFunc : uint8_t { kCount, kSum, kAvg, kMin, kMax };
+
+/// Hash aggregation with optional group-by columns.
+class AggregatePlan : public PlanNode {
+ public:
+  AggregatePlan() : PlanNode(PlanNodeType::kAggregate) {}
+  struct Term {
+    AggFunc func;
+    ExprPtr arg;  ///< null for COUNT(*)
+  };
+  std::vector<uint32_t> group_by;
+  std::vector<Term> terms;
+  void DeriveSchema(const Catalog &catalog) override;
+};
+
+/// Sort (optionally top-N when limit > 0). Output = input schema.
+class SortPlan : public PlanNode {
+ public:
+  SortPlan() : PlanNode(PlanNodeType::kSort) {}
+  std::vector<uint32_t> sort_keys;
+  std::vector<bool> descending;  ///< parallel to sort_keys
+  uint64_t limit = 0;
+  void DeriveSchema(const Catalog &catalog) override;
+};
+
+/// Scalar projection; its expression evaluation is the ARITHMETIC OU.
+class ProjectionPlan : public PlanNode {
+ public:
+  ProjectionPlan() : PlanNode(PlanNodeType::kProjection) {}
+  std::vector<ExprPtr> exprs;
+  void DeriveSchema(const Catalog &catalog) override;
+};
+
+class LimitPlan : public PlanNode {
+ public:
+  LimitPlan() : PlanNode(PlanNodeType::kLimit) {}
+  uint64_t limit = 0;
+  void DeriveSchema(const Catalog &catalog) override;
+};
+
+/// Inserts literal rows, or the child's output when a child is present.
+class InsertPlan : public PlanNode {
+ public:
+  InsertPlan() : PlanNode(PlanNodeType::kInsert) {}
+  std::string table;
+  std::vector<Tuple> rows;
+  void DeriveSchema(const Catalog &catalog) override;
+};
+
+/// Updates the rows produced by the child scan (which must carry slots).
+class UpdatePlan : public PlanNode {
+ public:
+  UpdatePlan() : PlanNode(PlanNodeType::kUpdate) {}
+  std::string table;
+  /// (column, value expression over the scanned base row)
+  std::vector<std::pair<uint32_t, ExprPtr>> sets;
+  void DeriveSchema(const Catalog &catalog) override;
+};
+
+/// Deletes the rows produced by the child scan (which must carry slots).
+class DeletePlan : public PlanNode {
+ public:
+  DeletePlan() : PlanNode(PlanNodeType::kDelete) {}
+  std::string table;
+  void DeriveSchema(const Catalog &catalog) override;
+};
+
+/// Root sink: serializes result rows to the (simulated) wire — OUTPUT OU.
+class OutputPlan : public PlanNode {
+ public:
+  OutputPlan() : PlanNode(PlanNodeType::kOutput) {}
+  void DeriveSchema(const Catalog &catalog) override;
+};
+
+/// Convenience: wraps a plan in an Output sink and derives all schemas.
+PlanPtr FinalizePlan(PlanPtr root, const Catalog &catalog);
+
+/// Deep copy of a plan tree (plans are templates reused across executions).
+PlanPtr ClonePlan(const PlanNode &node);
+
+}  // namespace mb2

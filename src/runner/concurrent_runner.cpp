@@ -1,0 +1,53 @@
+#include "runner/concurrent_runner.h"
+
+#include <chrono>
+
+#include "common/rng.h"
+#include "workload/workload_driver.h"
+
+namespace mb2 {
+
+std::vector<OuRecord> ConcurrentRunner::Run(const ConcurrentRunnerConfig &config) {
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<OuRecord> out;
+  auto &metrics = MetricsManager::Instance();
+
+  std::vector<const PlanNode *> all_plans;
+  for (const auto &[name, plan] : templates_) all_plans.push_back(plan);
+  if (all_plans.empty()) return out;
+
+  Rng subset_rng(4242);
+  for (uint32_t s = 0; s < config.subset_count; s++) {
+    // Random non-empty subset of the query templates.
+    std::vector<const PlanNode *> subset;
+    for (const PlanNode *plan : all_plans) {
+      if (subset_rng.NextDouble() < 0.6) subset.push_back(plan);
+    }
+    if (subset.empty()) subset.push_back(all_plans[s % all_plans.size()]);
+
+    for (uint32_t threads : config.thread_counts) {
+      for (double rate : config.rates) {
+        metrics.DrainAll();
+        metrics.SetEnabled(true);
+        WorkloadDriver::Run(
+            [&](Rng *rng) -> double {
+              const PlanNode *plan =
+                  subset[rng->Next() % subset.size()];
+              QueryResult result = db_->Execute(*plan);
+              return result.aborted ? -1.0 : result.elapsed_us;
+            },
+            threads, rate, config.period_s, /*seed=*/threads * 131 + s);
+        metrics.SetEnabled(false);
+        auto drained = metrics.DrainAll();
+        out.insert(out.end(), std::make_move_iterator(drained.begin()),
+                   std::make_move_iterator(drained.end()));
+      }
+    }
+  }
+  runner_seconds_ += std::chrono::duration_cast<std::chrono::duration<double>>(
+                         std::chrono::steady_clock::now() - start)
+                         .count();
+  return out;
+}
+
+}  // namespace mb2

@@ -1,0 +1,55 @@
+#pragma once
+
+/// \file concurrent_runner.h
+/// Concurrent runners (Sec 6.3): execute end-to-end query mixes on multiple
+/// threads at controlled submission rates to produce the interference
+/// model's training data. Sweeps (1) query subsets, (2) thread counts, and
+/// (3) submission rates, each combination for a short fixed period.
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "database.h"
+#include "metrics/metrics_collector.h"
+#include "plan/plan_node.h"
+
+namespace mb2 {
+
+struct ConcurrentRunnerConfig {
+  std::vector<uint32_t> thread_counts = {1, 3, 5, 7};
+  /// Per-thread submission rates (queries/sec); <= 0 means closed loop.
+  std::vector<double> rates = {-1.0, 20.0};
+  double period_s = 2.0;  ///< execution time per combination
+  uint32_t subset_count = 3;  ///< random query subsets tried
+
+  static ConcurrentRunnerConfig Small() {
+    ConcurrentRunnerConfig cfg;
+    cfg.thread_counts = {1, 3};
+    cfg.rates = {-1.0};
+    cfg.period_s = 0.5;
+    cfg.subset_count = 2;
+    return cfg;
+  }
+};
+
+class ConcurrentRunner {
+ public:
+  /// `templates` maps query name -> finalized plan (borrowed).
+  ConcurrentRunner(Database *db,
+                   std::map<std::string, const PlanNode *> templates)
+      : db_(db), templates_(std::move(templates)) {}
+
+  /// Runs all combinations with metrics enabled; returns the drained
+  /// records (timestamps + thread ids intact for window bucketing).
+  std::vector<OuRecord> Run(const ConcurrentRunnerConfig &config);
+
+  double runner_seconds() const { return runner_seconds_; }
+
+ private:
+  Database *db_;
+  std::map<std::string, const PlanNode *> templates_;
+  double runner_seconds_ = 0.0;
+};
+
+}  // namespace mb2

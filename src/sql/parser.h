@@ -1,0 +1,60 @@
+#pragma once
+
+/// \file parser.h
+/// Parser + binder for the SQL subset: statements are parsed and bound
+/// against the catalog directly into executable physical plans (there is no
+/// separate logical algebra — the optimizer surface of this engine is the
+/// cardinality estimator plus an index-selection rule for point predicates).
+///
+/// Supported grammar (one statement per string, optional trailing ';'):
+///   SELECT <select_list> FROM <table> [JOIN <table> ON a = b]...
+///     [WHERE <predicate>] [GROUP BY <cols>] [ORDER BY <col> [ASC|DESC]]
+///     [LIMIT <n>]
+///   select_list := * | expr [, expr]... with aggregates COUNT(*) / COUNT /
+///     SUM / AVG / MIN / MAX (mixing aggregates and plain columns implies
+///     GROUP BY the plain columns, SQL-92 style must still be spelled out)
+///   INSERT INTO <table> VALUES (v, ...) [, (v, ...)]...
+///   UPDATE <table> SET col = expr [, col = expr]... [WHERE <predicate>]
+///   DELETE FROM <table> [WHERE <predicate>]
+///   CREATE TABLE <name> (col TYPE [, col TYPE]...)
+///   CREATE [UNIQUE] INDEX <name> ON <table> (col [, col]...)
+///     [WITH <n> THREADS]
+///   DROP INDEX <name>
+///
+/// Column references may be qualified (table.column) in joins; unqualified
+/// names resolve left-to-right.
+
+#include <memory>
+#include <string>
+
+#include "database.h"
+#include "plan/plan_node.h"
+
+namespace mb2::sql {
+
+/// A bound statement ready for execution.
+struct BoundStatement {
+  enum class Kind { kQuery, kDml, kCreateTable, kCreateIndex, kDropIndex };
+  Kind kind = Kind::kQuery;
+
+  /// kQuery / kDml: finalized plan with estimates.
+  PlanPtr plan;
+
+  // kCreateTable
+  std::string table_name;
+  Schema schema;
+
+  // kCreateIndex / kDropIndex
+  IndexSchema index_schema;
+  uint32_t build_threads = 1;
+  std::string index_name;
+};
+
+/// Parses and binds one statement against the database's catalog.
+Result<BoundStatement> Parse(Database *db, const std::string &statement);
+
+/// Convenience: parse, bind, and execute (DDL included). For queries and
+/// DML the plan runs in its own transaction.
+Result<QueryResult> ExecuteSql(Database *db, const std::string &statement);
+
+}  // namespace mb2::sql

@@ -1,0 +1,211 @@
+#include "storage/table.h"
+
+#include "metrics/work_stats.h"
+
+namespace mb2 {
+
+Table::~Table() {
+  for (auto &slot : slots_) {
+    VersionNode *node = slot.head.load(std::memory_order_relaxed);
+    while (node != nullptr) {
+      VersionNode *next = node->next;
+      delete node;
+      node = next;
+    }
+  }
+}
+
+SlotId Table::Insert(Transaction *txn, Tuple tuple) {
+  auto *version = new VersionNode();
+  version->owner.store(txn->txn_id(), std::memory_order_release);
+  version->data = std::move(tuple);
+
+  WorkStats &ws = WorkStats::Current();
+  ws.tuples_processed++;
+  ws.bytes_written += TupleSize(version->data);
+  ws.allocations++;
+  ws.alloc_bytes += sizeof(VersionNode) + TupleSize(version->data);
+
+  SlotId slot;
+  {
+    append_latch_.LockExclusive();
+    slot = next_slot_.load(std::memory_order_relaxed);
+    slots_.emplace_back();
+    slots_.back().head.store(version, std::memory_order_release);
+    next_slot_.store(slot + 1, std::memory_order_release);
+    append_latch_.UnlockExclusive();
+  }
+
+  txn->RecordWrite(WriteRecord{this, slot, version, nullptr, /*is_insert=*/true});
+  txn->RecordRedo(RedoRecord{LogOpType::kInsert, table_id_, slot, version->data});
+  return slot;
+}
+
+namespace {
+
+/// An aborted version left in the chain as an invisible placeholder.
+bool IsDeadVersion(const VersionNode *v) {
+  return v->owner.load(std::memory_order_acquire) == kNoOwner &&
+         v->begin_ts.load(std::memory_order_acquire) == 0 &&
+         v->end_ts.load(std::memory_order_acquire) == 0;
+}
+
+/// First non-aborted version in the chain — the one a writer logically
+/// supersedes. Conflict checks and end-timestamp stamping must target it,
+/// never a dead placeholder (stamping a dead version's end would resurrect
+/// it for old snapshots and orphan the true predecessor).
+VersionNode *FirstLiveVersion(VersionNode *head) {
+  while (head != nullptr && IsDeadVersion(head)) head = head->next;
+  return head;
+}
+
+}  // namespace
+
+Status Table::Update(Transaction *txn, SlotId slot, Tuple new_tuple) {
+  TupleSlot *s = GetSlot(slot);
+  SpinLatch::ScopedLock guard(&s->latch);
+  VersionNode *head = s->head.load(std::memory_order_acquire);
+  if (head == nullptr) return Status::NotFound("slot has no versions");
+  VersionNode *live = FirstLiveVersion(head);
+  if (live == nullptr) return Status::NotFound("slot has no live versions");
+  const uint64_t owner = live->owner.load(std::memory_order_acquire);
+  if (owner != kNoOwner && owner != txn->txn_id()) {
+    WorkStats::Current().latch_waits++;
+    return Status::Aborted("write-write conflict");
+  }
+  // A version committed after our snapshot is also a conflict under SI.
+  if (owner == kNoOwner &&
+      live->begin_ts.load(std::memory_order_acquire) > txn->read_ts()) {
+    return Status::Aborted("snapshot too old");
+  }
+
+  auto *version = new VersionNode();
+  version->owner.store(txn->txn_id(), std::memory_order_release);
+  version->data = std::move(new_tuple);
+  version->next = head;
+  s->head.store(version, std::memory_order_release);
+
+  WorkStats &ws = WorkStats::Current();
+  ws.tuples_processed++;
+  ws.bytes_written += TupleSize(version->data);
+  ws.allocations++;
+  ws.alloc_bytes += sizeof(VersionNode) + TupleSize(version->data);
+
+  txn->RecordWrite(WriteRecord{this, slot, version, live, /*is_insert=*/false});
+  txn->RecordRedo(RedoRecord{LogOpType::kUpdate, table_id_, slot, version->data});
+  return Status::Ok();
+}
+
+Status Table::Delete(Transaction *txn, SlotId slot) {
+  TupleSlot *s = GetSlot(slot);
+  SpinLatch::ScopedLock guard(&s->latch);
+  VersionNode *head = s->head.load(std::memory_order_acquire);
+  if (head == nullptr) return Status::NotFound("slot has no versions");
+  VersionNode *live = FirstLiveVersion(head);
+  if (live == nullptr) return Status::NotFound("slot has no live versions");
+  const uint64_t owner = live->owner.load(std::memory_order_acquire);
+  if (owner != kNoOwner && owner != txn->txn_id()) {
+    WorkStats::Current().latch_waits++;
+    return Status::Aborted("write-write conflict");
+  }
+  if (owner == kNoOwner &&
+      live->begin_ts.load(std::memory_order_acquire) > txn->read_ts()) {
+    return Status::Aborted("snapshot too old");
+  }
+  if (live->deleted) return Status::NotFound("already deleted");
+
+  auto *version = new VersionNode();
+  version->owner.store(txn->txn_id(), std::memory_order_release);
+  version->deleted = true;
+  version->next = head;
+  s->head.store(version, std::memory_order_release);
+
+  WorkStats &ws = WorkStats::Current();
+  ws.tuples_processed++;
+  ws.allocations++;
+  ws.alloc_bytes += sizeof(VersionNode);
+
+  txn->RecordWrite(WriteRecord{this, slot, version, live, /*is_insert=*/false});
+  txn->RecordRedo(RedoRecord{LogOpType::kDelete, table_id_, slot, {}});
+  return Status::Ok();
+}
+
+bool Table::Select(const Transaction *txn, SlotId slot, Tuple *out) const {
+  const VersionNode *node = slots_[slot].head.load(std::memory_order_acquire);
+  WorkStats::Current().tuples_processed++;
+  while (node != nullptr) {
+    if (node->VisibleTo(txn->read_ts(), txn->txn_id())) {
+      if (node->deleted) return false;
+      *out = node->data;
+      WorkStats::Current().bytes_read += TupleSize(node->data);
+      return true;
+    }
+    node = node->next;
+  }
+  return false;
+}
+
+uint64_t Table::VisibleCount(uint64_t read_ts) const {
+  uint64_t count = 0;
+  const SlotId n = NumSlots();
+  for (SlotId i = 0; i < n; i++) {
+    const VersionNode *node = slots_[i].head.load(std::memory_order_acquire);
+    while (node != nullptr) {
+      if (node->VisibleTo(read_ts, /*reader_txn=*/0)) {
+        if (!node->deleted) count++;
+        break;
+      }
+      node = node->next;
+    }
+  }
+  return count;
+}
+
+uint64_t Table::GarbageCollect(uint64_t oldest_active_ts,
+                               uint64_t *bytes_reclaimed) {
+  uint64_t unlinked = 0;
+  const SlotId n = NumSlots();
+  for (SlotId i = 0; i < n; i++) {
+    TupleSlot *s = &slots_[i];
+    SpinLatch::ScopedLock guard(&s->latch);
+    VersionNode *node = s->head.load(std::memory_order_acquire);
+    if (node == nullptr) continue;
+    // Keep the newest version that is visible at oldest_active_ts; anything
+    // strictly older can never be read again.
+    VersionNode *keep_tail = node;
+    while (keep_tail != nullptr) {
+      const uint64_t begin = keep_tail->begin_ts.load(std::memory_order_acquire);
+      const uint64_t owner = keep_tail->owner.load(std::memory_order_acquire);
+      const uint64_t end = keep_tail->end_ts.load(std::memory_order_acquire);
+      if (owner == kNoOwner && begin != kUncommittedTs &&
+          begin <= oldest_active_ts && end > oldest_active_ts) {
+        break;  // keep_tail is the last version any live reader can need
+      }
+      keep_tail = keep_tail->next;
+    }
+    if (keep_tail == nullptr) continue;
+    VersionNode *garbage = keep_tail->next;
+    keep_tail->next = nullptr;
+    while (garbage != nullptr) {
+      VersionNode *next = garbage->next;
+      *bytes_reclaimed += sizeof(VersionNode) + TupleSize(garbage->data);
+      delete garbage;
+      unlinked++;
+      garbage = next;
+    }
+  }
+  return unlinked;
+}
+
+void Table::RollbackWrite(const WriteRecord &record) {
+  // Mark the aborted version permanently invisible rather than freeing it:
+  // concurrent readers may still be traversing the chain. The GC reclaims it
+  // once the slot is superseded by a later committed write.
+  TupleSlot *s = GetSlot(record.slot);
+  SpinLatch::ScopedLock guard(&s->latch);
+  record.version->begin_ts.store(0, std::memory_order_release);
+  record.version->end_ts.store(0, std::memory_order_release);
+  record.version->owner.store(kNoOwner, std::memory_order_release);
+}
+
+}  // namespace mb2

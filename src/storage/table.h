@@ -1,0 +1,86 @@
+#pragma once
+
+/// \file table.h
+/// In-memory MVCC row store. Slots live in a deque so addresses stay stable
+/// under concurrent appends; each slot holds a newest-first version chain.
+/// Write-write conflicts abort the second writer (first-writer-wins); MB2
+/// does not model conflict aborts (Sec 3), and the bundled workloads are
+/// partitioned to make them rare, but the engine still handles them.
+
+#include <atomic>
+#include <deque>
+#include <string>
+
+#include "catalog/schema.h"
+#include "common/latch.h"
+#include "common/status.h"
+#include "storage/version.h"
+#include "txn/transaction.h"
+
+namespace mb2 {
+
+class Table {
+ public:
+  Table(uint32_t table_id, std::string name, Schema schema)
+      : table_id_(table_id), name_(std::move(name)), schema_(std::move(schema)) {}
+  ~Table();
+  MB2_DISALLOW_COPY_AND_MOVE(Table);
+
+  uint32_t table_id() const { return table_id_; }
+  const std::string &name() const { return name_; }
+  const Schema &schema() const { return schema_; }
+
+  /// Appends a new tuple; visible to others after the txn commits.
+  SlotId Insert(Transaction *txn, Tuple tuple);
+
+  /// Installs a new version for the slot. Returns Aborted on a write-write
+  /// conflict (caller must abort the transaction).
+  Status Update(Transaction *txn, SlotId slot, Tuple new_tuple);
+
+  /// Installs a tombstone version.
+  Status Delete(Transaction *txn, SlotId slot);
+
+  /// Reads the version of `slot` visible to the transaction. Returns false
+  /// when no visible (live) version exists.
+  bool Select(const Transaction *txn, SlotId slot, Tuple *out) const;
+
+  /// Number of slots ever allocated (including logically deleted ones).
+  SlotId NumSlots() const { return next_slot_.load(std::memory_order_acquire); }
+
+  /// Count of currently visible tuples at the given timestamp (O(n); used
+  /// by the cardinality estimator's table statistics).
+  uint64_t VisibleCount(uint64_t read_ts) const;
+
+  /// Garbage collection: unlink committed versions no longer visible to any
+  /// transaction at or after `oldest_active_ts`. Returns versions unlinked
+  /// and adds reclaimed bytes to *bytes_reclaimed.
+  uint64_t GarbageCollect(uint64_t oldest_active_ts, uint64_t *bytes_reclaimed);
+
+  /// Direct head access for scans (read-only).
+  const VersionNode *Head(SlotId slot) const {
+    return slots_[slot].head.load(std::memory_order_acquire);
+  }
+
+  /// Rolls back a write record (called by the txn manager on abort).
+  void RollbackWrite(const WriteRecord &record);
+
+ private:
+  struct TupleSlot {
+    SpinLatch latch;
+    std::atomic<VersionNode *> head{nullptr};
+  };
+
+  TupleSlot *GetSlot(SlotId slot) {
+    return &slots_[slot];
+  }
+
+  uint32_t table_id_;
+  std::string name_;
+  Schema schema_;
+
+  mutable SharedLatch append_latch_;  ///< guards deque growth vs. access
+  std::deque<TupleSlot> slots_;
+  std::atomic<SlotId> next_slot_{0};
+};
+
+}  // namespace mb2

@@ -1,0 +1,43 @@
+#pragma once
+
+/// \file version.h
+/// MVCC version-chain node. Each tuple slot points to a newest-first chain
+/// of versions; a version is visible to a reader at timestamp `ts` when
+/// begin_ts <= ts < end_ts (or when the reader owns the uncommitted write).
+
+#include <atomic>
+#include <cstdint>
+
+#include "common/value.h"
+
+namespace mb2 {
+
+/// Timestamp sentinel for not-yet-committed versions.
+constexpr uint64_t kUncommittedTs = UINT64_MAX;
+/// Timestamp sentinel for "still live" (no successor version).
+constexpr uint64_t kInfinityTs = UINT64_MAX - 1;
+/// Owner id meaning "no uncommitted writer".
+constexpr uint64_t kNoOwner = 0;
+
+struct VersionNode {
+  std::atomic<uint64_t> begin_ts{kUncommittedTs};
+  std::atomic<uint64_t> end_ts{kInfinityTs};
+  /// Transaction id of the uncommitted writer; kNoOwner once resolved.
+  std::atomic<uint64_t> owner{kNoOwner};
+  bool deleted = false;  ///< tombstone version (logical delete)
+  Tuple data;
+  VersionNode *next = nullptr;  ///< older version
+
+  /// Visibility test for a reader.
+  bool VisibleTo(uint64_t read_ts, uint64_t reader_txn) const {
+    const uint64_t o = owner.load(std::memory_order_acquire);
+    if (o != kNoOwner) return o == reader_txn;
+    const uint64_t begin = begin_ts.load(std::memory_order_acquire);
+    const uint64_t end = end_ts.load(std::memory_order_acquire);
+    return begin <= read_ts && read_ts < end;
+  }
+};
+
+using SlotId = uint64_t;
+
+}  // namespace mb2

@@ -1,0 +1,67 @@
+#pragma once
+
+/// \file transaction.h
+/// Transaction state: read timestamp, write set (for commit stamping and
+/// abort rollback), and redo payload destined for the WAL.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/macros.h"
+#include "storage/version.h"
+
+namespace mb2 {
+
+class Table;
+
+/// Type of a logged modification.
+enum class LogOpType : uint8_t { kInsert = 0, kUpdate, kDelete, kCommit };
+
+/// A redo record accumulated during the transaction and handed to the log
+/// manager at commit (LOG_SERIALIZE OU input).
+struct RedoRecord {
+  LogOpType op;
+  uint32_t table_id = 0;
+  SlotId slot = 0;
+  Tuple after;  ///< new image (empty for deletes)
+};
+
+/// Entry in the write set: enough to stamp timestamps at commit or to roll
+/// the slot back on abort.
+struct WriteRecord {
+  Table *table = nullptr;
+  SlotId slot = 0;
+  VersionNode *version = nullptr;      ///< version this txn installed
+  VersionNode *supersedes = nullptr;   ///< prior head (nullptr for inserts)
+  bool is_insert = false;
+};
+
+class Transaction {
+ public:
+  Transaction(uint64_t txn_id, uint64_t read_ts, bool read_only)
+      : txn_id_(txn_id), read_ts_(read_ts), read_only_(read_only) {}
+  MB2_DISALLOW_COPY_AND_MOVE(Transaction);
+
+  uint64_t txn_id() const { return txn_id_; }
+  uint64_t read_ts() const { return read_ts_; }
+  bool read_only() const { return read_only_; }
+  uint64_t commit_ts() const { return commit_ts_; }
+  void set_commit_ts(uint64_t ts) { commit_ts_ = ts; }
+
+  std::vector<WriteRecord> &write_set() { return write_set_; }
+  std::vector<RedoRecord> &redo_log() { return redo_log_; }
+
+  void RecordWrite(WriteRecord record) { write_set_.push_back(record); }
+  void RecordRedo(RedoRecord record) { redo_log_.push_back(std::move(record)); }
+
+ private:
+  uint64_t txn_id_;
+  uint64_t read_ts_;
+  bool read_only_;
+  uint64_t commit_ts_ = 0;
+  std::vector<WriteRecord> write_set_;
+  std::vector<RedoRecord> redo_log_;
+};
+
+}  // namespace mb2

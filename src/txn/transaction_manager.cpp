@@ -1,0 +1,103 @@
+#include "txn/transaction_manager.h"
+
+#include "metrics/metrics_collector.h"
+#include "storage/table.h"
+
+namespace mb2 {
+
+namespace {
+constexpr size_t kRateWindow = 256;  // begins kept for arrival-rate estimate
+}
+
+std::unique_ptr<Transaction> TransactionManager::Begin(bool read_only) {
+  const double rate = ArrivalRate();
+  double running;
+  {
+    std::lock_guard<std::mutex> lock(active_mutex_);
+    running = static_cast<double>(active_read_ts_.size());
+  }
+  OuTrackerScope scope(OuType::kTxnBegin, {rate, running});
+
+  const uint64_t read_ts = ts_counter_.fetch_add(1, std::memory_order_acq_rel);
+  const uint64_t txn_id = read_ts;
+  {
+    std::lock_guard<std::mutex> lock(active_mutex_);
+    active_read_ts_.insert(read_ts);
+  }
+  {
+    std::lock_guard<std::mutex> lock(rate_mutex_);
+    recent_begin_us_.push_back(NowMicros());
+    if (recent_begin_us_.size() > kRateWindow) recent_begin_us_.pop_front();
+  }
+  return std::make_unique<Transaction>(txn_id, read_ts, read_only);
+}
+
+Status TransactionManager::Commit(Transaction *txn) {
+  const double rate = ArrivalRate();
+  double running;
+  {
+    std::lock_guard<std::mutex> lock(active_mutex_);
+    running = static_cast<double>(active_read_ts_.size());
+  }
+  {
+    OuTrackerScope scope(OuType::kTxnCommit, {rate, running});
+
+    const uint64_t commit_ts =
+        ts_counter_.fetch_add(1, std::memory_order_acq_rel);
+    txn->set_commit_ts(commit_ts);
+
+    // Stamp versions: install begin on new versions, end on superseded ones.
+    for (const auto &w : txn->write_set()) {
+      w.version->begin_ts.store(commit_ts, std::memory_order_release);
+      w.version->owner.store(kNoOwner, std::memory_order_release);
+      if (w.supersedes != nullptr) {
+        w.supersedes->end_ts.store(commit_ts, std::memory_order_release);
+      }
+    }
+
+    {
+      std::lock_guard<std::mutex> lock(active_mutex_);
+      active_read_ts_.erase(active_read_ts_.find(txn->read_ts()));
+    }
+  }
+
+  // WAL serialization is its own (batch) OU inside the log manager.
+  if (log_manager_ != nullptr && !txn->redo_log().empty()) {
+    log_manager_->Serialize(txn->redo_log(), txn->txn_id());
+  }
+  return Status::Ok();
+}
+
+void TransactionManager::Abort(Transaction *txn) {
+  // Roll back newest-first so chains unwind in order.
+  auto &writes = txn->write_set();
+  for (auto it = writes.rbegin(); it != writes.rend(); ++it) {
+    it->table->RollbackWrite(*it);
+  }
+  std::lock_guard<std::mutex> lock(active_mutex_);
+  active_read_ts_.erase(active_read_ts_.find(txn->read_ts()));
+}
+
+uint64_t TransactionManager::OldestActiveTs() {
+  std::lock_guard<std::mutex> lock(active_mutex_);
+  if (active_read_ts_.empty()) {
+    return ts_counter_.load(std::memory_order_acquire);
+  }
+  return *active_read_ts_.begin();
+}
+
+uint64_t TransactionManager::NumActive() {
+  std::lock_guard<std::mutex> lock(active_mutex_);
+  return active_read_ts_.size();
+}
+
+double TransactionManager::ArrivalRate() {
+  std::lock_guard<std::mutex> lock(rate_mutex_);
+  if (recent_begin_us_.size() < 2) return 0.0;
+  const double span_us = static_cast<double>(recent_begin_us_.back() -
+                                             recent_begin_us_.front());
+  if (span_us <= 0.0) return 0.0;
+  return static_cast<double>(recent_begin_us_.size() - 1) / (span_us / 1e6);
+}
+
+}  // namespace mb2

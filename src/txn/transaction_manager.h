@@ -1,0 +1,60 @@
+#pragma once
+
+/// \file transaction_manager.h
+/// Timestamp-ordered MVCC transaction manager. Begin/Commit are the two
+/// "contending" transaction OUs: their cost depends on the arrival rate and
+/// the number of running transactions (the active-set critical section),
+/// which are exactly their input features (Sec 4.2).
+
+#include <atomic>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <set>
+
+#include "common/macros.h"
+#include "common/status.h"
+#include "txn/transaction.h"
+#include "wal/log_manager.h"
+
+namespace mb2 {
+
+class TransactionManager {
+ public:
+  /// `log_manager` may be null (no WAL, e.g. unit tests).
+  explicit TransactionManager(LogManager *log_manager = nullptr)
+      : log_manager_(log_manager) {}
+  MB2_DISALLOW_COPY_AND_MOVE(TransactionManager);
+
+  /// Starts a transaction (TXN_BEGIN OU). Caller owns the returned object
+  /// until Commit/Abort consumes it.
+  std::unique_ptr<Transaction> Begin(bool read_only = false);
+
+  /// Commits: stamps write-set versions with the commit timestamp, hands the
+  /// redo log to the WAL, removes the txn from the active set (TXN_COMMIT OU
+  /// + nested LOG_SERIALIZE OU inside the log manager).
+  Status Commit(Transaction *txn);
+
+  /// Aborts: rolls back the write set.
+  void Abort(Transaction *txn);
+
+  /// Oldest read timestamp any active transaction can use; the GC horizon.
+  uint64_t OldestActiveTs();
+
+  uint64_t NumActive();
+
+  /// Transactions begun per second over the recent window (an OU feature).
+  double ArrivalRate();
+
+ private:
+  LogManager *log_manager_;
+  std::atomic<uint64_t> ts_counter_{1};
+
+  std::mutex active_mutex_;
+  std::multiset<uint64_t> active_read_ts_;
+
+  std::mutex rate_mutex_;
+  std::deque<int64_t> recent_begin_us_;
+};
+
+}  // namespace mb2

@@ -1,0 +1,120 @@
+#include "wal/log_manager.h"
+
+#include "metrics/metrics_collector.h"
+#include "metrics/work_stats.h"
+
+namespace mb2 {
+
+LogManager::LogManager(std::string path, SettingsManager *settings)
+    : settings_(settings) {
+  if (!path.empty()) {
+    file_ = std::fopen(path.c_str(), "wb");
+    MB2_ASSERT(file_ != nullptr, "cannot open WAL file");
+  }
+}
+
+LogManager::~LogManager() {
+  StopFlusher();
+  if (file_ != nullptr) {
+    FlushNow();
+    std::fclose(file_);
+  }
+}
+
+void LogManager::Serialize(const std::vector<RedoRecord> &records,
+                           uint64_t txn_id) {
+  if (file_ == nullptr || records.empty()) return;
+
+  size_t total_bytes = 0;
+  for (const auto &r : records) total_bytes += RedoRecordSize(r);
+  const double interval =
+      settings_->GetDouble("log_flush_interval_us");
+
+  // Features: num_records, num_bytes, num_buffers(filled by this call),
+  // interval. Buffer count amended after serialization.
+  OuTrackerScope scope(OuType::kLogSerialize,
+                       {static_cast<double>(records.size()),
+                        static_cast<double>(total_bytes), 0.0, interval});
+
+  std::vector<uint8_t> encoded;
+  encoded.reserve(total_bytes);
+  for (const auto &r : records) SerializeRedoRecord(r, txn_id, &encoded);
+  WorkStats::Current().bytes_written += encoded.size();
+
+  uint32_t buffers_sealed = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    size_t offset = 0;
+    while (offset < encoded.size()) {
+      if (!active_.HasSpace(1)) {
+        SealActiveLocked();
+        buffers_sealed++;
+      }
+      const size_t space = LogBuffer::kCapacity - active_.size();
+      const size_t chunk = std::min(space, encoded.size() - offset);
+      active_.Append(encoded.data() + offset, chunk);
+      offset += chunk;
+    }
+    active_.num_records += static_cast<uint32_t>(records.size());
+  }
+  scope.MutableFeatures()[2] = static_cast<double>(buffers_sealed);
+}
+
+void LogManager::SealActiveLocked() {
+  filled_.push_back(std::move(active_));
+  active_ = LogBuffer();
+}
+
+void LogManager::FlushFilled() {
+  std::vector<LogBuffer> to_flush;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!active_.empty()) SealActiveLocked();
+    to_flush.swap(filled_);
+  }
+  if (to_flush.empty()) return;
+
+  size_t total_bytes = 0;
+  for (const auto &b : to_flush) total_bytes += b.size();
+  const double interval = settings_->GetDouble("log_flush_interval_us");
+
+  OuTrackerScope scope(OuType::kLogFlush,
+                       {static_cast<double>(total_bytes),
+                        static_cast<double>(to_flush.size()), interval});
+  for (const auto &b : to_flush) {
+    std::fwrite(b.data().data(), 1, b.size(), file_);
+  }
+  std::fflush(file_);
+  WorkStats::Current().log_bytes += total_bytes;
+  total_flushed_.fetch_add(total_bytes, std::memory_order_relaxed);
+}
+
+void LogManager::FlushNow() { FlushFilled(); }
+
+void LogManager::StartFlusher() {
+  if (file_ == nullptr || running_.load()) return;
+  running_.store(true);
+  flusher_ = std::thread([this] { FlusherLoop(); });
+}
+
+void LogManager::StopFlusher() {
+  if (!running_.load()) return;
+  running_.store(false);
+  flusher_cv_.notify_all();
+  if (flusher_.joinable()) flusher_.join();
+}
+
+void LogManager::FlusherLoop() {
+  while (running_.load()) {
+    const auto interval = std::chrono::microseconds(
+        settings_->GetInt("log_flush_interval_us"));
+    {
+      std::unique_lock<std::mutex> lock(flusher_mutex_);
+      flusher_cv_.wait_for(lock, interval, [this] { return !running_.load(); });
+    }
+    if (!running_.load()) break;
+    FlushFilled();
+  }
+}
+
+}  // namespace mb2

@@ -1,0 +1,66 @@
+#pragma once
+
+/// \file log_manager.h
+/// Write-ahead log: commit-time serialization into in-memory buffers
+/// (LOG_SERIALIZE OU) and a background flusher that writes filled buffers to
+/// the log device on a knob-controlled interval (LOG_FLUSH OU, a "batch" OU
+/// whose features are the totals accumulated since the last flush).
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "catalog/settings.h"
+#include "common/macros.h"
+#include "wal/log_record.h"
+
+namespace mb2 {
+
+class LogManager {
+ public:
+  /// `path` is the log device file; empty disables the WAL entirely.
+  LogManager(std::string path, SettingsManager *settings);
+  ~LogManager();
+  MB2_DISALLOW_COPY_AND_MOVE(LogManager);
+
+  /// Serializes a transaction's redo records (called at commit). Tracked as
+  /// the LOG_SERIALIZE OU.
+  void Serialize(const std::vector<RedoRecord> &records, uint64_t txn_id);
+
+  /// Starts/stops the background flusher thread.
+  void StartFlusher();
+  void StopFlusher();
+
+  /// Synchronously flushes everything buffered (tracked as LOG_FLUSH).
+  void FlushNow();
+
+  bool enabled() const { return file_ != nullptr; }
+  uint64_t total_bytes_flushed() const {
+    return total_flushed_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void FlusherLoop();
+  /// Must hold mutex_; moves the active buffer to the filled list.
+  void SealActiveLocked();
+  void FlushFilled();
+
+  std::FILE *file_ = nullptr;
+  SettingsManager *settings_;
+
+  std::mutex mutex_;
+  LogBuffer active_;
+  std::vector<LogBuffer> filled_;
+
+  std::thread flusher_;
+  std::condition_variable flusher_cv_;
+  std::mutex flusher_mutex_;
+  std::atomic<bool> running_{false};
+  std::atomic<uint64_t> total_flushed_{0};
+};
+
+}  // namespace mb2

@@ -1,0 +1,33 @@
+#pragma once
+
+/// \file log_recovery.h
+/// WAL replay: reconstructs table contents from a log file. Our WAL is a
+/// redo-only commit log (records are serialized at commit, so everything in
+/// the file is durable); replay applies records in log order inside one
+/// recovery transaction. Logged slot ids are remapped to the slots the
+/// replayed inserts land in, so recovery restores any database whose full
+/// write history is in the log (tables themselves come from the catalog —
+/// schema DDL is not logged).
+
+#include <string>
+
+#include "catalog/catalog.h"
+#include "common/status.h"
+#include "txn/transaction_manager.h"
+
+namespace mb2 {
+
+struct RecoveryStats {
+  uint64_t records_applied = 0;
+  uint64_t inserts = 0;
+  uint64_t updates = 0;
+  uint64_t deletes = 0;
+  uint64_t skipped = 0;  ///< records referencing unknown tables/slots
+};
+
+/// Replays `path` into the catalog's tables (matched by table id). Index
+/// maintenance is performed for every registered index.
+Result<RecoveryStats> ReplayLog(const std::string &path, Catalog *catalog,
+                                TransactionManager *txn_manager);
+
+}  // namespace mb2

@@ -1,0 +1,3 @@
+#include "workload/forecast.h"
+
+// Header-only for now; anchors the header in the build.

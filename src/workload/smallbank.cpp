@@ -1,0 +1,150 @@
+#include "workload/smallbank.h"
+
+#include "metrics/metrics_collector.h"
+
+namespace mb2 {
+
+void SmallBankWorkload::Load() {
+  Catalog &catalog = db_->catalog();
+  Rng rng(seed_);
+
+  catalog.CreateTable("accounts", Schema({{"custid", TypeId::kInteger, 0},
+                                          {"name", TypeId::kInteger, 0}}));
+  catalog.CreateTable("savings", Schema({{"custid", TypeId::kInteger, 0},
+                                         {"bal", TypeId::kDouble, 0}}));
+  catalog.CreateTable("checking", Schema({{"custid", TypeId::kInteger, 0},
+                                          {"bal", TypeId::kDouble, 0}}));
+  catalog.CreateIndex({"pk_accounts", "accounts", {0}, true});
+  catalog.CreateIndex({"pk_savings", "savings", {0}, true});
+  catalog.CreateIndex({"pk_checking", "checking", {0}, true});
+
+  auto txn = db_->txn_manager().Begin();
+  auto insert = [&](const std::string &table, Tuple row) {
+    Table *t = catalog.GetTable(table);
+    const SlotId slot = t->Insert(txn.get(), row);
+    for (BPlusTree *index : catalog.GetTableIndexes(table)) {
+      Tuple key;
+      for (uint32_t c : index->schema().key_columns) key.push_back(row[c]);
+      index->Insert(key, slot);
+    }
+  };
+  for (int64_t c = 0; c < static_cast<int64_t>(accounts_); c++) {
+    insert("accounts", {Value::Integer(c), Value::Integer(rng.Uniform(0, 1 << 20))});
+    insert("savings", {Value::Integer(c), Value::Double(rng.Uniform(10.0, 5000.0))});
+    insert("checking", {Value::Integer(c), Value::Double(rng.Uniform(10.0, 5000.0))});
+  }
+  db_->txn_manager().Commit(txn.get());
+  db_->estimator().RefreshStats();
+}
+
+const std::vector<std::string> &SmallBankWorkload::TransactionNames() {
+  static const std::vector<std::string> kNames = {
+      "Balance", "DepositChecking", "TransactSavings", "Amalgamate",
+      "WriteCheck"};
+  return kNames;
+}
+
+PlanPtr SmallBankWorkload::Lookup(const std::string &table, int64_t custid,
+                                  bool with_slots) const {
+  auto scan = std::make_unique<IndexScanPlan>();
+  scan->index = "pk_" + table;
+  scan->table = table;
+  scan->key_lo = {Value::Integer(custid)};
+  scan->with_slots = with_slots;
+  PlanPtr plan = FinalizePlan(std::move(scan), db_->catalog());
+  db_->estimator().Estimate(plan.get());
+  return plan;
+}
+
+PlanPtr SmallBankWorkload::BalanceUpdate(const std::string &table,
+                                         int64_t custid, double delta) const {
+  auto scan = std::make_unique<IndexScanPlan>();
+  scan->index = "pk_" + table;
+  scan->table = table;
+  scan->key_lo = {Value::Integer(custid)};
+  scan->with_slots = true;
+  auto update = std::make_unique<UpdatePlan>();
+  update->table = table;
+  update->sets.emplace_back(1, Arith(ArithOp::kAdd, ColRef(1), ConstDouble(delta)));
+  update->children.push_back(std::move(scan));
+  PlanPtr plan = FinalizePlan(std::move(update), db_->catalog());
+  db_->estimator().Estimate(plan.get());
+  return plan;
+}
+
+double SmallBankWorkload::RunTransaction(const std::string &name, Rng *rng) {
+  const int64_t start = NowMicros();
+  const int64_t c = rng->Uniform(int64_t{0}, static_cast<int64_t>(accounts_) - 1);
+  auto txn = db_->txn_manager().Begin();
+  Batch out;
+  auto run = [&](const PlanPtr &plan) {
+    out.rows.clear();
+    out.slots.clear();
+    return db_->engine().ExecuteInTxn(*plan, txn.get(), &out);
+  };
+  bool ok = true;
+
+  if (name == "Balance") {
+    run(Lookup("accounts", c));
+    run(Lookup("savings", c));
+    run(Lookup("checking", c));
+  } else if (name == "DepositChecking") {
+    run(Lookup("accounts", c));
+    ok = run(BalanceUpdate("checking", c, rng->Uniform(1.0, 100.0))).ok();
+  } else if (name == "TransactSavings") {
+    run(Lookup("accounts", c));
+    ok = run(BalanceUpdate("savings", c, rng->Uniform(-100.0, 100.0))).ok();
+  } else if (name == "Amalgamate") {
+    const int64_t c2 = rng->Uniform(int64_t{0}, static_cast<int64_t>(accounts_) - 1);
+    run(Lookup("accounts", c));
+    run(Lookup("savings", c));
+    run(Lookup("checking", c));
+    ok = run(BalanceUpdate("savings", c, -50.0)).ok() &&
+         run(BalanceUpdate("checking", c2, 50.0)).ok();
+  } else if (name == "WriteCheck") {
+    run(Lookup("accounts", c));
+    run(Lookup("savings", c));
+    ok = run(BalanceUpdate("checking", c, -rng->Uniform(1.0, 50.0))).ok();
+  } else {
+    MB2_UNREACHABLE("unknown SmallBank transaction");
+  }
+
+  if (!ok) {
+    db_->txn_manager().Abort(txn.get());
+    return -1.0;
+  }
+  db_->txn_manager().Commit(txn.get());
+  return static_cast<double>(NowMicros() - start);
+}
+
+double SmallBankWorkload::RunRandomTransaction(Rng *rng) {
+  const int64_t pick = rng->Uniform(0, 99);
+  if (pick < 15) return RunTransaction("Balance", rng);
+  if (pick < 40) return RunTransaction("DepositChecking", rng);
+  if (pick < 55) return RunTransaction("TransactSavings", rng);
+  if (pick < 75) return RunTransaction("Amalgamate", rng);
+  return RunTransaction("WriteCheck", rng);
+}
+
+std::map<std::string, std::vector<const PlanNode *>>
+SmallBankWorkload::TemplatePlans() {
+  if (template_cache_.empty()) {
+    std::vector<PlanPtr> balance;
+    balance.push_back(Lookup("accounts", 1));
+    balance.push_back(Lookup("savings", 1));
+    balance.push_back(Lookup("checking", 1));
+    template_cache_["Balance"] = std::move(balance);
+    std::vector<PlanPtr> deposit;
+    deposit.push_back(Lookup("accounts", 1));
+    template_cache_["DepositChecking"] = std::move(deposit);
+  }
+  std::map<std::string, std::vector<const PlanNode *>> out;
+  for (const auto &[name, plans] : template_cache_) {
+    std::vector<const PlanNode *> raw;
+    for (const auto &p : plans) raw.push_back(p.get());
+    out[name] = std::move(raw);
+  }
+  return out;
+}
+
+}  // namespace mb2

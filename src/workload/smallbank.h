@@ -1,0 +1,44 @@
+#pragma once
+
+/// \file smallbank.h
+/// SmallBank workload (Alomari et al.): three tables and five transactions
+/// modeling customers interacting with a bank branch. The simplest OLTP
+/// benchmark — useful as the far end of the Fig 7b generalization sweep.
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "database.h"
+#include "plan/plan_node.h"
+
+namespace mb2 {
+
+class SmallBankWorkload {
+ public:
+  SmallBankWorkload(Database *db, uint64_t accounts = 20000, uint64_t seed = 31)
+      : db_(db), accounts_(accounts), seed_(seed) {}
+
+  void Load();
+
+  static const std::vector<std::string> &TransactionNames();
+
+  double RunTransaction(const std::string &name, Rng *rng);
+  double RunRandomTransaction(Rng *rng);
+
+  std::map<std::string, std::vector<const PlanNode *>> TemplatePlans();
+
+ private:
+  PlanPtr Lookup(const std::string &table, int64_t custid,
+                 bool with_slots = false) const;
+  PlanPtr BalanceUpdate(const std::string &table, int64_t custid,
+                        double delta) const;
+
+  Database *db_;
+  uint64_t accounts_;
+  uint64_t seed_;
+  std::map<std::string, std::vector<PlanPtr>> template_cache_;
+};
+
+}  // namespace mb2

@@ -1,0 +1,205 @@
+#include "workload/tatp.h"
+
+#include "metrics/metrics_collector.h"
+
+namespace mb2 {
+
+void TatpWorkload::Load() {
+  Catalog &catalog = db_->catalog();
+  Rng rng(seed_);
+
+  catalog.CreateTable("subscriber", Schema({{"s_id", TypeId::kInteger, 0},
+                                            {"bit_1", TypeId::kInteger, 0},
+                                            {"vlr_location", TypeId::kInteger, 0}}));
+  catalog.CreateTable("access_info", Schema({{"ai_s_id", TypeId::kInteger, 0},
+                                             {"ai_type", TypeId::kInteger, 0},
+                                             {"ai_data", TypeId::kInteger, 0}}));
+  catalog.CreateTable("special_facility",
+                      Schema({{"sf_s_id", TypeId::kInteger, 0},
+                              {"sf_type", TypeId::kInteger, 0},
+                              {"is_active", TypeId::kInteger, 0}}));
+  catalog.CreateTable("call_forwarding",
+                      Schema({{"cf_s_id", TypeId::kInteger, 0},
+                              {"cf_sf_type", TypeId::kInteger, 0},
+                              {"start_time", TypeId::kInteger, 0},
+                              {"end_time", TypeId::kInteger, 0}}));
+  catalog.CreateIndex({"pk_subscriber", "subscriber", {0}, true});
+  catalog.CreateIndex({"pk_access_info", "access_info", {0, 1}, true});
+  catalog.CreateIndex({"pk_special_facility", "special_facility", {0, 1}, true});
+  catalog.CreateIndex({"pk_call_forwarding", "call_forwarding", {0, 1, 2}, false});
+
+  auto txn = db_->txn_manager().Begin();
+  auto insert = [&](const std::string &table, Tuple row) {
+    Table *t = catalog.GetTable(table);
+    const SlotId slot = t->Insert(txn.get(), row);
+    for (BPlusTree *index : catalog.GetTableIndexes(table)) {
+      Tuple key;
+      for (uint32_t c : index->schema().key_columns) key.push_back(row[c]);
+      index->Insert(key, slot);
+    }
+  };
+  for (int64_t s = 0; s < static_cast<int64_t>(subscribers_); s++) {
+    insert("subscriber", {Value::Integer(s), Value::Integer(rng.Uniform(0, 1)),
+                          Value::Integer(rng.Uniform(0, 1 << 16))});
+    const int64_t ai_count = rng.Uniform(1, 4);
+    for (int64_t a = 0; a < ai_count; a++) {
+      insert("access_info",
+             {Value::Integer(s), Value::Integer(a), Value::Integer(rng.Uniform(0, 255))});
+    }
+    const int64_t sf_count = rng.Uniform(1, 4);
+    for (int64_t f = 0; f < sf_count; f++) {
+      insert("special_facility", {Value::Integer(s), Value::Integer(f),
+                                  Value::Integer(rng.Uniform(0, 1))});
+      if (rng.Uniform(0, 3) == 0) {
+        insert("call_forwarding",
+               {Value::Integer(s), Value::Integer(f),
+                Value::Integer(rng.Uniform(0, 2) * 8),
+                Value::Integer(rng.Uniform(1, 3) * 8)});
+      }
+    }
+  }
+  db_->txn_manager().Commit(txn.get());
+  db_->estimator().RefreshStats();
+}
+
+const std::vector<std::string> &TatpWorkload::TransactionNames() {
+  static const std::vector<std::string> kNames = {
+      "GetSubscriberData",    "GetNewDestination",  "GetAccessData",
+      "UpdateSubscriberData", "UpdateLocation",     "InsertCallForwarding",
+      "DeleteCallForwarding"};
+  return kNames;
+}
+
+PlanPtr TatpWorkload::PkLookup(const std::string &table,
+                               const std::string &index, Tuple key,
+                               bool with_slots) const {
+  auto scan = std::make_unique<IndexScanPlan>();
+  scan->index = index;
+  scan->table = table;
+  scan->key_lo = std::move(key);
+  scan->with_slots = with_slots;
+  PlanPtr plan = FinalizePlan(std::move(scan), db_->catalog());
+  db_->estimator().Estimate(plan.get());
+  return plan;
+}
+
+double TatpWorkload::RunTransaction(const std::string &name, Rng *rng) {
+  const int64_t start = NowMicros();
+  const int64_t s = rng->Uniform(int64_t{0}, static_cast<int64_t>(subscribers_) - 1);
+  auto txn = db_->txn_manager().Begin();
+  Batch out;
+  auto run = [&](const PlanPtr &plan) {
+    out.rows.clear();
+    out.slots.clear();
+    return db_->engine().ExecuteInTxn(*plan, txn.get(), &out);
+  };
+  bool ok = true;
+
+  if (name == "GetSubscriberData") {
+    run(PkLookup("subscriber", "pk_subscriber", {Value::Integer(s)}));
+  } else if (name == "GetNewDestination") {
+    run(PkLookup("special_facility", "pk_special_facility",
+                 {Value::Integer(s), Value::Integer(rng->Uniform(0, 3))}));
+    run(PkLookup("call_forwarding", "pk_call_forwarding",
+                 {Value::Integer(s), Value::Integer(rng->Uniform(0, 3))}));
+  } else if (name == "GetAccessData") {
+    run(PkLookup("access_info", "pk_access_info",
+                 {Value::Integer(s), Value::Integer(rng->Uniform(0, 3))}));
+  } else if (name == "UpdateSubscriberData") {
+    auto scan = std::make_unique<IndexScanPlan>();
+    scan->index = "pk_subscriber";
+    scan->table = "subscriber";
+    scan->key_lo = {Value::Integer(s)};
+    scan->with_slots = true;
+    auto update = std::make_unique<UpdatePlan>();
+    update->table = "subscriber";
+    update->sets.emplace_back(1, ConstInt(rng->Uniform(0, 1)));
+    update->children.push_back(std::move(scan));
+    auto plan = FinalizePlan(std::move(update), db_->catalog());
+    db_->estimator().Estimate(plan.get());
+    ok = run(plan).ok();
+  } else if (name == "UpdateLocation") {
+    auto scan = std::make_unique<IndexScanPlan>();
+    scan->index = "pk_subscriber";
+    scan->table = "subscriber";
+    scan->key_lo = {Value::Integer(s)};
+    scan->with_slots = true;
+    auto update = std::make_unique<UpdatePlan>();
+    update->table = "subscriber";
+    update->sets.emplace_back(2, ConstInt(rng->Uniform(0, 1 << 16)));
+    update->children.push_back(std::move(scan));
+    auto plan = FinalizePlan(std::move(update), db_->catalog());
+    db_->estimator().Estimate(plan.get());
+    ok = run(plan).ok();
+  } else if (name == "InsertCallForwarding") {
+    auto insert = std::make_unique<InsertPlan>();
+    insert->table = "call_forwarding";
+    insert->rows.push_back({Value::Integer(s),
+                            Value::Integer(rng->Uniform(0, 3)),
+                            Value::Integer(rng->Uniform(0, 2) * 8),
+                            Value::Integer(rng->Uniform(1, 3) * 8)});
+    auto plan = FinalizePlan(std::move(insert), db_->catalog());
+    db_->estimator().Estimate(plan.get());
+    run(plan);
+  } else if (name == "DeleteCallForwarding") {
+    auto scan = std::make_unique<IndexScanPlan>();
+    scan->index = "pk_call_forwarding";
+    scan->table = "call_forwarding";
+    scan->key_lo = {Value::Integer(s)};
+    scan->with_slots = true;
+    scan->limit = 1;
+    auto del = std::make_unique<DeletePlan>();
+    del->table = "call_forwarding";
+    del->children.push_back(std::move(scan));
+    auto plan = FinalizePlan(std::move(del), db_->catalog());
+    db_->estimator().Estimate(plan.get());
+    ok = run(plan).ok();
+  } else {
+    MB2_UNREACHABLE("unknown TATP transaction");
+  }
+
+  if (!ok) {
+    db_->txn_manager().Abort(txn.get());
+    return -1.0;
+  }
+  db_->txn_manager().Commit(txn.get());
+  return static_cast<double>(NowMicros() - start);
+}
+
+double TatpWorkload::RunRandomTransaction(Rng *rng) {
+  const int64_t pick = rng->Uniform(0, 99);
+  if (pick < 35) return RunTransaction("GetSubscriberData", rng);
+  if (pick < 45) return RunTransaction("GetNewDestination", rng);
+  if (pick < 80) return RunTransaction("GetAccessData", rng);
+  if (pick < 82) return RunTransaction("UpdateSubscriberData", rng);
+  if (pick < 96) return RunTransaction("UpdateLocation", rng);
+  if (pick < 98) return RunTransaction("InsertCallForwarding", rng);
+  return RunTransaction("DeleteCallForwarding", rng);
+}
+
+std::map<std::string, std::vector<const PlanNode *>> TatpWorkload::TemplatePlans() {
+  if (template_cache_.empty()) {
+    std::vector<PlanPtr> get_sub;
+    get_sub.push_back(PkLookup("subscriber", "pk_subscriber", {Value::Integer(1)}));
+    template_cache_["GetSubscriberData"] = std::move(get_sub);
+    std::vector<PlanPtr> get_access;
+    get_access.push_back(PkLookup("access_info", "pk_access_info",
+                                  {Value::Integer(1), Value::Integer(0)}));
+    template_cache_["GetAccessData"] = std::move(get_access);
+    std::vector<PlanPtr> get_dest;
+    get_dest.push_back(PkLookup("special_facility", "pk_special_facility",
+                                {Value::Integer(1), Value::Integer(0)}));
+    get_dest.push_back(PkLookup("call_forwarding", "pk_call_forwarding",
+                                {Value::Integer(1), Value::Integer(0)}));
+    template_cache_["GetNewDestination"] = std::move(get_dest);
+  }
+  std::map<std::string, std::vector<const PlanNode *>> out;
+  for (const auto &[name, plans] : template_cache_) {
+    std::vector<const PlanNode *> raw;
+    for (const auto &p : plans) raw.push_back(p.get());
+    out[name] = std::move(raw);
+  }
+  return out;
+}
+
+}  // namespace mb2

@@ -1,0 +1,44 @@
+#pragma once
+
+/// \file tatp.h
+/// TATP-style workload: four tables and seven short transactions modeling a
+/// cellphone registration service (Neuvonen et al.). Mostly index point
+/// reads with a small write mix — the lightest of the OLTP benchmarks.
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "database.h"
+#include "plan/plan_node.h"
+
+namespace mb2 {
+
+class TatpWorkload {
+ public:
+  TatpWorkload(Database *db, uint64_t subscribers = 20000, uint64_t seed = 23)
+      : db_(db), subscribers_(subscribers), seed_(seed) {}
+
+  void Load();
+
+  static const std::vector<std::string> &TransactionNames();
+
+  /// Executes one transaction; returns latency µs (-1 on abort).
+  double RunTransaction(const std::string &name, Rng *rng);
+  /// Standard TATP mix.
+  double RunRandomTransaction(Rng *rng);
+
+  std::map<std::string, std::vector<const PlanNode *>> TemplatePlans();
+
+ private:
+  PlanPtr PkLookup(const std::string &table, const std::string &index,
+                   Tuple key, bool with_slots = false) const;
+
+  Database *db_;
+  uint64_t subscribers_;
+  uint64_t seed_;
+  std::map<std::string, std::vector<PlanPtr>> template_cache_;
+};
+
+}  // namespace mb2

@@ -1,0 +1,603 @@
+#include "workload/tpcc.h"
+
+#include <chrono>
+
+#include "index/index_builder.h"
+
+namespace mb2 {
+
+namespace {
+
+// customer(c_w_id, c_d_id, c_id, c_last, c_balance, c_ytd_payment)
+constexpr uint32_t kCW = 0, kCD = 1, kCId = 2, kCLast = 3, kCBalance = 4;
+
+/// Distinct last-name domain. The official benchmark uses 1000 names for
+/// 3000 customers per district (~3 customers per name); preserve that
+/// density when the workload is scaled down so by-last-name lookups match.
+int64_t LastNameDomain(uint32_t customers_per_district) {
+  return std::max<int64_t>(1, std::min<int64_t>(1000, customers_per_district / 3));
+}
+
+int64_t NowUs() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+void TpccWorkload::Load(bool with_customer_last_index) {
+  Catalog &catalog = db_->catalog();
+  Rng rng(seed_);
+
+  Table *warehouse = catalog.CreateTable(
+      "warehouse", Schema({{"w_id", TypeId::kInteger, 0},
+                           {"w_ytd", TypeId::kDouble, 0}}));
+  Table *district = catalog.CreateTable(
+      "district", Schema({{"d_w_id", TypeId::kInteger, 0},
+                          {"d_id", TypeId::kInteger, 0},
+                          {"d_next_o_id", TypeId::kInteger, 0},
+                          {"d_ytd", TypeId::kDouble, 0}}));
+  Table *customer = catalog.CreateTable(
+      "customer", Schema({{"c_w_id", TypeId::kInteger, 0},
+                          {"c_d_id", TypeId::kInteger, 0},
+                          {"c_id", TypeId::kInteger, 0},
+                          {"c_last", TypeId::kInteger, 0},
+                          {"c_balance", TypeId::kDouble, 0},
+                          {"c_ytd_payment", TypeId::kDouble, 0}}));
+  catalog.CreateTable("history", Schema({{"h_c_id", TypeId::kInteger, 0},
+                                         {"h_amount", TypeId::kDouble, 0}}));
+  catalog.CreateTable("neworder", Schema({{"no_w_id", TypeId::kInteger, 0},
+                                          {"no_d_id", TypeId::kInteger, 0},
+                                          {"no_o_id", TypeId::kInteger, 0}}));
+  catalog.CreateTable("orders", Schema({{"o_w_id", TypeId::kInteger, 0},
+                                        {"o_d_id", TypeId::kInteger, 0},
+                                        {"o_id", TypeId::kInteger, 0},
+                                        {"o_c_id", TypeId::kInteger, 0},
+                                        {"o_ol_cnt", TypeId::kInteger, 0},
+                                        {"o_carrier_id", TypeId::kInteger, 0}}));
+  catalog.CreateTable("orderline", Schema({{"ol_w_id", TypeId::kInteger, 0},
+                                           {"ol_d_id", TypeId::kInteger, 0},
+                                           {"ol_o_id", TypeId::kInteger, 0},
+                                           {"ol_number", TypeId::kInteger, 0},
+                                           {"ol_i_id", TypeId::kInteger, 0},
+                                           {"ol_amount", TypeId::kDouble, 0}}));
+  Table *item = catalog.CreateTable(
+      "item", Schema({{"i_id", TypeId::kInteger, 0},
+                      {"i_price", TypeId::kDouble, 0}}));
+  Table *stock = catalog.CreateTable(
+      "stock", Schema({{"s_w_id", TypeId::kInteger, 0},
+                       {"s_i_id", TypeId::kInteger, 0},
+                       {"s_quantity", TypeId::kInteger, 0},
+                       {"s_ytd", TypeId::kInteger, 0}}));
+
+  // Primary-key indexes.
+  catalog.CreateIndex({"pk_warehouse", "warehouse", {0}, true});
+  catalog.CreateIndex({"pk_district", "district", {0, 1}, true});
+  catalog.CreateIndex({"pk_customer", "customer", {0, 1, 2}, true});
+  catalog.CreateIndex({"pk_neworder", "neworder", {0, 1, 2}, true});
+  catalog.CreateIndex({"pk_orders", "orders", {0, 1, 2}, true});
+  catalog.CreateIndex({"pk_orderline", "orderline", {0, 1, 2, 3}, true});
+  catalog.CreateIndex({"pk_item", "item", {0}, true});
+  catalog.CreateIndex({"pk_stock", "stock", {0, 1}, true});
+  if (with_customer_last_index) {
+    catalog.CreateIndex(CustomerLastIndexSchema());
+  }
+
+  auto txn = db_->txn_manager().Begin();
+  ExecutionContext ctx(txn.get(), &catalog, &db_->settings());
+  auto insert = [&](const std::string &table, Tuple row) {
+    Table *t = catalog.GetTable(table);
+    const SlotId slot = t->Insert(txn.get(), row);
+    for (BPlusTree *index : catalog.GetTableIndexes(table)) {
+      Tuple key;
+      for (uint32_t c : index->schema().key_columns) key.push_back(row[c]);
+      index->Insert(key, slot);
+    }
+  };
+  MB2_UNUSED(warehouse);
+  MB2_UNUSED(district);
+  MB2_UNUSED(customer);
+  MB2_UNUSED(item);
+  MB2_UNUSED(stock);
+
+  for (int64_t w = 0; w < static_cast<int64_t>(warehouses_); w++) {
+    insert("warehouse", {Value::Integer(w), Value::Double(300000.0)});
+    for (int64_t d = 0; d < 10; d++) {
+      insert("district", {Value::Integer(w), Value::Integer(d),
+                          Value::Integer(3001), Value::Double(30000.0)});
+      for (int64_t c = 0; c < static_cast<int64_t>(customers_per_district_); c++) {
+        insert("customer",
+               {Value::Integer(w), Value::Integer(d), Value::Integer(c),
+                Value::Integer(rng.Uniform(int64_t{0}, LastNameDomain(customers_per_district_) - 1)),
+                Value::Double(-10.0), Value::Double(10.0)});
+      }
+    }
+  }
+  for (int64_t i = 0; i < static_cast<int64_t>(items_); i++) {
+    insert("item", {Value::Integer(i), Value::Double(rng.Uniform(1.0, 100.0))});
+  }
+  for (int64_t w = 0; w < static_cast<int64_t>(warehouses_); w++) {
+    for (int64_t i = 0; i < static_cast<int64_t>(items_); i++) {
+      insert("stock", {Value::Integer(w), Value::Integer(i),
+                       Value::Integer(rng.Uniform(int64_t{10}, int64_t{100})),
+                       Value::Integer(0)});
+    }
+  }
+  db_->txn_manager().Commit(txn.get());
+  db_->estimator().RefreshStats();
+}
+
+IndexSchema TpccWorkload::CustomerLastIndexSchema() const {
+  return IndexSchema{kCustomerLastIndex, "customer", {kCW, kCD, kCLast}, false};
+}
+
+const std::vector<std::string> &TpccWorkload::TransactionNames() {
+  static const std::vector<std::string> kNames = {
+      "NewOrder", "Payment", "OrderStatus", "Delivery", "StockLevel"};
+  return kNames;
+}
+
+PlanPtr TpccWorkload::PkLookup(const std::string &table,
+                               const std::string &index, Tuple key,
+                               std::vector<uint32_t> columns,
+                               bool with_slots) const {
+  auto scan = std::make_unique<IndexScanPlan>();
+  scan->index = index;
+  scan->table = table;
+  scan->key_lo = std::move(key);
+  scan->columns = std::move(columns);
+  scan->with_slots = with_slots;
+  PlanPtr plan = FinalizePlan(std::move(scan), db_->catalog());
+  db_->estimator().Estimate(plan.get());
+  return plan;
+}
+
+PlanPtr TpccWorkload::CustomerByLast(int64_t w, int64_t d, int64_t last,
+                                     bool with_slots) const {
+  const BPlusTree *secondary = db_->catalog().GetIndex(kCustomerLastIndex);
+  if (secondary != nullptr && secondary->ready()) {
+    auto scan = std::make_unique<IndexScanPlan>();
+    scan->index = kCustomerLastIndex;
+    scan->table = "customer";
+    scan->key_lo = {Value::Integer(w), Value::Integer(d), Value::Integer(last)};
+    scan->with_slots = with_slots;
+    PlanPtr plan = FinalizePlan(std::move(scan), db_->catalog());
+    db_->estimator().Estimate(plan.get());
+    return plan;
+  }
+  // No secondary index: full scan with residual predicate (Fig 1's slow path).
+  auto scan = std::make_unique<SeqScanPlan>();
+  scan->table = "customer";
+  scan->with_slots = with_slots;
+  scan->predicate =
+      And(Cmp(CmpOp::kEq, ColRef(kCW), ConstInt(w)),
+          And(Cmp(CmpOp::kEq, ColRef(kCD), ConstInt(d)),
+              Cmp(CmpOp::kEq, ColRef(kCLast), ConstInt(last))));
+  PlanPtr plan = FinalizePlan(std::move(scan), db_->catalog());
+  db_->estimator().Estimate(plan.get());
+  return plan;
+}
+
+double TpccWorkload::RunTransaction(const std::string &name, Rng *rng) {
+  const int64_t start = NowUs();
+  double latency = -1.0;
+  if (name == "NewOrder") latency = NewOrder(rng);
+  else if (name == "Payment") latency = Payment(rng);
+  else if (name == "OrderStatus") latency = OrderStatus(rng);
+  else if (name == "Delivery") latency = Delivery(rng);
+  else if (name == "StockLevel") latency = StockLevel(rng);
+  else MB2_UNREACHABLE("unknown TPC-C transaction");
+  if (latency < 0.0) return -1.0;
+  return static_cast<double>(NowUs() - start);
+}
+
+double TpccWorkload::RunRandomTransaction(Rng *rng) {
+  const int64_t pick = rng->Uniform(int64_t{0}, int64_t{99});
+  if (pick < 45) return RunTransaction("NewOrder", rng);
+  if (pick < 88) return RunTransaction("Payment", rng);
+  if (pick < 92) return RunTransaction("OrderStatus", rng);
+  if (pick < 96) return RunTransaction("Delivery", rng);
+  return RunTransaction("StockLevel", rng);
+}
+
+double TpccWorkload::NewOrder(Rng *rng) {
+  const int64_t w = rng->Uniform(int64_t{0}, int64_t{warehouses_} - 1);
+  const int64_t d = rng->Uniform(int64_t{0}, int64_t{9});
+  const int64_t c = rng->NuRand(1023, 0, customers_per_district_ - 1);
+
+  auto txn = db_->txn_manager().Begin();
+  auto &engine = db_->engine();
+  Batch out;
+
+  auto run = [&](const PlanPtr &plan) {
+    out.rows.clear();
+    out.slots.clear();
+    return engine.ExecuteInTxn(*plan, txn.get(), &out);
+  };
+
+  // District lookup for the next order id.
+  auto dplan = PkLookup("district", "pk_district",
+                        {Value::Integer(w), Value::Integer(d)}, {}, true);
+  if (!run(dplan).ok() || out.rows.empty()) {
+    db_->txn_manager().Abort(txn.get());
+    return -1.0;
+  }
+  const int64_t o_id = out.rows[0][2].AsInt();
+
+  // Bump d_next_o_id.
+  {
+    auto scan = std::make_unique<IndexScanPlan>();
+    scan->index = "pk_district";
+    scan->table = "district";
+    scan->key_lo = {Value::Integer(w), Value::Integer(d)};
+    scan->with_slots = true;
+    auto update = std::make_unique<UpdatePlan>();
+    update->table = "district";
+    update->sets.emplace_back(2, Arith(ArithOp::kAdd, ColRef(2), ConstInt(1)));
+    update->children.push_back(std::move(scan));
+    auto plan = FinalizePlan(std::move(update), db_->catalog());
+    db_->estimator().Estimate(plan.get());
+    if (!run(plan).ok()) {
+      db_->txn_manager().Abort(txn.get());
+      return -1.0;
+    }
+  }
+
+  // Customer lookup.
+  auto cplan = PkLookup("customer", "pk_customer",
+                        {Value::Integer(w), Value::Integer(d), Value::Integer(c)});
+  run(cplan);
+
+  // Insert the order + neworder rows.
+  const int64_t ol_cnt = rng->Uniform(int64_t{5}, int64_t{15});
+  {
+    auto insert = std::make_unique<InsertPlan>();
+    insert->table = "orders";
+    insert->rows.push_back({Value::Integer(w), Value::Integer(d),
+                            Value::Integer(o_id), Value::Integer(c),
+                            Value::Integer(ol_cnt), Value::Integer(-1)});
+    auto plan = FinalizePlan(std::move(insert), db_->catalog());
+    db_->estimator().Estimate(plan.get());
+    run(plan);
+  }
+  {
+    auto insert = std::make_unique<InsertPlan>();
+    insert->table = "neworder";
+    insert->rows.push_back(
+        {Value::Integer(w), Value::Integer(d), Value::Integer(o_id)});
+    auto plan = FinalizePlan(std::move(insert), db_->catalog());
+    db_->estimator().Estimate(plan.get());
+    run(plan);
+  }
+
+  // Order lines: item lookup, stock update, orderline insert.
+  for (int64_t ol = 0; ol < ol_cnt; ol++) {
+    const int64_t i_id = rng->NuRand(8191, 0, items_ - 1);
+    auto iplan = PkLookup("item", "pk_item", {Value::Integer(i_id)});
+    run(iplan);
+    const double price = out.rows.empty() ? 1.0 : out.rows[0][1].AsDouble();
+
+    auto sscan = std::make_unique<IndexScanPlan>();
+    sscan->index = "pk_stock";
+    sscan->table = "stock";
+    sscan->key_lo = {Value::Integer(w), Value::Integer(i_id)};
+    sscan->with_slots = true;
+    auto supdate = std::make_unique<UpdatePlan>();
+    supdate->table = "stock";
+    supdate->sets.emplace_back(2, Arith(ArithOp::kSub, ColRef(2), ConstInt(1)));
+    supdate->sets.emplace_back(3, Arith(ArithOp::kAdd, ColRef(3), ConstInt(1)));
+    supdate->children.push_back(std::move(sscan));
+    auto splan = FinalizePlan(std::move(supdate), db_->catalog());
+    db_->estimator().Estimate(splan.get());
+    if (!run(splan).ok()) {
+      db_->txn_manager().Abort(txn.get());
+      return -1.0;
+    }
+
+    auto insert = std::make_unique<InsertPlan>();
+    insert->table = "orderline";
+    insert->rows.push_back({Value::Integer(w), Value::Integer(d),
+                            Value::Integer(o_id), Value::Integer(ol),
+                            Value::Integer(i_id),
+                            Value::Double(price * rng->Uniform(1.0, 10.0))});
+    auto plan = FinalizePlan(std::move(insert), db_->catalog());
+    db_->estimator().Estimate(plan.get());
+    run(plan);
+  }
+
+  db_->txn_manager().Commit(txn.get());
+  return 1.0;
+}
+
+double TpccWorkload::Payment(Rng *rng) {
+  const int64_t w = rng->Uniform(int64_t{0}, int64_t{warehouses_} - 1);
+  const int64_t d = rng->Uniform(int64_t{0}, int64_t{9});
+  const double amount = rng->Uniform(1.0, 5000.0);
+
+  auto txn = db_->txn_manager().Begin();
+  auto &engine = db_->engine();
+  Batch out;
+  auto run = [&](const PlanPtr &plan) {
+    out.rows.clear();
+    out.slots.clear();
+    return engine.ExecuteInTxn(*plan, txn.get(), &out);
+  };
+
+  // Update warehouse and district YTD.
+  {
+    auto scan = std::make_unique<IndexScanPlan>();
+    scan->index = "pk_warehouse";
+    scan->table = "warehouse";
+    scan->key_lo = {Value::Integer(w)};
+    scan->with_slots = true;
+    auto update = std::make_unique<UpdatePlan>();
+    update->table = "warehouse";
+    update->sets.emplace_back(
+        1, Arith(ArithOp::kAdd, ColRef(1), ConstDouble(amount)));
+    update->children.push_back(std::move(scan));
+    auto plan = FinalizePlan(std::move(update), db_->catalog());
+    db_->estimator().Estimate(plan.get());
+    if (!run(plan).ok()) {
+      db_->txn_manager().Abort(txn.get());
+      return -1.0;
+    }
+  }
+  {
+    auto scan = std::make_unique<IndexScanPlan>();
+    scan->index = "pk_district";
+    scan->table = "district";
+    scan->key_lo = {Value::Integer(w), Value::Integer(d)};
+    scan->with_slots = true;
+    auto update = std::make_unique<UpdatePlan>();
+    update->table = "district";
+    update->sets.emplace_back(
+        3, Arith(ArithOp::kAdd, ColRef(3), ConstDouble(amount)));
+    update->children.push_back(std::move(scan));
+    auto plan = FinalizePlan(std::move(update), db_->catalog());
+    db_->estimator().Estimate(plan.get());
+    if (!run(plan).ok()) {
+      db_->txn_manager().Abort(txn.get());
+      return -1.0;
+    }
+  }
+
+  // Customer selection: 60% by last name, 40% by id.
+  PlanPtr cust_plan;
+  if (rng->Uniform(int64_t{0}, int64_t{99}) < 60) {
+    const int64_t last = rng->NuRand(255, 0, LastNameDomain(customers_per_district_) - 1);
+    cust_plan = CustomerByLast(w, d, last, /*with_slots=*/true);
+  } else {
+    const int64_t c = rng->NuRand(1023, 0, customers_per_district_ - 1);
+    cust_plan = PkLookup("customer", "pk_customer",
+                         {Value::Integer(w), Value::Integer(d), Value::Integer(c)},
+                         {}, /*with_slots=*/true);
+  }
+  run(cust_plan);
+  if (out.rows.empty()) {
+    db_->txn_manager().Commit(txn.get());
+    return 1.0;
+  }
+  const int64_t c_id = out.rows[0][kCId].AsInt();
+
+  // Update the (first matching) customer's balance.
+  {
+    auto scan = std::make_unique<IndexScanPlan>();
+    scan->index = "pk_customer";
+    scan->table = "customer";
+    scan->key_lo = {Value::Integer(w), Value::Integer(d), Value::Integer(c_id)};
+    scan->with_slots = true;
+    auto update = std::make_unique<UpdatePlan>();
+    update->table = "customer";
+    update->sets.emplace_back(
+        kCBalance, Arith(ArithOp::kSub, ColRef(kCBalance), ConstDouble(amount)));
+    update->children.push_back(std::move(scan));
+    auto plan = FinalizePlan(std::move(update), db_->catalog());
+    db_->estimator().Estimate(plan.get());
+    if (!run(plan).ok()) {
+      db_->txn_manager().Abort(txn.get());
+      return -1.0;
+    }
+  }
+  {
+    auto insert = std::make_unique<InsertPlan>();
+    insert->table = "history";
+    insert->rows.push_back({Value::Integer(c_id), Value::Double(amount)});
+    auto plan = FinalizePlan(std::move(insert), db_->catalog());
+    db_->estimator().Estimate(plan.get());
+    run(plan);
+  }
+
+  db_->txn_manager().Commit(txn.get());
+  return 1.0;
+}
+
+double TpccWorkload::OrderStatus(Rng *rng) {
+  const int64_t w = rng->Uniform(int64_t{0}, int64_t{warehouses_} - 1);
+  const int64_t d = rng->Uniform(int64_t{0}, int64_t{9});
+
+  auto txn = db_->txn_manager().Begin();
+  Batch out;
+  auto run = [&](const PlanPtr &plan) {
+    out.rows.clear();
+    out.slots.clear();
+    return db_->engine().ExecuteInTxn(*plan, txn.get(), &out);
+  };
+
+  if (rng->Uniform(int64_t{0}, int64_t{99}) < 60) {
+    const int64_t last = rng->NuRand(255, 0, LastNameDomain(customers_per_district_) - 1);
+    run(CustomerByLast(w, d, last, false));
+  } else {
+    const int64_t c = rng->NuRand(1023, 0, customers_per_district_ - 1);
+    run(PkLookup("customer", "pk_customer",
+                 {Value::Integer(w), Value::Integer(d), Value::Integer(c)}));
+  }
+
+  // Most recent orders for the district (prefix scan, small limit).
+  {
+    auto scan = std::make_unique<IndexScanPlan>();
+    scan->index = "pk_orders";
+    scan->table = "orders";
+    scan->key_lo = {Value::Integer(w), Value::Integer(d)};
+    scan->limit = 8;
+    auto plan = FinalizePlan(std::move(scan), db_->catalog());
+    db_->estimator().Estimate(plan.get());
+    run(plan);
+  }
+  if (!out.rows.empty()) {
+    const int64_t o_id = out.rows[0][2].AsInt();
+    auto scan = std::make_unique<IndexScanPlan>();
+    scan->index = "pk_orderline";
+    scan->table = "orderline";
+    scan->key_lo = {Value::Integer(w), Value::Integer(d), Value::Integer(o_id)};
+    auto plan = FinalizePlan(std::move(scan), db_->catalog());
+    db_->estimator().Estimate(plan.get());
+    run(plan);
+  }
+  db_->txn_manager().Commit(txn.get());
+  return 1.0;
+}
+
+double TpccWorkload::Delivery(Rng *rng) {
+  const int64_t w = rng->Uniform(int64_t{0}, int64_t{warehouses_} - 1);
+  auto txn = db_->txn_manager().Begin();
+  Batch out;
+  auto run = [&](const PlanPtr &plan) {
+    out.rows.clear();
+    out.slots.clear();
+    return db_->engine().ExecuteInTxn(*plan, txn.get(), &out);
+  };
+
+  for (int64_t d = 0; d < 10; d++) {
+    // Oldest undelivered order.
+    auto scan = std::make_unique<IndexScanPlan>();
+    scan->index = "pk_neworder";
+    scan->table = "neworder";
+    scan->key_lo = {Value::Integer(w), Value::Integer(d)};
+    scan->limit = 1;
+    scan->with_slots = true;
+    auto find = FinalizePlan(std::move(scan), db_->catalog());
+    db_->estimator().Estimate(find.get());
+    run(find);
+    if (out.rows.empty()) continue;
+    const int64_t o_id = out.rows[0][2].AsInt();
+
+    // Delete the neworder entry.
+    auto dscan = std::make_unique<IndexScanPlan>();
+    dscan->index = "pk_neworder";
+    dscan->table = "neworder";
+    dscan->key_lo = {Value::Integer(w), Value::Integer(d), Value::Integer(o_id)};
+    dscan->with_slots = true;
+    auto del = std::make_unique<DeletePlan>();
+    del->table = "neworder";
+    del->children.push_back(std::move(dscan));
+    auto dplan = FinalizePlan(std::move(del), db_->catalog());
+    db_->estimator().Estimate(dplan.get());
+    if (!run(dplan).ok()) {
+      db_->txn_manager().Abort(txn.get());
+      return -1.0;
+    }
+
+    // Stamp the carrier on the order.
+    auto oscan = std::make_unique<IndexScanPlan>();
+    oscan->index = "pk_orders";
+    oscan->table = "orders";
+    oscan->key_lo = {Value::Integer(w), Value::Integer(d), Value::Integer(o_id)};
+    oscan->with_slots = true;
+    auto update = std::make_unique<UpdatePlan>();
+    update->table = "orders";
+    update->sets.emplace_back(5, ConstInt(rng->Uniform(int64_t{1}, int64_t{10})));
+    update->children.push_back(std::move(oscan));
+    auto uplan = FinalizePlan(std::move(update), db_->catalog());
+    db_->estimator().Estimate(uplan.get());
+    if (!run(uplan).ok()) {
+      db_->txn_manager().Abort(txn.get());
+      return -1.0;
+    }
+  }
+  db_->txn_manager().Commit(txn.get());
+  return 1.0;
+}
+
+double TpccWorkload::StockLevel(Rng *rng) {
+  const int64_t w = rng->Uniform(int64_t{0}, int64_t{warehouses_} - 1);
+  const int64_t d = rng->Uniform(int64_t{0}, int64_t{9});
+  auto txn = db_->txn_manager().Begin();
+  Batch out;
+  auto run = [&](const PlanPtr &plan) {
+    out.rows.clear();
+    out.slots.clear();
+    return db_->engine().ExecuteInTxn(*plan, txn.get(), &out);
+  };
+
+  // Recent order lines for the district.
+  auto scan = std::make_unique<IndexScanPlan>();
+  scan->index = "pk_orderline";
+  scan->table = "orderline";
+  scan->key_lo = {Value::Integer(w), Value::Integer(d)};
+  scan->limit = 200;
+  auto plan = FinalizePlan(std::move(scan), db_->catalog());
+  db_->estimator().Estimate(plan.get());
+  run(plan);
+
+  // Check stock for up to 20 of the items seen.
+  const size_t checks = std::min<size_t>(out.rows.size(), 20);
+  std::vector<int64_t> item_ids;
+  for (size_t i = 0; i < checks; i++) item_ids.push_back(out.rows[i][4].AsInt());
+  for (int64_t i_id : item_ids) {
+    run(PkLookup("stock", "pk_stock", {Value::Integer(w), Value::Integer(i_id)}));
+  }
+  MB2_UNUSED(rng);
+  db_->txn_manager().Commit(txn.get());
+  return 1.0;
+}
+
+std::map<std::string, std::vector<const PlanNode *>> TpccWorkload::TemplatePlans() {
+  if (template_cache_.empty()) {
+    Rng rng(seed_ + 999);
+    const int64_t w = 0, d = 0;
+    std::vector<PlanPtr> neworder;
+    neworder.push_back(PkLookup("district", "pk_district",
+                                {Value::Integer(w), Value::Integer(d)}));
+    neworder.push_back(PkLookup("customer", "pk_customer",
+                                {Value::Integer(w), Value::Integer(d),
+                                 Value::Integer(1)}));
+    for (int i = 0; i < 10; i++) {
+      neworder.push_back(PkLookup("item", "pk_item", {Value::Integer(1)}));
+      neworder.push_back(
+          PkLookup("stock", "pk_stock", {Value::Integer(w), Value::Integer(1)}));
+    }
+    template_cache_["NewOrder"] = std::move(neworder);
+
+    std::vector<PlanPtr> payment;
+    payment.push_back(CustomerByLast(w, d, 1, false));
+    payment.push_back(PkLookup("warehouse", "pk_warehouse", {Value::Integer(w)}));
+    payment.push_back(PkLookup("district", "pk_district",
+                               {Value::Integer(w), Value::Integer(d)}));
+    template_cache_["Payment"] = std::move(payment);
+
+    std::vector<PlanPtr> orderstatus;
+    orderstatus.push_back(CustomerByLast(w, d, 1, false));
+    {
+      auto scan = std::make_unique<IndexScanPlan>();
+      scan->index = "pk_orders";
+      scan->table = "orders";
+      scan->key_lo = {Value::Integer(w), Value::Integer(d)};
+      scan->limit = 8;
+      auto plan = FinalizePlan(std::move(scan), db_->catalog());
+      db_->estimator().Estimate(plan.get());
+      orderstatus.push_back(std::move(plan));
+    }
+    template_cache_["OrderStatus"] = std::move(orderstatus);
+    MB2_UNUSED(rng);
+  }
+  std::map<std::string, std::vector<const PlanNode *>> out;
+  for (const auto &[name, plans] : template_cache_) {
+    std::vector<const PlanNode *> raw;
+    for (const auto &p : plans) raw.push_back(p.get());
+    out[name] = std::move(raw);
+  }
+  return out;
+}
+
+}  // namespace mb2

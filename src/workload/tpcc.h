@@ -1,0 +1,81 @@
+#pragma once
+
+/// \file tpcc.h
+/// TPC-C-style OLTP workload: nine tables, primary-key indexes, the five
+/// transaction profiles (NewOrder, Payment, OrderStatus, Delivery,
+/// StockLevel) implemented as multi-statement transactions over the plan
+/// API. The CUSTOMER secondary index on (c_w_id, c_d_id, c_last) — the
+/// paper's running self-driving example — is created/dropped dynamically;
+/// Payment and OrderStatus fall back to a filtered sequential scan when it
+/// is absent, which is exactly the performance cliff of Figs 1 and 11.
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "database.h"
+#include "plan/plan_node.h"
+
+namespace mb2 {
+
+class TpccWorkload {
+ public:
+  static constexpr const char *kCustomerLastIndex = "idx_customer_last";
+
+  TpccWorkload(Database *db, uint32_t warehouses, uint64_t seed = 11,
+               uint32_t customers_per_district = 3000, uint32_t items = 10000)
+      : db_(db), warehouses_(warehouses), seed_(seed),
+        customers_per_district_(customers_per_district), items_(items) {}
+
+  /// Creates tables + primary-key indexes and loads initial data
+  /// (`with_customer_last_index` controls the paper's secondary index).
+  void Load(bool with_customer_last_index = true);
+
+  /// Creates the CUSTOMER (w, d, last) secondary-index schema (not built).
+  IndexSchema CustomerLastIndexSchema() const;
+
+  static const std::vector<std::string> &TransactionNames();
+
+  /// Executes one transaction; returns latency µs, or -1 on abort.
+  double RunTransaction(const std::string &name, Rng *rng);
+
+  /// Standard mix (45/43/4/4/4).
+  double RunRandomTransaction(Rng *rng);
+
+  /// Representative cached plans per transaction type, for forecasting and
+  /// QPPNet training. Multi-plan transactions contribute several plans.
+  std::map<std::string, std::vector<const PlanNode *>> TemplatePlans();
+
+  /// Drops cached templates (call after creating/dropping the customer
+  /// last-name index so Payment/OrderStatus templates re-plan).
+  void InvalidateTemplates() { template_cache_.clear(); }
+
+  uint32_t warehouses() const { return warehouses_; }
+  uint32_t customers_per_district() const { return customers_per_district_; }
+
+ private:
+  double NewOrder(Rng *rng);
+  double Payment(Rng *rng);
+  double OrderStatus(Rng *rng);
+  double Delivery(Rng *rng);
+  double StockLevel(Rng *rng);
+
+  /// Index point-lookup plan helper.
+  PlanPtr PkLookup(const std::string &table, const std::string &index,
+                   Tuple key, std::vector<uint32_t> columns = {},
+                   bool with_slots = false) const;
+  /// Customer-by-last-name plan: secondary index scan if the index exists,
+  /// otherwise a predicated sequential scan.
+  PlanPtr CustomerByLast(int64_t w, int64_t d, int64_t last,
+                         bool with_slots) const;
+
+  Database *db_;
+  uint32_t warehouses_;
+  uint64_t seed_;
+  uint32_t customers_per_district_;
+  uint32_t items_;
+  std::map<std::string, std::vector<PlanPtr>> template_cache_;
+};
+
+}  // namespace mb2

@@ -1,0 +1,342 @@
+#include "workload/tpch.h"
+
+#include "common/rng.h"
+
+namespace mb2 {
+
+namespace {
+
+// Column indexes, kept in one place so query builders stay readable.
+// customer(c_custkey, c_nationkey, c_mktsegment, c_acctbal)
+constexpr uint32_t kCCustkey = 0, kCNationkey = 1, kCMktsegment = 2;
+// orders(o_orderkey, o_custkey, o_orderstatus, o_totalprice, o_orderdate,
+//        o_orderpriority)
+constexpr uint32_t kOOrderkey = 0, kOCustkey = 1, kOOrderdate = 4,
+                   kOOrderpriority = 5;
+// lineitem(l_orderkey, l_partkey, l_suppkey, l_quantity, l_extendedprice,
+//          l_discount, l_tax, l_returnflag, l_linestatus, l_shipdate)
+constexpr uint32_t kLOrderkey = 0, kLPartkey = 1, kLSuppkey = 2, kLQuantity = 3,
+                   kLExtendedprice = 4, kLDiscount = 5, kLReturnflag = 7,
+                   kLLinestatus = 8, kLShipdate = 9;
+// part(p_partkey, p_type, p_retailprice)
+constexpr uint32_t kPPartkey = 0, kPType = 1;
+// supplier(s_suppkey, s_nationkey, s_acctbal)
+constexpr uint32_t kSSuppkey = 0, kSNationkey = 1;
+
+constexpr int64_t kMaxDate = 2555;  // ~7 years of day ordinals
+
+}  // namespace
+
+void TpchWorkload::Load() {
+  Catalog &catalog = db_->catalog();
+  Rng rng(seed_);
+
+  const auto rows_of = [this](double base) {
+    return static_cast<uint64_t>(std::max(1.0, base * sf_));
+  };
+  const uint64_t n_customer = rows_of(150000);
+  const uint64_t n_orders = rows_of(1500000);
+  const uint64_t n_part = rows_of(200000);
+  const uint64_t n_supplier = rows_of(10000);
+
+  Table *region = catalog.CreateTable(
+      TableName("region"), Schema({{"r_regionkey", TypeId::kInteger, 0}}));
+  Table *nation = catalog.CreateTable(
+      TableName("nation"), Schema({{"n_nationkey", TypeId::kInteger, 0},
+                                   {"n_regionkey", TypeId::kInteger, 0}}));
+  Table *supplier = catalog.CreateTable(
+      TableName("supplier"), Schema({{"s_suppkey", TypeId::kInteger, 0},
+                                     {"s_nationkey", TypeId::kInteger, 0},
+                                     {"s_acctbal", TypeId::kDouble, 0}}));
+  Table *customer = catalog.CreateTable(
+      TableName("customer"), Schema({{"c_custkey", TypeId::kInteger, 0},
+                                     {"c_nationkey", TypeId::kInteger, 0},
+                                     {"c_mktsegment", TypeId::kInteger, 0},
+                                     {"c_acctbal", TypeId::kDouble, 0}}));
+  Table *part = catalog.CreateTable(
+      TableName("part"), Schema({{"p_partkey", TypeId::kInteger, 0},
+                                 {"p_type", TypeId::kInteger, 0},
+                                 {"p_retailprice", TypeId::kDouble, 0}}));
+  Table *orders = catalog.CreateTable(
+      TableName("orders"), Schema({{"o_orderkey", TypeId::kInteger, 0},
+                                   {"o_custkey", TypeId::kInteger, 0},
+                                   {"o_orderstatus", TypeId::kInteger, 0},
+                                   {"o_totalprice", TypeId::kDouble, 0},
+                                   {"o_orderdate", TypeId::kInteger, 0},
+                                   {"o_orderpriority", TypeId::kInteger, 0}}));
+  Table *lineitem = catalog.CreateTable(
+      TableName("lineitem"), Schema({{"l_orderkey", TypeId::kInteger, 0},
+                                     {"l_partkey", TypeId::kInteger, 0},
+                                     {"l_suppkey", TypeId::kInteger, 0},
+                                     {"l_quantity", TypeId::kDouble, 0},
+                                     {"l_extendedprice", TypeId::kDouble, 0},
+                                     {"l_discount", TypeId::kDouble, 0},
+                                     {"l_tax", TypeId::kDouble, 0},
+                                     {"l_returnflag", TypeId::kInteger, 0},
+                                     {"l_linestatus", TypeId::kInteger, 0},
+                                     {"l_shipdate", TypeId::kInteger, 0}}));
+  MB2_ASSERT(region && nation && supplier && customer && part && orders &&
+                 lineitem,
+             "TPC-H table name collision (duplicate prefix?)");
+
+  auto txn = db_->txn_manager().Begin();
+  for (int64_t r = 0; r < 5; r++) region->Insert(txn.get(), {Value::Integer(r)});
+  for (int64_t n = 0; n < 25; n++) {
+    nation->Insert(txn.get(), {Value::Integer(n), Value::Integer(n % 5)});
+  }
+  for (uint64_t s = 0; s < n_supplier; s++) {
+    supplier->Insert(txn.get(), {Value::Integer(static_cast<int64_t>(s)),
+                                 Value::Integer(rng.Uniform(0, 24)),
+                                 Value::Double(rng.Uniform(-999.0, 9999.0))});
+  }
+  for (uint64_t c = 0; c < n_customer; c++) {
+    customer->Insert(txn.get(), {Value::Integer(static_cast<int64_t>(c)),
+                                 Value::Integer(rng.Uniform(0, 24)),
+                                 Value::Integer(rng.Uniform(0, 4)),
+                                 Value::Double(rng.Uniform(-999.0, 9999.0))});
+  }
+  for (uint64_t p = 0; p < n_part; p++) {
+    part->Insert(txn.get(), {Value::Integer(static_cast<int64_t>(p)),
+                             Value::Integer(rng.Uniform(0, 9)),
+                             Value::Double(rng.Uniform(900.0, 2000.0))});
+  }
+  for (uint64_t o = 0; o < n_orders; o++) {
+    orders->Insert(
+        txn.get(),
+        {Value::Integer(static_cast<int64_t>(o)),
+         Value::Integer(rng.Uniform(0, static_cast<int64_t>(n_customer) - 1)),
+         Value::Integer(rng.Uniform(0, 2)),
+         Value::Double(rng.Uniform(1000.0, 400000.0)),
+         Value::Integer(rng.Uniform(0, kMaxDate)),
+         Value::Integer(rng.Uniform(0, 4))});
+    // ~4 lineitems per order (official average).
+    const int64_t items = rng.Uniform(1, 7);
+    for (int64_t l = 0; l < items; l++) {
+      lineitem->Insert(
+          txn.get(),
+          {Value::Integer(static_cast<int64_t>(o)),
+           Value::Integer(rng.Uniform(0, static_cast<int64_t>(n_part) - 1)),
+           Value::Integer(rng.Uniform(0, static_cast<int64_t>(n_supplier) - 1)),
+           Value::Double(rng.Uniform(1.0, 50.0)),
+           Value::Double(rng.Uniform(900.0, 100000.0)),
+           Value::Double(rng.Uniform(0.0, 0.1)),
+           Value::Double(rng.Uniform(0.0, 0.08)),
+           Value::Integer(rng.Uniform(0, 2)), Value::Integer(rng.Uniform(0, 1)),
+           Value::Integer(rng.Uniform(0, kMaxDate))});
+    }
+  }
+  db_->txn_manager().Commit(txn.get());
+  db_->estimator().RefreshStats();
+}
+
+const std::vector<std::string> &TpchWorkload::QueryNames() {
+  static const std::vector<std::string> kNames = {"Q1", "Q3", "Q4",
+                                                  "Q5", "Q6", "Q14"};
+  return kNames;
+}
+
+PlanPtr TpchWorkload::MakePlan(const std::string &name) const {
+  PlanPtr root;
+
+  if (name == "Q1") {
+    // Pricing summary: filtered scan -> group by (returnflag, linestatus).
+    auto scan = std::make_unique<SeqScanPlan>();
+    scan->table = TableName("lineitem");
+    scan->columns = {kLQuantity, kLExtendedprice, kLDiscount, kLReturnflag,
+                     kLLinestatus, kLShipdate};
+    // Projected indexes: qty 0, price 1, disc 2, rf 3, ls 4, sd 5.
+    scan->predicate = Cmp(CmpOp::kLe, ColRef(5), ConstInt(kMaxDate - 90));
+    auto agg = std::make_unique<AggregatePlan>();
+    agg->group_by = {3, 4};
+    agg->terms.push_back({AggFunc::kSum, ColRef(0)});
+    agg->terms.push_back({AggFunc::kSum, ColRef(1)});
+    agg->terms.push_back(
+        {AggFunc::kSum,
+         Arith(ArithOp::kMul, ColRef(1),
+               Arith(ArithOp::kSub, ConstDouble(1.0), ColRef(2)))});
+    agg->terms.push_back({AggFunc::kAvg, ColRef(2)});
+    agg->terms.push_back({AggFunc::kCount, nullptr});
+    agg->children.push_back(std::move(scan));
+    auto sort = std::make_unique<SortPlan>();
+    sort->sort_keys = {0, 1};
+    sort->descending = {false, false};
+    sort->children.push_back(std::move(agg));
+    root = std::move(sort);
+  } else if (name == "Q3") {
+    // Shipping priority: customer ⋈ orders ⋈ lineitem, top-10 revenue.
+    auto cust = std::make_unique<SeqScanPlan>();
+    cust->table = TableName("customer");
+    cust->columns = {kCCustkey, kCMktsegment};
+    cust->predicate = Cmp(CmpOp::kEq, ColRef(1), ConstInt(1));
+    auto ord = std::make_unique<SeqScanPlan>();
+    ord->table = TableName("orders");
+    ord->columns = {kOOrderkey, kOCustkey, kOOrderdate};
+    ord->predicate = Cmp(CmpOp::kLt, ColRef(2), ConstInt(kMaxDate / 2));
+    auto join1 = std::make_unique<HashJoinPlan>();  // cust ⋈ orders
+    join1->build_keys = {0};   // c_custkey
+    join1->probe_keys = {1};   // o_custkey (probe-side index 1)
+    join1->children.push_back(std::move(cust));
+    join1->children.push_back(std::move(ord));
+    // join1 output: [c_custkey, c_mktsegment, o_orderkey, o_custkey, o_date]
+    auto line = std::make_unique<SeqScanPlan>();
+    line->table = TableName("lineitem");
+    line->columns = {kLOrderkey, kLExtendedprice, kLDiscount, kLShipdate};
+    line->predicate = Cmp(CmpOp::kGt, ColRef(3), ConstInt(kMaxDate / 2));
+    auto join2 = std::make_unique<HashJoinPlan>();  // join1 ⋈ lineitem
+    join2->build_keys = {2};  // o_orderkey
+    join2->probe_keys = {0};  // l_orderkey
+    join2->children.push_back(std::move(join1));
+    join2->children.push_back(std::move(line));
+    // join2 output: [.. 5 cols ..][l_orderkey, l_price, l_disc, l_shipdate]
+    auto agg = std::make_unique<AggregatePlan>();
+    agg->group_by = {2};  // o_orderkey
+    agg->terms.push_back(
+        {AggFunc::kSum,
+         Arith(ArithOp::kMul, ColRef(6),
+               Arith(ArithOp::kSub, ConstDouble(1.0), ColRef(7)))});
+    agg->children.push_back(std::move(join2));
+    auto sort = std::make_unique<SortPlan>();
+    sort->sort_keys = {1};
+    sort->descending = {true};
+    sort->limit = 10;
+    sort->children.push_back(std::move(agg));
+    root = std::move(sort);
+  } else if (name == "Q4") {
+    // Order priority checking (join approximation of EXISTS).
+    auto ord = std::make_unique<SeqScanPlan>();
+    ord->table = TableName("orders");
+    ord->columns = {kOOrderkey, kOOrderdate, kOOrderpriority};
+    ord->predicate = And(Cmp(CmpOp::kGe, ColRef(1), ConstInt(800)),
+                         Cmp(CmpOp::kLt, ColRef(1), ConstInt(900)));
+    auto line = std::make_unique<SeqScanPlan>();
+    line->table = TableName("lineitem");
+    line->columns = {kLOrderkey, kLShipdate};
+    line->predicate = Cmp(CmpOp::kLt, ColRef(1), ConstInt(kMaxDate / 4));
+    auto join = std::make_unique<HashJoinPlan>();
+    join->build_keys = {0};
+    join->probe_keys = {0};
+    join->children.push_back(std::move(ord));
+    join->children.push_back(std::move(line));
+    auto agg = std::make_unique<AggregatePlan>();
+    agg->group_by = {2};  // o_orderpriority
+    agg->terms.push_back({AggFunc::kCount, nullptr});
+    agg->children.push_back(std::move(join));
+    auto sort = std::make_unique<SortPlan>();
+    sort->sort_keys = {0};
+    sort->descending = {false};
+    sort->children.push_back(std::move(agg));
+    root = std::move(sort);
+  } else if (name == "Q5") {
+    // Local supplier volume: customer ⋈ orders ⋈ lineitem ⋈ supplier.
+    auto cust = std::make_unique<SeqScanPlan>();
+    cust->table = TableName("customer");
+    cust->columns = {kCCustkey, kCNationkey};
+    auto ord = std::make_unique<SeqScanPlan>();
+    ord->table = TableName("orders");
+    ord->columns = {kOOrderkey, kOCustkey, kOOrderdate};
+    ord->predicate = Cmp(CmpOp::kLt, ColRef(2), ConstInt(kMaxDate / 5));
+    auto join1 = std::make_unique<HashJoinPlan>();
+    join1->build_keys = {0};
+    join1->probe_keys = {1};
+    join1->children.push_back(std::move(cust));
+    join1->children.push_back(std::move(ord));
+    // [c_custkey, c_nationkey, o_orderkey, o_custkey, o_date]
+    auto line = std::make_unique<SeqScanPlan>();
+    line->table = TableName("lineitem");
+    line->columns = {kLOrderkey, kLSuppkey, kLExtendedprice, kLDiscount};
+    auto join2 = std::make_unique<HashJoinPlan>();
+    join2->build_keys = {2};
+    join2->probe_keys = {0};
+    join2->children.push_back(std::move(join1));
+    join2->children.push_back(std::move(line));
+    // [.. 5 ..][l_orderkey, l_suppkey, l_price, l_disc] -> 9 cols
+    auto supp = std::make_unique<SeqScanPlan>();
+    supp->table = TableName("supplier");
+    supp->columns = {kSSuppkey, kSNationkey};
+    auto join3 = std::make_unique<HashJoinPlan>();
+    join3->build_keys = {0};   // s_suppkey (supplier is the build side)
+    join3->probe_keys = {6};   // l_suppkey in join2 output
+    join3->children.push_back(std::move(supp));
+    join3->children.push_back(std::move(join2));
+    // [s_suppkey, s_nationkey][.. join2's 9 ..] -> 11 cols
+    auto agg = std::make_unique<AggregatePlan>();
+    agg->group_by = {1};  // s_nationkey
+    agg->terms.push_back(
+        {AggFunc::kSum,
+         Arith(ArithOp::kMul, ColRef(9),
+               Arith(ArithOp::kSub, ConstDouble(1.0), ColRef(10)))});
+    agg->children.push_back(std::move(join3));
+    auto sort = std::make_unique<SortPlan>();
+    sort->sort_keys = {1};
+    sort->descending = {true};
+    sort->children.push_back(std::move(agg));
+    root = std::move(sort);
+  } else if (name == "Q6") {
+    // Forecasting revenue change: tight filter + scalar aggregate.
+    auto scan = std::make_unique<SeqScanPlan>();
+    scan->table = TableName("lineitem");
+    scan->columns = {kLQuantity, kLExtendedprice, kLDiscount, kLShipdate};
+    scan->predicate =
+        And(And(Cmp(CmpOp::kGe, ColRef(3), ConstInt(365)),
+                Cmp(CmpOp::kLt, ColRef(3), ConstInt(730))),
+            And(Cmp(CmpOp::kGe, ColRef(2), ConstDouble(0.02)),
+                And(Cmp(CmpOp::kLe, ColRef(2), ConstDouble(0.06)),
+                    Cmp(CmpOp::kLt, ColRef(0), ConstDouble(24.0)))));
+    auto agg = std::make_unique<AggregatePlan>();
+    agg->terms.push_back(
+        {AggFunc::kSum, Arith(ArithOp::kMul, ColRef(1), ColRef(2))});
+    agg->children.push_back(std::move(scan));
+    root = std::move(agg);
+  } else if (name == "Q14") {
+    // Promotion effect: part ⋈ lineitem with projected revenue share.
+    auto part = std::make_unique<SeqScanPlan>();
+    part->table = TableName("part");
+    part->columns = {kPPartkey, kPType};
+    auto line = std::make_unique<SeqScanPlan>();
+    line->table = TableName("lineitem");
+    line->columns = {kLPartkey, kLExtendedprice, kLDiscount, kLShipdate};
+    line->predicate = And(Cmp(CmpOp::kGe, ColRef(3), ConstInt(1000)),
+                          Cmp(CmpOp::kLt, ColRef(3), ConstInt(1030)));
+    auto join = std::make_unique<HashJoinPlan>();
+    join->build_keys = {0};
+    join->probe_keys = {0};
+    join->children.push_back(std::move(part));
+    join->children.push_back(std::move(line));
+    // [p_partkey, p_type][l_partkey, l_price, l_disc, l_shipdate]
+    auto agg = std::make_unique<AggregatePlan>();
+    agg->group_by = {1};  // p_type
+    agg->terms.push_back(
+        {AggFunc::kSum,
+         Arith(ArithOp::kMul, ColRef(3),
+               Arith(ArithOp::kSub, ConstDouble(1.0), ColRef(4)))});
+    agg->children.push_back(std::move(join));
+    auto sort = std::make_unique<SortPlan>();
+    sort->sort_keys = {0};
+    sort->descending = {false};
+    sort->children.push_back(std::move(agg));
+    root = std::move(sort);
+  } else {
+    MB2_UNREACHABLE("unknown TPC-H query name");
+  }
+
+  PlanPtr plan = FinalizePlan(std::move(root), db_->catalog());
+  db_->estimator().Estimate(plan.get());
+  return plan;
+}
+
+const PlanNode *TpchWorkload::TemplatePlan(const std::string &name) {
+  auto it = cache_.find(name);
+  if (it != cache_.end()) return it->second.get();
+  PlanPtr plan = MakePlan(name);
+  const PlanNode *raw = plan.get();
+  cache_[name] = std::move(plan);
+  return raw;
+}
+
+std::map<std::string, const PlanNode *> TpchWorkload::AllTemplates() {
+  std::map<std::string, const PlanNode *> out;
+  for (const auto &name : QueryNames()) out[name] = TemplatePlan(name);
+  return out;
+}
+
+}  // namespace mb2

@@ -1,0 +1,52 @@
+#pragma once
+
+/// \file tpch.h
+/// TPC-H-style OLAP workload: the eight-table schema (dates encoded as day
+/// ordinals, categorical text columns as small integer domains) and six
+/// representative query templates (Q1, Q3, Q4, Q5, Q6, Q14) built on the
+/// plan API. Scale factor follows the official row counts (lineitem ≈ 6M ×
+/// SF); the paper's 0.1/1/10 GB datasets map to SF ratios 1:10:100.
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "database.h"
+#include "plan/plan_node.h"
+
+namespace mb2 {
+
+class TpchWorkload {
+ public:
+  /// `prefix` namespaces the tables so several scale factors can coexist in
+  /// one catalog (the generalization experiments need exactly that).
+  TpchWorkload(Database *db, double scale_factor, std::string prefix = "",
+               uint64_t seed = 7)
+      : db_(db), sf_(scale_factor), prefix_(std::move(prefix)), seed_(seed) {}
+
+  /// Creates and populates all eight tables, then refreshes optimizer stats.
+  void Load();
+
+  static const std::vector<std::string> &QueryNames();
+
+  /// Builds a fresh finalized plan with cardinality estimates filled.
+  PlanPtr MakePlan(const std::string &name) const;
+
+  /// Cached template plan (stable pointer; used in forecasts).
+  const PlanNode *TemplatePlan(const std::string &name);
+
+  /// All cached templates (name -> plan), for the concurrent runner.
+  std::map<std::string, const PlanNode *> AllTemplates();
+
+  double scale_factor() const { return sf_; }
+  std::string TableName(const std::string &base) const { return prefix_ + base; }
+
+ private:
+  Database *db_;
+  double sf_;
+  std::string prefix_;
+  uint64_t seed_;
+  std::map<std::string, PlanPtr> cache_;
+};
+
+}  // namespace mb2

@@ -1,0 +1,78 @@
+#include "workload/workload_driver.h"
+
+#include <algorithm>
+#include <mutex>
+#include <thread>
+
+#include "metrics/metrics_collector.h"
+
+namespace mb2 {
+
+std::vector<std::pair<int64_t, double>> DriverResult::LatencyTimeline(
+    int64_t bucket_us) const {
+  std::vector<std::pair<int64_t, double>> out;
+  if (latencies.empty()) return out;
+  auto sorted = latencies;
+  std::sort(sorted.begin(), sorted.end());
+  int64_t bucket_start = sorted.front().first;
+  double sum = 0.0;
+  size_t count = 0;
+  for (const auto &[t, lat] : sorted) {
+    if (t >= bucket_start + bucket_us) {
+      if (count > 0) out.emplace_back(bucket_start, sum / count);
+      while (t >= bucket_start + bucket_us) bucket_start += bucket_us;
+      sum = 0.0;
+      count = 0;
+    }
+    sum += lat;
+    count++;
+  }
+  if (count > 0) out.emplace_back(bucket_start, sum / count);
+  return out;
+}
+
+DriverResult WorkloadDriver::Run(const std::function<double(Rng *)> &txn_fn,
+                                 uint32_t threads, double rate_per_thread,
+                                 double duration_s, uint64_t seed) {
+  DriverResult result;
+  std::mutex result_mutex;
+  const int64_t end_time = NowMicros() + static_cast<int64_t>(duration_s * 1e6);
+  const double period_us =
+      rate_per_thread > 0.0 ? 1e6 / rate_per_thread : 0.0;
+
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  for (uint32_t t = 0; t < threads; t++) {
+    workers.emplace_back([&, t] {
+      Rng rng(seed + t * 7919);
+      std::vector<std::pair<int64_t, double>> local;
+      int64_t next_fire = NowMicros();
+      while (NowMicros() < end_time) {
+        if (period_us > 0.0) {
+          const int64_t now = NowMicros();
+          if (now < next_fire) {
+            std::this_thread::sleep_for(
+                std::chrono::microseconds(next_fire - now));
+          }
+          next_fire += static_cast<int64_t>(period_us);
+        }
+        const double latency = txn_fn(&rng);
+        if (latency >= 0.0) local.emplace_back(NowMicros(), latency);
+      }
+      std::lock_guard<std::mutex> lock(result_mutex);
+      result.latencies.insert(result.latencies.end(), local.begin(), local.end());
+    });
+  }
+  for (auto &w : workers) w.join();
+
+  if (!result.latencies.empty()) {
+    double sum = 0.0;
+    for (const auto &[t, lat] : result.latencies) sum += lat;
+    result.avg_latency_us = sum / static_cast<double>(result.latencies.size());
+    result.throughput =
+        static_cast<double>(result.latencies.size()) / duration_s;
+  }
+  return result;
+}
+
+}  // namespace mb2

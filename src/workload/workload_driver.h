@@ -1,0 +1,37 @@
+#pragma once
+
+/// \file workload_driver.h
+/// Generic closed/open-loop workload driver: executes a caller-supplied
+/// transaction function on N threads at a target per-thread rate for a
+/// duration, recording a latency timeline. Plays the role of OLTP-Bench in
+/// the paper's evaluation setup.
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace mb2 {
+
+struct DriverResult {
+  /// (completion time µs since process start, latency µs) per execution.
+  std::vector<std::pair<int64_t, double>> latencies;
+  double throughput = 0.0;  ///< executions per second
+  double avg_latency_us = 0.0;
+
+  /// Average latency bucketed into fixed windows (for timeline plots).
+  std::vector<std::pair<int64_t, double>> LatencyTimeline(int64_t bucket_us) const;
+};
+
+class WorkloadDriver {
+ public:
+  /// `txn_fn(rng)` runs one transaction/query and returns its latency in µs
+  /// (negative = aborted, excluded from stats). `rate_per_thread` <= 0 means
+  /// run closed-loop (back-to-back).
+  static DriverResult Run(const std::function<double(Rng *)> &txn_fn,
+                          uint32_t threads, double rate_per_thread,
+                          double duration_s, uint64_t seed = 1234);
+};
+
+}  // namespace mb2

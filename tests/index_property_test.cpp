@@ -1,0 +1,102 @@
+// Model-based property test: the B+tree must behave exactly like an ordered
+// reference multimap under long random sequences of inserts, deletes, point
+// scans, range scans, and prefix scans — across several seeds (TEST_P).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "common/rng.h"
+#include "index/bplus_tree.h"
+
+namespace mb2 {
+namespace {
+
+using Reference = std::multimap<std::pair<int64_t, int64_t>, SlotId>;
+
+Tuple Key(int64_t a, int64_t b) { return {Value::Integer(a), Value::Integer(b)}; }
+
+class BPlusTreeModelTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BPlusTreeModelTest, MatchesReferenceMultimap) {
+  Rng rng(GetParam());
+  BPlusTree tree(IndexSchema{"idx", "t", {0, 1}, false});
+  Reference reference;
+  SlotId next_slot = 0;
+
+  constexpr int kOps = 6000;
+  for (int op = 0; op < kOps; op++) {
+    const int64_t a = rng.Uniform(0, 40);
+    const int64_t b = rng.Uniform(0, 10);
+    switch (rng.Uniform(0, 9)) {
+      case 0:
+      case 1:
+      case 2:
+      case 3:
+      case 4: {  // insert (dominant)
+        const SlotId slot = next_slot++;
+        tree.Insert(Key(a, b), slot);
+        reference.emplace(std::make_pair(a, b), slot);
+        break;
+      }
+      case 5: {  // delete one matching entry, if any
+        auto it = reference.find({a, b});
+        if (it != reference.end()) {
+          EXPECT_TRUE(tree.Delete(Key(a, b), it->second));
+          reference.erase(it);
+        } else {
+          // Nothing with this exact key: delete of a random slot must fail.
+          EXPECT_FALSE(tree.Delete(Key(a, b), next_slot + 1000));
+        }
+        break;
+      }
+      case 6: {  // point scan
+        std::vector<SlotId> got;
+        tree.ScanKey(Key(a, b), &got);
+        std::vector<SlotId> expected;
+        auto [lo, hi] = reference.equal_range({a, b});
+        for (auto it = lo; it != hi; ++it) expected.push_back(it->second);
+        std::sort(got.begin(), got.end());
+        std::sort(expected.begin(), expected.end());
+        ASSERT_EQ(got, expected) << "op " << op;
+        break;
+      }
+      case 7: {  // range scan over full composite keys
+        const int64_t a2 = std::min<int64_t>(40, a + rng.Uniform(0, 10));
+        std::vector<SlotId> got;
+        tree.ScanRange(Key(a, 0), Key(a2, 10), &got);
+        std::vector<SlotId> expected;
+        for (auto it = reference.lower_bound({a, 0});
+             it != reference.end() && it->first <= std::make_pair(a2, int64_t{10});
+             ++it) {
+          expected.push_back(it->second);
+        }
+        std::sort(got.begin(), got.end());
+        std::sort(expected.begin(), expected.end());
+        ASSERT_EQ(got, expected) << "op " << op;
+        break;
+      }
+      default: {  // prefix scan on the leading column
+        std::vector<SlotId> got;
+        tree.ScanPrefix({Value::Integer(a)}, &got);
+        std::vector<SlotId> expected;
+        for (auto it = reference.lower_bound({a, INT64_MIN});
+             it != reference.end() && it->first.first == a; ++it) {
+          expected.push_back(it->second);
+        }
+        std::sort(got.begin(), got.end());
+        std::sort(expected.begin(), expected.end());
+        ASSERT_EQ(got, expected) << "op " << op;
+        break;
+      }
+    }
+    ASSERT_EQ(tree.NumEntries(), reference.size()) << "op " << op;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BPlusTreeModelTest,
+                         ::testing::Values(11, 22, 33, 44, 55, 66));
+
+}  // namespace
+}  // namespace mb2

@@ -1,0 +1,239 @@
+// B+tree and index-builder tests: ordering, duplicates, splits, prefix and
+// range scans, lazy deletion, concurrent inserts verified against a
+// reference model, parallel build equivalence, and the readiness flag.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <thread>
+
+#include "database.h"
+#include "index/bplus_tree.h"
+#include "index/index_builder.h"
+#include "runner/ou_runner.h"
+
+namespace mb2 {
+namespace {
+
+Tuple Key(int64_t v) { return {Value::Integer(v)}; }
+Tuple Key2(int64_t a, int64_t b) { return {Value::Integer(a), Value::Integer(b)}; }
+
+IndexSchema TestSchema(std::vector<uint32_t> cols = {0}) {
+  return IndexSchema{"idx", "t", std::move(cols), false};
+}
+
+TEST(BPlusTreeTest, InsertAndScanKey) {
+  BPlusTree tree(TestSchema());
+  tree.Insert(Key(5), 50);
+  tree.Insert(Key(3), 30);
+  tree.Insert(Key(7), 70);
+  std::vector<SlotId> out;
+  tree.ScanKey(Key(3), &out);
+  EXPECT_EQ(out, (std::vector<SlotId>{30}));
+  out.clear();
+  tree.ScanKey(Key(4), &out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(BPlusTreeTest, DuplicateKeysAllReturned) {
+  BPlusTree tree(TestSchema());
+  for (SlotId s = 0; s < 10; s++) tree.Insert(Key(1), s);
+  std::vector<SlotId> out;
+  tree.ScanKey(Key(1), &out);
+  std::sort(out.begin(), out.end());
+  ASSERT_EQ(out.size(), 10u);
+  for (SlotId s = 0; s < 10; s++) EXPECT_EQ(out[s], s);
+}
+
+TEST(BPlusTreeTest, SplitsGrowHeightAndPreserveOrder) {
+  BPlusTree tree(TestSchema());
+  constexpr int64_t kN = 10000;
+  // Insert in a scrambled order.
+  for (int64_t i = 0; i < kN; i++) {
+    const int64_t k = (i * 7919) % kN;
+    tree.Insert(Key(k), static_cast<SlotId>(k));
+  }
+  EXPECT_EQ(tree.NumEntries(), static_cast<uint64_t>(kN));
+  EXPECT_GT(tree.Height(), 1u);
+  // Full-range scan returns everything in key order.
+  std::vector<SlotId> out;
+  tree.ScanRange(Key(0), Key(kN), &out);
+  ASSERT_EQ(out.size(), static_cast<size_t>(kN));
+  for (int64_t i = 0; i < kN; i++) EXPECT_EQ(out[i], static_cast<SlotId>(i));
+}
+
+TEST(BPlusTreeTest, RangeScanBoundsAndLimit) {
+  BPlusTree tree(TestSchema());
+  for (int64_t i = 0; i < 100; i++) tree.Insert(Key(i), i);
+  std::vector<SlotId> out;
+  tree.ScanRange(Key(10), Key(19), &out);
+  EXPECT_EQ(out.size(), 10u);
+  out.clear();
+  tree.ScanRange(Key(10), Key(99), &out, /*limit=*/5);
+  EXPECT_EQ(out.size(), 5u);
+  EXPECT_EQ(out[0], 10u);
+}
+
+TEST(BPlusTreeTest, PrefixScanOnCompositeKey) {
+  BPlusTree tree(TestSchema({0, 1}));
+  for (int64_t a = 0; a < 10; a++) {
+    for (int64_t b = 0; b < 20; b++) tree.Insert(Key2(a, b), a * 100 + b);
+  }
+  std::vector<SlotId> out;
+  tree.ScanPrefix(Key(7), &out);
+  ASSERT_EQ(out.size(), 20u);
+  for (const SlotId s : out) EXPECT_EQ(s / 100, 7u);
+}
+
+TEST(BPlusTreeTest, DeleteExactEntry) {
+  BPlusTree tree(TestSchema());
+  tree.Insert(Key(1), 10);
+  tree.Insert(Key(1), 11);
+  EXPECT_TRUE(tree.Delete(Key(1), 10));
+  EXPECT_FALSE(tree.Delete(Key(1), 10));  // already gone
+  std::vector<SlotId> out;
+  tree.ScanKey(Key(1), &out);
+  EXPECT_EQ(out, (std::vector<SlotId>{11}));
+  EXPECT_EQ(tree.NumEntries(), 1u);
+}
+
+TEST(BPlusTreeTest, MemoryAccountingGrowsAndShrinks) {
+  BPlusTree tree(TestSchema());
+  const uint64_t empty = tree.MemoryBytes();
+  for (int64_t i = 0; i < 1000; i++) tree.Insert(Key(i), i);
+  const uint64_t full = tree.MemoryBytes();
+  EXPECT_GT(full, empty + 1000 * 8);
+  for (int64_t i = 0; i < 1000; i++) tree.Delete(Key(i), i);
+  EXPECT_LT(tree.MemoryBytes(), full);
+}
+
+TEST(BPlusTreeTest, ConcurrentInsertsMatchReferenceModel) {
+  BPlusTree tree(TestSchema());
+  constexpr int kThreads = 4, kPerThread = 5000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; t++) {
+    threads.emplace_back([&, t] {
+      Rng rng(t + 1);
+      for (int i = 0; i < kPerThread; i++) {
+        const int64_t k = t * kPerThread + i;
+        tree.Insert(Key(k), static_cast<SlotId>(k));
+      }
+      MB2_UNUSED(rng);
+    });
+  }
+  for (auto &t : threads) t.join();
+  EXPECT_EQ(tree.NumEntries(), static_cast<uint64_t>(kThreads * kPerThread));
+  std::vector<SlotId> out;
+  tree.ScanRange(Key(0), Key(kThreads * kPerThread), &out);
+  ASSERT_EQ(out.size(), static_cast<size_t>(kThreads * kPerThread));
+  for (size_t i = 0; i < out.size(); i++) EXPECT_EQ(out[i], i);
+}
+
+TEST(BPlusTreeTest, ConcurrentReadersDuringWrites) {
+  BPlusTree tree(TestSchema());
+  for (int64_t i = 0; i < 2000; i += 2) tree.Insert(Key(i), i);
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    for (int64_t i = 1; i < 2000; i += 2) tree.Insert(Key(i), i);
+    stop.store(true);
+  });
+  // Readers must always see a consistent prefix (pre-existing even keys).
+  while (!stop.load()) {
+    std::vector<SlotId> out;
+    tree.ScanKey(Key(1000), &out);
+    ASSERT_LE(out.size(), 1u);
+    if (!out.empty()) {
+      EXPECT_EQ(out[0], 1000u);
+    }
+  }
+  writer.join();
+  EXPECT_EQ(tree.NumEntries(), 2000u);
+}
+
+// --- IndexBuilder ------------------------------------------------------------
+
+class IndexBuilderTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    table_ = MakeSyntheticTable(&db_, "t", 20000, 500, 3);
+  }
+  Database db_;
+  Table *table_ = nullptr;
+};
+
+TEST_F(IndexBuilderTest, BuildsAllVisibleTuples) {
+  auto index = db_.catalog().CreateIndex({"i1", "t", {1}, false}, false);
+  ASSERT_TRUE(index.ok());
+  IndexBuildStats stats =
+      IndexBuilder::Build(&db_.catalog(), &db_.txn_manager(), index.value(), 2);
+  EXPECT_EQ(stats.tuples_indexed, 20000u);
+  EXPECT_EQ(index.value()->NumEntries(), 20000u);
+  EXPECT_TRUE(index.value()->ready());
+  EXPECT_GT(stats.elapsed_us, 0.0);
+}
+
+TEST_F(IndexBuilderTest, ParallelBuildMatchesSerialContent) {
+  auto serial = db_.catalog().CreateIndex({"is", "t", {1}, false});
+  auto parallel = db_.catalog().CreateIndex({"ip", "t", {1}, false});
+  IndexBuilder::Build(&db_.catalog(), &db_.txn_manager(), serial.value(), 1);
+  IndexBuilder::Build(&db_.catalog(), &db_.txn_manager(), parallel.value(), 4);
+  EXPECT_EQ(serial.value()->NumEntries(), parallel.value()->NumEntries());
+  // Spot-check: same posting lists for a handful of keys.
+  for (int64_t k = 0; k < 500; k += 97) {
+    std::vector<SlotId> a, b;
+    serial.value()->ScanKey(Key(k), &a);
+    parallel.value()->ScanKey(Key(k), &b);
+    std::sort(a.begin(), a.end());
+    std::sort(b.begin(), b.end());
+    EXPECT_EQ(a, b) << "key " << k;
+  }
+}
+
+TEST_F(IndexBuilderTest, SkipsUncommittedAndDeletedRows) {
+  // One uncommitted insert and one committed delete must be excluded.
+  auto pending = db_.txn_manager().Begin();
+  table_->Insert(pending.get(), {Value::Integer(999999), Value::Integer(1),
+                                 Value::Integer(1), Value::Integer(1),
+                                 Value::Integer(1), Value::Integer(1),
+                                 Value::Integer(1), Value::Integer(1)});
+  auto deleter = db_.txn_manager().Begin();
+  ASSERT_TRUE(table_->Delete(deleter.get(), 0).ok());
+  db_.txn_manager().Commit(deleter.get());
+
+  auto index = db_.catalog().CreateIndex({"i2", "t", {0}, false});
+  IndexBuildStats stats =
+      IndexBuilder::Build(&db_.catalog(), &db_.txn_manager(), index.value(), 2);
+  EXPECT_EQ(stats.tuples_indexed, 19999u);
+  db_.txn_manager().Abort(pending.get());
+}
+
+TEST_F(IndexBuilderTest, CardinalityEstimateIsReasonable) {
+  const double est = IndexBuilder::EstimateKeyCardinality(
+      table_, {1}, db_.txn_manager().OldestActiveTs());
+  EXPECT_GT(est, 250.0);   // true distinct count is ~500
+  EXPECT_LT(est, 2000.0);
+}
+
+TEST_F(IndexBuilderTest, RecordsContendingOuWithThreadFeature) {
+  auto index = db_.catalog().CreateIndex({"i3", "t", {1, 2}, false});
+  auto &metrics = MetricsManager::Instance();
+  metrics.DrainAll();
+  metrics.SetEnabled(true);
+  IndexBuilder::Build(&db_.catalog(), &db_.txn_manager(), index.value(), 4);
+  metrics.SetEnabled(false);
+  bool found = false;
+  for (const auto &r : metrics.DrainAll()) {
+    if (r.ou != OuType::kIndexBuild) continue;
+    found = true;
+    ASSERT_EQ(r.features.size(), 5u);
+    EXPECT_DOUBLE_EQ(r.features[0], 20000.0);  // rows
+    EXPECT_DOUBLE_EQ(r.features[1], 2.0);      // key columns
+    EXPECT_DOUBLE_EQ(r.features[4], 4.0);      // threads
+    EXPECT_GT(r.labels[kLabelMemoryBytes], 0.0);
+  }
+  EXPECT_TRUE(found);
+}
+
+}  // namespace
+}  // namespace mb2

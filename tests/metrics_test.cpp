@@ -1,0 +1,163 @@
+// Metrics-layer tests: resource tracker labels, simulated hardware
+// frequency, hardware-context features, the decentralized collector, and
+// work-stat plumbing.
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "metrics/metrics_collector.h"
+#include "metrics/resource_tracker.h"
+#include "metrics/work_stats.h"
+
+namespace mb2 {
+namespace {
+
+void BurnCpu(int64_t iterations) {
+  volatile uint64_t sink = 0;
+  for (int64_t i = 0; i < iterations; i++) {
+    sink = sink + static_cast<uint64_t>(i * i);
+  }
+}
+
+TEST(ResourceTrackerTest, LabelsAreNonNegativeAndOrdered) {
+  ResourceTracker tracker;
+  tracker.Start();
+  BurnCpu(2000000);
+  const Labels labels = tracker.Stop();
+  EXPECT_GT(labels[kLabelElapsedUs], 0.0);
+  EXPECT_GT(labels[kLabelCpuTimeUs], 0.0);
+  EXPECT_GT(labels[kLabelCycles], 0.0);
+  EXPECT_GE(labels[kLabelBlockReads], 0.0);
+  // CPU-bound section: cpu time within ~3x of elapsed (scheduler noise).
+  EXPECT_LT(labels[kLabelCpuTimeUs], labels[kLabelElapsedUs] * 3.0);
+}
+
+TEST(ResourceTrackerTest, MoreWorkMoreCycles) {
+  ResourceTracker tracker;
+  tracker.Start();
+  BurnCpu(300000);
+  const Labels small = tracker.Stop();
+  tracker.Start();
+  BurnCpu(6000000);
+  const Labels big = tracker.Stop();
+  EXPECT_GT(big[kLabelCycles], small[kLabelCycles] * 2.0);
+  EXPECT_GT(big[kLabelElapsedUs], small[kLabelElapsedUs]);
+}
+
+TEST(ResourceTrackerTest, WorkStatsDriveSyntheticCounters) {
+  // Instructions/cache labels must be a function of the instrumented work
+  // regardless of the counter backend (real perf counts the same loop).
+  ResourceTracker tracker;
+  tracker.Start();
+  WorkStats::Current().tuples_processed += 100000;
+  WorkStats::Current().bytes_read += 6400000;
+  BurnCpu(1000000);
+  const Labels labels = tracker.Stop();
+  EXPECT_GT(labels[kLabelInstructions], 0.0);
+  EXPECT_GT(labels[kLabelCacheRefs], 0.0);
+  EXPECT_GE(labels[kLabelCacheMisses], 0.0);
+  EXPECT_LE(labels[kLabelCacheMisses], labels[kLabelCacheRefs]);
+}
+
+TEST(ResourceTrackerTest, MemoryBytesOverrideWins) {
+  ResourceTracker tracker;
+  tracker.Start();
+  tracker.SetMemoryBytes(123456.0);
+  const Labels labels = tracker.Stop();
+  EXPECT_DOUBLE_EQ(labels[kLabelMemoryBytes], 123456.0);
+}
+
+TEST(SimulatedHardwareTest, LowerFrequencySlowsTrackedWork) {
+  ResourceTracker tracker;
+  tracker.Start();
+  BurnCpu(1000000);
+  const Labels native = tracker.Stop();
+
+  SimulatedHardware::SetCpuFreqGhz(1.5);  // half of the 3.0 base
+  tracker.Start();
+  BurnCpu(1000000);
+  const Labels slowed = tracker.Stop();
+  SimulatedHardware::SetCpuFreqGhz(0.0);
+
+  // ~2x slower elapsed (generous bounds for scheduler noise).
+  EXPECT_GT(slowed[kLabelElapsedUs], native[kLabelElapsedUs] * 1.4);
+  EXPECT_DOUBLE_EQ(SimulatedHardware::EffectiveFreqGhz(),
+                   SimulatedHardware::kBaseFreqGhz);
+}
+
+TEST(MetricsManagerTest, RecordOnlyWhenEnabled) {
+  auto &metrics = MetricsManager::Instance();
+  metrics.DrainAll();
+  metrics.SetEnabled(false);
+  metrics.Record(OuType::kSeqScan, {1.0}, Labels{});
+  EXPECT_EQ(metrics.DrainAll().size(), 0u);
+  metrics.SetEnabled(true);
+  metrics.Record(OuType::kSeqScan, {1.0}, Labels{});
+  metrics.SetEnabled(false);
+  EXPECT_EQ(metrics.DrainAll().size(), 1u);
+}
+
+TEST(MetricsManagerTest, MultiThreadedRecordsAllCollected) {
+  auto &metrics = MetricsManager::Instance();
+  metrics.DrainAll();
+  metrics.SetEnabled(true);
+  constexpr int kThreads = 4, kRecords = 1000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; t++) {
+    threads.emplace_back([&metrics] {
+      for (int i = 0; i < kRecords; i++) {
+        metrics.Record(OuType::kArithmetic, {1.0, 2.0, 0.0}, Labels{});
+      }
+    });
+  }
+  for (auto &t : threads) t.join();
+  metrics.SetEnabled(false);
+  auto drained = metrics.DrainAll();
+  EXPECT_EQ(drained.size(), static_cast<size_t>(kThreads * kRecords));
+  // Thread ids preserved for interference bucketing.
+  std::set<uint64_t> tids;
+  for (const auto &r : drained) tids.insert(r.thread_id);
+  EXPECT_EQ(tids.size(), static_cast<size_t>(kThreads));
+}
+
+TEST(MetricsManagerTest, HardwareContextAppendsFrequencyFeature) {
+  auto &metrics = MetricsManager::Instance();
+  metrics.DrainAll();
+  SimulatedHardware::SetAppendContextFeature(true);
+  SimulatedHardware::SetCpuFreqGhz(2.2);
+  metrics.SetEnabled(true);
+  metrics.Record(OuType::kSeqScan, MakeExecFeatures(1, 1, 1, 1, 0, 1, 0), Labels{});
+  metrics.SetEnabled(false);
+  SimulatedHardware::SetAppendContextFeature(false);
+  SimulatedHardware::SetCpuFreqGhz(0.0);
+  auto drained = metrics.DrainAll();
+  ASSERT_EQ(drained.size(), 1u);
+  ASSERT_EQ(drained[0].features.size(), exec_feature::kCount + 1);
+  EXPECT_DOUBLE_EQ(drained[0].features.back(), 2.2);
+}
+
+TEST(OuTrackerScopeTest, AmendedFeaturesAreRecorded) {
+  auto &metrics = MetricsManager::Instance();
+  metrics.DrainAll();
+  metrics.SetEnabled(true);
+  {
+    OuTrackerScope scope(OuType::kGarbageCollection, {0.0, 0.0, 5000.0});
+    scope.MutableFeatures()[0] = 77.0;  // learned mid-flight
+  }
+  metrics.SetEnabled(false);
+  auto drained = metrics.DrainAll();
+  ASSERT_EQ(drained.size(), 1u);
+  EXPECT_DOUBLE_EQ(drained[0].features[0], 77.0);
+}
+
+TEST(OuTrackerScopeTest, DisabledScopeCostsNothingAndRecordsNothing) {
+  auto &metrics = MetricsManager::Instance();
+  metrics.DrainAll();
+  metrics.SetEnabled(false);
+  { OuTrackerScope scope(OuType::kSeqScan, {1, 1, 1, 1, 0, 1, 0}); }
+  EXPECT_EQ(metrics.DrainAll().size(), 0u);
+}
+
+}  // namespace
+}  // namespace mb2

@@ -1,0 +1,220 @@
+// ML library tests: every regressor must (a) fit functions in its
+// representational class, (b) support multi-output targets, and (c) report
+// a plausible serialized size. Model selection must pick a sensible family.
+// Parameterized sweeps act as property tests across all seven algorithms.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "ml/decision_tree.h"
+#include "ml/model_selection.h"
+
+namespace mb2 {
+namespace {
+
+/// y0 = 3 x0 - 2 x1 + 5,   y1 = -x0 + 0.5 x1  (linear, 2 outputs)
+void MakeLinearData(size_t n, Matrix *x, Matrix *y, double noise, uint64_t seed) {
+  Rng rng(seed);
+  for (size_t i = 0; i < n; i++) {
+    const double a = rng.Uniform(-10.0, 10.0);
+    const double b = rng.Uniform(-10.0, 10.0);
+    x->AppendRow({a, b});
+    y->AppendRow({3 * a - 2 * b + 5 + rng.Gaussian(0, noise),
+                  -a + 0.5 * b + rng.Gaussian(0, noise)});
+  }
+}
+
+/// y = x0 * x1 + x2^2 (nonlinear, 1 output)
+void MakeNonlinearData(size_t n, Matrix *x, Matrix *y, uint64_t seed) {
+  Rng rng(seed);
+  for (size_t i = 0; i < n; i++) {
+    const double a = rng.Uniform(-3.0, 3.0);
+    const double b = rng.Uniform(-3.0, 3.0);
+    const double c = rng.Uniform(-3.0, 3.0);
+    x->AppendRow({a, b, c});
+    y->AppendRow({a * b + c * c + 10.0});
+  }
+}
+
+double Rmse(const Regressor &model, const Matrix &x, const Matrix &y) {
+  double sum = 0.0;
+  size_t count = 0;
+  for (size_t r = 0; r < x.rows(); r++) {
+    const auto pred = model.Predict(x.Row(r));
+    for (size_t j = 0; j < y.cols(); j++) {
+      const double d = pred[j] - y.At(r, j);
+      sum += d * d;
+      count++;
+    }
+  }
+  return std::sqrt(sum / count);
+}
+
+// --- Linear-capable models recover a linear map -------------------------------
+
+class LinearCapable : public ::testing::TestWithParam<MlAlgorithm> {};
+
+TEST_P(LinearCapable, FitsLinearFunction) {
+  Matrix x, y;
+  MakeLinearData(600, &x, &y, 0.01, 3);
+  auto model = CreateRegressor(GetParam());
+  model->Fit(x, y);
+  Matrix xt, yt;
+  MakeLinearData(100, &xt, &yt, 0.0, 99);
+  EXPECT_LT(Rmse(*model, xt, yt), 2.0) << model->Name();
+}
+
+INSTANTIATE_TEST_SUITE_P(Algos, LinearCapable,
+                         ::testing::Values(MlAlgorithm::kLinear,
+                                           MlAlgorithm::kHuber,
+                                           MlAlgorithm::kSvr,
+                                           MlAlgorithm::kRandomForest,
+                                           MlAlgorithm::kGradientBoosting,
+                                           MlAlgorithm::kNeuralNetwork));
+
+// --- Nonlinear-capable models beat the best linear fit ------------------------
+
+class NonlinearCapable : public ::testing::TestWithParam<MlAlgorithm> {};
+
+TEST_P(NonlinearCapable, BeatsLinearBaselineOnNonlinearData) {
+  Matrix x, y;
+  MakeNonlinearData(1200, &x, &y, 5);
+  auto linear = CreateRegressor(MlAlgorithm::kLinear);
+  linear->Fit(x, y);
+  auto model = CreateRegressor(GetParam());
+  model->Fit(x, y);
+  Matrix xt, yt;
+  MakeNonlinearData(200, &xt, &yt, 77);
+  EXPECT_LT(Rmse(*model, xt, yt), 0.7 * Rmse(*linear, xt, yt)) << model->Name();
+}
+
+INSTANTIATE_TEST_SUITE_P(Algos, NonlinearCapable,
+                         ::testing::Values(MlAlgorithm::kKernel,
+                                           MlAlgorithm::kRandomForest,
+                                           MlAlgorithm::kGradientBoosting,
+                                           MlAlgorithm::kNeuralNetwork));
+
+// --- Cross-cutting properties --------------------------------------------------
+
+class AnyAlgorithm : public ::testing::TestWithParam<MlAlgorithm> {};
+
+TEST_P(AnyAlgorithm, MultiOutputShapesAndSerializedSize) {
+  Matrix x, y;
+  MakeLinearData(200, &x, &y, 0.1, 5);
+  auto model = CreateRegressor(GetParam());
+  model->Fit(x, y);
+  const auto pred = model->Predict({1.0, 2.0});
+  EXPECT_EQ(pred.size(), 2u);
+  EXPECT_GT(model->SerializedBytes(), 0u);
+  EXPECT_STREQ(model->Name(), MlAlgorithmName(GetParam()));
+}
+
+TEST_P(AnyAlgorithm, HandlesConstantTarget) {
+  Matrix x, y;
+  Rng rng(4);
+  for (int i = 0; i < 100; i++) {
+    x.AppendRow({rng.Uniform(-5.0, 5.0)});
+    y.AppendRow({42.0});
+  }
+  auto model = CreateRegressor(GetParam());
+  model->Fit(x, y);
+  EXPECT_NEAR(model->Predict({0.0})[0], 42.0, 2.0) << model->Name();
+}
+
+INSTANTIATE_TEST_SUITE_P(Algos, AnyAlgorithm,
+                         ::testing::ValuesIn(AllAlgorithms()));
+
+// --- Specific behaviors ---------------------------------------------------------
+
+TEST(HuberTest, RobustToLabelOutliers) {
+  Matrix x, y;
+  MakeLinearData(400, &x, &y, 0.01, 9);
+  // Corrupt 10% of labels catastrophically.
+  Rng rng(13);
+  for (size_t i = 0; i < 40; i++) {
+    y.At(static_cast<size_t>(rng.Uniform(0, 399)), 0) = 1e6;
+  }
+  auto huber = CreateRegressor(MlAlgorithm::kHuber);
+  auto ols = CreateRegressor(MlAlgorithm::kLinear);
+  huber->Fit(x, y);
+  ols->Fit(x, y);
+  Matrix xt, yt;
+  MakeLinearData(100, &xt, &yt, 0.0, 21);
+  EXPECT_LT(Rmse(*huber, xt, yt), 0.2 * Rmse(*ols, xt, yt));
+}
+
+TEST(DecisionTreeTest, PerfectFitOnTrainWithDeepTree) {
+  Matrix x, y;
+  MakeNonlinearData(200, &x, &y, 31);
+  TreeParams params;
+  params.max_depth = 30;
+  params.min_samples_leaf = 1;
+  DecisionTree tree(params);
+  tree.Fit(x, y);
+  EXPECT_LT(Rmse(tree, x, y), 0.5);
+  EXPECT_GT(tree.NumNodes(), 50u);
+}
+
+TEST(ModelSelectionTest, SplitShapesAndDisjointness) {
+  Matrix x, y;
+  MakeLinearData(100, &x, &y, 0.1, 2);
+  TrainTestSplit split = SplitData(x, y, 0.2, 7);
+  EXPECT_EQ(split.x_test.rows(), 20u);
+  EXPECT_EQ(split.x_train.rows(), 80u);
+  EXPECT_EQ(split.y_test.rows(), 20u);
+  EXPECT_EQ(split.x_train.cols(), 2u);
+}
+
+TEST(ModelSelectionTest, PicksNonlinearFamilyForNonlinearData) {
+  Matrix x, y;
+  MakeNonlinearData(800, &x, &y, 15);
+  SelectionResult result = SelectAndTrain(
+      x, y, {MlAlgorithm::kLinear, MlAlgorithm::kRandomForest,
+             MlAlgorithm::kGradientBoosting});
+  EXPECT_NE(result.best_algorithm, MlAlgorithm::kLinear);
+  EXPECT_TRUE(result.final_model != nullptr);
+  EXPECT_EQ(result.test_errors.size(), 3u);
+}
+
+TEST(MatrixTest, SolveLinearSystem) {
+  Matrix a(2, 2);
+  a.At(0, 0) = 2;
+  a.At(0, 1) = 1;
+  a.At(1, 0) = 1;
+  a.At(1, 1) = 3;
+  std::vector<double> solution;
+  ASSERT_TRUE(SolveLinearSystem(a, {5, 10}, &solution));
+  EXPECT_NEAR(solution[0], 1.0, 1e-9);
+  EXPECT_NEAR(solution[1], 3.0, 1e-9);
+}
+
+TEST(MatrixTest, SingularSystemReturnsFalse) {
+  Matrix a(2, 2);
+  a.At(0, 0) = 1;
+  a.At(0, 1) = 2;
+  a.At(1, 0) = 2;
+  a.At(1, 1) = 4;
+  std::vector<double> solution;
+  EXPECT_FALSE(SolveLinearSystem(a, {1, 2}, &solution));
+}
+
+TEST(StandardizerTest, RoundTripAndUnitVariance) {
+  Matrix x;
+  Rng rng(8);
+  for (int i = 0; i < 500; i++) x.AppendRow({rng.Gaussian(100, 20), rng.Gaussian(-3, 0.1)});
+  Standardizer std_;
+  std_.Fit(x);
+  const Matrix z = std_.TransformAll(x);
+  // Standardized columns: mean ~0, stddev ~1.
+  double mean0 = 0;
+  for (size_t r = 0; r < z.rows(); r++) mean0 += z.At(r, 0);
+  EXPECT_NEAR(mean0 / z.rows(), 0.0, 1e-9);
+  const auto back = std_.InverseTransform(std_.Transform({123.0, -3.05}));
+  EXPECT_NEAR(back[0], 123.0, 1e-9);
+  EXPECT_NEAR(back[1], -3.05, 1e-9);
+}
+
+}  // namespace
+}  // namespace mb2

@@ -1,0 +1,182 @@
+// Model-persistence tests: every regressor family round-trips through the
+// binary format with identical predictions; OuModel and ModelBot save/load
+// preserve inference behavior; corrupt files are rejected.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "database.h"
+#include "modeling/model_bot.h"
+#include "ml/model_selection.h"
+#include "runner/ou_runner.h"
+
+namespace mb2 {
+namespace {
+
+void MakeData(size_t n, Matrix *x, Matrix *y, uint64_t seed) {
+  Rng rng(seed);
+  for (size_t i = 0; i < n; i++) {
+    const double a = rng.Uniform(-5.0, 5.0);
+    const double b = rng.Uniform(-5.0, 5.0);
+    x->AppendRow({a, b});
+    y->AppendRow({2 * a - b + 1, a * b});
+  }
+}
+
+class RegressorRoundTrip : public ::testing::TestWithParam<MlAlgorithm> {};
+
+TEST_P(RegressorRoundTrip, PredictionsSurviveSaveLoad) {
+  Matrix x, y;
+  MakeData(300, &x, &y, 3);
+  auto model = CreateRegressor(GetParam());
+  model->Fit(x, y);
+
+  const std::string path = "/tmp/mb2_model_roundtrip.bin";
+  {
+    auto writer = BinaryWriter::Open(path);
+    ASSERT_TRUE(writer.ok());
+    SaveRegressor(*model, &writer.value());
+  }
+  auto reader = BinaryReader::Open(path);
+  ASSERT_TRUE(reader.ok());
+  std::unique_ptr<Regressor> loaded = LoadRegressor(&reader.value());
+  ASSERT_NE(loaded, nullptr) << MlAlgorithmName(GetParam());
+  EXPECT_EQ(loaded->algorithm(), GetParam());
+
+  Rng rng(99);
+  for (int i = 0; i < 50; i++) {
+    const std::vector<double> probe = {rng.Uniform(-6.0, 6.0),
+                                       rng.Uniform(-6.0, 6.0)};
+    const auto a = model->Predict(probe);
+    const auto b = loaded->Predict(probe);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t j = 0; j < a.size(); j++) {
+      ASSERT_DOUBLE_EQ(a[j], b[j]) << MlAlgorithmName(GetParam());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Algos, RegressorRoundTrip,
+                         ::testing::ValuesIn(AllAlgorithms()));
+
+TEST(PersistenceTest, OuModelRoundTripWithNormalization) {
+  Matrix x, y;
+  Rng rng(5);
+  for (int i = 0; i < 200; i++) {
+    const double n = rng.Uniform(16.0, 4096.0);
+    x.AppendRow(MakeExecFeatures(n, 4, 32, n, 0, 1, 0));
+    std::vector<double> labels(kNumLabels, 0.0);
+    labels[kLabelElapsedUs] = 0.7 * n;
+    y.AppendRow(labels);
+  }
+  OuModel model(OuType::kSeqScan);
+  model.Train(x, y, {MlAlgorithm::kRandomForest});
+
+  const std::string path = "/tmp/mb2_oumodel.bin";
+  {
+    auto writer = BinaryWriter::Open(path);
+    model.Save(&writer.value());
+  }
+  auto reader = BinaryReader::Open(path);
+  std::unique_ptr<OuModel> loaded = OuModel::Load(&reader.value());
+  ASSERT_NE(loaded, nullptr);
+  EXPECT_EQ(loaded->type(), OuType::kSeqScan);
+  EXPECT_EQ(loaded->best_algorithm(), MlAlgorithm::kRandomForest);
+
+  // Denormalization must work identically (a 10x-larger n than training).
+  const FeatureVector probe = MakeExecFeatures(40960, 4, 32, 40960, 0, 1, 0);
+  const Labels a = model.Predict(probe);
+  const Labels b = loaded->Predict(probe);
+  for (size_t j = 0; j < kNumLabels; j++) EXPECT_DOUBLE_EQ(a[j], b[j]);
+}
+
+TEST(PersistenceTest, ModelBotSaveLoadPreservesQueryPredictions) {
+  Database db;
+  OuRunnerConfig cfg = OuRunnerConfig::Small();
+  cfg.row_counts = {64, 512, 4096};
+  cfg.repetitions = 2;
+  OuRunner runner(&db, cfg);
+  std::vector<OuRecord> records;
+  auto append = [&records](std::vector<OuRecord> r) {
+    records.insert(records.end(), std::make_move_iterator(r.begin()),
+                   std::make_move_iterator(r.end()));
+  };
+  append(runner.RunScanAndFilter());
+  append(runner.RunSorts());
+
+  ModelBot trained(&db.catalog(), &db.estimator(), &db.settings());
+  trained.TrainOuModels(records, {MlAlgorithm::kLinear, MlAlgorithm::kRandomForest});
+  ASSERT_TRUE(trained.SaveModels("/tmp").ok());
+
+  ModelBot deployed(&db.catalog(), &db.estimator(), &db.settings());
+  ASSERT_TRUE(deployed.LoadModels("/tmp").ok());
+
+  auto scan = std::make_unique<SeqScanPlan>();
+  scan->table = "ou_synth_0";
+  scan->predicate = Cmp(CmpOp::kLt, ColRef(0), ConstInt(32));
+  auto sort = std::make_unique<SortPlan>();
+  sort->sort_keys = {1};
+  sort->descending = {false};
+  sort->children.push_back(std::move(scan));
+  PlanPtr plan = FinalizePlan(std::move(sort), db.catalog());
+  db.estimator().Estimate(plan.get());
+
+  const QueryPrediction a = trained.PredictQuery(*plan);
+  const QueryPrediction b = deployed.PredictQuery(*plan);
+  ASSERT_EQ(a.ous.size(), b.ous.size());
+  for (size_t j = 0; j < kNumLabels; j++) {
+    EXPECT_DOUBLE_EQ(a.total[j], b.total[j]);
+  }
+}
+
+TEST(PersistenceTest, CorruptAndMissingFilesRejected) {
+  Database db;
+  ModelBot bot(&db.catalog(), &db.estimator(), &db.settings());
+  EXPECT_FALSE(bot.LoadModels("/tmp/definitely_missing_dir_mb2").ok());
+
+  // Wrong magic.
+  {
+    auto writer = BinaryWriter::Open("/tmp/mb2_models.bin.bad/mb2_models.bin");
+    EXPECT_FALSE(writer.ok());  // directory absent
+  }
+  {
+    FILE *f = std::fopen("/tmp/mb2_models.bin", "wb");
+    const uint32_t junk = 0xdeadbeef;
+    std::fwrite(&junk, sizeof(junk), 1, f);
+    std::fclose(f);
+  }
+  EXPECT_FALSE(bot.LoadModels("/tmp").ok());
+}
+
+TEST(PersistenceTest, InterferenceModelRoundTrip) {
+  Matrix x, y;
+  Rng rng(8);
+  for (int i = 0; i < 200; i++) {
+    std::vector<double> features(InterferenceModel::kNumFeatures, 0.0);
+    for (auto &f : features) f = rng.Uniform(0.0, 4.0);
+    x.AppendRow(features);
+    std::vector<double> ratios(kNumLabels, 1.0 + features[0] * 0.2);
+    y.AppendRow(ratios);
+  }
+  InterferenceModel model;
+  model.Train(x, y, {MlAlgorithm::kLinear, MlAlgorithm::kNeuralNetwork});
+  {
+    auto writer = BinaryWriter::Open("/tmp/mb2_if.bin");
+    model.Save(&writer.value());
+  }
+  InterferenceModel loaded;
+  {
+    auto reader = BinaryReader::Open("/tmp/mb2_if.bin");
+    loaded.LoadFrom(&reader.value());
+  }
+  ASSERT_TRUE(loaded.trained());
+  Labels target{};
+  target[kLabelElapsedUs] = 100.0;
+  std::vector<Labels> per_thread(3, target);
+  const Labels a = model.AdjustmentRatios(target, per_thread);
+  const Labels b = loaded.AdjustmentRatios(target, per_thread);
+  for (size_t j = 0; j < kNumLabels; j++) EXPECT_DOUBLE_EQ(a[j], b[j]);
+}
+
+}  // namespace
+}  // namespace mb2

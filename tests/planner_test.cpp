@@ -1,0 +1,96 @@
+// Planner tests: what-if evaluation of knob and index actions, hypothetical
+// state restoration, and best-action selection.
+
+#include <gtest/gtest.h>
+
+#include "database.h"
+#include "modeling/model_bot.h"
+#include "runner/ou_runner.h"
+#include "selfdriving/planner.h"
+#include "workload/tpcc.h"
+
+namespace mb2 {
+namespace {
+
+class PlannerTest : public ::testing::Test {
+ protected:
+  PlannerTest() : tpcc_(&db_, 1, 11, /*customers=*/500, /*items=*/500) {}
+
+  void SetUp() override {
+    tpcc_.Load(/*with_customer_last_index=*/false);
+    OuRunnerConfig cfg = OuRunnerConfig::Small();
+    cfg.repetitions = 2;
+    OuRunner runner(&db_, cfg);
+    bot_ = std::make_unique<ModelBot>(&db_.catalog(), &db_.estimator(),
+                                      &db_.settings());
+    bot_->TrainOuModels(runner.RunAll(),
+                        {MlAlgorithm::kLinear, MlAlgorithm::kRandomForest});
+  }
+
+  WorkloadForecast MakeForecast() {
+    tpcc_.InvalidateTemplates();
+    WorkloadForecast f;
+    f.interval_s = 10.0;
+    f.num_threads = 2;
+    for (auto &[name, plans] : tpcc_.TemplatePlans()) {
+      for (const PlanNode *plan : plans) f.entries.push_back({plan, 20.0, name});
+    }
+    return f;
+  }
+
+  Database db_;
+  TpccWorkload tpcc_;
+  std::unique_ptr<ModelBot> bot_;
+};
+
+TEST_F(PlannerTest, IndexActionPredictsPositiveCostAndBenefit) {
+  Planner planner(&db_, bot_.get());
+  Action action = Action::CreateIndex(tpcc_.CustomerLastIndexSchema(), 4);
+  ActionEvaluation eval =
+      planner.Evaluate(action, [this] { return MakeForecast(); });
+  EXPECT_GT(eval.cost_us, 0.0);  // builds take time
+  // The Payment template switches from seq scan to index scan: future
+  // latency must drop.
+  EXPECT_LT(eval.benefit_avg_latency_us, eval.baseline_avg_latency_us);
+  EXPECT_GT(eval.NetImprovementUs(), 0.0);
+}
+
+TEST_F(PlannerTest, HypotheticalIndexDoesNotPersist) {
+  Planner planner(&db_, bot_.get());
+  Action action = Action::CreateIndex(tpcc_.CustomerLastIndexSchema(), 4);
+  planner.Evaluate(action, [this] { return MakeForecast(); });
+  EXPECT_EQ(db_.catalog().GetIndex(TpccWorkload::kCustomerLastIndex), nullptr);
+}
+
+TEST_F(PlannerTest, KnobEvaluationRestoresSetting) {
+  Planner planner(&db_, bot_.get());
+  db_.settings().SetInt("execution_mode", 0);
+  Action action = Action::ChangeKnob("execution_mode", 1);
+  planner.Evaluate(action, [this] { return MakeForecast(); });
+  EXPECT_EQ(db_.settings().GetInt("execution_mode"), 0);
+}
+
+TEST_F(PlannerTest, ChooseBestPrefersHighestImprovement) {
+  Planner planner(&db_, bot_.get());
+  std::vector<Action> candidates = {
+      // The decoy index on a table the templates never touch.
+      Action::CreateIndex(IndexSchema{"idx_useless", "history", {0}, false}, 4),
+      Action::CreateIndex(tpcc_.CustomerLastIndexSchema(), 4),
+  };
+  auto best = planner.ChooseBest(candidates, [this] { return MakeForecast(); });
+  ASSERT_TRUE(best.has_value());
+  EXPECT_EQ(best->action.index.name, TpccWorkload::kCustomerLastIndex);
+}
+
+TEST_F(PlannerTest, NoCandidateAboveThresholdMeansStatusQuo) {
+  Planner planner(&db_, bot_.get());
+  std::vector<Action> candidates = {
+      Action::CreateIndex(IndexSchema{"idx_useless", "history", {0}, false}, 4),
+  };
+  auto best = planner.ChooseBest(candidates, [this] { return MakeForecast(); },
+                                 /*min_improvement_us=*/1e12);
+  EXPECT_FALSE(best.has_value());
+}
+
+}  // namespace
+}  // namespace mb2

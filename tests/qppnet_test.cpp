@@ -1,0 +1,143 @@
+// QPPNet baseline tests: tree-structured forward/backward, fitting plan
+// latencies, and the generalization weakness that Fig 7 demonstrates.
+
+#include <gtest/gtest.h>
+
+#include "baseline/qppnet.h"
+#include "database.h"
+#include "runner/ou_runner.h"
+
+namespace mb2 {
+namespace {
+
+class QppNetTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    MakeSyntheticTable(&db_, "t", 2000, 100, 3);
+    db_.estimator().RefreshStats();
+  }
+
+  /// scan -> agg -> sort plan with a row-count-controlling predicate.
+  PlanPtr MakePlan(int64_t limit_rows) {
+    auto scan = std::make_unique<SeqScanPlan>();
+    scan->table = "t";
+    scan->columns = {0, 1};
+    scan->predicate = Cmp(CmpOp::kLt, ColRef(0), ConstInt(limit_rows));
+    auto agg = std::make_unique<AggregatePlan>();
+    agg->group_by = {1};
+    agg->terms.push_back({AggFunc::kCount, nullptr});
+    agg->children.push_back(std::move(scan));
+    PlanPtr plan = FinalizePlan(std::move(agg), db_.catalog());
+    db_.estimator().Estimate(plan.get());
+    return plan;
+  }
+
+  Database db_;
+};
+
+TEST_F(QppNetTest, NodeFeaturesHaveFixedWidth) {
+  PlanPtr plan = MakePlan(500);
+  EXPECT_EQ(QppNet::NodeFeatures(*plan).size(), QppNet::kFeatureDim);
+  EXPECT_EQ(QppNet::NodeFeatures(*plan->children[0]).size(), QppNet::kFeatureDim);
+}
+
+TEST_F(QppNetTest, FitsLatencyOfSimilarPlans) {
+  // Synthetic latency proportional to the scan's estimated rows.
+  std::vector<PlanPtr> plans;
+  std::vector<PlanSample> samples;
+  for (int64_t rows = 100; rows <= 2000; rows += 100) {
+    plans.push_back(MakePlan(rows));
+    samples.push_back({plans.back().get(), 5.0 * static_cast<double>(rows)});
+  }
+  QppNet net(/*epochs=*/300, 1e-3, 7);
+  net.Fit(samples);
+  // In-distribution predictions within 40%.
+  double err = 0.0;
+  for (const auto &s : samples) {
+    err += std::fabs(net.PredictUs(*s.plan) - s.latency_us) / s.latency_us;
+  }
+  err /= samples.size();
+  EXPECT_LT(err, 0.4);
+}
+
+TEST_F(QppNetTest, ExtrapolationDegradesOutOfRange) {
+  std::vector<PlanPtr> plans;
+  std::vector<PlanSample> samples;
+  for (int64_t rows = 100; rows <= 1000; rows += 100) {
+    plans.push_back(MakePlan(rows));
+    samples.push_back({plans.back().get(), 5.0 * static_cast<double>(rows)});
+  }
+  QppNet net(300, 1e-3, 7);
+  net.Fit(samples);
+
+  // 10x out-of-range plan: true latency 5*10000; the monolithic model's
+  // error must be far worse than in-distribution (the Fig 7 effect).
+  MakeSyntheticTable(&db_, "big", 20000, 100, 4);
+  db_.estimator().RefreshStats();
+  auto scan = std::make_unique<SeqScanPlan>();
+  scan->table = "big";
+  scan->columns = {0, 1};
+  auto agg = std::make_unique<AggregatePlan>();
+  agg->group_by = {1};
+  agg->terms.push_back({AggFunc::kCount, nullptr});
+  agg->children.push_back(std::move(scan));
+  PlanPtr big = FinalizePlan(std::move(agg), db_.catalog());
+  db_.estimator().Estimate(big.get());
+
+  const double truth = 5.0 * 20000.0;
+  const double rel_err = std::fabs(net.PredictUs(*big) - truth) / truth;
+  EXPECT_GT(rel_err, 0.3);
+}
+
+TEST_F(QppNetTest, UnseenOperatorTypeDoesNotCrash) {
+  std::vector<PlanPtr> plans;
+  std::vector<PlanSample> samples;
+  for (int64_t rows = 100; rows <= 500; rows += 100) {
+    plans.push_back(MakePlan(rows));
+    samples.push_back({plans.back().get(), 100.0});
+  }
+  QppNet net(50, 1e-3, 7);
+  net.Fit(samples);
+  // A plan with a Sort node (never trained) passes through gracefully.
+  auto scan = std::make_unique<SeqScanPlan>();
+  scan->table = "t";
+  scan->columns = {0};
+  auto sort = std::make_unique<SortPlan>();
+  sort->sort_keys = {0};
+  sort->descending = {false};
+  sort->children.push_back(std::move(scan));
+  PlanPtr plan = FinalizePlan(std::move(sort), db_.catalog());
+  db_.estimator().Estimate(plan.get());
+  EXPECT_GE(net.PredictUs(*plan), 0.0);
+}
+
+TEST_F(QppNetTest, RealExecutionLatenciesLearnable) {
+  std::vector<PlanPtr> plans;
+  std::vector<PlanSample> samples;
+  for (int64_t rows = 200; rows <= 2000; rows += 200) {
+    plans.push_back(MakePlan(rows));
+    db_.Execute(*plans.back());
+    for (int rep = 0; rep < 3; rep++) {
+      samples.push_back({plans.back().get(),
+                         db_.Execute(*plans.back()).elapsed_us});
+    }
+  }
+  QppNet net(200, 1e-3, 11);
+  net.Fit(samples);
+  // Real latencies on this host are noisy and the per-plan work is nearly
+  // identical (the scan always touches the whole table), so only require
+  // positive, magnitude-plausible predictions.
+  double lo = 1e300, hi = 0.0;
+  for (const auto &s : samples) {
+    lo = std::min(lo, s.latency_us);
+    hi = std::max(hi, s.latency_us);
+  }
+  for (const auto &plan : plans) {
+    const double predicted = net.PredictUs(*plan);
+    EXPECT_GT(predicted, lo / 5.0);
+    EXPECT_LT(predicted, hi * 5.0);
+  }
+}
+
+}  // namespace
+}  // namespace mb2

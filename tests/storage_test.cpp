@@ -1,0 +1,212 @@
+// MVCC storage tests: version visibility, snapshot isolation, conflicts,
+// rollback, tombstones, and garbage collection.
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "storage/table.h"
+#include "txn/transaction_manager.h"
+
+namespace mb2 {
+namespace {
+
+class StorageTest : public ::testing::Test {
+ protected:
+  StorageTest()
+      : table_(1, "t", Schema({{"a", TypeId::kInteger, 0},
+                               {"b", TypeId::kInteger, 0}})) {}
+
+  Tuple Row(int64_t a, int64_t b) { return {Value::Integer(a), Value::Integer(b)}; }
+
+  TransactionManager txns_;
+  Table table_;
+};
+
+TEST_F(StorageTest, InsertVisibleAfterCommitOnly) {
+  auto writer = txns_.Begin();
+  const SlotId slot = table_.Insert(writer.get(), Row(1, 2));
+
+  // Uncommitted: visible to the writer, invisible to a new reader.
+  Tuple out;
+  EXPECT_TRUE(table_.Select(writer.get(), slot, &out));
+  auto reader1 = txns_.Begin(true);
+  EXPECT_FALSE(table_.Select(reader1.get(), slot, &out));
+  txns_.Commit(reader1.get());
+
+  txns_.Commit(writer.get());
+  auto reader2 = txns_.Begin(true);
+  EXPECT_TRUE(table_.Select(reader2.get(), slot, &out));
+  EXPECT_EQ(out[0].AsInt(), 1);
+  txns_.Commit(reader2.get());
+}
+
+TEST_F(StorageTest, SnapshotReadersSeeOldVersion) {
+  auto setup = txns_.Begin();
+  const SlotId slot = table_.Insert(setup.get(), Row(1, 10));
+  txns_.Commit(setup.get());
+
+  auto old_reader = txns_.Begin(true);  // snapshot before the update
+  auto writer = txns_.Begin();
+  ASSERT_TRUE(table_.Update(writer.get(), slot, Row(1, 20)).ok());
+  txns_.Commit(writer.get());
+  auto new_reader = txns_.Begin(true);
+
+  Tuple out;
+  ASSERT_TRUE(table_.Select(old_reader.get(), slot, &out));
+  EXPECT_EQ(out[1].AsInt(), 10);
+  ASSERT_TRUE(table_.Select(new_reader.get(), slot, &out));
+  EXPECT_EQ(out[1].AsInt(), 20);
+  txns_.Commit(old_reader.get());
+  txns_.Commit(new_reader.get());
+}
+
+TEST_F(StorageTest, WriteWriteConflictAborts) {
+  auto setup = txns_.Begin();
+  const SlotId slot = table_.Insert(setup.get(), Row(1, 10));
+  txns_.Commit(setup.get());
+
+  auto t1 = txns_.Begin();
+  auto t2 = txns_.Begin();
+  ASSERT_TRUE(table_.Update(t1.get(), slot, Row(1, 11)).ok());
+  const Status conflicted = table_.Update(t2.get(), slot, Row(1, 12));
+  EXPECT_EQ(conflicted.code(), ErrorCode::kAborted);
+  txns_.Commit(t1.get());
+  txns_.Abort(t2.get());
+}
+
+TEST_F(StorageTest, SnapshotTooOldAborts) {
+  auto setup = txns_.Begin();
+  const SlotId slot = table_.Insert(setup.get(), Row(1, 10));
+  txns_.Commit(setup.get());
+
+  auto stale = txns_.Begin();  // snapshot taken now
+  auto fresh = txns_.Begin();
+  ASSERT_TRUE(table_.Update(fresh.get(), slot, Row(1, 11)).ok());
+  txns_.Commit(fresh.get());
+
+  // `stale` must not overwrite a version committed after its snapshot.
+  const Status status = table_.Update(stale.get(), slot, Row(1, 99));
+  EXPECT_EQ(status.code(), ErrorCode::kAborted);
+  txns_.Abort(stale.get());
+}
+
+TEST_F(StorageTest, AbortRollsBackUpdate) {
+  auto setup = txns_.Begin();
+  const SlotId slot = table_.Insert(setup.get(), Row(1, 10));
+  txns_.Commit(setup.get());
+
+  auto writer = txns_.Begin();
+  ASSERT_TRUE(table_.Update(writer.get(), slot, Row(1, 99)).ok());
+  txns_.Abort(writer.get());
+
+  auto reader = txns_.Begin(true);
+  Tuple out;
+  ASSERT_TRUE(table_.Select(reader.get(), slot, &out));
+  EXPECT_EQ(out[1].AsInt(), 10);
+  txns_.Commit(reader.get());
+}
+
+TEST_F(StorageTest, AbortRollsBackInsert) {
+  auto writer = txns_.Begin();
+  const SlotId slot = table_.Insert(writer.get(), Row(7, 7));
+  txns_.Abort(writer.get());
+
+  auto reader = txns_.Begin(true);
+  Tuple out;
+  EXPECT_FALSE(table_.Select(reader.get(), slot, &out));
+  txns_.Commit(reader.get());
+}
+
+TEST_F(StorageTest, DeleteIsTombstoned) {
+  auto setup = txns_.Begin();
+  const SlotId slot = table_.Insert(setup.get(), Row(1, 10));
+  txns_.Commit(setup.get());
+
+  auto old_reader = txns_.Begin(true);
+  auto deleter = txns_.Begin();
+  ASSERT_TRUE(table_.Delete(deleter.get(), slot).ok());
+  txns_.Commit(deleter.get());
+
+  Tuple out;
+  EXPECT_TRUE(table_.Select(old_reader.get(), slot, &out));  // old snapshot
+  auto new_reader = txns_.Begin(true);
+  EXPECT_FALSE(table_.Select(new_reader.get(), slot, &out));
+  txns_.Commit(old_reader.get());
+  txns_.Commit(new_reader.get());
+}
+
+TEST_F(StorageTest, VisibleCountTracksLiveRows) {
+  auto t = txns_.Begin();
+  for (int i = 0; i < 10; i++) table_.Insert(t.get(), Row(i, i));
+  txns_.Commit(t.get());
+  auto d = txns_.Begin();
+  table_.Delete(d.get(), 0);
+  table_.Delete(d.get(), 1);
+  txns_.Commit(d.get());
+  const uint64_t horizon = txns_.OldestActiveTs();
+  EXPECT_EQ(table_.VisibleCount(horizon), 8u);
+}
+
+TEST_F(StorageTest, GarbageCollectionUnlinksDeadVersions) {
+  auto setup = txns_.Begin();
+  const SlotId slot = table_.Insert(setup.get(), Row(1, 0));
+  txns_.Commit(setup.get());
+
+  // Create a long version chain.
+  for (int i = 1; i <= 5; i++) {
+    auto writer = txns_.Begin();
+    ASSERT_TRUE(table_.Update(writer.get(), slot, Row(1, i)).ok());
+    txns_.Commit(writer.get());
+  }
+  uint64_t bytes = 0;
+  const uint64_t unlinked = table_.GarbageCollect(txns_.OldestActiveTs(), &bytes);
+  EXPECT_EQ(unlinked, 5u);
+  EXPECT_GT(bytes, 0u);
+
+  // Latest version still readable.
+  auto reader = txns_.Begin(true);
+  Tuple out;
+  ASSERT_TRUE(table_.Select(reader.get(), slot, &out));
+  EXPECT_EQ(out[1].AsInt(), 5);
+  txns_.Commit(reader.get());
+}
+
+TEST_F(StorageTest, GcRespectsActiveReaders) {
+  auto setup = txns_.Begin();
+  const SlotId slot = table_.Insert(setup.get(), Row(1, 0));
+  txns_.Commit(setup.get());
+
+  auto old_reader = txns_.Begin(true);  // pins the old version
+  auto writer = txns_.Begin();
+  ASSERT_TRUE(table_.Update(writer.get(), slot, Row(1, 1)).ok());
+  txns_.Commit(writer.get());
+
+  uint64_t bytes = 0;
+  table_.GarbageCollect(txns_.OldestActiveTs(), &bytes);
+  Tuple out;
+  ASSERT_TRUE(table_.Select(old_reader.get(), slot, &out));
+  EXPECT_EQ(out[1].AsInt(), 0);  // old version survived GC
+  txns_.Commit(old_reader.get());
+}
+
+TEST_F(StorageTest, ConcurrentInsertsAreAllVisible) {
+  constexpr int kThreads = 4, kPerThread = 2000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; t++) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; i++) {
+        auto txn = txns_.Begin();
+        table_.Insert(txn.get(), Row(t, i));
+        txns_.Commit(txn.get());
+      }
+    });
+  }
+  for (auto &t : threads) t.join();
+  EXPECT_EQ(table_.NumSlots(), static_cast<SlotId>(kThreads * kPerThread));
+  EXPECT_EQ(table_.VisibleCount(txns_.OldestActiveTs()),
+            static_cast<uint64_t>(kThreads * kPerThread));
+}
+
+}  // namespace
+}  // namespace mb2

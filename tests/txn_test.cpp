@@ -1,0 +1,100 @@
+// Transaction-manager tests: timestamp ordering, the active set / GC
+// horizon, arrival-rate estimation, and the TXN_BEGIN / TXN_COMMIT OU
+// records produced in training mode.
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "metrics/metrics_collector.h"
+#include "txn/transaction_manager.h"
+
+namespace mb2 {
+namespace {
+
+TEST(TxnTest, TimestampsAreMonotonic) {
+  TransactionManager txns;
+  auto t1 = txns.Begin();
+  auto t2 = txns.Begin();
+  EXPECT_LT(t1->read_ts(), t2->read_ts());
+  txns.Commit(t1.get());
+  txns.Commit(t2.get());
+  EXPECT_GT(t1->commit_ts(), t2->read_ts());
+}
+
+TEST(TxnTest, OldestActiveTracksLongestRunning) {
+  TransactionManager txns;
+  auto old_txn = txns.Begin(true);
+  const uint64_t pinned = old_txn->read_ts();
+  for (int i = 0; i < 5; i++) {
+    auto t = txns.Begin();
+    txns.Commit(t.get());
+  }
+  EXPECT_EQ(txns.OldestActiveTs(), pinned);
+  txns.Commit(old_txn.get());
+  EXPECT_GT(txns.OldestActiveTs(), pinned);
+}
+
+TEST(TxnTest, NumActiveCountsBeginsMinusEnds) {
+  TransactionManager txns;
+  EXPECT_EQ(txns.NumActive(), 0u);
+  auto t1 = txns.Begin();
+  auto t2 = txns.Begin();
+  EXPECT_EQ(txns.NumActive(), 2u);
+  txns.Commit(t1.get());
+  txns.Abort(t2.get());
+  EXPECT_EQ(txns.NumActive(), 0u);
+}
+
+TEST(TxnTest, ArrivalRateReflectsBeginFrequency) {
+  TransactionManager txns;
+  EXPECT_DOUBLE_EQ(txns.ArrivalRate(), 0.0);
+  for (int i = 0; i < 50; i++) {
+    auto t = txns.Begin();
+    txns.Commit(t.get());
+  }
+  EXPECT_GT(txns.ArrivalRate(), 0.0);
+}
+
+TEST(TxnTest, BeginAndCommitEmitOuRecordsInTrainingMode) {
+  TransactionManager txns;
+  auto &metrics = MetricsManager::Instance();
+  metrics.DrainAll();
+  metrics.SetEnabled(true);
+  auto t = txns.Begin();
+  txns.Commit(t.get());
+  metrics.SetEnabled(false);
+  int begins = 0, commits = 0;
+  for (const auto &r : metrics.DrainAll()) {
+    if (r.ou == OuType::kTxnBegin) {
+      begins++;
+      EXPECT_EQ(r.features.size(), 2u);  // arrival_rate, running_txns
+    }
+    if (r.ou == OuType::kTxnCommit) commits++;
+  }
+  EXPECT_EQ(begins, 1);
+  EXPECT_EQ(commits, 1);
+}
+
+TEST(TxnTest, ConcurrentBeginCommitStress) {
+  TransactionManager txns;
+  constexpr int kThreads = 8, kIterations = 500;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; t++) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kIterations; i++) {
+        auto txn = txns.Begin();
+        txns.Commit(txn.get());
+      }
+    });
+  }
+  for (auto &t : threads) t.join();
+  EXPECT_EQ(txns.NumActive(), 0u);
+  // Every begin + commit consumed a timestamp.
+  auto probe = txns.Begin();
+  EXPECT_GT(probe->read_ts(), static_cast<uint64_t>(kThreads * kIterations * 2));
+  txns.Commit(probe.get());
+}
+
+}  // namespace
+}  // namespace mb2

@@ -1,0 +1,235 @@
+// Workload tests: TPC-H loading + query sanity, TPC-C transaction
+// invariants, TATP and SmallBank smoke + conservation checks, and the
+// workload driver's rate control.
+
+#include <gtest/gtest.h>
+
+#include "database.h"
+#include "workload/smallbank.h"
+#include "workload/tatp.h"
+#include "workload/tpcc.h"
+#include "workload/tpch.h"
+#include "workload/workload_driver.h"
+
+namespace mb2 {
+namespace {
+
+// --- TPC-H --------------------------------------------------------------------
+
+class TpchTest : public ::testing::Test {
+ protected:
+  TpchTest() : tpch_(&db_, 0.002) {}
+  void SetUp() override { tpch_.Load(); }
+  Database db_;
+  TpchWorkload tpch_;
+};
+
+TEST_F(TpchTest, TablesLoadedAtScale) {
+  EXPECT_EQ(db_.catalog().GetTable("region")->NumSlots(), 5u);
+  EXPECT_EQ(db_.catalog().GetTable("nation")->NumSlots(), 25u);
+  EXPECT_EQ(db_.catalog().GetTable("customer")->NumSlots(), 300u);
+  EXPECT_EQ(db_.catalog().GetTable("orders")->NumSlots(), 3000u);
+  // ~4 lineitems per order.
+  const auto lineitems = db_.catalog().GetTable("lineitem")->NumSlots();
+  EXPECT_GT(lineitems, 9000u);
+  EXPECT_LT(lineitems, 15000u);
+}
+
+TEST_F(TpchTest, AllQueriesExecuteAndReturnRows) {
+  for (const auto &name : TpchWorkload::QueryNames()) {
+    PlanPtr plan = tpch_.MakePlan(name);
+    QueryResult result = db_.Execute(*plan);
+    ASSERT_TRUE(result.status.ok()) << name << ": " << result.status.ToString();
+    EXPECT_GT(result.batch.rows.size(), 0u) << name;
+  }
+}
+
+TEST_F(TpchTest, Q1GroupsBoundedByFlagDomain) {
+  PlanPtr plan = tpch_.MakePlan("Q1");
+  QueryResult result = db_.Execute(*plan);
+  // returnflag in {0,1,2} x linestatus in {0,1} -> at most 6 groups.
+  EXPECT_LE(result.batch.rows.size(), 6u);
+}
+
+TEST_F(TpchTest, Q3RespectsLimitAndDescendingRevenue) {
+  PlanPtr plan = tpch_.MakePlan("Q3");
+  QueryResult result = db_.Execute(*plan);
+  ASSERT_LE(result.batch.rows.size(), 10u);
+  for (size_t i = 1; i < result.batch.rows.size(); i++) {
+    EXPECT_GE(result.batch.rows[i - 1][1].AsDouble(),
+              result.batch.rows[i][1].AsDouble());
+  }
+}
+
+TEST_F(TpchTest, ResultsIdenticalAcrossExecutionModes) {
+  for (const auto &name : TpchWorkload::QueryNames()) {
+    PlanPtr plan = tpch_.MakePlan(name);
+    db_.settings().SetInt("execution_mode", 0);
+    QueryResult interp = db_.Execute(*plan);
+    db_.settings().SetInt("execution_mode", 1);
+    QueryResult compiled = db_.Execute(*plan);
+    ASSERT_EQ(interp.batch.rows.size(), compiled.batch.rows.size()) << name;
+    for (size_t r = 0; r < interp.batch.rows.size(); r++) {
+      for (size_t c = 0; c < interp.batch.rows[r].size(); c++) {
+        EXPECT_NEAR(interp.batch.rows[r][c].AsDouble(),
+                    compiled.batch.rows[r][c].AsDouble(), 1e-6)
+            << name << " row " << r << " col " << c;
+      }
+    }
+  }
+  db_.settings().SetInt("execution_mode", 0);
+}
+
+TEST_F(TpchTest, PrefixedInstancesCoexist) {
+  TpchWorkload other(&db_, 0.001, "x_");
+  other.Load();
+  EXPECT_NE(db_.catalog().GetTable("x_lineitem"), nullptr);
+  PlanPtr plan = other.MakePlan("Q6");
+  EXPECT_TRUE(db_.Execute(*plan).status.ok());
+}
+
+// --- TPC-C --------------------------------------------------------------------
+
+class TpccTest : public ::testing::Test {
+ protected:
+  TpccTest() : tpcc_(&db_, 1, 11, /*customers=*/200, /*items=*/500) {}
+  void SetUp() override { tpcc_.Load(); }
+  Database db_;
+  TpccWorkload tpcc_;
+};
+
+TEST_F(TpccTest, NewOrderAdvancesDistrictAndInsertsRows) {
+  Rng rng(1);
+  const auto orders_before = db_.catalog().GetTable("orders")->NumSlots();
+  for (int i = 0; i < 10; i++) {
+    EXPECT_GE(tpcc_.RunTransaction("NewOrder", &rng), 0.0);
+  }
+  EXPECT_EQ(db_.catalog().GetTable("orders")->NumSlots(), orders_before + 10);
+  EXPECT_EQ(db_.catalog().GetTable("neworder")->NumSlots(), 10u);
+  EXPECT_GT(db_.catalog().GetTable("orderline")->NumSlots(), 10u * 5);
+}
+
+TEST_F(TpccTest, PaymentConservesMoneyFlow) {
+  Rng rng(2);
+  Table *warehouse = db_.catalog().GetTable("warehouse");
+  auto probe = db_.txn_manager().Begin(true);
+  Tuple row;
+  ASSERT_TRUE(warehouse->Select(probe.get(), 0, &row));
+  const double ytd_before = row[1].AsDouble();
+  db_.txn_manager().Commit(probe.get());
+
+  for (int i = 0; i < 20; i++) EXPECT_GE(tpcc_.RunTransaction("Payment", &rng), 0.0);
+
+  auto probe2 = db_.txn_manager().Begin(true);
+  ASSERT_TRUE(warehouse->Select(probe2.get(), 0, &row));
+  EXPECT_GT(row[1].AsDouble(), ytd_before);  // YTD only grows
+  db_.txn_manager().Commit(probe2.get());
+  EXPECT_EQ(db_.catalog().GetTable("history")->NumSlots(), 20u);
+}
+
+TEST_F(TpccTest, DeliveryConsumesNewOrders) {
+  Rng rng(3);
+  for (int i = 0; i < 15; i++) tpcc_.RunTransaction("NewOrder", &rng);
+  Table *neworder = db_.catalog().GetTable("neworder");
+  const uint64_t visible_before =
+      neworder->VisibleCount(db_.txn_manager().OldestActiveTs());
+  ASSERT_GT(visible_before, 0u);
+  EXPECT_GE(tpcc_.RunTransaction("Delivery", &rng), 0.0);
+  EXPECT_LT(neworder->VisibleCount(db_.txn_manager().OldestActiveTs()),
+            visible_before);
+}
+
+TEST_F(TpccTest, FullMixRunsWithoutLostUpdates) {
+  Rng rng(4);
+  int completed = 0;
+  for (int i = 0; i < 100; i++) {
+    if (tpcc_.RunRandomTransaction(&rng) >= 0.0) completed++;
+  }
+  EXPECT_GT(completed, 90);  // single-threaded: aborts should be absent
+}
+
+TEST_F(TpccTest, CustomerByLastFallsBackWithoutIndex) {
+  // With the index: templates use the secondary index.
+  auto with_index = tpcc_.TemplatePlans();
+  EXPECT_EQ(with_index["Payment"][0]->children[0]->type,
+            PlanNodeType::kIndexScan);
+  db_.catalog().DropIndex(TpccWorkload::kCustomerLastIndex);
+  tpcc_.InvalidateTemplates();
+  auto without = tpcc_.TemplatePlans();
+  EXPECT_EQ(without["Payment"][0]->children[0]->type, PlanNodeType::kSeqScan);
+  Rng rng(5);
+  EXPECT_GE(tpcc_.RunTransaction("Payment", &rng), 0.0);  // still correct
+}
+
+// --- TATP / SmallBank ------------------------------------------------------------
+
+TEST(TatpTest, AllTransactionsComplete) {
+  Database db;
+  TatpWorkload tatp(&db, 500);
+  tatp.Load();
+  Rng rng(6);
+  for (const auto &name : TatpWorkload::TransactionNames()) {
+    for (int i = 0; i < 5; i++) {
+      EXPECT_GE(tatp.RunTransaction(name, &rng), 0.0) << name;
+    }
+  }
+  for (int i = 0; i < 50; i++) EXPECT_GE(tatp.RunRandomTransaction(&rng), -1.0);
+}
+
+TEST(SmallBankTest, BalancesMoveMoneyConsistently) {
+  Database db;
+  SmallBankWorkload bank(&db, 300);
+  bank.Load();
+  Rng rng(7);
+  for (const auto &name : SmallBankWorkload::TransactionNames()) {
+    for (int i = 0; i < 5; i++) {
+      EXPECT_GE(bank.RunTransaction(name, &rng), 0.0) << name;
+    }
+  }
+  // Every account still has exactly one savings + checking row.
+  EXPECT_EQ(db.catalog().GetTable("savings")->VisibleCount(
+                db.txn_manager().OldestActiveTs()),
+            300u);
+}
+
+// --- WorkloadDriver ------------------------------------------------------------
+
+TEST(WorkloadDriverTest, ClosedLoopCollectsLatencies) {
+  std::atomic<int> executions{0};
+  DriverResult result = WorkloadDriver::Run(
+      [&](Rng *) {
+        executions.fetch_add(1);
+        return 100.0;
+      },
+      2, /*rate=*/-1.0, 0.2);
+  EXPECT_GT(executions.load(), 10);
+  EXPECT_EQ(result.latencies.size(), static_cast<size_t>(executions.load()));
+  EXPECT_DOUBLE_EQ(result.avg_latency_us, 100.0);
+}
+
+TEST(WorkloadDriverTest, RateLimitRoughlyHolds) {
+  DriverResult result = WorkloadDriver::Run([](Rng *) { return 1.0; }, 2,
+                                            /*rate=*/50.0, 0.5);
+  // 2 threads x 50/s x 0.5s = ~50 executions; allow wide slack.
+  EXPECT_GT(result.latencies.size(), 20u);
+  EXPECT_LT(result.latencies.size(), 80u);
+}
+
+TEST(WorkloadDriverTest, AbortsExcludedFromStats) {
+  DriverResult result = WorkloadDriver::Run(
+      [](Rng *rng) { return rng->Uniform(0, 1) == 0 ? -1.0 : 10.0; }, 1, -1.0,
+      0.1);
+  for (const auto &[t, lat] : result.latencies) EXPECT_GT(lat, 0.0);
+}
+
+TEST(WorkloadDriverTest, TimelineBucketsAverageCorrectly) {
+  DriverResult result;
+  result.latencies = {{0, 10.0}, {500, 20.0}, {1000000, 30.0}, {1000001, 50.0}};
+  auto timeline = result.LatencyTimeline(1000000);
+  ASSERT_EQ(timeline.size(), 2u);
+  EXPECT_DOUBLE_EQ(timeline[0].second, 15.0);
+  EXPECT_DOUBLE_EQ(timeline[1].second, 40.0);
+}
+
+}  // namespace
+}  // namespace mb2
