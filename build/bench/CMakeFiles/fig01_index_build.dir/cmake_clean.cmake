@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_index_build.dir/fig01_index_build.cpp.o"
+  "CMakeFiles/fig01_index_build.dir/fig01_index_build.cpp.o.d"
+  "fig01_index_build"
+  "fig01_index_build.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_index_build.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

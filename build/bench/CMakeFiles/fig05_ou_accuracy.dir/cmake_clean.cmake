@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_ou_accuracy.dir/fig05_ou_accuracy.cpp.o"
+  "CMakeFiles/fig05_ou_accuracy.dir/fig05_ou_accuracy.cpp.o.d"
+  "fig05_ou_accuracy"
+  "fig05_ou_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_ou_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_generalization.dir/fig07_generalization.cpp.o"
+  "CMakeFiles/fig07_generalization.dir/fig07_generalization.cpp.o.d"
+  "fig07_generalization"
+  "fig07_generalization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_generalization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_interference.dir/fig08_interference.cpp.o"
+  "CMakeFiles/fig08_interference.dir/fig08_interference.cpp.o.d"
+  "fig08_interference"
+  "fig08_interference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_interference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

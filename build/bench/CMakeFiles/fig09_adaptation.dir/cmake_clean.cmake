@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_adaptation.dir/fig09_adaptation.cpp.o"
+  "CMakeFiles/fig09_adaptation.dir/fig09_adaptation.cpp.o.d"
+  "fig09_adaptation"
+  "fig09_adaptation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_adaptation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_hardware.dir/fig10_hardware.cpp.o"
+  "CMakeFiles/fig10_hardware.dir/fig10_hardware.cpp.o.d"
+  "fig10_hardware"
+  "fig10_hardware.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_hardware.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

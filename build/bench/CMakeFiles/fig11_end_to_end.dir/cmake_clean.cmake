@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_end_to_end.dir/fig11_end_to_end.cpp.o"
+  "CMakeFiles/fig11_end_to_end.dir/fig11_end_to_end.cpp.o.d"
+  "fig11_end_to_end"
+  "fig11_end_to_end.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_end_to_end.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/knob_tuner.dir/knob_tuner.cpp.o"
+  "CMakeFiles/knob_tuner.dir/knob_tuner.cpp.o.d"
+  "knob_tuner"
+  "knob_tuner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/knob_tuner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,75 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/qppnet.cpp" "src/CMakeFiles/mb2.dir/baseline/qppnet.cpp.o" "gcc" "src/CMakeFiles/mb2.dir/baseline/qppnet.cpp.o.d"
+  "/root/repo/src/catalog/catalog.cpp" "src/CMakeFiles/mb2.dir/catalog/catalog.cpp.o" "gcc" "src/CMakeFiles/mb2.dir/catalog/catalog.cpp.o.d"
+  "/root/repo/src/catalog/schema.cpp" "src/CMakeFiles/mb2.dir/catalog/schema.cpp.o" "gcc" "src/CMakeFiles/mb2.dir/catalog/schema.cpp.o.d"
+  "/root/repo/src/catalog/settings.cpp" "src/CMakeFiles/mb2.dir/catalog/settings.cpp.o" "gcc" "src/CMakeFiles/mb2.dir/catalog/settings.cpp.o.d"
+  "/root/repo/src/common/csv.cpp" "src/CMakeFiles/mb2.dir/common/csv.cpp.o" "gcc" "src/CMakeFiles/mb2.dir/common/csv.cpp.o.d"
+  "/root/repo/src/common/stats.cpp" "src/CMakeFiles/mb2.dir/common/stats.cpp.o" "gcc" "src/CMakeFiles/mb2.dir/common/stats.cpp.o.d"
+  "/root/repo/src/common/thread_pool.cpp" "src/CMakeFiles/mb2.dir/common/thread_pool.cpp.o" "gcc" "src/CMakeFiles/mb2.dir/common/thread_pool.cpp.o.d"
+  "/root/repo/src/common/value.cpp" "src/CMakeFiles/mb2.dir/common/value.cpp.o" "gcc" "src/CMakeFiles/mb2.dir/common/value.cpp.o.d"
+  "/root/repo/src/database.cpp" "src/CMakeFiles/mb2.dir/database.cpp.o" "gcc" "src/CMakeFiles/mb2.dir/database.cpp.o.d"
+  "/root/repo/src/exec/compiled_executor.cpp" "src/CMakeFiles/mb2.dir/exec/compiled_executor.cpp.o" "gcc" "src/CMakeFiles/mb2.dir/exec/compiled_executor.cpp.o.d"
+  "/root/repo/src/exec/execution_context.cpp" "src/CMakeFiles/mb2.dir/exec/execution_context.cpp.o" "gcc" "src/CMakeFiles/mb2.dir/exec/execution_context.cpp.o.d"
+  "/root/repo/src/exec/execution_engine.cpp" "src/CMakeFiles/mb2.dir/exec/execution_engine.cpp.o" "gcc" "src/CMakeFiles/mb2.dir/exec/execution_engine.cpp.o.d"
+  "/root/repo/src/exec/executors.cpp" "src/CMakeFiles/mb2.dir/exec/executors.cpp.o" "gcc" "src/CMakeFiles/mb2.dir/exec/executors.cpp.o.d"
+  "/root/repo/src/gc/garbage_collector.cpp" "src/CMakeFiles/mb2.dir/gc/garbage_collector.cpp.o" "gcc" "src/CMakeFiles/mb2.dir/gc/garbage_collector.cpp.o.d"
+  "/root/repo/src/index/bplus_tree.cpp" "src/CMakeFiles/mb2.dir/index/bplus_tree.cpp.o" "gcc" "src/CMakeFiles/mb2.dir/index/bplus_tree.cpp.o.d"
+  "/root/repo/src/index/index_builder.cpp" "src/CMakeFiles/mb2.dir/index/index_builder.cpp.o" "gcc" "src/CMakeFiles/mb2.dir/index/index_builder.cpp.o.d"
+  "/root/repo/src/metrics/metrics_collector.cpp" "src/CMakeFiles/mb2.dir/metrics/metrics_collector.cpp.o" "gcc" "src/CMakeFiles/mb2.dir/metrics/metrics_collector.cpp.o.d"
+  "/root/repo/src/metrics/resource_tracker.cpp" "src/CMakeFiles/mb2.dir/metrics/resource_tracker.cpp.o" "gcc" "src/CMakeFiles/mb2.dir/metrics/resource_tracker.cpp.o.d"
+  "/root/repo/src/metrics/work_stats.cpp" "src/CMakeFiles/mb2.dir/metrics/work_stats.cpp.o" "gcc" "src/CMakeFiles/mb2.dir/metrics/work_stats.cpp.o.d"
+  "/root/repo/src/ml/decision_tree.cpp" "src/CMakeFiles/mb2.dir/ml/decision_tree.cpp.o" "gcc" "src/CMakeFiles/mb2.dir/ml/decision_tree.cpp.o.d"
+  "/root/repo/src/ml/gradient_boosting.cpp" "src/CMakeFiles/mb2.dir/ml/gradient_boosting.cpp.o" "gcc" "src/CMakeFiles/mb2.dir/ml/gradient_boosting.cpp.o.d"
+  "/root/repo/src/ml/huber_regression.cpp" "src/CMakeFiles/mb2.dir/ml/huber_regression.cpp.o" "gcc" "src/CMakeFiles/mb2.dir/ml/huber_regression.cpp.o.d"
+  "/root/repo/src/ml/kernel_regression.cpp" "src/CMakeFiles/mb2.dir/ml/kernel_regression.cpp.o" "gcc" "src/CMakeFiles/mb2.dir/ml/kernel_regression.cpp.o.d"
+  "/root/repo/src/ml/linear_regression.cpp" "src/CMakeFiles/mb2.dir/ml/linear_regression.cpp.o" "gcc" "src/CMakeFiles/mb2.dir/ml/linear_regression.cpp.o.d"
+  "/root/repo/src/ml/matrix.cpp" "src/CMakeFiles/mb2.dir/ml/matrix.cpp.o" "gcc" "src/CMakeFiles/mb2.dir/ml/matrix.cpp.o.d"
+  "/root/repo/src/ml/model_selection.cpp" "src/CMakeFiles/mb2.dir/ml/model_selection.cpp.o" "gcc" "src/CMakeFiles/mb2.dir/ml/model_selection.cpp.o.d"
+  "/root/repo/src/ml/neural_network.cpp" "src/CMakeFiles/mb2.dir/ml/neural_network.cpp.o" "gcc" "src/CMakeFiles/mb2.dir/ml/neural_network.cpp.o.d"
+  "/root/repo/src/ml/persistence.cpp" "src/CMakeFiles/mb2.dir/ml/persistence.cpp.o" "gcc" "src/CMakeFiles/mb2.dir/ml/persistence.cpp.o.d"
+  "/root/repo/src/ml/random_forest.cpp" "src/CMakeFiles/mb2.dir/ml/random_forest.cpp.o" "gcc" "src/CMakeFiles/mb2.dir/ml/random_forest.cpp.o.d"
+  "/root/repo/src/ml/svr.cpp" "src/CMakeFiles/mb2.dir/ml/svr.cpp.o" "gcc" "src/CMakeFiles/mb2.dir/ml/svr.cpp.o.d"
+  "/root/repo/src/modeling/interference_model.cpp" "src/CMakeFiles/mb2.dir/modeling/interference_model.cpp.o" "gcc" "src/CMakeFiles/mb2.dir/modeling/interference_model.cpp.o.d"
+  "/root/repo/src/modeling/model_bot.cpp" "src/CMakeFiles/mb2.dir/modeling/model_bot.cpp.o" "gcc" "src/CMakeFiles/mb2.dir/modeling/model_bot.cpp.o.d"
+  "/root/repo/src/modeling/normalization.cpp" "src/CMakeFiles/mb2.dir/modeling/normalization.cpp.o" "gcc" "src/CMakeFiles/mb2.dir/modeling/normalization.cpp.o.d"
+  "/root/repo/src/modeling/operating_unit.cpp" "src/CMakeFiles/mb2.dir/modeling/operating_unit.cpp.o" "gcc" "src/CMakeFiles/mb2.dir/modeling/operating_unit.cpp.o.d"
+  "/root/repo/src/modeling/ou_model.cpp" "src/CMakeFiles/mb2.dir/modeling/ou_model.cpp.o" "gcc" "src/CMakeFiles/mb2.dir/modeling/ou_model.cpp.o.d"
+  "/root/repo/src/modeling/ou_translator.cpp" "src/CMakeFiles/mb2.dir/modeling/ou_translator.cpp.o" "gcc" "src/CMakeFiles/mb2.dir/modeling/ou_translator.cpp.o.d"
+  "/root/repo/src/plan/cardinality_estimator.cpp" "src/CMakeFiles/mb2.dir/plan/cardinality_estimator.cpp.o" "gcc" "src/CMakeFiles/mb2.dir/plan/cardinality_estimator.cpp.o.d"
+  "/root/repo/src/plan/expression.cpp" "src/CMakeFiles/mb2.dir/plan/expression.cpp.o" "gcc" "src/CMakeFiles/mb2.dir/plan/expression.cpp.o.d"
+  "/root/repo/src/plan/plan_node.cpp" "src/CMakeFiles/mb2.dir/plan/plan_node.cpp.o" "gcc" "src/CMakeFiles/mb2.dir/plan/plan_node.cpp.o.d"
+  "/root/repo/src/runner/concurrent_runner.cpp" "src/CMakeFiles/mb2.dir/runner/concurrent_runner.cpp.o" "gcc" "src/CMakeFiles/mb2.dir/runner/concurrent_runner.cpp.o.d"
+  "/root/repo/src/runner/data_repository.cpp" "src/CMakeFiles/mb2.dir/runner/data_repository.cpp.o" "gcc" "src/CMakeFiles/mb2.dir/runner/data_repository.cpp.o.d"
+  "/root/repo/src/runner/ou_runner.cpp" "src/CMakeFiles/mb2.dir/runner/ou_runner.cpp.o" "gcc" "src/CMakeFiles/mb2.dir/runner/ou_runner.cpp.o.d"
+  "/root/repo/src/selfdriving/action.cpp" "src/CMakeFiles/mb2.dir/selfdriving/action.cpp.o" "gcc" "src/CMakeFiles/mb2.dir/selfdriving/action.cpp.o.d"
+  "/root/repo/src/selfdriving/planner.cpp" "src/CMakeFiles/mb2.dir/selfdriving/planner.cpp.o" "gcc" "src/CMakeFiles/mb2.dir/selfdriving/planner.cpp.o.d"
+  "/root/repo/src/sql/lexer.cpp" "src/CMakeFiles/mb2.dir/sql/lexer.cpp.o" "gcc" "src/CMakeFiles/mb2.dir/sql/lexer.cpp.o.d"
+  "/root/repo/src/sql/parser.cpp" "src/CMakeFiles/mb2.dir/sql/parser.cpp.o" "gcc" "src/CMakeFiles/mb2.dir/sql/parser.cpp.o.d"
+  "/root/repo/src/storage/table.cpp" "src/CMakeFiles/mb2.dir/storage/table.cpp.o" "gcc" "src/CMakeFiles/mb2.dir/storage/table.cpp.o.d"
+  "/root/repo/src/txn/transaction_manager.cpp" "src/CMakeFiles/mb2.dir/txn/transaction_manager.cpp.o" "gcc" "src/CMakeFiles/mb2.dir/txn/transaction_manager.cpp.o.d"
+  "/root/repo/src/wal/log_manager.cpp" "src/CMakeFiles/mb2.dir/wal/log_manager.cpp.o" "gcc" "src/CMakeFiles/mb2.dir/wal/log_manager.cpp.o.d"
+  "/root/repo/src/wal/log_record.cpp" "src/CMakeFiles/mb2.dir/wal/log_record.cpp.o" "gcc" "src/CMakeFiles/mb2.dir/wal/log_record.cpp.o.d"
+  "/root/repo/src/wal/log_recovery.cpp" "src/CMakeFiles/mb2.dir/wal/log_recovery.cpp.o" "gcc" "src/CMakeFiles/mb2.dir/wal/log_recovery.cpp.o.d"
+  "/root/repo/src/workload/forecast.cpp" "src/CMakeFiles/mb2.dir/workload/forecast.cpp.o" "gcc" "src/CMakeFiles/mb2.dir/workload/forecast.cpp.o.d"
+  "/root/repo/src/workload/smallbank.cpp" "src/CMakeFiles/mb2.dir/workload/smallbank.cpp.o" "gcc" "src/CMakeFiles/mb2.dir/workload/smallbank.cpp.o.d"
+  "/root/repo/src/workload/tatp.cpp" "src/CMakeFiles/mb2.dir/workload/tatp.cpp.o" "gcc" "src/CMakeFiles/mb2.dir/workload/tatp.cpp.o.d"
+  "/root/repo/src/workload/tpcc.cpp" "src/CMakeFiles/mb2.dir/workload/tpcc.cpp.o" "gcc" "src/CMakeFiles/mb2.dir/workload/tpcc.cpp.o.d"
+  "/root/repo/src/workload/tpch.cpp" "src/CMakeFiles/mb2.dir/workload/tpch.cpp.o" "gcc" "src/CMakeFiles/mb2.dir/workload/tpch.cpp.o.d"
+  "/root/repo/src/workload/workload_driver.cpp" "src/CMakeFiles/mb2.dir/workload/workload_driver.cpp.o" "gcc" "src/CMakeFiles/mb2.dir/workload/workload_driver.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mode_knob_test.dir/mode_knob_test.cpp.o"
+  "CMakeFiles/mode_knob_test.dir/mode_knob_test.cpp.o.d"
+  "mode_knob_test"
+  "mode_knob_test.pdb"
+  "mode_knob_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mode_knob_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/modeling_test.dir/modeling_test.cpp.o"
+  "CMakeFiles/modeling_test.dir/modeling_test.cpp.o.d"
+  "modeling_test"
+  "modeling_test.pdb"
+  "modeling_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/modeling_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mvcc_property_test.dir/mvcc_property_test.cpp.o"
+  "CMakeFiles/mvcc_property_test.dir/mvcc_property_test.cpp.o.d"
+  "mvcc_property_test"
+  "mvcc_property_test.pdb"
+  "mvcc_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mvcc_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qppnet_test.dir/qppnet_test.cpp.o"
+  "CMakeFiles/qppnet_test.dir/qppnet_test.cpp.o.d"
+  "qppnet_test"
+  "qppnet_test.pdb"
+  "qppnet_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qppnet_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
