@@ -64,20 +64,38 @@ double MeasureCpuUs(Database *db, const PlanNode &plan, int reps = 5) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char **argv) {
+  const size_t jobs = ParseJobs(argc, argv);
   Section header("Figure 11: end-to-end self-driving execution");
   const bool small = BenchScale() == "small";
   const double phase_s = small ? 3.0 : 6.0;
   const uint32_t threads = 4;
-  std::printf("(scale=%s; 4 phases x %.0fs, %u workload threads; paper: 120s "
-              "on 10 threads)\n", BenchScale().c_str(), phase_s, threads);
+  std::printf("(scale=%s, jobs=%zu; 4 phases x %.0fs, %u workload threads; "
+              "paper: 120s on 10 threads)\n",
+              BenchScale().c_str(), jobs, phase_s, threads);
 
   Database db;
   // Train MB2 once: OU-models from runners, interference from concurrent
-  // TPC-H execution.
-  OuRunner runner(&db, RunnerConfig());
+  // TPC-H execution. With --jobs > 1, sweep units and per-OU fits run on a
+  // worker pool (identical models for the same records).
   ModelBot bot(&db.catalog(), &db.estimator(), &db.settings());
-  bot.TrainOuModels(runner.RunAll(), AllAlgorithms());
+  {
+    WallTimer offline_timer;
+    double sweep_wall_s = 0.0;
+    if (jobs > 1) {
+      SweepResult sweep = RunParallelSweep(RunnerConfig(), jobs);
+      sweep_wall_s = sweep.wall_seconds;
+      ThreadPool pool(jobs);
+      bot.TrainOuModels(sweep.records, AllAlgorithms(), /*normalize=*/true,
+                        /*seed=*/42, &pool);
+    } else {
+      OuRunner runner(&db, RunnerConfig());
+      std::vector<OuRecord> records = runner.RunAll();
+      sweep_wall_s = offline_timer.Seconds();
+      bot.TrainOuModels(records, AllAlgorithms());
+    }
+    PrintJobsReport(jobs, sweep_wall_s, offline_timer.Seconds() - sweep_wall_s);
+  }
 
   TpchWorkload tpch(&db, TpchSmallSf(), "h_");
   tpch.Load();

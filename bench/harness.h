@@ -7,13 +7,20 @@
 ///
 /// Environment knobs:
 ///   MB2_BENCH_SCALE=small|medium|full   sweep sizes (default medium)
+///   MB2_JOBS=N                          worker threads (same as --jobs N)
+///
+/// Command-line flags (benches that accept argc/argv):
+///   --jobs N | --jobs=N | -j N          parallel sweep + training workers
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "database.h"
 #include "modeling/model_bot.h"
 #include "runner/concurrent_runner.h"
@@ -25,6 +32,39 @@ inline std::string BenchScale() {
   const char *env = std::getenv("MB2_BENCH_SCALE");
   return env == nullptr ? "medium" : env;
 }
+
+/// Worker count for parallel sweeps/training: --jobs N, --jobs=N, or -j N on
+/// the command line; falls back to MB2_JOBS, then to 1 (serial).
+inline size_t ParseJobs(int argc, char **argv) {
+  long jobs = 0;
+  for (int i = 1; i < argc; i++) {
+    const char *arg = argv[i];
+    if (std::strncmp(arg, "--jobs=", 7) == 0) {
+      jobs = std::atol(arg + 7);
+    } else if ((std::strcmp(arg, "--jobs") == 0 || std::strcmp(arg, "-j") == 0)
+               && i + 1 < argc) {
+      jobs = std::atol(argv[++i]);
+    }
+  }
+  if (jobs <= 0) {
+    const char *env = std::getenv("MB2_JOBS");
+    if (env != nullptr) jobs = std::atol(env);
+  }
+  return jobs > 0 ? static_cast<size_t>(jobs) : 1;
+}
+
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+  double Seconds() const {
+    return std::chrono::duration_cast<std::chrono::duration<double>>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
 
 /// OU-runner sweep sized for the bench scale.
 inline OuRunnerConfig RunnerConfig() {
@@ -85,24 +125,56 @@ struct TrainedStack {
   std::unique_ptr<Database> db;
   std::unique_ptr<ModelBot> bot;
   std::vector<OuRecord> ou_records;
-  double runner_seconds = 0.0;
+  double runner_seconds = 0.0;   ///< CPU cost summed across sweep units
+  double sweep_wall_seconds = 0.0;
+  double train_wall_seconds = 0.0;
   TrainingReport ou_report;
 };
 
+/// With jobs > 1, the sweep units and the per-OU fits run on a worker pool;
+/// training results are bit-identical to jobs == 1 for the same records.
 inline TrainedStack BuildTrainedStack(
     const std::vector<MlAlgorithm> &algorithms = AllAlgorithms(),
-    bool normalize = true) {
+    bool normalize = true, size_t jobs = 1) {
   TrainedStack stack;
   stack.db = std::make_unique<Database>();
-  OuRunner runner(stack.db.get(), RunnerConfig());
-  stack.ou_records = runner.RunAll();
-  stack.runner_seconds = runner.runner_seconds();
+  if (jobs > 1) {
+    SweepResult sweep = RunParallelSweep(RunnerConfig(), jobs);
+    stack.ou_records = std::move(sweep.records);
+    stack.runner_seconds = sweep.runner_seconds;
+    stack.sweep_wall_seconds = sweep.wall_seconds;
+  } else {
+    WallTimer sweep_timer;
+    OuRunner runner(stack.db.get(), RunnerConfig());
+    stack.ou_records = runner.RunAll();
+    stack.runner_seconds = runner.runner_seconds();
+    stack.sweep_wall_seconds = sweep_timer.Seconds();
+  }
   stack.bot = std::make_unique<ModelBot>(&stack.db->catalog(),
                                          &stack.db->estimator(),
                                          &stack.db->settings());
-  stack.ou_report =
-      stack.bot->TrainOuModels(stack.ou_records, algorithms, normalize);
+  WallTimer train_timer;
+  if (jobs > 1) {
+    ThreadPool pool(jobs);
+    stack.ou_report = stack.bot->TrainOuModels(stack.ou_records, algorithms,
+                                               normalize, /*seed=*/42, &pool);
+  } else {
+    stack.ou_report =
+        stack.bot->TrainOuModels(stack.ou_records, algorithms, normalize);
+  }
+  stack.train_wall_seconds = train_timer.Seconds();
   return stack;
+}
+
+/// Standard wall-clock report for `--jobs` benches: rerun with different
+/// `--jobs` values and compare these lines for the speedup.
+inline void PrintJobsReport(size_t jobs, double sweep_wall_s,
+                            double train_wall_s) {
+  std::printf("\n--- wall clock (jobs=%zu) ---\n", jobs);
+  std::printf("  %-28s %.2f s\n", "OU-runner sweep", sweep_wall_s);
+  std::printf("  %-28s %.2f s\n", "model training", train_wall_s);
+  std::printf("  %-28s %.2f s\n", "sweep + training total",
+              sweep_wall_s + train_wall_s);
 }
 
 }  // namespace mb2::bench

@@ -1,5 +1,7 @@
 #include "common/thread_pool.h"
 
+#include <utility>
+
 namespace mb2 {
 
 ThreadPool::ThreadPool(size_t num_threads) {
@@ -29,8 +31,13 @@ void ThreadPool::Submit(std::function<void()> task) {
 }
 
 void ThreadPool::WaitAll() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  all_done_.wait(lock, [this] { return outstanding_ == 0; });
+  std::exception_ptr eptr;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    all_done_.wait(lock, [this] { return outstanding_ == 0; });
+    eptr = std::exchange(first_exception_, nullptr);
+  }
+  if (eptr) std::rethrow_exception(eptr);
 }
 
 void ThreadPool::WorkerLoop() {
@@ -39,13 +46,23 @@ void ThreadPool::WorkerLoop() {
     {
       std::unique_lock<std::mutex> lock(mutex_);
       task_available_.wait(lock, [this] { return shutdown_ || !tasks_.empty(); });
-      if (shutdown_ && tasks_.empty()) return;
+      // Even under shutdown, drain the queue first: every queued task runs
+      // exactly once. A worker only exits once the queue is empty, and any
+      // task still running on a sibling can re-fill it — that sibling's own
+      // loop will then drain what it pushed.
+      if (tasks_.empty()) return;
       task = std::move(tasks_.front());
       tasks_.pop();
     }
-    task();
+    std::exception_ptr eptr;
+    try {
+      task();
+    } catch (...) {
+      eptr = std::current_exception();
+    }
     {
       std::unique_lock<std::mutex> lock(mutex_);
+      if (eptr && !first_exception_) first_exception_ = eptr;
       outstanding_--;
       if (outstanding_ == 0) all_done_.notify_all();
     }

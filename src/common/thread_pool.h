@@ -1,10 +1,23 @@
 #pragma once
 
 /// \file thread_pool.h
-/// A fixed-size worker pool used by the parallel index builder and the
-/// concurrent runners.
+/// A fixed-size worker pool used by the parallel index builder, the parallel
+/// OU-runner sweeps, and the parallel model trainer.
+///
+/// Semantics:
+///  - Submit() enqueues a task; tasks may themselves Submit() more work
+///    (including during shutdown — the destructor drains the queue before
+///    joining, and every queued task runs exactly once).
+///  - WaitAll() blocks until the pool is idle and rethrows the first
+///    exception thrown by any task since the last WaitAll(). Never call it
+///    from inside a task running on the same pool: it waits for *all*
+///    outstanding tasks, including the caller's own, and would deadlock.
+///  - The destructor runs any still-queued tasks, then joins the workers. An
+///    unreported task exception is dropped at that point (destructors cannot
+///    throw), so call WaitAll() if failures matter.
 
 #include <condition_variable>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <queue>
@@ -24,7 +37,8 @@ class ThreadPool {
   /// Enqueues a task for execution on some worker.
   void Submit(std::function<void()> task);
 
-  /// Blocks until every submitted task has finished.
+  /// Blocks until every submitted task has finished, then rethrows the
+  /// first task exception observed since the previous WaitAll() (if any).
   void WaitAll();
 
   size_t NumThreads() const { return workers_.size(); }
@@ -39,6 +53,7 @@ class ThreadPool {
   std::condition_variable all_done_;
   size_t outstanding_ = 0;
   bool shutdown_ = false;
+  std::exception_ptr first_exception_;
 };
 
 }  // namespace mb2

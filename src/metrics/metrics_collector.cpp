@@ -5,6 +5,8 @@
 
 namespace mb2 {
 
+thread_local bool MetricsManager::tls_collecting_ = false;
+
 int64_t NowMicros() {
   static const auto start = std::chrono::steady_clock::now();
   return std::chrono::duration_cast<std::chrono::microseconds>(
@@ -31,6 +33,11 @@ MetricsManager::ThreadBuffer *MetricsManager::LocalBuffer() {
 void MetricsManager::Record(OuType ou, FeatureVector features,
                             const Labels &labels) {
   if (!Enabled()) return;
+  RecordUnchecked(ou, std::move(features), labels);
+}
+
+void MetricsManager::RecordUnchecked(OuType ou, FeatureVector features,
+                                     const Labels &labels) {
   // Hardware-context mode (Sec 8.6): CPU frequency as a trailing feature.
   if (SimulatedHardware::AppendContextFeature()) {
     features.push_back(SimulatedHardware::EffectiveFreqGhz());
@@ -47,7 +54,17 @@ void MetricsManager::Record(OuType ou, FeatureVector features,
   buffer->records.push_back(std::move(record));
 }
 
+void MetricsManager::QuiesceScopes() const {
+  // Recording scopes increment the counter at construction and decrement
+  // after their Record() completes, so once it reads zero every record whose
+  // scope began before the disable is in some thread buffer.
+  while (active_scopes_.load(std::memory_order_acquire) != 0) {
+    std::this_thread::yield();
+  }
+}
+
 std::vector<OuRecord> MetricsManager::DrainAll() {
+  QuiesceScopes();
   std::vector<OuRecord> out;
   std::lock_guard<std::mutex> lock(registry_mutex_);
   for (auto &buffer : buffers_) {
@@ -56,6 +73,14 @@ std::vector<OuRecord> MetricsManager::DrainAll() {
                std::make_move_iterator(buffer->records.end()));
     buffer->records.clear();
   }
+  return out;
+}
+
+std::vector<OuRecord> MetricsManager::DrainThread() {
+  ThreadBuffer *buffer = LocalBuffer();
+  std::vector<OuRecord> out;
+  SpinLatch::ScopedLock guard(&buffer->latch);
+  out.swap(buffer->records);
   return out;
 }
 
@@ -77,6 +102,7 @@ OuTrackerScope::OuTrackerScope(OuType ou, FeatureVector features)
   // The tracker also runs (without recording) whenever the CPU-frequency
   // simulation is on: the slowdown is injected at Stop(), and it must apply
   // to production-style runs too, not just training mode.
+  if (record_) MetricsManager::Instance().ScopeOpened();
   if (active_) tracker_.Start();
 }
 
@@ -84,7 +110,11 @@ OuTrackerScope::~OuTrackerScope() {
   if (!active_) return;
   const Labels labels = tracker_.Stop();
   if (record_) {
-    MetricsManager::Instance().Record(ou_, std::move(features_), labels);
+    // Unchecked: the decision to record was latched at scope open. Going
+    // through the Enabled() gate again would lose this record if collection
+    // was disabled while the scope was in flight.
+    MetricsManager::Instance().RecordUnchecked(ou_, std::move(features_), labels);
+    MetricsManager::Instance().ScopeClosed();
   }
 }
 

@@ -6,7 +6,14 @@
 /// memory; a dedicated aggregator periodically drains them into the training
 /// data repository. Tracking can be toggled globally (training mode) so
 /// production-style runs pay nothing.
+///
+/// Parallel OU sweeps additionally use *thread-scoped* collection: a runner
+/// worker turns collection on for its own thread only and drains only its
+/// own buffer, so concurrent sweep units never observe each other's records
+/// and the record hot path takes no global latch (only the owning thread and
+/// a drainer ever touch a buffer's spin latch).
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -36,19 +43,45 @@ class MetricsManager {
   static MetricsManager &Instance();
   MB2_DISALLOW_COPY_AND_MOVE(MetricsManager);
 
-  /// Global training-mode switch; when off, Record() is a no-op and OU
-  /// scopes skip the resource tracker entirely.
-  void SetEnabled(bool enabled) { enabled_.store(enabled, std::memory_order_relaxed); }
-  bool Enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  /// Global training-mode switch; when off (and the calling thread has no
+  /// scoped collection), Record() is a no-op and OU scopes skip the resource
+  /// tracker entirely.
+  void SetEnabled(bool enabled) {
+    enabled_.store(enabled, std::memory_order_release);
+  }
+  bool Enabled() const {
+    return tls_collecting_ || enabled_.load(std::memory_order_acquire);
+  }
+
+  /// Thread-scoped collection (parallel OU sweeps): enables recording for
+  /// the calling thread only, independent of the global switch. Pair with
+  /// DrainThread() to harvest exactly this thread's records.
+  void BeginThreadCollection() { tls_collecting_ = true; }
+  void EndThreadCollection() { tls_collecting_ = false; }
 
   /// Appends a record to the calling thread's local buffer.
   void Record(OuType ou, FeatureVector features, const Labels &labels);
 
-  /// Aggregator: moves every thread's records out. Thread-safe.
+  /// Record() minus the Enabled() gate: for callers (OuTrackerScope) that
+  /// latched the collection decision when the work started. Re-checking at
+  /// emit time would drop the record if SetEnabled(false) raced in between.
+  void RecordUnchecked(OuType ou, FeatureVector features, const Labels &labels);
+
+  /// Aggregator: moves every thread's records out, after waiting for any
+  /// in-flight recording OU scope to finish so a SetEnabled(false) +
+  /// DrainAll() pair cannot lose records to a racing scope exit.
+  /// Must not be called with a recording scope open on the calling thread.
   std::vector<OuRecord> DrainAll();
+
+  /// Moves out only the calling thread's records (thread-scoped mode).
+  std::vector<OuRecord> DrainThread();
 
   /// Total records currently buffered (approximate under concurrency).
   size_t BufferedCount();
+
+  /// In-flight recording-scope bookkeeping (used by OuTrackerScope).
+  void ScopeOpened() { active_scopes_.fetch_add(1, std::memory_order_acq_rel); }
+  void ScopeClosed() { active_scopes_.fetch_sub(1, std::memory_order_acq_rel); }
 
  private:
   MetricsManager() = default;
@@ -59,10 +92,13 @@ class MetricsManager {
   };
 
   ThreadBuffer *LocalBuffer();
+  void QuiesceScopes() const;
 
   std::mutex registry_mutex_;
   std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
   std::atomic<bool> enabled_{false};
+  std::atomic<int64_t> active_scopes_{0};
+  static thread_local bool tls_collecting_;
 };
 
 /// RAII scope that tracks one OU invocation and records it. Features may be
@@ -79,6 +115,10 @@ class OuTrackerScope {
   void SetMemoryBytes(double bytes) {
     if (active_) tracker_.SetMemoryBytes(bytes);
   }
+
+  /// Whether this scope will emit an OU record at exit (i.e. collection was
+  /// enabled for this thread when the scope opened).
+  bool recording() const { return record_; }
 
  private:
   OuType ou_;

@@ -168,37 +168,42 @@ void ResourceTracker::Start() {
 }
 
 Labels ResourceTracker::Stop() {
-  const int64_t wall_ns = NowWallNs() - start_wall_ns_;
-  const int64_t cpu_ns = NowCpuNs() - start_cpu_ns_;
+  int64_t wall_ns = NowWallNs() - start_wall_ns_;
   uint64_t counters[4] = {0, 0, 0, 0};
   const bool have_perf = perf_ != nullptr && perf_->StopCounting(counters);
   const WorkStats delta = WorkStats::Current().Delta(start_stats_);
 
-  // Hardware-frequency simulation: consume extra CPU proportional to the
-  // work just performed so both this OU's labels and the system-wide load
-  // reflect the slower clock.
-  double slowdown = 1.0;
+  // Hardware-frequency simulation: busy-wait *inside* the tracked window so
+  // the invocation's real elapsed time (and real CPU consumption, hence the
+  // system-wide load) slows by kBaseFreqGhz/freq. The labels below are then
+  // taken from the re-measured clocks — never scaled a second time.
   const double freq = SimulatedHardware::GetCpuFreqGhz();
   if (freq > 0.0 && freq < SimulatedHardware::kBaseFreqGhz) {
-    slowdown = SimulatedHardware::kBaseFreqGhz / freq;
-    const int64_t extra_ns =
-        static_cast<int64_t>(static_cast<double>(wall_ns) * (slowdown - 1.0));
-    const int64_t deadline = NowWallNs() + extra_ns;
+    const double slowdown = SimulatedHardware::kBaseFreqGhz / freq;
+    // Deadline anchored at Start(): total tracked wall = work * slowdown.
+    const int64_t deadline =
+        start_wall_ns_ +
+        static_cast<int64_t>(static_cast<double>(wall_ns) * slowdown);
     while (NowWallNs() < deadline) {
 #if defined(__x86_64__)
       __builtin_ia32_pause();
 #endif
     }
+    wall_ns = NowWallNs() - start_wall_ns_;
   }
+  const int64_t cpu_ns = NowCpuNs() - start_cpu_ns_;
 
   Labels labels{};
-  labels[kLabelElapsedUs] = static_cast<double>(wall_ns) / 1000.0 * slowdown;
-  labels[kLabelCpuTimeUs] = static_cast<double>(cpu_ns) / 1000.0 * slowdown;
+  labels[kLabelElapsedUs] = static_cast<double>(wall_ns) / 1000.0;
+  labels[kLabelCpuTimeUs] = static_cast<double>(cpu_ns) / 1000.0;
 
   const double effective_ghz =
       freq > 0.0 ? freq : SimulatedHardware::kBaseFreqGhz;
   if (have_perf) {
-    labels[kLabelCycles] = static_cast<double>(counters[0]) * slowdown;
+    // Hardware counters are stopped before the compensating busy-wait, so
+    // they reflect the real work; the cycle count of a fixed instruction
+    // stream is frequency-invariant, so no scaling is needed.
+    labels[kLabelCycles] = static_cast<double>(counters[0]);
     labels[kLabelInstructions] = static_cast<double>(counters[1]);
     labels[kLabelCacheRefs] = static_cast<double>(counters[2]);
     labels[kLabelCacheMisses] = static_cast<double>(counters[3]);

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/rng.h"
+#include "common/thread_pool.h"
 #include "ml/gradient_boosting.h"
 #include "ml/huber_regression.h"
 #include "ml/kernel_regression.h"
@@ -105,24 +106,104 @@ double AvgRelativeError(const Regressor &model, const Matrix &x, const Matrix &y
 
 SelectionResult SelectAndTrain(const Matrix &x, const Matrix &y,
                                const std::vector<MlAlgorithm> &algorithms,
-                               uint64_t seed) {
+                               uint64_t seed, ThreadPool *pool) {
   SelectionResult result;
   const TrainTestSplit split = SplitData(x, y, 0.2, seed);
-  double best_error = 1e300;
-  for (MlAlgorithm algo : algorithms) {
-    auto model = CreateRegressor(algo, seed);
+
+  // Each candidate trains from its own seeded regressor on the shared
+  // read-only split, so the fits are order-independent; the winner is then
+  // reduced in the caller's algorithm order, making the parallel result
+  // bit-identical to the serial one.
+  std::vector<double> errors(algorithms.size(), 0.0);
+  auto fit_one = [&](size_t i) {
+    auto model = CreateRegressor(algorithms[i], seed);
     model->Fit(split.x_train, split.y_train);
-    const double err = AvgRelativeError(*model, split.x_test, split.y_test);
-    result.test_errors[algo] = err;
-    if (err < best_error) {
-      best_error = err;
-      result.best_algorithm = algo;
+    errors[i] = AvgRelativeError(*model, split.x_test, split.y_test);
+  };
+  if (pool != nullptr) {
+    for (size_t i = 0; i < algorithms.size(); i++) {
+      pool->Submit([&fit_one, i] { fit_one(i); });
+    }
+    pool->WaitAll();
+  } else {
+    for (size_t i = 0; i < algorithms.size(); i++) fit_one(i);
+  }
+
+  double best_error = 1e300;
+  for (size_t i = 0; i < algorithms.size(); i++) {
+    result.test_errors[algorithms[i]] = errors[i];
+    if (errors[i] < best_error) {
+      best_error = errors[i];
+      result.best_algorithm = algorithms[i];
     }
   }
   // Retrain the winner on everything (Sec 6.4).
   result.final_model = CreateRegressor(result.best_algorithm, seed);
   result.final_model->Fit(x, y);
   return result;
+}
+
+std::map<MlAlgorithm, double> CrossValidate(
+    const Matrix &x, const Matrix &y,
+    const std::vector<MlAlgorithm> &algorithms, size_t k_folds, uint64_t seed,
+    ThreadPool *pool) {
+  std::map<MlAlgorithm, double> out;
+  const size_t n = x.rows();
+  if (n == 0 || algorithms.empty()) return out;
+  if (k_folds < 2) k_folds = 2;
+  if (k_folds > n) k_folds = n;
+
+  // One shuffled assignment shared by every algorithm (paired comparison).
+  std::vector<size_t> idx(n);
+  for (size_t i = 0; i < n; i++) idx[i] = i;
+  Rng rng(seed);
+  rng.Shuffle(&idx);
+
+  // Pre-build per-fold train/test matrices once; tasks read them only.
+  struct Fold {
+    Matrix x_train, y_train, x_test, y_test;
+  };
+  std::vector<Fold> folds(k_folds);
+  for (size_t f = 0; f < k_folds; f++) {
+    const size_t lo = f * n / k_folds, hi = (f + 1) * n / k_folds;
+    std::vector<size_t> test_idx(idx.begin() + lo, idx.begin() + hi);
+    std::vector<size_t> train_idx(idx.begin(), idx.begin() + lo);
+    train_idx.insert(train_idx.end(), idx.begin() + hi, idx.end());
+    folds[f].x_train = x.SelectRows(train_idx);
+    folds[f].y_train = y.SelectRows(train_idx);
+    folds[f].x_test = x.SelectRows(test_idx);
+    folds[f].y_test = y.SelectRows(test_idx);
+  }
+
+  // Deterministic per-task seeding: the fold model's RNG depends only on
+  // (seed, fold), never on scheduling order.
+  std::vector<double> errors(algorithms.size() * k_folds, 0.0);
+  auto fit_fold = [&](size_t a, size_t f) {
+    const uint64_t fold_seed = seed + 0x9e3779b97f4a7c15ULL * (f + 1);
+    auto model = CreateRegressor(algorithms[a], fold_seed);
+    model->Fit(folds[f].x_train, folds[f].y_train);
+    errors[a * k_folds + f] =
+        AvgRelativeError(*model, folds[f].x_test, folds[f].y_test);
+  };
+  if (pool != nullptr) {
+    for (size_t a = 0; a < algorithms.size(); a++) {
+      for (size_t f = 0; f < k_folds; f++) {
+        pool->Submit([&fit_fold, a, f] { fit_fold(a, f); });
+      }
+    }
+    pool->WaitAll();
+  } else {
+    for (size_t a = 0; a < algorithms.size(); a++) {
+      for (size_t f = 0; f < k_folds; f++) fit_fold(a, f);
+    }
+  }
+
+  for (size_t a = 0; a < algorithms.size(); a++) {
+    double sum = 0.0;
+    for (size_t f = 0; f < k_folds; f++) sum += errors[a * k_folds + f];
+    out[algorithms[a]] = sum / static_cast<double>(k_folds);
+  }
+  return out;
 }
 
 }  // namespace mb2

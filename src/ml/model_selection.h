@@ -13,6 +13,8 @@
 
 namespace mb2 {
 
+class ThreadPool;
+
 struct TrainTestSplit {
   Matrix x_train, y_train, x_test, y_test;
 };
@@ -34,10 +36,23 @@ struct SelectionResult {
   std::unique_ptr<Regressor> final_model;  ///< winner retrained on all data
 };
 
-/// Runs the full procedure over the given candidate algorithms.
+/// Runs the full procedure over the given candidate algorithms. With a
+/// pool, each candidate fits on its own worker; every candidate trains from
+/// its own seeded regressor, so the result is bit-identical to the serial
+/// path. Must not be called from a task running on the same pool (WaitAll
+/// would deadlock).
 SelectionResult SelectAndTrain(const Matrix &x, const Matrix &y,
                                const std::vector<MlAlgorithm> &algorithms,
-                               uint64_t seed = 42);
+                               uint64_t seed = 42, ThreadPool *pool = nullptr);
+
+/// K-fold cross-validation: mean relative error per algorithm across folds.
+/// Each (algorithm, fold) pair fits independently — in parallel when a pool
+/// is given — with the fold model's seed derived deterministically from
+/// (seed, fold), so parallel and serial runs produce identical errors.
+std::map<MlAlgorithm, double> CrossValidate(
+    const Matrix &x, const Matrix &y,
+    const std::vector<MlAlgorithm> &algorithms, size_t k_folds = 5,
+    uint64_t seed = 42, ThreadPool *pool = nullptr);
 
 /// All seven algorithms (the default candidate set).
 std::vector<MlAlgorithm> AllAlgorithms();

@@ -2,6 +2,8 @@
 
 #include <chrono>
 
+#include "common/thread_pool.h"
+
 namespace mb2 {
 
 namespace {
@@ -16,18 +18,42 @@ double SecondsSince(const std::chrono::steady_clock::time_point &start) {
 
 TrainingReport ModelBot::TrainOuModels(const std::vector<OuRecord> &records,
                                        const std::vector<MlAlgorithm> &algorithms,
-                                       bool normalize, uint64_t seed) {
+                                       bool normalize, uint64_t seed,
+                                       ThreadPool *pool) {
   TrainingReport report;
   const auto start = std::chrono::steady_clock::now();
   auto datasets = GroupRecordsByOu(records);
+
+  // Fit the eligible OUs into indexed slots so the parallel path aggregates
+  // in the same deterministic (OuType-sorted) order as the serial one.
+  std::vector<std::pair<OuType, const OuDataset *>> eligible;
   for (auto &[type, dataset] : datasets) {
     if (dataset.x.rows() < 10) continue;  // not enough data to split
-    auto model = std::make_unique<OuModel>(type);
-    model->Train(dataset.x, dataset.y, algorithms, normalize, seed);
+    eligible.emplace_back(type, &dataset);
+  }
+  std::vector<std::unique_ptr<OuModel>> fitted(eligible.size());
+  auto fit_one = [&](size_t i) {
+    auto model = std::make_unique<OuModel>(eligible[i].first);
+    model->Train(eligible[i].second->x, eligible[i].second->y, algorithms,
+                 normalize, seed);
+    fitted[i] = std::move(model);
+  };
+  if (pool != nullptr) {
+    for (size_t i = 0; i < eligible.size(); i++) {
+      pool->Submit([&fit_one, i] { fit_one(i); });
+    }
+    pool->WaitAll();
+  } else {
+    for (size_t i = 0; i < eligible.size(); i++) fit_one(i);
+  }
+
+  for (size_t i = 0; i < eligible.size(); i++) {
+    const OuType type = eligible[i].first;
+    auto model = std::move(fitted[i]);
     report.per_ou_test_error[type] = model->best_test_error();
     report.per_ou_algorithm[type] = model->best_algorithm();
     report.model_bytes += model->SerializedBytes();
-    report.samples += dataset.x.rows();
+    report.samples += eligible[i].second->x.rows();
     ou_models_[type] = std::move(model);
   }
   report.train_seconds = SecondsSince(start);

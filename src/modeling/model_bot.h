@@ -63,9 +63,14 @@ class ModelBot {
   // --- Training -----------------------------------------------------------
 
   /// Trains one OU-model per OU present in `records` (Sec 6.4 procedure).
+  /// With a pool, each OU fits on its own worker (the per-OU selection then
+  /// runs serially inside the task — nesting on one pool would deadlock its
+  /// WaitAll); every OU trains from the same fixed seed, so the resulting
+  /// models are bit-identical to a serial run.
   TrainingReport TrainOuModels(const std::vector<OuRecord> &records,
                                const std::vector<MlAlgorithm> &algorithms,
-                               bool normalize = true, uint64_t seed = 42);
+                               bool normalize = true, uint64_t seed = 42,
+                               ThreadPool *pool = nullptr);
 
   /// Retrains a single OU (software-update adaptation, Sec 7).
   void RetrainOu(OuType type, const std::vector<OuRecord> &records,

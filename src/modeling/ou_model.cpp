@@ -19,10 +19,10 @@ Matrix OuModel::NormalizeDataset(const Matrix &x, const Matrix &y_raw) const {
 
 void OuModel::Train(const Matrix &x, const Matrix &y_raw,
                     const std::vector<MlAlgorithm> &algorithms, bool normalize,
-                    uint64_t seed) {
+                    uint64_t seed, ThreadPool *pool) {
   normalize_ = normalize;
   const Matrix y = NormalizeDataset(x, y_raw);
-  SelectionResult selection = SelectAndTrain(x, y, algorithms, seed);
+  SelectionResult selection = SelectAndTrain(x, y, algorithms, seed, pool);
   best_algorithm_ = selection.best_algorithm;
   test_errors_ = selection.test_errors;
   model_ = std::move(selection.final_model);

@@ -21,10 +21,12 @@ class OuModel {
 
   /// Trains from raw (feature, label) pairs. When `normalize` is on (the
   /// default, and MB2's contribution), labels are divided by the OU's
-  /// complexity factor before fitting; Predict() undoes it.
+  /// complexity factor before fitting; Predict() undoes it. With a pool,
+  /// the candidate algorithms fit in parallel (bit-identical results; see
+  /// SelectAndTrain).
   void Train(const Matrix &x, const Matrix &y_raw,
              const std::vector<MlAlgorithm> &algorithms, bool normalize = true,
-             uint64_t seed = 42);
+             uint64_t seed = 42, ThreadPool *pool = nullptr);
 
   /// Convenience: trains a specific algorithm without selection.
   void TrainWith(MlAlgorithm algo, const Matrix &x, const Matrix &y_raw,

@@ -4,38 +4,68 @@
 #include <sys/types.h>
 
 #include <map>
+#include <mutex>
 
 #include "common/csv.h"
+#include "common/thread_pool.h"
 
 namespace mb2 {
+
+namespace {
+
+Status WriteOuFile(const std::string &path, OuType type,
+                   const std::vector<const OuRecord *> &group) {
+  const OuDescriptor &desc = GetOuDescriptor(type);
+  std::vector<std::string> header = desc.feature_names;
+  for (size_t j = 0; j < kNumLabels; j++) header.push_back(LabelName(j));
+  header.push_back("thread_id");
+  header.push_back("end_time_us");
+  auto writer = CsvWriter::Open(path, header);
+  if (!writer.ok()) return writer.status();
+  for (const OuRecord *r : group) {
+    std::vector<double> row = r->features;
+    row.resize(desc.feature_names.size(), 0.0);
+    for (size_t j = 0; j < kNumLabels; j++) row.push_back(r->labels[j]);
+    row.push_back(static_cast<double>(r->thread_id));
+    row.push_back(static_cast<double>(r->end_time_us));
+    writer.value().WriteRow(row);
+  }
+  return Status::Ok();
+}
+
+}  // namespace
 
 std::string DataRepository::FilePath(OuType type) const {
   return dir_ + "/" + OuTypeName(type) + ".csv";
 }
 
-Status DataRepository::Save(const std::vector<OuRecord> &records) const {
+Status DataRepository::Save(const std::vector<OuRecord> &records,
+                            ThreadPool *pool) const {
   ::mkdir(dir_.c_str(), 0755);
   std::map<OuType, std::vector<const OuRecord *>> grouped;
   for (const auto &r : records) grouped[r.ou].push_back(&r);
 
-  for (const auto &[type, group] : grouped) {
-    const OuDescriptor &desc = GetOuDescriptor(type);
-    std::vector<std::string> header = desc.feature_names;
-    for (size_t j = 0; j < kNumLabels; j++) header.push_back(LabelName(j));
-    header.push_back("thread_id");
-    header.push_back("end_time_us");
-    auto writer = CsvWriter::Open(FilePath(type), header);
-    if (!writer.ok()) return writer.status();
-    for (const OuRecord *r : group) {
-      std::vector<double> row = r->features;
-      row.resize(desc.feature_names.size(), 0.0);
-      for (size_t j = 0; j < kNumLabels; j++) row.push_back(r->labels[j]);
-      row.push_back(static_cast<double>(r->thread_id));
-      row.push_back(static_cast<double>(r->end_time_us));
-      writer.value().WriteRow(row);
+  if (pool == nullptr) {
+    for (const auto &[type, group] : grouped) {
+      Status status = WriteOuFile(FilePath(type), type, group);
+      if (!status.ok()) return status;
     }
+    return Status::Ok();
   }
-  return Status::Ok();
+
+  std::mutex status_mutex;
+  Status first_error = Status::Ok();
+  for (const auto &[type, group] : grouped) {
+    pool->Submit([this, type = type, &group, &status_mutex, &first_error] {
+      Status status = WriteOuFile(FilePath(type), type, group);
+      if (!status.ok()) {
+        std::lock_guard<std::mutex> lock(status_mutex);
+        if (first_error.ok()) first_error = std::move(status);
+      }
+    });
+  }
+  pool->WaitAll();
+  return first_error;
 }
 
 Result<std::vector<OuRecord>> DataRepository::LoadAll() const {

@@ -13,12 +13,17 @@
 
 namespace mb2 {
 
+class ThreadPool;
+
 class DataRepository {
  public:
   explicit DataRepository(std::string dir) : dir_(std::move(dir)) {}
 
-  /// Writes records grouped per OU (overwrites existing files).
-  Status Save(const std::vector<OuRecord> &records) const;
+  /// Writes records grouped per OU (overwrites existing files). With a pool,
+  /// each per-OU file is written by its own task (files are independent);
+  /// the first write error is reported either way.
+  Status Save(const std::vector<OuRecord> &records,
+              ThreadPool *pool = nullptr) const;
 
   /// Loads every OU file found in the directory.
   Result<std::vector<OuRecord>> LoadAll() const;

@@ -4,6 +4,7 @@
 #include <thread>
 
 #include "common/stats.h"
+#include "common/thread_pool.h"
 #include "index/index_builder.h"
 #include "wal/log_record.h"
 
@@ -102,18 +103,41 @@ std::vector<OuRecord> OuRunner::AggregateReps(
   return out;
 }
 
+void OuRunner::EnableCollection() {
+  auto &metrics = MetricsManager::Instance();
+  if (config_.thread_scoped_metrics) {
+    metrics.BeginThreadCollection();
+  } else {
+    metrics.SetEnabled(true);
+  }
+}
+
+void OuRunner::DisableCollection() {
+  auto &metrics = MetricsManager::Instance();
+  if (config_.thread_scoped_metrics) {
+    metrics.EndThreadCollection();
+  } else {
+    metrics.SetEnabled(false);
+  }
+}
+
+std::vector<OuRecord> OuRunner::DrainCollection() {
+  auto &metrics = MetricsManager::Instance();
+  return config_.thread_scoped_metrics ? metrics.DrainThread()
+                                       : metrics.DrainAll();
+}
+
 void OuRunner::MeasurePlan(const PlanNode &plan, std::vector<OuRecord> *out) {
   Stopwatch watch(&runner_seconds_);
-  auto &metrics = MetricsManager::Instance();
-  metrics.SetEnabled(false);
+  DisableCollection();
   for (uint32_t w = 0; w < config_.warmups; w++) db_->Execute(plan);
-  metrics.DrainAll();  // discard anything stale
+  DrainCollection();  // discard anything stale
   std::vector<std::vector<OuRecord>> reps;
   for (uint32_t r = 0; r < config_.repetitions; r++) {
-    metrics.SetEnabled(true);
+    EnableCollection();
     db_->Execute(plan);
-    metrics.SetEnabled(false);
-    reps.push_back(metrics.DrainAll());
+    DisableCollection();
+    reps.push_back(DrainCollection());
   }
   auto aggregated = AggregateReps(reps);
   out->insert(out->end(), aggregated.begin(), aggregated.end());
@@ -122,22 +146,21 @@ void OuRunner::MeasurePlan(const PlanNode &plan, std::vector<OuRecord> *out) {
 void OuRunner::MeasurePlanWithRollback(const PlanNode &plan,
                                        std::vector<OuRecord> *out) {
   Stopwatch watch(&runner_seconds_);
-  auto &metrics = MetricsManager::Instance();
-  metrics.SetEnabled(false);
-  metrics.DrainAll();
+  DisableCollection();
+  DrainCollection();
   std::vector<std::vector<OuRecord>> reps;
   for (uint32_t r = 0; r < config_.repetitions + config_.warmups; r++) {
     const bool measured = r >= config_.warmups;
-    metrics.SetEnabled(measured);
+    if (measured) EnableCollection();
     auto txn = db_->txn_manager().Begin();
     Batch result;
     db_->engine().ExecuteInTxn(plan, txn.get(), &result);
     db_->txn_manager().Abort(txn.get());  // revert the modification
-    metrics.SetEnabled(false);
+    DisableCollection();
     if (measured) {
-      reps.push_back(metrics.DrainAll());
+      reps.push_back(DrainCollection());
     } else {
-      metrics.DrainAll();
+      DrainCollection();
     }
   }
   auto aggregated = AggregateReps(reps);
@@ -406,7 +429,6 @@ std::vector<OuRecord> OuRunner::RunIndexScans() {
 std::vector<OuRecord> OuRunner::RunIndexBuilds() {
   std::vector<OuRecord> out;
   Stopwatch watch(&runner_seconds_);
-  auto &metrics = MetricsManager::Instance();
   for (uint64_t rows : config_.row_counts) {
     if (rows < 512) continue;  // too small to contend meaningfully
     for (double card : config_.cardinality_fractions) {
@@ -419,12 +441,15 @@ std::vector<OuRecord> OuRunner::RunIndexBuilds() {
           auto index = db_->catalog().CreateIndex(
               IndexSchema{name, table->name(), key_cols, false});
           MB2_ASSERT(index.ok(), "index creation failed");
-          metrics.DrainAll();
-          metrics.SetEnabled(true);
+          DrainCollection();
+          // The kIndexBuild record is emitted on the calling thread (the
+          // builder's workers only run trackers), so thread-scoped
+          // collection works here.
+          EnableCollection();
           IndexBuilder::Build(&db_->catalog(), &db_->txn_manager(),
                               index.value(), threads);
-          metrics.SetEnabled(false);
-          for (auto &r : metrics.DrainAll()) {
+          DisableCollection();
+          for (auto &r : DrainCollection()) {
             if (r.ou == OuType::kIndexBuild) out.push_back(std::move(r));
           }
           db_->catalog().DropIndex(name);
@@ -439,7 +464,6 @@ std::vector<OuRecord> OuRunner::RunWal() {
   std::vector<OuRecord> out;
   if (!db_->log_manager().enabled()) return out;
   Stopwatch watch(&runner_seconds_);
-  auto &metrics = MetricsManager::Instance();
   Rng rng(99);
   for (uint64_t records : {uint64_t{16}, uint64_t{128}, uint64_t{1024},
                            uint64_t{8192}}) {
@@ -459,12 +483,12 @@ std::vector<OuRecord> OuRunner::RunWal() {
           redo.push_back(std::move(r));
         }
         for (uint32_t rep = 0; rep < config_.repetitions; rep++) {
-          metrics.DrainAll();
-          metrics.SetEnabled(true);
+          DrainCollection();
+          EnableCollection();
           db_->log_manager().Serialize(redo, /*txn_id=*/rep);
           db_->log_manager().FlushNow();
-          metrics.SetEnabled(false);
-          for (auto &r : metrics.DrainAll()) {
+          DisableCollection();
+          for (auto &r : DrainCollection()) {
             if (r.ou == OuType::kLogSerialize || r.ou == OuType::kLogFlush) {
               out.push_back(std::move(r));
             }
@@ -480,7 +504,6 @@ std::vector<OuRecord> OuRunner::RunWal() {
 std::vector<OuRecord> OuRunner::RunGc() {
   std::vector<OuRecord> out;
   Stopwatch watch(&runner_seconds_);
-  auto &metrics = MetricsManager::Instance();
   for (uint64_t rows : config_.row_counts) {
     if (rows < 512 || rows > 65536) continue;
     for (uint32_t churn : {1u, 3u}) {
@@ -497,11 +520,11 @@ std::vector<OuRecord> OuRunner::RunGc() {
         }
         db_->txn_manager().Commit(txn.get());
       }
-      metrics.DrainAll();
-      metrics.SetEnabled(true);
+      DrainCollection();
+      EnableCollection();
       db_->gc().RunOnce();
-      metrics.SetEnabled(false);
-      for (auto &r : metrics.DrainAll()) {
+      DisableCollection();
+      for (auto &r : DrainCollection()) {
         if (r.ou == OuType::kGarbageCollection) out.push_back(std::move(r));
       }
     }
@@ -512,6 +535,10 @@ std::vector<OuRecord> OuRunner::RunGc() {
 std::vector<OuRecord> OuRunner::RunTxns() {
   std::vector<OuRecord> out;
   Stopwatch watch(&runner_seconds_);
+  // Transaction workers record kTxnBegin/kTxnCommit from their own spawned
+  // threads, which thread-scoped collection cannot see.
+  MB2_ASSERT(!config_.thread_scoped_metrics,
+             "RunTxns requires global metrics collection");
   auto &metrics = MetricsManager::Instance();
   for (uint32_t threads : {1u, 2u, 4u, 8u}) {
     for (uint32_t pause_us : {0u, 50u, 500u}) {
@@ -559,6 +586,72 @@ std::vector<OuRecord> OuRunner::RunAll() {
   append(RunGc());
   append(RunTxns());
   return out;
+}
+
+// ---------------------------------------------------------------------------
+// Parallel sweep
+// ---------------------------------------------------------------------------
+
+SweepResult RunParallelSweep(const OuRunnerConfig &config, size_t jobs) {
+  const auto wall_start = std::chrono::steady_clock::now();
+  if (jobs == 0) jobs = 1;
+
+  // One sweep unit per OU category; each runs on its own Database so the
+  // units share no engine state at all (catalog, settings, tables). Records
+  // land in the worker's thread-local buffer only.
+  using CategoryFn = std::vector<OuRecord> (OuRunner::*)();
+  static constexpr CategoryFn kUnits[] = {
+      &OuRunner::RunScanAndFilter, &OuRunner::RunJoins,
+      &OuRunner::RunAggregates,    &OuRunner::RunSorts,
+      &OuRunner::RunProjections,   &OuRunner::RunDml,
+      &OuRunner::RunIndexScans,    &OuRunner::RunIndexBuilds,
+      &OuRunner::RunWal,           &OuRunner::RunGc,
+  };
+  constexpr size_t kNumUnits = sizeof(kUnits) / sizeof(kUnits[0]);
+
+  std::vector<std::vector<OuRecord>> unit_records(kNumUnits);
+  std::vector<double> unit_seconds(kNumUnits, 0.0);
+  {
+    ThreadPool pool(jobs);
+    for (size_t i = 0; i < kNumUnits; i++) {
+      pool.Submit([&, i] {
+        Database db;
+        OuRunnerConfig unit_config = config;
+        unit_config.thread_scoped_metrics = true;
+        OuRunner runner(&db, unit_config);
+        MetricsManager::Instance().DrainThread();  // discard stale records
+        unit_records[i] = (runner.*kUnits[i])();
+        unit_seconds[i] = runner.runner_seconds();
+      });
+    }
+    pool.WaitAll();
+  }
+
+  SweepResult result;
+  for (size_t i = 0; i < kNumUnits; i++) {
+    result.records.insert(result.records.end(),
+                          std::make_move_iterator(unit_records[i].begin()),
+                          std::make_move_iterator(unit_records[i].end()));
+    result.runner_seconds += unit_seconds[i];
+  }
+
+  // The transaction runner spawns worker threads that record from their own
+  // threads, so it needs the global toggle; run it after the pool drains.
+  {
+    Database db;
+    OuRunner runner(&db, config);
+    auto txn_records = runner.RunTxns();
+    result.records.insert(result.records.end(),
+                          std::make_move_iterator(txn_records.begin()),
+                          std::make_move_iterator(txn_records.end()));
+    result.runner_seconds += runner.runner_seconds();
+  }
+
+  result.wall_seconds =
+      std::chrono::duration_cast<std::chrono::duration<double>>(
+          std::chrono::steady_clock::now() - wall_start)
+          .count();
+  return result;
 }
 
 }  // namespace mb2

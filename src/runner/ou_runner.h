@@ -30,6 +30,14 @@ struct OuRunnerConfig {
   uint32_t warmups = 2;       ///< unmeasured warm-up executions
   double trim_fraction = 0.2;
 
+  /// Parallel-sweep mode: collect records with thread-scoped metrics
+  /// collection (this thread's buffer only) instead of the global toggle,
+  /// so concurrent sweep units never observe each other's records. Only
+  /// valid for runners whose OUs record on the runner's own thread — i.e.
+  /// every category except RunTxns(), whose transaction workers record from
+  /// their spawned threads.
+  bool thread_scoped_metrics = false;
+
   /// Scaled-down preset for unit tests.
   static OuRunnerConfig Small() {
     OuRunnerConfig cfg;
@@ -74,6 +82,11 @@ class OuRunner {
   /// int payload columns whose distinct count is fraction*rows.
   Table *SyntheticTable(uint64_t rows, double cardinality_fraction);
 
+  /// Collection helpers honoring `config_.thread_scoped_metrics`.
+  void EnableCollection();
+  void DisableCollection();
+  std::vector<OuRecord> DrainCollection();
+
   /// Executes `plan` with warmups then measured repetitions, aggregating the
   /// drained records with the trimmed mean. Appends to *out.
   void MeasurePlan(const PlanNode &plan, std::vector<OuRecord> *out);
@@ -95,5 +108,20 @@ class OuRunner {
 /// Populates a standalone synthetic table (exposed for tests/benches).
 Table *MakeSyntheticTable(Database *db, const std::string &name, uint64_t rows,
                           uint64_t distinct, uint64_t seed);
+
+/// Result of a (possibly parallel) full OU-runner sweep.
+struct SweepResult {
+  std::vector<OuRecord> records;
+  double runner_seconds = 0.0;  ///< summed across units (Table 2 CPU cost)
+  double wall_seconds = 0.0;    ///< elapsed wall clock of the whole sweep
+};
+
+/// Runs the full OU-runner battery with up to `jobs` sweep units in flight.
+/// Each unit (one OU category) executes on its own Database instance with
+/// thread-scoped metrics collection, so units are fully independent; the
+/// transaction runner, whose workers record from spawned threads, runs after
+/// the pool drains using the global collection toggle. Record grouping is
+/// deterministic (fixed unit order) regardless of `jobs`.
+SweepResult RunParallelSweep(const OuRunnerConfig &config, size_t jobs);
 
 }  // namespace mb2

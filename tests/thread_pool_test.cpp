@@ -1,0 +1,108 @@
+// ThreadPool stress tests: submit-from-worker recursion, shutdown while the
+// queue is still busy (every queued task must run exactly once), WaitAll
+// exception propagation, and reuse of the pool after a failure.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "common/thread_pool.h"
+
+namespace mb2 {
+namespace {
+
+TEST(ThreadPoolStressTest, SubmitFromWorkerRunsEverything) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  // Each root task fans out children from inside a worker; children fan out
+  // grandchildren. 8 roots * (1 + 4 * (1 + 2)) = 104 tasks total.
+  for (int r = 0; r < 8; r++) {
+    pool.Submit([&pool, &counter] {
+      counter.fetch_add(1);
+      for (int c = 0; c < 4; c++) {
+        pool.Submit([&pool, &counter] {
+          counter.fetch_add(1);
+          for (int g = 0; g < 2; g++) {
+            pool.Submit([&counter] { counter.fetch_add(1); });
+          }
+        });
+      }
+    });
+  }
+  pool.WaitAll();
+  EXPECT_EQ(counter.load(), 8 * (1 + 4 * (1 + 2)));
+}
+
+TEST(ThreadPoolStressTest, ShutdownWhileBusyDrainsQueueExactlyOnce) {
+  constexpr int kTasks = 200;
+  std::vector<std::atomic<int>> runs(kTasks);
+  for (auto &r : runs) r.store(0);
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < kTasks; i++) {
+      pool.Submit([&runs, i] {
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+        runs[i].fetch_add(1);
+      });
+    }
+    // Destructor fires with most of the queue still pending.
+  }
+  for (int i = 0; i < kTasks; i++) {
+    EXPECT_EQ(runs[i].load(), 1) << "task " << i;
+  }
+}
+
+TEST(ThreadPoolStressTest, ShutdownRunsTasksSubmittedByDyingWorkers) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(3);
+    for (int i = 0; i < 30; i++) {
+      pool.Submit([&pool, &counter] {
+        counter.fetch_add(1);
+        pool.Submit([&counter] { counter.fetch_add(1); });
+      });
+    }
+  }
+  EXPECT_EQ(counter.load(), 60);
+}
+
+TEST(ThreadPoolStressTest, WaitAllPropagatesFirstTaskException) {
+  ThreadPool pool(2);
+  std::atomic<int> completed{0};
+  for (int i = 0; i < 10; i++) {
+    pool.Submit([&completed, i] {
+      if (i == 3) throw std::runtime_error("task 3 failed");
+      completed.fetch_add(1);
+    });
+  }
+  EXPECT_THROW(pool.WaitAll(), std::runtime_error);
+  EXPECT_EQ(completed.load(), 9);  // the other tasks still ran
+
+  // The pool stays usable and the stored exception does not resurface.
+  pool.Submit([&completed] { completed.fetch_add(1); });
+  EXPECT_NO_THROW(pool.WaitAll());
+  EXPECT_EQ(completed.load(), 10);
+}
+
+TEST(ThreadPoolStressTest, ManyProducersManyTasks) {
+  ThreadPool pool(4);
+  std::atomic<int64_t> sum{0};
+  std::vector<std::thread> producers;
+  for (int p = 0; p < 4; p++) {
+    producers.emplace_back([&pool, &sum] {
+      for (int i = 1; i <= 500; i++) {
+        pool.Submit([&sum, i] { sum.fetch_add(i); });
+      }
+    });
+  }
+  for (auto &t : producers) t.join();
+  pool.WaitAll();
+  EXPECT_EQ(sum.load(), 4 * (500 * 501 / 2));
+}
+
+}  // namespace
+}  // namespace mb2
