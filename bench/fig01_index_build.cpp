@@ -44,9 +44,11 @@ RunResult RunScenario(uint32_t build_threads, double total_s, double build_at_s,
     tpcc.InvalidateTemplates();
   });
 
+  DriverOptions opts;
+  opts.max_txn_retries = 2;  // aborted MVCC txns retry with backoff
   out.driver = WorkloadDriver::Run(
       [&](Rng *rng) { return tpcc.RunRandomTransaction(rng); },
-      workload_threads, /*rate=*/-1.0, total_s, /*seed=*/1);
+      workload_threads, /*rate=*/-1.0, total_s, /*seed=*/1, opts);
   builder.join();
   return out;
 }
@@ -69,6 +71,7 @@ int main() {
                                    workload_threads, customers);
     Section run("Create-index threads: " + std::to_string(threads));
     PrintKv("txns completed", std::to_string(result.driver.latencies.size()));
+    PrintKv("driver", result.driver.Summary());
     PrintKv("index build wall time under load",
             Fmt(result.build_wall_us / 1e6) + " s");
     PrintKv("index build parallel-elapsed label",

@@ -52,6 +52,8 @@ Increment MeasureIncrement(Database *db, ModelBot *bot, TpchWorkload *tpch,
   // Concurrent run (closed loop, uniform template choice).
   std::map<std::string, std::vector<double>> concurrent_latency;
   std::mutex mu;
+  DriverOptions driver_opts;
+  driver_opts.max_txn_retries = 2;  // aborted MVCC txns retry with backoff
   DriverResult result = WorkloadDriver::Run(
       [&](Rng *rng) -> double {
         const size_t pick = rng->Next() % plans.size();
@@ -62,7 +64,8 @@ Increment MeasureIncrement(Database *db, ModelBot *bot, TpchWorkload *tpch,
         }
         return qr.aborted ? -1.0 : qr.elapsed_us;
       },
-      threads, /*rate=*/-1.0, duration_s, /*seed=*/threads * 7);
+      threads, /*rate=*/-1.0, duration_s, /*seed=*/threads * 7, driver_opts);
+  PrintKv("driver", result.Summary());
 
   // Forecast for the same interval, using the observed throughput split
   // evenly across templates (the paper gives the model the avg arrival rate

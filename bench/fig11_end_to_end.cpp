@@ -34,7 +34,11 @@ struct PhaseResult {
 
 PhaseResult RunPhase(const std::function<double(Rng *)> &txn, uint32_t threads,
                      double duration_s, uint64_t seed) {
-  DriverResult r = WorkloadDriver::Run(txn, threads, -1.0, duration_s, seed);
+  DriverOptions opts;
+  opts.max_txn_retries = 2;  // aborted MVCC txns retry with backoff
+  DriverResult r =
+      WorkloadDriver::Run(txn, threads, -1.0, duration_s, seed, opts);
+  PrintKv("driver", r.Summary());
   return {r.avg_latency_us, r.throughput};
 }
 

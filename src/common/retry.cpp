@@ -1,0 +1,45 @@
+#include "common/retry.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+namespace mb2 {
+
+int64_t BackoffDelayUs(const RetryPolicy &policy, uint32_t attempt, Rng *rng) {
+  if (attempt == 0) return 0;
+  // Shift-safe doubling: cap the exponent before it can overflow.
+  const uint32_t exp = std::min(attempt - 1, 62u);
+  int64_t delay = policy.base_backoff_us;
+  for (uint32_t i = 0; i < exp && delay < policy.max_backoff_us; i++) delay *= 2;
+  delay = std::min(delay, policy.max_backoff_us);
+  if (rng != nullptr && policy.jitter_frac > 0.0) {
+    const double factor =
+        rng->Uniform(1.0 - policy.jitter_frac, 1.0 + policy.jitter_frac);
+    delay = static_cast<int64_t>(static_cast<double>(delay) * factor);
+  }
+  return std::max<int64_t>(delay, 0);
+}
+
+Status RetryWithBackoff(const RetryPolicy &policy,
+                        const std::function<Status()> &op, Rng *rng,
+                        uint32_t *attempts_out) {
+  const uint32_t budget = std::max(1u, policy.max_attempts);
+  Status status;
+  uint32_t attempts = 0;
+  for (uint32_t attempt = 0; attempt < budget; attempt++) {
+    if (attempt > 0) {
+      const int64_t delay = BackoffDelayUs(policy, attempt, rng);
+      if (delay > 0) {
+        std::this_thread::sleep_for(std::chrono::microseconds(delay));
+      }
+    }
+    attempts++;
+    status = op();
+    if (status.ok()) break;
+  }
+  if (attempts_out != nullptr) *attempts_out = attempts;
+  return status;
+}
+
+}  // namespace mb2

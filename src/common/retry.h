@@ -1,0 +1,37 @@
+#pragma once
+
+/// \file retry.h
+/// Bounded retry with exponential backoff + jitter. Shared by the WAL (append
+/// and flush surface errors only after a retry budget is exhausted) and the
+/// workload driver (aborted MVCC transactions are retried before counting as
+/// failures). Jitter decorrelates retrying threads so they don't re-collide.
+
+#include <cstdint>
+#include <functional>
+
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace mb2 {
+
+struct RetryPolicy {
+  /// Total tries, including the first. 1 = no retry.
+  uint32_t max_attempts = 4;
+  int64_t base_backoff_us = 100;
+  int64_t max_backoff_us = 20000;
+  /// Backoff is perturbed uniformly in [1 - jitter, 1 + jitter].
+  double jitter_frac = 0.25;
+};
+
+/// Backoff before retry number `attempt` (1 = first retry):
+/// min(base * 2^(attempt-1), max), jittered. `rng` may be null (no jitter).
+int64_t BackoffDelayUs(const RetryPolicy &policy, uint32_t attempt, Rng *rng);
+
+/// Runs `op` until it returns OK or the attempt budget is spent, sleeping the
+/// backoff between attempts. Returns the final status; `attempts_out` (may be
+/// null) reports how many times `op` ran.
+Status RetryWithBackoff(const RetryPolicy &policy,
+                        const std::function<Status()> &op, Rng *rng = nullptr,
+                        uint32_t *attempts_out = nullptr);
+
+}  // namespace mb2

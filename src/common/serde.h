@@ -48,25 +48,36 @@ class BinaryWriter {
     }
   }
 
+  /// False once any write failed (disk full, closed stream). Check before
+  /// trusting a written file.
+  bool ok() const { return !failed_; }
+
+  void Flush() {
+    if (file_ != nullptr && std::fflush(file_) != 0) failed_ = true;
+  }
+
   template <typename T>
   void Put(T value) {
     static_assert(std::is_trivially_copyable_v<T>);
-    std::fwrite(&value, sizeof(T), 1, file_);
+    if (std::fwrite(&value, sizeof(T), 1, file_) != 1) failed_ = true;
   }
 
   void PutString(const std::string &s) {
     Put<uint32_t>(static_cast<uint32_t>(s.size()));
-    std::fwrite(s.data(), 1, s.size(), file_);
+    if (std::fwrite(s.data(), 1, s.size(), file_) != s.size()) failed_ = true;
   }
 
   void PutDoubles(const std::vector<double> &v) {
     Put<uint64_t>(v.size());
-    std::fwrite(v.data(), sizeof(double), v.size(), file_);
+    if (std::fwrite(v.data(), sizeof(double), v.size(), file_) != v.size()) {
+      failed_ = true;
+    }
   }
 
  private:
   BinaryWriter() = default;
   FILE *file_ = nullptr;
+  bool failed_ = false;
 };
 
 class BinaryReader {
@@ -76,16 +87,22 @@ class BinaryReader {
     if (f == nullptr) return Status::IoError("cannot open " + path);
     BinaryReader r;
     r.file_ = f;
+    std::fseek(f, 0, SEEK_END);
+    r.size_ = std::ftell(f);
+    std::fseek(f, 0, SEEK_SET);
     return r;
   }
 
-  BinaryReader(BinaryReader &&other) noexcept : file_(other.file_) {
+  BinaryReader(BinaryReader &&other) noexcept
+      : file_(other.file_), size_(other.size_), failed_(other.failed_) {
     other.file_ = nullptr;
   }
   BinaryReader &operator=(BinaryReader &&other) noexcept {
     if (this != &other) {
       Close();
       file_ = other.file_;
+      size_ = other.size_;
+      failed_ = other.failed_;
       other.file_ = nullptr;
     }
     return *this;
@@ -103,6 +120,20 @@ class BinaryReader {
 
   bool ok() const { return !failed_; }
 
+  /// Loaders call this when a decoded payload is structurally inconsistent
+  /// (e.g. a matrix whose element count disagrees with its dimensions), so
+  /// the corruption propagates to every caller checking ok().
+  void MarkCorrupt() { failed_ = true; }
+
+  /// Bytes left between the cursor and end-of-file. Length prefixes larger
+  /// than this are corrupt by construction — callers reject them before
+  /// allocating.
+  int64_t RemainingBytes() const {
+    if (file_ == nullptr) return 0;
+    const int64_t pos = std::ftell(file_);
+    return pos < 0 ? 0 : size_ - pos;
+  }
+
   template <typename T>
   T Get() {
     static_assert(std::is_trivially_copyable_v<T>);
@@ -113,7 +144,8 @@ class BinaryReader {
 
   std::string GetString() {
     const uint32_t len = Get<uint32_t>();
-    if (failed_ || len > (1u << 20)) {
+    if (failed_ || len > (1u << 20) ||
+        static_cast<int64_t>(len) > RemainingBytes()) {
       failed_ = true;
       return {};
     }
@@ -124,7 +156,10 @@ class BinaryReader {
 
   std::vector<double> GetDoubles() {
     const uint64_t n = Get<uint64_t>();
-    if (failed_ || n > (1ull << 30)) {
+    // A count that exceeds what the file can still hold is a truncation or
+    // an overrun — fail before allocating, not after a short read.
+    if (failed_ || n > (1ull << 30) ||
+        static_cast<int64_t>(n * sizeof(double)) > RemainingBytes()) {
       failed_ = true;
       return {};
     }
@@ -138,6 +173,7 @@ class BinaryReader {
  private:
   BinaryReader() = default;
   FILE *file_ = nullptr;
+  int64_t size_ = 0;
   bool failed_ = false;
 };
 

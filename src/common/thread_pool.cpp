@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "common/fault_injector.h"
+
 namespace mb2 {
 
 ThreadPool::ThreadPool(size_t num_threads) {
@@ -56,6 +58,13 @@ void ThreadPool::WorkerLoop() {
     }
     std::exception_ptr eptr;
     try {
+      // The threadpool.task fault point replaces the task with an injected
+      // failure; it surfaces through WaitAll() like any task exception.
+      if (FaultInjector::Instance().Armed()) {
+        const FaultCheck fc =
+            FaultInjector::Instance().Hit(fault_point::kThreadPoolTask);
+        if (fc.fire) throw InjectedFault(fc.message);
+      }
       task();
     } catch (...) {
       eptr = std::current_exception();

@@ -14,7 +14,13 @@ QueryResult ExecutionEngine::ExecuteQuery(const PlanNode &plan) {
   ExecutionContext ctx(txn.get(), catalog_, settings_);
   result.status = ExecuteNode(plan, &ctx, &result.batch);
   if (result.status.ok()) {
-    txn_manager_->Commit(txn.get());
+    const Status commit_status = txn_manager_->Commit(txn.get());
+    if (!commit_status.ok()) {
+      // Commit already rolled the txn back (e.g. injected txn.commit fault);
+      // surface it as an abort the caller may retry.
+      result.status = commit_status;
+      result.aborted = true;
+    }
   } else {
     txn_manager_->Abort(txn.get());
     result.aborted = true;

@@ -23,11 +23,15 @@ Matrix LoadMatrix(BinaryReader *reader) {
   const uint64_t rows = reader->Get<uint64_t>();
   const uint64_t cols = reader->Get<uint64_t>();
   const std::vector<double> data = reader->GetDoubles();
+  // A payload whose element count disagrees with the dimensions is corrupt;
+  // returning a zero matrix here would silently poison every prediction.
+  if (!reader->ok() || data.size() != rows * cols) {
+    reader->MarkCorrupt();
+    return Matrix();
+  }
   Matrix m(rows, cols);
-  if (data.size() == rows * cols) {
-    for (uint64_t r = 0; r < rows; r++) {
-      for (uint64_t c = 0; c < cols; c++) m.At(r, c) = data[r * cols + c];
-    }
+  for (uint64_t r = 0; r < rows; r++) {
+    for (uint64_t c = 0; c < cols; c++) m.At(r, c) = data[r * cols + c];
   }
   return m;
 }
@@ -41,6 +45,10 @@ Standardizer LoadStandardizer(BinaryReader *reader) {
   Standardizer s;
   std::vector<double> mean = reader->GetDoubles();
   std::vector<double> stddev = reader->GetDoubles();
+  if (!reader->ok() || mean.size() != stddev.size()) {
+    reader->MarkCorrupt();
+    return s;
+  }
   s.SetState(std::move(mean), std::move(stddev));
   return s;
 }

@@ -1,7 +1,12 @@
 #include "modeling/model_bot.h"
 
 #include <chrono>
+#include <cstdio>
+#include <filesystem>
 
+#include "common/checksum.h"
+#include "common/fault_injector.h"
+#include "common/stats.h"
 #include "common/thread_pool.h"
 
 namespace mb2 {
@@ -28,6 +33,10 @@ TrainingReport ModelBot::TrainOuModels(const std::vector<OuRecord> &records,
   // in the same deterministic (OuType-sorted) order as the serial one.
   std::vector<std::pair<OuType, const OuDataset *>> eligible;
   for (auto &[type, dataset] : datasets) {
+    // Every observed OU contributes to the degraded-fallback table, even the
+    // ones too small to train on — a rough mean beats a zero when the model
+    // is later missing or corrupt.
+    UpdateFallbackLabels(type, dataset.y);
     if (dataset.x.rows() < 10) continue;  // not enough data to split
     eligible.emplace_back(type, &dataset);
   }
@@ -66,6 +75,7 @@ void ModelBot::RetrainOu(OuType type, const std::vector<OuRecord> &records,
   auto datasets = GroupRecordsByOu(records);
   auto it = datasets.find(type);
   if (it == datasets.end()) return;
+  UpdateFallbackLabels(type, it->second.y);
   auto model = std::make_unique<OuModel>(type);
   model->Train(it->second.x, it->second.y, algorithms, normalize, seed);
   ou_models_[type] = std::move(model);
@@ -109,9 +119,27 @@ uint64_t ModelBot::TotalOuModelBytes() const {
   return bytes;
 }
 
-Labels ModelBot::PredictOu(const TranslatedOu &ou) const {
+void ModelBot::UpdateFallbackLabels(OuType type, const Matrix &y_raw) {
+  if (y_raw.rows() == 0) return;
+  Labels fallback{};
+  for (size_t j = 0; j < kNumLabels && j < y_raw.cols(); j++) {
+    std::vector<double> column(y_raw.rows());
+    for (size_t r = 0; r < y_raw.rows(); r++) column[r] = y_raw.At(r, j);
+    fallback[j] = TrimmedMean(std::move(column));
+  }
+  fallback_labels_[type] = fallback;
+}
+
+Labels ModelBot::PredictOu(const TranslatedOu &ou, bool *degraded) const {
   const OuModel *model = GetOuModel(ou.type);
   if (model == nullptr) {
+    // Degradation policy: no usable model for this OU (never trained, or its
+    // file was corrupt/deleted). Serve the interference-free trimmed mean of
+    // the training labels and flag the prediction; zeros only when the OU
+    // was never observed at all.
+    if (degraded != nullptr) *degraded = true;
+    auto it = fallback_labels_.find(ou.type);
+    if (it != fallback_labels_.end()) return it->second;
     Labels zero{};
     return zero;
   }
@@ -129,10 +157,13 @@ QueryPrediction ModelBot::PredictQuery(const PlanNode &plan,
   prediction.ous = translator_.TranslateQuery(plan, exec_mode_override);
   prediction.total.fill(0.0);
   for (const auto &ou : prediction.ous) {
-    const Labels labels = PredictOu(ou);
+    bool fell_back = false;
+    const Labels labels = PredictOu(ou, &fell_back);
+    if (fell_back) prediction.degraded_ous++;
     for (size_t j = 0; j < kNumLabels; j++) prediction.total[j] += labels[j];
     prediction.per_ou.push_back(labels);
   }
+  prediction.degraded = prediction.degraded_ous > 0;
   return prediction;
 }
 
@@ -141,10 +172,13 @@ QueryPrediction ModelBot::PredictAction(const Action &action) const {
   prediction.ous = translator_.TranslateAction(action);
   prediction.total.fill(0.0);
   for (const auto &ou : prediction.ous) {
-    const Labels labels = PredictOu(ou);
+    bool fell_back = false;
+    const Labels labels = PredictOu(ou, &fell_back);
+    if (fell_back) prediction.degraded_ous++;
     for (size_t j = 0; j < kNumLabels; j++) prediction.total[j] += labels[j];
     prediction.per_ou.push_back(labels);
   }
+  prediction.degraded = prediction.degraded_ous > 0;
   return prediction;
 }
 
@@ -169,6 +203,7 @@ IntervalPrediction ModelBot::PredictInterval(
     EntryPrediction ep;
     ep.entry = &entry;
     ep.isolated = PredictQuery(*entry.plan);
+    if (ep.isolated.degraded) out.degraded = true;
     ep.executions = entry.arrival_rate * forecast.interval_s;
     entries.push_back(std::move(ep));
   }
@@ -197,7 +232,9 @@ IntervalPrediction ModelBot::PredictInterval(
   }
   std::vector<Labels> maintenance_pred;
   for (const auto &ou : maintenance) {
-    const Labels labels = PredictOu(ou);
+    bool fell_back = false;
+    const Labels labels = PredictOu(ou, &fell_back);
+    if (fell_back) out.degraded = true;
     maintenance_pred.push_back(labels);
     for (uint32_t t = 0; t < threads; t++) {
       for (size_t j = 0; j < kNumLabels; j++) {
@@ -212,6 +249,7 @@ IntervalPrediction ModelBot::PredictInterval(
   for (const auto &action : actions) {
     QueryPrediction ap = PredictAction(action);
     if (ap.ous.empty()) continue;
+    if (ap.degraded) out.degraded = true;
     const double build_elapsed = ap.total[kLabelElapsedUs];
     const double active_fraction =
         std::min(1.0, build_elapsed / std::max(1.0, interval_us));
@@ -284,23 +322,108 @@ IntervalPrediction ModelBot::PredictInterval(
 
 namespace {
 constexpr uint32_t kModelFileMagic = 0x4d42324dU;  // "MB2M"
-constexpr uint32_t kModelFileVersion = 1;
+// v2: adds the degraded-fallback label table and a trailing CRC32 footer.
+constexpr uint32_t kModelFileVersion = 2;
 }  // namespace
 
 Status ModelBot::SaveModels(const std::string &dir) const {
-  auto writer = BinaryWriter::Open(dir + "/mb2_models.bin");
-  if (!writer.ok()) return writer.status();
-  BinaryWriter &w = writer.value();
-  w.Put<uint32_t>(kModelFileMagic);
-  w.Put<uint32_t>(kModelFileVersion);
-  w.Put<uint32_t>(static_cast<uint32_t>(ou_models_.size()));
-  for (const auto &[type, model] : ou_models_) model->Save(&w);
-  interference_.Save(&w);
+  const std::string final_path = dir + "/mb2_models.bin";
+  const std::string tmp_path = final_path + ".tmp";
+
+  {
+    auto writer = BinaryWriter::Open(tmp_path);
+    if (!writer.ok()) return writer.status();
+    BinaryWriter &w = writer.value();
+    w.Put<uint32_t>(kModelFileMagic);
+    w.Put<uint32_t>(kModelFileVersion);
+    w.Put<uint32_t>(static_cast<uint32_t>(ou_models_.size()));
+    for (const auto &[type, model] : ou_models_) model->Save(&w);
+    w.Put<uint32_t>(static_cast<uint32_t>(fallback_labels_.size()));
+    for (const auto &[type, labels] : fallback_labels_) {
+      w.Put<uint8_t>(static_cast<uint8_t>(type));
+      for (size_t j = 0; j < kNumLabels; j++) w.Put<double>(labels[j]);
+    }
+    interference_.Save(&w);
+    w.Flush();
+    if (!w.ok()) {
+      w.Close();
+      std::remove(tmp_path.c_str());
+      return Status::IoError("short write while saving models to " + tmp_path);
+    }
+  }
+
+  // Seal the payload with a CRC32 footer so any later truncation or bit rot
+  // is detected at load time.
+  auto crc = Crc32OfFile(tmp_path);
+  if (!crc.ok()) return crc.status();
+  {
+    FILE *f = std::fopen(tmp_path.c_str(), "ab");
+    if (f == nullptr) return Status::IoError("cannot append checksum to " + tmp_path);
+    const uint32_t value = crc.value();
+    const size_t wrote = std::fwrite(&value, sizeof(value), 1, f);
+    std::fclose(f);
+    if (wrote != 1) return Status::IoError("cannot append checksum to " + tmp_path);
+  }
+
+  // Simulated save failure: the crash happens before the atomic rename, so
+  // at worst a partial .tmp file survives and the deployed set is untouched.
+  if (FaultInjector::Instance().Armed()) {
+    const FaultCheck fc =
+        FaultInjector::Instance().Hit(fault_point::kPersistenceWrite);
+    if (fc.fire) {
+      if (fc.action == FaultAction::kThrow) throw InjectedFault(fc.message);
+      if (fc.action == FaultAction::kTornWrite) {
+        std::error_code ec;
+        const auto size = std::filesystem::file_size(tmp_path, ec);
+        if (!ec) {
+          std::filesystem::resize_file(
+              tmp_path,
+              static_cast<uintmax_t>(static_cast<double>(size) * fc.torn_fraction),
+              ec);
+        }
+      } else {
+        std::remove(tmp_path.c_str());
+      }
+      return fc.ToStatus(fault_point::kPersistenceWrite);
+    }
+  }
+
+  if (std::rename(tmp_path.c_str(), final_path.c_str()) != 0) {
+    std::remove(tmp_path.c_str());
+    return Status::IoError("cannot rename " + tmp_path + " into place");
+  }
   return Status::Ok();
 }
 
 Status ModelBot::LoadModels(const std::string &dir) {
-  auto reader = BinaryReader::Open(dir + "/mb2_models.bin");
+  const std::string path = dir + "/mb2_models.bin";
+
+  if (FaultInjector::Instance().Armed()) {
+    const FaultCheck fc =
+        FaultInjector::Instance().Hit(fault_point::kPersistenceRead);
+    if (fc.fire) {
+      if (fc.action == FaultAction::kThrow) throw InjectedFault(fc.message);
+      return fc.ToStatus(fault_point::kPersistenceRead);
+    }
+  }
+
+  // Checksum gate: recompute the payload CRC and compare with the footer
+  // before parsing a single byte.
+  {
+    auto crc = Crc32OfFile(path, /*skip_trailing=*/sizeof(uint32_t));
+    if (!crc.ok()) return crc.status();
+    FILE *f = std::fopen(path.c_str(), "rb");
+    if (f == nullptr) return Status::IoError("cannot open " + path);
+    std::fseek(f, -static_cast<long>(sizeof(uint32_t)), SEEK_END);
+    uint32_t stored = 0;
+    const size_t got = std::fread(&stored, sizeof(stored), 1, f);
+    std::fclose(f);
+    if (got != 1 || stored != crc.value()) {
+      return Status::InvalidArgument("model file checksum mismatch: " + path);
+    }
+  }
+
+  auto reader = BinaryReader::Open(path);
   if (!reader.ok()) return reader.status();
   BinaryReader &r = reader.value();
   if (r.Get<uint32_t>() != kModelFileMagic) {
@@ -311,15 +434,30 @@ Status ModelBot::LoadModels(const std::string &dir) {
   }
   const uint32_t count = r.Get<uint32_t>();
   std::map<OuType, std::unique_ptr<OuModel>> loaded;
-  for (uint32_t i = 0; i < count; i++) {
+  for (uint32_t i = 0; i < count && r.ok(); i++) {
     auto model = OuModel::Load(&r);
     if (model == nullptr) return Status::InvalidArgument("corrupt OU-model");
     const OuType type = model->type();
     loaded[type] = std::move(model);
   }
+  std::map<OuType, Labels> fallback;
+  const uint32_t fallback_count = r.Get<uint32_t>();
+  if (!r.ok() || fallback_count > kNumOuTypes) {
+    return Status::InvalidArgument("corrupt fallback table");
+  }
+  for (uint32_t i = 0; i < fallback_count && r.ok(); i++) {
+    const uint8_t type_tag = r.Get<uint8_t>();
+    if (type_tag >= kNumOuTypes) {
+      return Status::InvalidArgument("corrupt fallback table");
+    }
+    Labels labels{};
+    for (size_t j = 0; j < kNumLabels; j++) labels[j] = r.Get<double>();
+    fallback[static_cast<OuType>(type_tag)] = labels;
+  }
   interference_.LoadFrom(&r);
   if (!r.ok()) return Status::InvalidArgument("corrupt model file");
   ou_models_ = std::move(loaded);
+  fallback_labels_ = std::move(fallback);
   return Status::Ok();
 }
 

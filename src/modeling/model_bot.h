@@ -25,6 +25,12 @@ struct QueryPrediction {
   std::vector<TranslatedOu> ous;
   std::vector<Labels> per_ou;  ///< parallel to `ous`
   Labels total{};              ///< element-wise sum
+  /// True when at least one OU had no usable model and was served from the
+  /// degraded fallback (trimmed-mean training labels, or zeros if the OU was
+  /// never observed). Planners should treat degraded predictions as
+  /// low-confidence, never as silent ground truth.
+  bool degraded = false;
+  uint32_t degraded_ous = 0;  ///< how many OUs fell back
   double ElapsedUs() const { return total[kLabelElapsedUs]; }
 };
 
@@ -43,6 +49,8 @@ struct IntervalPrediction {
   double action_cpu_utilization = 0.0;
   /// Element-wise totals of all adjusted OU labels in the interval.
   Labels interval_totals{};
+  /// Any constituent prediction was served degraded (missing OU model).
+  bool degraded = false;
 };
 
 struct TrainingReport {
@@ -99,10 +107,15 @@ class ModelBot {
 
   // --- Introspection ------------------------------------------------------
 
-  /// Persists every trained OU-model plus the interference model to
-  /// `<dir>/mb2_models.bin` (offline train -> production deploy, Sec 3).
+  /// Persists every trained OU-model, the degraded-fallback table, and the
+  /// interference model to `<dir>/mb2_models.bin` (offline train ->
+  /// production deploy, Sec 3). Crash-atomic: the payload is written to a
+  /// temp file, checksummed (CRC32 footer), and renamed into place, so a
+  /// crash mid-save never clobbers the previously deployed model set.
   Status SaveModels(const std::string &dir) const;
   /// Restores a previously saved model set, replacing any trained models.
+  /// Rejects corrupt or truncated files (checksum + structural checks)
+  /// instead of loading garbage.
   Status LoadModels(const std::string &dir);
 
   const OuModel *GetOuModel(OuType type) const;
@@ -111,12 +124,22 @@ class ModelBot {
   const OuTranslator &translator() const { return translator_; }
   uint64_t TotalOuModelBytes() const;
 
+  /// Degradation policy: per-OU interference-free 20% trimmed mean of the
+  /// training labels, recorded at train time and persisted with the models.
+  /// Served (flagged `degraded`) when an OU-model is missing or failed to
+  /// load, instead of crashing or answering zeros.
+  const std::map<OuType, Labels> &fallback_labels() const {
+    return fallback_labels_;
+  }
+
  private:
-  Labels PredictOu(const TranslatedOu &ou) const;
+  Labels PredictOu(const TranslatedOu &ou, bool *degraded) const;
+  void UpdateFallbackLabels(OuType type, const Matrix &y_raw);
 
   OuTranslator translator_;
   SettingsManager *settings_;
   std::map<OuType, std::unique_ptr<OuModel>> ou_models_;
+  std::map<OuType, Labels> fallback_labels_;
   InterferenceModel interference_;
 };
 

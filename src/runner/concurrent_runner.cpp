@@ -29,6 +29,8 @@ std::vector<OuRecord> ConcurrentRunner::Run(const ConcurrentRunnerConfig &config
       for (double rate : config.rates) {
         metrics.DrainAll();
         metrics.SetEnabled(true);
+        DriverOptions driver_opts;
+        driver_opts.max_txn_retries = config.txn_retries;
         WorkloadDriver::Run(
             [&](Rng *rng) -> double {
               const PlanNode *plan =
@@ -36,7 +38,8 @@ std::vector<OuRecord> ConcurrentRunner::Run(const ConcurrentRunnerConfig &config
               QueryResult result = db_->Execute(*plan);
               return result.aborted ? -1.0 : result.elapsed_us;
             },
-            threads, rate, config.period_s, /*seed=*/threads * 131 + s);
+            threads, rate, config.period_s, /*seed=*/threads * 131 + s,
+            driver_opts);
         metrics.SetEnabled(false);
         auto drained = metrics.DrainAll();
         out.insert(out.end(), std::make_move_iterator(drained.begin()),

@@ -22,6 +22,9 @@ struct ConcurrentRunnerConfig {
   std::vector<double> rates = {-1.0, 20.0};
   double period_s = 2.0;  ///< execution time per combination
   uint32_t subset_count = 3;  ///< random query subsets tried
+  /// Aborted MVCC transactions are retried (with backoff) this many times
+  /// before the driver gives up on them.
+  uint32_t txn_retries = 2;
 
   static ConcurrentRunnerConfig Small() {
     ConcurrentRunnerConfig cfg;

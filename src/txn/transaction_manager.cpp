@@ -1,5 +1,6 @@
 #include "txn/transaction_manager.h"
 
+#include "common/fault_injector.h"
 #include "metrics/metrics_collector.h"
 #include "storage/table.h"
 
@@ -33,6 +34,17 @@ std::unique_ptr<Transaction> TransactionManager::Begin(bool read_only) {
 }
 
 Status TransactionManager::Commit(Transaction *txn) {
+  // The txn.commit fault point fires before any version is stamped, so the
+  // injected failure is a clean abort the caller can safely retry.
+  if (FaultInjector::Instance().Armed()) {
+    const FaultCheck fc = FaultInjector::Instance().Hit(fault_point::kTxnCommit);
+    if (fc.fire) {
+      if (fc.action == FaultAction::kThrow) throw InjectedFault(fc.message);
+      Abort(txn);
+      return Status::Aborted(std::string("fault 'txn.commit': ") + fc.message);
+    }
+  }
+
   const double rate = ArrivalRate();
   double running;
   {
@@ -61,7 +73,12 @@ Status TransactionManager::Commit(Transaction *txn) {
     }
   }
 
-  // WAL serialization is its own (batch) OU inside the log manager.
+  // WAL serialization is its own (batch) OU inside the log manager. A
+  // serialize failure (possible only under injected faults, after retries)
+  // does NOT unwind the commit — the versions are already stamped and
+  // visible; the transaction is committed in memory but not durable. The log
+  // manager's append_errors() counter records the durability gap, and Ok is
+  // returned so callers don't retry (and double-apply) a committed txn.
   if (log_manager_ != nullptr && !txn->redo_log().empty()) {
     log_manager_->Serialize(txn->redo_log(), txn->txn_id());
   }

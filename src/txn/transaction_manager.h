@@ -32,7 +32,10 @@ class TransactionManager {
 
   /// Commits: stamps write-set versions with the commit timestamp, hands the
   /// redo log to the WAL, removes the txn from the active set (TXN_COMMIT OU
-  /// + nested LOG_SERIALIZE OU inside the log manager).
+  /// + nested LOG_SERIALIZE OU inside the log manager). A non-OK return
+  /// (injected `txn.commit` fault) means the transaction was rolled back
+  /// before any version was stamped — safe to retry. WAL serialize failures
+  /// do not fail the commit; see LogManager::append_errors().
   Status Commit(Transaction *txn);
 
   /// Aborts: rolls back the write set.

@@ -1,9 +1,42 @@
 #include "wal/log_manager.h"
 
+#include <algorithm>
+#include <iterator>
+
+#include "common/fault_injector.h"
 #include "metrics/metrics_collector.h"
 #include "metrics/work_stats.h"
 
 namespace mb2 {
+
+namespace {
+
+/// Evaluates `point` under the retry policy: injected kError faults are
+/// retried with backoff + jitter until the point stops firing or the budget
+/// is spent. A kTornWrite fire is reported through `torn_fraction_out` (the
+/// caller performs the partial write); kThrow propagates immediately.
+Status CheckFaultPointWithRetry(const char *point, const RetryPolicy &policy,
+                                uint64_t jitter_seed,
+                                double *torn_fraction_out) {
+  auto &injector = FaultInjector::Instance();
+  if (!injector.Armed()) return Status::Ok();
+  Rng rng(jitter_seed);
+  return RetryWithBackoff(
+      policy,
+      [&]() -> Status {
+        const FaultCheck fc = injector.Hit(point);
+        if (!fc.fire) return Status::Ok();
+        if (fc.action == FaultAction::kThrow) throw InjectedFault(fc.message);
+        if (fc.action == FaultAction::kTornWrite) {
+          if (torn_fraction_out != nullptr) *torn_fraction_out = fc.torn_fraction;
+          return Status::Ok();
+        }
+        return fc.ToStatus(point);
+      },
+      &rng);
+}
+
+}  // namespace
 
 LogManager::LogManager(std::string path, SettingsManager *settings)
     : settings_(settings) {
@@ -21,9 +54,16 @@ LogManager::~LogManager() {
   }
 }
 
-void LogManager::Serialize(const std::vector<RedoRecord> &records,
-                           uint64_t txn_id) {
-  if (file_ == nullptr || records.empty()) return;
+Status LogManager::Serialize(const std::vector<RedoRecord> &records,
+                             uint64_t txn_id) {
+  if (file_ == nullptr || records.empty()) return Status::Ok();
+
+  const Status fault = CheckFaultPointWithRetry(
+      fault_point::kWalAppend, retry_policy_, txn_id ^ 0xa99e4dULL, nullptr);
+  if (!fault.ok()) {
+    append_errors_.fetch_add(1, std::memory_order_relaxed);
+    return fault;
+  }
 
   size_t total_bytes = 0;
   for (const auto &r : records) total_bytes += RedoRecordSize(r);
@@ -58,6 +98,7 @@ void LogManager::Serialize(const std::vector<RedoRecord> &records,
     active_.num_records += static_cast<uint32_t>(records.size());
   }
   scope.MutableFeatures()[2] = static_cast<double>(buffers_sealed);
+  return Status::Ok();
 }
 
 void LogManager::SealActiveLocked() {
@@ -65,31 +106,90 @@ void LogManager::SealActiveLocked() {
   active_ = LogBuffer();
 }
 
-void LogManager::FlushFilled() {
+Status LogManager::FlushFilled() {
   std::vector<LogBuffer> to_flush;
   {
     std::lock_guard<std::mutex> lock(mutex_);
+    if (file_ == nullptr) return Status::Ok();  // crashed/disabled
     if (!active_.empty()) SealActiveLocked();
     to_flush.swap(filled_);
   }
-  if (to_flush.empty()) return;
+  if (to_flush.empty()) return Status::Ok();
 
   size_t total_bytes = 0;
   for (const auto &b : to_flush) total_bytes += b.size();
-  const double interval = settings_->GetDouble("log_flush_interval_us");
 
+  double torn_fraction = -1.0;
+  const Status fault = CheckFaultPointWithRetry(
+      fault_point::kWalFlush, retry_policy_,
+      total_flushed_.load(std::memory_order_relaxed) ^ 0xf1a5ULL,
+      &torn_fraction);
+  if (!fault.ok()) {
+    // Retry budget spent: put the buffers back so nothing committed is lost;
+    // a later flush (or shutdown) takes another run at the device.
+    flush_errors_.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(mutex_);
+    filled_.insert(filled_.begin(), std::make_move_iterator(to_flush.begin()),
+                   std::make_move_iterator(to_flush.end()));
+    return fault;
+  }
+
+  const double interval = settings_->GetDouble("log_flush_interval_us");
   OuTrackerScope scope(OuType::kLogFlush,
                        {static_cast<double>(total_bytes),
                         static_cast<double>(to_flush.size()), interval});
+
+  if (torn_fraction >= 0.0) {
+    // Simulated crash mid-write: only a prefix reaches the device and the
+    // rest of the batch is gone, exactly like losing power inside fwrite.
+    size_t budget = static_cast<size_t>(static_cast<double>(total_bytes) *
+                                        torn_fraction);
+    size_t written = 0;
+    for (const auto &b : to_flush) {
+      const size_t chunk = std::min(budget - written, b.size());
+      if (chunk == 0) break;
+      written += std::fwrite(b.data().data(), 1, chunk, file_);
+      if (written >= budget) break;
+    }
+    std::fflush(file_);
+    flush_errors_.fetch_add(1, std::memory_order_relaxed);
+    total_flushed_.fetch_add(written, std::memory_order_relaxed);
+    WorkStats::Current().log_bytes += written;
+    return Status::IoError("torn write injected at wal.flush");
+  }
+
+  size_t written = 0;
+  bool short_write = false;
   for (const auto &b : to_flush) {
-    std::fwrite(b.data().data(), 1, b.size(), file_);
+    const size_t got = std::fwrite(b.data().data(), 1, b.size(), file_);
+    written += got;
+    if (got != b.size()) {
+      short_write = true;
+      break;
+    }
   }
   std::fflush(file_);
-  WorkStats::Current().log_bytes += total_bytes;
-  total_flushed_.fetch_add(total_bytes, std::memory_order_relaxed);
+  WorkStats::Current().log_bytes += written;
+  total_flushed_.fetch_add(written, std::memory_order_relaxed);
+  if (short_write) {
+    flush_errors_.fetch_add(1, std::memory_order_relaxed);
+    return Status::IoError("short write to log device");
+  }
+  return Status::Ok();
 }
 
-void LogManager::FlushNow() { FlushFilled(); }
+Status LogManager::FlushNow() { return FlushFilled(); }
+
+void LogManager::Crash() {
+  StopFlusher();
+  std::lock_guard<std::mutex> lock(mutex_);
+  active_ = LogBuffer();
+  filled_.clear();
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+}
 
 void LogManager::StartFlusher() {
   if (file_ == nullptr || running_.load()) return;
@@ -113,6 +213,8 @@ void LogManager::FlusherLoop() {
       flusher_cv_.wait_for(lock, interval, [this] { return !running_.load(); });
     }
     if (!running_.load()) break;
+    // Errors are counted (flush_errors); the failed batch stays queued and
+    // the next tick retries it.
     FlushFilled();
   }
 }

@@ -5,6 +5,13 @@
 /// (LOG_SERIALIZE OU) and a background flusher that writes filled buffers to
 /// the log device on a knob-controlled interval (LOG_FLUSH OU, a "batch" OU
 /// whose features are the totals accumulated since the last flush).
+///
+/// Robustness: the `wal.append` and `wal.flush` fault points are consulted on
+/// every pass; injected (or real short-write) failures are retried with
+/// bounded exponential backoff + jitter before the error surfaces. A failed
+/// flush re-queues its buffers, so no committed bytes are lost unless the
+/// fault simulates a crash (torn write) — that scenario is what Crash() +
+/// ReplayLog's torn-tail tolerance exist to test.
 
 #include <atomic>
 #include <condition_variable>
@@ -16,6 +23,8 @@
 
 #include "catalog/settings.h"
 #include "common/macros.h"
+#include "common/retry.h"
+#include "common/status.h"
 #include "wal/log_record.h"
 
 namespace mb2 {
@@ -28,29 +37,51 @@ class LogManager {
   MB2_DISALLOW_COPY_AND_MOVE(LogManager);
 
   /// Serializes a transaction's redo records (called at commit). Tracked as
-  /// the LOG_SERIALIZE OU.
-  void Serialize(const std::vector<RedoRecord> &records, uint64_t txn_id);
+  /// the LOG_SERIALIZE OU. Errors only after the retry budget is exhausted;
+  /// the records are then NOT buffered (the in-memory commit stands but is
+  /// not durable — callers decide whether that is fatal).
+  Status Serialize(const std::vector<RedoRecord> &records, uint64_t txn_id);
 
   /// Starts/stops the background flusher thread.
   void StartFlusher();
   void StopFlusher();
 
-  /// Synchronously flushes everything buffered (tracked as LOG_FLUSH).
-  void FlushNow();
+  /// Synchronously flushes everything buffered (tracked as LOG_FLUSH). On a
+  /// retry-exhausted injected failure the buffers are re-queued and the
+  /// error returned; a later call can still flush them.
+  Status FlushNow();
+
+  /// Crash simulation (tests / fault harness): drops every buffered byte and
+  /// closes the log device without flushing, as a process kill would. The
+  /// manager is inert afterwards; recovery reads whatever reached the disk.
+  void Crash();
+
+  /// Retry budget for append/flush fault handling.
+  void set_retry_policy(const RetryPolicy &policy) { retry_policy_ = policy; }
+  const RetryPolicy &retry_policy() const { return retry_policy_; }
 
   bool enabled() const { return file_ != nullptr; }
   uint64_t total_bytes_flushed() const {
     return total_flushed_.load(std::memory_order_relaxed);
+  }
+  /// Serialize calls that surfaced an error after retries.
+  uint64_t append_errors() const {
+    return append_errors_.load(std::memory_order_relaxed);
+  }
+  /// Flush attempts that surfaced an error after retries (incl. torn writes).
+  uint64_t flush_errors() const {
+    return flush_errors_.load(std::memory_order_relaxed);
   }
 
  private:
   void FlusherLoop();
   /// Must hold mutex_; moves the active buffer to the filled list.
   void SealActiveLocked();
-  void FlushFilled();
+  Status FlushFilled();
 
   std::FILE *file_ = nullptr;
   SettingsManager *settings_;
+  RetryPolicy retry_policy_;
 
   std::mutex mutex_;
   LogBuffer active_;
@@ -61,6 +92,8 @@ class LogManager {
   std::mutex flusher_mutex_;
   std::atomic<bool> running_{false};
   std::atomic<uint64_t> total_flushed_{0};
+  std::atomic<uint64_t> append_errors_{0};
+  std::atomic<uint64_t> flush_errors_{0};
 };
 
 }  // namespace mb2

@@ -20,6 +20,10 @@ class LogCursor {
     return std::fread(out, sizeof(T), 1, file_) == 1;
   }
 
+  /// True when the last failed read hit a clean end-of-file (a torn tail)
+  /// rather than garbage mid-stream.
+  bool Eof() const { return std::feof(file_) != 0; }
+
   bool ReadValue(Value *out) {
     uint8_t tag;
     if (!Read(&tag)) return false;
@@ -55,7 +59,8 @@ class LogCursor {
 }  // namespace
 
 Result<RecoveryStats> ReplayLog(const std::string &path, Catalog *catalog,
-                                TransactionManager *txn_manager) {
+                                TransactionManager *txn_manager,
+                                const ReplayOptions &options) {
   FILE *file = std::fopen(path.c_str(), "rb");
   if (file == nullptr) return Status::IoError("cannot open log " + path);
   LogCursor cursor(file);
@@ -82,26 +87,39 @@ Result<RecoveryStats> ReplayLog(const std::string &path, Catalog *catalog,
   for (;;) {
     uint8_t op_tag;
     if (!cursor.Read(&op_tag)) break;  // clean EOF
-    uint32_t table_id;
-    uint64_t logged_slot, txn_id;
-    uint32_t nvalues;
+    uint32_t table_id = 0;
+    uint64_t logged_slot = 0, txn_id = 0;
+    uint32_t nvalues = 0;
     if (!cursor.Read(&table_id) || !cursor.Read(&logged_slot) ||
         !cursor.Read(&txn_id) || !cursor.Read(&nvalues) ||
         nvalues > (1u << 16)) {
+      if (options.tolerate_torn_tail && cursor.Eof() && nvalues <= (1u << 16)) {
+        stats.torn_tail = true;
+        break;  // crash tore the last record's header; the prefix is durable
+      }
       std::fclose(file);
       txn_manager->Abort(txn.get());
       return Status::InvalidArgument("truncated or corrupt log record");
     }
     Tuple row;
     row.reserve(nvalues);
+    bool torn = false;
     for (uint32_t i = 0; i < nvalues; i++) {
       Value v;
       if (!cursor.ReadValue(&v)) {
+        if (options.tolerate_torn_tail && cursor.Eof()) {
+          torn = true;
+          break;
+        }
         std::fclose(file);
         txn_manager->Abort(txn.get());
         return Status::InvalidArgument("corrupt value in log record");
       }
       row.push_back(std::move(v));
+    }
+    if (torn) {
+      stats.torn_tail = true;
+      break;  // the incomplete trailing record is discarded, prefix applied
     }
 
     auto table_it = tables.find(table_id);

@@ -23,11 +23,22 @@ struct RecoveryStats {
   uint64_t updates = 0;
   uint64_t deletes = 0;
   uint64_t skipped = 0;  ///< records referencing unknown tables/slots
+  /// Replay stopped at a record cut off by end-of-file (torn-tail mode only).
+  bool torn_tail = false;
+};
+
+struct ReplayOptions {
+  /// A crash can tear the last flush mid-record; with this set, a record cut
+  /// off by a clean end-of-file ends replay (the durable prefix is applied
+  /// and `torn_tail` reported) instead of failing recovery outright.
+  /// Structurally corrupt records (bad tags, absurd lengths) still fail.
+  bool tolerate_torn_tail = false;
 };
 
 /// Replays `path` into the catalog's tables (matched by table id). Index
 /// maintenance is performed for every registered index.
 Result<RecoveryStats> ReplayLog(const std::string &path, Catalog *catalog,
-                                TransactionManager *txn_manager);
+                                TransactionManager *txn_manager,
+                                const ReplayOptions &options = {});
 
 }  // namespace mb2

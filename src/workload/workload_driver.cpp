@@ -1,12 +1,27 @@
 #include "workload/workload_driver.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <mutex>
 #include <thread>
 
+#include "common/retry.h"
 #include "metrics/metrics_collector.h"
 
 namespace mb2 {
+
+std::string DriverResult::Summary() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "%.1f txn/s, avg %.1f us | committed=%llu aborts=%llu "
+                "retries=%llu giveups=%llu",
+                throughput, avg_latency_us,
+                static_cast<unsigned long long>(committed),
+                static_cast<unsigned long long>(aborts),
+                static_cast<unsigned long long>(retries),
+                static_cast<unsigned long long>(giveups));
+  return buf;
+}
 
 std::vector<std::pair<int64_t, double>> DriverResult::LatencyTimeline(
     int64_t bucket_us) const {
@@ -33,12 +48,17 @@ std::vector<std::pair<int64_t, double>> DriverResult::LatencyTimeline(
 
 DriverResult WorkloadDriver::Run(const std::function<double(Rng *)> &txn_fn,
                                  uint32_t threads, double rate_per_thread,
-                                 double duration_s, uint64_t seed) {
+                                 double duration_s, uint64_t seed,
+                                 const DriverOptions &opts) {
   DriverResult result;
   std::mutex result_mutex;
   const int64_t end_time = NowMicros() + static_cast<int64_t>(duration_s * 1e6);
   const double period_us =
       rate_per_thread > 0.0 ? 1e6 / rate_per_thread : 0.0;
+  const RetryPolicy retry_policy{opts.max_txn_retries + 1,
+                                 opts.retry_base_backoff_us,
+                                 opts.retry_max_backoff_us,
+                                 opts.retry_jitter_frac};
 
   std::vector<std::thread> workers;
   workers.reserve(threads);
@@ -46,6 +66,7 @@ DriverResult WorkloadDriver::Run(const std::function<double(Rng *)> &txn_fn,
     workers.emplace_back([&, t] {
       Rng rng(seed + t * 7919);
       std::vector<std::pair<int64_t, double>> local;
+      uint64_t committed = 0, aborts = 0, retries = 0, giveups = 0;
       int64_t next_fire = NowMicros();
       while (NowMicros() < end_time) {
         if (period_us > 0.0) {
@@ -56,11 +77,31 @@ DriverResult WorkloadDriver::Run(const std::function<double(Rng *)> &txn_fn,
           }
           next_fire += static_cast<int64_t>(period_us);
         }
-        const double latency = txn_fn(&rng);
-        if (latency >= 0.0) local.emplace_back(NowMicros(), latency);
+        // One logical transaction: the first attempt plus up to
+        // max_txn_retries backed-off re-attempts on abort.
+        for (uint32_t attempt = 1;; attempt++) {
+          const double latency = txn_fn(&rng);
+          if (latency >= 0.0) {
+            local.emplace_back(NowMicros(), latency);
+            committed++;
+            break;
+          }
+          aborts++;
+          if (attempt > opts.max_txn_retries || NowMicros() >= end_time) {
+            giveups++;
+            break;
+          }
+          retries++;
+          std::this_thread::sleep_for(std::chrono::microseconds(
+              BackoffDelayUs(retry_policy, attempt, &rng)));
+        }
       }
       std::lock_guard<std::mutex> lock(result_mutex);
       result.latencies.insert(result.latencies.end(), local.begin(), local.end());
+      result.committed += committed;
+      result.aborts += aborts;
+      result.retries += retries;
+      result.giveups += giveups;
     });
   }
   for (auto &w : workers) w.join();

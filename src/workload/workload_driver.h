@@ -8,17 +8,35 @@
 
 #include <cstdint>
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "common/rng.h"
 
 namespace mb2 {
 
+/// Abort-handling knobs: an aborted transaction (txn_fn returns negative) is
+/// retried up to `max_txn_retries` times with exponential backoff + jitter
+/// before counting as a give-up. Zero retries reproduces the old behavior.
+struct DriverOptions {
+  uint32_t max_txn_retries = 0;
+  int64_t retry_base_backoff_us = 100;
+  int64_t retry_max_backoff_us = 20000;
+  double retry_jitter_frac = 0.25;
+};
+
 struct DriverResult {
   /// (completion time µs since process start, latency µs) per execution.
   std::vector<std::pair<int64_t, double>> latencies;
   double throughput = 0.0;  ///< executions per second
   double avg_latency_us = 0.0;
+  uint64_t committed = 0;  ///< attempts that returned a latency
+  uint64_t aborts = 0;     ///< total aborted attempts (incl. retried ones)
+  uint64_t retries = 0;    ///< re-attempts made after an abort
+  uint64_t giveups = 0;    ///< transactions abandoned after the retry budget
+
+  /// One-line throughput/abort/retry summary for bench output.
+  std::string Summary() const;
 
   /// Average latency bucketed into fixed windows (for timeline plots).
   std::vector<std::pair<int64_t, double>> LatencyTimeline(int64_t bucket_us) const;
@@ -31,7 +49,8 @@ class WorkloadDriver {
   /// run closed-loop (back-to-back).
   static DriverResult Run(const std::function<double(Rng *)> &txn_fn,
                           uint32_t threads, double rate_per_thread,
-                          double duration_s, uint64_t seed = 1234);
+                          double duration_s, uint64_t seed = 1234,
+                          const DriverOptions &opts = {});
 };
 
 }  // namespace mb2

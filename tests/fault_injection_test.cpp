@@ -1,0 +1,232 @@
+// Fault-injector semantics: arming, firing rules (probability / after-N /
+// max-fires), deterministic replay under a fixed seed, the MB2_FAULTS spec
+// grammar, the retry helper's backoff bounds, and the txn.commit /
+// threadpool.task integration points.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <set>
+
+#include "common/fault_injector.h"
+#include "common/retry.h"
+#include "common/thread_pool.h"
+#include "database.h"
+
+namespace mb2 {
+namespace {
+
+/// The injector is process-wide; every test starts and ends disarmed.
+class FaultInjectionTest : public ::testing::Test {
+ protected:
+  void SetUp() override { FaultInjector::Instance().Reset(); }
+  void TearDown() override { FaultInjector::Instance().Reset(); }
+};
+
+TEST_F(FaultInjectionTest, UnarmedPointsNeverFire) {
+  auto &fi = FaultInjector::Instance();
+  EXPECT_FALSE(fi.Armed());
+  for (int i = 0; i < 100; i++) {
+    EXPECT_FALSE(fi.Hit(fault_point::kWalFlush).fire);
+  }
+  // Hits on unarmed points are not even counted (fast path).
+  EXPECT_EQ(fi.HitCount(fault_point::kWalFlush), 0u);
+}
+
+TEST_F(FaultInjectionTest, AlwaysOnPointFiresEveryHit) {
+  auto &fi = FaultInjector::Instance();
+  fi.Arm(fault_point::kWalAppend, FaultSpec{});
+  EXPECT_TRUE(fi.Armed());
+  for (int i = 0; i < 10; i++) {
+    const FaultCheck fc = fi.Hit(fault_point::kWalAppend);
+    EXPECT_TRUE(fc.fire);
+    EXPECT_EQ(fc.action, FaultAction::kError);
+  }
+  EXPECT_EQ(fi.HitCount(fault_point::kWalAppend), 10u);
+  EXPECT_EQ(fi.FireCount(fault_point::kWalAppend), 10u);
+}
+
+TEST_F(FaultInjectionTest, AfterHitsSkipsTheFirstN) {
+  auto &fi = FaultInjector::Instance();
+  FaultSpec spec;
+  spec.after_hits = 3;
+  fi.Arm(fault_point::kWalFlush, spec);
+  for (int i = 0; i < 3; i++) EXPECT_FALSE(fi.Hit(fault_point::kWalFlush).fire);
+  EXPECT_TRUE(fi.Hit(fault_point::kWalFlush).fire);
+  EXPECT_TRUE(fi.Hit(fault_point::kWalFlush).fire);
+}
+
+TEST_F(FaultInjectionTest, MaxFiresBoundsTheBlastRadius) {
+  auto &fi = FaultInjector::Instance();
+  FaultSpec spec;
+  spec.max_fires = 2;
+  fi.Arm(fault_point::kWalFlush, spec);
+  EXPECT_TRUE(fi.Hit(fault_point::kWalFlush).fire);
+  EXPECT_TRUE(fi.Hit(fault_point::kWalFlush).fire);
+  for (int i = 0; i < 20; i++) EXPECT_FALSE(fi.Hit(fault_point::kWalFlush).fire);
+  EXPECT_EQ(fi.FireCount(fault_point::kWalFlush), 2u);
+}
+
+TEST_F(FaultInjectionTest, ProbabilisticFiringReplaysUnderSameSeed) {
+  auto &fi = FaultInjector::Instance();
+  FaultSpec spec;
+  spec.probability = 0.3;
+
+  auto schedule = [&]() {
+    fi.Reset();
+    fi.Seed(777);
+    fi.Arm(fault_point::kPersistenceRead, spec);
+    std::vector<bool> fires;
+    for (int i = 0; i < 200; i++) {
+      fires.push_back(fi.Hit(fault_point::kPersistenceRead).fire);
+    }
+    return fires;
+  };
+
+  const auto a = schedule();
+  const auto b = schedule();
+  EXPECT_EQ(a, b);  // bit-identical replay
+  const size_t fired = std::count(a.begin(), a.end(), true);
+  EXPECT_GT(fired, 20u);  // ~60 expected; loose bounds, deterministic anyway
+  EXPECT_LT(fired, 120u);
+}
+
+TEST_F(FaultInjectionTest, ResetDisarmsAndClearsCounters) {
+  auto &fi = FaultInjector::Instance();
+  fi.Arm(fault_point::kWalAppend, FaultSpec{});
+  fi.Hit(fault_point::kWalAppend);
+  fi.Reset();
+  EXPECT_FALSE(fi.Armed());
+  EXPECT_EQ(fi.HitCount(fault_point::kWalAppend), 0u);
+  EXPECT_EQ(fi.FireCount(fault_point::kWalAppend), 0u);
+  EXPECT_TRUE(fi.ArmedPoints().empty());
+}
+
+TEST_F(FaultInjectionTest, ArmFromSpecGrammar) {
+  auto &fi = FaultInjector::Instance();
+  ASSERT_TRUE(fi.ArmFromSpec("wal.flush=p0.5,n2,x3,throw;"
+                             "persistence.write=torn0.25")
+                  .ok());
+  const auto armed = fi.ArmedPoints();
+  EXPECT_EQ(std::set<std::string>(armed.begin(), armed.end()),
+            (std::set<std::string>{"wal.flush", "persistence.write"}));
+
+  // torn default + error action parse too.
+  ASSERT_TRUE(fi.ArmFromSpec("wal.append=torn").ok());
+  ASSERT_TRUE(fi.ArmFromSpec("txn.commit=error,p1.0").ok());
+
+  // Malformed specs are rejected.
+  EXPECT_FALSE(fi.ArmFromSpec("no_equals_sign").ok());
+  EXPECT_FALSE(fi.ArmFromSpec("wal.flush=p1.5").ok());   // probability > 1
+  EXPECT_FALSE(fi.ArmFromSpec("wal.flush=torn2.0").ok());
+  EXPECT_FALSE(fi.ArmFromSpec("wal.flush=bogus").ok());
+  EXPECT_FALSE(fi.ArmFromSpec("=p0.5").ok());
+}
+
+TEST_F(FaultInjectionTest, BackoffDelayDoublesAndCaps) {
+  RetryPolicy policy;
+  policy.base_backoff_us = 100;
+  policy.max_backoff_us = 1000;
+  policy.jitter_frac = 0.0;
+  EXPECT_EQ(BackoffDelayUs(policy, 1, nullptr), 100);
+  EXPECT_EQ(BackoffDelayUs(policy, 2, nullptr), 200);
+  EXPECT_EQ(BackoffDelayUs(policy, 3, nullptr), 400);
+  EXPECT_EQ(BackoffDelayUs(policy, 5, nullptr), 1000);   // capped
+  EXPECT_EQ(BackoffDelayUs(policy, 60, nullptr), 1000);  // no overflow blowup
+
+  policy.jitter_frac = 0.25;
+  Rng rng(9);
+  for (int i = 0; i < 50; i++) {
+    const int64_t d = BackoffDelayUs(policy, 1, &rng);
+    EXPECT_GE(d, 75);
+    EXPECT_LE(d, 125);
+  }
+}
+
+TEST_F(FaultInjectionTest, RetryWithBackoffStopsOnSuccess) {
+  RetryPolicy policy;
+  policy.max_attempts = 5;
+  policy.base_backoff_us = 1;  // keep the test fast
+  policy.max_backoff_us = 2;
+
+  uint32_t attempts = 0;
+  int calls = 0;
+  Status s = RetryWithBackoff(
+      policy,
+      [&]() {
+        calls++;
+        return calls < 3 ? Status::IoError("transient") : Status::Ok();
+      },
+      nullptr, &attempts);
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(attempts, 3u);
+
+  // Budget exhaustion surfaces the last error.
+  calls = 0;
+  s = RetryWithBackoff(
+      policy, [&]() { calls++; return Status::IoError("permanent"); }, nullptr,
+      &attempts);
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(calls, 5);
+  EXPECT_EQ(attempts, 5u);
+}
+
+TEST_F(FaultInjectionTest, ThreadPoolTaskFaultSurfacesThroughWaitAll) {
+  auto &fi = FaultInjector::Instance();
+  FaultSpec spec;
+  spec.action = FaultAction::kThrow;
+  spec.max_fires = 1;
+  spec.message = "task killed by injector";
+  fi.Arm(fault_point::kThreadPoolTask, spec);
+
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 8; i++) {
+    pool.Submit([&ran] { ran.fetch_add(1); });
+  }
+  EXPECT_THROW(pool.WaitAll(), InjectedFault);
+  // Exactly one task was replaced by the fault; the rest ran.
+  EXPECT_EQ(ran.load(), 7);
+}
+
+TEST_F(FaultInjectionTest, TxnCommitFaultAbortsAndIsRetrySafe) {
+  auto &fi = FaultInjector::Instance();
+  Database db;
+  db.catalog().CreateTable("t", Schema({{"id", TypeId::kInteger, 0}}));
+  Table *t = db.catalog().GetTable("t");
+
+  FaultSpec spec;
+  spec.max_fires = 1;
+  fi.Arm(fault_point::kTxnCommit, spec);
+
+  // First commit hits the fault: rolled back, nothing visible.
+  {
+    auto txn = db.txn_manager().Begin();
+    t->Insert(txn.get(), {Value::Integer(1)});
+    const Status s = db.txn_manager().Commit(txn.get());
+    EXPECT_FALSE(s.ok());
+    EXPECT_EQ(s.code(), ErrorCode::kAborted);
+  }
+  {
+    auto reader = db.txn_manager().Begin(/*read_only=*/true);
+    EXPECT_EQ(t->VisibleCount(reader->read_ts()), 0u);
+    db.txn_manager().Commit(reader.get());
+  }
+
+  // The retry (fault budget spent) commits cleanly — no duplicate row.
+  {
+    auto txn = db.txn_manager().Begin();
+    t->Insert(txn.get(), {Value::Integer(1)});
+    EXPECT_TRUE(db.txn_manager().Commit(txn.get()).ok());
+  }
+  {
+    auto reader = db.txn_manager().Begin(/*read_only=*/true);
+    EXPECT_EQ(t->VisibleCount(reader->read_ts()), 1u);
+    db.txn_manager().Commit(reader.get());
+  }
+}
+
+}  // namespace
+}  // namespace mb2

@@ -4,6 +4,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <filesystem>
+
+#include "common/fault_injector.h"
 #include "common/rng.h"
 #include "database.h"
 #include "modeling/model_bot.h"
@@ -31,7 +35,10 @@ TEST_P(RegressorRoundTrip, PredictionsSurviveSaveLoad) {
   auto model = CreateRegressor(GetParam());
   model->Fit(x, y);
 
-  const std::string path = "/tmp/mb2_model_roundtrip.bin";
+  // Path is per-algorithm: ctest runs the instantiations as parallel
+  // processes, which must not clobber each other's files.
+  const std::string path = std::string("/tmp/mb2_model_roundtrip_") +
+                           MlAlgorithmName(GetParam()) + ".bin";
   {
     auto writer = BinaryWriter::Open(path);
     ASSERT_TRUE(writer.ok());
@@ -106,10 +113,12 @@ TEST(PersistenceTest, ModelBotSaveLoadPreservesQueryPredictions) {
 
   ModelBot trained(&db.catalog(), &db.estimator(), &db.settings());
   trained.TrainOuModels(records, {MlAlgorithm::kLinear, MlAlgorithm::kRandomForest});
-  ASSERT_TRUE(trained.SaveModels("/tmp").ok());
+  const std::string dir = "/tmp/mb2_bot_roundtrip";
+  std::filesystem::create_directories(dir);
+  ASSERT_TRUE(trained.SaveModels(dir).ok());
 
   ModelBot deployed(&db.catalog(), &db.estimator(), &db.settings());
-  ASSERT_TRUE(deployed.LoadModels("/tmp").ok());
+  ASSERT_TRUE(deployed.LoadModels(dir).ok());
 
   auto scan = std::make_unique<SeqScanPlan>();
   scan->table = "ou_synth_0";
@@ -140,12 +149,166 @@ TEST(PersistenceTest, CorruptAndMissingFilesRejected) {
     EXPECT_FALSE(writer.ok());  // directory absent
   }
   {
-    FILE *f = std::fopen("/tmp/mb2_models.bin", "wb");
+    const std::string dir = "/tmp/mb2_bad_magic";
+    std::filesystem::create_directories(dir);
+    FILE *f = std::fopen((dir + "/mb2_models.bin").c_str(), "wb");
     const uint32_t junk = 0xdeadbeef;
     std::fwrite(&junk, sizeof(junk), 1, f);
     std::fclose(f);
+    EXPECT_FALSE(bot.LoadModels(dir).ok());
   }
-  EXPECT_FALSE(bot.LoadModels("/tmp").ok());
+}
+
+std::vector<OuRecord> SyntheticRecords(OuType type, size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<OuRecord> records;
+  records.reserve(n);
+  for (size_t i = 0; i < n; i++) {
+    const double rows = rng.Uniform(64.0, 8192.0);
+    OuRecord r;
+    r.ou = type;
+    r.features = MakeExecFeatures(rows, 4, 32, rows, 0, 1, 0);
+    r.labels[kLabelElapsedUs] = 0.5 * rows + rng.Uniform(0.0, 2.0);
+    r.labels[kLabelCpuTimeUs] = 0.4 * rows;
+    records.push_back(std::move(r));
+  }
+  return records;
+}
+
+/// Corruption round-trip, once per regressor family: a model file whose
+/// bytes were flipped or whose tail was truncated must fail LoadModels (the
+/// CRC32 footer catches both) and leave the deployed bot serving degraded
+/// fallback predictions, never silently-garbled models.
+class ModelFileCorruption : public ::testing::TestWithParam<MlAlgorithm> {
+ protected:
+  /// Per-algorithm directory: the corruption tests run in parallel under
+  /// ctest and must not clobber each other's files.
+  std::string Dir() const {
+    const std::string dir =
+        std::string("/tmp/mb2_corrupt_") + MlAlgorithmName(GetParam());
+    std::filesystem::create_directories(dir);
+    return dir;
+  }
+};
+
+TEST_P(ModelFileCorruption, FlippedAndTruncatedFilesRejected) {
+  Database db;
+  ModelBot bot(&db.catalog(), &db.estimator(), &db.settings());
+  bot.TrainOuModels(SyntheticRecords(OuType::kSeqScan, 150, 7), {GetParam()});
+  ASSERT_NE(bot.GetOuModel(OuType::kSeqScan), nullptr)
+      << MlAlgorithmName(GetParam());
+
+  const std::string dir = Dir();
+  const std::string path = dir + "/mb2_models.bin";
+  ASSERT_TRUE(bot.SaveModels(dir).ok());
+
+  // Sanity: the pristine file loads.
+  {
+    ModelBot deployed(&db.catalog(), &db.estimator(), &db.settings());
+    ASSERT_TRUE(deployed.LoadModels(dir).ok()) << MlAlgorithmName(GetParam());
+    ASSERT_NE(deployed.GetOuModel(OuType::kSeqScan), nullptr);
+  }
+
+  const auto size = std::filesystem::file_size(path);
+  ASSERT_GT(size, 16u);
+
+  // Flip one byte in the middle of the payload.
+  {
+    FILE *f = std::fopen(path.c_str(), "r+b");
+    ASSERT_NE(f, nullptr);
+    std::fseek(f, static_cast<long>(size / 2), SEEK_SET);
+    const int byte = std::fgetc(f);
+    std::fseek(f, static_cast<long>(size / 2), SEEK_SET);
+    std::fputc(byte ^ 0x5a, f);
+    std::fclose(f);
+  }
+  {
+    ModelBot deployed(&db.catalog(), &db.estimator(), &db.settings());
+    EXPECT_FALSE(deployed.LoadModels(dir).ok()) << MlAlgorithmName(GetParam());
+    EXPECT_EQ(deployed.GetOuModel(OuType::kSeqScan), nullptr);
+  }
+
+  // Rewrite clean, then truncate the tail.
+  ASSERT_TRUE(bot.SaveModels(dir).ok());
+  std::filesystem::resize_file(path, size / 2);
+  {
+    ModelBot deployed(&db.catalog(), &db.estimator(), &db.settings());
+    EXPECT_FALSE(deployed.LoadModels(dir).ok()) << MlAlgorithmName(GetParam());
+    EXPECT_EQ(deployed.GetOuModel(OuType::kSeqScan), nullptr);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Algos, ModelFileCorruption,
+                         ::testing::ValuesIn(AllAlgorithms()));
+
+TEST(PersistenceTest, MissingOuModelServesDegradedFallback) {
+  Database db;
+  db.catalog().CreateTable("t", Schema({{"id", TypeId::kInteger, 0},
+                                        {"v", TypeId::kInteger, 0}}));
+  Table *t = db.catalog().GetTable("t");
+  auto txn = db.txn_manager().Begin();
+  for (int64_t i = 0; i < 64; i++) {
+    t->Insert(txn.get(), {Value::Integer(i), Value::Integer(i * 3)});
+  }
+  db.txn_manager().Commit(txn.get());
+
+  // kSortBuild gets a real model; kSeqScan has too few rows to train, so it
+  // only contributes to the fallback table.
+  auto records = SyntheticRecords(OuType::kSortBuild, 150, 3);
+  auto few = SyntheticRecords(OuType::kSeqScan, 5, 4);
+  records.insert(records.end(), few.begin(), few.end());
+  ModelBot bot(&db.catalog(), &db.estimator(), &db.settings());
+  bot.TrainOuModels(records, {MlAlgorithm::kLinear});
+  EXPECT_EQ(bot.GetOuModel(OuType::kSeqScan), nullptr);
+  ASSERT_TRUE(bot.fallback_labels().count(OuType::kSeqScan));
+
+  auto scan = std::make_unique<SeqScanPlan>();
+  scan->table = "t";
+  PlanPtr plan = FinalizePlan(std::move(scan), db.catalog());
+  db.estimator().Estimate(plan.get());
+
+  const QueryPrediction pred = bot.PredictQuery(*plan);
+  EXPECT_TRUE(pred.degraded);
+  EXPECT_GE(pred.degraded_ous, 1u);
+
+  // The fallback table (and the degraded behavior) survives save/load.
+  const std::string dir = "/tmp/mb2_degraded_fallback";
+  std::filesystem::create_directories(dir);
+  ASSERT_TRUE(bot.SaveModels(dir).ok());
+  ModelBot deployed(&db.catalog(), &db.estimator(), &db.settings());
+  ASSERT_TRUE(deployed.LoadModels(dir).ok());
+  ASSERT_TRUE(deployed.fallback_labels().count(OuType::kSeqScan));
+  const QueryPrediction redeployed = deployed.PredictQuery(*plan);
+  EXPECT_TRUE(redeployed.degraded);
+  for (size_t j = 0; j < kNumLabels; j++) {
+    EXPECT_DOUBLE_EQ(redeployed.total[j], pred.total[j]);
+  }
+}
+
+TEST(PersistenceTest, SaveIsCrashAtomic) {
+  // A save that "crashes" (injected torn write on the temp file) must leave
+  // a previously deployed model file untouched and loadable.
+  Database db;
+  ModelBot bot(&db.catalog(), &db.estimator(), &db.settings());
+  bot.TrainOuModels(SyntheticRecords(OuType::kSeqScan, 150, 7),
+                    {MlAlgorithm::kLinear});
+  const std::string dir = "/tmp/mb2_atomic_save";
+  std::filesystem::create_directories(dir);
+  ASSERT_TRUE(bot.SaveModels(dir).ok());
+
+  auto &fi = FaultInjector::Instance();
+  fi.Reset();
+  FaultSpec spec;
+  spec.action = FaultAction::kTornWrite;
+  spec.torn_fraction = 0.4;
+  spec.max_fires = 1;
+  fi.Arm(fault_point::kPersistenceWrite, spec);
+  EXPECT_FALSE(bot.SaveModels(dir).ok());
+  fi.Reset();
+
+  ModelBot deployed(&db.catalog(), &db.estimator(), &db.settings());
+  EXPECT_TRUE(deployed.LoadModels(dir).ok());
+  EXPECT_NE(deployed.GetOuModel(OuType::kSeqScan), nullptr);
 }
 
 TEST(PersistenceTest, InterferenceModelRoundTrip) {
