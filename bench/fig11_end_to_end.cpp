@@ -262,6 +262,17 @@ int main(int argc, char **argv) {
   }
   db.catalog().DropIndex(TpccWorkload::kCustomerLastIndex);
 
+  {
+    // Serving-layer OU-prediction cache over every Predict* call above.
+    Section cache("OU-prediction cache (serving layer)");
+    const PredictionCacheStats cs = bot.ou_cache_stats();
+    PrintKv("cache hits", std::to_string(cs.hits));
+    PrintKv("cache misses", std::to_string(cs.misses));
+    PrintKv("cache evictions", std::to_string(cs.evictions));
+    PrintKv("cache entries", std::to_string(cs.entries));
+    PrintKv("cache hit rate", Fmt(cs.HitRate() * 100.0) + " %");
+  }
+
   std::printf("\nPaper shape: knob change predicted ~38%% / measured ~30%% "
               "reduction; build with 8 threads predicted within ~5%%, with 4 "
               "threads underestimated ~27%%; TPC-C ~60-73%% faster with the "

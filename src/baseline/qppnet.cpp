@@ -103,21 +103,21 @@ void QppNet::Forward(const PlanNode &node, NodeState *state) const {
     state->output = child_sum;
     return;
   }
-  for (size_t h = 0; h < kHiddenDim; h++) {
-    double sum = unit->b1[h];
-    const double *w = unit->w1.data() + h * kInDim;
-    for (size_t i = 0; i < kInDim; i++) sum += w[i] * state->input[i];
-    state->hidden[h] = sum > 0.0 ? sum : 0.0;
-  }
-  for (size_t o = 0; o < kOutputDim; o++) {
-    double sum = unit->b2[o];
-    const double *w = unit->w2.data() + o * kHiddenDim;
-    for (size_t h = 0; h < kHiddenDim; h++) sum += w[h] * state->hidden[h];
-    // Linear outputs: a ReLU here creates dead units at the root (the loss
-    // gradient vanishes whenever the prediction starts negative). Final
-    // predictions are clamped non-negative in PredictUs instead.
-    state->output[o] = sum;
-  }
+  // Dense layers via the shared transpose-B GEMM kernel (n = 1): bias-first
+  // init plus ascending accumulation reproduces the hand-rolled loops bit
+  // for bit.
+  state->hidden = unit->b1;
+  GemmTransposeBKernel(state->input.data(), unit->w1.data(),
+                       state->hidden.data(), 1, kInDim, kHiddenDim,
+                       /*accumulate=*/true);
+  for (double &h : state->hidden) h = h > 0.0 ? h : 0.0;
+  // Linear outputs: a ReLU here creates dead units at the root (the loss
+  // gradient vanishes whenever the prediction starts negative). Final
+  // predictions are clamped non-negative in PredictUs instead.
+  state->output = unit->b2;
+  GemmTransposeBKernel(state->hidden.data(), unit->w2.data(),
+                       state->output.data(), 1, kHiddenDim, kOutputDim,
+                       /*accumulate=*/true);
 }
 
 void QppNet::Backward(const NodeState &state, const std::vector<double> &dout,

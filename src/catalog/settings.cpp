@@ -12,6 +12,9 @@ SettingsManager::SettingsManager() {
   // Fault-injection knob for the software-update study (Sec 8.5 / Fig 9a):
   // sleep 1µs every N tuples inserted into a join hash table. 0 disables.
   knobs_["jht_sleep_every_n"] = {0.0, KnobKind::kBehavior};
+  // Serving-layer memoization: per-OU-type LRU capacity of the OU-prediction
+  // cache (entries). 0 disables caching entirely.
+  knobs_["ou_cache_capacity"] = {4096.0, KnobKind::kResource};
 }
 
 int64_t SettingsManager::GetInt(const std::string &name) const {

@@ -46,6 +46,7 @@ class SettingsManager {
   ///   index_build_threads     parallel index-build degree       (behavior)
   ///   working_mem_limit_bytes per-query memory budget           (resource)
   ///   simulated_cpu_freq_ghz  hardware-context simulation knob  (behavior)
+  ///   ou_cache_capacity       OU-prediction cache entries/type  (resource)
 
  private:
   struct Knob {

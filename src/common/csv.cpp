@@ -88,4 +88,63 @@ Result<CsvData> ReadCsv(const std::string &path) {
   return data;
 }
 
+Result<CsvMatrix> ReadCsvMatrix(const std::string &path) {
+  FILE *f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) return Status::IoError("cannot open " + path);
+  CsvMatrix data;
+  char line[1 << 16];
+
+  // Pass 1: header + data-line count, so the matrix reserves exactly once.
+  size_t n_lines = 0;
+  bool first = true;
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    size_t len = std::strlen(line);
+    while (len > 0 && (line[len - 1] == '\n' || line[len - 1] == '\r')) line[--len] = '\0';
+    if (len == 0) continue;
+    if (first) {
+      first = false;
+      char *start = line;
+      for (size_t i = 0; i <= len; i++) {
+        if (line[i] == ',' || line[i] == '\0') {
+          data.header.emplace_back(start, line + i);
+          start = line + i + 1;
+        }
+      }
+      continue;
+    }
+    n_lines++;
+  }
+
+  const size_t width = data.header.size();
+  data.values.Reserve(n_lines, width);
+  std::vector<double> row(width, 0.0);
+
+  // Pass 2: parse rows straight into the reserved matrix.
+  std::rewind(f);
+  first = true;
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    size_t len = std::strlen(line);
+    while (len > 0 && (line[len - 1] == '\n' || line[len - 1] == '\r')) line[--len] = '\0';
+    if (len == 0) continue;
+    if (first) {
+      first = false;  // header already parsed in pass 1
+      continue;
+    }
+    size_t n_fields = 0;
+    const char *p = line;
+    char *end = nullptr;
+    for (;;) {
+      const double v = std::strtod(p, &end);
+      if (n_fields < width) row[n_fields] = v;
+      n_fields++;
+      if (*end != ',') break;
+      p = end + 1;
+    }
+    if (n_fields != width) continue;  // ragged row: no place in the matrix
+    data.values.AppendRow(row.data(), width);
+  }
+  std::fclose(f);
+  return data;
+}
+
 }  // namespace mb2

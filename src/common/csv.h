@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "ml/matrix.h"
 
 namespace mb2 {
 
@@ -42,5 +43,16 @@ struct CsvData {
 
 /// Reads an entire numeric CSV file into memory.
 Result<CsvData> ReadCsv(const std::string &path);
+
+struct CsvMatrix {
+  std::vector<std::string> header;
+  Matrix values;  ///< one row per data line, header-width columns
+};
+
+/// Reads a numeric CSV straight into a pre-reserved Matrix: one pass counts
+/// lines so the matrix reserves its exact final size, a second pass parses
+/// into it — no per-row heap vectors. Rows whose field count differs from
+/// the header width are skipped (they would be ragged in the matrix).
+Result<CsvMatrix> ReadCsvMatrix(const std::string &path);
 
 }  // namespace mb2

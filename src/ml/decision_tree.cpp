@@ -5,12 +5,6 @@
 
 namespace mb2 {
 
-uint64_t DecisionTree::NumLeafValueBytes() const {
-  uint64_t bytes = 0;
-  for (const auto &n : nodes_) bytes += n.leaf.size() * sizeof(double);
-  return bytes;
-}
-
 void DecisionTree::Fit(const Matrix &x, const Matrix &y) {
   std::vector<size_t> rows(x.rows());
   for (size_t i = 0; i < rows.size(); i++) rows[i] = i;
@@ -20,7 +14,9 @@ void DecisionTree::Fit(const Matrix &x, const Matrix &y) {
 void DecisionTree::FitRows(const Matrix &x, const Matrix &y,
                            const std::vector<size_t> &rows) {
   nodes_.clear();
+  leaf_values_.clear();
   const size_t k = y.cols();
+  leaf_width_ = k;
   // Per-output scaling so the split criterion is scale-free.
   output_scale_.assign(k, 1.0);
   for (size_t j = 0; j < k; j++) {
@@ -38,14 +34,15 @@ void DecisionTree::FitRows(const Matrix &x, const Matrix &y,
   Build(x, y, &mutable_rows, 0);
 }
 
-std::vector<double> DecisionTree::MeanOf(const Matrix &y,
-                                         const std::vector<size_t> &rows) const {
+int32_t DecisionTree::MakeLeaf(const Matrix &y, const std::vector<size_t> &rows) {
+  const int32_t offset = static_cast<int32_t>(leaf_values_.size());
   std::vector<double> mean(y.cols(), 0.0);
   for (size_t r : rows) {
     for (size_t j = 0; j < y.cols(); j++) mean[j] += y.At(r, j);
   }
   for (auto &m : mean) m /= std::max<size_t>(rows.size(), 1);
-  return mean;
+  leaf_values_.insert(leaf_values_.end(), mean.begin(), mean.end());
+  return offset;
 }
 
 int32_t DecisionTree::Build(const Matrix &x, const Matrix &y,
@@ -57,7 +54,7 @@ int32_t DecisionTree::Build(const Matrix &x, const Matrix &y,
   nodes_.emplace_back();
 
   if (depth >= params_.max_depth || n < 2 * params_.min_samples_leaf) {
-    nodes_[node_id].leaf = MeanOf(y, *rows);
+    nodes_[node_id].leaf_offset = MakeLeaf(y, *rows);
     return node_id;
   }
 
@@ -139,7 +136,7 @@ int32_t DecisionTree::Build(const Matrix &x, const Matrix &y,
   }
 
   if (best_feature < 0) {
-    nodes_[node_id].leaf = MeanOf(y, *rows);
+    nodes_[node_id].leaf_offset = MakeLeaf(y, *rows);
     return node_id;
   }
 
@@ -165,14 +162,47 @@ int32_t DecisionTree::Build(const Matrix &x, const Matrix &y,
   return node_id;
 }
 
-std::vector<double> DecisionTree::Predict(const std::vector<double> &x) const {
-  MB2_ASSERT(!nodes_.empty(), "predict before fit");
+const double *DecisionTree::FindLeaf(const double *row) const {
   int32_t id = 0;
   for (;;) {
-    const Node &node = nodes_[id];
-    if (node.feature < 0) return node.leaf;
-    id = x[static_cast<size_t>(node.feature)] <= node.threshold ? node.left
-                                                                : node.right;
+    const Node &node = nodes_[static_cast<size_t>(id)];
+    if (node.feature < 0) {
+      return leaf_values_.data() + node.leaf_offset;
+    }
+    id = row[static_cast<size_t>(node.feature)] <= node.threshold ? node.left
+                                                                  : node.right;
+  }
+}
+
+std::vector<double> DecisionTree::Predict(const std::vector<double> &x) const {
+  MB2_ASSERT(!nodes_.empty(), "predict before fit");
+  const double *leaf = FindLeaf(x.data());
+  return std::vector<double>(leaf, leaf + leaf_width_);
+}
+
+void DecisionTree::PredictBatch(const Matrix &x, Matrix *out) const {
+  const size_t n = x.rows(), k = leaf_width_;
+  out->Resize(n, k);
+  if (n == 0) return;
+  MB2_ASSERT(!nodes_.empty(), "predict before fit");
+  for (size_t r = 0; r < n; r++) {
+    const double *leaf = FindLeaf(x.RowPtr(r));
+    double *row = out->RowPtr(r);
+    for (size_t j = 0; j < k; j++) row[j] = leaf[j];
+  }
+}
+
+void DecisionTree::AccumulatePredictions(const Matrix &x, double scale,
+                                         Matrix *out) const {
+  const size_t n = x.rows(), k = leaf_width_;
+  if (n == 0) return;
+  MB2_ASSERT(!nodes_.empty(), "predict before fit");
+  MB2_ASSERT(out->rows() == n && out->cols() == k,
+             "accumulate shape mismatch");
+  for (size_t r = 0; r < n; r++) {
+    const double *leaf = FindLeaf(x.RowPtr(r));
+    double *row = out->RowPtr(r);
+    for (size_t j = 0; j < k; j++) row[j] += scale * leaf[j];
   }
 }
 

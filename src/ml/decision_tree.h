@@ -28,33 +28,46 @@ class DecisionTree : public Regressor {
   void FitRows(const Matrix &x, const Matrix &y, const std::vector<size_t> &rows);
 
   std::vector<double> Predict(const std::vector<double> &x) const override;
+  void PredictBatch(const Matrix &x, Matrix *out) const override;
+  /// Adds scale × leaf(row) into *out (n × leaf_width) for every row of x.
+  /// Lets the ensembles fold trees into one output buffer without
+  /// materializing per-tree prediction matrices.
+  void AccumulatePredictions(const Matrix &x, double scale, Matrix *out) const;
+
   MlAlgorithm algorithm() const override { return MlAlgorithm::kRandomForest; }
   uint64_t SerializedBytes() const override {
-    return nodes_.size() * (sizeof(Node) - sizeof(std::vector<double>)) +
-           NumLeafValueBytes() + 64;
+    return nodes_.size() * sizeof(Node) + NumLeafValueBytes() + 64;
   }
 
   void Save(BinaryWriter *writer) const override;
   void LoadFrom(BinaryReader *reader) override;
 
   size_t NumNodes() const { return nodes_.size(); }
+  size_t leaf_width() const { return leaf_width_; }
 
  private:
+  /// Flattened node: leaves index into the contiguous leaf_values_ pool
+  /// instead of owning a heap vector, so batch traversal stays in-cache.
   struct Node {
     int32_t feature = -1;  ///< -1 = leaf
     double threshold = 0.0;
     int32_t left = -1, right = -1;
-    std::vector<double> leaf;  ///< mean target vector (leaves only)
+    int32_t leaf_offset = -1;  ///< element offset into leaf_values_ (leaves)
   };
 
-  uint64_t NumLeafValueBytes() const;
+  uint64_t NumLeafValueBytes() const { return leaf_values_.size() * sizeof(double); }
   int32_t Build(const Matrix &x, const Matrix &y, std::vector<size_t> *rows,
                 uint32_t depth);
-  std::vector<double> MeanOf(const Matrix &y, const std::vector<size_t> &rows) const;
+  /// Appends the mean target vector of rows to leaf_values_; returns its offset.
+  int32_t MakeLeaf(const Matrix &y, const std::vector<size_t> &rows);
+  /// Iterative root-to-leaf walk; returns the leaf payload pointer.
+  const double *FindLeaf(const double *row) const;
 
   TreeParams params_;
   Rng rng_;
   std::vector<Node> nodes_;
+  std::vector<double> leaf_values_;  ///< contiguous pool, leaf_width_ per leaf
+  size_t leaf_width_ = 0;            ///< values per leaf (= y.cols() at fit)
   std::vector<double> output_scale_;  ///< 1/var per output for split scoring
 };
 

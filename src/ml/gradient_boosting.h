@@ -25,6 +25,7 @@ class GradientBoosting : public Regressor {
 
   void Fit(const Matrix &x, const Matrix &y) override;
   std::vector<double> Predict(const std::vector<double> &x) const override;
+  void PredictBatch(const Matrix &x, Matrix *out) const override;
   MlAlgorithm algorithm() const override { return MlAlgorithm::kGradientBoosting; }
   uint64_t SerializedBytes() const override;
   void Save(BinaryWriter *writer) const override;

@@ -15,6 +15,7 @@ class HuberRegression : public Regressor {
 
   void Fit(const Matrix &x, const Matrix &y) override;
   std::vector<double> Predict(const std::vector<double> &x) const override;
+  void PredictBatch(const Matrix &x, Matrix *out) const override;
   MlAlgorithm algorithm() const override { return MlAlgorithm::kHuber; }
   uint64_t SerializedBytes() const override {
     return weights_.rows() * weights_.cols() * sizeof(double) + 64;

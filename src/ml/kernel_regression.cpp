@@ -1,5 +1,6 @@
 #include "ml/kernel_regression.h"
 
+#include <algorithm>
 #include <cmath>
 
 namespace mb2 {
@@ -15,6 +16,16 @@ void KernelRegression::Fit(const Matrix &x, const Matrix &y) {
   }
   x_ = x_std_.TransformAll(x).SelectRows(idx);
   y_ = y.SelectRows(idx);
+  BuildSupportColumns();
+}
+
+void KernelRegression::BuildSupportColumns() {
+  const size_t ns = x_.rows(), d = x_.cols();
+  xt_.resize(ns * d);
+  for (size_t r = 0; r < ns; r++) {
+    const double *row = x_.RowPtr(r);
+    for (size_t c = 0; c < d; c++) xt_[c * ns + r] = row[c];
+  }
 }
 
 std::vector<double> KernelRegression::Predict(const std::vector<double> &x) const {
@@ -39,13 +50,78 @@ std::vector<double> KernelRegression::Predict(const std::vector<double> &x) cons
       best_dist = dist2;
       best_row = r;
     }
-    const double w = std::exp(-dist2 * inv_2h2);
+    // FastExp (not std::exp) so the batched path's vectorized weight loop
+    // produces the same bits — see GaussianKernelRow.
+    const double w = FastExp(-dist2 * inv_2h2);
     weight_sum += w;
     for (size_t j = 0; j < k; j++) out[j] += w * y_.At(r, j);
   }
   if (weight_sum < 1e-30) return y_.Row(best_row);  // far from all data: 1-NN
   for (size_t j = 0; j < k; j++) out[j] /= weight_sum;
   return out;
+}
+
+void KernelRegression::PredictBatch(const Matrix &x, Matrix *out) const {
+  const size_t nq = x.rows(), ns = x_.rows(), d = x_.cols(), k = y_.cols();
+  out->Resize(nq, k);
+  if (nq == 0) return;
+  if (ns == 0) {
+    for (size_t r = 0; r < nq; r++) {
+      double *row = out->RowPtr(r);
+      for (size_t j = 0; j < k; j++) row[j] = 0.0;
+    }
+    return;
+  }
+  MB2_ASSERT(x.cols() == d, "feature width mismatch");
+
+  Matrix q;
+  x_std_.TransformAllInto(x, &q);
+  const double inv_2h2 = 1.0 / (2.0 * bandwidth_ * bandwidth_ *
+                                static_cast<double>(d));
+
+  // Process queries in blocks: materialize the kernel-weight tile (block × ns)
+  // via GaussianKernelRow — vectorized across supports, but accumulating each
+  // distance in ascending feature order and calling the same FastExp as the
+  // single-row scan, so the weights match it bit for bit — then fold the tile
+  // against y_ with one GEMM per block.
+  constexpr size_t kQueryBlock = 64;
+  std::vector<double> wbuf(std::min(kQueryBlock, nq) * ns);
+  std::vector<double> dist2(ns);
+  std::vector<double> wsum(kQueryBlock);
+  std::vector<size_t> best(kQueryBlock);
+  MB2_ASSERT(xt_.size() == ns * d, "support columns not built");
+  for (size_t q0 = 0; q0 < nq; q0 += kQueryBlock) {
+    const size_t qb = std::min(kQueryBlock, nq - q0);
+    for (size_t qi = 0; qi < qb; qi++) {
+      const double *qrow = q.RowPtr(q0 + qi);
+      double *wrow = wbuf.data() + qi * ns;
+      GaussianKernelRow(xt_.data(), ns, d, qrow, inv_2h2, dist2.data(), wrow);
+      // Ascending scans: same accumulation order and same strict-< tie
+      // breaking as the single-row loop.
+      double weight_sum = 0.0, best_dist = 1e300;
+      size_t best_row = 0;
+      for (size_t r = 0; r < ns; r++) {
+        if (dist2[r] < best_dist) {
+          best_dist = dist2[r];
+          best_row = r;
+        }
+        weight_sum += wrow[r];
+      }
+      wsum[qi] = weight_sum;
+      best[qi] = best_row;
+    }
+    GemmKernel(wbuf.data(), y_.RowPtr(0), out->RowPtr(q0), qb, ns, k,
+               /*accumulate=*/false);
+    for (size_t qi = 0; qi < qb; qi++) {
+      double *orow = out->RowPtr(q0 + qi);
+      if (wsum[qi] < 1e-30) {
+        const double *yrow = y_.RowPtr(best[qi]);
+        for (size_t j = 0; j < k; j++) orow[j] = yrow[j];
+      } else {
+        for (size_t j = 0; j < k; j++) orow[j] /= wsum[qi];
+      }
+    }
+  }
 }
 
 }  // namespace mb2

@@ -18,6 +18,7 @@ class KernelRegression : public Regressor {
 
   void Fit(const Matrix &x, const Matrix &y) override;
   std::vector<double> Predict(const std::vector<double> &x) const override;
+  void PredictBatch(const Matrix &x, Matrix *out) const override;
   MlAlgorithm algorithm() const override { return MlAlgorithm::kKernel; }
   uint64_t SerializedBytes() const override {
     return (x_.rows() * x_.cols() + y_.rows() * y_.cols()) * sizeof(double) + 64;
@@ -27,11 +28,17 @@ class KernelRegression : public Regressor {
   void LoadFrom(BinaryReader *reader) override;
 
  private:
+  /// Rebuilds xt_ (the d × ns column-major copy of x_); called after Fit and
+  /// LoadFrom so PredictBatch's distance/weight loops vectorize across
+  /// supports.
+  void BuildSupportColumns();
+
   double bandwidth_;
   size_t max_points_;
   Rng rng_;
   Standardizer x_std_;
-  Matrix x_, y_;  ///< retained (standardized) training points
+  Matrix x_, y_;            ///< retained (standardized) training points
+  std::vector<double> xt_;  ///< x_ transposed: feature c of support r at [c*ns+r]
 };
 
 }  // namespace mb2

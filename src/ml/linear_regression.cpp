@@ -52,4 +52,21 @@ std::vector<double> LinearRegression::Predict(const std::vector<double> &x) cons
   return out;
 }
 
+void LinearRegression::PredictBatch(const Matrix &x, Matrix *out) const {
+  const size_t n = x.rows(), k = weights_.cols();
+  const size_t d = weights_.rows() == 0 ? 0 : weights_.rows() - 1;
+  out->Resize(n, k);
+  if (n == 0 || k == 0) return;
+  MB2_ASSERT(x.cols() == d, "feature width mismatch");
+  Matrix xs;
+  x_std_.TransformAllInto(x, &xs);
+  // Bias first, then the features in ascending order — the same summation
+  // order as the row-at-a-time Predict, one GEMM for the whole batch.
+  const double *bias = weights_.RowPtr(d);
+  for (size_t r = 0; r < n; r++) {
+    std::memcpy(out->RowPtr(r), bias, k * sizeof(double));
+  }
+  Gemm(xs, weights_, out, /*accumulate=*/true, /*b_rows=*/d);
+}
+
 }  // namespace mb2

@@ -77,12 +77,14 @@ std::vector<double> PerOutputRelativeError(const Regressor &model,
   const size_t k = y.cols();
   std::vector<double> sums(k, 0.0);
   std::vector<size_t> counts(k, 0);
+  Matrix pred;
+  model.PredictBatch(x, &pred);
   for (size_t r = 0; r < x.rows(); r++) {
-    const std::vector<double> pred = model.Predict(x.Row(r));
+    const double *prow = pred.RowPtr(r);
     for (size_t j = 0; j < k; j++) {
       const double actual = y.At(r, j);
       if (std::fabs(actual) < 1e-9) continue;
-      sums[j] += std::fabs(actual - pred[j]) / std::fabs(actual);
+      sums[j] += std::fabs(actual - prow[j]) / std::fabs(actual);
       counts[j]++;
     }
   }

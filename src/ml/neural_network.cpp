@@ -1,6 +1,8 @@
 #include "ml/neural_network.h"
 
 #include <cmath>
+#include <cstring>
+#include <utility>
 
 namespace mb2 {
 
@@ -26,6 +28,23 @@ void NeuralNetwork::Forward(const std::vector<double> &x,
       out[o] = (l + 1 < layers_.size() && sum < 0.0) ? 0.0 : sum;
     }
     activations->push_back(std::move(out));
+  }
+}
+
+void NeuralNetwork::BuildBatchWeights() {
+  for (Layer &layer : layers_) {
+    if (layer.w.size() != layer.in * layer.out) {
+      // Corrupt load (the reader flags it separately); leave wt empty rather
+      // than index out of bounds.
+      layer.wt.clear();
+      continue;
+    }
+    layer.wt.resize(layer.in * layer.out);
+    for (size_t o = 0; o < layer.out; o++) {
+      for (size_t i = 0; i < layer.in; i++) {
+        layer.wt[i * layer.out + o] = layer.w[o * layer.in + i];
+      }
+    }
   }
 }
 
@@ -55,7 +74,10 @@ void NeuralNetwork::Fit(const Matrix &x, const Matrix &y) {
     layer.vb.assign(layer.out, 0.0);
     layers_.push_back(std::move(layer));
   }
-  if (n == 0) return;
+  if (n == 0) {
+    BuildBatchWeights();
+    return;
+  }
 
   std::vector<size_t> order(n);
   for (size_t i = 0; i < n; i++) order[i] = i;
@@ -139,12 +161,53 @@ void NeuralNetwork::Fit(const Matrix &x, const Matrix &y) {
       }
     }
   }
+  BuildBatchWeights();
 }
 
 std::vector<double> NeuralNetwork::Predict(const std::vector<double> &x) const {
   std::vector<std::vector<double>> activations;
   Forward(x_std_.Transform(x), &activations);
   return y_std_.InverseTransform(activations.back());
+}
+
+void NeuralNetwork::PredictBatch(const Matrix &x, Matrix *out) const {
+  const size_t n = x.rows();
+  if (layers_.empty()) {
+    // Un-fitted network: Forward is the identity on the standardized input.
+    x_std_.TransformAllInto(x, out);
+    y_std_.InverseTransformInPlace(out);
+    return;
+  }
+  const size_t k = layers_.back().out;
+  out->Resize(n, k);
+  if (n == 0) return;
+
+  // Ping-pong activation buffers: each layer is one bias-init plus one
+  // matrix-matrix multiply against the transposed (in × out) weight copy —
+  // the layout whose inner loop runs across output neurons, which is the
+  // vectorizable direction. The kernel starts each element from the bias and
+  // accumulates inputs in ascending order — the same summation order as
+  // Forward's per-row loop, so the bits match exactly.
+  Matrix cur, next;
+  x_std_.TransformAllInto(x, &cur);
+  for (size_t l = 0; l < layers_.size(); l++) {
+    const Layer &layer = layers_[l];
+    MB2_ASSERT(cur.cols() == layer.in, "layer input width mismatch");
+    MB2_ASSERT(layer.wt.size() == layer.w.size(), "batch weights not built");
+    Matrix *dst = (l + 1 == layers_.size()) ? out : &next;
+    dst->Resize(n, layer.out);
+    for (size_t r = 0; r < n; r++) {
+      std::memcpy(dst->RowPtr(r), layer.b.data(),
+                  layer.out * sizeof(double));
+    }
+    GemmKernel(cur.RowPtr(0), layer.wt.data(), dst->RowPtr(0), n, layer.in,
+               layer.out, /*accumulate=*/true);
+    if (l + 1 < layers_.size()) {
+      ReluInPlace(dst->RowPtr(0), n * layer.out);
+      std::swap(cur, next);
+    }
+  }
+  y_std_.InverseTransformInPlace(out);
 }
 
 uint64_t NeuralNetwork::SerializedBytes() const {

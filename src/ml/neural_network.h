@@ -21,6 +21,7 @@ class NeuralNetwork : public Regressor {
 
   void Fit(const Matrix &x, const Matrix &y) override;
   std::vector<double> Predict(const std::vector<double> &x) const override;
+  void PredictBatch(const Matrix &x, Matrix *out) const override;
   MlAlgorithm algorithm() const override { return MlAlgorithm::kNeuralNetwork; }
   uint64_t SerializedBytes() const override;
   void Save(BinaryWriter *writer) const override;
@@ -30,14 +31,18 @@ class NeuralNetwork : public Regressor {
  private:
   struct Layer {
     size_t in = 0, out = 0;
-    std::vector<double> w;  // out × in
-    std::vector<double> b;  // out
+    std::vector<double> w;   // out × in
+    std::vector<double> b;   // out
+    std::vector<double> wt;  // in × out transposed copy for the batched path
     // Adam state
     std::vector<double> mw, vw, mb, vb;
   };
 
   void Forward(const std::vector<double> &x,
                std::vector<std::vector<double>> *activations) const;
+  /// Rebuilds each layer's `wt` from `w`; called after Fit and LoadFrom so
+  /// PredictBatch can use the column-contiguous (vectorizable) GEMM kernel.
+  void BuildBatchWeights();
 
   std::vector<size_t> hidden_;
   uint32_t epochs_;

@@ -117,34 +117,82 @@ void KernelRegression::LoadFrom(BinaryReader *reader) {
   x_std_ = LoadStandardizer(reader);
   x_ = LoadMatrix(reader);
   y_ = LoadMatrix(reader);
+  BuildSupportColumns();
 }
 
 // --- Decision tree ----------------------------------------------------------------
 
+namespace {
+// High bit on the node count marks the flattened-leaf format. Legacy counts
+// were always rejected above 1<<28, so the flag can never collide with a
+// valid old-format header.
+constexpr uint64_t kFlatTreeFormatFlag = 1ull << 63;
+}  // namespace
+
 void DecisionTree::Save(BinaryWriter *writer) const {
-  writer->Put<uint64_t>(nodes_.size());
+  writer->Put<uint64_t>(nodes_.size() | kFlatTreeFormatFlag);
   for (const Node &node : nodes_) {
     writer->Put<int32_t>(node.feature);
     writer->Put<double>(node.threshold);
     writer->Put<int32_t>(node.left);
     writer->Put<int32_t>(node.right);
-    writer->PutDoubles(node.leaf);
+    writer->Put<int32_t>(node.leaf_offset);
   }
+  writer->Put<uint64_t>(leaf_width_);
+  writer->PutDoubles(leaf_values_);
 }
 
 void DecisionTree::LoadFrom(BinaryReader *reader) {
-  const uint64_t n = reader->Get<uint64_t>();
+  const uint64_t header = reader->Get<uint64_t>();
+  const bool flat = (header & kFlatTreeFormatFlag) != 0;
+  const uint64_t n = header & ~kFlatTreeFormatFlag;
   if (!reader->ok() || n > (1ull << 28)) return;
   nodes_.clear();
   nodes_.reserve(n);
+  leaf_values_.clear();
+  leaf_width_ = 0;
+  if (flat) {
+    for (uint64_t i = 0; i < n && reader->ok(); i++) {
+      Node node;
+      node.feature = reader->Get<int32_t>();
+      node.threshold = reader->Get<double>();
+      node.left = reader->Get<int32_t>();
+      node.right = reader->Get<int32_t>();
+      node.leaf_offset = reader->Get<int32_t>();
+      nodes_.push_back(node);
+    }
+    leaf_width_ = reader->Get<uint64_t>();
+    leaf_values_ = reader->GetDoubles();
+    // Validate every leaf offset against the pool so a corrupt payload can't
+    // produce out-of-bounds reads at predict time.
+    for (const Node &node : nodes_) {
+      if (node.feature >= 0) continue;
+      if (node.leaf_offset < 0 ||
+          static_cast<uint64_t>(node.leaf_offset) + leaf_width_ >
+              leaf_values_.size()) {
+        reader->MarkCorrupt();
+        return;
+      }
+    }
+    return;
+  }
+  // Legacy format: each node carried its own leaf vector. Fold the vectors
+  // into the contiguous pool on the way in.
   for (uint64_t i = 0; i < n && reader->ok(); i++) {
     Node node;
     node.feature = reader->Get<int32_t>();
     node.threshold = reader->Get<double>();
     node.left = reader->Get<int32_t>();
     node.right = reader->Get<int32_t>();
-    node.leaf = reader->GetDoubles();
-    nodes_.push_back(std::move(node));
+    const std::vector<double> leaf = reader->GetDoubles();
+    if (!leaf.empty()) {
+      node.leaf_offset = static_cast<int32_t>(leaf_values_.size());
+      leaf_values_.insert(leaf_values_.end(), leaf.begin(), leaf.end());
+      leaf_width_ = leaf.size();
+    } else if (node.feature < 0) {
+      node.leaf_offset = 0;  // zero-width leaf (degenerate 0-output tree)
+    }
+    nodes_.push_back(node);
   }
 }
 
@@ -211,6 +259,7 @@ void NeuralNetwork::LoadFrom(BinaryReader *reader) {
     layer.b = reader->GetDoubles();
     layers_.push_back(std::move(layer));
   }
+  BuildBatchWeights();
 }
 
 }  // namespace mb2

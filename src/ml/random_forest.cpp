@@ -27,6 +27,22 @@ std::vector<double> RandomForest::Predict(const std::vector<double> &x) const {
   return out;
 }
 
+void RandomForest::PredictBatch(const Matrix &x, Matrix *out) const {
+  MB2_ASSERT(!trees_.empty(), "predict before fit");
+  // Tree 0 fills the buffer, the rest accumulate into it — the same
+  // per-element summation order as the single-row path.
+  trees_[0]->PredictBatch(x, out);
+  for (size_t t = 1; t < trees_.size(); t++) {
+    trees_[t]->AccumulatePredictions(x, 1.0, out);
+  }
+  const size_t n = out->rows(), k = out->cols();
+  const double inv = static_cast<double>(trees_.size());
+  for (size_t r = 0; r < n; r++) {
+    double *row = out->RowPtr(r);
+    for (size_t j = 0; j < k; j++) row[j] /= inv;
+  }
+}
+
 uint64_t RandomForest::SerializedBytes() const {
   uint64_t bytes = 64;
   for (const auto &t : trees_) bytes += t->SerializedBytes();

@@ -26,6 +26,7 @@ class RandomForest : public Regressor {
 
   void Fit(const Matrix &x, const Matrix &y) override;
   std::vector<double> Predict(const std::vector<double> &x) const override;
+  void PredictBatch(const Matrix &x, Matrix *out) const override;
   MlAlgorithm algorithm() const override { return MlAlgorithm::kRandomForest; }
   uint64_t SerializedBytes() const override;
   void Save(BinaryWriter *writer) const override;

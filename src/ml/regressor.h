@@ -36,9 +36,16 @@ class Regressor {
   /// Predicts the k-vector of targets for one feature row.
   virtual std::vector<double> Predict(const std::vector<double> &x) const = 0;
 
+  /// Batched prediction: resizes *out to x.rows() × k and fills row r with
+  /// Predict(x.Row(r)). Every implementation is required to be bit-identical
+  /// to the row-at-a-time path (same summation order within each row) —
+  /// batching changes throughput, never results. Handles 0-row batches.
+  virtual void PredictBatch(const Matrix &x, Matrix *out) const = 0;
+
+  /// Convenience wrapper over PredictBatch with a pre-sized output.
   Matrix PredictAll(const Matrix &x) const {
     Matrix out;
-    for (size_t r = 0; r < x.rows(); r++) out.AppendRow(Predict(x.Row(r)));
+    PredictBatch(x, &out);
     return out;
   }
 

@@ -60,4 +60,20 @@ std::vector<double> SupportVectorRegression::Predict(
   return y_std_.InverseTransform(out);
 }
 
+void SupportVectorRegression::PredictBatch(const Matrix &x, Matrix *out) const {
+  const size_t n = x.rows(), k = weights_.cols();
+  const size_t d = weights_.rows() == 0 ? 0 : weights_.rows() - 1;
+  out->Resize(n, k);
+  if (n == 0 || k == 0) return;
+  MB2_ASSERT(x.cols() == d, "feature width mismatch");
+  Matrix xs;
+  x_std_.TransformAllInto(x, &xs);
+  const double *bias = weights_.RowPtr(d);
+  for (size_t r = 0; r < n; r++) {
+    std::memcpy(out->RowPtr(r), bias, k * sizeof(double));
+  }
+  Gemm(xs, weights_, out, /*accumulate=*/true, /*b_rows=*/d);
+  y_std_.InverseTransformInPlace(out);
+}
+
 }  // namespace mb2

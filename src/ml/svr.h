@@ -18,6 +18,7 @@ class SupportVectorRegression : public Regressor {
 
   void Fit(const Matrix &x, const Matrix &y) override;
   std::vector<double> Predict(const std::vector<double> &x) const override;
+  void PredictBatch(const Matrix &x, Matrix *out) const override;
   MlAlgorithm algorithm() const override { return MlAlgorithm::kSvr; }
   uint64_t SerializedBytes() const override {
     return weights_.rows() * weights_.cols() * sizeof(double) + 128;

@@ -79,6 +79,29 @@ Labels InterferenceModel::AdjustmentRatios(
   return ratios;
 }
 
+std::vector<Labels> InterferenceModel::AdjustmentRatiosBatch(
+    const std::vector<Labels> &targets,
+    const std::vector<Labels> &per_thread_totals) const {
+  std::vector<Labels> out(targets.size());
+  for (auto &ratios : out) ratios.fill(1.0);
+  if (model_ == nullptr || targets.empty()) return out;
+  Matrix x;
+  x.Reserve(targets.size(), kNumFeatures);
+  for (const Labels &target : targets) {
+    const FeatureVector features = MakeFeatures(target, per_thread_totals);
+    x.AppendRow(features.data(), features.size());
+  }
+  Matrix pred;
+  model_->PredictBatch(x, &pred);
+  for (size_t i = 0; i < targets.size(); i++) {
+    const double *raw = pred.RowPtr(i);
+    for (size_t j = 0; j < kNumLabels && j < pred.cols(); j++) {
+      out[i][j] = std::max(1.0, raw[j]);
+    }
+  }
+  return out;
+}
+
 InterferenceDataset BuildInterferenceDataset(
     const std::vector<OuRecord> &records,
     const std::map<OuType, std::unique_ptr<OuModel>> &ou_models) {

@@ -41,6 +41,13 @@ class InterferenceModel {
   Labels AdjustmentRatios(const Labels &target_predicted,
                           const std::vector<Labels> &per_thread_totals) const;
 
+  /// Batched variant: ratios for many targets sharing the same per-thread
+  /// totals, served by one Regressor::PredictBatch. Element-identical to
+  /// calling AdjustmentRatios once per target.
+  std::vector<Labels> AdjustmentRatiosBatch(
+      const std::vector<Labels> &targets,
+      const std::vector<Labels> &per_thread_totals) const;
+
   /// Persistence (used by ModelBot::SaveModels / LoadModels).
   void Save(BinaryWriter *writer) const;
   void LoadFrom(BinaryReader *reader);

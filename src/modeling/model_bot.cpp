@@ -3,6 +3,7 @@
 #include <chrono>
 #include <cstdio>
 #include <filesystem>
+#include <unordered_map>
 
 #include "common/checksum.h"
 #include "common/fault_injector.h"
@@ -64,6 +65,7 @@ TrainingReport ModelBot::TrainOuModels(const std::vector<OuRecord> &records,
     report.model_bytes += model->SerializedBytes();
     report.samples += eligible[i].second->x.rows();
     ou_models_[type] = std::move(model);
+    ou_cache_.Invalidate(type);  // stale predictions must not outlive the model
   }
   report.train_seconds = SecondsSince(start);
   return report;
@@ -79,6 +81,7 @@ void ModelBot::RetrainOu(OuType type, const std::vector<OuRecord> &records,
   auto model = std::make_unique<OuModel>(type);
   model->Train(it->second.x, it->second.y, algorithms, normalize, seed);
   ou_models_[type] = std::move(model);
+  ou_cache_.Invalidate(type);
 }
 
 TrainingReport ModelBot::TrainInterferenceModel(
@@ -151,17 +154,95 @@ Labels ModelBot::PredictOu(const TranslatedOu &ou, bool *degraded) const {
   return model->Predict(ou.features);
 }
 
+std::vector<Labels> ModelBot::PredictOus(const std::vector<TranslatedOu> &ous,
+                                         uint32_t *degraded_ous,
+                                         ThreadPool *pool) const {
+  std::vector<Labels> results(ous.size());
+  if (ous.empty()) return results;
+  if (settings_ != nullptr) {
+    ou_cache_.SetCapacity(static_cast<size_t>(
+        std::max(0.0, settings_->GetDouble("ou_cache_capacity"))));
+  }
+  // The simulated-hardware context feature is part of the model input, so it
+  // must be part of the cache key too.
+  const bool with_context = SimulatedHardware::AppendContextFeature();
+  const double context_freq =
+      with_context ? SimulatedHardware::EffectiveFreqGhz() : 0.0;
+
+  // Serve model-less OUs from the fallback table immediately; group the rest
+  // by type, keeping each group's indexes in input order.
+  std::vector<std::vector<size_t>> groups(kNumOuTypes);
+  uint32_t fell_back = 0;
+  for (size_t i = 0; i < ous.size(); i++) {
+    if (GetOuModel(ous[i].type) == nullptr) {
+      fell_back++;
+      auto it = fallback_labels_.find(ous[i].type);
+      if (it != fallback_labels_.end()) results[i] = it->second;
+      continue;
+    }
+    groups[static_cast<size_t>(ous[i].type)].push_back(i);
+  }
+
+  auto serve_type = [&](size_t type_idx) {
+    const std::vector<size_t> &idxs = groups[type_idx];
+    if (idxs.empty()) return;
+    const OuType type = static_cast<OuType>(type_idx);
+    const OuModel &model = *GetOuModel(type);
+
+    // Cache pass: hits are answered in place; misses are deduplicated so the
+    // model sees each distinct feature vector once.
+    std::vector<FeatureVector> miss_features;
+    std::unordered_map<FeatureVector, size_t, FeatureVectorHash> miss_slots;
+    std::vector<int64_t> slot_of(idxs.size(), -1);
+    for (size_t n = 0; n < idxs.size(); n++) {
+      FeatureVector key = ous[idxs[n]].features;
+      if (with_context) key.push_back(context_freq);
+      Labels cached;
+      if (ou_cache_.Lookup(type, key, &cached)) {
+        results[idxs[n]] = cached;
+        continue;
+      }
+      auto [it, inserted] = miss_slots.try_emplace(std::move(key),
+                                                   miss_features.size());
+      if (inserted) miss_features.push_back(it->first);
+      slot_of[n] = static_cast<int64_t>(it->second);
+    }
+    if (miss_features.empty()) return;
+
+    std::vector<Labels> predicted;
+    model.PredictBatch(miss_features, &predicted);
+    for (size_t s = 0; s < miss_features.size(); s++) {
+      ou_cache_.Insert(type, miss_features[s], predicted[s]);
+    }
+    for (size_t n = 0; n < idxs.size(); n++) {
+      if (slot_of[n] >= 0) {
+        results[idxs[n]] = predicted[static_cast<size_t>(slot_of[n])];
+      }
+    }
+  };
+
+  if (pool != nullptr) {
+    for (size_t t = 0; t < kNumOuTypes; t++) {
+      if (groups[t].empty()) continue;
+      pool->Submit([&serve_type, t] { serve_type(t); });
+    }
+    pool->WaitAll();
+  } else {
+    for (size_t t = 0; t < kNumOuTypes; t++) serve_type(t);
+  }
+
+  if (degraded_ous != nullptr) *degraded_ous += fell_back;
+  return results;
+}
+
 QueryPrediction ModelBot::PredictQuery(const PlanNode &plan,
                                        double exec_mode_override) const {
   QueryPrediction prediction;
   prediction.ous = translator_.TranslateQuery(plan, exec_mode_override);
   prediction.total.fill(0.0);
-  for (const auto &ou : prediction.ous) {
-    bool fell_back = false;
-    const Labels labels = PredictOu(ou, &fell_back);
-    if (fell_back) prediction.degraded_ous++;
+  prediction.per_ou = PredictOus(prediction.ous, &prediction.degraded_ous);
+  for (const Labels &labels : prediction.per_ou) {
     for (size_t j = 0; j < kNumLabels; j++) prediction.total[j] += labels[j];
-    prediction.per_ou.push_back(labels);
   }
   prediction.degraded = prediction.degraded_ous > 0;
   return prediction;
@@ -171,12 +252,9 @@ QueryPrediction ModelBot::PredictAction(const Action &action) const {
   QueryPrediction prediction;
   prediction.ous = translator_.TranslateAction(action);
   prediction.total.fill(0.0);
-  for (const auto &ou : prediction.ous) {
-    bool fell_back = false;
-    const Labels labels = PredictOu(ou, &fell_back);
-    if (fell_back) prediction.degraded_ous++;
+  prediction.per_ou = PredictOus(prediction.ous, &prediction.degraded_ous);
+  for (const Labels &labels : prediction.per_ou) {
     for (size_t j = 0; j < kNumLabels; j++) prediction.total[j] += labels[j];
-    prediction.per_ou.push_back(labels);
   }
   prediction.degraded = prediction.degraded_ous > 0;
   return prediction;
@@ -230,12 +308,11 @@ IntervalPrediction ModelBot::PredictInterval(
     const auto txns = translator_.TranslateTransactions(forecast);
     maintenance.insert(maintenance.end(), txns.begin(), txns.end());
   }
-  std::vector<Labels> maintenance_pred;
-  for (const auto &ou : maintenance) {
-    bool fell_back = false;
-    const Labels labels = PredictOu(ou, &fell_back);
-    if (fell_back) out.degraded = true;
-    maintenance_pred.push_back(labels);
+  uint32_t maintenance_degraded = 0;
+  const std::vector<Labels> maintenance_pred =
+      PredictOus(maintenance, &maintenance_degraded);
+  if (maintenance_degraded > 0) out.degraded = true;
+  for (const Labels &labels : maintenance_pred) {
     for (uint32_t t = 0; t < threads; t++) {
       for (size_t j = 0; j < kNumLabels; j++) {
         per_thread[t][j] += labels[j] / threads * window_scale;
@@ -269,7 +346,20 @@ IntervalPrediction ModelBot::PredictInterval(
   }
 
   // 3. Adjust every OU's prediction with the interference model and
-  //    aggregate per query template.
+  //    aggregate per query template. All the ratio queries share the (now
+  //    final) per-thread totals, so they run as ONE batched prediction in
+  //    input order and are consumed from a cursor in the same order.
+  std::vector<Labels> ratio_targets;
+  for (const auto &ep : entries) {
+    for (const Labels &pred : ep.isolated.per_ou) ratio_targets.push_back(pred);
+  }
+  ratio_targets.insert(ratio_targets.end(), maintenance_pred.begin(),
+                       maintenance_pred.end());
+  for (const auto &[action, ap] : action_preds) ratio_targets.push_back(ap.total);
+  const std::vector<Labels> all_ratios =
+      interference_.AdjustmentRatiosBatch(ratio_targets, per_thread);
+  size_t ratio_cursor = 0;
+
   double weighted_latency = 0.0;
   double total_rate = 0.0;
   double total_cpu_us = 0.0;
@@ -277,7 +367,7 @@ IntervalPrediction ModelBot::PredictInterval(
     double adjusted_elapsed = 0.0;
     for (size_t i = 0; i < ep.isolated.ous.size(); i++) {
       const Labels &pred = ep.isolated.per_ou[i];
-      const Labels ratios = interference_.AdjustmentRatios(pred, per_thread);
+      const Labels &ratios = all_ratios[ratio_cursor++];
       for (size_t j = 0; j < kNumLabels; j++) {
         const double adj = pred[j] * ratios[j];
         out.interval_totals[j] += adj * ep.executions;
@@ -293,7 +383,7 @@ IntervalPrediction ModelBot::PredictInterval(
 
   for (size_t i = 0; i < maintenance.size(); i++) {
     const Labels &pred = maintenance_pred[i];
-    const Labels ratios = interference_.AdjustmentRatios(pred, per_thread);
+    const Labels &ratios = all_ratios[ratio_cursor++];
     for (size_t j = 0; j < kNumLabels; j++) {
       out.interval_totals[j] += pred[j] * ratios[j];
     }
@@ -302,7 +392,7 @@ IntervalPrediction ModelBot::PredictInterval(
 
   double action_cpu_us = 0.0;
   for (const auto &[action, ap] : action_preds) {
-    const Labels ratios = interference_.AdjustmentRatios(ap.total, per_thread);
+    const Labels &ratios = all_ratios[ratio_cursor++];
     for (size_t j = 0; j < kNumLabels; j++) {
       out.action_labels[j] += ap.total[j] * ratios[j];
     }
@@ -458,6 +548,7 @@ Status ModelBot::LoadModels(const std::string &dir) {
   if (!r.ok()) return Status::InvalidArgument("corrupt model file");
   ou_models_ = std::move(loaded);
   fallback_labels_ = std::move(fallback);
+  ou_cache_.InvalidateAll();  // new model set: cached predictions are stale
   return Status::Ok();
 }
 

@@ -15,6 +15,7 @@
 #include "modeling/interference_model.h"
 #include "modeling/ou_model.h"
 #include "modeling/ou_translator.h"
+#include "modeling/prediction_cache.h"
 #include "selfdriving/action.h"
 #include "workload/forecast.h"
 
@@ -105,6 +106,18 @@ class ModelBot {
   IntervalPrediction PredictInterval(const WorkloadForecast &forecast,
                                      const std::vector<Action> &actions = {}) const;
 
+  /// Batched serving core used by every Predict* entry point: groups the
+  /// translated OUs by type, serves repeats from the memoizing OU-prediction
+  /// cache (bounded per type by the `ou_cache_capacity` knob), deduplicates
+  /// the remaining feature vectors, and issues ONE Regressor::PredictBatch
+  /// per OU model. Bit-identical to predicting each OU individually.
+  /// Returns labels parallel to `ous`; `degraded_ous` (optional) is
+  /// incremented once per fallback-served OU. With a pool, OU types fan out
+  /// across workers.
+  std::vector<Labels> PredictOus(const std::vector<TranslatedOu> &ous,
+                                 uint32_t *degraded_ous = nullptr,
+                                 ThreadPool *pool = nullptr) const;
+
   // --- Introspection ------------------------------------------------------
 
   /// Persists every trained OU-model, the degraded-fallback table, and the
@@ -132,6 +145,10 @@ class ModelBot {
     return fallback_labels_;
   }
 
+  /// Hit/miss/eviction counters of the serving-layer OU-prediction cache.
+  PredictionCacheStats ou_cache_stats() const { return ou_cache_.stats(); }
+  void ResetOuCacheStats() const { ou_cache_.ResetStats(); }
+
  private:
   Labels PredictOu(const TranslatedOu &ou, bool *degraded) const;
   void UpdateFallbackLabels(OuType type, const Matrix &y_raw);
@@ -141,6 +158,10 @@ class ModelBot {
   std::map<OuType, std::unique_ptr<OuModel>> ou_models_;
   std::map<OuType, Labels> fallback_labels_;
   InterferenceModel interference_;
+  /// Memoizes (OU type, feature vector) -> labels across Predict* calls.
+  /// Mutable: serving is logically const but updates recency and counters.
+  /// Invalidated whenever a model changes (train, retrain, load).
+  mutable PredictionCache ou_cache_;
 };
 
 }  // namespace mb2

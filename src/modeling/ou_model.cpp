@@ -54,13 +54,40 @@ Labels OuModel::Predict(const FeatureVector &features) const {
   return labels;
 }
 
+void OuModel::PredictBatch(const std::vector<FeatureVector> &features,
+                           std::vector<Labels> *out) const {
+  MB2_ASSERT(model_ != nullptr, "predict before train");
+  out->assign(features.size(), Labels{});
+  if (features.empty()) return;
+  Matrix x;
+  x.Reserve(features.size(), features[0].size());
+  for (const FeatureVector &f : features) x.AppendRow(f.data(), f.size());
+  Matrix pred;
+  model_->PredictBatch(x, &pred);
+  for (size_t r = 0; r < features.size(); r++) {
+    Labels &labels = (*out)[r];
+    const double *raw = pred.RowPtr(r);
+    for (size_t j = 0; j < kNumLabels && j < pred.cols(); j++) labels[j] = raw[j];
+    if (normalize_) DenormalizeLabels(type_, features[r], &labels);
+    for (auto &v : labels) v = std::max(0.0, v);
+  }
+}
+
 std::map<OuType, OuDataset> GroupRecordsByOu(const std::vector<OuRecord> &records) {
   std::map<OuType, OuDataset> out;
+  // Count per OU first so each dataset reserves its exact final size and the
+  // append loop never reallocates.
+  std::map<OuType, size_t> counts;
+  for (const OuRecord &record : records) counts[record.ou]++;
   for (const OuRecord &record : records) {
     OuDataset &ds = out[record.ou];
-    ds.x.AppendRow(record.features);
-    std::vector<double> y(record.labels.begin(), record.labels.end());
-    ds.y.AppendRow(y);
+    if (ds.x.rows() == 0) {
+      const size_t n = counts[record.ou];
+      ds.x.Reserve(n, record.features.size());
+      ds.y.Reserve(n, record.labels.size());
+    }
+    ds.x.AppendRow(record.features.data(), record.features.size());
+    ds.y.AppendRow(record.labels.data(), record.labels.size());
   }
   return out;
 }

@@ -34,6 +34,12 @@ class OuModel {
 
   Labels Predict(const FeatureVector &features) const;
 
+  /// Batched Predict: one Regressor::PredictBatch over all feature vectors,
+  /// then the same per-row copy/denormalize/clamp as Predict. Bit-identical
+  /// to calling Predict on each vector.
+  void PredictBatch(const std::vector<FeatureVector> &features,
+                    std::vector<Labels> *out) const;
+
   OuType type() const { return type_; }
   bool trained() const { return model_ != nullptr; }
   MlAlgorithm best_algorithm() const { return best_algorithm_; }

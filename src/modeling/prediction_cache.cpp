@@ -1,0 +1,110 @@
+#include "modeling/prediction_cache.h"
+
+#include <cstring>
+
+namespace mb2 {
+
+namespace {
+inline uint64_t MixBits(uint64_t h, uint64_t v) {
+  v *= 0x9e3779b97f4a7c15ULL;
+  v ^= v >> 32;
+  h ^= v;
+  h *= 0xff51afd7ed558ccdULL;
+  return h ^ (h >> 33);
+}
+}  // namespace
+
+size_t FeatureVectorHash::operator()(const FeatureVector &v) const {
+  uint64_t h = 0x84222325cbf29ce4ULL ^ static_cast<uint64_t>(v.size());
+  for (double d : v) {
+    const double canonical = d == 0.0 ? 0.0 : d;  // -0.0 compares equal to 0.0
+    uint64_t bits;
+    std::memcpy(&bits, &canonical, sizeof(bits));
+    h = MixBits(h, bits);
+  }
+  return static_cast<size_t>(h);
+}
+
+bool PredictionCache::Lookup(OuType type, const FeatureVector &features,
+                             Labels *out) {
+  if (capacity_ == 0) return false;
+  Shard &shard = shards_[static_cast<size_t>(type)];
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.index.find(features);
+  if (it == shard.index.end()) {
+    shard.misses++;
+    return false;
+  }
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  shard.hits++;
+  *out = it->second->labels;
+  return true;
+}
+
+void PredictionCache::Insert(OuType type, const FeatureVector &features,
+                             const Labels &labels) {
+  const size_t cap = capacity_;
+  if (cap == 0) return;
+  Shard &shard = shards_[static_cast<size_t>(type)];
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.index.find(features);
+  if (it != shard.index.end()) {
+    it->second->labels = labels;
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return;
+  }
+  shard.lru.push_front(Entry{features, labels});
+  shard.index.emplace(features, shard.lru.begin());
+  TrimShard(&shard, cap);
+}
+
+void PredictionCache::TrimShard(Shard *shard, size_t cap) {
+  while (shard->index.size() > cap) {
+    shard->index.erase(shard->lru.back().key);
+    shard->lru.pop_back();
+    shard->evictions++;
+  }
+}
+
+void PredictionCache::Invalidate(OuType type) {
+  Shard &shard = shards_[static_cast<size_t>(type)];
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  shard.index.clear();
+  shard.lru.clear();
+}
+
+void PredictionCache::InvalidateAll() {
+  for (size_t t = 0; t < kNumOuTypes; t++) {
+    Invalidate(static_cast<OuType>(t));
+  }
+}
+
+void PredictionCache::SetCapacity(size_t capacity_per_type) {
+  if (capacity_per_type == capacity_) return;
+  capacity_ = capacity_per_type;
+  for (Shard &shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    TrimShard(&shard, capacity_per_type);
+  }
+}
+
+PredictionCacheStats PredictionCache::stats() const {
+  PredictionCacheStats out;
+  for (const Shard &shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    out.hits += shard.hits;
+    out.misses += shard.misses;
+    out.evictions += shard.evictions;
+    out.entries += shard.index.size();
+  }
+  return out;
+}
+
+void PredictionCache::ResetStats() {
+  for (Shard &shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    shard.hits = shard.misses = shard.evictions = 0;
+  }
+}
+
+}  // namespace mb2

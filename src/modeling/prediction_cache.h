@@ -1,0 +1,89 @@
+#pragma once
+
+/// \file prediction_cache.h
+/// Memoizing OU-prediction cache for the serving layer. Production query
+/// plans translate to a small set of distinct (OU type, feature vector)
+/// pairs repeated across queries and forecast intervals, so ModelBot fronts
+/// every OU-model with a bounded per-type LRU map from feature vector to
+/// predicted labels. Predictions are deterministic, so a hit is always
+/// bit-identical to recomputing; the cache is invalidated whenever a model
+/// changes (retrain or load).
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <unordered_map>
+
+#include "common/macros.h"
+#include "metrics/resource_tracker.h"
+#include "modeling/operating_unit.h"
+
+namespace mb2 {
+
+/// Hash over a feature vector's values, consistent with operator== on the
+/// vector: -0.0 is canonicalized to 0.0 before hashing because the two
+/// compare equal but differ in bit pattern.
+struct FeatureVectorHash {
+  size_t operator()(const FeatureVector &v) const;
+};
+
+struct PredictionCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+  uint64_t entries = 0;  ///< currently cached, summed over all OU types
+  double HitRate() const {
+    const uint64_t total = hits + misses;
+    return total == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(total);
+  }
+};
+
+/// Per-OU-type sharded LRU cache. Shards lock independently so serving can
+/// fan OU types out across a thread pool.
+class PredictionCache {
+ public:
+  explicit PredictionCache(size_t capacity_per_type = 4096)
+      : capacity_(capacity_per_type) {}
+  MB2_DISALLOW_COPY_AND_MOVE(PredictionCache);
+
+  /// On a hit copies the cached labels into *out, marks the entry
+  /// most-recently-used, and returns true. Counts a miss otherwise.
+  /// Always misses when the capacity is 0 (cache disabled).
+  bool Lookup(OuType type, const FeatureVector &features, Labels *out);
+
+  /// Inserts (or refreshes) an entry, evicting least-recently-used entries
+  /// past the per-type bound. No-op when the capacity is 0.
+  void Insert(OuType type, const FeatureVector &features, const Labels &labels);
+
+  /// Drops every entry of one OU type (that model was retrained).
+  void Invalidate(OuType type);
+  /// Drops every entry (model set replaced). Counters are preserved.
+  void InvalidateAll();
+
+  /// Adjusts the per-type bound; shrinking evicts immediately.
+  void SetCapacity(size_t capacity_per_type);
+  size_t capacity() const { return capacity_; }
+
+  PredictionCacheStats stats() const;
+  void ResetStats();
+
+ private:
+  struct Entry {
+    FeatureVector key;
+    Labels labels;
+  };
+  using EntryList = std::list<Entry>;  // front = most recently used
+  struct Shard {
+    mutable std::mutex mutex;
+    EntryList lru;
+    std::unordered_map<FeatureVector, EntryList::iterator, FeatureVectorHash> index;
+    uint64_t hits = 0, misses = 0, evictions = 0;
+  };
+
+  void TrimShard(Shard *shard, size_t cap);
+
+  Shard shards_[kNumOuTypes];
+  size_t capacity_;
+};
+
+}  // namespace mb2

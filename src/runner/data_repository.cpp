@@ -75,18 +75,23 @@ Result<std::vector<OuRecord>> DataRepository::LoadAll() const {
     const std::string path = FilePath(type);
     struct stat st;
     if (::stat(path.c_str(), &st) != 0) continue;
-    auto data = ReadCsv(path);
+    auto data = ReadCsvMatrix(path);
     if (!data.ok()) return data.status();
+    const Matrix &values = data.value().values;
+    const size_t width = values.cols();
     const size_t n_features = GetOuDescriptor(type).feature_names.size();
-    for (const auto &row : data.value().rows) {
-      if (row.size() < n_features + kNumLabels) continue;
+    if (width < n_features + kNumLabels) continue;
+    const bool has_meta = width >= n_features + kNumLabels + 2;
+    out.reserve(out.size() + values.rows());
+    for (size_t r = 0; r < values.rows(); r++) {
+      const double *row = values.RowPtr(r);
       OuRecord record;
       record.ou = type;
-      record.features.assign(row.begin(), row.begin() + n_features);
+      record.features.assign(row, row + n_features);
       for (size_t j = 0; j < kNumLabels; j++) {
         record.labels[j] = row[n_features + j];
       }
-      if (row.size() >= n_features + kNumLabels + 2) {
+      if (has_meta) {
         record.thread_id = static_cast<uint64_t>(row[n_features + kNumLabels]);
         record.end_time_us =
             static_cast<int64_t>(row[n_features + kNumLabels + 1]);

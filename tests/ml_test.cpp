@@ -190,6 +190,23 @@ TEST(MatrixTest, SolveLinearSystem) {
   EXPECT_NEAR(solution[1], 3.0, 1e-9);
 }
 
+TEST(MatrixTest, SolvesTinyScaleWellConditionedSystem) {
+  // Well-conditioned but tiny-magnitude coefficients: an absolute pivot
+  // threshold (the old 1e-12) rejected this system outright; the
+  // scale-relative threshold must solve it. Same system as
+  // SolveLinearSystem, scaled down by 1e13.
+  const double s = 1e-13;
+  Matrix a(2, 2);
+  a.At(0, 0) = 2 * s;
+  a.At(0, 1) = 1 * s;
+  a.At(1, 0) = 1 * s;
+  a.At(1, 1) = 3 * s;
+  std::vector<double> solution;
+  ASSERT_TRUE(SolveLinearSystem(a, {5 * s, 10 * s}, &solution));
+  EXPECT_NEAR(solution[0], 1.0, 1e-6);
+  EXPECT_NEAR(solution[1], 3.0, 1e-6);
+}
+
 TEST(MatrixTest, SingularSystemReturnsFalse) {
   Matrix a(2, 2);
   a.At(0, 0) = 1;
