@@ -11,6 +11,7 @@
 
 #include "common/stats.h"
 #include "harness.h"
+#include "obs/drift_monitor.h"
 #include "workload/tpch.h"
 
 using namespace mb2;
@@ -131,6 +132,79 @@ int main() {
               "retraining is %.0fx cheaper (paper: 24x)\n", full_seconds,
               full_seconds / std::max(0.1, last_retrain_seconds));
   db.settings().SetDouble("jht_sleep_every_n", 0.0);
+
+  // Rebuild clean models for the drift loop and part (b).
+  bot.RetrainOu(OuType::kHashJoinBuild, records, AllAlgorithms());
+  bot.RetrainOu(OuType::kHashJoinProbe, records, AllAlgorithms());
+
+  Section loop("Sec 7 closed loop: drift monitor detects the update and "
+               "triggers the targeted retrain");
+  {
+    // Same software update, but nobody tells MB2 this time: production
+    // drift sampling catches the mispredictions and CheckDrift raises the
+    // per-OU signal. The planner acts on signalled OUs that have a
+    // restricted runner (the join OUs here) — the rest wait for the next
+    // full sweep; at small bench scale µs-level micro-OUs sit near the
+    // threshold from per-sample variance alone, which is why the demo
+    // reports a clean-behavior baseline first.
+    DriftMonitor &monitor = DriftMonitor::Instance();
+    DriftConfig dcfg;
+    dcfg.sample_every_n = 1;  // sample every tracked OU exit for the demo
+    dcfg.min_samples = 8;
+    monitor.ResetAll();
+    monitor.Configure(dcfg);
+
+    auto sample_workload = [&] {
+      monitor.ResetAll();
+      monitor.SetSamplingEnabled(true);
+      for (const auto &name : TpchWorkload::QueryNames()) {
+        const PlanNode *plan = tpch.TemplatePlan(name);
+        for (int i = 0; i < 2; i++) db.Execute(*plan);
+      }
+      monitor.SetSamplingEnabled(false);
+      return bot.CheckDrift();
+    };
+    const std::vector<OuType> join_ous = {OuType::kHashJoinBuild,
+                                          OuType::kHashJoinProbe};
+    auto print_jht = [&](const char *when, const DriftReport &r) {
+      for (OuType type : join_ous) {
+        const auto it = r.rolling_error.find(type);
+        PrintKv(std::string(when) + " " + GetOuDescriptor(type).name,
+                it == r.rolling_error.end() ? "n/a" : Fmt(it->second));
+      }
+      PrintKv(std::string(when) + " signalled OUs",
+              std::to_string(r.drifted.size()));
+    };
+
+    const DriftReport baseline = sample_workload();
+    print_jht("baseline", baseline);
+
+    db.settings().SetDouble("jht_sleep_every_n", 10.0);
+    const DriftReport stale = sample_workload();
+    print_jht("after update", stale);
+
+    // Planner policy: of the signalled OUs, re-run the restricted runner
+    // for the ones that have one. RetrainDrifted closes the loop for them.
+    DriftReport targeted;
+    for (OuType type : stale.drifted) {
+      if (type == OuType::kHashJoinBuild || type == OuType::kHashJoinProbe) {
+        targeted.drifted.push_back(type);
+      }
+    }
+    const auto t0 = std::chrono::steady_clock::now();
+    const size_t retrained = bot.RetrainDrifted(
+        targeted, [&](OuType) { return runner.RunJoins(); }, AllAlgorithms());
+    const auto t1 = std::chrono::steady_clock::now();
+    PrintKv("join OU-models retrained", std::to_string(retrained));
+    PrintKv("targeted retrain time", Fmt(Seconds(t0, t1)) + " s");
+
+    const DriftReport fresh = sample_workload();
+    print_jht("after retrain", fresh);
+
+    db.settings().SetDouble("jht_sleep_every_n", 0.0);
+    monitor.ResetAll();
+    monitor.Configure(DriftConfig{});
+  }
 
   // Rebuild clean models for part (b).
   bot.RetrainOu(OuType::kHashJoinBuild, records, AllAlgorithms());

@@ -11,11 +11,15 @@
 // Also reports Fig 11b's explainability view: CPU cost of the index build
 // and of the customer-by-last-name queries before/after the index.
 
+#include <fstream>
 #include <thread>
 
 #include "common/stats.h"
 #include "harness.h"
 #include "index/index_builder.h"
+#include "obs/drift_monitor.h"
+#include "obs/metrics_registry.h"
+#include "obs/trace.h"
 #include "runner/concurrent_runner.h"
 #include "selfdriving/planner.h"
 #include "workload/tpcc.h"
@@ -78,6 +82,10 @@ int main(int argc, char **argv) {
               "paper: 120s on 10 threads)\n",
               BenchScale().c_str(), jobs, phase_s, threads);
 
+  // Observability on for the whole run: txn/query/WAL/GC counters and the
+  // query-latency histogram feed the metrics dump printed at the end.
+  obs::SetEnabled(true);
+
   Database db;
   // Train MB2 once: OU-models from runners, interference from concurrent
   // TPC-H execution. With --jobs > 1, sweep units and per-OU fits run on a
@@ -112,6 +120,11 @@ int main(int argc, char **argv) {
     ConcurrentRunner concurrent(&db, tpch.AllTemplates());
     bot.TrainInterferenceModel(concurrent.Run(ccfg), AllAlgorithms());
   }
+
+  // Production drift sampling: with the models now deployed, 1-in-N tracked
+  // OU exits submit their observed (features, labels) pair; CheckDrift at
+  // the end turns them into per-OU rolling-error gauges.
+  DriftMonitor::Instance().SetSamplingEnabled(true);
 
   TpccWorkload tpcc(&db, 1, 11, /*customers=*/small ? 2000 : 6000,
                     /*items=*/2000);
@@ -271,6 +284,42 @@ int main(int argc, char **argv) {
     PrintKv("cache evictions", std::to_string(cs.evictions));
     PrintKv("cache entries", std::to_string(cs.entries));
     PrintKv("cache hit rate", Fmt(cs.HitRate() * 100.0) + " %");
+  }
+
+  {
+    // One traced query: the span ring holds the whole tree (engine root,
+    // txn begin/commit, per-executor pipeline spans, model-bot inference).
+    Section trace("Span trace of one TPC-H query");
+    TraceSink::Instance().Clear();
+    obs::SetTracingEnabled(true);
+    db.Execute(*tpch.TemplatePlan("Q1"));
+    bot.PredictQuery(*tpch.TemplatePlan("Q1"));
+    obs::SetTracingEnabled(false);
+    std::printf("%s", FormatSpanTree(TraceSink::Instance().Snapshot()).c_str());
+  }
+
+  {
+    // Drift monitor: fold the production samples collected during the run
+    // into per-OU rolling-error gauges, then dump every metric.
+    Section obs_section("Observability: drift check + metrics exposition");
+    DriftMonitor::Instance().SetSamplingEnabled(false);
+    const DriftReport drift = bot.CheckDrift();
+    PrintKv("drift samples processed", std::to_string(drift.processed));
+    for (const auto &[type, err] : drift.rolling_error) {
+      PrintKv(std::string("rolling rel error ") + GetOuDescriptor(type).name,
+              Fmt(err) + " (" + std::to_string(drift.window_samples.at(type)) +
+                  " samples)");
+    }
+    for (OuType type : drift.drifted) {
+      PrintKv("DRIFT signalled", GetOuDescriptor(type).name);
+    }
+    bot.ExportObsMetrics();
+    std::printf("\n%s", DumpMetricsText().c_str());
+
+    const char *json_path = "BENCH_fig11_metrics.json";
+    std::ofstream out(json_path);
+    out << DumpMetricsJson() << "\n";
+    PrintKv("metrics json", json_path);
   }
 
   std::printf("\nPaper shape: knob change predicted ~38%% / measured ~30%% "

@@ -18,12 +18,14 @@ SettingsManager::SettingsManager() {
 }
 
 int64_t SettingsManager::GetInt(const std::string &name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
   auto it = knobs_.find(name);
   MB2_ASSERT(it != knobs_.end(), "unknown knob");
   return static_cast<int64_t>(it->second.value);
 }
 
 double SettingsManager::GetDouble(const std::string &name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
   auto it = knobs_.find(name);
   MB2_ASSERT(it != knobs_.end(), "unknown knob");
   return it->second.value;
@@ -34,6 +36,7 @@ Status SettingsManager::SetInt(const std::string &name, int64_t value) {
 }
 
 Status SettingsManager::SetDouble(const std::string &name, double value) {
+  std::lock_guard<std::mutex> lock(mutex_);
   auto it = knobs_.find(name);
   if (it == knobs_.end()) return Status::NotFound("unknown knob: " + name);
   it->second.value = value;
@@ -41,6 +44,7 @@ Status SettingsManager::SetDouble(const std::string &name, double value) {
 }
 
 KnobKind SettingsManager::Kind(const std::string &name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
   auto it = knobs_.find(name);
   MB2_ASSERT(it != knobs_.end(), "unknown knob");
   return it->second.kind;
@@ -48,6 +52,7 @@ KnobKind SettingsManager::Kind(const std::string &name) const {
 
 std::map<std::string, double> SettingsManager::Snapshot() const {
   std::map<std::string, double> out;
+  std::lock_guard<std::mutex> lock(mutex_);
   for (const auto &[name, knob] : knobs_) out[name] = knob.value;
   return out;
 }

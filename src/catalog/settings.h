@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 
 #include "common/macros.h"
@@ -53,6 +54,10 @@ class SettingsManager {
     double value;
     KnobKind kind;
   };
+  /// Knobs are read on serving hot paths while self-driving actions (or an
+  /// operator) change them concurrently, so every access locks. The knob set
+  /// itself is fixed at construction; only values change.
+  mutable std::mutex mutex_;
   std::map<std::string, Knob> knobs_;
 };
 

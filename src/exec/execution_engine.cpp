@@ -3,11 +3,16 @@
 #include <chrono>
 
 #include "exec/executors.h"
+#include "obs/metrics_registry.h"
+#include "obs/trace.h"
 
 namespace mb2 {
 
 QueryResult ExecutionEngine::ExecuteQuery(const PlanNode &plan) {
   QueryResult result;
+  // Root span of the query's trace tree: txn.begin, the executor pipeline,
+  // txn.commit, and wal.serialize all open while this span is live.
+  ObsSpan span("engine.execute_query");
   const auto start = std::chrono::steady_clock::now();
 
   auto txn = txn_manager_->Begin();
@@ -29,6 +34,15 @@ QueryResult ExecutionEngine::ExecuteQuery(const PlanNode &plan) {
   result.elapsed_us = std::chrono::duration_cast<std::chrono::microseconds>(
                           std::chrono::steady_clock::now() - start)
                           .count();
+  static Counter &queries =
+      MetricsRegistry::Instance().GetCounter("mb2_queries_total");
+  static Counter &query_aborts =
+      MetricsRegistry::Instance().GetCounter("mb2_query_aborts_total");
+  static Histogram &latency =
+      MetricsRegistry::Instance().GetHistogram("mb2_query_latency_us");
+  queries.Add();
+  if (result.aborted) query_aborts.Add();
+  latency.Observe(static_cast<double>(result.elapsed_us));
   return result;
 }
 

@@ -9,6 +9,7 @@
 #include "index/bplus_tree.h"
 #include "metrics/metrics_collector.h"
 #include "metrics/work_stats.h"
+#include "obs/trace.h"
 #include "wal/log_record.h"
 
 namespace mb2 {
@@ -634,9 +635,31 @@ Status ExecOutput(const OutputPlan &plan, ExecutionContext *ctx, Batch *out) {
   return Status::Ok();
 }
 
+/// Span names must be string literals (the sink stores the pointer), so the
+/// per-node-type names live here rather than going through PlanNodeTypeName.
+const char *ExecSpanName(PlanNodeType type) {
+  switch (type) {
+    case PlanNodeType::kSeqScan: return "exec.SeqScan";
+    case PlanNodeType::kIndexScan: return "exec.IndexScan";
+    case PlanNodeType::kHashJoin: return "exec.HashJoin";
+    case PlanNodeType::kAggregate: return "exec.Aggregate";
+    case PlanNodeType::kSort: return "exec.Sort";
+    case PlanNodeType::kProjection: return "exec.Projection";
+    case PlanNodeType::kLimit: return "exec.Limit";
+    case PlanNodeType::kInsert: return "exec.Insert";
+    case PlanNodeType::kUpdate: return "exec.Update";
+    case PlanNodeType::kDelete: return "exec.Delete";
+    case PlanNodeType::kOutput: return "exec.Output";
+  }
+  return "exec.Unknown";
+}
+
 }  // namespace
 
 Status ExecuteNode(const PlanNode &node, ExecutionContext *ctx, Batch *out) {
+  // Executors recurse through ExecuteNode for their children, so with
+  // tracing on each plan node becomes a child span of its parent operator.
+  ObsSpan span(ExecSpanName(node.type));
   switch (node.type) {
     case PlanNodeType::kSeqScan:
       return ExecSeqScan(*node.As<SeqScanPlan>(), ctx, out);

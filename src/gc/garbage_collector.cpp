@@ -2,11 +2,14 @@
 
 #include "metrics/metrics_collector.h"
 #include "metrics/work_stats.h"
+#include "obs/metrics_registry.h"
+#include "obs/trace.h"
 
 namespace mb2 {
 
 GcResult GarbageCollector::RunOnce() {
   GcResult result;
+  ObsSpan span("gc.pass");
   const double interval = settings_->GetDouble("gc_interval_us");
   // Features (versions unlinked, bytes reclaimed) are only known after the
   // pass; amend them before the scope records.
@@ -23,6 +26,16 @@ GcResult GarbageCollector::RunOnce() {
 
   scope.MutableFeatures()[0] = static_cast<double>(result.versions_unlinked);
   scope.MutableFeatures()[1] = static_cast<double>(result.bytes_reclaimed);
+
+  static Counter &passes =
+      MetricsRegistry::Instance().GetCounter("mb2_gc_passes_total");
+  static Counter &unlinked =
+      MetricsRegistry::Instance().GetCounter("mb2_gc_versions_unlinked_total");
+  static Counter &reclaimed =
+      MetricsRegistry::Instance().GetCounter("mb2_gc_reclaimed_bytes_total");
+  passes.Add();
+  unlinked.Add(result.versions_unlinked);
+  reclaimed.Add(result.bytes_reclaimed);
   return result;
 }
 

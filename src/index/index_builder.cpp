@@ -6,6 +6,8 @@
 #include <vector>
 
 #include "metrics/metrics_collector.h"
+#include "obs/metrics_registry.h"
+#include "obs/trace.h"
 
 namespace mb2 {
 
@@ -58,6 +60,8 @@ IndexBuildStats IndexBuilder::Build(Catalog *catalog,
                                     TransactionManager *txn_manager,
                                     BPlusTree *index, uint32_t num_threads) {
   IndexBuildStats stats;
+  ObsSpan span("index.build");
+  MetricsRegistry::Instance().GetCounter("mb2_index_builds_total").Add();
   const IndexSchema &schema = index->schema();
   Table *table = catalog->GetTable(schema.table_name);
   MB2_ASSERT(table != nullptr, "index references missing table");

@@ -3,6 +3,8 @@
 #include <chrono>
 #include <thread>
 
+#include "obs/drift_monitor.h"
+
 namespace mb2 {
 
 thread_local bool MetricsManager::tls_collecting_ = false;
@@ -20,14 +22,50 @@ MetricsManager &MetricsManager::Instance() {
 }
 
 MetricsManager::ThreadBuffer *MetricsManager::LocalBuffer() {
-  thread_local ThreadBuffer *buffer = [this] {
-    auto owned = std::make_unique<ThreadBuffer>();
-    ThreadBuffer *raw = owned.get();
-    std::lock_guard<std::mutex> lock(registry_mutex_);
-    buffers_.push_back(std::move(owned));
-    return raw;
-  }();
-  return buffer;
+  // The holder hands the buffer back at thread exit so a later thread can
+  // adopt it once drained. WorkloadDriver spawns a fresh worker fleet per
+  // Run; without recycling the registry would grow one buffer per worker
+  // for the life of the process.
+  struct Holder {
+    MetricsManager *manager;
+    ThreadBuffer *buffer;
+    ~Holder() { manager->ReleaseBuffer(buffer); }
+  };
+  thread_local Holder holder{this, AcquireBuffer()};
+  return holder.buffer;
+}
+
+MetricsManager::ThreadBuffer *MetricsManager::AcquireBuffer() {
+  std::lock_guard<std::mutex> lock(registry_mutex_);
+  for (size_t i = 0; i < free_buffers_.size(); i++) {
+    ThreadBuffer *candidate = free_buffers_[i];
+    bool drained;
+    {
+      SpinLatch::ScopedLock guard(&candidate->latch);
+      drained = candidate->records.empty();
+    }
+    // Only adopt drained buffers: a dead thread's unharvested records must
+    // stay where DrainAll finds them, not leak into the adopting thread's
+    // DrainThread.
+    if (!drained) continue;
+    free_buffers_[i] = free_buffers_.back();
+    free_buffers_.pop_back();
+    return candidate;
+  }
+  auto owned = std::make_unique<ThreadBuffer>();
+  ThreadBuffer *raw = owned.get();
+  buffers_.push_back(std::move(owned));
+  return raw;
+}
+
+void MetricsManager::ReleaseBuffer(ThreadBuffer *buffer) {
+  std::lock_guard<std::mutex> lock(registry_mutex_);
+  free_buffers_.push_back(buffer);
+}
+
+size_t MetricsManager::RegisteredBufferCount() {
+  std::lock_guard<std::mutex> lock(registry_mutex_);
+  return buffers_.size();
 }
 
 void MetricsManager::Record(OuType ou, FeatureVector features,
@@ -98,7 +136,12 @@ OuTrackerScope::OuTrackerScope(OuType ou, FeatureVector features)
     : ou_(ou),
       features_(std::move(features)),
       record_(MetricsManager::Instance().Enabled()),
-      active_(record_ || SimulatedHardware::GetCpuFreqGhz() > 0.0) {
+      // Production-mode drift sampling: 1 in N tracked invocations runs the
+      // tracker anyway so the observed labels can be scored against the
+      // deployed model. Training mode records everything already.
+      drift_sample_(!record_ && DriftMonitor::Instance().ShouldSample()),
+      active_(record_ || drift_sample_ ||
+              SimulatedHardware::GetCpuFreqGhz() > 0.0) {
   // The tracker also runs (without recording) whenever the CPU-frequency
   // simulation is on: the slowdown is injected at Stop(), and it must apply
   // to production-style runs too, not just training mode.
@@ -115,6 +158,13 @@ OuTrackerScope::~OuTrackerScope() {
     // was disabled while the scope was in flight.
     MetricsManager::Instance().RecordUnchecked(ou_, std::move(features_), labels);
     MetricsManager::Instance().ScopeClosed();
+  } else if (drift_sample_) {
+    // The sample's features must match what the deployed model is served
+    // with, so apply the same hardware-context amendment as RecordUnchecked.
+    if (SimulatedHardware::AppendContextFeature()) {
+      features_.push_back(SimulatedHardware::EffectiveFreqGhz());
+    }
+    DriftMonitor::Instance().Submit(ou_, std::move(features_), labels);
   }
 }
 

@@ -79,6 +79,12 @@ class MetricsManager {
   /// Total records currently buffered (approximate under concurrency).
   size_t BufferedCount();
 
+  /// Buffers in the registry (bound to live threads + recyclable). Bounded:
+  /// an exiting thread returns its buffer to a free list and a new thread
+  /// adopts a drained one, so repeated short-lived worker fleets (e.g. one
+  /// WorkloadDriver::Run per config) do not grow the registry forever.
+  size_t RegisteredBufferCount();
+
   /// In-flight recording-scope bookkeeping (used by OuTrackerScope).
   void ScopeOpened() { active_scopes_.fetch_add(1, std::memory_order_acq_rel); }
   void ScopeClosed() { active_scopes_.fetch_sub(1, std::memory_order_acq_rel); }
@@ -92,10 +98,15 @@ class MetricsManager {
   };
 
   ThreadBuffer *LocalBuffer();
+  ThreadBuffer *AcquireBuffer();
+  void ReleaseBuffer(ThreadBuffer *buffer);
   void QuiesceScopes() const;
 
   std::mutex registry_mutex_;
   std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
+  /// Buffers whose owning thread exited, awaiting adoption. Non-empty ones
+  /// stay here (still visible to DrainAll) until drained.
+  std::vector<ThreadBuffer *> free_buffers_;
   std::atomic<bool> enabled_{false};
   std::atomic<int64_t> active_scopes_{0};
   static thread_local bool tls_collecting_;
@@ -124,8 +135,9 @@ class OuTrackerScope {
   OuType ou_;
   FeatureVector features_;
   ResourceTracker tracker_;
-  bool record_;  ///< training mode: emit an OU record at scope exit
-  bool active_;  ///< tracker runs (recording, or frequency simulation)
+  bool record_;        ///< training mode: emit an OU record at scope exit
+  bool drift_sample_;  ///< production mode: elected as a model-drift sample
+  bool active_;        ///< tracker runs (recording, drift sample, or freq sim)
 };
 
 }  // namespace mb2

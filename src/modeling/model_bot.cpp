@@ -1,6 +1,8 @@
 #include "modeling/model_bot.h"
 
+#include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <filesystem>
 #include <unordered_map>
@@ -9,6 +11,9 @@
 #include "common/fault_injector.h"
 #include "common/stats.h"
 #include "common/thread_pool.h"
+#include "obs/drift_monitor.h"
+#include "obs/metrics_registry.h"
+#include "obs/trace.h"
 
 namespace mb2 {
 
@@ -159,9 +164,16 @@ std::vector<Labels> ModelBot::PredictOus(const std::vector<TranslatedOu> &ous,
                                          ThreadPool *pool) const {
   std::vector<Labels> results(ous.size());
   if (ous.empty()) return results;
+  ObsSpan span("modelbot.predict_ous");
+  static Counter &predicted =
+      MetricsRegistry::Instance().GetCounter("mb2_predict_ous_total");
+  predicted.Add(ous.size());
   if (settings_ != nullptr) {
-    ou_cache_.SetCapacity(static_cast<size_t>(
-        std::max(0.0, settings_->GetDouble("ou_cache_capacity"))));
+    // Only touch the cache bound when the knob actually moved; SetCapacity
+    // takes every shard lock, which would serialize concurrent serving.
+    const size_t want = static_cast<size_t>(
+        std::max(0.0, settings_->GetDouble("ou_cache_capacity")));
+    if (want != ou_cache_.capacity()) ou_cache_.SetCapacity(want);
   }
   // The simulated-hardware context feature is part of the model input, so it
   // must be part of the cache key too.
@@ -233,6 +245,63 @@ std::vector<Labels> ModelBot::PredictOus(const std::vector<TranslatedOu> &ous,
 
   if (degraded_ous != nullptr) *degraded_ous += fell_back;
   return results;
+}
+
+DriftReport ModelBot::CheckDrift() const {
+  DriftMonitor &monitor = DriftMonitor::Instance();
+  DriftReport report;
+  const std::vector<OuRecord> samples = monitor.DrainSamples();
+  for (const OuRecord &sample : samples) {
+    const OuModel *model = GetOuModel(sample.ou);
+    if (model == nullptr) continue;  // nothing deployed to drift from
+    const Labels predicted = model->Predict(sample.features);
+    const double observed = sample.labels[kLabelElapsedUs];
+    const double error = std::fabs(predicted[kLabelElapsedUs] - observed) /
+                         std::max(observed, 1.0);
+    monitor.RecordError(sample.ou, error);
+    report.processed++;
+  }
+  MetricsRegistry::Instance()
+      .GetCounter("mb2_drift_samples_total")
+      .Add(report.processed);
+  for (size_t t = 0; t < kNumOuTypes; t++) {
+    const OuType type = static_cast<OuType>(t);
+    const uint64_t in_window = monitor.ErrorCount(type);
+    if (in_window == 0) continue;
+    report.rolling_error[type] = monitor.RollingError(type);
+    report.window_samples[type] = in_window;
+  }
+  report.drifted = monitor.DriftedOus();
+  return report;
+}
+
+size_t ModelBot::RetrainDrifted(
+    const DriftReport &report,
+    const std::function<std::vector<OuRecord>(OuType)> &provider,
+    const std::vector<MlAlgorithm> &algorithms, bool normalize, uint64_t seed) {
+  size_t retrained = 0;
+  for (OuType type : report.drifted) {
+    const std::vector<OuRecord> records = provider(type);
+    if (records.empty()) continue;  // runner produced nothing; keep old model
+    RetrainOu(type, records, algorithms, normalize, seed);
+    DriftMonitor::Instance().Reset(type);
+    MetricsRegistry::Instance()
+        .GetCounter("mb2_drift_retrains_total")
+        .Add();
+    retrained++;
+  }
+  return retrained;
+}
+
+void ModelBot::ExportObsMetrics() const {
+  const PredictionCacheStats stats = ou_cache_.stats();
+  MetricsRegistry &reg = MetricsRegistry::Instance();
+  reg.GetGauge("mb2_ou_cache_hits").Set(static_cast<double>(stats.hits));
+  reg.GetGauge("mb2_ou_cache_misses").Set(static_cast<double>(stats.misses));
+  reg.GetGauge("mb2_ou_cache_evictions")
+      .Set(static_cast<double>(stats.evictions));
+  reg.GetGauge("mb2_ou_cache_entries").Set(static_cast<double>(stats.entries));
+  reg.GetGauge("mb2_ou_cache_hit_rate").Set(stats.HitRate());
 }
 
 QueryPrediction ModelBot::PredictQuery(const PlanNode &plan,

@@ -7,6 +7,7 @@
 /// action take, what resources will it consume, and how will the forecasted
 /// workload perform while (and after) it runs.
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -60,6 +61,15 @@ struct TrainingReport {
   uint64_t model_bytes = 0;
   std::map<OuType, double> per_ou_test_error;
   std::map<OuType, MlAlgorithm> per_ou_algorithm;
+};
+
+/// Result of one drift check: the rolling prediction error of every OU that
+/// has production samples, and the OUs whose error crossed the threshold.
+struct DriftReport {
+  std::map<OuType, double> rolling_error;
+  std::map<OuType, uint64_t> window_samples;
+  std::vector<OuType> drifted;
+  size_t processed = 0;  ///< samples scored by this check
 };
 
 class ModelBot {
@@ -148,6 +158,29 @@ class ModelBot {
   /// Hit/miss/eviction counters of the serving-layer OU-prediction cache.
   PredictionCacheStats ou_cache_stats() const { return ou_cache_.stats(); }
   void ResetOuCacheStats() const { ou_cache_.ResetStats(); }
+
+  // --- Drift monitoring (Sec 7 closed loop) -------------------------------
+
+  /// Drains the DriftMonitor's production-sampled OU observations, scores
+  /// each against the deployed OU-model (relative error on the elapsed
+  /// label), feeds the rolling per-OU windows + drift gauges, and reports
+  /// which OUs crossed the drift threshold.
+  DriftReport CheckDrift() const;
+
+  /// Closes the loop: for every drifted OU, fetches fresh training records
+  /// from `provider` (e.g. a targeted OU-runner re-run) and retrains just
+  /// that OU — the Sec 7 adaptation path, now triggered by live drift
+  /// instead of an operator. Resets each retrained OU's drift window.
+  /// Returns the number of OUs retrained.
+  size_t RetrainDrifted(
+      const DriftReport &report,
+      const std::function<std::vector<OuRecord>(OuType)> &provider,
+      const std::vector<MlAlgorithm> &algorithms, bool normalize = true,
+      uint64_t seed = 42);
+
+  /// Publishes serving-layer gauges (OU-cache hits/misses/evictions/entries
+  /// and hit rate) to the global MetricsRegistry for the next dump.
+  void ExportObsMetrics() const;
 
  private:
   Labels PredictOu(const TranslatedOu &ou, bool *degraded) const;

@@ -27,7 +27,7 @@ size_t FeatureVectorHash::operator()(const FeatureVector &v) const {
 
 bool PredictionCache::Lookup(OuType type, const FeatureVector &features,
                              Labels *out) {
-  if (capacity_ == 0) return false;
+  if (capacity() == 0) return false;
   Shard &shard = shards_[static_cast<size_t>(type)];
   std::lock_guard<std::mutex> lock(shard.mutex);
   auto it = shard.index.find(features);
@@ -43,7 +43,7 @@ bool PredictionCache::Lookup(OuType type, const FeatureVector &features,
 
 void PredictionCache::Insert(OuType type, const FeatureVector &features,
                              const Labels &labels) {
-  const size_t cap = capacity_;
+  const size_t cap = capacity();
   if (cap == 0) return;
   Shard &shard = shards_[static_cast<size_t>(type)];
   std::lock_guard<std::mutex> lock(shard.mutex);
@@ -80,8 +80,8 @@ void PredictionCache::InvalidateAll() {
 }
 
 void PredictionCache::SetCapacity(size_t capacity_per_type) {
-  if (capacity_per_type == capacity_) return;
-  capacity_ = capacity_per_type;
+  if (capacity_per_type == capacity()) return;
+  capacity_.store(capacity_per_type, std::memory_order_relaxed);
   for (Shard &shard : shards_) {
     std::lock_guard<std::mutex> lock(shard.mutex);
     TrimShard(&shard, capacity_per_type);

@@ -9,6 +9,7 @@
 /// bit-identical to recomputing; the cache is invalidated whenever a model
 /// changes (retrain or load).
 
+#include <atomic>
 #include <cstdint>
 #include <list>
 #include <mutex>
@@ -60,9 +61,14 @@ class PredictionCache {
   /// Drops every entry (model set replaced). Counters are preserved.
   void InvalidateAll();
 
-  /// Adjusts the per-type bound; shrinking evicts immediately.
+  /// Adjusts the per-type bound; shrinking evicts immediately. Safe against
+  /// concurrent Lookup/Insert: the bound is an atomic read outside the shard
+  /// locks, so a serving thread may briefly apply the old bound, but never
+  /// tears or races.
   void SetCapacity(size_t capacity_per_type);
-  size_t capacity() const { return capacity_; }
+  size_t capacity() const {
+    return capacity_.load(std::memory_order_relaxed);
+  }
 
   PredictionCacheStats stats() const;
   void ResetStats();
@@ -83,7 +89,9 @@ class PredictionCache {
   void TrimShard(Shard *shard, size_t cap);
 
   Shard shards_[kNumOuTypes];
-  size_t capacity_;
+  /// Read by every Lookup/Insert without the shard locks while SetCapacity
+  /// (knob changes mid-serving) writes it — must be atomic, not plain.
+  std::atomic<size_t> capacity_;
 };
 
 }  // namespace mb2

@@ -1,0 +1,117 @@
+#include "obs/drift_monitor.h"
+
+#include <string>
+
+#include "obs/metrics_registry.h"
+
+namespace mb2 {
+
+DriftMonitor &DriftMonitor::Instance() {
+  static DriftMonitor instance;
+  return instance;
+}
+
+void DriftMonitor::Configure(const DriftConfig &config) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  config_ = config;
+  sample_every_n_.store(config.sample_every_n == 0 ? 1 : config.sample_every_n,
+                        std::memory_order_relaxed);
+}
+
+DriftConfig DriftMonitor::config() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return config_;
+}
+
+void DriftMonitor::Submit(OuType ou, FeatureVector features,
+                          const Labels &labels) {
+  OuRecord record;
+  record.ou = ou;
+  record.features = std::move(features);
+  record.labels = labels;
+  record.end_time_us = NowMicros();
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (samples_.size() >= config_.max_buffered) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  samples_.push_back(std::move(record));
+}
+
+std::vector<OuRecord> DriftMonitor::DrainSamples() {
+  std::vector<OuRecord> out;
+  std::lock_guard<std::mutex> lock(mutex_);
+  out.swap(samples_);
+  return out;
+}
+
+double DriftMonitor::ErrorWindow::Mean() const {
+  if (errors.empty()) return 0.0;
+  double sum = 0.0;
+  for (double e : errors) sum += e;
+  return sum / static_cast<double>(errors.size());
+}
+
+void DriftMonitor::RecordError(OuType ou, double relative_error) {
+  double mean;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ErrorWindow &ring = rolling_[static_cast<size_t>(ou)];
+    if (ring.errors.size() < config_.window) {
+      ring.errors.push_back(relative_error);
+    } else {
+      ring.errors[ring.next] = relative_error;
+      ring.next = (ring.next + 1) % config_.window;
+    }
+    ring.total++;
+    mean = ring.Mean();
+  }
+  MetricsRegistry::Instance()
+      .GetGauge(std::string("mb2_drift_rel_error{ou=\"") + OuTypeName(ou) +
+                "\"}")
+      .Set(mean);
+}
+
+double DriftMonitor::RollingError(OuType ou) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return rolling_[static_cast<size_t>(ou)].Mean();
+}
+
+uint64_t DriftMonitor::ErrorCount(OuType ou) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return rolling_[static_cast<size_t>(ou)].errors.size();
+}
+
+std::vector<OuType> DriftMonitor::DriftedOus() const {
+  std::vector<OuType> out;
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (size_t t = 0; t < kNumOuTypes; t++) {
+    const ErrorWindow &ring = rolling_[t];
+    if (ring.errors.size() >= config_.min_samples &&
+        ring.Mean() > config_.threshold) {
+      out.push_back(static_cast<OuType>(t));
+    }
+  }
+  return out;
+}
+
+void DriftMonitor::Reset(OuType ou) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    rolling_[static_cast<size_t>(ou)] = {};
+  }
+  MetricsRegistry::Instance()
+      .GetGauge(std::string("mb2_drift_rel_error{ou=\"") + OuTypeName(ou) +
+                "\"}")
+      .Set(0.0);
+}
+
+void DriftMonitor::ResetAll() {
+  for (size_t t = 0; t < kNumOuTypes; t++) Reset(static_cast<OuType>(t));
+  std::lock_guard<std::mutex> lock(mutex_);
+  samples_.clear();
+  dropped_.store(0, std::memory_order_relaxed);
+  tick_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace mb2

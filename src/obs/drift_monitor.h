@@ -1,0 +1,102 @@
+#pragma once
+
+/// \file drift_monitor.h
+/// Model-drift monitoring (the production half of Sec 7's adaptation story):
+/// in production mode the engine samples every Nth tracked OU invocation,
+/// running the resource tracker for just that invocation and submitting the
+/// observed (features, labels) pair here. ModelBot::CheckDrift() drains the
+/// samples, predicts each one with the deployed OU-model, and feeds the
+/// relative error back; the monitor keeps a rolling window per OU, exposes
+/// it as `mb2_drift_rel_error{ou="..."}` gauges, and raises a drift signal
+/// (DriftedOus()) once an OU's rolling error crosses the threshold — which
+/// ModelBot::RetrainDrifted() turns into targeted RetrainOu calls.
+///
+/// With sampling off (the default) the per-OU-exit cost is one relaxed
+/// atomic load; with it on, the non-sampled exits add one relaxed
+/// fetch_add.
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "common/macros.h"
+#include "metrics/metrics_collector.h"
+
+namespace mb2 {
+
+struct DriftConfig {
+  uint64_t sample_every_n = 64;  ///< production OU exits per drift sample
+  size_t max_buffered = 4096;    ///< pending samples kept (excess dropped)
+  size_t window = 64;            ///< rolling errors retained per OU
+  size_t min_samples = 16;       ///< errors required before an OU may signal
+  double threshold = 0.5;        ///< rolling mean relative error that signals
+};
+
+class DriftMonitor {
+ public:
+  static DriftMonitor &Instance();
+  MB2_DISALLOW_COPY_AND_MOVE(DriftMonitor);
+
+  void Configure(const DriftConfig &config);
+  DriftConfig config() const;
+
+  void SetSamplingEnabled(bool on) {
+    sampling_.store(on, std::memory_order_relaxed);
+  }
+  bool SamplingEnabled() const {
+    return sampling_.load(std::memory_order_relaxed);
+  }
+
+  /// Called by OuTrackerScope on every production-mode tracked exit; true
+  /// for the invocations elected as drift samples (1 in sample_every_n).
+  bool ShouldSample() {
+    if (!SamplingEnabled()) return false;
+    const uint64_t n = sample_every_n_.load(std::memory_order_relaxed);
+    return n <= 1 ||
+           tick_.fetch_add(1, std::memory_order_relaxed) % n == 0;
+  }
+
+  /// Bounded enqueue of one observed sample; drops (and counts) when the
+  /// buffer is full so a stalled drift checker cannot grow memory.
+  void Submit(OuType ou, FeatureVector features, const Labels &labels);
+  std::vector<OuRecord> DrainSamples();
+  uint64_t dropped_samples() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+  /// Feeds one prediction-vs-observation relative error into the OU's
+  /// rolling window and refreshes its drift gauge.
+  void RecordError(OuType ou, double relative_error);
+  double RollingError(OuType ou) const;
+  uint64_t ErrorCount(OuType ou) const;  ///< errors currently in the window
+
+  /// OUs whose rolling error exceeds the threshold with enough samples.
+  std::vector<OuType> DriftedOus() const;
+
+  /// Clears one OU's window (call after retraining it) / everything.
+  void Reset(OuType ou);
+  void ResetAll();
+
+ private:
+  DriftMonitor() = default;
+
+  struct ErrorWindow {
+    std::vector<double> errors;  // ring, newest overwrites oldest
+    size_t next = 0;
+    uint64_t total = 0;
+    double Mean() const;
+  };
+
+  std::atomic<bool> sampling_{false};
+  std::atomic<uint64_t> sample_every_n_{64};
+  std::atomic<uint64_t> tick_{0};
+  std::atomic<uint64_t> dropped_{0};
+
+  mutable std::mutex mutex_;
+  DriftConfig config_;
+  std::vector<OuRecord> samples_;
+  ErrorWindow rolling_[kNumOuTypes];
+};
+
+}  // namespace mb2

@@ -1,0 +1,247 @@
+#include "obs/metrics_registry.h"
+
+#include <cmath>
+#include <cstdio>
+#include <functional>
+#include <thread>
+
+namespace mb2 {
+
+namespace obs {
+
+namespace {
+std::atomic<bool> g_metrics_enabled{false};
+std::atomic<bool> g_tracing_enabled{false};
+}  // namespace
+
+bool Enabled() { return g_metrics_enabled.load(std::memory_order_relaxed); }
+void SetEnabled(bool on) {
+  g_metrics_enabled.store(on, std::memory_order_relaxed);
+}
+bool TracingEnabled() {
+  return g_tracing_enabled.load(std::memory_order_relaxed);
+}
+void SetTracingEnabled(bool on) {
+  g_tracing_enabled.store(on, std::memory_order_relaxed);
+}
+
+}  // namespace obs
+
+size_t Counter::ShardIndex() {
+  // Thread-affine stripe: the same thread always hits the same shard, so a
+  // single writer keeps its line exclusive and concurrent writers spread out.
+  static thread_local const size_t stripe =
+      std::hash<std::thread::id>{}(std::this_thread::get_id()) % kShards;
+  return stripe;
+}
+
+uint64_t Counter::Value() const {
+  uint64_t total = 0;
+  for (const Shard &s : shards_) {
+    total += s.value.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void Counter::Reset() {
+  for (Shard &s : shards_) s.value.store(0, std::memory_order_relaxed);
+}
+
+void Histogram::Observe(double value) {
+  if (!obs::Enabled()) return;
+  Shard &shard = shards_[Counter::ShardIndex() % kShards];
+  shard.buckets[BucketFor(value)].fetch_add(1, std::memory_order_relaxed);
+  shard.count.fetch_add(1, std::memory_order_relaxed);
+  shard.sum.fetch_add(value, std::memory_order_relaxed);
+}
+
+size_t Histogram::BucketFor(double value) {
+  if (!(value >= kMinValue)) return 0;  // also catches NaN
+  const double octaves = std::log2(value / kMinValue);
+  const size_t idx =
+      1 + static_cast<size_t>(octaves * static_cast<double>(kBucketsPerOctave));
+  return idx >= kBuckets ? kBuckets - 1 : idx;
+}
+
+double Histogram::BucketLowerBound(size_t i) {
+  if (i == 0) return 0.0;
+  return kMinValue * std::exp2(static_cast<double>(i - 1) /
+                               static_cast<double>(kBucketsPerOctave));
+}
+
+Histogram::Snapshot Histogram::Snap() const {
+  Snapshot snap;
+  snap.buckets.assign(kBuckets, 0);
+  for (const Shard &s : shards_) {
+    for (size_t b = 0; b < kBuckets; b++) {
+      snap.buckets[b] += s.buckets[b].load(std::memory_order_relaxed);
+    }
+    snap.count += s.count.load(std::memory_order_relaxed);
+    snap.sum += s.sum.load(std::memory_order_relaxed);
+  }
+  return snap;
+}
+
+uint64_t Histogram::Count() const {
+  uint64_t total = 0;
+  for (const Shard &s : shards_) {
+    total += s.count.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void Histogram::Reset() {
+  for (Shard &s : shards_) {
+    for (size_t b = 0; b < kBuckets; b++) {
+      s.buckets[b].store(0, std::memory_order_relaxed);
+    }
+    s.count.store(0, std::memory_order_relaxed);
+    s.sum.store(0.0, std::memory_order_relaxed);
+  }
+}
+
+double Histogram::Snapshot::Percentile(double q) const {
+  if (count == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Rank of the target observation (1-based), then interpolate linearly
+  // within the log-width bucket that contains it.
+  const double target = q * static_cast<double>(count - 1) + 1.0;
+  double cumulative = 0.0;
+  for (size_t b = 0; b < buckets.size(); b++) {
+    if (buckets[b] == 0) continue;
+    const double next = cumulative + static_cast<double>(buckets[b]);
+    if (target <= next) {
+      const double lower = Histogram::BucketLowerBound(b);
+      const double upper = b + 1 < buckets.size()
+                               ? Histogram::BucketLowerBound(b + 1)
+                               : lower;
+      const double frac =
+          (target - cumulative) / static_cast<double>(buckets[b]);
+      return lower + (upper - lower) * frac;
+    }
+    cumulative = next;
+  }
+  return Histogram::BucketLowerBound(buckets.size() - 1);
+}
+
+MetricsRegistry &MetricsRegistry::Instance() {
+  static MetricsRegistry instance;
+  return instance;
+}
+
+Counter &MetricsRegistry::GetCounter(const std::string &name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto &slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge &MetricsRegistry::GetGauge(const std::string &name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto &slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram &MetricsRegistry::GetHistogram(const std::string &name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto &slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+void MetricsRegistry::ResetAll() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto &[name, counter] : counters_) counter->Reset();
+  for (auto &[name, histogram] : histograms_) histogram->Reset();
+}
+
+namespace {
+
+/// "mb2_foo{ou=\"X\"}" -> "mb2_foo" for # TYPE lines; label'd series share
+/// one family.
+std::string BaseName(const std::string &name) {
+  const size_t brace = name.find('{');
+  return brace == std::string::npos ? name : name.substr(0, brace);
+}
+
+std::string FmtDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string MetricsRegistry::DumpText() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out;
+  std::string last_family;
+  for (const auto &[name, counter] : counters_) {
+    const std::string family = BaseName(name);
+    if (family != last_family) {
+      out += "# TYPE " + family + " counter\n";
+      last_family = family;
+    }
+    out += name + " " + std::to_string(counter->Value()) + "\n";
+  }
+  last_family.clear();
+  for (const auto &[name, gauge] : gauges_) {
+    const std::string family = BaseName(name);
+    if (family != last_family) {
+      out += "# TYPE " + family + " gauge\n";
+      last_family = family;
+    }
+    out += name + " " + FmtDouble(gauge->Value()) + "\n";
+  }
+  for (const auto &[name, histogram] : histograms_) {
+    const Histogram::Snapshot snap = histogram->Snap();
+    out += "# TYPE " + BaseName(name) + " summary\n";
+    for (double q : {0.5, 0.95, 0.99}) {
+      out += name + "{quantile=\"" + FmtDouble(q) + "\"} " +
+             FmtDouble(snap.Percentile(q)) + "\n";
+    }
+    out += name + "_sum " + FmtDouble(snap.sum) + "\n";
+    out += name + "_count " + std::to_string(snap.count) + "\n";
+  }
+  return out;
+}
+
+std::string MetricsRegistry::DumpJson() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out = "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto &[name, counter] : counters_) {
+    out += first ? "\n" : ",\n";
+    out += "    \"" + name + "\": " + std::to_string(counter->Value());
+    first = false;
+  }
+  out += "\n  },\n  \"gauges\": {";
+  first = true;
+  for (const auto &[name, gauge] : gauges_) {
+    out += first ? "\n" : ",\n";
+    out += "    \"" + name + "\": " + FmtDouble(gauge->Value());
+    first = false;
+  }
+  out += "\n  },\n  \"histograms\": {";
+  first = true;
+  for (const auto &[name, histogram] : histograms_) {
+    const Histogram::Snapshot snap = histogram->Snap();
+    out += first ? "\n" : ",\n";
+    out += "    \"" + name + "\": {\"count\": " + std::to_string(snap.count) +
+           ", \"sum\": " + FmtDouble(snap.sum) +
+           ", \"mean\": " + FmtDouble(snap.Mean()) +
+           ", \"p50\": " + FmtDouble(snap.Percentile(0.5)) +
+           ", \"p95\": " + FmtDouble(snap.Percentile(0.95)) +
+           ", \"p99\": " + FmtDouble(snap.Percentile(0.99)) + "}";
+    first = false;
+  }
+  out += "\n  }\n}\n";
+  return out;
+}
+
+std::string DumpMetricsText() { return MetricsRegistry::Instance().DumpText(); }
+std::string DumpMetricsJson() { return MetricsRegistry::Instance().DumpJson(); }
+
+}  // namespace mb2

@@ -1,0 +1,168 @@
+#pragma once
+
+/// \file metrics_registry.h
+/// Production observability: a registry of named counters, gauges, and
+/// log-bucketed latency histograms. The hot path is one relaxed atomic add
+/// into a per-thread-striped shard; aggregation happens merge-on-read, so
+/// instrumented subsystems never serialize on a metrics lock. Everything is
+/// compiled in unconditionally but gated on one relaxed atomic load
+/// (obs::Enabled()), so production-style runs with sampling off pay a
+/// branch, not a cache-line bounce.
+///
+/// Exposition: DumpMetricsText() emits Prometheus text format (histograms as
+/// quantile summaries), DumpMetricsJson() the same data as JSON — benches
+/// print the former and write the latter alongside their BENCH_*.json.
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace mb2 {
+
+namespace obs {
+
+/// Metrics sampling switch (counters, gauges, histograms). Off by default:
+/// the instrumented hot paths reduce to a relaxed load + untaken branch.
+bool Enabled();
+void SetEnabled(bool on);
+
+/// Span-tracing switch, independent of metrics sampling (tracing writes a
+/// ring-buffer record per span, so it is the more expensive of the two).
+bool TracingEnabled();
+void SetTracingEnabled(bool on);
+
+}  // namespace obs
+
+/// Monotonic counter, striped over cache-line-padded shards so concurrent
+/// writers from different threads rarely share a line. Value() merges.
+class Counter {
+ public:
+  Counter() = default;
+  MB2_DISALLOW_COPY_AND_MOVE(Counter);
+
+  void Add(uint64_t delta = 1) {
+    if (!obs::Enabled()) return;
+    shards_[ShardIndex()].value.fetch_add(delta, std::memory_order_relaxed);
+  }
+
+  uint64_t Value() const;
+  void Reset();
+
+ private:
+  friend class MetricsRegistry;
+  friend class Histogram;  // shares the thread-affine stripe index
+  static constexpr size_t kShards = 16;
+  struct alignas(64) Shard {
+    std::atomic<uint64_t> value{0};
+  };
+  static size_t ShardIndex();
+  Shard shards_[kShards];
+};
+
+/// Last-write-wins instantaneous value (drift errors, cache hit rates).
+/// Not gated on obs::Enabled(): gauges are set at check/export time, not on
+/// hot paths, and a stale-by-gating gauge would silently report zero.
+class Gauge {
+ public:
+  Gauge() = default;
+  MB2_DISALLOW_COPY_AND_MOVE(Gauge);
+
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Log-bucketed histogram: 4 buckets per octave (bucket width factor
+/// 2^(1/4) ~ 1.19) from 2^-10 up past 2^59, so percentiles interpolated
+/// within a bucket are within ~10% of the exact-sort answer for any
+/// positive-valued distribution. Observation is a relaxed add into a
+/// per-thread-striped shard; Percentile()/Snapshot() merge on read.
+class Histogram {
+ public:
+  Histogram() = default;
+  MB2_DISALLOW_COPY_AND_MOVE(Histogram);
+
+  static constexpr size_t kBucketsPerOctave = 4;
+  static constexpr size_t kBuckets = 283;  // underflow + 2^-10..2^60.5
+  static constexpr double kMinValue = 1.0 / 1024.0;  // lower bound of bucket 1
+
+  void Observe(double value);
+
+  /// Merged view of every shard at one point in time.
+  struct Snapshot {
+    uint64_t count = 0;
+    double sum = 0.0;
+    std::vector<uint64_t> buckets;  // kBuckets wide
+    /// q in [0, 1]; linear interpolation inside the containing bucket.
+    double Percentile(double q) const;
+    double Mean() const { return count == 0 ? 0.0 : sum / count; }
+  };
+  Snapshot Snap() const;
+
+  uint64_t Count() const;
+  double Percentile(double q) const { return Snap().Percentile(q); }
+  void Reset();
+
+  /// Bucket index for a value (0 = underflow bucket, holds v < kMinValue).
+  static size_t BucketFor(double value);
+  /// Inclusive lower bound of bucket i (0.0 for the underflow bucket).
+  static double BucketLowerBound(size_t i);
+
+ private:
+  static constexpr size_t kShards = 16;
+  struct alignas(64) Shard {
+    std::atomic<uint64_t> buckets[kBuckets] = {};
+    std::atomic<uint64_t> count{0};
+    std::atomic<double> sum{0.0};
+  };
+  Shard shards_[kShards];
+};
+
+/// Process-wide registry. Get* registers on first use and returns a stable
+/// reference (metrics are never erased), so call sites cache the handle in a
+/// function-local static and the registry lock is off the hot path entirely.
+///
+/// Names follow Prometheus conventions (mb2_<subsystem>_<what>_<unit>);
+/// a name may carry a label suffix (`mb2_drift_rel_error{ou="SEQ_SCAN"}`)
+/// which the text exposition passes through verbatim.
+class MetricsRegistry {
+ public:
+  static MetricsRegistry &Instance();
+  MB2_DISALLOW_COPY_AND_MOVE(MetricsRegistry);
+
+  Counter &GetCounter(const std::string &name);
+  Gauge &GetGauge(const std::string &name);
+  Histogram &GetHistogram(const std::string &name);
+
+  /// Prometheus text exposition (counters, gauges, histogram summaries).
+  std::string DumpText() const;
+  /// Same data as a JSON object {"counters":{},"gauges":{},"histograms":{}}.
+  std::string DumpJson() const;
+
+  /// Zeroes every counter and histogram (gauges keep their last value).
+  /// Handles stay valid. Test/bench support; not for production paths.
+  void ResetAll();
+
+ private:
+  MetricsRegistry() = default;
+
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+/// Convenience for benches: full Prometheus-text / JSON dump of the global
+/// registry (what fig11/tab02 print and write next to BENCH_*.json).
+std::string DumpMetricsText();
+std::string DumpMetricsJson();
+
+}  // namespace mb2

@@ -2,6 +2,8 @@
 
 #include "common/fault_injector.h"
 #include "metrics/metrics_collector.h"
+#include "obs/metrics_registry.h"
+#include "obs/trace.h"
 #include "storage/table.h"
 
 namespace mb2 {
@@ -11,6 +13,10 @@ constexpr size_t kRateWindow = 256;  // begins kept for arrival-rate estimate
 }
 
 std::unique_ptr<Transaction> TransactionManager::Begin(bool read_only) {
+  ObsSpan span("txn.begin");
+  static Counter &begins =
+      MetricsRegistry::Instance().GetCounter("mb2_txn_begins_total");
+  begins.Add();
   const double rate = ArrivalRate();
   double running;
   {
@@ -34,6 +40,10 @@ std::unique_ptr<Transaction> TransactionManager::Begin(bool read_only) {
 }
 
 Status TransactionManager::Commit(Transaction *txn) {
+  ObsSpan span("txn.commit");
+  static Counter &commits =
+      MetricsRegistry::Instance().GetCounter("mb2_txn_commits_total");
+  commits.Add();
   // The txn.commit fault point fires before any version is stamped, so the
   // injected failure is a clean abort the caller can safely retry.
   if (FaultInjector::Instance().Armed()) {
@@ -86,6 +96,9 @@ Status TransactionManager::Commit(Transaction *txn) {
 }
 
 void TransactionManager::Abort(Transaction *txn) {
+  static Counter &txn_aborts =
+      MetricsRegistry::Instance().GetCounter("mb2_txn_aborts_total");
+  txn_aborts.Add();
   // Roll back newest-first so chains unwind in order.
   auto &writes = txn->write_set();
   for (auto it = writes.rbegin(); it != writes.rend(); ++it) {

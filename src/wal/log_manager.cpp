@@ -6,6 +6,8 @@
 #include "common/fault_injector.h"
 #include "metrics/metrics_collector.h"
 #include "metrics/work_stats.h"
+#include "obs/metrics_registry.h"
+#include "obs/trace.h"
 
 namespace mb2 {
 
@@ -57,6 +59,10 @@ LogManager::~LogManager() {
 Status LogManager::Serialize(const std::vector<RedoRecord> &records,
                              uint64_t txn_id) {
   if (file_ == nullptr || records.empty()) return Status::Ok();
+  ObsSpan span("wal.serialize");
+  static Counter &appends =
+      MetricsRegistry::Instance().GetCounter("mb2_wal_appends_total");
+  appends.Add();
 
   const Status fault = CheckFaultPointWithRetry(
       fault_point::kWalAppend, retry_policy_, txn_id ^ 0xa99e4dULL, nullptr);
@@ -133,6 +139,14 @@ Status LogManager::FlushFilled() {
                    std::make_move_iterator(to_flush.end()));
     return fault;
   }
+
+  ObsSpan span("wal.flush");
+  static Counter &flushes =
+      MetricsRegistry::Instance().GetCounter("mb2_wal_flushes_total");
+  static Counter &flushed_bytes =
+      MetricsRegistry::Instance().GetCounter("mb2_wal_flushed_bytes_total");
+  flushes.Add();
+  flushed_bytes.Add(total_bytes);
 
   const double interval = settings_->GetDouble("log_flush_interval_us");
   OuTrackerScope scope(OuType::kLogFlush,

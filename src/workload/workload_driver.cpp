@@ -46,15 +46,27 @@ std::vector<std::pair<int64_t, double>> DriverResult::LatencyTimeline(
   return out;
 }
 
+int64_t WorkloadDriver::AdvanceNextFire(int64_t next_fire, int64_t now,
+                                        int64_t period) {
+  next_fire += period;
+  // Fallen more than one period behind: resync to the present instead of
+  // scheduling a burst of already-due fires that would all sleep zero.
+  if (now - next_fire > period) next_fire = now;
+  return next_fire;
+}
+
 DriverResult WorkloadDriver::Run(const std::function<double(Rng *)> &txn_fn,
                                  uint32_t threads, double rate_per_thread,
                                  double duration_s, uint64_t seed,
                                  const DriverOptions &opts) {
   DriverResult result;
   std::mutex result_mutex;
-  const int64_t end_time = NowMicros() + static_cast<int64_t>(duration_s * 1e6);
-  const double period_us =
-      rate_per_thread > 0.0 ? 1e6 / rate_per_thread : 0.0;
+  const int64_t start_time = NowMicros();
+  const int64_t end_time = start_time + static_cast<int64_t>(duration_s * 1e6);
+  const int64_t period_us =
+      rate_per_thread > 0.0
+          ? std::max<int64_t>(1, static_cast<int64_t>(1e6 / rate_per_thread))
+          : 0;
   const RetryPolicy retry_policy{opts.max_txn_retries + 1,
                                  opts.retry_base_backoff_us,
                                  opts.retry_max_backoff_us,
@@ -69,13 +81,13 @@ DriverResult WorkloadDriver::Run(const std::function<double(Rng *)> &txn_fn,
       uint64_t committed = 0, aborts = 0, retries = 0, giveups = 0;
       int64_t next_fire = NowMicros();
       while (NowMicros() < end_time) {
-        if (period_us > 0.0) {
+        if (period_us > 0) {
           const int64_t now = NowMicros();
           if (now < next_fire) {
             std::this_thread::sleep_for(
                 std::chrono::microseconds(next_fire - now));
           }
-          next_fire += static_cast<int64_t>(period_us);
+          next_fire = AdvanceNextFire(next_fire, NowMicros(), period_us);
         }
         // One logical transaction: the first attempt plus up to
         // max_txn_retries backed-off re-attempts on abort.
@@ -106,12 +118,17 @@ DriverResult WorkloadDriver::Run(const std::function<double(Rng *)> &txn_fn,
   }
   for (auto &w : workers) w.join();
 
+  // Throughput over the measured wall time, not the nominal duration: a run
+  // whose last transactions straggle past end_time would otherwise report
+  // inflated txn/s.
+  result.elapsed_s =
+      static_cast<double>(NowMicros() - start_time) / 1e6;
   if (!result.latencies.empty()) {
     double sum = 0.0;
     for (const auto &[t, lat] : result.latencies) sum += lat;
     result.avg_latency_us = sum / static_cast<double>(result.latencies.size());
-    result.throughput =
-        static_cast<double>(result.latencies.size()) / duration_s;
+    result.throughput = static_cast<double>(result.latencies.size()) /
+                        std::max(result.elapsed_s, 1e-9);
   }
   return result;
 }

@@ -28,7 +28,8 @@ struct DriverOptions {
 struct DriverResult {
   /// (completion time µs since process start, latency µs) per execution.
   std::vector<std::pair<int64_t, double>> latencies;
-  double throughput = 0.0;  ///< executions per second
+  double throughput = 0.0;    ///< executions per measured second
+  double elapsed_s = 0.0;     ///< measured wall time of the run
   double avg_latency_us = 0.0;
   uint64_t committed = 0;  ///< attempts that returned a latency
   uint64_t aborts = 0;     ///< total aborted attempts (incl. retried ones)
@@ -51,6 +52,13 @@ class WorkloadDriver {
                           uint32_t threads, double rate_per_thread,
                           double duration_s, uint64_t seed = 1234,
                           const DriverOptions &opts = {});
+
+  /// Open-loop pacing step: the next nominal fire time after `next_fire`
+  /// given that the clock now reads `now`. Normally `next_fire + period`;
+  /// when the worker has fallen more than one period behind (a slow
+  /// transaction), the schedule resyncs to `now` so the backlog is shed
+  /// instead of replayed as a burst of zero-sleep fires.
+  static int64_t AdvanceNextFire(int64_t next_fire, int64_t now, int64_t period);
 };
 
 }  // namespace mb2

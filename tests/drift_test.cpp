@@ -1,0 +1,281 @@
+// Model-drift monitoring tests (ctest -L obs): sampling cadence, bounded
+// sample buffering, rolling error windows and the drift signal, the
+// production-mode OuTrackerScope sampling hook, and the closed Sec 7 loop —
+// a stale OU-model drifts, CheckDrift raises the signal, RetrainDrifted
+// retrains just that OU, and prediction accuracy is restored.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "database.h"
+#include "metrics/metrics_collector.h"
+#include "modeling/model_bot.h"
+#include "obs/drift_monitor.h"
+#include "obs/metrics_registry.h"
+
+namespace mb2 {
+namespace {
+
+class DriftMonitorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    DriftMonitor::Instance().ResetAll();
+    DriftMonitor::Instance().Configure(DriftConfig{});
+    DriftMonitor::Instance().SetSamplingEnabled(false);
+  }
+  void TearDown() override {
+    DriftMonitor::Instance().SetSamplingEnabled(false);
+    DriftMonitor::Instance().ResetAll();
+  }
+};
+
+TEST_F(DriftMonitorTest, SamplingCadence) {
+  DriftMonitor &m = DriftMonitor::Instance();
+  EXPECT_FALSE(m.ShouldSample());  // sampling off
+
+  DriftConfig config;
+  config.sample_every_n = 4;
+  m.Configure(config);
+  m.SetSamplingEnabled(true);
+  int sampled = 0;
+  for (int i = 0; i < 16; i++) sampled += m.ShouldSample() ? 1 : 0;
+  EXPECT_EQ(sampled, 4);  // 1 in 4
+}
+
+TEST_F(DriftMonitorTest, SampleBufferIsBounded) {
+  DriftMonitor &m = DriftMonitor::Instance();
+  DriftConfig config;
+  config.max_buffered = 4;
+  m.Configure(config);
+  for (int i = 0; i < 6; i++) {
+    m.Submit(OuType::kSeqScan, {1.0, 2.0}, {});
+  }
+  EXPECT_EQ(m.DrainSamples().size(), 4u);
+  EXPECT_EQ(m.dropped_samples(), 2u);
+  EXPECT_TRUE(m.DrainSamples().empty());  // drained
+}
+
+TEST_F(DriftMonitorTest, RollingWindowAndSignal) {
+  DriftMonitor &m = DriftMonitor::Instance();
+  DriftConfig config;
+  config.window = 8;
+  config.min_samples = 4;
+  config.threshold = 0.5;
+  m.Configure(config);
+
+  // Below min_samples: no signal even with huge errors.
+  m.RecordError(OuType::kSortBuild, 2.0);
+  m.RecordError(OuType::kSortBuild, 2.0);
+  EXPECT_TRUE(m.DriftedOus().empty());
+
+  m.RecordError(OuType::kSortBuild, 2.0);
+  m.RecordError(OuType::kSortBuild, 2.0);
+  ASSERT_EQ(m.DriftedOus().size(), 1u);
+  EXPECT_EQ(m.DriftedOus()[0], OuType::kSortBuild);
+  EXPECT_DOUBLE_EQ(m.RollingError(OuType::kSortBuild), 2.0);
+
+  // The window rolls: 8 small errors push the big ones out.
+  for (int i = 0; i < 8; i++) m.RecordError(OuType::kSortBuild, 0.01);
+  EXPECT_NEAR(m.RollingError(OuType::kSortBuild), 0.01, 1e-12);
+  EXPECT_TRUE(m.DriftedOus().empty());
+
+  // The drift gauge tracks the rolling mean.
+  const double gauge =
+      MetricsRegistry::Instance()
+          .GetGauge("mb2_drift_rel_error{ou=\"SORT_BUILD\"}")
+          .Value();
+  EXPECT_NEAR(gauge, 0.01, 1e-12);
+
+  m.Reset(OuType::kSortBuild);
+  EXPECT_EQ(m.ErrorCount(OuType::kSortBuild), 0u);
+}
+
+TEST_F(DriftMonitorTest, ProductionScopeSubmitsSamples) {
+  // Production mode: MetricsManager off, drift sampling on. Every tracked OU
+  // exit (sample_every_n=1) must submit an observed (features, labels) pair.
+  ASSERT_FALSE(MetricsManager::Instance().Enabled());
+  DriftMonitor &m = DriftMonitor::Instance();
+  DriftConfig config;
+  config.sample_every_n = 1;
+  m.Configure(config);
+  m.SetSamplingEnabled(true);
+
+  for (int i = 0; i < 5; i++) {
+    OuTrackerScope scope(OuType::kSeqScan, {100.0, 8.0, 1.0});
+    (void)scope;
+  }
+  m.SetSamplingEnabled(false);
+
+  const std::vector<OuRecord> samples = m.DrainSamples();
+  ASSERT_EQ(samples.size(), 5u);
+  for (const OuRecord &s : samples) {
+    EXPECT_EQ(s.ou, OuType::kSeqScan);
+    ASSERT_EQ(s.features.size(), 3u);
+    EXPECT_DOUBLE_EQ(s.features[0], 100.0);
+    EXPECT_GE(s.labels[kLabelElapsedUs], 0.0);
+  }
+  // Nothing leaked into the training pipeline.
+  EXPECT_EQ(MetricsManager::Instance().BufferedCount(), 0u);
+}
+
+// --- The closed loop: drift -> signal -> RetrainOu -> accuracy restored -----
+
+class DriftLoopTest : public DriftMonitorTest {
+ protected:
+  static constexpr double kShift = 3.0;  // "software update" slows the OU 3x
+
+  void SetUp() override {
+    DriftMonitorTest::SetUp();
+    db_ = std::make_unique<Database>();
+    bot_ = std::make_unique<ModelBot>(&db_->catalog(), &db_->estimator(),
+                                      &db_->settings());
+    const size_t dim = GetOuDescriptor(OuType::kSeqScan).feature_names.size();
+    for (size_t i = 0; i < 12; i++) {
+      FeatureVector f(dim);
+      for (size_t j = 0; j < dim; j++) {
+        f[j] = 1.0 + static_cast<double>((3 * i + j) % 16);
+      }
+      features_.push_back(std::move(f));
+    }
+    bot_->TrainOuModels(MakeRecords(/*scale=*/1.0), {MlAlgorithm::kLinear},
+                        /*normalize=*/false);
+  }
+
+  /// Ground-truth labels: linear in the features, times `scale`.
+  Labels TrueLabels(const FeatureVector &f, double scale) const {
+    Labels labels{};
+    for (size_t j = 0; j < kNumLabels; j++) {
+      double v = 5.0 + static_cast<double>(j);
+      for (double q : f) v += 0.5 * q;
+      labels[j] = v * scale;
+    }
+    return labels;
+  }
+
+  std::vector<OuRecord> MakeRecords(double scale) const {
+    std::vector<OuRecord> records;
+    for (const FeatureVector &f : features_) {
+      for (int o = 0; o < 3; o++) {
+        OuRecord r;
+        r.ou = OuType::kSeqScan;
+        r.features = f;
+        r.labels = TrueLabels(f, scale);
+        records.push_back(std::move(r));
+      }
+    }
+    return records;
+  }
+
+  void SubmitObservations(double scale) const {
+    DriftMonitor &m = DriftMonitor::Instance();
+    for (const FeatureVector &f : features_) {
+      for (int o = 0; o < 2; o++) {
+        m.Submit(OuType::kSeqScan, f, TrueLabels(f, scale));
+      }
+    }
+  }
+
+  double ModelRelError(double true_scale) const {
+    const OuModel *model = bot_->GetOuModel(OuType::kSeqScan);
+    double worst = 0.0;
+    for (const FeatureVector &f : features_) {
+      const double truth = TrueLabels(f, true_scale)[kLabelElapsedUs];
+      const double pred = model->Predict(f)[kLabelElapsedUs];
+      worst = std::max(worst, std::fabs(pred - truth) / truth);
+    }
+    return worst;
+  }
+
+  std::unique_ptr<Database> db_;
+  std::unique_ptr<ModelBot> bot_;
+  std::vector<FeatureVector> features_;
+};
+
+TEST_F(DriftLoopTest, StaleModelRaisesDriftSignal) {
+  // In-distribution observations first: no drift.
+  SubmitObservations(/*scale=*/1.0);
+  DriftReport report = bot_->CheckDrift();
+  EXPECT_EQ(report.processed, features_.size() * 2);
+  EXPECT_TRUE(report.drifted.empty());
+  ASSERT_TRUE(report.rolling_error.count(OuType::kSeqScan));
+  EXPECT_LT(report.rolling_error[OuType::kSeqScan], 0.05);
+
+  // Behavior shifts 3x (e.g. a software update): relative error jumps to
+  // |p - 3p| / 3p = 2/3 > threshold and the OU signals.
+  DriftMonitor::Instance().Reset(OuType::kSeqScan);
+  SubmitObservations(kShift);
+  report = bot_->CheckDrift();
+  ASSERT_EQ(report.drifted.size(), 1u);
+  EXPECT_EQ(report.drifted[0], OuType::kSeqScan);
+  EXPECT_GT(report.rolling_error[OuType::kSeqScan], 0.5);
+  // Exposed as a gauge for the metrics dump.
+  EXPECT_GT(MetricsRegistry::Instance()
+                .GetGauge("mb2_drift_rel_error{ou=\"SEQ_SCAN\"}")
+                .Value(),
+            0.5);
+}
+
+TEST_F(DriftLoopTest, RetrainDriftedRestoresAccuracy) {
+  SubmitObservations(kShift);
+  const DriftReport report = bot_->CheckDrift();
+  ASSERT_EQ(report.drifted.size(), 1u);
+  ASSERT_GT(ModelRelError(kShift), 0.5) << "stale model should be way off";
+
+  // Close the loop: the provider plays the targeted OU-runner re-run,
+  // producing fresh training data under the new behavior.
+  size_t provider_calls = 0;
+  const size_t retrained = bot_->RetrainDrifted(
+      report,
+      [&](OuType type) {
+        provider_calls++;
+        EXPECT_EQ(type, OuType::kSeqScan);
+        return MakeRecords(kShift);
+      },
+      {MlAlgorithm::kLinear}, /*normalize=*/false);
+  EXPECT_EQ(retrained, 1u);
+  EXPECT_EQ(provider_calls, 1u);
+
+  // Accuracy restored and the drift window reset.
+  EXPECT_LT(ModelRelError(kShift), 0.05);
+  EXPECT_EQ(DriftMonitor::Instance().ErrorCount(OuType::kSeqScan), 0u);
+  EXPECT_TRUE(DriftMonitor::Instance().DriftedOus().empty());
+
+  // Fresh production samples under the new behavior no longer drift.
+  SubmitObservations(kShift);
+  const DriftReport after = bot_->CheckDrift();
+  EXPECT_TRUE(after.drifted.empty());
+  EXPECT_LT(after.rolling_error.at(OuType::kSeqScan), 0.05);
+}
+
+TEST_F(DriftLoopTest, RetrainSkipsOusWithoutFreshData) {
+  SubmitObservations(kShift);
+  const DriftReport report = bot_->CheckDrift();
+  ASSERT_FALSE(report.drifted.empty());
+  const size_t retrained = bot_->RetrainDrifted(
+      report, [](OuType) { return std::vector<OuRecord>{}; },
+      {MlAlgorithm::kLinear}, /*normalize=*/false);
+  EXPECT_EQ(retrained, 0u);
+  // No data, no retrain: the signal (and the stale model) remain.
+  EXPECT_FALSE(DriftMonitor::Instance().DriftedOus().empty());
+}
+
+TEST_F(DriftLoopTest, ExportObsMetricsPublishesCacheGauges) {
+  std::vector<TranslatedOu> ous;
+  for (const FeatureVector &f : features_) ous.push_back({OuType::kSeqScan, f});
+  bot_->ResetOuCacheStats();
+  bot_->PredictOus(ous);
+  bot_->PredictOus(ous);
+  bot_->ExportObsMetrics();
+  MetricsRegistry &reg = MetricsRegistry::Instance();
+  EXPECT_DOUBLE_EQ(reg.GetGauge("mb2_ou_cache_hits").Value(),
+                   static_cast<double>(ous.size()));
+  EXPECT_DOUBLE_EQ(reg.GetGauge("mb2_ou_cache_misses").Value(),
+                   static_cast<double>(ous.size()));
+  EXPECT_DOUBLE_EQ(reg.GetGauge("mb2_ou_cache_hit_rate").Value(), 0.5);
+}
+
+}  // namespace
+}  // namespace mb2
