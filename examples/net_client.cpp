@@ -1,0 +1,74 @@
+// Network client demo: connects to a running net_server and exercises every
+// opcode — PING, remote SQL, remote OU prediction, and the metrics dump —
+// through the pooled, retrying client library.
+//
+// Build & run:  ./build/examples/net_server &          (terminal 1)
+//               ./build/examples/net_client [port]     (terminal 2)
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "net/client.h"
+
+using namespace mb2;
+
+int main(int argc, char **argv) {
+  net::ClientOptions opts;
+  opts.port = argc > 1 ? static_cast<uint16_t>(std::atoi(argv[1])) : 7432;
+  net::Client client(opts);
+
+  if (const Status s = client.Ping(); !s.ok()) {
+    std::fprintf(stderr, "ping failed (is net_server running?): %s\n",
+                 s.ToString().c_str());
+    return 1;
+  }
+  std::printf("PING ok\n");
+
+  client.ExecuteSql("INSERT INTO kv VALUES (100, 'from-client')");
+  auto rows = client.ExecuteSql("SELECT k, v FROM kv WHERE k >= 12");
+  if (!rows.ok()) {
+    std::fprintf(stderr, "sql failed: %s\n", rows.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("SQL_QUERY ok: %zu rows in %.1f us server-side\n",
+              rows.value().rows.size(), rows.value().elapsed_us);
+  for (const Tuple &row : rows.value().rows) {
+    std::printf("  k=%lld v=%s\n", static_cast<long long>(row[0].AsInt()),
+                row[1].AsVarchar().c_str());
+  }
+
+  // Remote model serving: predict the resource/latency labels for a small
+  // batch of seq-scan OUs of growing size.
+  std::vector<TranslatedOu> ous;
+  const size_t d = GetOuDescriptor(OuType::kSeqScan).feature_names.size();
+  for (size_t i = 1; i <= 4; i++) {
+    FeatureVector f(d, 0.0);
+    f[0] = static_cast<double>(1000 * i);  // leading feature: tuple count
+    ous.push_back({OuType::kSeqScan, std::move(f)});
+  }
+  auto prediction = client.PredictOus(ous);
+  if (!prediction.ok()) {
+    std::fprintf(stderr, "predict failed: %s\n",
+                 prediction.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("PREDICT_OUS ok (%u degraded):\n",
+              prediction.value().degraded_ous);
+  for (size_t i = 0; i < prediction.value().per_ou.size(); i++) {
+    std::printf("  ou %zu: elapsed_us=%.2f cpu_time_us=%.2f\n", i,
+                prediction.value().per_ou[i][kLabelElapsedUs],
+                prediction.value().per_ou[i][kLabelCpuTimeUs]);
+  }
+
+  auto metrics = client.GetMetricsJson();
+  if (metrics.ok()) {
+    std::printf("GET_METRICS ok: %zu bytes of JSON\n", metrics.value().size());
+  }
+
+  const net::Client::Stats stats = client.stats();
+  std::printf("client: %llu round-trips, %llu retries, %llu dials\n",
+              static_cast<unsigned long long>(stats.requests),
+              static_cast<unsigned long long>(stats.retries),
+              static_cast<unsigned long long>(stats.reconnects));
+  return 0;
+}

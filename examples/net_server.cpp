@@ -1,0 +1,84 @@
+// Network server demo: boots a Database, trains OU-models so the remote
+// model-serving endpoint has something to serve, and exposes both over the
+// framed wire protocol on a TCP port. Pair with ./build/examples/net_client.
+//
+// Build & run:  ./build/examples/net_server [port]        (default 7432)
+//
+// Knobs (tunable live through the SettingsManager, e.g. by the self-driving
+// planner): net_worker_threads (applied at start), net_queue_depth and
+// net_default_deadline_ms (re-read on every admission decision).
+
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+
+#include "database.h"
+#include "modeling/model_bot.h"
+#include "net/server.h"
+#include "runner/ou_runner.h"
+
+using namespace mb2;
+
+namespace {
+volatile std::sig_atomic_t g_stop = 0;
+void OnSignal(int) { g_stop = 1; }
+}  // namespace
+
+int main(int argc, char **argv) {
+  const uint16_t port =
+      argc > 1 ? static_cast<uint16_t>(std::atoi(argv[1])) : 7432;
+
+  Database db;
+  auto created =
+      db.Execute("CREATE TABLE kv (k INTEGER, v VARCHAR)");
+  if (!created.ok()) {
+    std::fprintf(stderr, "setup failed: %s\n",
+                 created.status().ToString().c_str());
+    return 1;
+  }
+  for (int i = 0; i < 16; i++) {
+    db.Execute("INSERT INTO kv VALUES (" + std::to_string(i) + ", 'seed" +
+               std::to_string(i) + "')");
+  }
+
+  std::printf("training OU-models for the PREDICT_OUS endpoint...\n");
+  OuRunner runner(&db, OuRunnerConfig::Small());
+  ModelBot bot(&db.catalog(), &db.estimator(), &db.settings());
+  bot.TrainOuModels(runner.RunScanAndFilter(), {MlAlgorithm::kLinear});
+
+  net::ServerOptions opts;
+  opts.port = port;
+  opts.num_reactors = 2;
+  net::Server server(&db, &bot, opts);
+  if (const Status s = server.Start(); !s.ok()) {
+    std::fprintf(stderr, "server start failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("listening on 127.0.0.1:%u  (Ctrl-C drains and exits)\n",
+              server.port());
+  std::printf("knobs: net_worker_threads=%lld net_queue_depth=%lld "
+              "net_default_deadline_ms=%lld\n",
+              static_cast<long long>(db.settings().GetInt("net_worker_threads")),
+              static_cast<long long>(db.settings().GetInt("net_queue_depth")),
+              static_cast<long long>(
+                  db.settings().GetInt("net_default_deadline_ms")));
+
+  std::signal(SIGINT, OnSignal);
+  std::signal(SIGTERM, OnSignal);
+  while (g_stop == 0 && server.running()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  }
+
+  std::printf("\ndraining...\n");
+  server.Stop();
+  const net::ServerStats stats = server.stats();
+  std::printf("served %llu requests over %llu connections "
+              "(%llu shed, %llu protocol errors)\n",
+              static_cast<unsigned long long>(stats.requests),
+              static_cast<unsigned long long>(stats.accepted),
+              static_cast<unsigned long long>(stats.shed),
+              static_cast<unsigned long long>(stats.protocol_errors));
+  return 0;
+}

@@ -15,6 +15,12 @@ SettingsManager::SettingsManager() {
   // Serving-layer memoization: per-OU-type LRU capacity of the OU-prediction
   // cache (entries). 0 disables caching entirely.
   knobs_["ou_cache_capacity"] = {4096.0, KnobKind::kResource};
+  // Network service layer (src/net). Worker count applies at server start;
+  // queue depth and deadline are re-read on every admission decision, so the
+  // self-driving planner can tune a live server (0 deadline = none).
+  knobs_["net_worker_threads"] = {4.0, KnobKind::kResource};
+  knobs_["net_queue_depth"] = {256.0, KnobKind::kResource};
+  knobs_["net_default_deadline_ms"] = {5000.0, KnobKind::kBehavior};
 }
 
 int64_t SettingsManager::GetInt(const std::string &name) const {

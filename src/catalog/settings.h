@@ -48,6 +48,9 @@ class SettingsManager {
   ///   working_mem_limit_bytes per-query memory budget           (resource)
   ///   simulated_cpu_freq_ghz  hardware-context simulation knob  (behavior)
   ///   ou_cache_capacity       OU-prediction cache entries/type  (resource)
+  ///   net_worker_threads      server worker pool size (at start)(resource)
+  ///   net_queue_depth         server admission bound (hot)      (resource)
+  ///   net_default_deadline_ms per-request deadline (hot; 0=off) (behavior)
 
  private:
   struct Knob {

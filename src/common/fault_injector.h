@@ -34,6 +34,12 @@ inline constexpr const char *kPersistenceWrite = "persistence.write";
 inline constexpr const char *kPersistenceRead = "persistence.read";
 inline constexpr const char *kTxnCommit = "txn.commit";
 inline constexpr const char *kThreadPoolTask = "threadpool.task";
+// Network service layer (src/net): firing simulates a transient socket
+// failure — the server drops the affected connection, exercising the
+// client's reconnect/retry path.
+inline constexpr const char *kNetAccept = "net.accept";
+inline constexpr const char *kNetRead = "net.read";
+inline constexpr const char *kNetWrite = "net.write";
 }  // namespace fault_point
 
 /// What an armed point does when it fires.

@@ -1,14 +1,17 @@
 #pragma once
 
 /// \file serde.h
-/// Minimal binary serialization for model persistence: scalars, strings,
-/// and double vectors with a leading magic/version header. Little-endian
-/// host assumption (x86-64 / aarch64 targets).
+/// Minimal binary serialization for model persistence (file-backed
+/// BinaryWriter/BinaryReader) and for wire-protocol payloads (in-memory
+/// ByteWriter/ByteReader, same Put/Get surface): scalars, strings, and
+/// double vectors with a leading magic/version header. Little-endian host
+/// assumption (x86-64 / aarch64 targets).
 
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <type_traits>
 #include <vector>
 
 #include "common/macros.h"
@@ -174,6 +177,106 @@ class BinaryReader {
   BinaryReader() = default;
   FILE *file_ = nullptr;
   int64_t size_ = 0;
+  bool failed_ = false;
+};
+
+/// In-memory counterpart of BinaryWriter used to build wire-protocol
+/// payloads (src/net). Appends to an owned byte buffer; never fails.
+class ByteWriter {
+ public:
+  ByteWriter() = default;
+
+  template <typename T>
+  void Put(T value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const size_t off = bytes_.size();
+    bytes_.resize(off + sizeof(T));
+    std::memcpy(bytes_.data() + off, &value, sizeof(T));
+  }
+
+  void PutString(const std::string &s) {
+    Put<uint32_t>(static_cast<uint32_t>(s.size()));
+    PutRaw(s.data(), s.size());
+  }
+
+  void PutDoubles(const std::vector<double> &v) {
+    Put<uint64_t>(v.size());
+    PutRaw(v.data(), v.size() * sizeof(double));
+  }
+
+  void PutRaw(const void *data, size_t len) {
+    const size_t off = bytes_.size();
+    bytes_.resize(off + len);
+    if (len > 0) std::memcpy(bytes_.data() + off, data, len);
+  }
+
+  const std::vector<uint8_t> &bytes() const { return bytes_; }
+  std::vector<uint8_t> Take() { return std::move(bytes_); }
+
+ private:
+  std::vector<uint8_t> bytes_;
+};
+
+/// In-memory counterpart of BinaryReader for decoding wire-protocol
+/// payloads. Non-owning view; every Get is bounds-checked against the
+/// buffer end so truncated or hostile payloads fail cleanly instead of
+/// over-reading.
+class ByteReader {
+ public:
+  ByteReader(const void *data, size_t len)
+      : data_(static_cast<const uint8_t *>(data)), size_(len) {}
+
+  bool ok() const { return !failed_; }
+  /// Decoders call this when a payload is structurally inconsistent (e.g. a
+  /// count that disagrees with the remaining bytes).
+  void MarkCorrupt() { failed_ = true; }
+
+  int64_t RemainingBytes() const {
+    return static_cast<int64_t>(size_) - static_cast<int64_t>(pos_);
+  }
+
+  template <typename T>
+  T Get() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    T value{};
+    if (failed_ || pos_ + sizeof(T) > size_) {
+      failed_ = true;
+      return value;
+    }
+    std::memcpy(&value, data_ + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return value;
+  }
+
+  std::string GetString() {
+    const uint32_t len = Get<uint32_t>();
+    if (failed_ || len > (1u << 24) ||
+        static_cast<int64_t>(len) > RemainingBytes()) {
+      failed_ = true;
+      return {};
+    }
+    std::string s(reinterpret_cast<const char *>(data_ + pos_), len);
+    pos_ += len;
+    return s;
+  }
+
+  std::vector<double> GetDoubles() {
+    const uint64_t n = Get<uint64_t>();
+    if (failed_ || n > (1ull << 27) ||
+        static_cast<int64_t>(n * sizeof(double)) > RemainingBytes()) {
+      failed_ = true;
+      return {};
+    }
+    std::vector<double> v(n);
+    if (n > 0) std::memcpy(v.data(), data_ + pos_, n * sizeof(double));
+    pos_ += n * sizeof(double);
+    return v;
+  }
+
+ private:
+  const uint8_t *data_;
+  size_t size_;
+  size_t pos_ = 0;
   bool failed_ = false;
 };
 

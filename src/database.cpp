@@ -1,6 +1,12 @@
 #include "database.h"
 
+#include "sql/parser.h"
+
 namespace mb2 {
+
+Result<QueryResult> Database::Execute(const std::string &sql) {
+  return sql::ExecuteSql(this, sql);
+}
 
 Database::Database(Options options) : options_(std::move(options)) {
   log_manager_ = std::make_unique<LogManager>(options_.wal_path, &settings_);

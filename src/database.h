@@ -44,6 +44,12 @@ class Database {
   /// Executes a finalized plan in its own transaction.
   QueryResult Execute(const PlanNode &plan) { return engine_->ExecuteQuery(plan); }
 
+  /// End-to-end convenience entry point: lexes, parses, binds, plans, and
+  /// executes one SQL statement (DDL included; queries/DML run in their own
+  /// transaction). The network service's SQL_QUERY opcode and embedded
+  /// users share this path.
+  Result<QueryResult> Execute(const std::string &sql);
+
  private:
   SettingsManager settings_;
   Catalog catalog_;

@@ -1,0 +1,59 @@
+#include "net/session.h"
+
+#include "metrics/metrics_collector.h"
+
+namespace mb2::net {
+
+uint64_t SessionManager::Register(const std::string &peer) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const uint64_t id = next_id_++;
+  SessionInfo &info = sessions_[id];
+  info.id = id;
+  info.peer = peer;
+  info.connected_us = NowMicros();
+  total_accepted_++;
+  return id;
+}
+
+void SessionManager::Unregister(uint64_t id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  sessions_.erase(id);
+}
+
+void SessionManager::OnRequest(uint64_t id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = sessions_.find(id);
+  if (it != sessions_.end()) it->second.requests++;
+}
+
+void SessionManager::OnBytesIn(uint64_t id, uint64_t bytes) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = sessions_.find(id);
+  if (it != sessions_.end()) it->second.bytes_in += bytes;
+}
+
+void SessionManager::OnBytesOut(uint64_t id, uint64_t bytes) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = sessions_.find(id);
+  if (it != sessions_.end()) it->second.bytes_out += bytes;
+}
+
+size_t SessionManager::Count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return sessions_.size();
+}
+
+uint64_t SessionManager::TotalAccepted() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return total_accepted_;
+}
+
+std::vector<SessionInfo> SessionManager::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<SessionInfo> out;
+  out.reserve(sessions_.size());
+  for (const auto &[id, info] : sessions_) out.push_back(info);
+  return out;
+}
+
+}  // namespace mb2::net

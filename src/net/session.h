@@ -1,0 +1,54 @@
+#pragma once
+
+/// \file session.h
+/// Per-connection session registry for the network service layer. Every
+/// accepted connection becomes a session with a stable id; the reactors
+/// update its traffic counters as frames flow. The registry answers the
+/// introspection questions the server and tests ask (how many sessions are
+/// live, what has each one done) and backs the mb2_net_connections gauge.
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace mb2::net {
+
+struct SessionInfo {
+  uint64_t id = 0;
+  std::string peer;          ///< "ip:port" of the remote end
+  int64_t connected_us = 0;  ///< NowMicros() at accept
+  uint64_t requests = 0;     ///< complete frames received
+  uint64_t bytes_in = 0;
+  uint64_t bytes_out = 0;
+};
+
+class SessionManager {
+ public:
+  SessionManager() = default;
+  MB2_DISALLOW_COPY_AND_MOVE(SessionManager);
+
+  /// Registers a new session and returns its id (ids are never reused).
+  uint64_t Register(const std::string &peer);
+  void Unregister(uint64_t id);
+
+  void OnRequest(uint64_t id);
+  void OnBytesIn(uint64_t id, uint64_t bytes);
+  void OnBytesOut(uint64_t id, uint64_t bytes);
+
+  size_t Count() const;
+  /// Total sessions ever registered (monotonic; survives Unregister).
+  uint64_t TotalAccepted() const;
+  std::vector<SessionInfo> Snapshot() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<uint64_t, SessionInfo> sessions_;
+  uint64_t next_id_ = 1;
+  uint64_t total_accepted_ = 0;
+};
+
+}  // namespace mb2::net

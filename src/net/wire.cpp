@@ -1,0 +1,290 @@
+#include "net/wire.h"
+
+#include <cstring>
+
+#include "common/checksum.h"
+
+namespace mb2::net {
+
+const char *OpcodeName(Opcode op) {
+  switch (op) {
+    case Opcode::kPing: return "PING";
+    case Opcode::kSqlQuery: return "SQL_QUERY";
+    case Opcode::kPredictOus: return "PREDICT_OUS";
+    case Opcode::kGetMetrics: return "GET_METRICS";
+    case Opcode::kSleep: return "SLEEP";
+  }
+  return "UNKNOWN";
+}
+
+Status WireCodeToStatus(WireCode code, const std::string &message) {
+  switch (code) {
+    case WireCode::kOk: return Status::Ok();
+    case WireCode::kBadRequest: return Status::InvalidArgument(message);
+    case WireCode::kNotFound: return Status::NotFound(message);
+    case WireCode::kAborted: return Status::Aborted(message);
+    case WireCode::kServerBusy: return Status::Aborted("SERVER_BUSY: " + message);
+    case WireCode::kDeadlineExceeded:
+      return Status::Aborted("DEADLINE_EXCEEDED: " + message);
+    case WireCode::kShuttingDown:
+      return Status::Aborted("SHUTTING_DOWN: " + message);
+    case WireCode::kInternal: return Status::Internal(message);
+  }
+  return Status::Internal("unknown wire code: " + message);
+}
+
+WireCode StatusToWireCode(const Status &status) {
+  switch (status.code()) {
+    case ErrorCode::kOk: return WireCode::kOk;
+    case ErrorCode::kNotFound: return WireCode::kNotFound;
+    case ErrorCode::kAborted: return WireCode::kAborted;
+    case ErrorCode::kInvalidArgument:
+    case ErrorCode::kAlreadyExists:
+    case ErrorCode::kNotSupported: return WireCode::kBadRequest;
+    case ErrorCode::kIoError:
+    case ErrorCode::kInternal: return WireCode::kInternal;
+  }
+  return WireCode::kInternal;
+}
+
+std::vector<uint8_t> EncodeFrame(uint16_t opcode, uint64_t request_id,
+                                 const std::vector<uint8_t> &payload) {
+  ByteWriter w;
+  w.Put<uint32_t>(kWireMagic);
+  w.Put<uint16_t>(kWireVersion);
+  w.Put<uint16_t>(opcode);
+  w.Put<uint64_t>(request_id);
+  w.Put<uint32_t>(static_cast<uint32_t>(payload.size()));
+  w.Put<uint32_t>(Crc32(payload.data(), payload.size()));
+  w.PutRaw(payload.data(), payload.size());
+  return w.Take();
+}
+
+void FrameDecoder::Feed(const void *data, size_t len) {
+  // Compact lazily: once everything buffered has been parsed, restart the
+  // buffer instead of growing it forever on a long-lived connection.
+  if (consumed_ == buffer_.size()) {
+    buffer_.clear();
+    consumed_ = 0;
+  } else if (consumed_ > (64u << 10) && consumed_ > buffer_.size() / 2) {
+    buffer_.erase(buffer_.begin(),
+                  buffer_.begin() + static_cast<ptrdiff_t>(consumed_));
+    consumed_ = 0;
+  }
+  const auto *bytes = static_cast<const uint8_t *>(data);
+  buffer_.insert(buffer_.end(), bytes, bytes + len);
+}
+
+FrameDecoder::Outcome FrameDecoder::Next(Frame *out) {
+  const size_t avail = buffer_.size() - consumed_;
+  if (avail < kHeaderBytes) return Outcome::kNeedMore;
+  const uint8_t *head = buffer_.data() + consumed_;
+
+  uint32_t magic;
+  uint16_t version, opcode;
+  uint64_t request_id;
+  uint32_t payload_len, payload_crc;
+  std::memcpy(&magic, head, 4);
+  std::memcpy(&version, head + 4, 2);
+  std::memcpy(&opcode, head + 6, 2);
+  std::memcpy(&request_id, head + 8, 8);
+  std::memcpy(&payload_len, head + 16, 4);
+  std::memcpy(&payload_crc, head + 20, 4);
+
+  if (magic != kWireMagic) return Outcome::kBadMagic;
+  if (version != kWireVersion) return Outcome::kBadVersion;
+  // Header fields are trustworthy from here on; expose them even on the
+  // error outcomes so the server can address an error response.
+  out->opcode = opcode;
+  out->request_id = request_id;
+  out->payload.clear();
+  if (payload_len > max_payload_) return Outcome::kOversized;
+  if (avail < kHeaderBytes + payload_len) return Outcome::kNeedMore;
+
+  const uint8_t *body = head + kHeaderBytes;
+  consumed_ += kHeaderBytes + payload_len;
+  if (Crc32(body, payload_len) != payload_crc) {
+    out->payload.clear();
+    return Outcome::kBadCrc;
+  }
+  out->payload.assign(body, body + payload_len);
+  return Outcome::kFrame;
+}
+
+// --- Requests ---------------------------------------------------------------
+
+std::vector<uint8_t> EncodeSqlRequest(const std::string &sql) {
+  ByteWriter w;
+  w.PutString(sql);
+  return w.Take();
+}
+
+bool DecodeSqlRequest(const std::vector<uint8_t> &payload, std::string *sql) {
+  ByteReader r(payload.data(), payload.size());
+  *sql = r.GetString();
+  return r.ok() && r.RemainingBytes() == 0;
+}
+
+std::vector<uint8_t> EncodePredictRequest(const std::vector<TranslatedOu> &ous) {
+  ByteWriter w;
+  w.Put<uint32_t>(static_cast<uint32_t>(ous.size()));
+  for (const TranslatedOu &ou : ous) {
+    w.Put<uint8_t>(static_cast<uint8_t>(ou.type));
+    w.PutDoubles(ou.features);
+  }
+  return w.Take();
+}
+
+bool DecodePredictRequest(const std::vector<uint8_t> &payload,
+                          std::vector<TranslatedOu> *ous) {
+  ByteReader r(payload.data(), payload.size());
+  const uint32_t n = r.Get<uint32_t>();
+  // Each OU costs at least 9 bytes (type + empty-vector length); a count
+  // beyond that is corrupt — reject before reserving.
+  if (!r.ok() || static_cast<int64_t>(n) * 9 > r.RemainingBytes()) return false;
+  ous->clear();
+  ous->reserve(n);
+  for (uint32_t i = 0; i < n; i++) {
+    TranslatedOu ou;
+    const uint8_t type = r.Get<uint8_t>();
+    if (type >= static_cast<uint8_t>(OuType::kNumOuTypes)) return false;
+    ou.type = static_cast<OuType>(type);
+    ou.features = r.GetDoubles();
+    if (!r.ok()) return false;
+    ous->push_back(std::move(ou));
+  }
+  return r.RemainingBytes() == 0;
+}
+
+std::vector<uint8_t> EncodeSleepRequest(uint32_t millis) {
+  ByteWriter w;
+  w.Put<uint32_t>(millis);
+  return w.Take();
+}
+
+bool DecodeSleepRequest(const std::vector<uint8_t> &payload, uint32_t *millis) {
+  ByteReader r(payload.data(), payload.size());
+  *millis = r.Get<uint32_t>();
+  return r.ok() && r.RemainingBytes() == 0;
+}
+
+// --- Responses --------------------------------------------------------------
+
+static void PutHead(ByteWriter *w, WireCode code, const std::string &message) {
+  w->Put<uint16_t>(static_cast<uint16_t>(code));
+  w->PutString(message);
+}
+
+std::vector<uint8_t> EncodeStatusResponse(WireCode code,
+                                          const std::string &message) {
+  ByteWriter w;
+  PutHead(&w, code, message);
+  return w.Take();
+}
+
+std::vector<uint8_t> EncodeSqlResponse(const SqlResponseBody &body) {
+  ByteWriter w;
+  PutHead(&w, WireCode::kOk, "");
+  w.Put<double>(body.elapsed_us);
+  w.Put<uint8_t>(body.aborted ? 1 : 0);
+  w.Put<uint64_t>(body.rows.size());
+  for (const Tuple &row : body.rows) {
+    w.Put<uint16_t>(static_cast<uint16_t>(row.size()));
+    for (const Value &v : row) {
+      w.Put<uint8_t>(static_cast<uint8_t>(v.type()));
+      switch (v.type()) {
+        case TypeId::kInteger: w.Put<int64_t>(v.AsInt()); break;
+        case TypeId::kDouble: w.Put<double>(v.AsDouble()); break;
+        case TypeId::kVarchar: w.PutString(v.AsVarchar()); break;
+      }
+    }
+  }
+  return w.Take();
+}
+
+std::vector<uint8_t> EncodePredictResponse(const PredictResponseBody &body) {
+  ByteWriter w;
+  PutHead(&w, WireCode::kOk, "");
+  w.Put<uint32_t>(body.degraded_ous);
+  w.Put<uint64_t>(body.per_ou.size());
+  // Labels go over the wire as raw 8-byte doubles, so a remote prediction is
+  // bit-identical to the in-process result (an acceptance criterion).
+  for (const Labels &labels : body.per_ou) {
+    w.PutRaw(labels.data(), labels.size() * sizeof(double));
+  }
+  return w.Take();
+}
+
+std::vector<uint8_t> EncodeMetricsResponse(const std::string &json) {
+  ByteWriter w;
+  PutHead(&w, WireCode::kOk, "");
+  w.PutString(json);
+  return w.Take();
+}
+
+bool DecodeResponseHead(const std::vector<uint8_t> &payload, WireCode *code,
+                        std::string *message, size_t *body_offset) {
+  ByteReader r(payload.data(), payload.size());
+  const uint16_t raw = r.Get<uint16_t>();
+  *message = r.GetString();
+  if (!r.ok() || raw > static_cast<uint16_t>(WireCode::kInternal)) return false;
+  *code = static_cast<WireCode>(raw);
+  *body_offset = payload.size() - static_cast<size_t>(r.RemainingBytes());
+  return true;
+}
+
+bool DecodeSqlResponseBody(const std::vector<uint8_t> &payload, size_t offset,
+                           SqlResponseBody *out) {
+  ByteReader r(payload.data() + offset, payload.size() - offset);
+  out->elapsed_us = r.Get<double>();
+  out->aborted = r.Get<uint8_t>() != 0;
+  const uint64_t n_rows = r.Get<uint64_t>();
+  if (!r.ok() || static_cast<int64_t>(n_rows) * 2 > r.RemainingBytes()) {
+    return false;
+  }
+  out->rows.clear();
+  out->rows.reserve(n_rows);
+  for (uint64_t i = 0; i < n_rows; i++) {
+    const uint16_t n_cols = r.Get<uint16_t>();
+    Tuple row;
+    row.reserve(n_cols);
+    for (uint16_t c = 0; c < n_cols; c++) {
+      const uint8_t type = r.Get<uint8_t>();
+      if (!r.ok()) return false;
+      switch (static_cast<TypeId>(type)) {
+        case TypeId::kInteger: row.push_back(Value::Integer(r.Get<int64_t>())); break;
+        case TypeId::kDouble: row.push_back(Value::Double(r.Get<double>())); break;
+        case TypeId::kVarchar: row.push_back(Value::Varchar(r.GetString())); break;
+        default: return false;
+      }
+    }
+    if (!r.ok()) return false;
+    out->rows.push_back(std::move(row));
+  }
+  return r.ok() && r.RemainingBytes() == 0;
+}
+
+bool DecodePredictResponseBody(const std::vector<uint8_t> &payload,
+                               size_t offset, PredictResponseBody *out) {
+  ByteReader r(payload.data() + offset, payload.size() - offset);
+  out->degraded_ous = r.Get<uint32_t>();
+  const uint64_t n = r.Get<uint64_t>();
+  constexpr int64_t kLabelBytes = kNumLabels * sizeof(double);
+  if (!r.ok() || static_cast<int64_t>(n) * kLabelBytes != r.RemainingBytes()) {
+    return false;
+  }
+  out->per_ou.resize(n);
+  for (uint64_t i = 0; i < n; i++) {
+    for (size_t j = 0; j < kNumLabels; j++) out->per_ou[i][j] = r.Get<double>();
+  }
+  return r.ok();
+}
+
+bool DecodeMetricsResponseBody(const std::vector<uint8_t> &payload,
+                               size_t offset, std::string *json) {
+  ByteReader r(payload.data() + offset, payload.size() - offset);
+  *json = r.GetString();
+  return r.ok() && r.RemainingBytes() == 0;
+}
+
+}  // namespace mb2::net

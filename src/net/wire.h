@@ -1,0 +1,169 @@
+#pragma once
+
+/// \file wire.h
+/// The MB2 framed wire protocol. Every message — request or response — is
+/// one frame:
+///
+///   offset  size  field
+///        0     4  magic        "MB2P" (0x5032424d little-endian)
+///        4     2  version      kWireVersion
+///        6     2  opcode       Opcode; responses set kResponseBit
+///        8     8  request_id   echoed verbatim in the response
+///       16     4  payload_len  bytes following the header
+///       20     4  payload_crc  CRC32 (common/checksum) of the payload
+///       24     .  payload      opcode-specific body (common/serde ByteWriter)
+///
+/// All integers are little-endian host layout (the project-wide assumption
+/// in common/serde.h). Response payloads always begin with a uint16 WireCode
+/// plus a length-prefixed error message; the opcode-specific body follows
+/// only when the code is kOk.
+///
+/// Malformed input never crashes the peer: FrameDecoder rejects bad
+/// magic/version (framing lost — the connection must close), oversized
+/// length prefixes, and CRC mismatches (reported per-frame so the server
+/// can answer kBadRequest before closing); payload decoders are
+/// bounds-checked via ByteReader.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/serde.h"
+#include "common/status.h"
+#include "common/value.h"
+#include "metrics/resource_tracker.h"
+#include "modeling/ou_translator.h"
+
+namespace mb2::net {
+
+inline constexpr uint32_t kWireMagic = 0x5032424du;  // "MB2P"
+inline constexpr uint16_t kWireVersion = 1;
+inline constexpr size_t kHeaderBytes = 24;
+/// Default ceiling on a frame payload; decoders reject larger length
+/// prefixes before buffering anything.
+inline constexpr uint32_t kDefaultMaxPayloadBytes = 16u << 20;
+
+/// Request opcodes. kSleep exists for tests and benches: it occupies a
+/// worker for a bounded time, which is how deadline-expiry and load-shed
+/// paths are exercised deterministically.
+enum class Opcode : uint16_t {
+  kPing = 1,
+  kSqlQuery = 2,
+  kPredictOus = 3,
+  kGetMetrics = 4,
+  kSleep = 5,
+};
+inline constexpr uint16_t kResponseBit = 0x8000;
+
+const char *OpcodeName(Opcode op);
+
+/// Status of a response, mapped to/from mb2::Status at the client boundary.
+enum class WireCode : uint16_t {
+  kOk = 0,
+  kBadRequest = 1,        ///< undecodable payload, unknown opcode, SQL error
+  kNotFound = 2,          ///< e.g. unknown table / knob
+  kAborted = 3,           ///< transaction conflict
+  kServerBusy = 4,        ///< admission queue full (load shed)
+  kDeadlineExceeded = 5,  ///< request expired before a worker ran it
+  kShuttingDown = 6,      ///< server draining; no new work accepted
+  kInternal = 7,
+};
+
+/// WireCode -> typed client-facing Status (kOk -> Status::Ok()).
+Status WireCodeToStatus(WireCode code, const std::string &message);
+/// Engine Status -> response WireCode (never returns kOk for an error).
+WireCode StatusToWireCode(const Status &status);
+
+/// One decoded frame.
+struct Frame {
+  uint16_t opcode = 0;  ///< raw opcode, response bit included
+  uint64_t request_id = 0;
+  std::vector<uint8_t> payload;
+
+  bool IsResponse() const { return (opcode & kResponseBit) != 0; }
+  Opcode Op() const { return static_cast<Opcode>(opcode & ~kResponseBit); }
+};
+
+/// Serializes a complete frame (header + CRC32 + payload).
+std::vector<uint8_t> EncodeFrame(uint16_t opcode, uint64_t request_id,
+                                 const std::vector<uint8_t> &payload);
+
+/// Incremental frame parser over a byte stream. Feed() appends raw socket
+/// bytes; Next() yields complete frames until the buffer runs dry.
+class FrameDecoder {
+ public:
+  explicit FrameDecoder(uint32_t max_payload_bytes = kDefaultMaxPayloadBytes)
+      : max_payload_(max_payload_bytes) {}
+
+  enum class Outcome {
+    kNeedMore,   ///< buffer holds no complete frame yet
+    kFrame,      ///< *out filled; call Next() again
+    kBadMagic,   ///< stream is not speaking this protocol; close it
+    kBadVersion,
+    kOversized,  ///< length prefix exceeds the payload ceiling
+    kBadCrc,     ///< frame parsed but payload corrupt (header in *out)
+  };
+
+  void Feed(const void *data, size_t len);
+  /// On kBadCrc the frame's opcode/request_id are valid in *out (the
+  /// payload is dropped) so the server can address an error response;
+  /// the stream position stays consistent and parsing may continue.
+  Outcome Next(Frame *out);
+
+  size_t buffered_bytes() const { return buffer_.size() - consumed_; }
+
+ private:
+  uint32_t max_payload_;
+  std::vector<uint8_t> buffer_;
+  size_t consumed_ = 0;  ///< bytes of buffer_ already parsed away
+};
+
+// --- Request payload codecs -------------------------------------------------
+// Encoders build the payload only (EncodeFrame wraps it); decoders return
+// false on malformed input.
+
+std::vector<uint8_t> EncodeSqlRequest(const std::string &sql);
+bool DecodeSqlRequest(const std::vector<uint8_t> &payload, std::string *sql);
+
+std::vector<uint8_t> EncodePredictRequest(const std::vector<TranslatedOu> &ous);
+bool DecodePredictRequest(const std::vector<uint8_t> &payload,
+                          std::vector<TranslatedOu> *ous);
+
+std::vector<uint8_t> EncodeSleepRequest(uint32_t millis);
+bool DecodeSleepRequest(const std::vector<uint8_t> &payload, uint32_t *millis);
+
+// --- Response payload codecs ------------------------------------------------
+
+/// Error response (or bare-OK for PING/SLEEP): WireCode + message, no body.
+std::vector<uint8_t> EncodeStatusResponse(WireCode code,
+                                          const std::string &message);
+
+/// Rows of a remote SQL result (the engine's Batch flattened to tuples).
+struct SqlResponseBody {
+  std::vector<Tuple> rows;
+  double elapsed_us = 0.0;
+  bool aborted = false;
+};
+std::vector<uint8_t> EncodeSqlResponse(const SqlResponseBody &body);
+
+struct PredictResponseBody {
+  std::vector<Labels> per_ou;
+  uint32_t degraded_ous = 0;
+};
+std::vector<uint8_t> EncodePredictResponse(const PredictResponseBody &body);
+
+std::vector<uint8_t> EncodeMetricsResponse(const std::string &json);
+
+/// Splits any response payload into its leading (code, message) and the
+/// remaining body bytes. Returns false on malformed payloads.
+bool DecodeResponseHead(const std::vector<uint8_t> &payload, WireCode *code,
+                        std::string *message, size_t *body_offset);
+
+bool DecodeSqlResponseBody(const std::vector<uint8_t> &payload, size_t offset,
+                           SqlResponseBody *out);
+bool DecodePredictResponseBody(const std::vector<uint8_t> &payload,
+                               size_t offset, PredictResponseBody *out);
+bool DecodeMetricsResponseBody(const std::vector<uint8_t> &payload,
+                               size_t offset, std::string *json);
+
+}  // namespace mb2::net

@@ -183,5 +183,25 @@ TEST(IntegrationTest, IntervalPredictionProducesPerTemplateLatencies) {
   EXPECT_GE(with_action.action_elapsed_us, 0.0);
 }
 
+TEST(IntegrationTest, DatabaseExecuteSqlFacade) {
+  // The string-taking Execute overload drives the full
+  // lex → parse → bind → plan → execute pipeline, including DDL, and is
+  // shared by embedded users and the network service layer.
+  Database db;
+  ASSERT_TRUE(db.Execute("CREATE TABLE facade (a INTEGER, b DOUBLE)").ok());
+  for (int i = 0; i < 10; i++) {
+    ASSERT_TRUE(db.Execute("INSERT INTO facade VALUES (" + std::to_string(i) +
+                           ", " + std::to_string(i) + ".25)")
+                    .ok());
+  }
+  auto agg = db.Execute("SELECT COUNT(*), SUM(b) FROM facade WHERE a < 4");
+  ASSERT_TRUE(agg.ok());
+  ASSERT_EQ(agg.value().batch.rows.size(), 1u);
+  EXPECT_EQ(agg.value().batch.rows[0][0].AsInt(), 4);
+  EXPECT_DOUBLE_EQ(agg.value().batch.rows[0][1].AsDouble(),
+                   0.25 + 1.25 + 2.25 + 3.25);
+  EXPECT_FALSE(db.Execute("SELECT * FROM missing_table").ok());
+}
+
 }  // namespace
 }  // namespace mb2

@@ -190,6 +190,28 @@ TEST_F(SqlTest, ErrorsAreInvalidArgumentNotCrashes) {
   }
 }
 
+TEST_F(SqlTest, DatabaseExecuteConvenienceOverload) {
+  // Database::Execute(sql) is the same end-to-end path ExecuteSql takes
+  // (it is what the network service's SQL_QUERY opcode calls).
+  auto result = db_.Execute("SELECT COUNT(*) FROM items WHERE grp = 1");
+  ASSERT_TRUE(result.ok());
+  ASSERT_TRUE(result.value().status.ok());
+  ASSERT_EQ(result.value().batch.rows.size(), 1u);
+  EXPECT_EQ(result.value().batch.rows[0][0].AsInt(), 20);
+
+  // DDL and DML flow through the same overload.
+  ASSERT_TRUE(db_.Execute("CREATE TABLE conv (x INTEGER)").ok());
+  ASSERT_TRUE(db_.Execute("INSERT INTO conv VALUES (41), (42)").ok());
+  auto rows = db_.Execute("SELECT x FROM conv WHERE x > 41");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows.value().batch.rows.size(), 1u);
+  EXPECT_EQ(rows.value().batch.rows[0][0].AsInt(), 42);
+
+  // Errors surface through the Result, typed, instead of crashing.
+  EXPECT_FALSE(db_.Execute("SELECT * FROM nonexistent").ok());
+  EXPECT_FALSE(db_.Execute("NOT SQL AT ALL").ok());
+}
+
 TEST_F(SqlTest, QualifiedColumnsInJoin) {
   ASSERT_TRUE(ExecuteSql(&db_, "CREATE TABLE other (id INTEGER, v INTEGER)").ok());
   ASSERT_TRUE(ExecuteSql(&db_, "INSERT INTO other VALUES (1, 10), (2, 20)").ok());
