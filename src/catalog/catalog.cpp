@@ -8,6 +8,7 @@ Table *Catalog::CreateTable(const std::string &name, Schema schema) {
   auto table = std::make_unique<Table>(next_table_id_++, name, std::move(schema));
   Table *raw = table.get();
   tables_[name] = std::move(table);
+  BumpVersion();
   return raw;
 }
 
@@ -29,6 +30,7 @@ Result<BPlusTree *> Catalog::CreateIndex(IndexSchema schema, bool ready) {
   index->set_ready(ready);
   BPlusTree *raw = index.get();
   indexes_[schema.name] = std::move(index);
+  BumpVersion();
   return raw;
 }
 
@@ -37,6 +39,7 @@ Status Catalog::DropIndex(const std::string &name) {
   auto it = indexes_.find(name);
   if (it == indexes_.end()) return Status::NotFound("index " + name);
   indexes_.erase(it);
+  BumpVersion();
   return Status::Ok();
 }
 

@@ -4,6 +4,7 @@
 /// The database catalog: owns tables and indexes, resolves names, and lists
 /// the indexes the executors must maintain on writes.
 
+#include <atomic>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -41,11 +42,20 @@ class Catalog {
   std::vector<std::string> TableNames() const;
   std::vector<std::string> IndexNames() const;
 
+  /// Monotonic schema/statistics version. Bumped by every DDL operation,
+  /// by index publication (deferred builds becoming ready), and by stats
+  /// refreshes — anything that could change how a statement should be
+  /// planned. Cached plans record the version they were built under and are
+  /// discarded on mismatch.
+  uint64_t version() const { return version_.load(std::memory_order_acquire); }
+  void BumpVersion() { version_.fetch_add(1, std::memory_order_acq_rel); }
+
  private:
   mutable std::mutex mutex_;
   std::map<std::string, std::unique_ptr<Table>> tables_;
   std::map<std::string, std::unique_ptr<BPlusTree>> indexes_;
   uint32_t next_table_id_ = 1;
+  std::atomic<uint64_t> version_{0};
 };
 
 }  // namespace mb2

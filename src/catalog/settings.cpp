@@ -21,6 +21,13 @@ SettingsManager::SettingsManager() {
   knobs_["net_worker_threads"] = {4.0, KnobKind::kResource};
   knobs_["net_queue_depth"] = {256.0, KnobKind::kResource};
   knobs_["net_default_deadline_ms"] = {5000.0, KnobKind::kBehavior};
+  // SQL fast path (src/sql/plan_cache, src/plan/cost_optimizer, vectorized
+  // exec). All three are hot-tunable: capacity is re-read on every cache
+  // insert, optimizer mode on every planning call, and batch size at query
+  // start. 0 capacity disables plan caching.
+  knobs_["sql_plan_cache_capacity"] = {1024.0, KnobKind::kResource};
+  knobs_["vector_batch_size"] = {1024.0, KnobKind::kBehavior};
+  knobs_["optimizer_mode"] = {0.0, KnobKind::kBehavior};  // 0=heuristic 1=model
 }
 
 int64_t SettingsManager::GetInt(const std::string &name) const {

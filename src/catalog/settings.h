@@ -19,8 +19,11 @@ namespace mb2 {
 
 /// Query execution strategy. Interpret runs Volcano-style iterators with
 /// virtual dispatch; Compiled runs fused, batched pipelines (our stand-in
-/// for NoisePage's JIT, with a genuine measured performance difference).
-enum class ExecutionMode : int64_t { kInterpret = 0, kCompiled = 1 };
+/// for NoisePage's JIT, with a genuine measured performance difference);
+/// Vectorized runs filters/projections over typed column vectors of
+/// `vector_batch_size` rows through the SIMD primitives (same OU feature
+/// class as Compiled).
+enum class ExecutionMode : int64_t { kInterpret = 0, kCompiled = 1, kVectorized = 2 };
 
 enum class KnobKind { kBehavior, kResource };
 
@@ -41,7 +44,7 @@ class SettingsManager {
   std::map<std::string, double> Snapshot() const;
 
   /// Knob defaults (also serve as documentation of the knob set):
-  ///   execution_mode          0=interpret, 1=compiled           (behavior)
+  ///   execution_mode          0=interpret 1=compiled 2=vector   (behavior)
   ///   log_flush_interval_us   WAL flush period                  (behavior)
   ///   gc_interval_us          garbage-collection period         (behavior)
   ///   index_build_threads     parallel index-build degree       (behavior)
@@ -51,6 +54,9 @@ class SettingsManager {
   ///   net_worker_threads      server worker pool size (at start)(resource)
   ///   net_queue_depth         server admission bound (hot)      (resource)
   ///   net_default_deadline_ms per-request deadline (hot; 0=off) (behavior)
+  ///   sql_plan_cache_capacity plan-cache entries (hot; 0=off)   (resource)
+  ///   vector_batch_size       rows per vectorized batch (hot)   (behavior)
+  ///   optimizer_mode          0=heuristic, 1=model-costed (hot) (behavior)
 
  private:
   struct Knob {

@@ -40,6 +40,10 @@ inline constexpr const char *kThreadPoolTask = "threadpool.task";
 inline constexpr const char *kNetAccept = "net.accept";
 inline constexpr const char *kNetRead = "net.read";
 inline constexpr const char *kNetWrite = "net.write";
+// Parallel index population (src/index/index_builder): firing fails the
+// build after the scan; CREATE INDEX must surface the error and drop the
+// half-built index from the catalog.
+inline constexpr const char *kIndexBuild = "index.build";
 }  // namespace fault_point
 
 /// What an armed point does when it fires.

@@ -17,6 +17,9 @@ Database::Database(Options options) : options_(std::move(options)) {
   engine_ = std::make_unique<ExecutionEngine>(&catalog_, txn_manager_.get(),
                                               &settings_);
   estimator_ = std::make_unique<CardinalityEstimator>(&catalog_);
+  optimizer_ = std::make_unique<CostOptimizer>(&catalog_, estimator_.get(),
+                                               &settings_);
+  plan_cache_ = std::make_unique<sql::PlanCache>(&catalog_, &settings_);
   if (options_.start_flusher) log_manager_->StartFlusher();
   if (options_.start_gc) gc_->StartBackground();
 }

@@ -14,10 +14,14 @@
 #include "exec/execution_engine.h"
 #include "gc/garbage_collector.h"
 #include "plan/cardinality_estimator.h"
+#include "plan/cost_optimizer.h"
+#include "sql/plan_cache.h"
 #include "txn/transaction_manager.h"
 #include "wal/log_manager.h"
 
 namespace mb2 {
+
+class ModelBot;
 
 class Database {
  public:
@@ -40,6 +44,13 @@ class Database {
   GarbageCollector &gc() { return *gc_; }
   ExecutionEngine &engine() { return *engine_; }
   CardinalityEstimator &estimator() { return *estimator_; }
+  sql::PlanCache &plan_cache() { return *plan_cache_; }
+  CostOptimizer &optimizer() { return *optimizer_; }
+
+  /// Serving hook: attach trained behavior models so the optimizer can
+  /// price plan candidates (optimizer_mode = 1). Null detaches.
+  void set_model_bot(ModelBot *bot) { optimizer_->set_model_bot(bot); }
+  ModelBot *model_bot() const { return optimizer_->model_bot(); }
 
   /// Executes a finalized plan in its own transaction.
   QueryResult Execute(const PlanNode &plan) { return engine_->ExecuteQuery(plan); }
@@ -58,6 +69,8 @@ class Database {
   std::unique_ptr<GarbageCollector> gc_;
   std::unique_ptr<ExecutionEngine> engine_;
   std::unique_ptr<CardinalityEstimator> estimator_;
+  std::unique_ptr<CostOptimizer> optimizer_;
+  std::unique_ptr<sql::PlanCache> plan_cache_;
   Options options_;
 };
 

@@ -43,7 +43,12 @@ class ExecutionContext {
   SettingsManager *settings() const { return settings_; }
   ExecutionMode mode() const { return mode_; }
   void set_mode(ExecutionMode mode) { mode_ = mode; }
-  double ModeFeature() const { return mode_ == ExecutionMode::kCompiled ? 1.0 : 0.0; }
+  /// OU exec_mode feature. Vectorized shares the compiled feature class
+  /// (both remove the interpreter's per-attribute dispatch); models trained
+  /// on modes 0/1 stay applicable.
+  double ModeFeature() const {
+    return mode_ == ExecutionMode::kInterpret ? 0.0 : 1.0;
+  }
 
   /// Simulated network sink written by the OUTPUT OU.
   std::vector<uint8_t> &output_buffer() { return output_buffer_; }

@@ -6,6 +6,7 @@
 
 #include "exec/compiled_executor.h"
 #include "exec/interpreter.h"
+#include "exec/vector_ops.h"
 #include "index/bplus_tree.h"
 #include "metrics/metrics_collector.h"
 #include "metrics/work_stats.h"
@@ -20,18 +21,31 @@ namespace {
 // Helpers
 // ---------------------------------------------------------------------------
 
+/// Rows per vectorized block, re-read from the (hot) knob per operator.
+size_t VectorBlockRows(ExecutionContext *ctx) {
+  const int64_t knob = ctx->settings()->GetInt("vector_batch_size");
+  return knob > 0 ? static_cast<size_t>(knob) : 1;
+}
+
 /// Evaluates `expr` over every row of `batch`, keeping matches. Tracked as
 /// the ARITHMETIC (filter) OU. The interpret path walks the expression tree
-/// per tuple; the compiled path runs the flattened program.
+/// per tuple; the compiled path runs the flattened program; the vectorized
+/// path evaluates typed column lanes block-at-a-time (falling back to the
+/// compiled path for varchar predicates).
 void FilterBatch(const Expression &expr, ExecutionContext *ctx, Batch *batch) {
   const double n = static_cast<double>(batch->NumRows());
   OuTrackerScope scope(OuType::kArithmetic,
                        {n, static_cast<double>(expr.Complexity()),
                         ctx->ModeFeature()});
   const bool with_slots = !batch->slots.empty();
-  size_t kept = 0;
   WorkStats::Current().tuples_processed += batch->rows.size();
-  if (ctx->mode() == ExecutionMode::kCompiled) {
+  if (ctx->mode() == ExecutionMode::kVectorized &&
+      VectorizedFilter(expr, VectorBlockRows(ctx), &batch->rows,
+                       with_slots ? &batch->slots : nullptr)) {
+    return;
+  }
+  size_t kept = 0;
+  if (ctx->mode() != ExecutionMode::kInterpret) {
     CompiledExpression compiled(expr);
     for (size_t i = 0; i < batch->rows.size(); i++) {
       if (compiled.EvaluateBool(batch->rows[i])) {
@@ -79,7 +93,8 @@ Tuple ProjectRow(const Tuple &row, const std::vector<uint32_t> &columns) {
 void EmitRow(ExecutionMode mode, const TupleAccessor &accessor,
              const Tuple &row, const std::vector<uint32_t> &columns,
              std::vector<Tuple> *out) {
-  if (mode == ExecutionMode::kCompiled) {
+  if (mode != ExecutionMode::kInterpret) {
+    // Compiled and vectorized modes both copy attributes directly.
     out->push_back(ProjectRow(row, columns));
     return;
   }
@@ -118,10 +133,88 @@ bool KeysEqual(const Tuple &a, const std::vector<uint32_t> &a_cols,
 // Scans
 // ---------------------------------------------------------------------------
 
+/// Vectorized scan fast path: the predicate is evaluated in blocks directly
+/// over the tuples sitting in the version chains (gather by pointer), and
+/// only surviving rows are materialized into the batch — a selective scan
+/// skips the per-row copy for everything it rejects. The filter's work is
+/// part of the scan loop here, so the kSeqScan OU covers both and no
+/// separate ARITHMETIC OU is recorded; results are bit-identical to the
+/// materialize-then-filter path because blocks preserve slot order.
+Status ExecSeqScanFused(const SeqScanPlan &plan, ExecutionContext *ctx,
+                        Table *table, SlotId num_slots,
+                        VectorizedExpression *vec, Batch *out) {
+  FeatureVector features = MakeExecFeatures(
+      static_cast<double>(num_slots),
+      static_cast<double>(table->schema().NumColumns()),
+      table->schema().TupleByteSize(), 0.0, 0.0, 1.0, ctx->ModeFeature());
+  OuTrackerScope scope(OuType::kSeqScan, std::move(features));
+
+  const size_t block = VectorBlockRows(ctx);
+  const uint64_t read_ts = ctx->txn()->read_ts();
+  const uint64_t reader_txn = ctx->txn()->txn_id();
+  WorkStats &ws = WorkStats::Current();
+
+  std::vector<const Tuple *> ptrs;
+  std::vector<SlotId> slots;
+  ptrs.reserve(block);
+  slots.reserve(block);
+  uint64_t visible = 0;
+
+  auto flush = [&] {
+    if (ptrs.empty()) return;
+    // tuples_processed counts the filter pass over visible rows, matching
+    // the separate FilterBatch call of the unfused path.
+    ws.tuples_processed += ptrs.size();
+    if (vec->EvaluateBlock(ptrs.data(), ptrs.size())) {
+      for (size_t l = 0; l < ptrs.size(); l++) {
+        if (!vec->LaneBool(l)) continue;
+        out->rows.push_back(*ptrs[l]);
+        if (plan.with_slots) out->slots.push_back(slots[l]);
+      }
+    } else {
+      // Varchar value in this block: scalar fallback, same results.
+      for (size_t l = 0; l < ptrs.size(); l++) {
+        if (!plan.predicate->EvaluateBool(*ptrs[l])) continue;
+        out->rows.push_back(*ptrs[l]);
+        if (plan.with_slots) out->slots.push_back(slots[l]);
+      }
+    }
+    ptrs.clear();
+    slots.clear();
+  };
+
+  for (SlotId slot = 0; slot < num_slots; slot++) {
+    ws.tuples_processed++;
+    const VersionNode *node = table->Head(slot);
+    while (node != nullptr && !node->VisibleTo(read_ts, reader_txn)) {
+      node = node->next;
+    }
+    if (node == nullptr || node->deleted) continue;
+    ws.bytes_read += TupleSize(node->data);
+    visible++;
+    ptrs.push_back(&node->data);
+    slots.push_back(slot);
+    if (ptrs.size() >= block) flush();
+  }
+  flush();
+  // Feature parity with the unfused path: cardinality = visible (pre-filter)
+  // rows, the count the scan itself emits there.
+  scope.MutableFeatures()[exec_feature::kCardinality] =
+      static_cast<double>(visible);
+  return Status::Ok();
+}
+
 Status ExecSeqScan(const SeqScanPlan &plan, ExecutionContext *ctx, Batch *out) {
   Table *table = ctx->catalog()->GetTable(plan.table);
   if (table == nullptr) return Status::NotFound("table " + plan.table);
   const SlotId num_slots = table->NumSlots();
+  if (ctx->mode() == ExecutionMode::kVectorized && plan.predicate != nullptr &&
+      plan.columns.empty()) {
+    VectorizedExpression vec(*plan.predicate);
+    if (vec.Supported()) {
+      return ExecSeqScanFused(plan, ctx, table, num_slots, &vec, out);
+    }
+  }
   {
     FeatureVector features = MakeExecFeatures(
         static_cast<double>(num_slots),
@@ -208,11 +301,26 @@ Status ExecHashJoin(const HashJoinPlan &plan, ExecutionContext *ctx,
     OuTrackerScope scope(OuType::kHashJoinBuild, std::move(features));
     ht.reserve(build.rows.size());
     WorkStats &ws = WorkStats::Current();
+    // Vectorized mode hoists key hashing out of the insertion loop and runs
+    // it vector-at-a-time; insertion order (hence results) is unchanged.
+    std::vector<uint64_t> hashes;
+    if (ctx->mode() == ExecutionMode::kVectorized) {
+      hashes.resize(build.rows.size());
+      const size_t block = VectorBlockRows(ctx);
+      for (size_t begin = 0; begin < build.rows.size(); begin += block) {
+        const size_t end = std::min(begin + block, build.rows.size());
+        for (size_t i = begin; i < end; i++) {
+          hashes[i] = HashColumns(build.rows[i], plan.build_keys);
+        }
+      }
+    }
     // Sec 8.5's simulated "software update": a 1µs stall every N inserts.
     const auto sleep_every = static_cast<uint64_t>(
         ctx->settings()->GetDouble("jht_sleep_every_n"));
     for (uint32_t i = 0; i < build.rows.size(); i++) {
-      ht[HashColumns(build.rows[i], plan.build_keys)].push_back(i);
+      ht[hashes.empty() ? HashColumns(build.rows[i], plan.build_keys)
+                        : hashes[i]]
+          .push_back(i);
       ws.hash_ops++;
       if (sleep_every != 0 && (i + 1) % sleep_every == 0) {
         const auto deadline =
@@ -238,9 +346,23 @@ Status ExecHashJoin(const HashJoinPlan &plan, ExecutionContext *ctx,
         probe.AvgTupleBytes(), 0.0, payload, 1.0, ctx->ModeFeature());
     OuTrackerScope scope(OuType::kHashJoinProbe, std::move(features));
     WorkStats &ws = WorkStats::Current();
-    for (const auto &probe_row : probe.rows) {
+    std::vector<uint64_t> hashes;
+    if (ctx->mode() == ExecutionMode::kVectorized) {
+      hashes.resize(probe.rows.size());
+      const size_t block = VectorBlockRows(ctx);
+      for (size_t begin = 0; begin < probe.rows.size(); begin += block) {
+        const size_t end = std::min(begin + block, probe.rows.size());
+        for (size_t i = begin; i < end; i++) {
+          hashes[i] = HashColumns(probe.rows[i], plan.probe_keys);
+        }
+      }
+    }
+    for (size_t p = 0; p < probe.rows.size(); p++) {
+      const auto &probe_row = probe.rows[p];
       ws.hash_ops++;
-      auto it = ht.find(HashColumns(probe_row, plan.probe_keys));
+      auto it = ht.find(hashes.empty()
+                            ? HashColumns(probe_row, plan.probe_keys)
+                            : hashes[p]);
       if (it == ht.end()) continue;
       for (uint32_t build_idx : it->second) {
         const Tuple &build_row = build.rows[build_idx];
@@ -310,9 +432,10 @@ Status ExecAggregate(const AggregatePlan &plan, ExecutionContext *ctx,
   std::unordered_map<uint64_t, Group> groups;
   const double n = static_cast<double>(input.NumRows());
 
-  // Pre-compile the aggregate argument expressions once per execution.
+  // Pre-compile the aggregate argument expressions once per execution
+  // (vectorized mode shares the compiled per-tuple path here).
   std::vector<std::unique_ptr<CompiledExpression>> compiled;
-  if (ctx->mode() == ExecutionMode::kCompiled) {
+  if (ctx->mode() != ExecutionMode::kInterpret) {
     for (const auto &term : plan.terms) {
       compiled.push_back(term.arg ? std::make_unique<CompiledExpression>(*term.arg)
                                   : nullptr);
@@ -327,10 +450,50 @@ Status ExecAggregate(const AggregatePlan &plan, ExecutionContext *ctx,
         1.0, ctx->ModeFeature());
     OuTrackerScope scope(OuType::kAggBuild, std::move(features));
     WorkStats &ws = WorkStats::Current();
-    for (const auto &row : input.rows) {
+    // Vectorized mode hoists key hashing and aggregate-argument evaluation
+    // out of the grouping loop and runs both vector-at-a-time; the per-row
+    // loop below then only does hash-table ops. Lane doubles are the
+    // interpreter's AsDouble() view, so accumulated sums stay bit-identical.
+    std::vector<uint64_t> hashes;
+    std::vector<std::vector<double>> term_vals(plan.terms.size());
+    if (ctx->mode() == ExecutionMode::kVectorized && !input.rows.empty()) {
+      const size_t block = VectorBlockRows(ctx);
+      if (!plan.group_by.empty()) {
+        hashes.resize(input.rows.size());
+        for (size_t begin = 0; begin < input.rows.size(); begin += block) {
+          const size_t end = std::min(begin + block, input.rows.size());
+          for (size_t i = begin; i < end; i++) {
+            hashes[i] = HashColumns(input.rows[i], plan.group_by);
+          }
+        }
+      }
+      for (size_t t = 0; t < plan.terms.size(); t++) {
+        if (plan.terms[t].arg == nullptr) continue;
+        VectorizedExpression vec(*plan.terms[t].arg);
+        if (!vec.Supported()) continue;
+        std::vector<double> vals(input.rows.size());
+        bool ok = true;
+        for (size_t begin = 0; ok && begin < input.rows.size();
+             begin += block) {
+          const size_t n_rows = std::min(block, input.rows.size() - begin);
+          if (!vec.EvaluateBlock(input.rows, begin, n_rows)) {
+            ok = false;  // varchar column value: keep the per-row path
+            break;
+          }
+          for (size_t l = 0; l < n_rows; l++) {
+            vals[begin + l] = vec.LaneDouble(l);
+          }
+        }
+        if (ok) term_vals[t] = std::move(vals);
+      }
+    }
+    for (size_t r = 0; r < input.rows.size(); r++) {
+      const auto &row = input.rows[r];
       const uint64_t h = plan.group_by.empty()
                              ? 0
-                             : HashColumns(row, plan.group_by);
+                             : (hashes.empty()
+                                    ? HashColumns(row, plan.group_by)
+                                    : hashes[r]);
       ws.hash_ops++;
       auto [it, inserted] = groups.try_emplace(h);
       Group &g = it->second;
@@ -344,7 +507,9 @@ Status ExecAggregate(const AggregatePlan &plan, ExecutionContext *ctx,
         const auto &term = plan.terms[t];
         if (term.arg == nullptr) {
           g.accs[t].AddCountOnly();
-        } else if (ctx->mode() == ExecutionMode::kCompiled) {
+        } else if (!term_vals[t].empty()) {
+          g.accs[t].Add(term_vals[t][r]);
+        } else if (ctx->mode() != ExecutionMode::kInterpret) {
           g.accs[t].Add(compiled[t]->IsNumeric()
                             ? compiled[t]->EvaluateNumeric(row)
                             : compiled[t]->Evaluate(row).AsDouble());
@@ -451,8 +616,14 @@ Status ExecProjection(const ProjectionPlan &plan, ExecutionContext *ctx,
                             static_cast<double>(complexity), ctx->ModeFeature()};
   OuTrackerScope scope(OuType::kArithmetic, std::move(features));
 
+  if (ctx->mode() == ExecutionMode::kVectorized &&
+      VectorizedProject(plan.exprs, VectorBlockRows(ctx), input.rows,
+                        &out->rows)) {
+    WorkStats::Current().tuples_processed += out->rows.size();
+    return Status::Ok();
+  }
   std::vector<std::unique_ptr<CompiledExpression>> compiled;
-  if (ctx->mode() == ExecutionMode::kCompiled) {
+  if (ctx->mode() != ExecutionMode::kInterpret) {
     for (const auto &e : plan.exprs) {
       compiled.push_back(std::make_unique<CompiledExpression>(*e));
     }
@@ -461,7 +632,7 @@ Status ExecProjection(const ProjectionPlan &plan, ExecutionContext *ctx,
   for (const auto &row : input.rows) {
     Tuple projected;
     projected.reserve(plan.exprs.size());
-    if (ctx->mode() == ExecutionMode::kCompiled) {
+    if (ctx->mode() != ExecutionMode::kInterpret) {
       // The Value-typed program preserves integer results exactly; the
       // numeric fast path is reserved for filters and aggregates where the
       // output is a double or a boolean anyway.

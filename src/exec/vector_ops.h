@@ -1,0 +1,111 @@
+#pragma once
+
+/// \file vector_ops.h
+/// The "vectorized" execution mode's expression engine: expressions are
+/// flattened once and then evaluated column-at-a-time over blocks of
+/// `vector_batch_size` rows. Each node's result lives in contiguous typed
+/// lanes (an int64 array, a double array, and a per-lane typedness byte), so
+/// the common homogeneous case runs as tight loops over raw arrays the
+/// compiler can vectorize — the same auto-vectorization contract as the
+/// ml/matrix.cpp kernels (no reassociation, ascending index order), which is
+/// what keeps vectorized results bit-identical to the row-at-a-time
+/// interpreter:
+///   - int OP int stays int64 (div-by-zero yields 0),
+///   - any double operand promotes the lane pair to double,
+///   - comparisons compute the interpreter's three-way result (NaN compares
+///     "greater", exactly like Value::Compare),
+///   - varchar operands are not vectorizable: a varchar constant marks the
+///     whole expression unsupported, a varchar column value makes the block
+///     fall back to the scalar path (same results, just slower).
+
+#include <cstdint>
+#include <vector>
+
+#include "common/value.h"
+#include "plan/expression.h"
+#include "storage/version.h"
+
+namespace mb2 {
+
+class VectorizedExpression {
+ public:
+  explicit VectorizedExpression(const Expression &expr);
+
+  /// False when the expression can never vectorize (varchar constant).
+  bool Supported() const { return supported_; }
+
+  /// Evaluates rows [begin, begin+n) into the root node's lanes. Returns
+  /// false (leaving lanes unspecified) when a varchar column value was
+  /// encountered — the caller must evaluate this block row-at-a-time.
+  bool EvaluateBlock(const std::vector<Tuple> &rows, size_t begin, size_t n);
+
+  /// Gather form: evaluates `n` rows referenced by pointer (e.g. tuples
+  /// still sitting in MVCC version chains) without materializing them. The
+  /// scan fast path filters through this and copies only the survivors.
+  bool EvaluateBlock(const Tuple *const *rows, size_t n);
+
+  /// Root-lane accessors, valid after a successful EvaluateBlock.
+  bool LaneBool(size_t lane) const;    ///< Expression::EvaluateBool semantics
+  Value LaneValue(size_t lane) const;  ///< Expression::Evaluate semantics
+  /// Expression::Evaluate(row).AsDouble() semantics (lane double view).
+  double LaneDouble(size_t lane) const { return lanes_.back().dbls[lane]; }
+
+ private:
+  /// Columnar result of one expression node over the current block. The
+  /// double lanes always hold the value's AsDouble() view; the int lanes are
+  /// meaningful only where is_int says so.
+  struct Lanes {
+    std::vector<int64_t> ints;
+    std::vector<double> dbls;
+    std::vector<uint8_t> is_int;
+    bool all_int = false;  ///< every lane integer: int fast loops apply
+    bool has_int = false;  ///< no lane integer: pure double loops apply
+
+    void Resize(size_t n) {
+      ints.resize(n);
+      dbls.resize(n);
+      is_int.resize(n);
+    }
+  };
+
+  /// One flattened node; children precede parents (postorder), so a single
+  /// forward pass over `nodes_` evaluates the tree.
+  struct Node {
+    ExprType type;
+    ArithOp arith_op = ArithOp::kAdd;
+    CmpOp cmp_op = CmpOp::kEq;
+    LogicOp logic_op = LogicOp::kAnd;
+    uint32_t col_idx = 0;
+    int32_t lhs = -1, rhs = -1;  // node indexes; kNot uses lhs only
+    bool const_is_int = false;
+    int64_t const_int = 0;
+    double const_dbl = 0.0;
+  };
+
+  int32_t Flatten(const Expression &expr);
+  /// `rows`/`begin` index a contiguous batch; `row_ptrs` (when non-null)
+  /// takes precedence and gathers by pointer instead.
+  bool EvalNode(const Node &node, Lanes *out, const std::vector<Tuple> &rows,
+                const Tuple *const *row_ptrs, size_t begin, size_t n);
+
+  std::vector<Node> nodes_;
+  std::vector<Lanes> lanes_;  // scratch, parallel to nodes_
+  bool supported_ = true;
+};
+
+/// Applies `expr` as a filter over `rows` in blocks of `block_rows`,
+/// compacting rows (and `slots`, when non-null) in place. Returns false —
+/// with nothing modified — when the expression is unsupported; the caller
+/// runs the row-at-a-time path instead. Blocks that hit varchar column
+/// values internally fall back to per-row evaluation, so a `true` return is
+/// always bit-identical to the scalar filter.
+bool VectorizedFilter(const Expression &expr, size_t block_rows,
+                      std::vector<Tuple> *rows, std::vector<SlotId> *slots);
+
+/// Evaluates the projection list over `in` in blocks of `block_rows`,
+/// appending one output tuple per input row. Returns false — with `out`
+/// untouched — when any expression is unsupported.
+bool VectorizedProject(const std::vector<ExprPtr> &exprs, size_t block_rows,
+                       const std::vector<Tuple> &in, std::vector<Tuple> *out);
+
+}  // namespace mb2

@@ -5,6 +5,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "common/fault_injector.h"
 #include "metrics/metrics_collector.h"
 #include "obs/metrics_registry.h"
 #include "obs/trace.h"
@@ -127,8 +128,23 @@ IndexBuildStats IndexBuilder::Build(Catalog *catalog,
     });
   }
   for (auto &w : workers) w.join();
-  txn_manager->Commit(txn.get());
+  auto &injector = FaultInjector::Instance();
+  if (injector.Armed()) {
+    const FaultCheck check = injector.Hit(fault_point::kIndexBuild);
+    if (check.fire) {
+      if (check.action == FaultAction::kThrow) throw InjectedFault(check.message);
+      txn_manager->Abort(txn.get());
+      stats.status = check.ToStatus(fault_point::kIndexBuild);
+      return stats;
+    }
+  }
+  const Status commit = txn_manager->Commit(txn.get());
+  if (!commit.ok()) {
+    stats.status = commit;
+    return stats;
+  }
   index->set_ready(true);  // publish: reads may use the index now
+  catalog->BumpVersion();  // cached plans may now prefer this index
 
   stats.labels = CombineParallelLabels(per_thread);
   stats.labels[kLabelMemoryBytes] = static_cast<double>(index->MemoryBytes());

@@ -9,6 +9,7 @@
 #include <cstdint>
 
 #include "catalog/catalog.h"
+#include "common/status.h"
 #include "index/bplus_tree.h"
 #include "metrics/resource_tracker.h"
 #include "txn/transaction_manager.h"
@@ -16,6 +17,10 @@
 namespace mb2 {
 
 struct IndexBuildStats {
+  /// Non-OK when the build failed (injected fault, snapshot commit failure).
+  /// The index is NOT published in that case — the caller owns cleanup
+  /// (CREATE INDEX drops the half-built index from the catalog).
+  Status status;
   double elapsed_us = 0.0;   ///< wall time of the whole build
   uint64_t tuples_indexed = 0;
   Labels labels{};           ///< combined per-thread labels (see below)

@@ -16,10 +16,12 @@ double SchemaTupleBytes(const Schema &schema) {
 
 std::vector<TranslatedOu> OuTranslator::TranslateQuery(
     const PlanNode &plan, double exec_mode_override) const {
+  // Vectorized (knob value 2) shares the compiled exec_mode feature class,
+  // mirroring ExecutionContext::ModeFeature at collection time.
   const double mode =
       exec_mode_override >= 0.0
           ? exec_mode_override
-          : static_cast<double>(settings_->GetInt("execution_mode"));
+          : (settings_->GetInt("execution_mode") >= 1 ? 1.0 : 0.0);
   std::vector<TranslatedOu> out;
   TranslateNode(plan, mode, &out);
   return out;

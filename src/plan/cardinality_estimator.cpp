@@ -82,6 +82,9 @@ void CardinalityEstimator::RefreshStats() {
     }
     stats_[name] = ts;
   }
+  // New statistics can change plan choices (index selection, join order),
+  // so invalidate every cached plan built under the old stats.
+  catalog_->BumpVersion();
 }
 
 double CardinalityEstimator::TableRows(const std::string &table) const {

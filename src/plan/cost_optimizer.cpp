@@ -1,0 +1,366 @@
+#include "plan/cost_optimizer.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "modeling/model_bot.h"
+#include "obs/metrics_registry.h"
+
+namespace mb2 {
+
+namespace {
+
+/// Enumeration bounds: join graphs larger than this plan heuristically
+/// (factorial blowup), and candidate generation stops at the cap.
+constexpr size_t kMaxJoinTables = 5;
+constexpr size_t kMaxCandidates = 64;
+
+ExprPtr CombineConjuncts(std::vector<ExprPtr> conjuncts) {
+  if (conjuncts.empty()) return nullptr;
+  ExprPtr expr = std::move(conjuncts[0]);
+  for (size_t i = 1; i < conjuncts.size(); i++) {
+    expr = And(std::move(expr), std::move(conjuncts[i]));
+  }
+  return expr;
+}
+
+std::vector<ExprPtr> CloneConjuncts(const std::vector<ExprPtr> &conjuncts) {
+  std::vector<ExprPtr> out;
+  out.reserve(conjuncts.size());
+  for (const auto &c : conjuncts) out.push_back(c->Clone());
+  return out;
+}
+
+/// Equality constants pinning columns of `table`: eq[col] = the conjunct's
+/// constant expression (param ordinal included), or null.
+std::vector<const Expression *> EqConstants(
+    const Table *table, const std::vector<ExprPtr> &conjuncts) {
+  std::vector<const Expression *> eq(table->schema().NumColumns(), nullptr);
+  for (const auto &conjunct : conjuncts) {
+    const Expression &e = *conjunct;
+    if (e.type == ExprType::kComparison && e.cmp_op == CmpOp::kEq &&
+        e.children[0]->type == ExprType::kColumnRef &&
+        e.children[1]->type == ExprType::kConstant) {
+      eq[e.children[0]->col_idx] = e.children[1].get();
+    }
+  }
+  return eq;
+}
+
+/// The pinned key prefix of `index` under the conjuncts' equality constants
+/// (empty when the leading key column is unconstrained).
+std::vector<const Expression *> PinnedPrefix(
+    const BPlusTree *index, const std::vector<const Expression *> &eq) {
+  std::vector<const Expression *> prefix;
+  for (uint32_t c : index->schema().key_columns) {
+    if (eq[c] == nullptr) break;
+    prefix.push_back(eq[c]);
+  }
+  return prefix;
+}
+
+/// Index scan over the pinned prefix; conjuncts not covered by the prefix
+/// stay as the residual predicate.
+PlanPtr MakeIndexScan(const BPlusTree *index,
+                      const std::vector<const Expression *> &prefix,
+                      std::vector<ExprPtr> conjuncts, const std::string &table,
+                      bool with_slots) {
+  const auto &key_cols = index->schema().key_columns;
+  auto scan = std::make_unique<IndexScanPlan>();
+  scan->index = index->schema().name;
+  scan->table = table;
+  for (const Expression *e : prefix) {
+    scan->key_lo.push_back(e->constant);
+    scan->key_lo_params.push_back(e->param_idx);
+  }
+  std::vector<ExprPtr> residual;
+  for (auto &conjunct : conjuncts) {
+    const Expression &e = *conjunct;
+    bool covered = false;
+    if (e.type == ExprType::kComparison && e.cmp_op == CmpOp::kEq &&
+        e.children[0]->type == ExprType::kColumnRef) {
+      const uint32_t col = e.children[0]->col_idx;
+      for (size_t k = 0; k < prefix.size(); k++) {
+        if (key_cols[k] == col) covered = true;
+      }
+    }
+    if (!covered) residual.push_back(std::move(conjunct));
+  }
+  scan->predicate = CombineConjuncts(std::move(residual));
+  scan->with_slots = with_slots;
+  return scan;
+}
+
+PlanPtr MakeSeqScan(const std::string &table, std::vector<ExprPtr> conjuncts,
+                    bool with_slots) {
+  auto scan = std::make_unique<SeqScanPlan>();
+  scan->table = table;
+  scan->predicate = CombineConjuncts(std::move(conjuncts));
+  scan->with_slots = with_slots;
+  return scan;
+}
+
+}  // namespace
+
+PlanPtr CostOptimizer::ChooseScan(Table *table, std::vector<ExprPtr> conjuncts,
+                                  bool with_slots) const {
+  const auto eq = EqConstants(table, conjuncts);
+  for (BPlusTree *index : catalog_->GetTableIndexes(table->name())) {
+    if (!index->ready()) continue;
+    const auto prefix = PinnedPrefix(index, eq);
+    if (prefix.empty()) continue;
+    return MakeIndexScan(index, prefix, std::move(conjuncts), table->name(),
+                         with_slots);
+  }
+  return MakeSeqScan(table->name(), std::move(conjuncts), with_slots);
+}
+
+PlanPtr CostOptimizer::BuildScanWith(const TableRef &ref,
+                                     const std::vector<BPlusTree *> &indexes,
+                                     int access) const {
+  std::vector<ExprPtr> conjuncts = CloneConjuncts(ref.conjuncts);
+  if (access < 0) {
+    return MakeSeqScan(ref.table->name(), std::move(conjuncts), false);
+  }
+  const BPlusTree *index = indexes[static_cast<size_t>(access)];
+  const auto eq = EqConstants(ref.table, conjuncts);
+  const auto prefix = PinnedPrefix(index, eq);
+  MB2_ASSERT(!prefix.empty(), "index candidate lost its pinned prefix");
+  return MakeIndexScan(index, prefix, std::move(conjuncts), ref.table->name(),
+                       false);
+}
+
+PlanPtr CostOptimizer::HeuristicJoinTree(
+    std::vector<TableRef> &tables, const std::vector<JoinEdge> &edges) const {
+  // Written order, greedy access path — the original binder behavior.
+  std::vector<uint32_t> offsets(tables.size(), 0);
+  for (size_t i = 1; i < tables.size(); i++) {
+    offsets[i] = offsets[i - 1] + tables[i - 1].table->schema().NumColumns();
+  }
+  PlanPtr root =
+      ChooseScan(tables[0].table, std::move(tables[0].conjuncts), false);
+  for (size_t j = 0; j < edges.size(); j++) {
+    PlanPtr right = ChooseScan(tables[j + 1].table,
+                               std::move(tables[j + 1].conjuncts), false);
+    auto join = std::make_unique<HashJoinPlan>();
+    // Build side = accumulated left (its layout is the written-order prefix);
+    // the probe key is local to the newly joined table.
+    join->build_keys = {offsets[edges[j].left_table] + edges[j].left_col};
+    join->probe_keys = {edges[j].right_col};
+    join->children.push_back(std::move(root));
+    join->children.push_back(std::move(right));
+    root = std::move(join);
+  }
+  return root;
+}
+
+PlanPtr CostOptimizer::BuildCandidate(
+    const std::vector<TableRef> &tables, const std::vector<JoinEdge> &edges,
+    const std::vector<std::vector<BPlusTree *>> &indexes,
+    const std::vector<size_t> &order, const std::vector<int> &access) const {
+  // Layout of the accumulated left side: position of (table, local col).
+  std::vector<uint32_t> layout_offset(tables.size(), 0);
+  std::vector<bool> in_prefix(tables.size(), false);
+  uint32_t width = 0;
+
+  PlanPtr root = BuildScanWith(tables[order[0]], indexes[order[0]],
+                               access[order[0]]);
+  layout_offset[order[0]] = 0;
+  in_prefix[order[0]] = true;
+  width = tables[order[0]].table->schema().NumColumns();
+
+  for (size_t step = 1; step < order.size(); step++) {
+    const size_t t = order[step];
+    // Every edge connecting the prefix to `t` becomes a (composite) hash
+    // key; the candidate is invalid when none does.
+    std::vector<uint32_t> build_keys, probe_keys;
+    for (const JoinEdge &e : edges) {
+      if (e.right_table == t && in_prefix[e.left_table]) {
+        build_keys.push_back(layout_offset[e.left_table] + e.left_col);
+        probe_keys.push_back(e.right_col);
+      } else if (e.left_table == t && in_prefix[e.right_table]) {
+        build_keys.push_back(layout_offset[e.right_table] + e.right_col);
+        probe_keys.push_back(e.left_col);
+      }
+    }
+    if (build_keys.empty()) return nullptr;
+    auto join = std::make_unique<HashJoinPlan>();
+    join->build_keys = std::move(build_keys);
+    join->probe_keys = std::move(probe_keys);
+    join->children.push_back(std::move(root));
+    join->children.push_back(BuildScanWith(tables[t], indexes[t], access[t]));
+    root = std::move(join);
+    layout_offset[t] = width;
+    in_prefix[t] = true;
+    width += tables[t].table->schema().NumColumns();
+  }
+
+  // A reordered tree emits columns in visit order; restore the written-order
+  // layout so everything bound above the join is untouched.
+  bool identity = true;
+  for (size_t i = 0; i < order.size(); i++) identity &= order[i] == i;
+  if (!identity) {
+    auto projection = std::make_unique<ProjectionPlan>();
+    for (size_t i = 0; i < tables.size(); i++) {
+      const uint32_t ncols = tables[i].table->schema().NumColumns();
+      for (uint32_t c = 0; c < ncols; c++) {
+        projection->exprs.push_back(ColRef(layout_offset[i] + c));
+      }
+    }
+    projection->children.push_back(std::move(root));
+    root = std::move(projection);
+  }
+  return root;
+}
+
+Result<PlanPtr> CostOptimizer::PlanJoinTree(std::vector<TableRef> tables,
+                                            const std::vector<JoinEdge> &edges) {
+  static Counter &model_plans =
+      MetricsRegistry::Instance().GetCounter("mb2_optimizer_model_plans_total");
+  static Counter &heuristic_plans = MetricsRegistry::Instance().GetCounter(
+      "mb2_optimizer_heuristic_plans_total");
+  static Counter &reordered = MetricsRegistry::Instance().GetCounter(
+      "mb2_optimizer_reordered_total");
+  static Counter &degraded_fallbacks = MetricsRegistry::Instance().GetCounter(
+      "mb2_optimizer_degraded_fallback_total");
+
+  MB2_ASSERT(edges.size() + 1 == tables.size(), "join graph edge count");
+  for (size_t j = 0; j < edges.size(); j++) {
+    if (edges[j].right_table != j + 1 ||
+        edges[j].left_table >= edges[j].right_table) {
+      return Status::InvalidArgument(
+          "ON clause must join the new table to an earlier one");
+    }
+  }
+
+  const bool model_mode =
+      settings_->GetInt("optimizer_mode") == 1 && bot_ != nullptr;
+  if (!model_mode || tables.size() > kMaxJoinTables) {
+    heuristic_plans.Add();
+    return HeuristicJoinTree(tables, edges);
+  }
+
+  // Eligible index alternatives per table (same eligibility rule the greedy
+  // path uses: ready + non-empty pinned prefix).
+  std::vector<std::vector<BPlusTree *>> indexes(tables.size());
+  for (size_t i = 0; i < tables.size(); i++) {
+    const auto eq = EqConstants(tables[i].table, tables[i].conjuncts);
+    for (BPlusTree *index :
+         catalog_->GetTableIndexes(tables[i].table->name())) {
+      if (!index->ready()) continue;
+      if (PinnedPrefix(index, eq).empty()) continue;
+      indexes[i].push_back(index);
+    }
+  }
+
+  // Enumerate left-deep orders (connected) x access paths, bounded.
+  std::vector<Candidate> candidates;
+  bool truncated = false;
+  std::vector<size_t> order;
+  std::vector<bool> used(tables.size(), false);
+  std::vector<int> access(tables.size(), -1);
+
+  std::function<void()> emit = [&] {
+    if (candidates.size() >= kMaxCandidates) {
+      truncated = true;
+      return;
+    }
+    PlanPtr tree = BuildCandidate(tables, edges, indexes, order, access);
+    if (tree == nullptr) return;
+    Candidate cand;
+    cand.order = order;
+    cand.access = access;
+    cand.plan = FinalizePlan(std::move(tree), *catalog_);
+    estimator_->Estimate(cand.plan.get());
+    candidates.push_back(std::move(cand));
+  };
+  std::function<void(size_t)> pick_access = [&](size_t i) {
+    if (truncated) return;
+    if (i == tables.size()) {
+      emit();
+      return;
+    }
+    access[i] = -1;
+    pick_access(i + 1);
+    for (size_t k = 0; k < indexes[i].size(); k++) {
+      access[i] = static_cast<int>(k);
+      pick_access(i + 1);
+    }
+    access[i] = -1;
+  };
+  std::function<void()> pick_order = [&] {
+    if (truncated) return;
+    if (order.size() == tables.size()) {
+      pick_access(0);
+      return;
+    }
+    for (size_t t = 0; t < tables.size(); t++) {
+      if (used[t]) continue;
+      if (!order.empty()) {
+        // Connectivity: `t` must share an edge with the current prefix.
+        bool connected = false;
+        for (const JoinEdge &e : edges) {
+          const size_t other = e.left_table == t    ? e.right_table
+                               : e.right_table == t ? e.left_table
+                                                    : SIZE_MAX;
+          if (other != SIZE_MAX && used[other]) connected = true;
+        }
+        if (!connected) continue;
+      }
+      used[t] = true;
+      order.push_back(t);
+      pick_order();
+      order.pop_back();
+      used[t] = false;
+    }
+  };
+  pick_order();
+
+  if (candidates.empty()) {
+    heuristic_plans.Add();
+    return HeuristicJoinTree(tables, edges);
+  }
+
+  // Price every candidate with ONE batched inference call.
+  std::vector<TranslatedOu> all_ous;
+  std::vector<size_t> ou_begin(candidates.size() + 1, 0);
+  for (size_t c = 0; c < candidates.size(); c++) {
+    auto ous = bot_->translator().TranslateQuery(*candidates[c].plan);
+    ou_begin[c] = all_ous.size();
+    for (auto &ou : ous) all_ous.push_back(std::move(ou));
+  }
+  ou_begin[candidates.size()] = all_ous.size();
+
+  uint32_t degraded_ous = 0;
+  const std::vector<Labels> labels = bot_->PredictOus(all_ous, &degraded_ous);
+  if (!all_ous.empty() && degraded_ous == all_ous.size()) {
+    // No usable model behind any prediction: fallback labels are constants
+    // per OU type and cannot rank plans — plan heuristically instead.
+    degraded_fallbacks.Add();
+    heuristic_plans.Add();
+    return HeuristicJoinTree(tables, edges);
+  }
+
+  size_t best = 0;
+  for (size_t c = 0; c < candidates.size(); c++) {
+    double total = 0.0;
+    for (size_t i = ou_begin[c]; i < ou_begin[c + 1]; i++) {
+      total += labels[i][kLabelElapsedUs];
+    }
+    candidates[c].predicted_us = total;
+    if (c > 0 && total < candidates[best].predicted_us) best = c;
+  }
+
+  model_plans.Add();
+  bool identity = true;
+  for (size_t i = 0; i < candidates[best].order.size(); i++) {
+    identity &= candidates[best].order[i] == i;
+  }
+  if (!identity) reordered.Add();
+
+  // Strip the costing Output wrapper; the caller finalizes the full
+  // statement plan after stacking aggregation/sort/limit on top.
+  return std::move(candidates[best].plan->children[0]);
+}
+
+}  // namespace mb2

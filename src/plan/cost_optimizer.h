@@ -1,0 +1,109 @@
+#pragma once
+
+/// \file cost_optimizer.h
+/// Access-path and join-order selection for the SQL frontend. Two modes,
+/// switched live by the `optimizer_mode` knob:
+///
+///   0 (heuristic)    — the original binder rule: tables join in the written
+///                      order, each scan greedily takes the first ready index
+///                      whose key prefix is pinned by equality constants.
+///   1 (model-costed) — the paper's payoff (Sec 4-5): enumerate left-deep
+///                      join orders and per-table access paths for small join
+///                      graphs, translate every candidate subtree to its OUs,
+///                      price all candidates with ONE batched
+///                      ModelBot::PredictOus call, and pick the plan with the
+///                      lowest predicted elapsed time. The cost function IS
+///                      the behavior model. When no ModelBot is attached (or
+///                      every OU prediction is served degraded because the
+///                      models are missing), planning falls back to the
+///                      heuristic — degraded mode never silently trusts
+///                      fallback labels for plan choice.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "catalog/settings.h"
+#include "common/status.h"
+#include "plan/cardinality_estimator.h"
+#include "plan/plan_node.h"
+
+namespace mb2 {
+
+class ModelBot;
+
+class CostOptimizer {
+ public:
+  CostOptimizer(Catalog *catalog, CardinalityEstimator *estimator,
+                SettingsManager *settings)
+      : catalog_(catalog), estimator_(estimator), settings_(settings) {}
+  MB2_DISALLOW_COPY_AND_MOVE(CostOptimizer);
+
+  /// Serving hook: attach the trained behavior models. Null detaches (the
+  /// optimizer then always plans heuristically).
+  void set_model_bot(ModelBot *bot) { bot_ = bot; }
+  ModelBot *model_bot() const { return bot_; }
+
+  /// One FROM table with the WHERE conjuncts pushed down to it (column
+  /// indexes already rebased to the table's local schema).
+  struct TableRef {
+    Table *table = nullptr;
+    std::vector<ExprPtr> conjuncts;
+  };
+
+  /// Equi-join edge `tables[left_table].left_col = tables[right_table]
+  /// .right_col` with local column indexes and left_table < right_table in
+  /// the written order.
+  struct JoinEdge {
+    size_t left_table = 0;
+    uint32_t left_col = 0;
+    size_t right_table = 0;
+    uint32_t right_col = 0;
+  };
+
+  /// Access path for one table: an index scan when the conjuncts pin a
+  /// prefix of a ready index's key with equality constants, else a seq scan.
+  /// This is the heuristic rule; model-costed SELECT planning enumerates the
+  /// alternatives instead. UPDATE/DELETE scans (with_slots) always use it.
+  PlanPtr ChooseScan(Table *table, std::vector<ExprPtr> conjuncts,
+                     bool with_slots) const;
+
+  /// Builds the join tree (or single scan) for a SELECT over `tables` with
+  /// equi-join `edges`. The output column layout always matches the written
+  /// table order — a reordered winner is wrapped in a projection restoring
+  /// it, so everything bound above (select list, GROUP BY, ORDER BY) is
+  /// untouched by optimization.
+  Result<PlanPtr> PlanJoinTree(std::vector<TableRef> tables,
+                               const std::vector<JoinEdge> &edges);
+
+ private:
+  struct Candidate {
+    std::vector<size_t> order;        ///< table visit order (indexes)
+    std::vector<int> access;          ///< per-table: -1 seq, else index no.
+    PlanPtr plan;                     ///< finalized (Output-rooted) subtree
+    double predicted_us = 0.0;
+  };
+
+  PlanPtr HeuristicJoinTree(std::vector<TableRef> &tables,
+                            const std::vector<JoinEdge> &edges) const;
+  /// Scan for one table with a forced access path: -1 = seq scan, else an
+  /// index number into `indexes` (conjuncts are cloned, not consumed).
+  PlanPtr BuildScanWith(const TableRef &ref,
+                        const std::vector<BPlusTree *> &indexes,
+                        int access) const;
+  /// Join tree for one candidate order/access assignment; null when some
+  /// step has no connecting edge (disconnected order).
+  PlanPtr BuildCandidate(const std::vector<TableRef> &tables,
+                         const std::vector<JoinEdge> &edges,
+                         const std::vector<std::vector<BPlusTree *>> &indexes,
+                         const std::vector<size_t> &order,
+                         const std::vector<int> &access) const;
+
+  Catalog *catalog_;
+  CardinalityEstimator *estimator_;
+  SettingsManager *settings_;
+  ModelBot *bot_ = nullptr;
+};
+
+}  // namespace mb2

@@ -76,6 +76,7 @@ ExprPtr Expression::Clone() const {
   out->arith_op = arith_op;
   out->cmp_op = cmp_op;
   out->logic_op = logic_op;
+  out->param_idx = param_idx;
   out->children.reserve(children.size());
   for (const auto &child : children) out->children.push_back(child->Clone());
   return out;

@@ -35,6 +35,10 @@ class Expression {
   CmpOp cmp_op = CmpOp::kEq;
   LogicOp logic_op = LogicOp::kAnd;
   std::vector<ExprPtr> children;
+  /// For kConstant built from a SQL literal: the literal's ordinal in the
+  /// statement (see Token::literal_ordinal), -1 otherwise. The plan cache
+  /// substitutes fresh literal values into cloned plan templates by ordinal.
+  int32_t param_idx = -1;
 
   explicit Expression(ExprType t) : type(t) {}
 

@@ -136,6 +136,7 @@ PlanPtr ClonePlan(const PlanNode &node) {
       p->table = src->table;
       p->key_lo = src->key_lo;
       p->key_hi = src->key_hi;
+      p->key_lo_params = src->key_lo_params;
       p->columns = src->columns;
       p->predicate = src->predicate ? src->predicate->Clone() : nullptr;
       p->with_slots = src->with_slots;
@@ -168,6 +169,7 @@ PlanPtr ClonePlan(const PlanNode &node) {
       p->sort_keys = src->sort_keys;
       p->descending = src->descending;
       p->limit = src->limit;
+      p->limit_param = src->limit_param;
       out = std::move(p);
       break;
     }
@@ -182,6 +184,7 @@ PlanPtr ClonePlan(const PlanNode &node) {
       const auto *src = node.As<LimitPlan>();
       auto p = std::make_unique<LimitPlan>();
       p->limit = src->limit;
+      p->limit_param = src->limit_param;
       out = std::move(p);
       break;
     }

@@ -88,6 +88,9 @@ class IndexScanPlan : public PlanNode {
   std::string table;
   Tuple key_lo;       ///< equality or range start (values for key prefix)
   Tuple key_hi;       ///< range end; empty = equality/prefix scan on key_lo
+  /// Parallel to key_lo: literal ordinal that produced each key value, -1
+  /// when the value is fixed. Empty = all fixed. (Plan-cache substitution.)
+  std::vector<int32_t> key_lo_params;
   std::vector<uint32_t> columns;
   ExprPtr predicate;  ///< residual filter over the base row; may be null
   bool with_slots = false;
@@ -126,6 +129,7 @@ class SortPlan : public PlanNode {
   std::vector<uint32_t> sort_keys;
   std::vector<bool> descending;  ///< parallel to sort_keys
   uint64_t limit = 0;
+  int32_t limit_param = -1;  ///< literal ordinal of `limit`, -1 = fixed
   void DeriveSchema(const Catalog &catalog) override;
 };
 
@@ -141,6 +145,7 @@ class LimitPlan : public PlanNode {
  public:
   LimitPlan() : PlanNode(PlanNodeType::kLimit) {}
   uint64_t limit = 0;
+  int32_t limit_param = -1;  ///< literal ordinal of `limit`, -1 = fixed
   void DeriveSchema(const Catalog &catalog) override;
 };
 

@@ -20,6 +20,7 @@ Result<std::vector<Token>> Tokenize(const std::string &input) {
   std::vector<Token> tokens;
   size_t i = 0;
   const size_t n = input.size();
+  int32_t next_literal = 0;
 
   while (i < n) {
     const char c = input[i];
@@ -67,17 +68,36 @@ Result<std::vector<Token>> Tokenize(const std::string &input) {
         token.int_value = std::stoll(num);
       }
       token.text = num;
+      token.literal_ordinal = next_literal++;
       i = j;
     } else if (c == '\'') {
+      // A doubled quote inside the literal is an escaped quote (SQL-92):
+      // 'O''Brien' is the single value O'Brien.
+      std::string text;
       size_t j = i + 1;
-      while (j < n && input[j] != '\'') j++;
-      if (j >= n) {
+      bool terminated = false;
+      while (j < n) {
+        if (input[j] == '\'') {
+          if (j + 1 < n && input[j + 1] == '\'') {
+            text.push_back('\'');
+            j += 2;
+            continue;
+          }
+          terminated = true;
+          j++;
+          break;
+        }
+        text.push_back(input[j]);
+        j++;
+      }
+      if (!terminated) {
         return Status::InvalidArgument("unterminated string literal at offset " +
                                        std::to_string(i));
       }
       token.type = TokenType::kString;
-      token.text = input.substr(i + 1, j - i - 1);
-      i = j + 1;
+      token.text = std::move(text);
+      token.literal_ordinal = next_literal++;
+      i = j;
     } else {
       // Multi-char comparison operators first.
       static const char *kTwoChar[] = {"<=", ">=", "<>", "!="};

@@ -27,6 +27,10 @@ struct Token {
   int64_t int_value = 0;
   double float_value = 0.0;
   size_t position = 0;  // byte offset (error messages)
+  /// Zero-based index among the literal tokens (integer/float/string) of the
+  /// statement, -1 for everything else. This is the parameter slot the plan
+  /// cache substitutes when replaying a cached plan with fresh literals.
+  int32_t literal_ordinal = -1;
 };
 
 /// Splits `input` into tokens; returns InvalidArgument on malformed input

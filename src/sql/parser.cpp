@@ -5,7 +5,9 @@
 #include <vector>
 
 #include "index/index_builder.h"
+#include "plan/cost_optimizer.h"
 #include "sql/lexer.h"
+#include "sql/plan_cache.h"
 
 namespace mb2::sql {
 
@@ -19,6 +21,22 @@ class Parser {
       : db_(db), tokens_(std::move(tokens)) {}
 
   Result<BoundStatement> ParseStatement() {
+    Result<BoundStatement> result = Dispatch();
+    if (!result.ok()) return result;
+    // Every statement kind must consume the whole token stream: trailing
+    // garbage after a complete statement is an error, not a silent no-op.
+    AcceptSymbol(";");
+    if (Peek().type != TokenType::kEnd) {
+      return Error("trailing tokens after statement");
+    }
+    size_t num_literals = 0;
+    for (const Token &t : tokens_) num_literals += t.literal_ordinal >= 0;
+    result.value().num_literals = num_literals;
+    return result;
+  }
+
+ private:
+  Result<BoundStatement> Dispatch() {
     if (AcceptKeyword("SELECT")) return ParseSelect();
     if (AcceptKeyword("INSERT")) return ParseInsert();
     if (AcceptKeyword("UPDATE")) return ParseUpdate();
@@ -28,7 +46,6 @@ class Parser {
     return Error("expected a statement keyword");
   }
 
- private:
   // --- token helpers ------------------------------------------------------
 
   const Token &Peek() const { return tokens_[pos_]; }
@@ -214,15 +231,21 @@ class Parser {
     const Token &t = Peek();
     if (t.type == TokenType::kInteger) {
       pos_++;
-      return ConstInt(t.int_value);
+      ExprPtr e = ConstInt(t.int_value);
+      e->param_idx = t.literal_ordinal;
+      return e;
     }
     if (t.type == TokenType::kFloat) {
       pos_++;
-      return ConstDouble(t.float_value);
+      ExprPtr e = ConstDouble(t.float_value);
+      e->param_idx = t.literal_ordinal;
+      return e;
     }
     if (t.type == TokenType::kString) {
       pos_++;
-      return Const(Value::Varchar(t.text));
+      ExprPtr e = Const(Value::Varchar(t.text));
+      e->param_idx = t.literal_ordinal;
+      return e;
     }
     if (t.type == TokenType::kIdentifier) {
       pos_++;
@@ -245,15 +268,6 @@ class Parser {
     out->push_back(std::move(expr));
   }
 
-  static ExprPtr CombineConjuncts(std::vector<ExprPtr> conjuncts) {
-    if (conjuncts.empty()) return nullptr;
-    ExprPtr expr = std::move(conjuncts[0]);
-    for (size_t i = 1; i < conjuncts.size(); i++) {
-      expr = And(std::move(expr), std::move(conjuncts[i]));
-    }
-    return expr;
-  }
-
   /// Column-reference range of an expression, as [min_idx, max_idx].
   static void ColumnRange(const Expression &expr, uint32_t *lo, uint32_t *hi) {
     if (expr.type == ExprType::kColumnRef) {
@@ -267,62 +281,6 @@ class Parser {
   static void RebaseColumns(Expression *expr, uint32_t offset) {
     if (expr->type == ExprType::kColumnRef) expr->col_idx -= offset;
     for (auto &child : expr->children) RebaseColumns(child.get(), offset);
-  }
-
-  // --- scans -------------------------------------------------------------------
-
-  /// Builds the access path for one table: an index scan when the conjuncts
-  /// pin a prefix of some ready index's key with equality constants, else a
-  /// sequential scan with the conjuncts as its predicate.
-  PlanPtr BuildScan(Table *table, std::vector<ExprPtr> conjuncts,
-                    bool with_slots) {
-    // Gather column = constant conjuncts.
-    std::vector<std::optional<Value>> eq(table->schema().NumColumns());
-    std::vector<bool> used(conjuncts.size(), false);
-    for (size_t i = 0; i < conjuncts.size(); i++) {
-      const Expression &e = *conjuncts[i];
-      if (e.type == ExprType::kComparison && e.cmp_op == CmpOp::kEq &&
-          e.children[0]->type == ExprType::kColumnRef &&
-          e.children[1]->type == ExprType::kConstant) {
-        eq[e.children[0]->col_idx] = e.children[1]->constant;
-      }
-    }
-    for (BPlusTree *index : db_->catalog().GetTableIndexes(table->name())) {
-      if (!index->ready()) continue;
-      const auto &key_cols = index->schema().key_columns;
-      Tuple key;
-      for (uint32_t c : key_cols) {
-        if (!eq[c].has_value()) break;
-        key.push_back(*eq[c]);
-      }
-      if (key.empty()) continue;
-      // Keep conjuncts not fully covered by the pinned prefix as residual.
-      std::vector<ExprPtr> residual;
-      for (size_t i = 0; i < conjuncts.size(); i++) {
-        const Expression &e = *conjuncts[i];
-        bool covered = false;
-        if (e.type == ExprType::kComparison && e.cmp_op == CmpOp::kEq &&
-            e.children[0]->type == ExprType::kColumnRef) {
-          const uint32_t col = e.children[0]->col_idx;
-          for (size_t k = 0; k < key.size(); k++) {
-            if (key_cols[k] == col) covered = true;
-          }
-        }
-        if (!covered) residual.push_back(std::move(conjuncts[i]));
-      }
-      auto scan = std::make_unique<IndexScanPlan>();
-      scan->index = index->schema().name;
-      scan->table = table->name();
-      scan->key_lo = std::move(key);
-      scan->predicate = CombineConjuncts(std::move(residual));
-      scan->with_slots = with_slots;
-      return scan;
-    }
-    auto scan = std::make_unique<SeqScanPlan>();
-    scan->table = table->name();
-    scan->predicate = CombineConjuncts(std::move(conjuncts));
-    scan->with_slots = with_slots;
-    return scan;
   }
 
   // --- SELECT --------------------------------------------------------------------
@@ -356,10 +314,7 @@ class Parser {
     Status s = AddFromTable(first.value());
     if (!s.ok()) return s;
 
-    struct JoinSpec {
-      uint32_t left_col, right_col;
-    };
-    std::vector<JoinSpec> joins;
+    std::vector<CostOptimizer::JoinEdge> edges;
     while (AcceptKeyword("JOIN") ||
            (AcceptKeyword("INNER") && AcceptKeyword("JOIN"))) {
       auto table = ExpectIdentifier();
@@ -378,8 +333,17 @@ class Parser {
       if (!rhs.ok()) return rhs.status();
       auto rcol = ResolveColumn(rhs.value());
       if (!rcol.ok()) return rcol.status();
-      joins.push_back({std::min(lcol.value(), rcol.value()),
-                       std::max(lcol.value(), rcol.value())});
+      const int o1 = TableOf(lcol.value());
+      const int o2 = TableOf(rcol.value());
+      if (o1 < 0 || o2 < 0 || o1 == o2) {
+        return Error("ON clause must join two different tables");
+      }
+      const size_t lo_t = static_cast<size_t>(std::min(o1, o2));
+      const size_t hi_t = static_cast<size_t>(std::max(o1, o2));
+      const uint32_t lo_g = o1 < o2 ? lcol.value() : rcol.value();
+      const uint32_t hi_g = o1 < o2 ? rcol.value() : lcol.value();
+      edges.push_back({lo_t, lo_g - from_[lo_t].column_offset, hi_t,
+                       hi_g - from_[hi_t].column_offset});
     }
 
     // WHERE, split into per-table conjuncts (pushdown).
@@ -406,20 +370,17 @@ class Parser {
       }
     }
 
-    // Build the left-deep join tree of scans.
-    PlanPtr root = BuildScan(from_[0].table, std::move(per_table[0]), false);
-    for (size_t j = 0; j < joins.size(); j++) {
-      PlanPtr right =
-          BuildScan(from_[j + 1].table, std::move(per_table[j + 1]), false);
-      auto join = std::make_unique<HashJoinPlan>();
-      // Build side = accumulated left; keys are joined-row indexes. The
-      // right (probe) key rebases into the new table's local schema.
-      join->build_keys = {joins[j].left_col};
-      join->probe_keys = {joins[j].right_col - from_[j + 1].column_offset};
-      join->children.push_back(std::move(root));
-      join->children.push_back(std::move(right));
-      root = std::move(join);
+    // Access paths and join order are the optimizer's call (heuristic or
+    // model-costed per the optimizer_mode knob); either way the returned
+    // tree's column layout matches the written table order.
+    std::vector<CostOptimizer::TableRef> refs;
+    refs.reserve(from_.size());
+    for (size_t i = 0; i < from_.size(); i++) {
+      refs.push_back({from_[i].table, std::move(per_table[i])});
     }
+    auto tree = db_->optimizer().PlanJoinTree(std::move(refs), edges);
+    if (!tree.ok()) return tree.status();
+    PlanPtr root = std::move(tree.value());
 
     // Re-parse the select list with bindings available.
     const size_t resume = pos_;
@@ -520,8 +481,10 @@ class Parser {
 
     // ORDER BY <output position|column> [ASC|DESC]
     uint64_t limit = 0;
+    int32_t limit_param = -1;
     bool has_limit = false;
     std::unique_ptr<SortPlan> sort;
+    std::vector<std::pair<int32_t, Value>> structural_literals;
     if (AcceptKeyword("ORDER")) {
       Status st = ExpectKeyword("BY");
       if (!st.ok()) return st;
@@ -529,7 +492,13 @@ class Parser {
       for (;;) {
         uint32_t out_col;
         if (Peek().type == TokenType::kInteger) {
-          out_col = static_cast<uint32_t>(Next().int_value) - 1;  // 1-based
+          // An output-position ordinal is part of the plan's *structure*
+          // (it becomes a sort key), not a parameter: record it so the plan
+          // cache never reuses this plan for a different ordinal.
+          const Token &ordinal = Next();
+          out_col = static_cast<uint32_t>(ordinal.int_value) - 1;  // 1-based
+          structural_literals.emplace_back(ordinal.literal_ordinal,
+                                           Value::Integer(ordinal.int_value));
         } else {
           // Only meaningful for non-aggregate selects over raw rows.
           auto name = ExpectIdentifier();
@@ -546,27 +515,30 @@ class Parser {
     }
     if (AcceptKeyword("LIMIT")) {
       if (Peek().type != TokenType::kInteger) return Error("expected LIMIT count");
-      limit = static_cast<uint64_t>(Next().int_value);
+      const Token &count = Next();
+      limit = static_cast<uint64_t>(count.int_value);
+      limit_param = count.literal_ordinal;
       has_limit = true;
     }
     if (sort != nullptr) {
       sort->limit = limit;
+      sort->limit_param = has_limit ? limit_param : -1;
       sort->children.push_back(std::move(root));
       root = std::move(sort);
     } else if (has_limit) {
       auto lim = std::make_unique<LimitPlan>();
       lim->limit = limit;
+      lim->limit_param = limit_param;
       lim->children.push_back(std::move(root));
       root = std::move(lim);
     }
-
-    AcceptSymbol(";");
-    if (Peek().type != TokenType::kEnd) return Error("trailing tokens");
 
     BoundStatement bound;
     bound.kind = BoundStatement::Kind::kQuery;
     bound.plan = FinalizePlan(std::move(root), db_->catalog());
     db_->estimator().Estimate(bound.plan.get());
+    bound.cacheable = true;
+    bound.structural_literals = std::move(structural_literals);
     return bound;
   }
 
@@ -637,7 +609,6 @@ class Parser {
       insert->rows.push_back(std::move(row));
     } while (AcceptSymbol(","));
 
-    AcceptSymbol(";");
     BoundStatement bound;
     bound.kind = BoundStatement::Kind::kDml;
     bound.plan = FinalizePlan(std::move(insert), db_->catalog());
@@ -675,14 +646,14 @@ class Parser {
       if (!predicate.ok()) return predicate.status();
       SplitConjuncts(std::move(predicate.value()), &conjuncts);
     }
-    update->children.push_back(
-        BuildScan(table, std::move(conjuncts), /*with_slots=*/true));
+    update->children.push_back(db_->optimizer().ChooseScan(
+        table, std::move(conjuncts), /*with_slots=*/true));
 
-    AcceptSymbol(";");
     BoundStatement bound;
     bound.kind = BoundStatement::Kind::kDml;
     bound.plan = FinalizePlan(std::move(update), db_->catalog());
     db_->estimator().Estimate(bound.plan.get());
+    bound.cacheable = true;
     return bound;
   }
 
@@ -704,14 +675,14 @@ class Parser {
     }
     auto del = std::make_unique<DeletePlan>();
     del->table = name.value();
-    del->children.push_back(
-        BuildScan(table, std::move(conjuncts), /*with_slots=*/true));
+    del->children.push_back(db_->optimizer().ChooseScan(
+        table, std::move(conjuncts), /*with_slots=*/true));
 
-    AcceptSymbol(";");
     BoundStatement bound;
     bound.kind = BoundStatement::Kind::kDml;
     bound.plan = FinalizePlan(std::move(del), db_->catalog());
     db_->estimator().Estimate(bound.plan.get());
+    bound.cacheable = true;
     return bound;
   }
 
@@ -753,7 +724,6 @@ class Parser {
       }
       s = ExpectSymbol(")");
       if (!s.ok()) return s;
-      AcceptSymbol(";");
       BoundStatement bound;
       bound.kind = BoundStatement::Kind::kCreateTable;
       bound.table_name = name.value();
@@ -795,7 +765,6 @@ class Parser {
         s = ExpectKeyword("THREADS");
         if (!s.ok()) return s;
       }
-      AcceptSymbol(";");
       return bound;
     }
     return Error("expected TABLE or INDEX after CREATE");
@@ -806,7 +775,6 @@ class Parser {
     if (!s.ok()) return s;
     auto name = ExpectIdentifier();
     if (!name.ok()) return name.status();
-    AcceptSymbol(";");
     BoundStatement bound;
     bound.kind = BoundStatement::Kind::kDropIndex;
     bound.index_name = name.value();
@@ -829,13 +797,50 @@ Result<BoundStatement> Parse(Database *db, const std::string &statement) {
 }
 
 Result<QueryResult> ExecuteSql(Database *db, const std::string &statement) {
-  auto bound = Parse(db, statement);
+  auto tokens = Tokenize(statement);
+  if (!tokens.ok()) return tokens.status();
+
+  PlanCache &cache = db->plan_cache();
+  const bool use_cache = cache.Enabled();
+  std::string key;
+  std::vector<Value> literals;
+  if (use_cache) {
+    key = NormalizeTokens(tokens.value());
+    literals = LiteralValues(tokens.value());
+    if (auto entry = cache.Lookup(key, literals)) {
+      // Literal-free templates are directly executable; otherwise clone the
+      // template and splice the fresh literals into the parameter slots.
+      if (entry->num_literals == 0) return db->Execute(*entry->plan);
+      PlanPtr plan = InstantiatePlan(*entry, literals);
+      return db->Execute(*plan);
+    }
+  }
+
+  // Capture the catalog version BEFORE binding: if concurrent DDL lands
+  // between parse and Insert, the entry is born stale and the next Lookup
+  // discards it instead of serving a plan bound against the old catalog.
+  const uint64_t version = db->catalog().version();
+  Parser parser(db, std::move(tokens.value()));
+  auto bound = parser.ParseStatement();
   if (!bound.ok()) return bound.status();
   BoundStatement &stmt = bound.value();
   switch (stmt.kind) {
     case BoundStatement::Kind::kQuery:
-    case BoundStatement::Kind::kDml:
-      return db->Execute(*stmt.plan);
+    case BoundStatement::Kind::kDml: {
+      QueryResult result = db->Execute(*stmt.plan);
+      if (use_cache && stmt.cacheable && result.status.ok()) {
+        auto entry = std::make_shared<CachedPlan>();
+        entry->kind = stmt.kind == BoundStatement::Kind::kQuery
+                          ? CachedPlan::Kind::kQuery
+                          : CachedPlan::Kind::kDml;
+        entry->plan = std::move(stmt.plan);
+        entry->structural_literals = std::move(stmt.structural_literals);
+        entry->num_literals = stmt.num_literals;
+        entry->catalog_version = version;
+        cache.Insert(key, std::move(entry));
+      }
+      return result;
+    }
     case BoundStatement::Kind::kCreateTable: {
       if (db->catalog().CreateTable(stmt.table_name, stmt.schema) == nullptr) {
         return Status::AlreadyExists("table " + stmt.table_name);
@@ -845,8 +850,15 @@ Result<QueryResult> ExecuteSql(Database *db, const std::string &statement) {
     case BoundStatement::Kind::kCreateIndex: {
       auto index = db->catalog().CreateIndex(stmt.index_schema, /*ready=*/false);
       if (!index.ok()) return index.status();
-      IndexBuilder::Build(&db->catalog(), &db->txn_manager(), index.value(),
-                          stmt.build_threads);
+      const IndexBuildStats stats = IndexBuilder::Build(
+          &db->catalog(), &db->txn_manager(), index.value(),
+          stmt.build_threads);
+      if (!stats.status.ok()) {
+        // The build aborted before publication: drop the half-built index so
+        // a retry starts from a clean catalog instead of a poisoned entry.
+        db->catalog().DropIndex(stmt.index_schema.name);
+        return stats.status;
+      }
       return QueryResult{};
     }
     case BoundStatement::Kind::kDropIndex: {

@@ -48,6 +48,15 @@ struct BoundStatement {
   IndexSchema index_schema;
   uint32_t build_threads = 1;
   std::string index_name;
+
+  // Plan-cache metadata (filled by the parser; queries/UPDATE/DELETE only).
+  // INSERT folds its literals into tuples at bind time and DDL has no plan,
+  // so neither is cacheable.
+  bool cacheable = false;
+  size_t num_literals = 0;  ///< literal tokens in the statement
+  /// Literals consumed structurally (ORDER BY output-position ordinals):
+  /// the cached plan only applies when fresh literals match these values.
+  std::vector<std::pair<int32_t, Value>> structural_literals;
 };
 
 /// Parses and binds one statement against the database's catalog.

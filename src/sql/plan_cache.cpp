@@ -1,0 +1,238 @@
+#include "sql/plan_cache.h"
+
+#include <algorithm>
+
+#include "obs/metrics_registry.h"
+
+namespace mb2::sql {
+
+namespace {
+
+/// Bound on structurally distinct plans sharing one normalized key (e.g.
+/// `ORDER BY 1` vs `ORDER BY 2`); realistic statements need a handful.
+constexpr size_t kMaxVariantsPerKey = 8;
+
+Counter &HitCounter() {
+  static Counter &c =
+      MetricsRegistry::Instance().GetCounter("mb2_plan_cache_hits_total");
+  return c;
+}
+Counter &MissCounter() {
+  static Counter &c =
+      MetricsRegistry::Instance().GetCounter("mb2_plan_cache_misses_total");
+  return c;
+}
+Counter &InvalidationCounter() {
+  static Counter &c = MetricsRegistry::Instance().GetCounter(
+      "mb2_plan_cache_invalidations_total");
+  return c;
+}
+Counter &EvictionCounter() {
+  static Counter &c =
+      MetricsRegistry::Instance().GetCounter("mb2_plan_cache_evictions_total");
+  return c;
+}
+
+void SubstituteExpr(Expression *expr, const std::vector<Value> &literals) {
+  if (expr->type == ExprType::kConstant && expr->param_idx >= 0 &&
+      static_cast<size_t>(expr->param_idx) < literals.size()) {
+    expr->constant = literals[expr->param_idx];
+  }
+  for (auto &child : expr->children) SubstituteExpr(child.get(), literals);
+}
+
+void SubstituteNode(PlanNode *node, const std::vector<Value> &literals) {
+  switch (node->type) {
+    case PlanNodeType::kSeqScan: {
+      auto *scan = node->As<SeqScanPlan>();
+      if (scan->predicate) SubstituteExpr(scan->predicate.get(), literals);
+      break;
+    }
+    case PlanNodeType::kIndexScan: {
+      auto *scan = node->As<IndexScanPlan>();
+      for (size_t i = 0; i < scan->key_lo_params.size() &&
+                         i < scan->key_lo.size(); i++) {
+        const int32_t p = scan->key_lo_params[i];
+        if (p >= 0 && static_cast<size_t>(p) < literals.size()) {
+          scan->key_lo[i] = literals[p];
+        }
+      }
+      if (scan->predicate) SubstituteExpr(scan->predicate.get(), literals);
+      break;
+    }
+    case PlanNodeType::kProjection: {
+      auto *proj = node->As<ProjectionPlan>();
+      for (auto &e : proj->exprs) SubstituteExpr(e.get(), literals);
+      break;
+    }
+    case PlanNodeType::kAggregate: {
+      auto *agg = node->As<AggregatePlan>();
+      for (auto &term : agg->terms) {
+        if (term.arg) SubstituteExpr(term.arg.get(), literals);
+      }
+      break;
+    }
+    case PlanNodeType::kUpdate: {
+      auto *update = node->As<UpdatePlan>();
+      for (auto &[col, expr] : update->sets) {
+        SubstituteExpr(expr.get(), literals);
+      }
+      break;
+    }
+    case PlanNodeType::kSort: {
+      auto *sort = node->As<SortPlan>();
+      const int32_t p = sort->limit_param;
+      if (p >= 0 && static_cast<size_t>(p) < literals.size()) {
+        sort->limit = static_cast<uint64_t>(literals[p].AsInt());
+      }
+      break;
+    }
+    case PlanNodeType::kLimit: {
+      auto *limit = node->As<LimitPlan>();
+      const int32_t p = limit->limit_param;
+      if (p >= 0 && static_cast<size_t>(p) < literals.size()) {
+        limit->limit = static_cast<uint64_t>(literals[p].AsInt());
+      }
+      break;
+    }
+    default:
+      break;
+  }
+  for (auto &child : node->children) SubstituteNode(child.get(), literals);
+}
+
+}  // namespace
+
+std::string NormalizeTokens(const std::vector<Token> &tokens) {
+  std::string out;
+  out.reserve(tokens.size() * 6);
+  for (const Token &t : tokens) {
+    if (t.type == TokenType::kEnd) break;
+    if (!out.empty()) out.push_back(' ');
+    switch (t.type) {
+      case TokenType::kInteger: out += "?i"; break;
+      case TokenType::kFloat: out += "?f"; break;
+      case TokenType::kString: out += "?s"; break;
+      default: out += t.text; break;
+    }
+  }
+  return out;
+}
+
+std::vector<Value> LiteralValues(const std::vector<Token> &tokens) {
+  std::vector<Value> out;
+  for (const Token &t : tokens) {
+    switch (t.type) {
+      case TokenType::kInteger: out.push_back(Value::Integer(t.int_value)); break;
+      case TokenType::kFloat: out.push_back(Value::Double(t.float_value)); break;
+      case TokenType::kString: out.push_back(Value::Varchar(t.text)); break;
+      default: break;
+    }
+  }
+  return out;
+}
+
+PlanPtr InstantiatePlan(const CachedPlan &entry,
+                        const std::vector<Value> &literals) {
+  PlanPtr plan = ClonePlan(*entry.plan);
+  SubstituteNode(plan.get(), literals);
+  return plan;
+}
+
+bool PlanCache::Enabled() {
+  if (settings_->GetInt("sql_plan_cache_capacity") > 0) return true;
+  std::lock_guard<std::mutex> lock(mutex_);
+  EvictToCapacityLocked(0);
+  return false;
+}
+
+std::shared_ptr<const CachedPlan> PlanCache::Lookup(
+    const std::string &key, const std::vector<Value> &literals) {
+  const uint64_t version = catalog_->version();
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    auto &variants = it->second.variants;
+    for (size_t v = 0; v < variants.size();) {
+      if (variants[v]->catalog_version != version) {
+        variants.erase(variants.begin() + static_cast<ptrdiff_t>(v));
+        stats_.invalidations++;
+        InvalidationCounter().Add();
+        continue;
+      }
+      bool match = variants[v]->num_literals == literals.size();
+      for (const auto &[ordinal, value] : variants[v]->structural_literals) {
+        if (!match) break;
+        match = static_cast<size_t>(ordinal) < literals.size() &&
+                literals[ordinal] == value;
+      }
+      if (match) {
+        recency_.splice(recency_.begin(), recency_, it->second.lru);
+        stats_.hits++;
+        HitCounter().Add();
+        return variants[v];
+      }
+      v++;
+    }
+    if (variants.empty()) {
+      recency_.erase(it->second.lru);
+      entries_.erase(it);
+    }
+  }
+  stats_.misses++;
+  MissCounter().Add();
+  return nullptr;
+}
+
+void PlanCache::Insert(const std::string &key,
+                       std::shared_ptr<const CachedPlan> entry) {
+  const int64_t capacity = settings_->GetInt("sql_plan_cache_capacity");
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (capacity <= 0) {
+    EvictToCapacityLocked(0);
+    return;
+  }
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    recency_.push_front(key);
+    it = entries_.emplace(key, Slot{recency_.begin(), {}}).first;
+  } else {
+    recency_.splice(recency_.begin(), recency_, it->second.lru);
+  }
+  if (it->second.variants.size() >= kMaxVariantsPerKey) {
+    it->second.variants.erase(it->second.variants.begin());
+    stats_.evictions++;
+    EvictionCounter().Add();
+  }
+  it->second.variants.push_back(std::move(entry));
+  stats_.insertions++;
+  EvictToCapacityLocked(static_cast<size_t>(capacity));
+}
+
+void PlanCache::EvictToCapacityLocked(size_t capacity) {
+  while (entries_.size() > capacity) {
+    const std::string &victim = recency_.back();
+    entries_.erase(victim);
+    recency_.pop_back();
+    stats_.evictions++;
+    EvictionCounter().Add();
+  }
+}
+
+void PlanCache::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  entries_.clear();
+  recency_.clear();
+}
+
+size_t PlanCache::Size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+PlanCacheStats PlanCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace mb2::sql

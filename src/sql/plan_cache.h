@@ -1,0 +1,113 @@
+#pragma once
+
+/// \file plan_cache.h
+/// Parameterized prepared-statement cache for the SQL frontend. Statements
+/// are normalized by replacing every literal with a typed placeholder
+/// (`?i`/`?f`/`?s`), so `SELECT * FROM t WHERE id = 3` and `... id = 7`
+/// share one cached plan template. A hit skips lexing-free parse/bind/plan
+/// entirely: the template is cloned and the fresh literal values are
+/// substituted by ordinal (expression constants, index-scan key prefixes,
+/// LIMIT counts).
+///
+/// Invalidation is catalog-version based: every DDL, index publication, and
+/// stats refresh bumps Catalog::version(); entries record the version they
+/// were planned under and a mismatch discards them on lookup. Literals the
+/// binder consumed *structurally* (an ORDER BY output-position ordinal)
+/// cannot be parameterized — entries record those (ordinal, value) pairs and
+/// only match statements whose literals agree, so `ORDER BY 1` and
+/// `ORDER BY 2` never share a plan.
+///
+/// Capacity comes from the hot-tunable `sql_plan_cache_capacity` knob
+/// (re-read on every insert; 0 disables the cache). Eviction is LRU over
+/// normalized keys.
+
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "catalog/settings.h"
+#include "plan/plan_node.h"
+#include "sql/lexer.h"
+
+namespace mb2::sql {
+
+/// Normalized statement text: tokens joined by single spaces, literals
+/// replaced by typed placeholders. This is the cache key.
+std::string NormalizeTokens(const std::vector<Token> &tokens);
+
+/// The statement's literal values in ordinal order.
+std::vector<Value> LiteralValues(const std::vector<Token> &tokens);
+
+/// One cached plan template.
+struct CachedPlan {
+  enum class Kind { kQuery, kDml };
+  Kind kind = Kind::kQuery;
+  PlanPtr plan;  ///< finalized template (schemas + estimates filled)
+  /// Literal ordinals the binder consumed structurally, with the value each
+  /// had at plan time; a hit requires the fresh literals to agree.
+  std::vector<std::pair<int32_t, Value>> structural_literals;
+  size_t num_literals = 0;
+  uint64_t catalog_version = 0;
+};
+
+/// Executable plan from a template + this statement's literal values:
+/// deep-clones the template and substitutes parameters by ordinal.
+PlanPtr InstantiatePlan(const CachedPlan &entry,
+                        const std::vector<Value> &literals);
+
+struct PlanCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t invalidations = 0;  ///< entries dropped on version mismatch
+  uint64_t insertions = 0;
+  uint64_t evictions = 0;      ///< LRU + capacity-shrink drops
+};
+
+class PlanCache {
+ public:
+  PlanCache(Catalog *catalog, SettingsManager *settings)
+      : catalog_(catalog), settings_(settings) {}
+  MB2_DISALLOW_COPY_AND_MOVE(PlanCache);
+
+  /// False when the capacity knob is 0 — callers then bypass normalization.
+  /// Observing a disabled cache also drains any entries left from before the
+  /// knob was lowered, so disabling takes effect on the next statement.
+  bool Enabled();
+
+  /// A matching, current-version template for `key`, or null. Checks the
+  /// catalog version and the structural-literal constraints; stale entries
+  /// are dropped (counted as invalidations) and reported as misses.
+  std::shared_ptr<const CachedPlan> Lookup(const std::string &key,
+                                           const std::vector<Value> &literals);
+
+  /// Registers a freshly planned template. Re-reads the capacity knob and
+  /// evicts LRU keys past it (a mid-traffic knob drop shrinks the cache on
+  /// the spot). Several structurally distinct variants may share one key.
+  void Insert(const std::string &key, std::shared_ptr<const CachedPlan> entry);
+
+  void Clear();
+  size_t Size() const;  ///< cached keys
+  PlanCacheStats stats() const;
+
+ private:
+  struct Slot {
+    std::list<std::string>::iterator lru;  ///< position in recency list
+    std::vector<std::shared_ptr<const CachedPlan>> variants;
+  };
+
+  void EvictToCapacityLocked(size_t capacity);
+
+  Catalog *catalog_;
+  SettingsManager *settings_;
+  mutable std::mutex mutex_;
+  std::list<std::string> recency_;  ///< front = most recently used
+  std::map<std::string, Slot> entries_;
+  PlanCacheStats stats_;
+};
+
+}  // namespace mb2::sql

@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/fault_injector.h"
 #include "database.h"
 #include "sql/lexer.h"
 #include "sql/parser.h"
@@ -41,6 +42,38 @@ TEST(SqlLexerTest, NumbersAndStrings) {
   EXPECT_DOUBLE_EQ(tokens.value()[1].float_value, 2.5);
   EXPECT_EQ(tokens.value()[2].text, "a b");
   EXPECT_DOUBLE_EQ(tokens.value()[3].float_value, 0.75);
+}
+
+TEST(SqlLexerTest, DoubledQuoteEscapes) {
+  // SQL-92: a doubled quote inside a string literal is one literal quote.
+  auto tokens = Tokenize("name = 'O''Brien'");
+  ASSERT_TRUE(tokens.ok());
+  ASSERT_EQ(tokens.value()[2].type, TokenType::kString);
+  EXPECT_EQ(tokens.value()[2].text, "O'Brien");
+  EXPECT_EQ(tokens.value()[3].type, TokenType::kEnd);  // one token, not two
+
+  tokens = Tokenize("''");  // empty string
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ(tokens.value()[0].type, TokenType::kString);
+  EXPECT_EQ(tokens.value()[0].text, "");
+
+  tokens = Tokenize("''''");  // a string holding exactly one quote
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ(tokens.value()[0].text, "'");
+
+  tokens = Tokenize("'a''b''c' 7");  // multiple escapes in one literal
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ(tokens.value()[0].text, "a'b'c");
+  EXPECT_EQ(tokens.value()[1].int_value, 7);
+}
+
+TEST(SqlLexerTest, UnterminatedStringsAreErrors) {
+  EXPECT_FALSE(Tokenize("'abc").ok());
+  // The trailing '' is an escaped quote, so the literal never closes.
+  EXPECT_FALSE(Tokenize("'abc''").ok());
+  EXPECT_FALSE(Tokenize("'").ok());
+  const auto status = Tokenize("WHERE x = 'oops").status();
+  EXPECT_NE(status.ToString().find("unterminated"), std::string::npos);
 }
 
 // --- Execution ------------------------------------------------------------------
@@ -210,6 +243,67 @@ TEST_F(SqlTest, DatabaseExecuteConvenienceOverload) {
   // Errors surface through the Result, typed, instead of crashing.
   EXPECT_FALSE(db_.Execute("SELECT * FROM nonexistent").ok());
   EXPECT_FALSE(db_.Execute("NOT SQL AT ALL").ok());
+}
+
+TEST_F(SqlTest, EscapedQuoteRoundTrip) {
+  Run("INSERT INTO items VALUES (500, 0, 1.0, 'O''Brien')");
+  Batch out = Run("SELECT id FROM items WHERE name = 'O''Brien'");
+  ASSERT_EQ(out.rows.size(), 1u);
+  EXPECT_EQ(out.rows[0][0].AsInt(), 500);
+  Batch name = Run("SELECT name FROM items WHERE id = 500");
+  ASSERT_EQ(name.rows.size(), 1u);
+  EXPECT_EQ(name.rows[0][0].AsVarchar(), "O'Brien");
+}
+
+TEST_F(SqlTest, TrailingGarbageIsRejected) {
+  const char *bad[] = {
+      "SELECT * FROM items 42",
+      "SELECT * FROM items; SELECT * FROM items",  // one statement per string
+      "SELECT id FROM items WHERE id = 1 ORDER BY id LIMIT 2 2",
+      "INSERT INTO items VALUES (300, 0, 1.0, 'x') garbage",
+      "UPDATE items SET grp = 1 WHERE id = 1 nonsense",
+      "DELETE FROM items WHERE id = 1 nonsense",
+      "CREATE TABLE t_garbage (x INTEGER) trailing",
+      "CREATE INDEX idx_g ON items (grp) WITH 2 THREADS extra",
+      "DROP INDEX idx_g bar",
+  };
+  for (const char *stmt : bad) {
+    auto result = ExecuteSql(&db_, stmt);
+    ASSERT_FALSE(result.ok()) << stmt;
+    // The error names the offending token and its offset.
+    EXPECT_NE(result.status().ToString().find("trailing"), std::string::npos)
+        << result.status().ToString();
+    EXPECT_NE(result.status().ToString().find("offset"), std::string::npos)
+        << result.status().ToString();
+  }
+  // The rejected DDL must not have taken effect.
+  EXPECT_FALSE(ExecuteSql(&db_, "SELECT * FROM t_garbage").ok());
+  EXPECT_FALSE(ExecuteSql(&db_, "DROP INDEX idx_g").ok());
+  // A trailing semicolon alone stays legal.
+  EXPECT_TRUE(ExecuteSql(&db_, "SELECT * FROM items;").ok());
+}
+
+TEST_F(SqlTest, FailedIndexBuildPropagatesAndDropsTheIndex) {
+  auto &fi = FaultInjector::Instance();
+  fi.Reset();
+  FaultSpec spec;
+  spec.message = "injected index-build failure";
+  fi.Arm(fault_point::kIndexBuild, spec);
+  auto result = ExecuteSql(&db_, "CREATE INDEX idx_fail ON items (grp)");
+  fi.Reset();
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().ToString().find("index.build"), std::string::npos);
+  // The half-built index is gone: point queries plan seq scans, DROP fails,
+  // and a retry under the same name succeeds cleanly.
+  auto bound = Parse(&db_, "SELECT * FROM items WHERE grp = 3");
+  ASSERT_TRUE(bound.ok());
+  const PlanNode *scan = bound.value().plan->children[0].get();
+  while (!scan->children.empty()) scan = scan->children[0].get();
+  EXPECT_EQ(scan->type, PlanNodeType::kSeqScan);
+  EXPECT_FALSE(ExecuteSql(&db_, "DROP INDEX idx_fail").ok());
+  EXPECT_TRUE(ExecuteSql(&db_, "CREATE INDEX idx_fail ON items (grp)").ok());
+  Batch out = Run("SELECT id FROM items WHERE grp = 3 AND id < 50");
+  EXPECT_EQ(out.rows.size(), 10u);
 }
 
 TEST_F(SqlTest, QualifiedColumnsInJoin) {
