@@ -2,21 +2,36 @@
 // model-serving endpoint has something to serve, and exposes both over the
 // framed wire protocol on a TCP port. Pair with ./build/examples/net_client.
 //
-// Build & run:  ./build/examples/net_server [port]        (default 7432)
+// Standalone:  ./build/examples/net_server [port]            (default 7432)
+//
+// Replicated pair (two terminals, shared filesystem):
+//   ./build/examples/net_server --primary 7432 --wal /tmp/mb2_primary.wal
+//   ./build/examples/net_server --follower 7433 --primary-port 7432 \
+//       --wal /tmp/mb2_primary.wal --copy /tmp/mb2_copy.wal
+// The primary tails its WAL over REPL_* opcodes; the follower applies the
+// stream, serves read-only SQL (writes answer NOT_PRIMARY), and watches the
+// primary's HEALTH endpoint — kill the primary and the follower promotes
+// itself within repl_failover_grace_ms, draining the shared WAL file to its
+// durable tip before admitting writes.
 //
 // Knobs (tunable live through the SettingsManager, e.g. by the self-driving
 // planner): net_worker_threads (applied at start), net_queue_depth and
-// net_default_deadline_ms (re-read on every admission decision).
+// net_default_deadline_ms (re-read on every admission decision),
+// repl_heartbeat_ms / repl_batch_bytes / repl_failover_grace_ms.
 
 #include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <string>
 #include <thread>
 
 #include "database.h"
 #include "modeling/model_bot.h"
 #include "net/server.h"
+#include "repl/health.h"
+#include "repl/replication.h"
 #include "runner/ou_runner.h"
 
 using namespace mb2;
@@ -27,20 +42,51 @@ void OnSignal(int) { g_stop = 1; }
 }  // namespace
 
 int main(int argc, char **argv) {
-  const uint16_t port =
-      argc > 1 ? static_cast<uint16_t>(std::atoi(argv[1])) : 7432;
+  enum class Role { kStandalone, kPrimary, kFollower } role = Role::kStandalone;
+  uint16_t port = 7432;
+  uint16_t primary_port = 7432;
+  std::string wal_path = "/tmp/mb2_primary.wal";
+  std::string copy_path = "/tmp/mb2_copy.wal";
+  for (int i = 1; i < argc; i++) {
+    if (std::strcmp(argv[i], "--primary") == 0) {
+      role = Role::kPrimary;
+      if (i + 1 < argc && argv[i + 1][0] != '-') {
+        port = static_cast<uint16_t>(std::atoi(argv[++i]));
+      }
+    } else if (std::strcmp(argv[i], "--follower") == 0) {
+      role = Role::kFollower;
+      if (i + 1 < argc && argv[i + 1][0] != '-') {
+        port = static_cast<uint16_t>(std::atoi(argv[++i]));
+      }
+    } else if (std::strcmp(argv[i], "--primary-port") == 0 && i + 1 < argc) {
+      primary_port = static_cast<uint16_t>(std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--wal") == 0 && i + 1 < argc) {
+      wal_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--copy") == 0 && i + 1 < argc) {
+      copy_path = argv[++i];
+    } else {
+      port = static_cast<uint16_t>(std::atoi(argv[i]));
+    }
+  }
 
-  Database db;
-  auto created =
-      db.Execute("CREATE TABLE kv (k INTEGER, v VARCHAR)");
+  Database::Options dopts;
+  if (role == Role::kPrimary) dopts.wal_path = wal_path;
+  Database db(dopts);
+  if (role == Role::kPrimary) {
+    // Committed == durable: the zero-committed-loss failover guarantee.
+    db.settings().SetInt("wal_sync_commit", 1);
+  }
+  auto created = db.Execute("CREATE TABLE kv (k INTEGER, v VARCHAR)");
   if (!created.ok()) {
     std::fprintf(stderr, "setup failed: %s\n",
                  created.status().ToString().c_str());
     return 1;
   }
-  for (int i = 0; i < 16; i++) {
-    db.Execute("INSERT INTO kv VALUES (" + std::to_string(i) + ", 'seed" +
-               std::to_string(i) + "')");
+  if (role != Role::kFollower) {  // a follower's rows come from the stream
+    for (int i = 0; i < 16; i++) {
+      db.Execute("INSERT INTO kv VALUES (" + std::to_string(i) + ", 'seed" +
+                 std::to_string(i) + "')");
+    }
   }
 
   std::printf("training OU-models for the PREDICT_OUS endpoint...\n");
@@ -52,26 +98,69 @@ int main(int argc, char **argv) {
   opts.port = port;
   opts.num_reactors = 2;
   net::Server server(&db, &bot, opts);
+
+  // Replication wiring (primary ships, follower applies + can be promoted).
+  std::unique_ptr<repl::ReplicationSource> source;
+  std::unique_ptr<repl::ReplicaNode> node;
+  std::unique_ptr<repl::FailoverCoordinator> coordinator;
+  if (role == Role::kPrimary) {
+    source = std::make_unique<repl::ReplicationSource>(&db);
+    server.set_repl_service(source.get());
+  } else if (role == Role::kFollower) {
+    repl::ReplicaNodeOptions ropts;
+    ropts.replica_id = "follower-" + std::to_string(port);
+    ropts.primary_port = primary_port;
+    ropts.wal_copy_path = copy_path;
+    node = std::make_unique<repl::ReplicaNode>(&db, ropts);
+    if (const Status s = node->Bootstrap(); !s.ok()) {
+      std::fprintf(stderr, "bootstrap failed: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    if (const Status s = node->Start(); !s.ok()) {
+      std::fprintf(stderr, "fetch loop failed: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    server.set_repl_service(node.get());  // serves HEALTH (+ REPL_* once primary)
+    repl::HealthMonitorOptions watch;
+    watch.port = primary_port;
+    coordinator = std::make_unique<repl::FailoverCoordinator>(
+        node.get(), watch, &db.settings(), wal_path,
+        copy_path + ".promoted");
+    coordinator->Start();
+  }
+
   if (const Status s = server.Start(); !s.ok()) {
     std::fprintf(stderr, "server start failed: %s\n", s.ToString().c_str());
     return 1;
   }
-  std::printf("listening on 127.0.0.1:%u  (Ctrl-C drains and exits)\n",
-              server.port());
+  const char *role_name = role == Role::kPrimary     ? "primary"
+                          : role == Role::kFollower  ? "follower"
+                                                     : "standalone";
+  std::printf("listening on 127.0.0.1:%u as %s  (Ctrl-C drains and exits)\n",
+              server.port(), role_name);
   std::printf("knobs: net_worker_threads=%lld net_queue_depth=%lld "
-              "net_default_deadline_ms=%lld\n",
+              "net_default_deadline_ms=%lld repl_heartbeat_ms=%lld\n",
               static_cast<long long>(db.settings().GetInt("net_worker_threads")),
               static_cast<long long>(db.settings().GetInt("net_queue_depth")),
               static_cast<long long>(
-                  db.settings().GetInt("net_default_deadline_ms")));
+                  db.settings().GetInt("net_default_deadline_ms")),
+              static_cast<long long>(db.settings().GetInt("repl_heartbeat_ms")));
 
   std::signal(SIGINT, OnSignal);
   std::signal(SIGTERM, OnSignal);
+  bool announced_promotion = false;
   while (g_stop == 0 && server.running()) {
     std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    if (node != nullptr && node->promoted() && !announced_promotion) {
+      announced_promotion = true;
+      std::printf("promoted to primary (epoch %llu); writes admitted\n",
+                  static_cast<unsigned long long>(node->epoch()));
+    }
   }
 
   std::printf("\ndraining...\n");
+  if (coordinator) coordinator->Stop();
+  if (node) node->Stop();
   server.Stop();
   const net::ServerStats stats = server.stats();
   std::printf("served %llu requests over %llu connections "

@@ -28,6 +28,17 @@ SettingsManager::SettingsManager() {
   knobs_["sql_plan_cache_capacity"] = {1024.0, KnobKind::kResource};
   knobs_["vector_batch_size"] = {1024.0, KnobKind::kBehavior};
   knobs_["optimizer_mode"] = {0.0, KnobKind::kBehavior};  // 0=heuristic 1=model
+  // Replication (src/repl). Heartbeat period doubles as the follower's idle
+  // fetch-poll period; batch bytes caps one shipped log batch; the grace
+  // window is how long a primary must stay unresponsive before failover
+  // (hysteresis = grace / heartbeat consecutive failures). All hot-read.
+  knobs_["repl_heartbeat_ms"] = {50.0, KnobKind::kBehavior};
+  knobs_["repl_batch_bytes"] = {256.0 * 1024.0, KnobKind::kResource};
+  knobs_["repl_failover_grace_ms"] = {500.0, KnobKind::kBehavior};
+  // 1 = a commit's WAL bytes are flushed to the device before Commit
+  // returns (committed == durable; what the chaos harness asserts on).
+  // 0 = group flush on log_flush_interval_us, the paper's default.
+  knobs_["wal_sync_commit"] = {0.0, KnobKind::kBehavior};
 }
 
 int64_t SettingsManager::GetInt(const std::string &name) const {

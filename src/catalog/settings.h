@@ -57,6 +57,10 @@ class SettingsManager {
   ///   sql_plan_cache_capacity plan-cache entries (hot; 0=off)   (resource)
   ///   vector_batch_size       rows per vectorized batch (hot)   (behavior)
   ///   optimizer_mode          0=heuristic, 1=model-costed (hot) (behavior)
+  ///   repl_heartbeat_ms       heartbeat + idle fetch period     (behavior)
+  ///   repl_batch_bytes        max bytes per shipped log batch   (resource)
+  ///   repl_failover_grace_ms  unresponsive window before failover (behavior)
+  ///   wal_sync_commit         1 = flush WAL before commit returns (behavior)
 
  private:
   struct Knob {

@@ -1,6 +1,8 @@
 #include "common/fault_injector.h"
 
+#include <chrono>
 #include <cstdlib>
+#include <thread>
 
 namespace mb2 {
 
@@ -51,25 +53,39 @@ void FaultInjector::Seed(uint64_t seed) {
 FaultCheck FaultInjector::Hit(const char *point) {
   FaultCheck check;
   if (!Armed()) return check;
-  std::lock_guard<std::mutex> lock(mutex_);
-  auto it = points_.find(point);
-  if (it == points_.end() || !it->second.armed) return check;
-  PointState &state = it->second;
-  state.hits++;
-  if (state.hits <= state.spec.after_hits) return check;
-  if (state.spec.max_fires >= 0 &&
-      state.fires >= static_cast<uint64_t>(state.spec.max_fires)) {
-    return check;
+  int64_t delay_us = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = points_.find(point);
+    if (it == points_.end() || !it->second.armed) return check;
+    PointState &state = it->second;
+    state.hits++;
+    if (state.hits <= state.spec.after_hits) return check;
+    if (state.spec.max_fires >= 0 &&
+        state.fires >= static_cast<uint64_t>(state.spec.max_fires)) {
+      return check;
+    }
+    if (state.spec.probability < 1.0 &&
+        rng_.NextDouble() >= state.spec.probability) {
+      return check;
+    }
+    state.fires++;
+    check.action = state.spec.action;
+    check.torn_fraction = state.spec.torn_fraction;
+    check.message = state.spec.message.c_str();
+    if (check.action == FaultAction::kDelay) {
+      // The stall happens outside the registry lock so concurrent hits on
+      // other points (or other threads in the same point) are not serialized
+      // behind an injected sleep.
+      check.delayed = true;
+      delay_us = state.spec.delay_us;
+    } else {
+      check.fire = true;
+    }
   }
-  if (state.spec.probability < 1.0 &&
-      rng_.NextDouble() >= state.spec.probability) {
-    return check;
+  if (delay_us > 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(delay_us));
   }
-  state.fires++;
-  check.fire = true;
-  check.action = state.spec.action;
-  check.torn_fraction = state.spec.torn_fraction;
-  check.message = state.spec.message.c_str();
   return check;
 }
 
@@ -132,6 +148,9 @@ Status FaultInjector::ArmFromSpec(const std::string &spec) {
         } else if (token.rfind("torn", 0) == 0) {
           fs.action = FaultAction::kTornWrite;
           if (token.size() > 4) fs.torn_fraction = std::stod(token.substr(4));
+        } else if (token.rfind("delay", 0) == 0) {
+          fs.action = FaultAction::kDelay;
+          if (token.size() > 5) fs.delay_us = std::stoll(token.substr(5));
         } else {
           return Status::InvalidArgument("unknown fault spec token: " + token);
         }
@@ -143,6 +162,9 @@ Status FaultInjector::ArmFromSpec(const std::string &spec) {
     if (fs.probability < 0.0 || fs.probability > 1.0 ||
         fs.torn_fraction < 0.0 || fs.torn_fraction > 1.0) {
       return Status::InvalidArgument("fault spec fractions must be in [0,1]: " + entry);
+    }
+    if (fs.delay_us < 0) {
+      return Status::InvalidArgument("fault spec delay must be >= 0: " + entry);
     }
     Arm(point, std::move(fs));
   }

@@ -44,6 +44,14 @@ inline constexpr const char *kNetWrite = "net.write";
 // build after the scan; CREATE INDEX must surface the error and drop the
 // half-built index from the catalog.
 inline constexpr const char *kIndexBuild = "index.build";
+// Replication (src/repl): `repl.ship` fires on the primary's batch-read
+// path (the follower sees a fetch error — a partitioned/unreachable
+// primary), `repl.apply` on the follower's apply path (the batch must be
+// retried without double-applying). `net.connect` fires in Client::Dial
+// before any socket work — a refused/partitioned endpoint.
+inline constexpr const char *kReplShip = "repl.ship";
+inline constexpr const char *kReplApply = "repl.apply";
+inline constexpr const char *kNetConnect = "net.connect";
 }  // namespace fault_point
 
 /// What an armed point does when it fires.
@@ -52,6 +60,8 @@ enum class FaultAction : uint8_t {
   kThrow,      ///< the instrumented call throws InjectedFault
   kTornWrite,  ///< I/O writes only `torn_fraction` of its bytes (simulated
                ///< crash mid-write), then surfaces an error
+  kDelay,      ///< the call is stalled for `delay_us`, then proceeds
+               ///< normally (slow link / stalled flush, not a hard failure)
 };
 
 /// Exception type for FaultAction::kThrow.
@@ -72,12 +82,17 @@ struct FaultSpec {
   int64_t max_fires = -1;
   /// For kTornWrite: fraction of the payload actually written.
   double torn_fraction = 0.5;
+  /// For kDelay: stall duration in microseconds.
+  int64_t delay_us = 1000;
   std::string message = "injected fault";
 };
 
 /// The decision returned to the instrumented call site.
 struct FaultCheck {
   bool fire = false;
+  /// A kDelay fire already slept inside Hit() and reports `fire == false`
+  /// (the call proceeds normally); this flag records that it happened.
+  bool delayed = false;
   FaultAction action = FaultAction::kError;
   double torn_fraction = 0.5;
   const char *message = "";  ///< valid until the point is disarmed/reset
@@ -120,8 +135,9 @@ class FaultInjector {
   ///   token    := 'p' FLOAT      per-hit probability
   ///             | 'n' INT        skip the first N hits
   ///             | 'x' INT        fire at most X times
-  ///             | 'error' | 'throw' | 'torn' FLOAT?
+  ///             | 'error' | 'throw' | 'torn' FLOAT? | 'delay' INT?  (µs)
   /// Example: MB2_FAULTS="wal.flush=p0.01;persistence.read=n2,x1,error"
+  ///          MB2_FAULTS="repl.ship=p0.5,delay20000"    (slow link)
   Status ArmFromSpec(const std::string &spec);
 
  private:

@@ -273,6 +273,18 @@ class ByteReader {
     return v;
   }
 
+  /// Copies `len` raw bytes into `out`. The caller supplies the length (from
+  /// its own validated prefix); truncation fails cleanly like every Get.
+  bool GetRaw(void *out, size_t len) {
+    if (failed_ || pos_ + len > size_) {
+      failed_ = true;
+      return false;
+    }
+    if (len > 0) std::memcpy(out, data_ + pos_, len);
+    pos_ += len;
+    return true;
+  }
+
  private:
   const uint8_t *data_;
   size_t size_;

@@ -20,6 +20,11 @@ enum class ErrorCode {
   kIoError,
   kNotSupported,
   kInternal,
+  /// The endpoint cannot serve this request by role — e.g. a write sent to
+  /// a read-only replica, or a replication fetch sent to a non-primary.
+  /// Distinct from kIoError: the transport worked, but the caller should
+  /// re-resolve which endpoint is primary instead of retrying here.
+  kUnavailable,
 };
 
 /// A Status describes the outcome of an operation: OK or an error code with
@@ -52,6 +57,9 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(ErrorCode::kInternal, std::move(msg));
   }
+  static Status Unavailable(std::string msg) {
+    return Status(ErrorCode::kUnavailable, std::move(msg));
+  }
 
   bool ok() const { return code_ == ErrorCode::kOk; }
   ErrorCode code() const { return code_; }
@@ -73,6 +81,7 @@ class Status {
       case ErrorCode::kIoError: return "IoError";
       case ErrorCode::kNotSupported: return "NotSupported";
       case ErrorCode::kInternal: return "Internal";
+      case ErrorCode::kUnavailable: return "Unavailable";
     }
     return "Unknown";
   }

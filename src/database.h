@@ -6,6 +6,7 @@
 /// would consume them. All benches, examples, and workloads run through
 /// this.
 
+#include <atomic>
 #include <memory>
 #include <string>
 
@@ -52,6 +53,17 @@ class Database {
   void set_model_bot(ModelBot *bot) { optimizer_->set_model_bot(bot); }
   ModelBot *model_bot() const { return optimizer_->model_bot(); }
 
+  /// Write admission. A replication follower serves reads only: SQL DML/DDL
+  /// through Execute(sql) answers Status::Unavailable while set (the log
+  /// apply path writes through the storage layer directly, below this
+  /// gate). Promotion flips it atomically, so in-flight reads are never
+  /// disturbed and the first post-promotion write is admitted exactly when
+  /// the node starts logging for itself.
+  bool read_only() const { return read_only_.load(std::memory_order_acquire); }
+  void set_read_only(bool value) {
+    read_only_.store(value, std::memory_order_release);
+  }
+
   /// Executes a finalized plan in its own transaction.
   QueryResult Execute(const PlanNode &plan) { return engine_->ExecuteQuery(plan); }
 
@@ -72,6 +84,7 @@ class Database {
   std::unique_ptr<CostOptimizer> optimizer_;
   std::unique_ptr<sql::PlanCache> plan_cache_;
   Options options_;
+  std::atomic<bool> read_only_{false};
 };
 
 }  // namespace mb2

@@ -11,6 +11,8 @@
 #include <cerrno>
 #include <cstring>
 
+#include "common/fault_injector.h"
+
 namespace mb2::net {
 
 namespace {
@@ -70,6 +72,17 @@ Client::~Client() {
 }
 
 Result<int> Client::Dial() {
+  // net.connect simulates an unreachable endpoint (partition, dead host)
+  // without needing a real network: the dial fails before any syscall.
+  FaultInjector &injector = FaultInjector::Instance();
+  if (injector.Armed()) {
+    const FaultCheck check = injector.Hit(fault_point::kNetConnect);
+    if (check.fire) {
+      if (check.action == FaultAction::kThrow) throw InjectedFault(check.message);
+      return check.ToStatus(fault_point::kNetConnect);
+    }
+  }
+
   const int fd = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
   if (fd < 0) return Status::IoError("socket: " + std::string(strerror(errno)));
 
@@ -130,16 +143,57 @@ void Client::Checkin(int fd) {
   close(fd);
 }
 
+void Client::FlushPool() {
+  std::vector<int> stale;
+  {
+    std::lock_guard<std::mutex> lock(pool_mutex_);
+    stale.swap(pool_);
+  }
+  for (int fd : stale) close(fd);
+  n_pool_flushes_.fetch_add(1, std::memory_order_relaxed);
+}
+
 Status Client::TryOnce(Opcode op, const std::vector<uint8_t> &payload,
                        uint64_t request_id, Frame *out) {
   n_requests_.fetch_add(1, std::memory_order_relaxed);
+  bool pooled = true;
   int fd = Checkout();
   if (fd < 0) {
+    pooled = false;
     Result<int> dialed = Dial();
     if (!dialed.ok()) return dialed.status();
     fd = dialed.value();
   }
 
+  Status s = RoundtripOnFd(fd, op, payload, request_id, out);
+  if (s.ok()) {
+    Checkin(fd);
+    return s;
+  }
+  close(fd);
+  if (!pooled) return s;
+
+  // The socket came from the pool, so this failure is most likely a stale
+  // connection from before a server restart, not a server that is down now.
+  // Every idle sibling died with it: drop them all and prove the endpoint
+  // one way or the other on a fresh dial, without spending a retry attempt
+  // (and its backoff) per stale socket.
+  FlushPool();
+  Result<int> dialed = Dial();
+  if (!dialed.ok()) return dialed.status();
+  fd = dialed.value();
+  s = RoundtripOnFd(fd, op, payload, request_id, out);
+  if (!s.ok()) {
+    close(fd);
+    return s;
+  }
+  Checkin(fd);
+  return s;
+}
+
+Status Client::RoundtripOnFd(int fd, Opcode op,
+                             const std::vector<uint8_t> &payload,
+                             uint64_t request_id, Frame *out) {
   const std::vector<uint8_t> frame =
       EncodeFrame(static_cast<uint16_t>(op), request_id, payload);
   Status s = SendAll(fd, frame.data(), frame.size());
@@ -179,13 +233,7 @@ Status Client::TryOnce(Opcode op, const std::vector<uint8_t> &payload,
       }
     }
   }
-
-  if (!s.ok()) {
-    close(fd);
-    return s;
-  }
-  Checkin(fd);
-  return Status::Ok();
+  return s;
 }
 
 Status Client::Roundtrip(Opcode op, const std::vector<uint8_t> &payload,
@@ -311,11 +359,82 @@ Result<std::string> Client::GetMetricsJson() {
   return json;
 }
 
+Result<HealthInfo> Client::Health() {
+  Frame response;
+  Status s = Roundtrip(Opcode::kHealth, {}, &response);
+  if (!s.ok()) return s;
+  WireCode code;
+  std::string message;
+  size_t offset;
+  if (!DecodeResponseHead(response.payload, &code, &message, &offset)) {
+    return Status::IoError("malformed HEALTH response");
+  }
+  if (code != WireCode::kOk) return WireCodeToStatus(code, message);
+  HealthInfo info;
+  if (!DecodeHealthResponseBody(response.payload, offset, &info)) {
+    return Status::IoError("malformed HEALTH response body");
+  }
+  return info;
+}
+
+Result<ReplSubscribeResponseBody> Client::ReplSubscribe(
+    const ReplSubscribeRequest &req) {
+  Frame response;
+  Status s = Roundtrip(Opcode::kReplSubscribe, EncodeReplSubscribeRequest(req),
+                       &response);
+  if (!s.ok()) return s;
+  WireCode code;
+  std::string message;
+  size_t offset;
+  if (!DecodeResponseHead(response.payload, &code, &message, &offset)) {
+    return Status::IoError("malformed REPL_SUBSCRIBE response");
+  }
+  if (code != WireCode::kOk) return WireCodeToStatus(code, message);
+  ReplSubscribeResponseBody body;
+  if (!DecodeReplSubscribeResponseBody(response.payload, offset, &body)) {
+    return Status::IoError("malformed REPL_SUBSCRIBE response body");
+  }
+  return body;
+}
+
+Result<ReplLogBatchBody> Client::ReplFetch(const ReplFetchRequest &req) {
+  Frame response;
+  Status s =
+      Roundtrip(Opcode::kReplLogBatch, EncodeReplFetchRequest(req), &response);
+  if (!s.ok()) return s;
+  WireCode code;
+  std::string message;
+  size_t offset;
+  if (!DecodeResponseHead(response.payload, &code, &message, &offset)) {
+    return Status::IoError("malformed REPL_LOG_BATCH response");
+  }
+  if (code != WireCode::kOk) return WireCodeToStatus(code, message);
+  ReplLogBatchBody body;
+  if (!DecodeReplLogBatchResponseBody(response.payload, offset, &body)) {
+    return Status::IoError("malformed REPL_LOG_BATCH response body");
+  }
+  return body;
+}
+
+Status Client::ReplAck(const ReplAckRequest &req) {
+  Frame response;
+  Status s = Roundtrip(Opcode::kReplAck, EncodeReplAckRequest(req), &response);
+  if (!s.ok()) return s;
+  WireCode code;
+  std::string message;
+  size_t offset;
+  if (!DecodeResponseHead(response.payload, &code, &message, &offset)) {
+    return Status::IoError("malformed REPL_ACK response");
+  }
+  return WireCodeToStatus(code, message);
+}
+
 Client::Stats Client::stats() const {
   Stats out;
   out.requests = n_requests_.load(std::memory_order_relaxed);
   out.retries = n_retries_.load(std::memory_order_relaxed);
   out.reconnects = n_reconnects_.load(std::memory_order_relaxed);
+  out.pool_flushes = n_pool_flushes_.load(std::memory_order_relaxed);
   return out;
 }
 

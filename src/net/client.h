@@ -9,7 +9,18 @@
 /// exponential backoff + jitter (common/retry); server-reported errors come
 /// back as typed Status without retry — except SERVER_BUSY/SHUTTING_DOWN
 /// when `retry_busy` opts in, since load-shed responses are transient by
-/// design.
+/// design. A NOT_PRIMARY response surfaces as Status::Unavailable — the
+/// endpoint is alive but cannot serve by role (it was demoted, or the
+/// cluster promoted another node); unlike a transport error, retrying the
+/// same endpoint is pointless and callers should re-resolve the primary
+/// (net/failover_client.h automates this).
+///
+/// Pooled connections and server restarts: a request that fails on a
+/// *pooled* socket most often means the server restarted and every idle
+/// socket in the pool died with it. The failed attempt drops the whole
+/// pool and immediately redials once within the same attempt, so a healthy
+/// restarted server costs zero retry budget instead of one failed attempt
+/// per stale pooled connection.
 ///
 /// Note on retry semantics: the transport retries whole requests, so a
 /// non-idempotent SQL statement that died mid-flight may execute twice.
@@ -74,18 +85,34 @@ class Client {
   /// Occupies a server worker for `millis` (test/bench support).
   Status Sleep(uint32_t millis);
 
+  /// HEALTH probe: the node's role/epoch/replication position.
+  Result<HealthInfo> Health();
+  /// Replication RPCs (driven by repl::ReplicaNode against the primary).
+  Result<ReplSubscribeResponseBody> ReplSubscribe(
+      const ReplSubscribeRequest &req);
+  Result<ReplLogBatchBody> ReplFetch(const ReplFetchRequest &req);
+  Status ReplAck(const ReplAckRequest &req);
+
   struct Stats {
-    uint64_t requests = 0;    ///< round-trips attempted (including retries)
-    uint64_t retries = 0;     ///< attempts beyond the first
-    uint64_t reconnects = 0;  ///< fresh dials (pool misses + post-failure)
+    uint64_t requests = 0;      ///< round-trips attempted (including retries)
+    uint64_t retries = 0;       ///< attempts beyond the first
+    uint64_t reconnects = 0;    ///< fresh dials (pool misses + post-failure)
+    uint64_t pool_flushes = 0;  ///< pools dropped after a stale-socket failure
   };
   Stats stats() const;
 
  private:
   /// One attempt: checkout/dial, write request frame, read response frame.
   /// Transport problems only; the response's WireCode is not interpreted.
+  /// A failure on a pooled socket flushes the pool and redials once (see
+  /// file comment) before the attempt counts as failed.
   Status TryOnce(Opcode op, const std::vector<uint8_t> &payload,
                  uint64_t request_id, Frame *out);
+  /// Writes the request and reads the matching response on `fd`.
+  Status RoundtripOnFd(int fd, Opcode op, const std::vector<uint8_t> &payload,
+                       uint64_t request_id, Frame *out);
+  /// Closes every idle pooled connection.
+  void FlushPool();
   /// Full request with retry/backoff. On OK, *out holds the response frame
   /// (whose payload may still carry a server-side error code).
   Status Roundtrip(Opcode op, const std::vector<uint8_t> &payload, Frame *out);
@@ -98,7 +125,8 @@ class Client {
   std::mutex pool_mutex_;
   std::vector<int> pool_;
   std::atomic<uint64_t> next_request_id_{1};
-  std::atomic<uint64_t> n_requests_{0}, n_retries_{0}, n_reconnects_{0};
+  std::atomic<uint64_t> n_requests_{0}, n_retries_{0}, n_reconnects_{0},
+      n_pool_flushes_{0};
 };
 
 }  // namespace mb2::net

@@ -1,0 +1,88 @@
+#include "net/failover_client.h"
+
+#include <chrono>
+#include <thread>
+
+#include "metrics/metrics_collector.h"
+#include "obs/metrics_registry.h"
+
+namespace mb2::net {
+
+namespace {
+
+Counter &ClientFailoverCounter() {
+  static Counter &c = MetricsRegistry::Instance().GetCounter(
+      "mb2_net_client_failovers_total");
+  return c;
+}
+
+}  // namespace
+
+FailoverClient::FailoverClient(FailoverClientOptions options)
+    : options_(std::move(options)) {
+  MB2_ASSERT(!options_.endpoints.empty(), "failover client needs endpoints");
+  clients_.reserve(options_.endpoints.size());
+  for (const ClientOptions &ep : options_.endpoints) {
+    clients_.push_back(std::make_unique<Client>(ep));
+  }
+}
+
+bool FailoverClient::ShouldFailover(const Status &status) {
+  // kUnavailable is the wire's NOT_PRIMARY: the node answered, it just
+  // cannot serve this by role. kIoError is transport (dead/unreachable).
+  return status.code() == ErrorCode::kUnavailable ||
+         status.code() == ErrorCode::kIoError;
+}
+
+Status FailoverClient::Resolve() {
+  std::lock_guard<std::mutex> lock(resolve_mutex_);
+  const size_t was = current_.load(std::memory_order_acquire);
+  const int64_t deadline_us =
+      NowMicros() + options_.resolve_timeout_ms * 1000;
+  for (;;) {
+    size_t best = clients_.size();
+    uint64_t best_epoch = 0;
+    for (size_t i = 0; i < clients_.size(); i++) {
+      const auto health = clients_[i]->Health();
+      if (!health.ok() || health.value().role != 1) continue;
+      if (best == clients_.size() || health.value().epoch > best_epoch) {
+        best = i;
+        best_epoch = health.value().epoch;
+      }
+    }
+    if (best != clients_.size()) {
+      if (best != was) {
+        current_.store(best, std::memory_order_release);
+        failovers_.fetch_add(1, std::memory_order_relaxed);
+        ClientFailoverCounter().Add();
+      }
+      return Status::Ok();
+    }
+    if (NowMicros() >= deadline_us) {
+      return Status::NotFound("no primary among " +
+                              std::to_string(clients_.size()) + " endpoints");
+    }
+    // Failover window: the primary is gone and no follower has finished
+    // promoting. Wait a beat and sweep again.
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(options_.resolve_interval_ms));
+  }
+}
+
+Result<RemoteQueryResult> FailoverClient::ExecuteSql(const std::string &sql) {
+  auto result = clients_[current()]->ExecuteSql(sql);
+  if (result.ok() || !ShouldFailover(result.status())) return result;
+  const Status resolved = Resolve();
+  if (!resolved.ok()) return resolved;
+  return clients_[current()]->ExecuteSql(sql);
+}
+
+Status FailoverClient::Ping() {
+  Status s = clients_[current()]->Ping();
+  if (s.ok() || !ShouldFailover(s)) return s;
+  const Status resolved = Resolve();
+  if (!resolved.ok()) return resolved;
+  return clients_[current()]->Ping();
+}
+
+}  // namespace mb2::net

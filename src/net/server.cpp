@@ -78,6 +78,26 @@ Counter &RequestCounter(Opcode op) {
           "mb2_net_requests_total{opcode=\"SLEEP\"}");
       return c;
     }
+    case Opcode::kReplSubscribe: {
+      static Counter &c = MetricsRegistry::Instance().GetCounter(
+          "mb2_net_requests_total{opcode=\"REPL_SUBSCRIBE\"}");
+      return c;
+    }
+    case Opcode::kReplLogBatch: {
+      static Counter &c = MetricsRegistry::Instance().GetCounter(
+          "mb2_net_requests_total{opcode=\"REPL_LOG_BATCH\"}");
+      return c;
+    }
+    case Opcode::kReplAck: {
+      static Counter &c = MetricsRegistry::Instance().GetCounter(
+          "mb2_net_requests_total{opcode=\"REPL_ACK\"}");
+      return c;
+    }
+    case Opcode::kHealth: {
+      static Counter &c = MetricsRegistry::Instance().GetCounter(
+          "mb2_net_requests_total{opcode=\"HEALTH\"}");
+      return c;
+    }
   }
   static Counter &c = MetricsRegistry::Instance().GetCounter(
       "mb2_net_requests_total{opcode=\"UNKNOWN\"}");
@@ -111,6 +131,26 @@ Histogram &LatencyHistogram(Opcode op) {
           "mb2_net_request_latency_us{opcode=\"SLEEP\"}");
       return h;
     }
+    case Opcode::kReplSubscribe: {
+      static Histogram &h = MetricsRegistry::Instance().GetHistogram(
+          "mb2_net_request_latency_us{opcode=\"REPL_SUBSCRIBE\"}");
+      return h;
+    }
+    case Opcode::kReplLogBatch: {
+      static Histogram &h = MetricsRegistry::Instance().GetHistogram(
+          "mb2_net_request_latency_us{opcode=\"REPL_LOG_BATCH\"}");
+      return h;
+    }
+    case Opcode::kReplAck: {
+      static Histogram &h = MetricsRegistry::Instance().GetHistogram(
+          "mb2_net_request_latency_us{opcode=\"REPL_ACK\"}");
+      return h;
+    }
+    case Opcode::kHealth: {
+      static Histogram &h = MetricsRegistry::Instance().GetHistogram(
+          "mb2_net_request_latency_us{opcode=\"HEALTH\"}");
+      return h;
+    }
   }
   static Histogram &h = MetricsRegistry::Instance().GetHistogram(
       "mb2_net_request_latency_us{opcode=\"UNKNOWN\"}");
@@ -125,6 +165,10 @@ const char *SpanName(Opcode op) {
     case Opcode::kPredictOus: return "net.predict_ous";
     case Opcode::kGetMetrics: return "net.get_metrics";
     case Opcode::kSleep: return "net.sleep";
+    case Opcode::kReplSubscribe: return "net.repl_subscribe";
+    case Opcode::kReplLogBatch: return "net.repl_log_batch";
+    case Opcode::kReplAck: return "net.repl_ack";
+    case Opcode::kHealth: return "net.health";
   }
   return "net.unknown";
 }
@@ -686,6 +730,72 @@ std::vector<uint8_t> Server::DispatchOpcode(const Frame &frame) {
 
     case Opcode::kGetMetrics:
       return EncodeMetricsResponse(DumpMetricsJson());
+
+    case Opcode::kHealth: {
+      // Answerable on any node: a standalone server (no repl service) is by
+      // definition the primary of its one-node cluster, so failover-aware
+      // clients can probe uniformly.
+      HealthInfo info;
+      if (repl_ != nullptr) {
+        info = repl_->Health();
+      } else {
+        info.role = 1;
+      }
+      return EncodeHealthResponse(info);
+    }
+
+    case Opcode::kReplSubscribe: {
+      if (repl_ == nullptr) {
+        return EncodeStatusResponse(WireCode::kBadRequest,
+                                    "replication not enabled");
+      }
+      ReplSubscribeRequest req;
+      if (!DecodeReplSubscribeRequest(frame.payload, &req)) {
+        return EncodeStatusResponse(WireCode::kBadRequest,
+                                    "bad REPL_SUBSCRIBE payload");
+      }
+      ReplSubscribeResponseBody body;
+      const Status s = repl_->Subscribe(req, &body);
+      if (!s.ok()) {
+        return EncodeStatusResponse(StatusToWireCode(s), s.ToString());
+      }
+      return EncodeReplSubscribeResponse(body);
+    }
+
+    case Opcode::kReplLogBatch: {
+      if (repl_ == nullptr) {
+        return EncodeStatusResponse(WireCode::kBadRequest,
+                                    "replication not enabled");
+      }
+      ReplFetchRequest req;
+      if (!DecodeReplFetchRequest(frame.payload, &req)) {
+        return EncodeStatusResponse(WireCode::kBadRequest,
+                                    "bad REPL_LOG_BATCH payload");
+      }
+      ReplLogBatchBody body;
+      const Status s = repl_->Fetch(req, &body);
+      if (!s.ok()) {
+        return EncodeStatusResponse(StatusToWireCode(s), s.ToString());
+      }
+      return EncodeReplLogBatchResponse(body);
+    }
+
+    case Opcode::kReplAck: {
+      if (repl_ == nullptr) {
+        return EncodeStatusResponse(WireCode::kBadRequest,
+                                    "replication not enabled");
+      }
+      ReplAckRequest req;
+      if (!DecodeReplAckRequest(frame.payload, &req)) {
+        return EncodeStatusResponse(WireCode::kBadRequest,
+                                    "bad REPL_ACK payload");
+      }
+      const Status s = repl_->Ack(req);
+      if (!s.ok()) {
+        return EncodeStatusResponse(StatusToWireCode(s), s.ToString());
+      }
+      return EncodeStatusResponse(WireCode::kOk, "");
+    }
   }
   return EncodeStatusResponse(WireCode::kBadRequest, "unknown opcode");
 }

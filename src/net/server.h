@@ -71,6 +71,27 @@ struct ServerOptions {
   int64_t drain_timeout_ms = 5000;
 };
 
+/// Replication hooks a node plugs into its server. The server owns frame
+/// decode/encode and threading; the service supplies semantics (src/repl
+/// implements the primary side in ReplicationSource and the follower side
+/// in ReplicaNode). Declared here rather than in repl/ so net/ does not
+/// depend on the replication subsystem. All methods are called from worker
+/// threads and must be thread-safe.
+class ReplService {
+ public:
+  virtual ~ReplService() = default;
+  /// REPL_SUBSCRIBE — register `req.replica_id`, report the durable tip.
+  virtual Status Subscribe(const ReplSubscribeRequest &req,
+                           ReplSubscribeResponseBody *out) = 0;
+  /// REPL_LOG_BATCH — read up to `req.max_bytes` of durable WAL at
+  /// `req.offset`. An empty batch means caught up, not an error.
+  virtual Status Fetch(const ReplFetchRequest &req, ReplLogBatchBody *out) = 0;
+  /// REPL_ACK — record the replica's applied tip (lag accounting).
+  virtual Status Ack(const ReplAckRequest &req) = 0;
+  /// HEALTH — this node's role/epoch/positions.
+  virtual HealthInfo Health() = 0;
+};
+
 /// Monotonic server-lifetime stats, independent of the obs registry (which
 /// is sampling-gated); tests assert on these directly.
 struct ServerStats {
@@ -104,6 +125,11 @@ class Server {
   ServerStats stats() const;
   SessionManager &sessions() { return sessions_; }
 
+  /// Attaches the replication service answering REPL_*/HEALTH opcodes. Set
+  /// before Start(); without one, HEALTH answers "standalone primary" and
+  /// the REPL_* opcodes answer BAD_REQUEST.
+  void set_repl_service(ReplService *service) { repl_ = service; }
+
  private:
   enum class State : int { kIdle, kRunning, kDraining, kStopped };
 
@@ -136,6 +162,7 @@ class Server {
 
   Database *db_;
   ModelBot *bot_;
+  ReplService *repl_ = nullptr;
   ServerOptions options_;
 
   int listen_fd_ = -1;

@@ -13,6 +13,10 @@ const char *OpcodeName(Opcode op) {
     case Opcode::kPredictOus: return "PREDICT_OUS";
     case Opcode::kGetMetrics: return "GET_METRICS";
     case Opcode::kSleep: return "SLEEP";
+    case Opcode::kReplSubscribe: return "REPL_SUBSCRIBE";
+    case Opcode::kReplLogBatch: return "REPL_LOG_BATCH";
+    case Opcode::kReplAck: return "REPL_ACK";
+    case Opcode::kHealth: return "HEALTH";
   }
   return "UNKNOWN";
 }
@@ -29,6 +33,7 @@ Status WireCodeToStatus(WireCode code, const std::string &message) {
     case WireCode::kShuttingDown:
       return Status::Aborted("SHUTTING_DOWN: " + message);
     case WireCode::kInternal: return Status::Internal(message);
+    case WireCode::kNotPrimary: return Status::Unavailable(message);
   }
   return Status::Internal("unknown wire code: " + message);
 }
@@ -43,6 +48,7 @@ WireCode StatusToWireCode(const Status &status) {
     case ErrorCode::kNotSupported: return WireCode::kBadRequest;
     case ErrorCode::kIoError:
     case ErrorCode::kInternal: return WireCode::kInternal;
+    case ErrorCode::kUnavailable: return WireCode::kNotPrimary;
   }
   return WireCode::kInternal;
 }
@@ -227,7 +233,9 @@ bool DecodeResponseHead(const std::vector<uint8_t> &payload, WireCode *code,
   ByteReader r(payload.data(), payload.size());
   const uint16_t raw = r.Get<uint16_t>();
   *message = r.GetString();
-  if (!r.ok() || raw > static_cast<uint16_t>(WireCode::kInternal)) return false;
+  if (!r.ok() || raw > static_cast<uint16_t>(WireCode::kNotPrimary)) {
+    return false;
+  }
   *code = static_cast<WireCode>(raw);
   *body_offset = payload.size() - static_cast<size_t>(r.RemainingBytes());
   return true;
@@ -284,6 +292,122 @@ bool DecodeMetricsResponseBody(const std::vector<uint8_t> &payload,
                                size_t offset, std::string *json) {
   ByteReader r(payload.data() + offset, payload.size() - offset);
   *json = r.GetString();
+  return r.ok() && r.RemainingBytes() == 0;
+}
+
+// --- Replication ------------------------------------------------------------
+
+std::vector<uint8_t> EncodeReplSubscribeRequest(
+    const ReplSubscribeRequest &req) {
+  ByteWriter w;
+  w.PutString(req.replica_id);
+  w.Put<uint64_t>(req.start_offset);
+  return w.Take();
+}
+
+bool DecodeReplSubscribeRequest(const std::vector<uint8_t> &payload,
+                                ReplSubscribeRequest *req) {
+  ByteReader r(payload.data(), payload.size());
+  req->replica_id = r.GetString();
+  req->start_offset = r.Get<uint64_t>();
+  return r.ok() && r.RemainingBytes() == 0;
+}
+
+std::vector<uint8_t> EncodeReplSubscribeResponse(
+    const ReplSubscribeResponseBody &body) {
+  ByteWriter w;
+  PutHead(&w, WireCode::kOk, "");
+  w.Put<uint64_t>(body.durable_tip);
+  w.Put<uint64_t>(body.epoch);
+  return w.Take();
+}
+
+bool DecodeReplSubscribeResponseBody(const std::vector<uint8_t> &payload,
+                                     size_t offset,
+                                     ReplSubscribeResponseBody *out) {
+  ByteReader r(payload.data() + offset, payload.size() - offset);
+  out->durable_tip = r.Get<uint64_t>();
+  out->epoch = r.Get<uint64_t>();
+  return r.ok() && r.RemainingBytes() == 0;
+}
+
+std::vector<uint8_t> EncodeReplFetchRequest(const ReplFetchRequest &req) {
+  ByteWriter w;
+  w.PutString(req.replica_id);
+  w.Put<uint64_t>(req.offset);
+  w.Put<uint32_t>(req.max_bytes);
+  return w.Take();
+}
+
+bool DecodeReplFetchRequest(const std::vector<uint8_t> &payload,
+                            ReplFetchRequest *req) {
+  ByteReader r(payload.data(), payload.size());
+  req->replica_id = r.GetString();
+  req->offset = r.Get<uint64_t>();
+  req->max_bytes = r.Get<uint32_t>();
+  return r.ok() && r.RemainingBytes() == 0;
+}
+
+std::vector<uint8_t> EncodeReplLogBatchResponse(const ReplLogBatchBody &body) {
+  ByteWriter w;
+  PutHead(&w, WireCode::kOk, "");
+  w.Put<uint64_t>(body.offset);
+  w.Put<uint64_t>(body.durable_tip);
+  w.Put<uint64_t>(body.epoch);
+  w.Put<uint32_t>(body.batch_crc);
+  w.Put<uint32_t>(static_cast<uint32_t>(body.data.size()));
+  w.PutRaw(body.data.data(), body.data.size());
+  return w.Take();
+}
+
+bool DecodeReplLogBatchResponseBody(const std::vector<uint8_t> &payload,
+                                    size_t offset, ReplLogBatchBody *out) {
+  ByteReader r(payload.data() + offset, payload.size() - offset);
+  out->offset = r.Get<uint64_t>();
+  out->durable_tip = r.Get<uint64_t>();
+  out->epoch = r.Get<uint64_t>();
+  out->batch_crc = r.Get<uint32_t>();
+  const uint32_t len = r.Get<uint32_t>();
+  if (!r.ok() || static_cast<int64_t>(len) != r.RemainingBytes()) return false;
+  out->data.resize(len);
+  r.GetRaw(out->data.data(), len);
+  return r.ok();
+}
+
+std::vector<uint8_t> EncodeReplAckRequest(const ReplAckRequest &req) {
+  ByteWriter w;
+  w.PutString(req.replica_id);
+  w.Put<uint64_t>(req.applied_offset);
+  w.Put<uint64_t>(req.applied_records);
+  return w.Take();
+}
+
+bool DecodeReplAckRequest(const std::vector<uint8_t> &payload,
+                          ReplAckRequest *req) {
+  ByteReader r(payload.data(), payload.size());
+  req->replica_id = r.GetString();
+  req->applied_offset = r.Get<uint64_t>();
+  req->applied_records = r.Get<uint64_t>();
+  return r.ok() && r.RemainingBytes() == 0;
+}
+
+std::vector<uint8_t> EncodeHealthResponse(const HealthInfo &info) {
+  ByteWriter w;
+  PutHead(&w, WireCode::kOk, "");
+  w.Put<uint8_t>(info.role);
+  w.Put<uint64_t>(info.epoch);
+  w.Put<uint64_t>(info.durable_tip);
+  w.Put<uint64_t>(info.applied_offset);
+  return w.Take();
+}
+
+bool DecodeHealthResponseBody(const std::vector<uint8_t> &payload,
+                              size_t offset, HealthInfo *out) {
+  ByteReader r(payload.data() + offset, payload.size() - offset);
+  out->role = r.Get<uint8_t>();
+  out->epoch = r.Get<uint64_t>();
+  out->durable_tip = r.Get<uint64_t>();
+  out->applied_offset = r.Get<uint64_t>();
   return r.ok() && r.RemainingBytes() == 0;
 }
 

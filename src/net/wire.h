@@ -52,6 +52,15 @@ enum class Opcode : uint16_t {
   kPredictOus = 3,
   kGetMetrics = 4,
   kSleep = 5,
+  // Replication (src/repl). The follower drives the protocol: SUBSCRIBE
+  // registers it and learns the durable tip, LOG_BATCH fetches raw WAL bytes
+  // from an offset, ACK reports the applied tip back for lag accounting.
+  // HEALTH is answerable by any node and carries its role/epoch, which is
+  // what failover-aware clients probe to find the current primary.
+  kReplSubscribe = 6,
+  kReplLogBatch = 7,
+  kReplAck = 8,
+  kHealth = 9,
 };
 inline constexpr uint16_t kResponseBit = 0x8000;
 
@@ -67,6 +76,9 @@ enum class WireCode : uint16_t {
   kDeadlineExceeded = 5,  ///< request expired before a worker ran it
   kShuttingDown = 6,      ///< server draining; no new work accepted
   kInternal = 7,
+  kNotPrimary = 8,        ///< node cannot serve this by role (e.g. a write
+                          ///< sent to a read-only replica); re-resolve the
+                          ///< primary rather than retrying here
 };
 
 /// WireCode -> typed client-facing Status (kOk -> Status::Ok()).
@@ -165,5 +177,72 @@ bool DecodePredictResponseBody(const std::vector<uint8_t> &payload,
                                size_t offset, PredictResponseBody *out);
 bool DecodeMetricsResponseBody(const std::vector<uint8_t> &payload,
                                size_t offset, std::string *json);
+
+// --- Replication payload codecs ---------------------------------------------
+
+/// REPL_SUBSCRIBE: a follower announces itself and where it will resume.
+struct ReplSubscribeRequest {
+  std::string replica_id;
+  uint64_t start_offset = 0;  ///< follower's local durable log-copy size
+};
+std::vector<uint8_t> EncodeReplSubscribeRequest(const ReplSubscribeRequest &req);
+bool DecodeReplSubscribeRequest(const std::vector<uint8_t> &payload,
+                                ReplSubscribeRequest *req);
+
+struct ReplSubscribeResponseBody {
+  uint64_t durable_tip = 0;  ///< primary's flushed WAL size in bytes
+  uint64_t epoch = 0;        ///< bumped on every promotion
+};
+std::vector<uint8_t> EncodeReplSubscribeResponse(
+    const ReplSubscribeResponseBody &body);
+bool DecodeReplSubscribeResponseBody(const std::vector<uint8_t> &payload,
+                                     size_t offset,
+                                     ReplSubscribeResponseBody *out);
+
+/// REPL_LOG_BATCH request: fetch up to `max_bytes` of WAL from `offset`.
+struct ReplFetchRequest {
+  std::string replica_id;
+  uint64_t offset = 0;
+  uint32_t max_bytes = 0;
+};
+std::vector<uint8_t> EncodeReplFetchRequest(const ReplFetchRequest &req);
+bool DecodeReplFetchRequest(const std::vector<uint8_t> &payload,
+                            ReplFetchRequest *req);
+
+/// REPL_LOG_BATCH response: raw WAL bytes [offset, offset + data.size()).
+/// `batch_crc` covers `data` end to end (shipped bytes are appended to the
+/// follower's log copy, so corruption must be caught before the disk, not
+/// just per-frame). An empty `data` means the follower is caught up.
+struct ReplLogBatchBody {
+  uint64_t offset = 0;
+  std::vector<uint8_t> data;
+  uint32_t batch_crc = 0;
+  uint64_t durable_tip = 0;
+  uint64_t epoch = 0;
+};
+std::vector<uint8_t> EncodeReplLogBatchResponse(const ReplLogBatchBody &body);
+bool DecodeReplLogBatchResponseBody(const std::vector<uint8_t> &payload,
+                                    size_t offset, ReplLogBatchBody *out);
+
+/// REPL_ACK: the follower's applied tip; response is a bare status.
+struct ReplAckRequest {
+  std::string replica_id;
+  uint64_t applied_offset = 0;
+  uint64_t applied_records = 0;
+};
+std::vector<uint8_t> EncodeReplAckRequest(const ReplAckRequest &req);
+bool DecodeReplAckRequest(const std::vector<uint8_t> &payload,
+                          ReplAckRequest *req);
+
+/// HEALTH response: role + replication position. The request has no payload.
+struct HealthInfo {
+  uint8_t role = 0;  ///< 0 = follower (read-only), 1 = primary
+  uint64_t epoch = 0;
+  uint64_t durable_tip = 0;      ///< primary: flushed WAL bytes
+  uint64_t applied_offset = 0;   ///< follower: bytes applied locally
+};
+std::vector<uint8_t> EncodeHealthResponse(const HealthInfo &info);
+bool DecodeHealthResponseBody(const std::vector<uint8_t> &payload,
+                              size_t offset, HealthInfo *out);
 
 }  // namespace mb2::net

@@ -1,0 +1,168 @@
+#include "repl/health.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "obs/metrics_registry.h"
+#include "repl/replication.h"
+
+namespace mb2::repl {
+
+namespace {
+
+/// Consecutive successful probes before a down endpoint is trusted again.
+constexpr uint64_t kRecoverSuccesses = 2;
+
+Counter &ProbeCounter() {
+  static Counter &c =
+      MetricsRegistry::Instance().GetCounter("mb2_repl_heartbeat_probes_total");
+  return c;
+}
+Counter &ProbeFailureCounter() {
+  static Counter &c = MetricsRegistry::Instance().GetCounter(
+      "mb2_repl_heartbeat_failures_total");
+  return c;
+}
+Gauge &HealthyGauge() {
+  static Gauge &g =
+      MetricsRegistry::Instance().GetGauge("mb2_repl_primary_healthy");
+  return g;
+}
+Counter &DetectedDownCounter() {
+  static Counter &c = MetricsRegistry::Instance().GetCounter(
+      "mb2_repl_primary_down_detected_total");
+  return c;
+}
+
+}  // namespace
+
+HealthMonitor::HealthMonitor(HealthMonitorOptions options,
+                             SettingsManager *settings,
+                             std::function<void(bool)> on_change)
+    : options_(std::move(options)),
+      settings_(settings),
+      on_change_(std::move(on_change)) {
+  net::ClientOptions copts;
+  copts.host = options_.host;
+  copts.port = options_.port;
+  // A probe must fail fast, not hide an outage behind its own retries: the
+  // hysteresis window is the retry policy here.
+  copts.retry.max_attempts = 1;
+  copts.pool_size = 1;
+  copts.connect_timeout_ms = 250;
+  copts.request_timeout_ms = 500;
+  client_ = std::make_unique<net::Client>(copts);
+  HealthyGauge().Set(1.0);
+}
+
+HealthMonitor::~HealthMonitor() { Stop(); }
+
+int64_t HealthMonitor::HeartbeatMs() const {
+  if (options_.heartbeat_ms > 0) return options_.heartbeat_ms;
+  return std::max<int64_t>(1, settings_->GetInt("repl_heartbeat_ms"));
+}
+
+int HealthMonitor::FailureThreshold(int64_t heartbeat_ms) const {
+  if (options_.failure_threshold > 0) return options_.failure_threshold;
+  const int64_t grace =
+      std::max<int64_t>(1, settings_->GetInt("repl_failover_grace_ms"));
+  return static_cast<int>(
+      std::max<int64_t>(2, (grace + heartbeat_ms - 1) / heartbeat_ms));
+}
+
+void HealthMonitor::ProbeOnce() {
+  ProbeCounter().Add();
+  const auto result = client_->Health();
+  if (result.ok()) {
+    {
+      std::lock_guard<std::mutex> lock(info_mutex_);
+      last_info_ = result.value();
+    }
+    consecutive_failures_.store(0, std::memory_order_relaxed);
+    const uint64_t ok_streak =
+        consecutive_successes_.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (!healthy_.load(std::memory_order_acquire) &&
+        ok_streak >= kRecoverSuccesses) {
+      healthy_.store(true, std::memory_order_release);
+      transitions_.fetch_add(1, std::memory_order_relaxed);
+      HealthyGauge().Set(1.0);
+      if (on_change_) on_change_(true);
+    }
+    return;
+  }
+
+  ProbeFailureCounter().Add();
+  consecutive_successes_.store(0, std::memory_order_relaxed);
+  const uint64_t failures =
+      consecutive_failures_.fetch_add(1, std::memory_order_relaxed) + 1;
+  const int threshold = FailureThreshold(HeartbeatMs());
+  if (healthy_.load(std::memory_order_acquire) &&
+      failures >= static_cast<uint64_t>(threshold)) {
+    healthy_.store(false, std::memory_order_release);
+    transitions_.fetch_add(1, std::memory_order_relaxed);
+    HealthyGauge().Set(0.0);
+    DetectedDownCounter().Add();
+    if (on_change_) on_change_(false);
+  }
+}
+
+void HealthMonitor::Loop() {
+  while (running_.load(std::memory_order_acquire)) {
+    ProbeOnce();
+    std::this_thread::sleep_for(std::chrono::milliseconds(HeartbeatMs()));
+  }
+}
+
+void HealthMonitor::Start() {
+  if (running_.load()) return;
+  running_.store(true);
+  thread_ = std::thread([this] { Loop(); });
+}
+
+void HealthMonitor::Stop() {
+  if (!running_.load()) return;
+  running_.store(false);
+  if (thread_.joinable()) thread_.join();
+}
+
+net::HealthInfo HealthMonitor::last_info() const {
+  std::lock_guard<std::mutex> lock(info_mutex_);
+  return last_info_;
+}
+
+// --- FailoverCoordinator ----------------------------------------------------
+
+FailoverCoordinator::FailoverCoordinator(ReplicaNode *replica,
+                                         HealthMonitorOptions primary,
+                                         SettingsManager *settings,
+                                         std::string old_primary_wal_path,
+                                         std::string new_wal_path)
+    : replica_(replica),
+      old_primary_wal_path_(std::move(old_primary_wal_path)),
+      new_wal_path_(std::move(new_wal_path)) {
+  monitor_ = std::make_unique<HealthMonitor>(
+      std::move(primary), settings,
+      [this](bool healthy) { OnHealthChange(healthy); });
+}
+
+FailoverCoordinator::~FailoverCoordinator() { Stop(); }
+
+void FailoverCoordinator::Start() { monitor_->Start(); }
+void FailoverCoordinator::Stop() { monitor_->Stop(); }
+
+void FailoverCoordinator::OnHealthChange(bool healthy) {
+  if (healthy) return;
+  // One-shot: a primary that comes back after we promoted stays demoted
+  // (it must rejoin as a follower; rejoining is out of scope here).
+  if (fired_.exchange(true, std::memory_order_acq_rel)) return;
+  const Status s = replica_->Promote(old_primary_wal_path_, new_wal_path_);
+  std::lock_guard<std::mutex> lock(status_mutex_);
+  promote_status_ = s;
+}
+
+Status FailoverCoordinator::promote_status() const {
+  std::lock_guard<std::mutex> lock(status_mutex_);
+  return promote_status_;
+}
+
+}  // namespace mb2::repl

@@ -1,0 +1,125 @@
+#pragma once
+
+/// \file health.h
+/// Heartbeat-based failure detection with hysteresis, and the coordinator
+/// that turns a detected primary failure into a follower promotion.
+///
+/// The monitor probes the watched endpoint's HEALTH opcode every
+/// `repl_heartbeat_ms`. A single missed probe means nothing (GC pause,
+/// dropped packet); the endpoint is declared down only after enough
+/// *consecutive* failures to span `repl_failover_grace_ms`, and declared
+/// back up only after `kRecoverSuccesses` consecutive successes — the
+/// hysteresis that keeps a flapping link from triggering promotion storms.
+/// Both knobs are re-read every probe, so the detector is hot-tunable.
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "catalog/settings.h"
+#include "common/macros.h"
+#include "common/status.h"
+#include "net/client.h"
+
+namespace mb2::repl {
+
+class ReplicaNode;
+
+struct HealthMonitorOptions {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+  /// Probe cadence; 0 reads `repl_heartbeat_ms` per probe.
+  int64_t heartbeat_ms = 0;
+  /// Consecutive-failure window before "down"; 0 derives it from
+  /// `repl_failover_grace_ms` / heartbeat (min 2 — one miss never fails).
+  int failure_threshold = 0;
+};
+
+class HealthMonitor {
+ public:
+  /// `on_change(healthy)` fires on every state transition, from the probe
+  /// thread (or the ProbeOnce() caller); it must not block long. `settings`
+  /// supplies the knobs and must outlive the monitor.
+  HealthMonitor(HealthMonitorOptions options, SettingsManager *settings,
+                std::function<void(bool healthy)> on_change = nullptr);
+  ~HealthMonitor();
+  MB2_DISALLOW_COPY_AND_MOVE(HealthMonitor);
+
+  void Start();
+  void Stop();
+
+  /// One probe + state-machine step (the loop body; exposed so tests can
+  /// drive detection deterministically without real time).
+  void ProbeOnce();
+
+  /// Current verdict. A monitor starts optimistic (healthy) so a follower
+  /// booting before its primary does not insta-promote.
+  bool healthy() const { return healthy_.load(std::memory_order_acquire); }
+  uint64_t transitions() const {
+    return transitions_.load(std::memory_order_relaxed);
+  }
+  uint64_t consecutive_failures() const {
+    return consecutive_failures_.load(std::memory_order_relaxed);
+  }
+  /// Last HEALTH payload from a successful probe.
+  net::HealthInfo last_info() const;
+
+ private:
+  int64_t HeartbeatMs() const;
+  int FailureThreshold(int64_t heartbeat_ms) const;
+  void Loop();
+
+  HealthMonitorOptions options_;
+  SettingsManager *settings_;
+  std::function<void(bool)> on_change_;
+  std::unique_ptr<net::Client> client_;
+
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> healthy_{true};
+  std::atomic<uint64_t> consecutive_failures_{0};
+  std::atomic<uint64_t> consecutive_successes_{0};
+  std::atomic<uint64_t> transitions_{0};
+
+  mutable std::mutex info_mutex_;
+  net::HealthInfo last_info_;
+};
+
+/// Watches a primary and promotes `replica` when it is declared down.
+/// Promotion is one-shot: once fired, the coordinator only observes.
+class FailoverCoordinator {
+ public:
+  /// The WAL paths feed ReplicaNode::Promote: the dead primary's durable
+  /// log (drained to its tip) and the fresh segment the new primary logs to.
+  FailoverCoordinator(ReplicaNode *replica, HealthMonitorOptions primary,
+                      SettingsManager *settings,
+                      std::string old_primary_wal_path,
+                      std::string new_wal_path);
+  ~FailoverCoordinator();
+  MB2_DISALLOW_COPY_AND_MOVE(FailoverCoordinator);
+
+  void Start();
+  void Stop();
+
+  bool failed_over() const { return fired_.load(std::memory_order_acquire); }
+  /// Promotion outcome (Ok before it fires).
+  Status promote_status() const;
+  HealthMonitor &monitor() { return *monitor_; }
+
+ private:
+  void OnHealthChange(bool healthy);
+
+  ReplicaNode *replica_;
+  std::string old_primary_wal_path_;
+  std::string new_wal_path_;
+  std::unique_ptr<HealthMonitor> monitor_;
+  std::atomic<bool> fired_{false};
+  mutable std::mutex status_mutex_;
+  Status promote_status_;
+};
+
+}  // namespace mb2::repl

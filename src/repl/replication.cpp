@@ -1,0 +1,472 @@
+#include "repl/replication.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/checksum.h"
+#include "common/fault_injector.h"
+#include "metrics/metrics_collector.h"
+#include "obs/metrics_registry.h"
+#include "obs/trace.h"
+
+namespace mb2::repl {
+
+namespace {
+
+/// Hard ceiling on one shipped batch, independent of the knob: well under
+/// the frame payload ceiling so a hostile/misconfigured knob cannot produce
+/// an undecodable response.
+constexpr uint32_t kMaxBatchBytes = 8u << 20;
+
+Gauge &LagBytesGauge() {
+  static Gauge &g = MetricsRegistry::Instance().GetGauge("mb2_repl_lag_bytes");
+  return g;
+}
+Gauge &LagRecordsGauge() {
+  static Gauge &g =
+      MetricsRegistry::Instance().GetGauge("mb2_repl_lag_records");
+  return g;
+}
+Gauge &LagMsGauge() {
+  static Gauge &g = MetricsRegistry::Instance().GetGauge("mb2_repl_lag_ms");
+  return g;
+}
+Counter &ShippedBytesCounter() {
+  static Counter &c =
+      MetricsRegistry::Instance().GetCounter("mb2_repl_shipped_bytes_total");
+  return c;
+}
+Counter &ShippedBatchesCounter() {
+  static Counter &c =
+      MetricsRegistry::Instance().GetCounter("mb2_repl_shipped_batches_total");
+  return c;
+}
+Counter &AppliedBytesCounter() {
+  static Counter &c =
+      MetricsRegistry::Instance().GetCounter("mb2_repl_applied_bytes_total");
+  return c;
+}
+Counter &AppliedRecordsCounter() {
+  static Counter &c =
+      MetricsRegistry::Instance().GetCounter("mb2_repl_applied_records_total");
+  return c;
+}
+Counter &FailoverCounter() {
+  static Counter &c =
+      MetricsRegistry::Instance().GetCounter("mb2_repl_failovers_total");
+  return c;
+}
+
+Status CheckFaultPoint(const char *point) {
+  FaultInjector &injector = FaultInjector::Instance();
+  if (!injector.Armed()) return Status::Ok();
+  const FaultCheck check = injector.Hit(point);
+  if (!check.fire) return Status::Ok();
+  if (check.action == FaultAction::kThrow) throw InjectedFault(check.message);
+  return check.ToStatus(point);
+}
+
+}  // namespace
+
+// --- ReplicationSource ------------------------------------------------------
+
+ReplicationSource::ReplicationSource(Database *db, uint64_t epoch)
+    : db_(db), epoch_(epoch) {}
+
+uint64_t ReplicationSource::durable_tip() const {
+  return db_->log_manager().total_bytes_flushed();
+}
+
+void ReplicationSource::ObserveTipLocked(uint64_t tip, int64_t now_us) {
+  if (tip_history_.empty() || tip > tip_history_.back().first) {
+    tip_history_.emplace_back(tip, now_us);
+    // Bounded; dropping the oldest checkpoint only makes reported time-lag
+    // conservative (it measures from a later, younger tip).
+    if (tip_history_.size() > 256) tip_history_.erase(tip_history_.begin());
+  }
+}
+
+Status ReplicationSource::Subscribe(const net::ReplSubscribeRequest &req,
+                                    net::ReplSubscribeResponseBody *out) {
+  if (req.replica_id.empty()) {
+    return Status::InvalidArgument("empty replica id");
+  }
+  const uint64_t tip = durable_tip();
+  const int64_t now_us = NowMicros();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ObserveTipLocked(tip, now_us);
+    ReplicaState &state = replicas_[req.replica_id];
+    state.acked_offset = std::max(state.acked_offset, req.start_offset);
+    state.last_ack_us = now_us;
+  }
+  out->durable_tip = tip;
+  out->epoch = epoch_;
+  return Status::Ok();
+}
+
+Status ReplicationSource::Fetch(const net::ReplFetchRequest &req,
+                                net::ReplLogBatchBody *out) {
+  const Status fault = CheckFaultPoint(fault_point::kReplShip);
+  if (!fault.ok()) return fault;
+
+  const std::string &path = db_->log_manager().path();
+  if (path.empty()) return Status::Internal("primary has no WAL device");
+
+  const uint64_t tip = durable_tip();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ObserveTipLocked(tip, NowMicros());
+  }
+  out->offset = req.offset;
+  out->durable_tip = tip;
+  out->epoch = epoch_;
+  out->data.clear();
+  out->batch_crc = Crc32(nullptr, 0);
+  if (req.offset >= tip) return Status::Ok();  // caught up, not an error
+
+  uint32_t budget = req.max_bytes != 0
+                        ? req.max_bytes
+                        : static_cast<uint32_t>(std::max<int64_t>(
+                              1, db_->settings().GetInt("repl_batch_bytes")));
+  budget = std::min(budget, kMaxBatchBytes);
+  const uint64_t want = std::min<uint64_t>(budget, tip - req.offset);
+
+  // The flusher only appends, so reading [offset, offset+want) from an
+  // independent handle races with nothing: those bytes are frozen.
+  std::FILE *file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) return Status::IoError("cannot open WAL for shipping");
+  std::vector<uint8_t> data(want);
+  size_t got = 0;
+  if (std::fseek(file, static_cast<long>(req.offset), SEEK_SET) == 0) {
+    got = std::fread(data.data(), 1, data.size(), file);
+  }
+  std::fclose(file);
+  data.resize(got);
+  if (got == 0) {
+    return Status::IoError("WAL read at offset " + std::to_string(req.offset) +
+                           " returned no data");
+  }
+  out->batch_crc = Crc32(data.data(), data.size());
+  out->data = std::move(data);
+  ShippedBytesCounter().Add(got);
+  ShippedBatchesCounter().Add();
+  return Status::Ok();
+}
+
+Status ReplicationSource::Ack(const net::ReplAckRequest &req) {
+  const uint64_t tip = durable_tip();
+  const uint64_t records =
+      db_->log_manager().total_records_serialized();
+  const int64_t now_us = NowMicros();
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = replicas_.find(req.replica_id);
+  if (it == replicas_.end()) {
+    return Status::NotFound("unknown replica: " + req.replica_id);
+  }
+  it->second.acked_offset = std::max(it->second.acked_offset, req.applied_offset);
+  it->second.acked_records = std::max(it->second.acked_records, req.applied_records);
+  it->second.last_ack_us = now_us;
+
+  ObserveTipLocked(tip, now_us);
+  // Lag gauges track the *slowest* replica — the number that bounds how
+  // stale a failover target could be.
+  uint64_t min_offset = ~0ull, min_records = ~0ull;
+  for (const auto &[id, state] : replicas_) {
+    min_offset = std::min(min_offset, state.acked_offset);
+    min_records = std::min(min_records, state.acked_records);
+  }
+  LagBytesGauge().Set(static_cast<double>(tip > min_offset ? tip - min_offset : 0));
+  LagRecordsGauge().Set(
+      static_cast<double>(records > min_records ? records - min_records : 0));
+  double lag_ms = 0.0;
+  for (const auto &[hist_tip, seen_us] : tip_history_) {
+    if (hist_tip > min_offset) {
+      lag_ms = static_cast<double>(now_us - seen_us) / 1000.0;
+      break;  // oldest unacked checkpoint: maximum age
+    }
+  }
+  LagMsGauge().Set(lag_ms);
+  // Checkpoints at or below every replica's ack can never matter again.
+  while (!tip_history_.empty() && tip_history_.front().first <= min_offset) {
+    tip_history_.erase(tip_history_.begin());
+  }
+  return Status::Ok();
+}
+
+net::HealthInfo ReplicationSource::Health() {
+  net::HealthInfo info;
+  info.role = 1;
+  info.epoch = epoch_;
+  info.durable_tip = durable_tip();
+  info.applied_offset = info.durable_tip;
+  return info;
+}
+
+std::map<std::string, ReplicationSource::ReplicaState>
+ReplicationSource::replicas() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return replicas_;
+}
+
+// --- ReplicaNode ------------------------------------------------------------
+
+ReplicaNode::ReplicaNode(Database *db, ReplicaNodeOptions options)
+    : db_(db),
+      options_(std::move(options)),
+      applier_(&db->catalog(), &db->txn_manager()) {
+  MB2_ASSERT(!options_.wal_copy_path.empty(), "replica needs a wal copy path");
+  db_->set_read_only(true);
+  net::ClientOptions copts;
+  copts.host = options_.primary_host;
+  copts.port = options_.primary_port;
+  // The fetch loop handles its own pacing; one attempt per poll keeps a
+  // dead primary from wedging Stop() behind a backoff ladder.
+  copts.retry.max_attempts = 1;
+  copts.pool_size = 1;
+  client_ = std::make_unique<net::Client>(copts);
+}
+
+ReplicaNode::~ReplicaNode() {
+  Stop();
+  std::lock_guard<std::mutex> lock(apply_mutex_);
+  if (copy_file_ != nullptr) std::fclose(copy_file_);
+}
+
+Status ReplicaNode::EnsureCopyOpen() {
+  if (copy_file_ != nullptr) return Status::Ok();
+  // "r+b" preserves an existing copy (restart path); fall back to creating.
+  copy_file_ = std::fopen(options_.wal_copy_path.c_str(), "r+b");
+  if (copy_file_ == nullptr) {
+    copy_file_ = std::fopen(options_.wal_copy_path.c_str(), "w+b");
+  }
+  if (copy_file_ == nullptr) {
+    return Status::IoError("cannot open wal copy " + options_.wal_copy_path);
+  }
+  return Status::Ok();
+}
+
+Status ReplicaNode::Bootstrap() {
+  std::lock_guard<std::mutex> lock(apply_mutex_);
+  Status open = EnsureCopyOpen();
+  if (!open.ok()) return open;
+
+  std::fseek(copy_file_, 0, SEEK_SET);
+  uint8_t buf[64 * 1024];
+  uint64_t offset = applier_.stream_offset();
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), copy_file_)) > 0) {
+    const Status s = applier_.Apply(offset, buf, n);
+    if (!s.ok()) return s;
+    offset += n;
+  }
+  // A torn tail in the local copy (we crashed mid-append) is fine: the
+  // applier holds the partial record and the next fetch resumes past it.
+  applied_offset_.store(applier_.applied_offset(), std::memory_order_release);
+  applied_records_.store(applier_.total().records_applied,
+                         std::memory_order_release);
+  return Status::Ok();
+}
+
+Status ReplicaNode::IngestBatch(uint64_t offset,
+                                const std::vector<uint8_t> &data) {
+  const Status fault = CheckFaultPoint(fault_point::kReplApply);
+  if (!fault.ok()) return fault;
+
+  Status open = EnsureCopyOpen();
+  if (!open.ok()) return open;
+
+  // Durable copy first, then apply: after any crash the copy is a prefix of
+  // the primary's log plus possibly a torn tail, which Bootstrap tolerates.
+  // Writing at the primary-log offset (not appending blindly) makes a
+  // re-shipped overlapping batch byte-idempotent on disk too.
+  if (std::fseek(copy_file_, static_cast<long>(offset), SEEK_SET) != 0 ||
+      std::fwrite(data.data(), 1, data.size(), copy_file_) != data.size()) {
+    return Status::IoError("short write to wal copy");
+  }
+  std::fflush(copy_file_);
+
+  const Status s = applier_.Apply(offset, data.data(), data.size());
+  if (!s.ok()) return s;
+  applied_offset_.store(applier_.applied_offset(), std::memory_order_release);
+  applied_records_.store(applier_.total().records_applied,
+                         std::memory_order_release);
+  AppliedBytesCounter().Add(data.size());
+  return Status::Ok();
+}
+
+Status ReplicaNode::PollOnce(uint64_t *applied_out) {
+  if (applied_out != nullptr) *applied_out = 0;
+  if (promoted_.load(std::memory_order_acquire)) {
+    return Status::Unavailable("node is primary; fetch loop retired");
+  }
+
+  uint64_t fetch_offset;
+  {
+    std::lock_guard<std::mutex> lock(apply_mutex_);
+    fetch_offset = applier_.stream_offset();
+  }
+  if (epoch_.load(std::memory_order_acquire) == 0) {
+    net::ReplSubscribeRequest sub;
+    sub.replica_id = options_.replica_id;
+    sub.start_offset = fetch_offset;
+    auto subscribed = client_->ReplSubscribe(sub);
+    if (!subscribed.ok()) return subscribed.status();
+    epoch_.store(subscribed.value().epoch, std::memory_order_release);
+  }
+
+  net::ReplFetchRequest req;
+  req.replica_id = options_.replica_id;
+  req.offset = fetch_offset;
+  req.max_bytes = options_.batch_bytes;
+  auto fetched = client_->ReplFetch(req);
+  if (!fetched.ok()) return fetched.status();
+  net::ReplLogBatchBody &batch = fetched.value();
+  epoch_.store(batch.epoch, std::memory_order_release);
+  if (batch.data.empty()) return Status::Ok();  // caught up
+
+  if (Crc32(batch.data.data(), batch.data.size()) != batch.batch_crc) {
+    // End-to-end corruption (disk or a bug, not the wire — frames have
+    // their own CRC). Refetch; never let it reach the copy file.
+    return Status::IoError("log batch checksum mismatch");
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(apply_mutex_);
+    const uint64_t bytes_before = applier_.applied_offset();
+    const uint64_t records_before = applier_.total().records_applied;
+    const Status s = IngestBatch(batch.offset, batch.data);
+    if (!s.ok()) return s;
+    if (applied_out != nullptr) {
+      *applied_out = applier_.applied_offset() - bytes_before;
+    }
+    AppliedRecordsCounter().Add(applier_.total().records_applied -
+                                records_before);
+  }
+
+  net::ReplAckRequest ack;
+  ack.replica_id = options_.replica_id;
+  ack.applied_offset = applied_offset();
+  ack.applied_records = applied_records();
+  return client_->ReplAck(ack);
+}
+
+int64_t ReplicaNode::HeartbeatMs() const {
+  if (options_.heartbeat_ms > 0) return options_.heartbeat_ms;
+  return std::max<int64_t>(1, db_->settings().GetInt("repl_heartbeat_ms"));
+}
+
+void ReplicaNode::FetchLoop() {
+  while (running_.load(std::memory_order_acquire)) {
+    uint64_t applied = 0;
+    const Status s = PollOnce(&applied);
+    // Busy only while bytes are flowing; errors (primary down, injected
+    // repl.* faults) and caught-up polls both idle one heartbeat.
+    if (s.ok() && applied > 0) continue;
+    std::this_thread::sleep_for(std::chrono::milliseconds(HeartbeatMs()));
+  }
+}
+
+Status ReplicaNode::Start() {
+  if (running_.load()) return Status::Ok();
+  running_.store(true);
+  loop_ = std::thread([this] { FetchLoop(); });
+  return Status::Ok();
+}
+
+void ReplicaNode::Stop() {
+  if (!running_.load()) return;
+  running_.store(false);
+  if (loop_.joinable()) loop_.join();
+}
+
+Status ReplicaNode::Promote(const std::string &old_primary_wal_path,
+                            const std::string &new_wal_path) {
+  Stop();
+  if (promoted_.load(std::memory_order_acquire)) return Status::Ok();
+  ObsSpan span("repl.promote");
+
+  std::lock_guard<std::mutex> lock(apply_mutex_);
+  // Drain the old primary's durable tail straight from its log device
+  // (shared-disk failover): everything a client saw committed is in this
+  // file when the primary ran with wal_sync_commit, so applying to its tip
+  // is exactly the no-committed-transaction-lost guarantee.
+  std::FILE *file = std::fopen(old_primary_wal_path.c_str(), "rb");
+  if (file == nullptr) {
+    return Status::IoError("cannot open old primary WAL " +
+                           old_primary_wal_path);
+  }
+  Status drain = Status::Ok();
+  uint64_t offset = applier_.stream_offset();
+  if (std::fseek(file, static_cast<long>(offset), SEEK_SET) != 0) {
+    drain = Status::IoError("cannot seek old primary WAL");
+  } else {
+    uint8_t buf[64 * 1024];
+    size_t n;
+    while (drain.ok() && (n = std::fread(buf, 1, sizeof(buf), file)) > 0) {
+      std::vector<uint8_t> chunk(buf, buf + n);
+      drain = IngestBatch(offset, chunk);
+      offset += n;
+    }
+  }
+  std::fclose(file);
+  if (!drain.ok()) return drain;
+
+  // A follower that never subscribed has seen epoch 0; a live primary's
+  // epoch is never below 1, so promote past that floor — the promoted node
+  // must outrank any fresh primary in epoch-max resolution.
+  const uint64_t new_epoch =
+      std::max<uint64_t>(epoch_.load(std::memory_order_acquire), 1) + 1;
+  Status segment = db_->log_manager().OpenSegment(new_wal_path);
+  if (!segment.ok()) return segment;
+  source_ = std::make_unique<ReplicationSource>(db_, new_epoch);
+  epoch_.store(new_epoch, std::memory_order_release);
+  promoted_.store(true, std::memory_order_release);
+  db_->set_read_only(false);  // the atomic write-admission flip
+  FailoverCounter().Add();
+  return Status::Ok();
+}
+
+Status ReplicaNode::Subscribe(const net::ReplSubscribeRequest &req,
+                              net::ReplSubscribeResponseBody *out) {
+  if (!promoted_.load(std::memory_order_acquire)) {
+    return Status::Unavailable("not primary");
+  }
+  return source_->Subscribe(req, out);
+}
+
+Status ReplicaNode::Fetch(const net::ReplFetchRequest &req,
+                          net::ReplLogBatchBody *out) {
+  if (!promoted_.load(std::memory_order_acquire)) {
+    return Status::Unavailable("not primary");
+  }
+  return source_->Fetch(req, out);
+}
+
+Status ReplicaNode::Ack(const net::ReplAckRequest &req) {
+  if (!promoted_.load(std::memory_order_acquire)) {
+    return Status::Unavailable("not primary");
+  }
+  return source_->Ack(req);
+}
+
+net::HealthInfo ReplicaNode::Health() {
+  net::HealthInfo info;
+  info.role = promoted_.load(std::memory_order_acquire) ? 1 : 0;
+  info.epoch = epoch_.load(std::memory_order_acquire);
+  info.applied_offset = applied_offset();
+  info.durable_tip =
+      info.role == 1 ? db_->log_manager().total_bytes_flushed() : 0;
+  return info;
+}
+
+uint64_t ReplicaNode::applied_offset() const {
+  return applied_offset_.load(std::memory_order_acquire);
+}
+
+uint64_t ReplicaNode::applied_records() const {
+  return applied_records_.load(std::memory_order_acquire);
+}
+
+}  // namespace mb2::repl

@@ -1,0 +1,185 @@
+#pragma once
+
+/// \file replication.h
+/// WAL-shipping replication (the tentpole of the robustness layer).
+///
+/// Topology: one primary, N read-only followers. The primary's WAL file is
+/// the replication stream — followers pull raw byte ranges of it over the
+/// framed wire protocol (REPL_SUBSCRIBE / REPL_LOG_BATCH / REPL_ACK,
+/// net/wire.h), append them verbatim to a local *log copy*, and apply them
+/// through the incremental LogApplier (wal/log_applier.h). Because the copy
+/// is byte-identical to the primary's log, every offset in the protocol is
+/// a primary-log offset: resume-after-restart is "my copy's size", lag is
+/// "primary durable tip minus my applied tip", and idempotence falls out of
+/// the applier's offset-based overlap skip.
+///
+/// Consistency model: asynchronous, at-least-once ship, idempotent apply.
+/// A commit is never blocked by a follower. With `wal_sync_commit` = 1 the
+/// primary's commit path flushes the WAL before returning, so "committed"
+/// implies "in the durable file" — which is what makes the failover
+/// guarantee (no committed transaction lost) honest: promotion replays the
+/// primary's durable file to its tip before admitting writes.
+///
+/// Failover is single-successor: the promoted follower drains the old
+/// primary's durable log tail (shared-disk model), bumps the epoch, opens a
+/// fresh WAL segment for its own writes, and flips write admission
+/// atomically (Database::set_read_only(false)). Clients re-resolve the
+/// primary via HEALTH probes (net/failover_client.h).
+///
+/// Fault points: `repl.ship` (primary read path), `repl.apply` (follower
+/// apply path) — with `net.connect` they are the chaos harness's levers.
+
+#include <atomic>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/status.h"
+#include "database.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "wal/log_applier.h"
+
+namespace mb2::repl {
+
+/// Primary-side ReplService: serves the durable WAL file to followers and
+/// keeps per-replica ack state for lag accounting. Attach to the primary's
+/// server with Server::set_repl_service(). Thread-safe.
+class ReplicationSource : public net::ReplService {
+ public:
+  /// `db` must outlive the source and own an enabled LogManager (the WAL
+  /// path is the shipped file). `epoch` starts at 1 on a fresh primary and
+  /// is N+1 on a node promoted out of epoch N.
+  explicit ReplicationSource(Database *db, uint64_t epoch = 1);
+  ~ReplicationSource() override = default;
+  MB2_DISALLOW_COPY_AND_MOVE(ReplicationSource);
+
+  Status Subscribe(const net::ReplSubscribeRequest &req,
+                   net::ReplSubscribeResponseBody *out) override;
+  Status Fetch(const net::ReplFetchRequest &req,
+               net::ReplLogBatchBody *out) override;
+  Status Ack(const net::ReplAckRequest &req) override;
+  net::HealthInfo Health() override;
+
+  /// Flushed bytes of the WAL — the shippable prefix.
+  uint64_t durable_tip() const;
+  uint64_t epoch() const { return epoch_; }
+
+  struct ReplicaState {
+    uint64_t acked_offset = 0;
+    uint64_t acked_records = 0;
+    int64_t last_ack_us = 0;
+  };
+  std::map<std::string, ReplicaState> replicas() const;
+
+ private:
+  Database *db_;
+  const uint64_t epoch_;
+
+  mutable std::mutex mutex_;
+  std::map<std::string, ReplicaState> replicas_;
+  /// (durable tip, first-seen us) checkpoints, oldest first — how many ms
+  /// the oldest unacked byte has been durable, i.e. replication lag in time.
+  std::vector<std::pair<uint64_t, int64_t>> tip_history_;
+
+  /// Must hold mutex_. Records a tip advance; prunes acked checkpoints.
+  void ObserveTipLocked(uint64_t tip, int64_t now_us);
+};
+
+struct ReplicaNodeOptions {
+  std::string replica_id = "replica-1";
+  /// Primary endpoint for the fetch loop.
+  std::string primary_host = "127.0.0.1";
+  uint16_t primary_port = 0;
+  /// Local durable copy of the primary's WAL (byte-identical prefix).
+  std::string wal_copy_path;
+  /// Per-fetch byte cap; 0 reads the `repl_batch_bytes` knob per fetch.
+  uint32_t batch_bytes = 0;
+  /// Idle/fetch-loop cadence; 0 reads the `repl_heartbeat_ms` knob.
+  int64_t heartbeat_ms = 0;
+};
+
+/// Follower node: owns the fetch/apply loop against the primary and serves
+/// ReplService on its *own* server (HEALTH answers role=follower; the
+/// REPL_* opcodes answer NOT_PRIMARY until promotion, after which they
+/// delegate to an embedded ReplicationSource so surviving peers and
+/// failover clients can find the new primary).
+class ReplicaNode : public net::ReplService {
+ public:
+  /// `db` is this node's local database: same schema DDL as the primary
+  /// (schema is not logged), constructed with an empty WAL path. The node
+  /// sets it read-only until promotion.
+  ReplicaNode(Database *db, ReplicaNodeOptions options);
+  ~ReplicaNode() override;
+  MB2_DISALLOW_COPY_AND_MOVE(ReplicaNode);
+
+  /// Restart path: replays the local wal-copy file (if any) through the
+  /// applier, so the fetch loop resumes from the durable local tip. Must be
+  /// called before Start(); idempotent with an empty/missing copy.
+  Status Bootstrap();
+
+  /// Spawns the fetch/apply loop. Transport errors back off one heartbeat
+  /// and retry — a dead primary parks the loop rather than killing it.
+  Status Start();
+  void Stop();
+
+  /// One synchronous fetch+apply+ack round (the loop's body; exposed so
+  /// tests can drive replication deterministically). Returns the number of
+  /// bytes applied via `*applied_out` (0 = caught up).
+  Status PollOnce(uint64_t *applied_out = nullptr);
+
+  /// Promotion: drain the old primary's durable WAL file tail directly
+  /// (shared-disk model) so every committed-and-durable byte is applied,
+  /// then bump the epoch, open `new_wal_path` as this node's own fresh WAL
+  /// segment, and atomically admit writes. After this the node answers
+  /// HEALTH as primary and serves REPL_* to new followers.
+  Status Promote(const std::string &old_primary_wal_path,
+                 const std::string &new_wal_path);
+
+  // ReplService (this node's own server).
+  Status Subscribe(const net::ReplSubscribeRequest &req,
+                   net::ReplSubscribeResponseBody *out) override;
+  Status Fetch(const net::ReplFetchRequest &req,
+               net::ReplLogBatchBody *out) override;
+  Status Ack(const net::ReplAckRequest &req) override;
+  net::HealthInfo Health() override;
+
+  bool promoted() const { return promoted_.load(std::memory_order_acquire); }
+  uint64_t epoch() const { return epoch_.load(std::memory_order_acquire); }
+  /// Primary-log bytes fully applied locally.
+  uint64_t applied_offset() const;
+  uint64_t applied_records() const;
+
+ private:
+  Status EnsureCopyOpen();
+  /// Appends `data` at primary-log `offset` to the wal copy (fseek + write
+  /// + flush) and applies it; used by both the fetch loop and promotion.
+  Status IngestBatch(uint64_t offset, const std::vector<uint8_t> &data);
+  void FetchLoop();
+  int64_t HeartbeatMs() const;
+
+  Database *db_;
+  ReplicaNodeOptions options_;
+  std::unique_ptr<net::Client> client_;
+
+  std::mutex apply_mutex_;  ///< serializes applier_ + copy-file access
+  LogApplier applier_;
+  std::FILE *copy_file_ = nullptr;
+
+  std::thread loop_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> promoted_{false};
+  std::atomic<uint64_t> epoch_{0};  ///< last epoch seen from the primary
+  std::atomic<uint64_t> applied_offset_{0};
+  std::atomic<uint64_t> applied_records_{0};
+
+  /// Set by Promote(); serves REPL_* on the new primary.
+  std::unique_ptr<ReplicationSource> source_;
+};
+
+}  // namespace mb2::repl

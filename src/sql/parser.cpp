@@ -808,6 +808,12 @@ Result<QueryResult> ExecuteSql(Database *db, const std::string &statement) {
     key = NormalizeTokens(tokens.value());
     literals = LiteralValues(tokens.value());
     if (auto entry = cache.Lookup(key, literals)) {
+      // The read-only gate must cover the cache-hit fast path too — a DML
+      // template cached while this node was primary stays in the cache
+      // after demotion.
+      if (entry->kind == CachedPlan::Kind::kDml && db->read_only()) {
+        return Status::Unavailable("read-only replica: writes not admitted");
+      }
       // Literal-free templates are directly executable; otherwise clone the
       // template and splice the fresh literals into the parameter slots.
       if (entry->num_literals == 0) return db->Execute(*entry->plan);
@@ -824,6 +830,11 @@ Result<QueryResult> ExecuteSql(Database *db, const std::string &statement) {
   auto bound = parser.ParseStatement();
   if (!bound.ok()) return bound.status();
   BoundStatement &stmt = bound.value();
+  // Everything except a pure query mutates state (DML writes rows, DDL
+  // writes the catalog); none of it is admitted on a read-only replica.
+  if (stmt.kind != BoundStatement::Kind::kQuery && db->read_only()) {
+    return Status::Unavailable("read-only replica: writes not admitted");
+  }
   switch (stmt.kind) {
     case BoundStatement::Kind::kQuery:
     case BoundStatement::Kind::kDml: {

@@ -41,9 +41,9 @@ Status CheckFaultPointWithRetry(const char *point, const RetryPolicy &policy,
 }  // namespace
 
 LogManager::LogManager(std::string path, SettingsManager *settings)
-    : settings_(settings) {
-  if (!path.empty()) {
-    file_ = std::fopen(path.c_str(), "wb");
+    : path_(std::move(path)), settings_(settings) {
+  if (!path_.empty()) {
+    file_ = std::fopen(path_.c_str(), "wb");
     MB2_ASSERT(file_ != nullptr, "cannot open WAL file");
   }
 }
@@ -103,7 +103,17 @@ Status LogManager::Serialize(const std::vector<RedoRecord> &records,
     }
     active_.num_records += static_cast<uint32_t>(records.size());
   }
+  total_records_.fetch_add(records.size(), std::memory_order_relaxed);
   scope.MutableFeatures()[2] = static_cast<double>(buffers_sealed);
+
+  // Synchronous-commit mode: the commit's bytes reach the device before the
+  // commit returns, so "committed" implies "durable" — the invariant the
+  // replication failover guarantee (no committed transaction lost) rests on.
+  // A failed flush re-queues the buffers; surfacing the error lets callers
+  // count the commit as not-yet-durable.
+  if (settings_->GetInt("wal_sync_commit") != 0) {
+    return FlushFilled();
+  }
   return Status::Ok();
 }
 
@@ -203,6 +213,23 @@ void LogManager::Crash() {
     std::fclose(file_);
     file_ = nullptr;
   }
+}
+
+Status LogManager::OpenSegment(const std::string &path) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (file_ != nullptr) {
+    return Status::InvalidArgument("log device already open: " + path_);
+  }
+  if (path.empty()) return Status::InvalidArgument("empty log segment path");
+  std::FILE *file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) return Status::IoError("cannot open log segment " + path);
+  // The old segment's bytes were already replayed; the new device starts a
+  // fresh stream, so the buffered state must be empty (Crash() cleared it).
+  active_ = LogBuffer();
+  filled_.clear();
+  file_ = file;
+  path_ = path;
+  return Status::Ok();
 }
 
 void LogManager::StartFlusher() {

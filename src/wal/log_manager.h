@@ -56,13 +56,29 @@ class LogManager {
   /// manager is inert afterwards; recovery reads whatever reached the disk.
   void Crash();
 
+  /// Opens a fresh log device on a manager that currently has none (either
+  /// constructed with an empty path or inert after Crash()). This is how a
+  /// promoted replica starts logging its own writes: its history so far
+  /// lives in the shipped log copy it replayed, and new commits go to this
+  /// new segment. Fails if a device is already open.
+  Status OpenSegment(const std::string &path);
+
   /// Retry budget for append/flush fault handling.
   void set_retry_policy(const RetryPolicy &policy) { retry_policy_ = policy; }
   const RetryPolicy &retry_policy() const { return retry_policy_; }
 
   bool enabled() const { return file_ != nullptr; }
+  /// The log device path ("" when disabled). Replication ships bytes out of
+  /// this file; its on-disk size after a flush is the durable tip.
+  const std::string &path() const { return path_; }
   uint64_t total_bytes_flushed() const {
     return total_flushed_.load(std::memory_order_relaxed);
+  }
+  /// Redo records buffered by Serialize since startup (flushed or not);
+  /// with `wal_sync_commit` on this equals the durable record count, which
+  /// is what replica-lag-in-records is measured against.
+  uint64_t total_records_serialized() const {
+    return total_records_.load(std::memory_order_relaxed);
   }
   /// Serialize calls that surfaced an error after retries.
   uint64_t append_errors() const {
@@ -80,6 +96,7 @@ class LogManager {
   Status FlushFilled();
 
   std::FILE *file_ = nullptr;
+  std::string path_;
   SettingsManager *settings_;
   RetryPolicy retry_policy_;
 
@@ -92,6 +109,7 @@ class LogManager {
   std::mutex flusher_mutex_;
   std::atomic<bool> running_{false};
   std::atomic<uint64_t> total_flushed_{0};
+  std::atomic<uint64_t> total_records_{0};
   std::atomic<uint64_t> append_errors_{0};
   std::atomic<uint64_t> flush_errors_{0};
 };

@@ -1,178 +1,46 @@
 #include "wal/log_recovery.h"
 
 #include <cstdio>
-#include <map>
-#include <vector>
 
-#include "index/bplus_tree.h"
+#include "wal/log_applier.h"
 
 namespace mb2 {
-
-namespace {
-
-/// Streaming reader over the raw log bytes.
-class LogCursor {
- public:
-  explicit LogCursor(FILE *file) : file_(file) {}
-
-  template <typename T>
-  bool Read(T *out) {
-    return std::fread(out, sizeof(T), 1, file_) == 1;
-  }
-
-  /// True when the last failed read hit a clean end-of-file (a torn tail)
-  /// rather than garbage mid-stream.
-  bool Eof() const { return std::feof(file_) != 0; }
-
-  bool ReadValue(Value *out) {
-    uint8_t tag;
-    if (!Read(&tag)) return false;
-    switch (static_cast<TypeId>(tag)) {
-      case TypeId::kInteger: {
-        int64_t v;
-        if (!Read(&v)) return false;
-        *out = Value::Integer(v);
-        return true;
-      }
-      case TypeId::kDouble: {
-        double v;
-        if (!Read(&v)) return false;
-        *out = Value::Double(v);
-        return true;
-      }
-      case TypeId::kVarchar: {
-        uint32_t len;
-        if (!Read(&len) || len > (1u << 24)) return false;
-        std::string s(len, '\0');
-        if (len > 0 && std::fread(s.data(), 1, len, file_) != len) return false;
-        *out = Value::Varchar(std::move(s));
-        return true;
-      }
-    }
-    return false;
-  }
-
- private:
-  FILE *file_;
-};
-
-}  // namespace
 
 Result<RecoveryStats> ReplayLog(const std::string &path, Catalog *catalog,
                                 TransactionManager *txn_manager,
                                 const ReplayOptions &options) {
   FILE *file = std::fopen(path.c_str(), "rb");
   if (file == nullptr) return Status::IoError("cannot open log " + path);
-  LogCursor cursor(file);
-  RecoveryStats stats;
 
-  // Resolve table ids once.
-  std::map<uint32_t, Table *> tables;
-  for (const auto &name : catalog->TableNames()) {
-    Table *t = catalog->GetTable(name);
-    tables[t->table_id()] = t;
-  }
-  // Logged slot -> replayed slot, per table.
-  std::map<uint32_t, std::map<SlotId, SlotId>> slot_map;
-
-  auto txn = txn_manager->Begin();
-  auto maintain_insert = [&](Table *table, const Tuple &row, SlotId slot) {
-    for (BPlusTree *index : catalog->GetTableIndexes(table->name())) {
-      Tuple key;
-      for (uint32_t c : index->schema().key_columns) key.push_back(row[c]);
-      index->Insert(key, slot);
-    }
-  };
-
-  for (;;) {
-    uint8_t op_tag;
-    if (!cursor.Read(&op_tag)) break;  // clean EOF
-    uint32_t table_id = 0;
-    uint64_t logged_slot = 0, txn_id = 0;
-    uint32_t nvalues = 0;
-    if (!cursor.Read(&table_id) || !cursor.Read(&logged_slot) ||
-        !cursor.Read(&txn_id) || !cursor.Read(&nvalues) ||
-        nvalues > (1u << 16)) {
-      if (options.tolerate_torn_tail && cursor.Eof() && nvalues <= (1u << 16)) {
-        stats.torn_tail = true;
-        break;  // crash tore the last record's header; the prefix is durable
-      }
+  // Whole-file replay is the batch-of-everything case of the incremental
+  // applier the replication follower drives: stream the file through in
+  // chunks, then interpret a leftover partial record as the torn tail.
+  LogApplier applier(catalog, txn_manager);
+  uint8_t buf[64 * 1024];
+  uint64_t offset = 0;
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), file)) > 0) {
+    const Status s = applier.Apply(offset, buf, n);
+    if (!s.ok()) {
       std::fclose(file);
-      txn_manager->Abort(txn.get());
-      return Status::InvalidArgument("truncated or corrupt log record");
+      return s;  // structural corruption, never a torn tail
     }
-    Tuple row;
-    row.reserve(nvalues);
-    bool torn = false;
-    for (uint32_t i = 0; i < nvalues; i++) {
-      Value v;
-      if (!cursor.ReadValue(&v)) {
-        if (options.tolerate_torn_tail && cursor.Eof()) {
-          torn = true;
-          break;
-        }
-        std::fclose(file);
-        txn_manager->Abort(txn.get());
-        return Status::InvalidArgument("corrupt value in log record");
-      }
-      row.push_back(std::move(v));
-    }
-    if (torn) {
-      stats.torn_tail = true;
-      break;  // the incomplete trailing record is discarded, prefix applied
-    }
-
-    auto table_it = tables.find(table_id);
-    if (table_it == tables.end()) {
-      stats.skipped++;
-      continue;
-    }
-    Table *table = table_it->second;
-    auto &mapping = slot_map[table_id];
-
-    switch (static_cast<LogOpType>(op_tag)) {
-      case LogOpType::kInsert: {
-        const SlotId slot = table->Insert(txn.get(), row);
-        mapping[logged_slot] = slot;
-        maintain_insert(table, row, slot);
-        stats.inserts++;
-        stats.records_applied++;
-        break;
-      }
-      case LogOpType::kUpdate: {
-        auto it = mapping.find(logged_slot);
-        if (it == mapping.end()) {
-          stats.skipped++;
-          break;
-        }
-        if (table->Update(txn.get(), it->second, row).ok()) {
-          stats.updates++;
-          stats.records_applied++;
-        } else {
-          stats.skipped++;
-        }
-        break;
-      }
-      case LogOpType::kDelete: {
-        auto it = mapping.find(logged_slot);
-        if (it == mapping.end()) {
-          stats.skipped++;
-          break;
-        }
-        if (table->Delete(txn.get(), it->second).ok()) {
-          stats.deletes++;
-          stats.records_applied++;
-        } else {
-          stats.skipped++;
-        }
-        break;
-      }
-      case LogOpType::kCommit:
-        break;  // commit markers are implicit in this redo-only log
-    }
+    offset += n;
   }
   std::fclose(file);
-  txn_manager->Commit(txn.get());
+
+  RecoveryStats stats;
+  stats.records_applied = applier.total().records_applied;
+  stats.inserts = applier.total().inserts;
+  stats.updates = applier.total().updates;
+  stats.deletes = applier.total().deletes;
+  stats.skipped = applier.total().skipped;
+  if (applier.has_partial_record()) {
+    if (!options.tolerate_torn_tail) {
+      return Status::InvalidArgument("truncated or corrupt log record");
+    }
+    stats.torn_tail = true;  // the durable prefix is applied
+  }
   return stats;
 }
 

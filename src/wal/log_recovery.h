@@ -3,7 +3,9 @@
 /// \file log_recovery.h
 /// WAL replay: reconstructs table contents from a log file. Our WAL is a
 /// redo-only commit log (records are serialized at commit, so everything in
-/// the file is durable); replay applies records in log order inside one
+/// the file is durable); replay streams the file through the incremental
+/// LogApplier (wal/log_applier.h — the same path a replication follower
+/// applies shipped batches with), committing each chunk's records in a
 /// recovery transaction. Logged slot ids are remapped to the slots the
 /// replayed inserts land in, so recovery restores any database whose full
 /// write history is in the log (tables themselves come from the catalog —

@@ -11,6 +11,7 @@
 
 #include "common/fault_injector.h"
 #include "common/retry.h"
+#include "metrics/metrics_collector.h"
 #include "common/thread_pool.h"
 #include "database.h"
 
@@ -122,6 +123,43 @@ TEST_F(FaultInjectionTest, ArmFromSpecGrammar) {
   EXPECT_FALSE(fi.ArmFromSpec("wal.flush=torn2.0").ok());
   EXPECT_FALSE(fi.ArmFromSpec("wal.flush=bogus").ok());
   EXPECT_FALSE(fi.ArmFromSpec("=p0.5").ok());
+}
+
+TEST_F(FaultInjectionTest, DelayActionStallsButDoesNotFail) {
+  auto &fi = FaultInjector::Instance();
+  FaultSpec spec;
+  spec.action = FaultAction::kDelay;
+  spec.delay_us = 20000;  // 20ms: large enough to measure, small enough to run
+  fi.Arm(fault_point::kNetRead, spec);
+
+  const int64_t start_us = NowMicros();
+  const FaultCheck fc = fi.Hit(fault_point::kNetRead);
+  const int64_t elapsed_us = NowMicros() - start_us;
+
+  // A delay is a stall, not a failure: the call site proceeds normally.
+  EXPECT_FALSE(fc.fire);
+  EXPECT_TRUE(fc.delayed);
+  EXPECT_GE(elapsed_us, 20000);
+  // Delays are still accounted as fires (they consume max_fires budget and
+  // show up in FireCount for assertions like "the slow link was exercised").
+  EXPECT_EQ(fi.FireCount(fault_point::kNetRead), 1u);
+}
+
+TEST_F(FaultInjectionTest, DelaySpecGrammar) {
+  auto &fi = FaultInjector::Instance();
+  // Explicit duration and the 1ms default both parse.
+  ASSERT_TRUE(fi.ArmFromSpec("repl.ship=delay5000,x2").ok());
+  ASSERT_TRUE(fi.ArmFromSpec("net.read=delay").ok());
+  // Negative durations are rejected.
+  EXPECT_FALSE(fi.ArmFromSpec("net.read=delay-5").ok());
+
+  const int64_t start_us = NowMicros();
+  EXPECT_FALSE(fi.Hit(fault_point::kReplShip).fire);
+  EXPECT_GE(NowMicros() - start_us, 5000);
+  // x2 budget: the third hit passes through without stalling.
+  EXPECT_TRUE(fi.Hit(fault_point::kReplShip).delayed);
+  EXPECT_FALSE(fi.Hit(fault_point::kReplShip).delayed);
+  EXPECT_EQ(fi.FireCount(fault_point::kReplShip), 2u);
 }
 
 TEST_F(FaultInjectionTest, BackoffDelayDoublesAndCaps) {

@@ -139,6 +139,46 @@ TEST_F(NetTest, PingStatsAndSessionAccounting) {
   EXPECT_GE(total_requests, 2u);
 }
 
+TEST_F(NetTest, PooledConnectionsSurviveServerRestart) {
+  ClientOptions copts = MakeClientOptions();
+  copts.retry.max_attempts = 1;  // restart recovery must cost zero retries
+  Client client(copts);
+  ASSERT_TRUE(client.Ping().ok());  // pools a live connection
+
+  // Restart the server on the same port; every pooled socket dies with it.
+  const uint16_t port = server_->port();
+  server_->Stop();
+  ServerOptions sopts;
+  sopts.num_reactors = 2;
+  sopts.num_workers = 4;
+  sopts.port = port;
+  server_ = std::make_unique<Server>(db_.get(), bot_.get(), sopts);
+  ASSERT_TRUE(server_->Start().ok());
+
+  // The next request finds the stale socket, flushes the pool, and redials
+  // within the same attempt — it must succeed even with max_attempts=1.
+  EXPECT_TRUE(client.Ping().ok());
+  EXPECT_TRUE(client.Ping().ok());
+  const Client::Stats stats = client.stats();
+  EXPECT_GE(stats.pool_flushes, 1u);
+  EXPECT_EQ(stats.retries, 0u);
+}
+
+TEST_F(NetTest, NotPrimaryResponseSurfacesAsUnavailable) {
+  // A read-only replica answers writes with NOT_PRIMARY. Unlike a transport
+  // error this is a role answer from a live node: it decodes to
+  // kUnavailable (re-resolve the primary) and burns no transport retries.
+  db_->set_read_only(true);
+  Client client(MakeClientOptions());
+  auto result = client.ExecuteSql("CREATE TABLE nope (id INTEGER)");
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), ErrorCode::kUnavailable);
+  EXPECT_EQ(client.stats().retries, 0u);
+
+  db_->set_read_only(false);
+  EXPECT_TRUE(client.ExecuteSql("CREATE TABLE yep (id INTEGER)").ok());
+}
+
 TEST_F(NetTest, SqlEndToEndOverTheWire) {
   Client client(MakeClientOptions());
   ASSERT_TRUE(
