@@ -35,6 +35,10 @@ SettingsManager::SettingsManager() {
   knobs_["repl_heartbeat_ms"] = {50.0, KnobKind::kBehavior};
   knobs_["repl_batch_bytes"] = {256.0 * 1024.0, KnobKind::kResource};
   knobs_["repl_failover_grace_ms"] = {500.0, KnobKind::kBehavior};
+  // A replica whose last ack is older than this stops counting toward the
+  // lag gauges (a permanently dead subscriber must not pin them forever);
+  // its registration survives, so it resumes counting on its next ack.
+  knobs_["repl_replica_stale_ms"] = {10000.0, KnobKind::kBehavior};
   // 1 = a commit's WAL bytes are flushed to the device before Commit
   // returns (committed == durable; what the chaos harness asserts on).
   // 0 = group flush on log_flush_interval_us, the paper's default.

@@ -10,8 +10,10 @@ Result<QueryResult> Database::Execute(const std::string &sql) {
 
 Database::Database(Options options) : options_(std::move(options)) {
   log_manager_ = std::make_unique<LogManager>(options_.wal_path, &settings_);
-  txn_manager_ = std::make_unique<TransactionManager>(
-      log_manager_->enabled() ? log_manager_.get() : nullptr);
+  // Always wired, even when the WAL starts disabled (Serialize no-ops
+  // without a device): a promoted replica opens its log segment *after*
+  // construction, and its commits must be logged from that point on.
+  txn_manager_ = std::make_unique<TransactionManager>(log_manager_.get());
   gc_ = std::make_unique<GarbageCollector>(&catalog_, txn_manager_.get(),
                                            &settings_);
   engine_ = std::make_unique<ExecutionEngine>(&catalog_, txn_manager_.get(),

@@ -1,5 +1,6 @@
 #include "net/failover_client.h"
 
+#include <cctype>
 #include <chrono>
 #include <thread>
 
@@ -32,6 +33,18 @@ bool FailoverClient::ShouldFailover(const Status &status) {
   // cannot serve this by role. kIoError is transport (dead/unreachable).
   return status.code() == ErrorCode::kUnavailable ||
          status.code() == ErrorCode::kIoError;
+}
+
+bool FailoverClient::IsReadOnlySql(const std::string &sql) {
+  size_t i = sql.find_first_not_of(" \t\r\n(");
+  if (i == std::string::npos) return false;
+  std::string word;
+  for (; i < sql.size() && std::isalpha(static_cast<unsigned char>(sql[i]));
+       i++) {
+    word.push_back(
+        static_cast<char>(std::toupper(static_cast<unsigned char>(sql[i]))));
+  }
+  return word == "SELECT" || word == "SHOW" || word == "EXPLAIN";
 }
 
 Status FailoverClient::Resolve() {
@@ -72,8 +85,21 @@ Status FailoverClient::Resolve() {
 Result<RemoteQueryResult> FailoverClient::ExecuteSql(const std::string &sql) {
   auto result = clients_[current()]->ExecuteSql(sql);
   if (result.ok() || !ShouldFailover(result.status())) return result;
+  const bool transport_error = result.status().code() == ErrorCode::kIoError;
   const Status resolved = Resolve();
   if (!resolved.ok()) return resolved;
+  // A NOT_PRIMARY answer proves the statement never executed, so anything
+  // may be retried. A transport error proves nothing — the old primary may
+  // have executed the DML and died before responding — so re-executing a
+  // write there is at-least-once, which the caller must opt into. Routing
+  // has already moved either way.
+  if (transport_error && !IsReadOnlySql(sql) &&
+      !options_.retry_dml_on_transport_error) {
+    return Status::IoError(
+        "statement not retried after transport error (it may have executed "
+        "on the failed primary): " +
+        result.status().ToString());
+  }
   return clients_[current()]->ExecuteSql(sql);
 }
 

@@ -34,6 +34,14 @@ struct FailoverClientOptions {
   int64_t resolve_timeout_ms = 5000;
   /// Pause between resolution sweeps while no primary answers.
   int64_t resolve_interval_ms = 50;
+  /// Also re-execute DML after a *transport* failure (kIoError). Off by
+  /// default: a transport error cannot distinguish "never executed" from
+  /// "executed, response lost", so retrying a non-idempotent statement on
+  /// the new primary may double-apply it. Opting in makes DML through this
+  /// client explicitly at-least-once. Reads and NOT_PRIMARY refusals (the
+  /// node answered without executing anything) are always safe to retry
+  /// and do not need this.
+  bool retry_dml_on_transport_error = false;
 };
 
 class FailoverClient {
@@ -42,8 +50,14 @@ class FailoverClient {
   ~FailoverClient() = default;
   MB2_DISALLOW_COPY_AND_MOVE(FailoverClient);
 
-  /// Routed request: runs against the current primary, re-resolving and
-  /// retrying once after a transport failure or NOT_PRIMARY answer.
+  /// Routed request: runs against the current primary, re-resolving after a
+  /// transport failure or NOT_PRIMARY answer. The retry on the new primary
+  /// happens only when it cannot double-apply: always after NOT_PRIMARY
+  /// (the old node refused without executing), and after a transport error
+  /// only for read-only statements — unless `retry_dml_on_transport_error`
+  /// opts DML into at-least-once. A non-retried statement surfaces the
+  /// transport error (routing has still moved, so the caller's next request
+  /// lands on the new primary).
   Result<RemoteQueryResult> ExecuteSql(const std::string &sql);
   Status Ping();
 
@@ -58,6 +72,9 @@ class FailoverClient {
   /// True when `status` means "this endpoint cannot serve", i.e. re-resolve
   /// (transport error or NOT_PRIMARY) rather than a request-level error.
   static bool ShouldFailover(const Status &status);
+  /// Conservative read-only detection (SELECT/SHOW/EXPLAIN): anything else
+  /// is treated as potentially state-changing for retry purposes.
+  static bool IsReadOnlySql(const std::string &sql);
   /// Probes all endpoints, moves current_ to the best primary. NotFound
   /// when the budget elapses with no primary anywhere.
   Status Resolve();

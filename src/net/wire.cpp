@@ -336,6 +336,7 @@ std::vector<uint8_t> EncodeReplFetchRequest(const ReplFetchRequest &req) {
   w.PutString(req.replica_id);
   w.Put<uint64_t>(req.offset);
   w.Put<uint32_t>(req.max_bytes);
+  w.Put<uint64_t>(req.epoch);
   return w.Take();
 }
 
@@ -345,6 +346,7 @@ bool DecodeReplFetchRequest(const std::vector<uint8_t> &payload,
   req->replica_id = r.GetString();
   req->offset = r.Get<uint64_t>();
   req->max_bytes = r.Get<uint32_t>();
+  req->epoch = r.Get<uint64_t>();
   return r.ok() && r.RemainingBytes() == 0;
 }
 

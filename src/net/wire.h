@@ -200,10 +200,14 @@ bool DecodeReplSubscribeResponseBody(const std::vector<uint8_t> &payload,
                                      ReplSubscribeResponseBody *out);
 
 /// REPL_LOG_BATCH request: fetch up to `max_bytes` of WAL from `offset`.
+/// `epoch` is the newest primary epoch the follower has seen (0 = none yet);
+/// a primary serving an *older* epoch answers NOT_PRIMARY instead of bytes,
+/// so a resurrected stale primary can never feed an up-to-date follower.
 struct ReplFetchRequest {
   std::string replica_id;
   uint64_t offset = 0;
   uint32_t max_bytes = 0;
+  uint64_t epoch = 0;
 };
 std::vector<uint8_t> EncodeReplFetchRequest(const ReplFetchRequest &req);
 bool DecodeReplFetchRequest(const std::vector<uint8_t> &payload,

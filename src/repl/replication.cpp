@@ -1,5 +1,7 @@
 #include "repl/replication.h"
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <chrono>
 
@@ -70,11 +72,16 @@ Status CheckFaultPoint(const char *point) {
 
 // --- ReplicationSource ------------------------------------------------------
 
-ReplicationSource::ReplicationSource(Database *db, uint64_t epoch)
-    : db_(db), epoch_(epoch) {}
+ReplicationSource::ReplicationSource(Database *db, uint64_t epoch,
+                                     StreamBase base)
+    : db_(db), epoch_(epoch), base_(std::move(base)) {}
 
 uint64_t ReplicationSource::durable_tip() const {
-  return db_->log_manager().total_bytes_flushed();
+  return base_.offset + db_->log_manager().total_bytes_flushed();
+}
+
+uint64_t ReplicationSource::durable_records() const {
+  return base_.records + db_->log_manager().total_records_serialized();
 }
 
 void ReplicationSource::ObserveTipLocked(uint64_t tip, int64_t now_us) {
@@ -92,6 +99,15 @@ Status ReplicationSource::Subscribe(const net::ReplSubscribeRequest &req,
     return Status::InvalidArgument("empty replica id");
   }
   const uint64_t tip = durable_tip();
+  if (req.start_offset > tip) {
+    // A resume point past the durable tip cannot come from this log
+    // lineage; refusing it forces an explicit reseed instead of a replica
+    // that silently reports itself caught up forever.
+    return Status::InvalidArgument(
+        "subscribe offset " + std::to_string(req.start_offset) +
+        " beyond durable tip " + std::to_string(tip) +
+        ": divergent log stream, reseed this replica");
+  }
   const int64_t now_us = NowMicros();
   {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -110,8 +126,13 @@ Status ReplicationSource::Fetch(const net::ReplFetchRequest &req,
   const Status fault = CheckFaultPoint(fault_point::kReplShip);
   if (!fault.ok()) return fault;
 
-  const std::string &path = db_->log_manager().path();
-  if (path.empty()) return Status::Internal("primary has no WAL device");
+  // A follower that has already seen a newer generation must never apply
+  // bytes from this outranked one; NOT_PRIMARY sends it back to re-resolve.
+  if (req.epoch > epoch_) {
+    return Status::Unavailable(
+        "stale primary: serving epoch " + std::to_string(epoch_) +
+        ", replica has seen epoch " + std::to_string(req.epoch));
+  }
 
   const uint64_t tip = durable_tip();
   {
@@ -123,22 +144,43 @@ Status ReplicationSource::Fetch(const net::ReplFetchRequest &req,
   out->epoch = epoch_;
   out->data.clear();
   out->batch_crc = Crc32(nullptr, 0);
-  if (req.offset >= tip) return Status::Ok();  // caught up, not an error
+  if (req.offset > tip) {
+    // Bytes past the durable tip exist in no generation of this stream:
+    // the replica is from a different lineage. "Caught up" here would make
+    // it silently miss every future commit, so refuse instead.
+    return Status::InvalidArgument(
+        "fetch offset " + std::to_string(req.offset) + " beyond durable tip " +
+        std::to_string(tip) + ": divergent log stream, reseed this replica");
+  }
+  if (req.offset == tip) return Status::Ok();  // caught up, not an error
 
   uint32_t budget = req.max_bytes != 0
                         ? req.max_bytes
                         : static_cast<uint32_t>(std::max<int64_t>(
                               1, db_->settings().GetInt("repl_batch_bytes")));
   budget = std::min(budget, kMaxBatchBytes);
-  const uint64_t want = std::min<uint64_t>(budget, tip - req.offset);
 
-  // The flusher only appends, so reading [offset, offset+want) from an
-  // independent handle races with nothing: those bytes are frozen.
+  // One continuous offset space across promotions: bytes below the stream
+  // base live in the history file (this node's wal copy of the previous
+  // generation), bytes at or above it in the current segment. A batch never
+  // spans the seam — the next fetch simply starts in the other file.
+  const bool from_history = req.offset < base_.offset;
+  const std::string &path =
+      from_history ? base_.history_path : db_->log_manager().path();
+  if (path.empty()) return Status::Internal("primary has no WAL device");
+  const uint64_t limit = from_history ? base_.offset : tip;
+  const uint64_t local_offset =
+      from_history ? req.offset : req.offset - base_.offset;
+  const uint64_t want = std::min<uint64_t>(budget, limit - req.offset);
+
+  // Both files are append-only (the copy stopped growing at promotion), so
+  // reading [offset, offset+want) from an independent handle races with
+  // nothing: those bytes are frozen.
   std::FILE *file = std::fopen(path.c_str(), "rb");
   if (file == nullptr) return Status::IoError("cannot open WAL for shipping");
   std::vector<uint8_t> data(want);
   size_t got = 0;
-  if (std::fseek(file, static_cast<long>(req.offset), SEEK_SET) == 0) {
+  if (std::fseek(file, static_cast<long>(local_offset), SEEK_SET) == 0) {
     got = std::fread(data.data(), 1, data.size(), file);
   }
   std::fclose(file);
@@ -156,8 +198,7 @@ Status ReplicationSource::Fetch(const net::ReplFetchRequest &req,
 
 Status ReplicationSource::Ack(const net::ReplAckRequest &req) {
   const uint64_t tip = durable_tip();
-  const uint64_t records =
-      db_->log_manager().total_records_serialized();
+  const uint64_t records = durable_records();
   const int64_t now_us = NowMicros();
 
   std::lock_guard<std::mutex> lock(mutex_);
@@ -171,9 +212,17 @@ Status ReplicationSource::Ack(const net::ReplAckRequest &req) {
 
   ObserveTipLocked(tip, now_us);
   // Lag gauges track the *slowest* replica — the number that bounds how
-  // stale a failover target could be.
+  // stale a failover target could be. Replicas that stopped acking longer
+  // than the staleness window ago are excluded: a permanently dead
+  // subscriber would otherwise pin the gauges at ever-growing values and
+  // stop tip_history_ from pruning. The acking replica is always fresh, so
+  // the min is never over an empty set.
+  const int64_t stale_us =
+      std::max<int64_t>(1, db_->settings().GetInt("repl_replica_stale_ms")) *
+      1000;
   uint64_t min_offset = ~0ull, min_records = ~0ull;
   for (const auto &[id, state] : replicas_) {
+    if (now_us - state.last_ack_us > stale_us) continue;
     min_offset = std::min(min_offset, state.acked_offset);
     min_records = std::min(min_records, state.acked_records);
   }
@@ -320,6 +369,7 @@ Status ReplicaNode::PollOnce(uint64_t *applied_out) {
   req.replica_id = options_.replica_id;
   req.offset = fetch_offset;
   req.max_bytes = options_.batch_bytes;
+  req.epoch = epoch_.load(std::memory_order_acquire);
   auto fetched = client_->ReplFetch(req);
   if (!fetched.ok()) return fetched.status();
   net::ReplLogBatchBody &batch = fetched.value();
@@ -413,6 +463,19 @@ Status ReplicaNode::Promote(const std::string &old_primary_wal_path,
   std::fclose(file);
   if (!drain.ok()) return drain;
 
+  // A torn record at the drained tail never fully reached the old
+  // primary's device, so under sync-commit it was never acknowledged as
+  // committed — drop its bytes from the wal copy so the copy stays a
+  // parseable stream for followers of this new generation.
+  const uint64_t base_offset = applier_.applied_offset();
+  if (applier_.has_partial_record() && copy_file_ != nullptr) {
+    std::fflush(copy_file_);
+    if (::ftruncate(fileno(copy_file_), static_cast<off_t>(base_offset)) !=
+        0) {
+      return Status::IoError("cannot truncate torn tail off wal copy");
+    }
+  }
+
   // A follower that never subscribed has seen epoch 0; a live primary's
   // epoch is never below 1, so promote past that floor — the promoted node
   // must outrank any fresh primary in epoch-max resolution.
@@ -420,7 +483,15 @@ Status ReplicaNode::Promote(const std::string &old_primary_wal_path,
       std::max<uint64_t>(epoch_.load(std::memory_order_acquire), 1) + 1;
   Status segment = db_->log_manager().OpenSegment(new_wal_path);
   if (!segment.ok()) return segment;
-  source_ = std::make_unique<ReplicationSource>(db_, new_epoch);
+  // The embedded source serves the continuous stream: [0, base) out of this
+  // node's wal copy, [base, ...) out of the fresh segment. Surviving
+  // followers keep their offsets; new followers from 0 get full history.
+  StreamBase base;
+  base.offset = base_offset;
+  base.records = applier_.total().records_applied + applier_.total().skipped;
+  base.history_path = options_.wal_copy_path;
+  source_ =
+      std::make_unique<ReplicationSource>(db_, new_epoch, std::move(base));
   epoch_.store(new_epoch, std::memory_order_release);
   promoted_.store(true, std::memory_order_release);
   db_->set_read_only(false);  // the atomic write-admission flip
@@ -452,12 +523,16 @@ Status ReplicaNode::Ack(const net::ReplAckRequest &req) {
 }
 
 net::HealthInfo ReplicaNode::Health() {
+  if (promoted_.load(std::memory_order_acquire)) {
+    // The embedded source knows the stream base, so its durable tip covers
+    // the inherited history plus this generation's flushed bytes.
+    return source_->Health();
+  }
   net::HealthInfo info;
-  info.role = promoted_.load(std::memory_order_acquire) ? 1 : 0;
+  info.role = 0;
   info.epoch = epoch_.load(std::memory_order_acquire);
   info.applied_offset = applied_offset();
-  info.durable_tip =
-      info.role == 1 ? db_->log_manager().total_bytes_flushed() : 0;
+  info.durable_tip = 0;
   return info;
 }
 

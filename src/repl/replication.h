@@ -26,6 +26,17 @@
 /// atomically (Database::set_read_only(false)). Clients re-resolve the
 /// primary via HEALTH probes (net/failover_client.h).
 ///
+/// Offsets survive failover: the stream is one continuous offset space
+/// across generations. A promoted node serves bytes below its promotion
+/// base out of its own wal-copy file (the previous generation's history)
+/// and bytes at or above it out of its fresh segment, so a surviving
+/// follower resumes with its old offset unchanged and a brand-new follower
+/// starting at 0 receives the full history — no seed copy needed. An offset
+/// *beyond* the durable tip can only come from a different log lineage and
+/// is rejected (InvalidArgument) rather than reported "caught up"; a fetch
+/// carrying a newer epoch than the serving node is rejected NOT_PRIMARY
+/// (stale primary resurrected).
+///
 /// Fault points: `repl.ship` (primary read path), `repl.apply` (follower
 /// apply path) — with `net.connect` they are the chaos harness's levers.
 
@@ -47,6 +58,17 @@
 
 namespace mb2::repl {
 
+/// Where a generation's log starts in the continuous stream offset space.
+/// Zero-initialized on a fresh primary; a promoted node sets it to its
+/// applied tip at promotion and points `history_path` at its wal-copy file
+/// so fetches below the base are served from the previous generation's
+/// bytes.
+struct StreamBase {
+  uint64_t offset = 0;
+  uint64_t records = 0;
+  std::string history_path;
+};
+
 /// Primary-side ReplService: serves the durable WAL file to followers and
 /// keeps per-replica ack state for lag accounting. Attach to the primary's
 /// server with Server::set_repl_service(). Thread-safe.
@@ -55,7 +77,8 @@ class ReplicationSource : public net::ReplService {
   /// `db` must outlive the source and own an enabled LogManager (the WAL
   /// path is the shipped file). `epoch` starts at 1 on a fresh primary and
   /// is N+1 on a node promoted out of epoch N.
-  explicit ReplicationSource(Database *db, uint64_t epoch = 1);
+  explicit ReplicationSource(Database *db, uint64_t epoch = 1,
+                             StreamBase base = {});
   ~ReplicationSource() override = default;
   MB2_DISALLOW_COPY_AND_MOVE(ReplicationSource);
 
@@ -66,7 +89,8 @@ class ReplicationSource : public net::ReplService {
   Status Ack(const net::ReplAckRequest &req) override;
   net::HealthInfo Health() override;
 
-  /// Flushed bytes of the WAL — the shippable prefix.
+  /// Durable end of the continuous stream: the base plus this generation's
+  /// flushed WAL bytes — the shippable prefix.
   uint64_t durable_tip() const;
   uint64_t epoch() const { return epoch_; }
 
@@ -78,8 +102,12 @@ class ReplicationSource : public net::ReplService {
   std::map<std::string, ReplicaState> replicas() const;
 
  private:
+  /// Durable record count of the stream (base + this generation's).
+  uint64_t durable_records() const;
+
   Database *db_;
   const uint64_t epoch_;
+  const StreamBase base_;
 
   mutable std::mutex mutex_;
   std::map<std::string, ReplicaState> replicas_;
@@ -136,8 +164,12 @@ class ReplicaNode : public net::ReplService {
   /// Promotion: drain the old primary's durable WAL file tail directly
   /// (shared-disk model) so every committed-and-durable byte is applied,
   /// then bump the epoch, open `new_wal_path` as this node's own fresh WAL
-  /// segment, and atomically admit writes. After this the node answers
-  /// HEALTH as primary and serves REPL_* to new followers.
+  /// segment, and atomically admit writes. A torn record at the drained
+  /// tail (never fully durable, hence never acknowledged) is truncated off
+  /// the wal copy so the copy stays a parseable stream. After this the node
+  /// answers HEALTH as primary and serves REPL_* — surviving followers keep
+  /// their offsets (the stream is continuous across the promotion) and new
+  /// followers starting at 0 get the full history out of the wal copy.
   Status Promote(const std::string &old_primary_wal_path,
                  const std::string &new_wal_path);
 

@@ -1,5 +1,7 @@
 #include "wal/log_manager.h"
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <iterator>
 
@@ -106,13 +108,14 @@ Status LogManager::Serialize(const std::vector<RedoRecord> &records,
   total_records_.fetch_add(records.size(), std::memory_order_relaxed);
   scope.MutableFeatures()[2] = static_cast<double>(buffers_sealed);
 
-  // Synchronous-commit mode: the commit's bytes reach the device before the
-  // commit returns, so "committed" implies "durable" — the invariant the
-  // replication failover guarantee (no committed transaction lost) rests on.
-  // A failed flush re-queues the buffers; surfacing the error lets callers
-  // count the commit as not-yet-durable.
+  // Synchronous-commit mode: the commit's bytes reach the device (through
+  // fsync, so past the page cache) before the commit returns, so "committed"
+  // implies "durable" — the invariant the replication failover guarantee
+  // (no committed transaction lost) rests on. A failed flush re-queues the
+  // buffers; surfacing the error lets callers count the commit as
+  // not-yet-durable.
   if (settings_->GetInt("wal_sync_commit") != 0) {
-    return FlushFilled();
+    return FlushFilled(/*sync_device=*/true);
   }
   return Status::Ok();
 }
@@ -122,7 +125,13 @@ void LogManager::SealActiveLocked() {
   active_ = LogBuffer();
 }
 
-Status LogManager::FlushFilled() {
+Status LogManager::FlushFilled(bool sync_device) {
+  // flush_mutex_ spans the seal-swap *and* the device writes: without it,
+  // two flushers (sync-commit callers + the background thread) could swap
+  // buffer batches in one order and write them in the other, landing WAL
+  // bytes on disk out of commit order — which recovery replay and
+  // replication followers would consume as a corrupt/reordered stream.
+  std::lock_guard<std::mutex> flush_lock(flush_mutex_);
   std::vector<LogBuffer> to_flush;
   {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -199,13 +208,20 @@ Status LogManager::FlushFilled() {
     flush_errors_.fetch_add(1, std::memory_order_relaxed);
     return Status::IoError("short write to log device");
   }
+  // fflush only reaches the kernel page cache; sync-commit durability (the
+  // "committed == survives power loss" claim) needs fsync to the device.
+  if (sync_device && ::fsync(fileno(file_)) != 0) {
+    flush_errors_.fetch_add(1, std::memory_order_relaxed);
+    return Status::IoError("fsync of log device failed");
+  }
   return Status::Ok();
 }
 
-Status LogManager::FlushNow() { return FlushFilled(); }
+Status LogManager::FlushNow() { return FlushFilled(/*sync_device=*/true); }
 
 void LogManager::Crash() {
   StopFlusher();
+  std::lock_guard<std::mutex> flush_lock(flush_mutex_);
   std::lock_guard<std::mutex> lock(mutex_);
   active_ = LogBuffer();
   filled_.clear();
@@ -216,6 +232,7 @@ void LogManager::Crash() {
 }
 
 Status LogManager::OpenSegment(const std::string &path) {
+  std::lock_guard<std::mutex> flush_lock(flush_mutex_);
   std::lock_guard<std::mutex> lock(mutex_);
   if (file_ != nullptr) {
     return Status::InvalidArgument("log device already open: " + path_);
@@ -255,8 +272,9 @@ void LogManager::FlusherLoop() {
     }
     if (!running_.load()) break;
     // Errors are counted (flush_errors); the failed batch stays queued and
-    // the next tick retries it.
-    FlushFilled();
+    // the next tick retries it. No fsync here: interval flushing is the
+    // lazy-durability mode, and the sync-commit path syncs for itself.
+    FlushFilled(/*sync_device=*/false);
   }
 }
 

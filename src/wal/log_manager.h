@@ -46,9 +46,10 @@ class LogManager {
   void StartFlusher();
   void StopFlusher();
 
-  /// Synchronously flushes everything buffered (tracked as LOG_FLUSH). On a
-  /// retry-exhausted injected failure the buffers are re-queued and the
-  /// error returned; a later call can still flush them.
+  /// Synchronously flushes everything buffered (tracked as LOG_FLUSH) and
+  /// fsyncs the device, so the bytes survive an OS crash or power loss, not
+  /// just a process kill. On a retry-exhausted injected failure the buffers
+  /// are re-queued and the error returned; a later call can still flush them.
   Status FlushNow();
 
   /// Crash simulation (tests / fault harness): drops every buffered byte and
@@ -93,7 +94,9 @@ class LogManager {
   void FlusherLoop();
   /// Must hold mutex_; moves the active buffer to the filled list.
   void SealActiveLocked();
-  Status FlushFilled();
+  /// With `sync_device` the flush ends in fsync, so the bytes survive an OS
+  /// crash, not just a process crash.
+  Status FlushFilled(bool sync_device);
 
   std::FILE *file_ = nullptr;
   std::string path_;
@@ -103,6 +106,12 @@ class LogManager {
   std::mutex mutex_;
   LogBuffer active_;
   std::vector<LogBuffer> filled_;
+  /// Held across the whole seal-swap + write + flush sequence (and by
+  /// anything that closes/reopens file_), so concurrent flushers cannot
+  /// reorder sealed buffers on their way to the device: WAL file order is
+  /// commit order, which recovery replay and replication shipping rely on.
+  /// Lock order: flush_mutex_ before mutex_, never the reverse.
+  std::mutex flush_mutex_;
 
   std::thread flusher_;
   std::condition_variable flusher_cv_;

@@ -4,7 +4,9 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstdio>
+#include <thread>
 
 #include "database.h"
 #include "net/failover_client.h"
@@ -360,6 +362,10 @@ TEST_F(ReplicationPairTest, FailoverClientFollowsThePrimary) {
   ep.port = follower_server.port();
   cluster.endpoints.push_back(ep);
   cluster.resolve_timeout_ms = 2000;
+  // The primary is stopped *before* the INSERT below is sent, so it cannot
+  // have executed; at-least-once retry of DML is safe here and is what this
+  // test opts into.
+  cluster.retry_dml_on_transport_error = true;
   net::FailoverClient client(cluster);
 
   ASSERT_TRUE(client.Ping().ok());
@@ -376,6 +382,161 @@ TEST_F(ReplicationPairTest, FailoverClientFollowsThePrimary) {
   EXPECT_EQ(Dump(follower_.get(), "t").size(), 2u);
 
   follower_server.Stop();
+}
+
+TEST_F(ReplicationPairTest, DmlIsNotRetriedAfterTransportErrorByDefault) {
+  ASSERT_TRUE(primary_->Execute("INSERT INTO t VALUES (1, 'x', 1.0)").ok());
+  CatchUp(node_.get());
+
+  net::ServerOptions fopts;
+  fopts.num_reactors = 1;
+  fopts.num_workers = 2;
+  net::Server follower_server(follower_.get(), nullptr, fopts);
+  follower_server.set_repl_service(node_.get());
+  ASSERT_TRUE(follower_server.Start().ok());
+
+  net::FailoverClientOptions cluster;
+  net::ClientOptions ep;
+  ep.port = server_->port();
+  ep.retry.max_attempts = 1;
+  cluster.endpoints.push_back(ep);
+  ep.port = follower_server.port();
+  cluster.endpoints.push_back(ep);
+  cluster.resolve_timeout_ms = 2000;
+  net::FailoverClient client(cluster);
+  ASSERT_TRUE(client.Ping().ok());
+
+  server_->Stop();
+  ASSERT_TRUE(node_->Promote(kPrimaryWal, "/tmp/mb2_repl_promoted4.wal").ok());
+
+  // A write that dies in transport might have executed before the primary
+  // fell over; without the opt-in it must surface the error, not silently
+  // re-execute on the new primary.
+  auto write = client.ExecuteSql("INSERT INTO t VALUES (2, 'y', 2.0)");
+  ASSERT_FALSE(write.ok());
+  EXPECT_EQ(write.status().code(), ErrorCode::kIoError);
+  EXPECT_EQ(Dump(follower_.get(), "t").size(), 1u);  // nothing double-applied
+
+  // Routing still moved, so reads retry transparently and the caller's next
+  // write goes straight to the new primary.
+  EXPECT_EQ(client.current(), 1u);
+  auto read = client.ExecuteSql("SELECT * FROM t");
+  ASSERT_TRUE(read.ok()) << read.status().ToString();
+  auto write2 = client.ExecuteSql("INSERT INTO t VALUES (3, 'z', 3.0)");
+  ASSERT_TRUE(write2.ok()) << write2.status().ToString();
+  EXPECT_EQ(Dump(follower_.get(), "t").size(), 2u);
+
+  follower_server.Stop();
+}
+
+TEST_F(ReplicationPairTest, PromotedPrimaryServesTheContinuousStream) {
+  for (int i = 0; i < 20; i++) {
+    ASSERT_TRUE(primary_->Execute("INSERT INTO t VALUES (" + std::to_string(i) +
+                                  ", 'd', 4.0)")
+                    .ok());
+  }
+  CatchUp(node_.get());
+  server_->Stop();
+  ASSERT_TRUE(node_->Promote(kPrimaryWal, "/tmp/mb2_repl_promoted5.wal").ok());
+  const uint64_t base = node_->applied_offset();
+  ASSERT_GT(base, 0u);
+
+  // Post-promotion commits extend the same offset space: the durable tip
+  // keeps counting from the inherited history, not from zero.
+  follower_->settings().SetInt("wal_sync_commit", 1);
+  ASSERT_TRUE(follower_->Execute("INSERT INTO t VALUES (500, 'n', 5.0)").ok());
+  const net::HealthInfo health = node_->Health();
+  EXPECT_EQ(health.role, 1);
+  EXPECT_GT(health.durable_tip, base);
+
+  // A surviving follower resumes with its old-coordinate offset and
+  // receives the post-promotion bytes — not a silent "caught up".
+  net::ReplFetchRequest req;
+  req.replica_id = "survivor";
+  req.offset = base;
+  req.epoch = node_->epoch();
+  net::ReplLogBatchBody batch;
+  ASSERT_TRUE(node_->Fetch(req, &batch).ok());
+  EXPECT_FALSE(batch.data.empty());
+  EXPECT_EQ(batch.durable_tip, health.durable_tip);
+
+  // Offsets below the base come out of the inherited history, byte-equal
+  // to the old primary's log.
+  req.offset = 0;
+  req.max_bytes = 64;
+  ASSERT_TRUE(node_->Fetch(req, &batch).ok());
+  ASSERT_FALSE(batch.data.empty());
+  FILE *old_wal = std::fopen(kPrimaryWal, "rb");
+  ASSERT_NE(old_wal, nullptr);
+  std::vector<uint8_t> expect(batch.data.size());
+  ASSERT_EQ(std::fread(expect.data(), 1, expect.size(), old_wal),
+            expect.size());
+  std::fclose(old_wal);
+  EXPECT_EQ(batch.data, expect);
+
+  // An offset beyond the durable tip is a divergent lineage: refused.
+  req.offset = health.durable_tip + 1234;
+  req.max_bytes = 0;
+  EXPECT_FALSE(node_->Fetch(req, &batch).ok());
+
+  // A fetch that has seen a newer epoch marks this node a stale primary.
+  req.offset = 0;
+  req.epoch = node_->epoch() + 1;
+  const Status stale = node_->Fetch(req, &batch);
+  EXPECT_EQ(stale.code(), ErrorCode::kUnavailable);
+
+  // A brand-new follower starting at offset 0 converges to the *full*
+  // history (pre- and post-promotion rows) with no seed copy.
+  net::ServerOptions fopts;
+  fopts.num_reactors = 1;
+  fopts.num_workers = 2;
+  net::Server promoted_server(follower_.get(), nullptr, fopts);
+  promoted_server.set_repl_service(node_.get());
+  ASSERT_TRUE(promoted_server.Start().ok());
+
+  std::remove("/tmp/mb2_repl_copy2.wal");
+  Database second;
+  second.Execute("CREATE TABLE t (id INTEGER, payload VARCHAR(8), bal DOUBLE)");
+  repl::ReplicaNodeOptions ropts;
+  ropts.replica_id = "r2";
+  ropts.primary_port = promoted_server.port();
+  ropts.wal_copy_path = "/tmp/mb2_repl_copy2.wal";
+  repl::ReplicaNode second_node(&second, ropts);
+  ASSERT_TRUE(second_node.Bootstrap().ok());
+  for (int i = 0; i < 1000; i++) {
+    uint64_t applied = 0;
+    ASSERT_TRUE(second_node.PollOnce(&applied).ok());
+    if (applied == 0 && second_node.applied_offset() >= health.durable_tip) {
+      break;
+    }
+  }
+  EXPECT_GE(second_node.applied_offset(), health.durable_tip);
+  EXPECT_TRUE(SameRows(Dump(follower_.get(), "t"), Dump(&second, "t")));
+  promoted_server.Stop();
+}
+
+TEST_F(ReplicationPairTest, DeadReplicaStopsPinningLagGauges) {
+  // A second replica subscribes once and dies without ever acking.
+  net::ReplSubscribeRequest ghost;
+  ghost.replica_id = "ghost";
+  net::ReplSubscribeResponseBody sub_out;
+  ASSERT_TRUE(source_->Subscribe(ghost, &sub_out).ok());
+
+  for (int i = 0; i < 10; i++) {
+    ASSERT_TRUE(primary_->Execute("INSERT INTO t VALUES (" + std::to_string(i) +
+                                  ", 'g', 6.0)")
+                    .ok());
+  }
+  // Once the ghost's last ack ages past the staleness window, the live
+  // replica's acks alone drive the gauges back to zero.
+  primary_->settings().SetInt("repl_replica_stale_ms", 1);
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  CatchUp(node_.get());
+  EXPECT_EQ(
+      MetricsRegistry::Instance().GetGauge("mb2_repl_lag_bytes").Value(), 0.0);
+  EXPECT_EQ(
+      MetricsRegistry::Instance().GetGauge("mb2_repl_lag_records").Value(),
+      0.0);
 }
 
 }  // namespace

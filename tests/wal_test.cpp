@@ -9,6 +9,7 @@
 
 #include "catalog/settings.h"
 #include "metrics/metrics_collector.h"
+#include "wal/log_applier.h"
 #include "wal/log_manager.h"
 
 namespace mb2 {
@@ -147,6 +148,57 @@ TEST_F(LogManagerTest, ConcurrentSerializersDoNotCorrupt) {
   for (auto &th : threads) th.join();
   log.FlushNow();
   EXPECT_EQ(log.total_bytes_flushed(), per_batch * kThreads * kBatches);
+}
+
+TEST_F(LogManagerTest, ConcurrentSyncCommitsKeepFileInSealOrder) {
+  // Sync-commit makes every Serialize call a flusher, racing the background
+  // thread and each other. If sealed buffers could reach the device out of
+  // seal order, the file would interleave halves of records and stop being a
+  // parseable stream — which is exactly what a recovery replay or a
+  // replication follower would then choke on.
+  settings_.SetInt("wal_sync_commit", 1);
+  settings_.SetInt("log_flush_interval_us", 100);
+  constexpr int kThreads = 4, kBatches = 60;
+  size_t expected_bytes = 0, expected_records = 0;
+  {
+    LogManager log(path_, &settings_);
+    log.StartFlusher();
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; t++) {
+      threads.emplace_back([&, t] {
+        for (int b = 0; b < kBatches; b++) {
+          std::vector<RedoRecord> records = {MakeRecord(t, 3),
+                                             MakeRecord(b, 1)};
+          ASSERT_TRUE(log.Serialize(records, t * 1000 + b).ok());
+        }
+      });
+    }
+    for (auto &th : threads) th.join();
+    log.StopFlusher();
+    ASSERT_TRUE(log.FlushNow().ok());
+    expected_bytes = log.total_bytes_flushed();
+    expected_records = kThreads * kBatches * 2;
+  }
+  std::vector<RedoRecord> probe = {MakeRecord(0, 3), MakeRecord(0, 1)};
+  EXPECT_EQ(expected_bytes, (RedoRecordSize(probe[0]) + RedoRecordSize(probe[1])) *
+                                kThreads * kBatches);
+  EXPECT_EQ(FileSize(), expected_bytes);
+
+  // The file must parse as a clean stream of whole records: the applier
+  // rejects corrupt bytes and buffers a partial tail, so reordered flushes
+  // cannot sneak past this.
+  FILE *f = std::fopen(path_.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::vector<uint8_t> bytes(expected_bytes);
+  ASSERT_EQ(std::fread(bytes.data(), 1, bytes.size(), f), bytes.size());
+  std::fclose(f);
+  Catalog catalog;
+  TransactionManager txn_manager;
+  LogApplier applier(&catalog, &txn_manager);
+  ASSERT_TRUE(applier.Apply(0, bytes.data(), bytes.size()).ok());
+  EXPECT_FALSE(applier.has_partial_record());
+  // Table id 3 never exists here, so every record parses and is skipped.
+  EXPECT_EQ(applier.total().skipped, expected_records);
 }
 
 }  // namespace
