@@ -2,10 +2,18 @@
 
 namespace mb2 {
 
-Table *Catalog::CreateTable(const std::string &name, Schema schema) {
+Table *Catalog::CreateTable(const std::string &name, Schema schema,
+                            TableStorage storage) {
   std::lock_guard<std::mutex> lock(mutex_);
   if (tables_.count(name) != 0) return nullptr;
-  auto table = std::make_unique<Table>(next_table_id_++, name, std::move(schema));
+  BufferPool *pool = nullptr;
+  if (storage == TableStorage::kDisk) {
+    if (!buffer_pool_provider_) return nullptr;
+    pool = buffer_pool_provider_();
+    if (pool == nullptr) return nullptr;
+  }
+  auto table = std::make_unique<Table>(next_table_id_++, name,
+                                       std::move(schema), storage, pool);
   Table *raw = table.get();
   tables_[name] = std::move(table);
   BumpVersion();

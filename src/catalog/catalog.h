@@ -5,6 +5,7 @@
 /// the indexes the executors must maintain on writes.
 
 #include <atomic>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -24,9 +25,19 @@ class Catalog {
   Catalog() = default;
   MB2_DISALLOW_COPY_AND_MOVE(Catalog);
 
-  /// Creates an empty table; returns null if the name is taken.
-  Table *CreateTable(const std::string &name, Schema schema);
+  /// Creates an empty table; returns null if the name is taken, or if
+  /// `storage` is kDisk and no buffer-pool provider is wired.
+  Table *CreateTable(const std::string &name, Schema schema,
+                     TableStorage storage = TableStorage::kMemory);
   Table *GetTable(const std::string &name) const;
+
+  /// Supplies the shared buffer pool for kDisk tables. The Database wires
+  /// this at construction; the provider may lazily create the pool on first
+  /// disk-table DDL.
+  void SetBufferPoolProvider(std::function<BufferPool *()> provider) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    buffer_pool_provider_ = std::move(provider);
+  }
 
   /// Registers an empty index (population is the IndexBuilder's job, or
   /// incremental via executor write paths). Pass ready=false for deferred
@@ -52,6 +63,7 @@ class Catalog {
 
  private:
   mutable std::mutex mutex_;
+  std::function<BufferPool *()> buffer_pool_provider_;
   std::map<std::string, std::unique_ptr<Table>> tables_;
   std::map<std::string, std::unique_ptr<BPlusTree>> indexes_;
   uint32_t next_table_id_ = 1;

@@ -39,6 +39,10 @@ SettingsManager::SettingsManager() {
   // lag gauges (a permanently dead subscriber must not pin them forever);
   // its registration survives, so it resumes counting on its next ack.
   knobs_["repl_replica_stale_ms"] = {10000.0, KnobKind::kBehavior};
+  // Buffer-pool capacity in 4 KiB frames for disk-backed tables (DESIGN.md
+  // §4i). Hot: re-read on every miss, so a self-driving action resizes the
+  // pool on a live server (shrinking drains lazily as pins release).
+  knobs_["buffer_pool_pages"] = {256.0, KnobKind::kResource};
   // 1 = a commit's WAL bytes are flushed to the device before Commit
   // returns (committed == durable; what the chaos harness asserts on).
   // 0 = group flush on log_flush_interval_us, the paper's default.

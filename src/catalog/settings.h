@@ -61,6 +61,7 @@ class SettingsManager {
   ///   repl_batch_bytes        max bytes per shipped log batch   (resource)
   ///   repl_failover_grace_ms  unresponsive window before failover (behavior)
   ///   repl_replica_stale_ms   ack age before a replica leaves lag (behavior)
+  ///   buffer_pool_pages       disk-heap page cache frames (hot)  (resource)
   ///   wal_sync_commit         1 = flush WAL before commit returns (behavior)
 
  private:

@@ -52,6 +52,12 @@ inline constexpr const char *kIndexBuild = "index.build";
 inline constexpr const char *kReplShip = "repl.ship";
 inline constexpr const char *kReplApply = "repl.apply";
 inline constexpr const char *kNetConnect = "net.connect";
+// Disk-backed table heap (src/storage/disk_manager): `page.read` fires on
+// page fetch (surfaces an I/O error to the scan), `page.write` on page
+// writeback — arm with `torn` to simulate a crash mid-write leaving a
+// partial page whose checksum must fail on the next read.
+inline constexpr const char *kPageRead = "page.read";
+inline constexpr const char *kPageWrite = "page.write";
 }  // namespace fault_point
 
 /// What an armed point does when it fires.

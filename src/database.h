@@ -8,6 +8,7 @@
 
 #include <atomic>
 #include <memory>
+#include <mutex>
 #include <string>
 
 #include "catalog/catalog.h"
@@ -29,6 +30,11 @@ class Database {
   struct Options {
     /// WAL device path; empty disables logging entirely.
     std::string wal_path;
+    /// Heap file backing disk-storage tables. Empty = a per-instance temp
+    /// file created on first disk-table DDL and removed at destruction.
+    /// (Either way the file is truncated on open: the WAL is the durability
+    /// story, and restart replays it into a fresh heap.)
+    std::string heap_path;
     bool start_flusher = false;
     bool start_gc = false;
   };
@@ -47,6 +53,13 @@ class Database {
   CardinalityEstimator &estimator() { return *estimator_; }
   sql::PlanCache &plan_cache() { return *plan_cache_; }
   CostOptimizer &optimizer() { return *optimizer_; }
+
+  /// The shared page cache for disk-storage tables, created on first use
+  /// (DDL with WITH (storage=disk) routes here via the catalog's provider).
+  /// Returns nullptr only when the heap file cannot be opened.
+  BufferPool *EnsureBufferPool();
+  /// Pool if already created, else nullptr (no side effects).
+  BufferPool *buffer_pool() { return buffer_pool_.get(); }
 
   /// Serving hook: attach trained behavior models so the optimizer can
   /// price plan candidates (optimizer_mode = 1). Null detaches.
@@ -75,6 +88,14 @@ class Database {
 
  private:
   SettingsManager settings_;
+  /// Declared before catalog_ purely for clarity; destruction is safe in
+  /// any order because Table/TableHeap destructors never touch the pool.
+  /// disk_manager_ must precede buffer_pool_ (the pool's destructor flushes
+  /// through it).
+  std::mutex buffer_pool_mutex_;
+  std::unique_ptr<DiskManager> disk_manager_;
+  std::unique_ptr<BufferPool> buffer_pool_;
+  bool heap_is_temp_ = false;
   Catalog catalog_;
   std::unique_ptr<LogManager> log_manager_;
   std::unique_ptr<TransactionManager> txn_manager_;

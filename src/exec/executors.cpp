@@ -204,10 +204,72 @@ Status ExecSeqScanFused(const SeqScanPlan &plan, ExecutionContext *ctx,
   return Status::Ok();
 }
 
+/// Disk-table scan: two phases, two OUs. Phase one stages every heap row
+/// page-sequentially under a PAGE_READ scope (its elapsed time is the block
+/// I/O plus decode — the cost the page OU models learn; the actual
+/// buffer-pool miss count becomes the est_misses feature post hoc, the
+/// train-on-actuals side of the cardinality idiom). Phase two emits, under
+/// the usual SEQ_SCAN scope, each staged row whose location matches the
+/// slot's visible version — updates and uncommitted writers stage stale
+/// copies too, and the location match is what filters them. Output order is
+/// heap (page, index) order, not slot order.
+Status ExecSeqScanDisk(const SeqScanPlan &plan, ExecutionContext *ctx,
+                       Table *table, SlotId num_slots, Batch *out) {
+  TableHeap *heap = table->heap();
+  BufferPool *pool = heap->pool();
+  std::vector<HeapRow> staged;
+  {
+    OuTrackerScope scope(
+        OuType::kPageRead,
+        {static_cast<double>(heap->NumPages()), 0.0,
+         static_cast<double>(num_slots),
+         static_cast<double>(pool->CapacityPages())});
+    const uint64_t misses_before = pool->stats().misses;
+    Status s = heap->ScanRows(&staged);
+    if (!s.ok()) return s;
+    scope.MutableFeatures()[1] =
+        static_cast<double>(pool->stats().misses - misses_before);
+  }
+  {
+    FeatureVector features = MakeExecFeatures(
+        static_cast<double>(num_slots),
+        static_cast<double>(plan.columns.empty() ? table->schema().NumColumns()
+                                                 : plan.columns.size()),
+        table->schema().TupleByteSize(), 0.0, 0.0, 1.0, ctx->ModeFeature());
+    OuTrackerScope scope(OuType::kSeqScan, std::move(features));
+    const TupleAccessor &accessor = *GetInterpretedAccessor();
+    const uint64_t read_ts = ctx->txn()->read_ts();
+    const uint64_t reader_txn = ctx->txn()->txn_id();
+    WorkStats &ws = WorkStats::Current();
+    for (const HeapRow &hr : staged) {
+      if (hr.slot >= num_slots) continue;
+      ws.tuples_processed++;
+      const VersionNode *node = table->Head(hr.slot);
+      while (node != nullptr && !node->VisibleTo(read_ts, reader_txn)) {
+        node = node->next;
+      }
+      if (node == nullptr || node->deleted) continue;
+      if (!(node->loc == hr.loc)) continue;  // stale copy of this slot
+      ws.bytes_read += TupleSize(hr.row);
+      EmitRow(ctx->mode(), accessor, hr.row, plan.columns, &out->rows);
+      if (plan.with_slots) out->slots.push_back(hr.slot);
+    }
+    scope.MutableFeatures()[exec_feature::kCardinality] =
+        static_cast<double>(out->rows.size());
+  }
+  if (plan.predicate != nullptr) FilterBatch(*plan.predicate, ctx, out);
+  return Status::Ok();
+}
+
 Status ExecSeqScan(const SeqScanPlan &plan, ExecutionContext *ctx, Batch *out) {
   Table *table = ctx->catalog()->GetTable(plan.table);
   if (table == nullptr) return Status::NotFound("table " + plan.table);
   const SlotId num_slots = table->NumSlots();
+  if (table->storage() == TableStorage::kDisk) {
+    // The fused fast path gathers &node->data pointers, which disk versions
+    // don't have — disk scans always take the staged path.
+    return ExecSeqScanDisk(plan, ctx, table, num_slots, out);
+  }
   if (ctx->mode() == ExecutionMode::kVectorized && plan.predicate != nullptr &&
       plan.columns.empty()) {
     VectorizedExpression vec(*plan.predicate);
@@ -693,8 +755,9 @@ Status ExecInsert(const InsertPlan &plan, ExecutionContext *ctx, Batch *out) {
       0.0, 1.0, ctx->ModeFeature());
   OuTrackerScope scope(OuType::kInsert, std::move(features));
   for (const auto &row : *rows) {
-    const SlotId slot = table->Insert(ctx->txn(), row);
-    MaintainIndexesInsert(ctx, plan.table, row, slot);
+    Result<SlotId> slot = table->TryInsert(ctx->txn(), row);
+    if (!slot.ok()) return slot.status();
+    MaintainIndexesInsert(ctx, plan.table, row, *slot);
   }
   out->rows.push_back({Value::Integer(static_cast<int64_t>(rows->size()))});
   return Status::Ok();

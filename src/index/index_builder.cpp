@@ -35,18 +35,13 @@ double IndexBuilder::EstimateKeyCardinality(Table *table,
   const SlotId step = std::max<SlotId>(1, n / kSampleTarget);
   std::unordered_set<uint64_t> distinct;
   uint64_t sampled = 0;
+  Tuple row;
   for (SlotId slot = 0; slot < n; slot += step) {
-    const VersionNode *node = table->Head(slot);
-    while (node != nullptr) {
-      if (node->VisibleTo(read_ts, /*reader_txn=*/0)) {
-        if (!node->deleted) {
-          distinct.insert(HashColumns(node->data, key_cols));
-          sampled++;
-        }
-        break;
-      }
-      node = node->next;
-    }
+    // ReadVisible works for both storages (disk payloads fetch through the
+    // buffer pool).
+    if (!table->ReadVisible(slot, read_ts, &row)) continue;
+    distinct.insert(HashColumns(row, key_cols));
+    sampled++;
   }
   if (sampled == 0) return 0.0;
   const double ratio = static_cast<double>(distinct.size()) /
@@ -97,19 +92,10 @@ IndexBuildStats IndexBuilder::Build(Catalog *catalog,
       uint64_t count = 0;
       Tuple row;
       for (SlotId slot = begin; slot < end; slot++) {
-        const VersionNode *node = table->Head(slot);
-        const VersionNode *visible = nullptr;
-        while (node != nullptr) {
-          if (node->VisibleTo(read_ts, 0)) {
-            visible = node->deleted ? nullptr : node;
-            break;
-          }
-          node = node->next;
-        }
-        if (visible == nullptr) continue;
+        if (!table->ReadVisible(slot, read_ts, &row)) continue;
         Tuple key;
         key.reserve(schema.key_columns.size());
-        for (uint32_t c : schema.key_columns) key.push_back(visible->data[c]);
+        for (uint32_t c : schema.key_columns) key.push_back(row[c]);
         index->Insert(key, slot);
         count++;
       }

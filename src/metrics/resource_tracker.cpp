@@ -231,9 +231,10 @@ Labels ResourceTracker::Stop() {
     labels[kLabelCacheMisses] = refs * miss_ratio;
   }
 
-  labels[kLabelBlockReads] = 0.0;  // in-memory engine: no data-block reads
+  labels[kLabelBlockReads] = static_cast<double>(delta.page_reads);
   labels[kLabelBlockWrites] =
-      static_cast<double>(delta.log_bytes) / 4096.0;
+      static_cast<double>(delta.log_bytes) / 4096.0 +
+      static_cast<double>(delta.page_writes);
   labels[kLabelMemoryBytes] =
       memory_bytes_ > 0.0 ? memory_bytes_
                           : static_cast<double>(delta.alloc_bytes);

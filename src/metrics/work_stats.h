@@ -20,6 +20,8 @@ struct WorkStats {
   uint64_t alloc_bytes = 0;       ///< bytes allocated (memory label source)
   uint64_t log_bytes = 0;         ///< bytes written to the WAL device
   uint64_t latch_waits = 0;       ///< contended latch acquisitions
+  uint64_t page_reads = 0;        ///< heap pages read from disk (misses)
+  uint64_t page_writes = 0;       ///< heap pages written back to disk
 
   /// The calling thread's stats instance.
   static WorkStats &Current();
@@ -35,6 +37,8 @@ struct WorkStats {
     d.alloc_bytes = alloc_bytes - since.alloc_bytes;
     d.log_bytes = log_bytes - since.log_bytes;
     d.latch_waits = latch_waits - since.latch_waits;
+    d.page_reads = page_reads - since.page_reads;
+    d.page_writes = page_writes - since.page_writes;
     return d;
   }
 };

@@ -64,6 +64,19 @@ std::array<OuDescriptor, kNumOuTypes> BuildDescriptors() {
       {"arrival_rate", "running_txns"}, OuComplexity::kConstant, -1);
   set(OuType::kTxnCommit, "TXN_COMMIT", OuClass::kContending,
       {"arrival_rate", "running_txns"}, OuComplexity::kConstant, -1);
+  // Block I/O over the disk-backed heap. PAGE_READ's cost is bimodal per
+  // page (buffer-pool hit vs miss), so the estimated miss count is its own
+  // feature — a linear model then fits hit_cost*num_pages +
+  // miss_extra*est_misses. Training measures actual misses; serving
+  // estimates them from table pages vs pool capacity (the cardinality
+  // train-on-actuals/serve-on-estimates idiom).
+  set(OuType::kPageRead, "PAGE_READ", OuClass::kBatch,
+      {"num_pages", "est_misses", "num_rows", "pool_pages"},
+      OuComplexity::kLinear, 0);
+  set(OuType::kPageWrite, "PAGE_WRITE", OuClass::kBatch,
+      {"num_pages", "num_bytes", "pool_pages"}, OuComplexity::kLinear, 0);
+  set(OuType::kPageEvict, "PAGE_EVICT", OuClass::kBatch,
+      {"num_pages", "pool_pages"}, OuComplexity::kLinear, 0);
   return d;
 }
 

@@ -40,6 +40,10 @@ enum class OuType : uint8_t {
   // --- Transactions (contending) ---
   kTxnBegin,
   kTxnCommit,
+  // --- Block I/O (batch; disk-backed table heap, DESIGN.md §4i) ---
+  kPageRead,
+  kPageWrite,
+  kPageEvict,
 
   kNumOuTypes,
 };

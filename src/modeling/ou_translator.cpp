@@ -36,6 +36,20 @@ void OuTranslator::TranslateNode(const PlanNode &node, double mode,
     case PlanNodeType::kSeqScan: {
       const auto *scan = node.As<SeqScanPlan>();
       const double table_rows = estimator_->TableRows(scan->table);
+      // Disk tables stage their heap pages before the scan proper
+      // (ExecSeqScanDisk), so prepend the PAGE_READ OU. Training measured
+      // the actual buffer-pool miss count; serving estimates it as the
+      // pages that cannot fit the pool — 0 when the table fits (hot cache),
+      // pages - pool when it cannot (the steady-state eviction regime).
+      const Table *table = catalog_->GetTable(scan->table);
+      if (table != nullptr && table->storage() == TableStorage::kDisk) {
+        const double pages = static_cast<double>(table->heap()->NumPages());
+        const double pool =
+            static_cast<double>(table->heap()->pool()->CapacityPages());
+        const double est_misses = pages > pool ? pages - pool : 0.0;
+        out->push_back(
+            {OuType::kPageRead, {pages, est_misses, table_rows, pool}});
+      }
       // The scan OU itself emits every visible row (the predicate is a
       // separate ARITHMETIC OU), so its output-cardinality feature is the
       // table row count — matching what training-time execution records.

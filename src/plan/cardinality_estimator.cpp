@@ -29,41 +29,30 @@ void CardinalityEstimator::RefreshStats() {
     const SlotId step = std::max<SlotId>(1, n / kSampleTarget);
     uint64_t sampled = 0;
     uint64_t visible_in_sample = 0;
+    Tuple row;
     for (SlotId slot = 0; slot < n; slot += step) {
-      const VersionNode *node = table->Head(slot);
-      while (node != nullptr) {
-        const uint64_t begin = node->begin_ts.load(std::memory_order_acquire);
-        const uint64_t end = node->end_ts.load(std::memory_order_acquire);
-        if (node->owner.load(std::memory_order_acquire) == kNoOwner &&
-            begin != kUncommittedTs && begin <= kStatsReadTs &&
-            kStatsReadTs < end) {
-          if (!node->deleted) {
-            visible_in_sample++;
-            for (uint32_t c = 0; c < ncols; c++) {
-              seen[c].insert(node->data[c].Hash());
-              if (node->data[c].type() != TypeId::kVarchar) {
-                const double v = node->data[c].AsDouble();
-                if (!minmax_init[c]) {
-                  ts.min_val[c] = ts.max_val[c] = v;
-                  minmax_init[c] = true;
-                } else {
-                  ts.min_val[c] = std::min(ts.min_val[c], v);
-                  ts.max_val[c] = std::max(ts.max_val[c], v);
-                }
-              }
-            }
-          }
-          break;
-        }
-        node = node->next;
-      }
       sampled++;
+      // ReadVisible handles both storages (disk rows are fetched through
+      // the buffer pool) and is safe against concurrent appends.
+      if (!table->ReadVisible(slot, kStatsReadTs, &row)) continue;
+      visible_in_sample++;
+      for (uint32_t c = 0; c < ncols; c++) {
+        seen[c].insert(row[c].Hash());
+        if (row[c].type() != TypeId::kVarchar) {
+          const double v = row[c].AsDouble();
+          if (!minmax_init[c]) {
+            ts.min_val[c] = ts.max_val[c] = v;
+            minmax_init[c] = true;
+          } else {
+            ts.min_val[c] = std::min(ts.min_val[c], v);
+            ts.max_val[c] = std::max(ts.max_val[c], v);
+          }
+        }
+      }
     }
-    const double visible_ratio =
-        sampled == 0 ? 0.0
-                     : static_cast<double>(visible_in_sample) /
-                           static_cast<double>(sampled);
-    ts.rows = visible_ratio * static_cast<double>(n);
+    // Row count comes from the O(1) approximate live counter, not an O(n)
+    // VisibleCount() walk — planning must not stall on large disk tables.
+    ts.rows = static_cast<double>(table->ApproxLiveRows());
     for (uint32_t c = 0; c < ncols; c++) {
       if (visible_in_sample == 0) continue;
       const double d = static_cast<double>(seen[c].size());

@@ -86,10 +86,30 @@ uint64_t ReplicationSource::durable_records() const {
 
 void ReplicationSource::ObserveTipLocked(uint64_t tip, int64_t now_us) {
   if (tip_history_.empty() || tip > tip_history_.back().first) {
-    tip_history_.emplace_back(tip, now_us);
-    // Bounded; dropping the oldest checkpoint only makes reported time-lag
-    // conservative (it measures from a later, younger tip).
-    if (tip_history_.size() > 256) tip_history_.erase(tip_history_.begin());
+    // Coalesce advances landing within 1 ms onto one checkpoint (keeping
+    // the older timestamp, so reported lag stays conservative). A commit
+    // burst then costs at most one entry per millisecond instead of one
+    // per flush.
+    if (!tip_history_.empty() &&
+        now_us - tip_history_.back().second < 1000) {
+      tip_history_.back().first = tip;
+    } else {
+      tip_history_.emplace_back(tip, now_us);
+    }
+  }
+  // Prune by age, not by count: a fixed entry cap under bursty commit rates
+  // could drop checkpoints still newer than a healthy-but-lagging replica's
+  // ack, silently under-reporting mb2_repl_lag_ms. Checkpoints older than
+  // the staleness window can go — any replica still behind them has either
+  // left the lag gauges (stale) or pins reported lag at the window size,
+  // which is the gauge's intended saturation point. Always keep the newest
+  // entry so lag is measurable right after a quiet period.
+  const int64_t stale_us =
+      std::max<int64_t>(1, db_->settings().GetInt("repl_replica_stale_ms")) *
+      1000;
+  while (tip_history_.size() > 1 &&
+         now_us - tip_history_.front().second > stale_us) {
+    tip_history_.erase(tip_history_.begin());
   }
 }
 

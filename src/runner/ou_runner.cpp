@@ -6,6 +6,9 @@
 #include "common/stats.h"
 #include "common/thread_pool.h"
 #include "index/index_builder.h"
+#include "storage/buffer_pool.h"
+#include "storage/page.h"
+#include "storage/table_heap.h"
 #include "wal/log_record.h"
 
 namespace mb2 {
@@ -33,13 +36,14 @@ class Stopwatch {
 }  // namespace
 
 Table *MakeSyntheticTable(Database *db, const std::string &name, uint64_t rows,
-                          uint64_t distinct, uint64_t seed) {
+                          uint64_t distinct, uint64_t seed,
+                          TableStorage storage) {
   std::vector<Column> cols;
   cols.push_back({"id", TypeId::kInteger, 0});
   for (uint32_t c = 0; c < kSynthPayloadCols; c++) {
     cols.push_back({"c" + std::to_string(c), TypeId::kInteger, 0});
   }
-  Table *table = db->catalog().CreateTable(name, Schema(std::move(cols)));
+  Table *table = db->catalog().CreateTable(name, Schema(std::move(cols)), storage);
   MB2_ASSERT(table != nullptr, "synthetic table name collision");
 
   Rng rng(seed);
@@ -532,6 +536,113 @@ std::vector<OuRecord> OuRunner::RunGc() {
   return out;
 }
 
+std::vector<OuRecord> OuRunner::RunStorage() {
+  std::vector<OuRecord> out;
+  Stopwatch watch(&runner_seconds_);
+  const int64_t saved_pool = db_->settings().GetInt("buffer_pool_pages");
+
+  for (uint64_t rows : config_.row_counts) {
+    if (rows < 64 || rows > 32768) continue;  // bound disk-table sizes
+    // Sweep the pool so the models see the full hit-ratio range: a pool the
+    // table thrashes (every page misses), a partial fit, and a full fit.
+    for (int64_t pool_pages : {int64_t{8}, int64_t{64}, int64_t{512}}) {
+      db_->settings().SetInt("buffer_pool_pages", pool_pages);
+      const std::string name = "ou_disk_" + std::to_string(next_table_id_++);
+      Table *table = MakeSyntheticTable(db_, name, rows, rows,
+                                        /*seed=*/rows * 13 + pool_pages,
+                                        TableStorage::kDisk);
+      BufferPool *pool = table->heap()->pool();
+      db_->estimator().RefreshStats();
+
+      auto make_scan = [&] {
+        auto scan = std::make_unique<SeqScanPlan>();
+        scan->table = table->name();
+        for (uint32_t c = 0; c < 1 + kSynthPayloadCols; c++) {
+          scan->columns.push_back(c);
+        }
+        return FinalizePlan(std::move(scan), db_->catalog());
+      };
+      auto plan = make_scan();
+
+      // PAGE_READ: the scan's staging phase records it (ExecSeqScanDisk)
+      // with the actual miss count as a feature. Cold reps drop the cache
+      // first (every page misses); hot reps rescan a warmed cache.
+      for (bool cold : {true, false}) {
+        if (!cold) db_->Execute(*plan);  // warm
+        for (uint32_t rep = 0; rep < config_.repetitions; rep++) {
+          if (cold) pool->DropAll();
+          DrainCollection();
+          EnableCollection();
+          db_->Execute(*plan);
+          DisableCollection();
+          for (auto &r : DrainCollection()) {
+            if (r.ou == OuType::kPageRead) out.push_back(std::move(r));
+          }
+        }
+      }
+
+      // PAGE_WRITE: dirty a fresh batch of pages with inserts, then flush
+      // them under a tracker scope. The flushed-page count is only known
+      // afterwards (evicted pages were already written back), so the
+      // features are finalized post-hoc like training-time cardinality.
+      Rng rng(rows * 7 + static_cast<uint64_t>(pool_pages));
+      const uint64_t batch = std::max<uint64_t>(64, rows / 8);
+      for (uint32_t rep = 0; rep < config_.repetitions; rep++) {
+        auto txn = db_->txn_manager().Begin();
+        for (uint64_t i = 0; i < batch; i++) {
+          Tuple row;
+          row.reserve(1 + kSynthPayloadCols);
+          row.push_back(Value::Integer(
+              static_cast<int64_t>(1000000 + rep * batch + i)));
+          for (uint32_t c = 0; c < kSynthPayloadCols; c++) {
+            row.push_back(Value::Integer(rng.Uniform(int64_t{0}, int64_t{1} << 20)));
+          }
+          table->Insert(txn.get(), std::move(row));
+        }
+        db_->txn_manager().Commit(txn.get());
+        DrainCollection();
+        EnableCollection();
+        {
+          const uint64_t before = pool->stats().writebacks;
+          OuTrackerScope scope(OuType::kPageWrite,
+                               {0.0, 0.0, static_cast<double>(pool_pages)});
+          pool->FlushAll();
+          const double flushed =
+              static_cast<double>(pool->stats().writebacks - before);
+          scope.MutableFeatures()[0] = flushed;
+          scope.MutableFeatures()[1] = flushed * kPageSize;
+        }
+        DisableCollection();
+        for (auto &r : DrainCollection()) {
+          if (r.ou == OuType::kPageWrite) out.push_back(std::move(r));
+        }
+      }
+
+      // PAGE_EVICT: warm the cache with clean pages, then drop it — pure
+      // frame-eviction cost with no writeback component (dirty-page
+      // eviction is the PAGE_WRITE model's territory).
+      for (uint32_t rep = 0; rep < config_.repetitions; rep++) {
+        db_->Execute(*plan);  // warm (clean: everything was just flushed)
+        pool->FlushAll();
+        const double resident = static_cast<double>(pool->ResidentPages());
+        DrainCollection();
+        EnableCollection();
+        {
+          OuTrackerScope scope(OuType::kPageEvict,
+                               {resident, static_cast<double>(pool_pages)});
+          pool->DropAll();
+        }
+        DisableCollection();
+        for (auto &r : DrainCollection()) {
+          if (r.ou == OuType::kPageEvict) out.push_back(std::move(r));
+        }
+      }
+    }
+  }
+  db_->settings().SetInt("buffer_pool_pages", saved_pool);
+  return out;
+}
+
 std::vector<OuRecord> OuRunner::RunTxns() {
   std::vector<OuRecord> out;
   Stopwatch watch(&runner_seconds_);
@@ -584,6 +695,7 @@ std::vector<OuRecord> OuRunner::RunAll() {
   append(RunIndexBuilds());
   append(RunWal());
   append(RunGc());
+  append(RunStorage());
   append(RunTxns());
   return out;
 }
@@ -606,6 +718,7 @@ SweepResult RunParallelSweep(const OuRunnerConfig &config, size_t jobs) {
       &OuRunner::RunProjections,   &OuRunner::RunDml,
       &OuRunner::RunIndexScans,    &OuRunner::RunIndexBuilds,
       &OuRunner::RunWal,           &OuRunner::RunGc,
+      &OuRunner::RunStorage,
   };
   constexpr size_t kNumUnits = sizeof(kUnits) / sizeof(kUnits[0]);
 

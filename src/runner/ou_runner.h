@@ -72,6 +72,7 @@ class OuRunner {
   std::vector<OuRecord> RunIndexBuilds();
   std::vector<OuRecord> RunWal();
   std::vector<OuRecord> RunGc();
+  std::vector<OuRecord> RunStorage();  // block I/O: page read/write/evict
   std::vector<OuRecord> RunTxns();
 
   /// Wall-clock seconds spent inside Run* calls so far (Table 2).
@@ -107,7 +108,8 @@ class OuRunner {
 
 /// Populates a standalone synthetic table (exposed for tests/benches).
 Table *MakeSyntheticTable(Database *db, const std::string &name, uint64_t rows,
-                          uint64_t distinct, uint64_t seed);
+                          uint64_t distinct, uint64_t seed,
+                          TableStorage storage = TableStorage::kMemory);
 
 /// Result of a (possibly parallel) full OU-runner sweep.
 struct SweepResult {

@@ -1,6 +1,7 @@
 #include "sql/parser.h"
 
 #include <algorithm>
+#include <cctype>
 #include <optional>
 #include <vector>
 
@@ -12,6 +13,11 @@
 namespace mb2::sql {
 
 namespace {
+
+std::string ToLower(std::string s) {
+  for (auto &c : s) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return s;
+}
 
 /// Recursive-descent parser with an embedded binder: column names resolve
 /// against the FROM tables as parsing proceeds.
@@ -728,6 +734,32 @@ class Parser {
       bound.kind = BoundStatement::Kind::kCreateTable;
       bound.table_name = name.value();
       bound.schema = Schema(std::move(columns));
+      // WITH ( storage = memory|disk ) — per-table storage selection
+      // (DESIGN.md §4i). `storage`/`memory`/`disk` are plain identifiers,
+      // compared case-insensitively like keywords.
+      if (AcceptKeyword("WITH")) {
+        s = ExpectSymbol("(");
+        if (!s.ok()) return s;
+        auto option = ExpectIdentifier();
+        if (!option.ok()) return option.status();
+        if (ToLower(option.value()) != "storage") {
+          return Error("unknown table option '" + option.value() + "'");
+        }
+        s = ExpectSymbol("=");
+        if (!s.ok()) return s;
+        auto storage = ExpectIdentifier();
+        if (!storage.ok()) return storage.status();
+        const std::string value = ToLower(storage.value());
+        if (value == "disk") {
+          bound.storage = TableStorage::kDisk;
+        } else if (value == "memory") {
+          bound.storage = TableStorage::kMemory;
+        } else {
+          return Error("storage must be 'memory' or 'disk'");
+        }
+        s = ExpectSymbol(")");
+        if (!s.ok()) return s;
+      }
       return bound;
     }
     if (AcceptKeyword("INDEX")) {
@@ -853,8 +885,12 @@ Result<QueryResult> ExecuteSql(Database *db, const std::string &statement) {
       return result;
     }
     case BoundStatement::Kind::kCreateTable: {
-      if (db->catalog().CreateTable(stmt.table_name, stmt.schema) == nullptr) {
-        return Status::AlreadyExists("table " + stmt.table_name);
+      if (db->catalog().CreateTable(stmt.table_name, stmt.schema,
+                                    stmt.storage) == nullptr) {
+        // CreateTable also returns null when a disk table's heap file
+        // cannot be opened; the name collision is by far the common case.
+        return Status::AlreadyExists("table " + stmt.table_name +
+                                     " (exists, or heap unavailable)");
       }
       return QueryResult{};
     }

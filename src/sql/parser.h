@@ -17,6 +17,7 @@
 ///   UPDATE <table> SET col = expr [, col = expr]... [WHERE <predicate>]
 ///   DELETE FROM <table> [WHERE <predicate>]
 ///   CREATE TABLE <name> (col TYPE [, col TYPE]...)
+///     [WITH ( storage = memory|disk )]
 ///   CREATE [UNIQUE] INDEX <name> ON <table> (col [, col]...)
 ///     [WITH <n> THREADS]
 ///   DROP INDEX <name>
@@ -43,6 +44,7 @@ struct BoundStatement {
   // kCreateTable
   std::string table_name;
   Schema schema;
+  TableStorage storage = TableStorage::kMemory;
 
   // kCreateIndex / kDropIndex
   IndexSchema index_schema;

@@ -1,0 +1,192 @@
+#include "storage/buffer_pool.h"
+
+#include <algorithm>
+
+#include "catalog/settings.h"
+#include "obs/metrics_registry.h"
+
+namespace mb2 {
+
+namespace {
+
+Counter &HitsTotal() {
+  static Counter &c =
+      MetricsRegistry::Instance().GetCounter("mb2_bufpool_hits_total");
+  return c;
+}
+
+Counter &MissesTotal() {
+  static Counter &c =
+      MetricsRegistry::Instance().GetCounter("mb2_bufpool_misses_total");
+  return c;
+}
+
+Counter &EvictionsTotal() {
+  static Counter &c =
+      MetricsRegistry::Instance().GetCounter("mb2_bufpool_evictions_total");
+  return c;
+}
+
+Counter &WritebacksTotal() {
+  static Counter &c =
+      MetricsRegistry::Instance().GetCounter("mb2_bufpool_writebacks_total");
+  return c;
+}
+
+Gauge &ResidentGauge() {
+  static Gauge &g =
+      MetricsRegistry::Instance().GetGauge("mb2_bufpool_resident_pages");
+  return g;
+}
+
+}  // namespace
+
+BufferPool::BufferPool(DiskManager *disk, const SettingsManager *settings)
+    : disk_(disk), settings_(settings) {}
+
+BufferPool::~BufferPool() {
+  // Best-effort writeback so a clean shutdown leaves no dirty frames; errors
+  // here have nowhere to surface (the heap is rebuilt from WAL anyway).
+  (void)FlushAll();
+}
+
+uint64_t BufferPool::CapacityPages() const {
+  const int64_t knob = settings_->GetInt("buffer_pool_pages");
+  return static_cast<uint64_t>(std::max<int64_t>(1, knob));
+}
+
+uint64_t BufferPool::ResidentPages() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return frames_.size();
+}
+
+BufferPool::Stats BufferPool::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+void BufferPool::TouchLocked(Frame *frame) {
+  if (frame->pins == 0) {
+    lru_.erase(frame->lru_it);
+  }
+  frame->pins++;
+}
+
+Status BufferPool::EvictForSpaceLocked(uint64_t capacity) {
+  while (frames_.size() >= capacity && !lru_.empty()) {
+    const PageId victim_id = lru_.front();
+    auto it = frames_.find(victim_id);
+    MB2_ASSERT(it != frames_.end(), "LRU entry without frame");
+    Frame *victim = it->second.get();
+    if (victim->dirty) {
+      Status s = disk_->Write(victim_id, &victim->page);
+      if (!s.ok()) return s;
+      victim->dirty = false;
+      stats_.writebacks++;
+      WritebacksTotal().Add();
+    }
+    lru_.pop_front();
+    frames_.erase(it);
+    stats_.evictions++;
+    EvictionsTotal().Add();
+  }
+  return Status::Ok();
+}
+
+Status BufferPool::Pin(PageId id, Page **out) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = frames_.find(id);
+  if (it != frames_.end()) {
+    Frame *frame = it->second.get();
+    TouchLocked(frame);
+    stats_.hits++;
+    HitsTotal().Add();
+    *out = &frame->page;
+    return Status::Ok();
+  }
+  stats_.misses++;
+  MissesTotal().Add();
+  Status s = EvictForSpaceLocked(CapacityPages());
+  if (!s.ok()) return s;
+  auto frame = std::make_unique<Frame>();
+  frame->id = id;
+  s = disk_->Read(id, &frame->page);
+  if (!s.ok()) return s;
+  frame->pins = 1;
+  Frame *raw = frame.get();
+  frames_.emplace(id, std::move(frame));
+  ResidentGauge().Set(static_cast<double>(frames_.size()));
+  *out = &raw->page;
+  return Status::Ok();
+}
+
+void BufferPool::Unpin(PageId id, bool dirty) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = frames_.find(id);
+  MB2_ASSERT(it != frames_.end(), "unpin of non-resident page");
+  Frame *frame = it->second.get();
+  MB2_ASSERT(frame->pins > 0, "unpin of unpinned page");
+  frame->dirty = frame->dirty || dirty;
+  frame->pins--;
+  if (frame->pins == 0) {
+    lru_.push_back(id);
+    frame->lru_it = std::prev(lru_.end());
+  }
+}
+
+Status BufferPool::NewPage(PageId *id, Page **out) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Status s = EvictForSpaceLocked(CapacityPages());
+  if (!s.ok()) return s;
+  const PageId fresh = disk_->Allocate();
+  auto frame = std::make_unique<Frame>();
+  frame->id = fresh;
+  frame->pins = 1;
+  frame->dirty = true;
+  page::Init(&frame->page, fresh);
+  Frame *raw = frame.get();
+  frames_.emplace(fresh, std::move(frame));
+  ResidentGauge().Set(static_cast<double>(frames_.size()));
+  *id = fresh;
+  *out = &raw->page;
+  return Status::Ok();
+}
+
+Status BufferPool::FlushAll() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto &[id, frame] : frames_) {
+    if (!frame->dirty) continue;
+    Status s = disk_->Write(id, &frame->page);
+    if (!s.ok()) return s;
+    frame->dirty = false;
+    stats_.writebacks++;
+    WritebacksTotal().Add();
+  }
+  return Status::Ok();
+}
+
+Status BufferPool::DropAll() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto &[id, frame] : frames_) {
+    if (!frame->dirty) continue;
+    Status s = disk_->Write(id, &frame->page);
+    if (!s.ok()) return s;
+    frame->dirty = false;
+    stats_.writebacks++;
+    WritebacksTotal().Add();
+  }
+  for (auto it = frames_.begin(); it != frames_.end();) {
+    if (it->second->pins == 0) {
+      lru_.erase(it->second->lru_it);
+      it = frames_.erase(it);
+      stats_.evictions++;
+      EvictionsTotal().Add();
+    } else {
+      ++it;
+    }
+  }
+  ResidentGauge().Set(static_cast<double>(frames_.size()));
+  return Status::Ok();
+}
+
+}  // namespace mb2

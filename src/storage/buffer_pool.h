@@ -1,0 +1,96 @@
+#pragma once
+
+/// \file buffer_pool.h
+/// Page cache between the table heaps and the DiskManager (DESIGN.md §4i).
+/// Frames are pinned for the duration of an access (refcounted), unpinned
+/// frames sit on an LRU list, and eviction writes dirty frames back through
+/// the DiskManager. Capacity is the hot-tunable `buffer_pool_pages` knob,
+/// re-read on every miss so a self-driving action resizes the pool without
+/// a restart. When every frame is pinned the pool temporarily exceeds
+/// capacity rather than deadlocking; the overshoot drains as pins release.
+///
+/// Hit/miss/eviction/writeback counts feed both the obs registry
+/// (mb2_bufpool_*_total) and a local Stats snapshot the OU runners and
+/// benches read without enabling observability.
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "common/macros.h"
+#include "common/status.h"
+#include "storage/disk_manager.h"
+#include "storage/page.h"
+
+namespace mb2 {
+
+class SettingsManager;
+
+class BufferPool {
+ public:
+  BufferPool(DiskManager *disk, const SettingsManager *settings);
+  ~BufferPool();
+  MB2_DISALLOW_COPY_AND_MOVE(BufferPool);
+
+  /// Pins page `id`, reading it from disk on a miss. `*out` stays valid
+  /// until the matching Unpin. Errors leave nothing pinned.
+  Status Pin(PageId id, Page **out);
+
+  /// Releases one pin; `dirty` marks the frame for writeback on eviction.
+  void Unpin(PageId id, bool dirty);
+
+  /// Allocates a fresh page id, pins an initialized (zeroed, header-stamped)
+  /// frame for it, and marks it dirty.
+  Status NewPage(PageId *id, Page **out);
+
+  /// Writes every dirty frame back to disk (frames stay resident).
+  Status FlushAll();
+
+  /// Flushes dirty frames, then evicts every unpinned frame — the cold-cache
+  /// reset used by restart simulation and the cold/hot benches.
+  Status DropAll();
+
+  /// Current value of the `buffer_pool_pages` knob (>= 1).
+  uint64_t CapacityPages() const;
+
+  /// Resident frame count (may briefly exceed capacity under pin pressure).
+  uint64_t ResidentPages() const;
+
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+    uint64_t writebacks = 0;
+  };
+  Stats stats() const;
+
+  DiskManager *disk() { return disk_; }
+
+ private:
+  struct Frame {
+    Page page;
+    PageId id = kInvalidPageId;
+    uint32_t pins = 0;
+    bool dirty = false;
+    /// Valid only when pins == 0 (frame is on lru_).
+    std::list<PageId>::iterator lru_it;
+  };
+
+  /// Evicts LRU frames until resident count < capacity or no unpinned frame
+  /// remains. Caller holds mutex_.
+  Status EvictForSpaceLocked(uint64_t capacity);
+  void TouchLocked(Frame *frame);
+
+  DiskManager *disk_;
+  const SettingsManager *settings_;
+
+  mutable std::mutex mutex_;
+  std::unordered_map<PageId, std::unique_ptr<Frame>> frames_;
+  /// Unpinned frames, least-recently-used first.
+  std::list<PageId> lru_;
+  Stats stats_;
+};
+
+}  // namespace mb2

@@ -1,0 +1,143 @@
+#include "storage/disk_manager.h"
+
+#include <cstring>
+
+#include "common/checksum.h"
+#include "common/fault_injector.h"
+#include "metrics/metrics_collector.h"
+#include "metrics/work_stats.h"
+#include "obs/metrics_registry.h"
+
+namespace mb2 {
+
+namespace {
+
+Histogram &PageReadUs() {
+  static Histogram &h =
+      MetricsRegistry::Instance().GetHistogram("mb2_page_read_us");
+  return h;
+}
+
+Histogram &PageWriteUs() {
+  static Histogram &h =
+      MetricsRegistry::Instance().GetHistogram("mb2_page_write_us");
+  return h;
+}
+
+/// Returns true (and the erroring status) when `point` fires. kDelay fires
+/// are absorbed inside Hit(); kTornWrite is handled by the write path itself.
+bool CheckFaultPoint(const char *point, Status *out, FaultCheck *check) {
+  auto &fi = FaultInjector::Instance();
+  if (!fi.Armed()) return false;
+  *check = fi.Hit(point);
+  if (!check->fire) return false;
+  if (check->action == FaultAction::kThrow) throw InjectedFault(check->message);
+  if (check->action == FaultAction::kTornWrite) return false;  // caller handles
+  *out = check->ToStatus(point);
+  return true;
+}
+
+}  // namespace
+
+DiskManager::DiskManager(std::string path) : path_(std::move(path)) {
+  // Truncate: heap contents are rebuilt by WAL replay on restart, and stale
+  // pages from a previous incarnation must not be readable.
+  file_ = std::fopen(path_.c_str(), "wb+");
+  if (file_ == nullptr) {
+    status_ = Status::IoError("open heap file '" + path_ + "' failed");
+  }
+}
+
+DiskManager::~DiskManager() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+PageId DiskManager::Allocate() {
+  return next_page_id_.fetch_add(1, std::memory_order_relaxed);
+}
+
+uint64_t DiskManager::num_pages() const {
+  return next_page_id_.load(std::memory_order_relaxed);
+}
+
+Status DiskManager::Read(PageId id, Page *out) {
+  if (!status_.ok()) return status_;
+  if (id >= num_pages()) {
+    return Status::InvalidArgument("heap page " + std::to_string(id) +
+                                   " was never allocated");
+  }
+  Status fault_status;
+  FaultCheck check;
+  if (CheckFaultPoint(fault_point::kPageRead, &fault_status, &check)) {
+    return fault_status;
+  }
+  const int64_t start_us = NowMicros();
+  {
+    std::lock_guard<std::mutex> lock(io_mutex_);
+    if (std::fseek(file_, static_cast<long>(id * kPageSize), SEEK_SET) != 0) {
+      return Status::IoError("seek to heap page " + std::to_string(id) +
+                             " failed");
+    }
+    if (std::fread(out->bytes, 1, kPageSize, file_) != kPageSize) {
+      return Status::IoError("short read of heap page " + std::to_string(id));
+    }
+  }
+  uint32_t stored_crc;
+  std::memcpy(&stored_crc, out->bytes, sizeof(stored_crc));
+  const uint32_t computed_crc = Crc32(out->bytes + 4, kPageSize - 4);
+  if (stored_crc != computed_crc) {
+    return Status::IoError("heap page " + std::to_string(id) +
+                           ": checksum mismatch (torn or corrupt write)");
+  }
+  if (page::Id(*out) != id) {
+    return Status::IoError("heap page " + std::to_string(id) +
+                           ": stored id " + std::to_string(page::Id(*out)) +
+                           " (misdirected I/O)");
+  }
+  WorkStats::Current().page_reads++;
+  WorkStats::Current().bytes_read += kPageSize;
+  PageReadUs().Observe(static_cast<double>(NowMicros() - start_us));
+  return Status::Ok();
+}
+
+Status DiskManager::Write(PageId id, Page *p) {
+  if (!status_.ok()) return status_;
+  if (id >= num_pages()) {
+    return Status::InvalidArgument("heap page " + std::to_string(id) +
+                                   " was never allocated");
+  }
+  Status fault_status;
+  FaultCheck check;
+  if (CheckFaultPoint(fault_point::kPageWrite, &fault_status, &check)) {
+    return fault_status;
+  }
+  const uint32_t crc = Crc32(p->bytes + 4, kPageSize - 4);
+  std::memcpy(p->bytes, &crc, sizeof(crc));
+  size_t write_bytes = kPageSize;
+  const bool torn = check.fire && check.action == FaultAction::kTornWrite;
+  if (torn) {
+    write_bytes = static_cast<size_t>(kPageSize * check.torn_fraction);
+  }
+  const int64_t start_us = NowMicros();
+  {
+    std::lock_guard<std::mutex> lock(io_mutex_);
+    if (std::fseek(file_, static_cast<long>(id * kPageSize), SEEK_SET) != 0) {
+      return Status::IoError("seek to heap page " + std::to_string(id) +
+                             " failed");
+    }
+    if (std::fwrite(p->bytes, 1, write_bytes, file_) != write_bytes) {
+      return Status::IoError("short write of heap page " + std::to_string(id));
+    }
+    std::fflush(file_);
+  }
+  if (torn) {
+    return Status::IoError("fault '" + std::string(fault_point::kPageWrite) +
+                           "': torn write of heap page " + std::to_string(id));
+  }
+  WorkStats::Current().page_writes++;
+  WorkStats::Current().bytes_written += kPageSize;
+  PageWriteUs().Observe(static_cast<double>(NowMicros() - start_us));
+  return Status::Ok();
+}
+
+}  // namespace mb2

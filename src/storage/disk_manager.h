@@ -1,0 +1,63 @@
+#pragma once
+
+/// \file disk_manager.h
+/// Page-granular file I/O for the disk-backed table heap (DESIGN.md §4i).
+/// One DiskManager owns one heap file holding 4 KiB pages addressed by
+/// PageId. Every write stamps a crc32 over the page body into the header;
+/// every read verifies the checksum and the stored page id, so torn writes
+/// and misdirected I/O surface as IoError instead of silent corruption.
+///
+/// The heap file is scratch space: WAL replay repopulates it on restart, so
+/// opening truncates any existing file. Fault points `page.read` and
+/// `page.write` (common/fault_injector.h) instrument both paths — arming
+/// `page.write` with `torn` leaves a partial page on disk whose checksum
+/// fails on the next read, the crash-mid-writeback scenario.
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+#include <string>
+
+#include "common/macros.h"
+#include "common/status.h"
+#include "storage/page.h"
+
+namespace mb2 {
+
+class DiskManager {
+ public:
+  /// Opens (and truncates) the heap file. A failure is sticky: it is
+  /// reported by status() and by every subsequent Read/Write.
+  explicit DiskManager(std::string path);
+  ~DiskManager();
+  MB2_DISALLOW_COPY_AND_MOVE(DiskManager);
+
+  /// The open-time status; Ok when the heap file is usable.
+  const Status &status() const { return status_; }
+  const std::string &path() const { return path_; }
+
+  /// Reserves a fresh page id (the page has no on-disk bytes until the
+  /// first Write).
+  PageId Allocate();
+
+  /// Pages allocated so far (allocated, not necessarily written).
+  uint64_t num_pages() const;
+
+  /// Reads page `id` into `*out`, verifying checksum and stored page id.
+  /// Counts into WorkStats::page_reads and the mb2_page_read_us histogram.
+  Status Read(PageId id, Page *out);
+
+  /// Stamps the checksum into `p` and writes it at its slot in the file.
+  /// Counts into WorkStats::page_writes and the mb2_page_write_us histogram.
+  Status Write(PageId id, Page *p);
+
+ private:
+  std::string path_;
+  Status status_;
+  /// FILE* seek+transfer pairs must not interleave across threads.
+  mutable std::mutex io_mutex_;
+  FILE *file_ = nullptr;
+  std::atomic<uint64_t> next_page_id_{0};
+};
+
+}  // namespace mb2

@@ -1,0 +1,180 @@
+#include "storage/page.h"
+
+#include <cstring>
+
+namespace mb2::page {
+
+namespace {
+
+template <typename T>
+void PutRaw(uint8_t *dst, T v) {
+  std::memcpy(dst, &v, sizeof(T));
+}
+
+template <typename T>
+T GetRaw(const uint8_t *src) {
+  T v{};
+  std::memcpy(&v, src, sizeof(T));
+  return v;
+}
+
+size_t ValueBytes(const Value &v) {
+  switch (v.type()) {
+    case TypeId::kInteger:
+    case TypeId::kDouble:
+      return 1 + 8;
+    case TypeId::kVarchar:
+      return 1 + 4 + v.AsVarchar().size();
+  }
+  return 9;
+}
+
+/// Encodes one value at `dst`; returns bytes written.
+size_t PutValue(uint8_t *dst, const Value &v) {
+  dst[0] = static_cast<uint8_t>(v.type());
+  switch (v.type()) {
+    case TypeId::kInteger:
+      PutRaw<int64_t>(dst + 1, v.AsInt());
+      return 9;
+    case TypeId::kDouble:
+      PutRaw<double>(dst + 1, v.AsDouble());
+      return 9;
+    case TypeId::kVarchar: {
+      const std::string &s = v.AsVarchar();
+      PutRaw<uint32_t>(dst + 1, static_cast<uint32_t>(s.size()));
+      std::memcpy(dst + 5, s.data(), s.size());
+      return 5 + s.size();
+    }
+  }
+  return 0;
+}
+
+/// Decodes one value from [src, end); advances *src. False on overrun.
+bool GetValue(const uint8_t **src, const uint8_t *end, Value *out) {
+  if (*src + 1 > end) return false;
+  const auto type = static_cast<TypeId>((*src)[0]);
+  switch (type) {
+    case TypeId::kInteger:
+      if (*src + 9 > end) return false;
+      *out = Value::Integer(GetRaw<int64_t>(*src + 1));
+      *src += 9;
+      return true;
+    case TypeId::kDouble:
+      if (*src + 9 > end) return false;
+      *out = Value::Double(GetRaw<double>(*src + 1));
+      *src += 9;
+      return true;
+    case TypeId::kVarchar: {
+      if (*src + 5 > end) return false;
+      const uint32_t len = GetRaw<uint32_t>(*src + 1);
+      if (*src + 5 + len > end) return false;
+      *out = Value::Varchar(
+          std::string(reinterpret_cast<const char *>(*src + 5), len));
+      *src += 5 + len;
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Decodes one row record starting at *src; advances past it.
+bool GetRowRecord(const uint8_t **src, const uint8_t *end, SlotId *slot,
+                  Tuple *row) {
+  if (*src + 12 > end) return false;
+  *slot = GetRaw<uint64_t>(*src);
+  const uint32_t nvals = GetRaw<uint32_t>(*src + 8);
+  *src += 12;
+  // A value is at least 9 bytes; reject counts the region cannot hold.
+  if (nvals > (end - *src) / 9 + 1) return false;
+  row->clear();
+  row->reserve(nvals);
+  for (uint32_t i = 0; i < nvals; i++) {
+    Value v;
+    if (!GetValue(src, end, &v)) return false;
+    row->push_back(std::move(v));
+  }
+  return true;
+}
+
+}  // namespace
+
+void Init(Page *p, PageId id) {
+  std::memset(p->bytes, 0, kPageSize);
+  PutRaw<uint64_t>(p->bytes + 4, id);
+  PutRaw<uint32_t>(p->bytes + 12, 0);
+  PutRaw<uint32_t>(p->bytes + 16, static_cast<uint32_t>(kPageHeaderSize));
+}
+
+PageId Id(const Page &p) { return GetRaw<uint64_t>(p.bytes + 4); }
+uint32_t NumRows(const Page &p) { return GetRaw<uint32_t>(p.bytes + 12); }
+uint32_t UsedBytes(const Page &p) { return GetRaw<uint32_t>(p.bytes + 16); }
+
+size_t RowBytes(const Tuple &row) {
+  size_t size = 8 + 4;
+  for (const auto &v : row) size += ValueBytes(v);
+  return size;
+}
+
+bool AppendRow(Page *p, SlotId slot, const Tuple &row) {
+  const uint32_t used = UsedBytes(*p);
+  const size_t need = RowBytes(row);
+  if (used + need > kPageSize) return false;
+  uint8_t *dst = p->bytes + used;
+  PutRaw<uint64_t>(dst, slot);
+  PutRaw<uint32_t>(dst + 8, static_cast<uint32_t>(row.size()));
+  dst += 12;
+  for (const auto &v : row) dst += PutValue(dst, v);
+  PutRaw<uint32_t>(p->bytes + 12, NumRows(*p) + 1);
+  PutRaw<uint32_t>(p->bytes + 16, static_cast<uint32_t>(used + need));
+  return true;
+}
+
+Status DecodeRows(const Page &p, PageId page_id, std::vector<HeapRow> *out) {
+  const uint32_t used = UsedBytes(p);
+  const uint32_t nrows = NumRows(p);
+  if (used < kPageHeaderSize || used > kPageSize) {
+    return Status::IoError("heap page " + std::to_string(page_id) +
+                              ": bad used-bytes header");
+  }
+  const uint8_t *src = p.bytes + kPageHeaderSize;
+  const uint8_t *end = p.bytes + used;
+  out->reserve(out->size() + nrows);
+  for (uint32_t i = 0; i < nrows; i++) {
+    HeapRow r;
+    if (!GetRowRecord(&src, end, &r.slot, &r.row)) {
+      return Status::IoError("heap page " + std::to_string(page_id) +
+                                ": truncated row record " + std::to_string(i));
+    }
+    r.loc = RowLocation{page_id, i};
+    out->push_back(std::move(r));
+  }
+  return Status::Ok();
+}
+
+Status DecodeRowAt(const Page &p, uint32_t index, Tuple *out) {
+  const uint32_t used = UsedBytes(p);
+  const uint32_t nrows = NumRows(p);
+  if (index >= nrows) {
+    return Status::IoError("heap page " + std::to_string(Id(p)) +
+                              ": row index " + std::to_string(index) +
+                              " out of range");
+  }
+  if (used < kPageHeaderSize || used > kPageSize) {
+    return Status::IoError("heap page " + std::to_string(Id(p)) +
+                              ": bad used-bytes header");
+  }
+  const uint8_t *src = p.bytes + kPageHeaderSize;
+  const uint8_t *end = p.bytes + used;
+  SlotId slot = 0;
+  Tuple row;
+  for (uint32_t i = 0; i <= index; i++) {
+    if (!GetRowRecord(&src, end, &slot, &row)) {
+      return Status::IoError("heap page " + std::to_string(Id(p)) +
+                                ": truncated row record " + std::to_string(i));
+    }
+  }
+  *out = std::move(row);
+  return Status::Ok();
+}
+
+}  // namespace mb2::page

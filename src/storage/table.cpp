@@ -1,44 +1,100 @@
 #include "storage/table.h"
 
 #include "metrics/work_stats.h"
+#include "storage/buffer_pool.h"
 
 namespace mb2 {
 
+Table::Table(uint32_t table_id, std::string name, Schema schema,
+             TableStorage storage, BufferPool *pool)
+    : table_id_(table_id),
+      name_(std::move(name)),
+      schema_(std::move(schema)),
+      storage_(storage) {
+  if (storage_ == TableStorage::kDisk) {
+    MB2_ASSERT(pool != nullptr, "disk table requires a buffer pool");
+    heap_ = std::make_unique<TableHeap>(pool);
+  }
+}
+
 Table::~Table() {
-  for (auto &slot : slots_) {
-    VersionNode *node = slot.head.load(std::memory_order_relaxed);
+  const SlotId n = next_slot_.load(std::memory_order_relaxed);
+  for (SlotId i = 0; i < n; i++) {
+    VersionNode *node = GetSlot(i)->head.load(std::memory_order_relaxed);
     while (node != nullptr) {
       VersionNode *next = node->next;
       delete node;
       node = next;
     }
   }
+  for (auto &chunk : chunks_) {
+    delete[] chunk.load(std::memory_order_relaxed);
+  }
 }
 
-SlotId Table::Insert(Transaction *txn, Tuple tuple) {
+Result<SlotId> Table::TryInsert(Transaction *txn, Tuple tuple) {
   auto *version = new VersionNode();
   version->owner.store(txn->txn_id(), std::memory_order_release);
-  version->data = std::move(tuple);
 
   WorkStats &ws = WorkStats::Current();
   ws.tuples_processed++;
-  ws.bytes_written += TupleSize(version->data);
+  ws.bytes_written += TupleSize(tuple);
   ws.allocations++;
-  ws.alloc_bytes += sizeof(VersionNode) + TupleSize(version->data);
+  ws.alloc_bytes += sizeof(VersionNode) + TupleSize(tuple);
 
-  SlotId slot;
-  {
-    append_latch_.LockExclusive();
-    slot = next_slot_.load(std::memory_order_relaxed);
-    slots_.emplace_back();
-    slots_.back().head.store(version, std::memory_order_release);
-    next_slot_.store(slot + 1, std::memory_order_release);
-    append_latch_.UnlockExclusive();
+  if (storage_ == TableStorage::kDisk) {
+    // Append the payload before publishing the version so a visible disk
+    // version always has a fetchable location.
+    SlotId slot;
+    {
+      SpinLatch::ScopedLock guard(&append_latch_);
+      slot = next_slot_.load(std::memory_order_relaxed);
+      Result<RowLocation> loc = heap_->AppendRow(slot, tuple);
+      if (!loc.ok()) {
+        delete version;
+        return loc.status();
+      }
+      version->loc = *loc;
+      const size_t k = ChunkIndex(slot);
+      TupleSlot *chunk = chunks_[k].load(std::memory_order_relaxed);
+      if (chunk == nullptr) {
+        chunk = new TupleSlot[ChunkCapacity(k)];
+        chunks_[k].store(chunk, std::memory_order_release);
+      }
+      chunk[slot - ChunkBase(k)].head.store(version,
+                                            std::memory_order_release);
+      next_slot_.store(slot + 1, std::memory_order_release);
+    }
+    live_rows_.fetch_add(1, std::memory_order_relaxed);
+    txn->RecordWrite(WriteRecord{this, slot, version, nullptr, /*is_insert=*/true});
+    txn->RecordRedo(RedoRecord{LogOpType::kInsert, table_id_, slot, std::move(tuple)});
+    return slot;
   }
 
+  version->data = std::move(tuple);
+  SlotId slot;
+  {
+    SpinLatch::ScopedLock guard(&append_latch_);
+    slot = next_slot_.load(std::memory_order_relaxed);
+    const size_t k = ChunkIndex(slot);
+    TupleSlot *chunk = chunks_[k].load(std::memory_order_relaxed);
+    if (chunk == nullptr) {
+      chunk = new TupleSlot[ChunkCapacity(k)];
+      chunks_[k].store(chunk, std::memory_order_release);
+    }
+    chunk[slot - ChunkBase(k)].head.store(version, std::memory_order_release);
+    next_slot_.store(slot + 1, std::memory_order_release);
+  }
+  live_rows_.fetch_add(1, std::memory_order_relaxed);
   txn->RecordWrite(WriteRecord{this, slot, version, nullptr, /*is_insert=*/true});
   txn->RecordRedo(RedoRecord{LogOpType::kInsert, table_id_, slot, version->data});
   return slot;
+}
+
+SlotId Table::Insert(Transaction *txn, Tuple tuple) {
+  Result<SlotId> slot = TryInsert(txn, std::move(tuple));
+  MB2_ASSERT(slot.ok(), "Insert on a failing heap; use TryInsert");
+  return *slot;
 }
 
 namespace {
@@ -81,18 +137,29 @@ Status Table::Update(Transaction *txn, SlotId slot, Tuple new_tuple) {
 
   auto *version = new VersionNode();
   version->owner.store(txn->txn_id(), std::memory_order_release);
-  version->data = std::move(new_tuple);
-  version->next = head;
-  s->head.store(version, std::memory_order_release);
+  if (storage_ == TableStorage::kDisk) {
+    Result<RowLocation> loc = heap_->AppendRow(slot, new_tuple);
+    if (!loc.ok()) {
+      delete version;
+      return loc.status();
+    }
+    version->loc = *loc;
+  }
 
   WorkStats &ws = WorkStats::Current();
   ws.tuples_processed++;
-  ws.bytes_written += TupleSize(version->data);
+  ws.bytes_written += TupleSize(new_tuple);
   ws.allocations++;
-  ws.alloc_bytes += sizeof(VersionNode) + TupleSize(version->data);
+  ws.alloc_bytes += sizeof(VersionNode) + TupleSize(new_tuple);
+
+  txn->RecordRedo(RedoRecord{LogOpType::kUpdate, table_id_, slot, new_tuple});
+  if (storage_ != TableStorage::kDisk) {
+    version->data = std::move(new_tuple);
+  }
+  version->next = head;
+  s->head.store(version, std::memory_order_release);
 
   txn->RecordWrite(WriteRecord{this, slot, version, live, /*is_insert=*/false});
-  txn->RecordRedo(RedoRecord{LogOpType::kUpdate, table_id_, slot, version->data});
   return Status::Ok();
 }
 
@@ -119,6 +186,7 @@ Status Table::Delete(Transaction *txn, SlotId slot) {
   version->deleted = true;
   version->next = head;
   s->head.store(version, std::memory_order_release);
+  live_rows_.fetch_sub(1, std::memory_order_relaxed);
 
   WorkStats &ws = WorkStats::Current();
   ws.tuples_processed++;
@@ -131,13 +199,33 @@ Status Table::Delete(Transaction *txn, SlotId slot) {
 }
 
 bool Table::Select(const Transaction *txn, SlotId slot, Tuple *out) const {
-  const VersionNode *node = slots_[slot].head.load(std::memory_order_acquire);
+  const VersionNode *node = Head(slot);
   WorkStats::Current().tuples_processed++;
   while (node != nullptr) {
     if (node->VisibleTo(txn->read_ts(), txn->txn_id())) {
       if (node->deleted) return false;
+      if (storage_ == TableStorage::kDisk) {
+        if (!heap_->FetchRow(node->loc, out).ok()) return false;
+      } else {
+        *out = node->data;
+      }
+      WorkStats::Current().bytes_read += TupleSize(*out);
+      return true;
+    }
+    node = node->next;
+  }
+  return false;
+}
+
+bool Table::ReadVisible(SlotId slot, uint64_t read_ts, Tuple *out) const {
+  const VersionNode *node = Head(slot);
+  while (node != nullptr) {
+    if (node->VisibleTo(read_ts, /*reader_txn=*/0)) {
+      if (node->deleted) return false;
+      if (storage_ == TableStorage::kDisk) {
+        return heap_->FetchRow(node->loc, out).ok();
+      }
       *out = node->data;
-      WorkStats::Current().bytes_read += TupleSize(node->data);
       return true;
     }
     node = node->next;
@@ -149,7 +237,7 @@ uint64_t Table::VisibleCount(uint64_t read_ts) const {
   uint64_t count = 0;
   const SlotId n = NumSlots();
   for (SlotId i = 0; i < n; i++) {
-    const VersionNode *node = slots_[i].head.load(std::memory_order_acquire);
+    const VersionNode *node = Head(i);
     while (node != nullptr) {
       if (node->VisibleTo(read_ts, /*reader_txn=*/0)) {
         if (!node->deleted) count++;
@@ -166,7 +254,7 @@ uint64_t Table::GarbageCollect(uint64_t oldest_active_ts,
   uint64_t unlinked = 0;
   const SlotId n = NumSlots();
   for (SlotId i = 0; i < n; i++) {
-    TupleSlot *s = &slots_[i];
+    TupleSlot *s = GetSlot(i);
     SpinLatch::ScopedLock guard(&s->latch);
     VersionNode *node = s->head.load(std::memory_order_acquire);
     if (node == nullptr) continue;
@@ -200,12 +288,19 @@ uint64_t Table::GarbageCollect(uint64_t oldest_active_ts,
 void Table::RollbackWrite(const WriteRecord &record) {
   // Mark the aborted version permanently invisible rather than freeing it:
   // concurrent readers may still be traversing the chain. The GC reclaims it
-  // once the slot is superseded by a later committed write.
+  // once the slot is superseded by a later committed write. (A disk table's
+  // heap row stays orphaned in its page until restart — nothing references
+  // it.)
   TupleSlot *s = GetSlot(record.slot);
   SpinLatch::ScopedLock guard(&s->latch);
   record.version->begin_ts.store(0, std::memory_order_release);
   record.version->end_ts.store(0, std::memory_order_release);
   record.version->owner.store(kNoOwner, std::memory_order_release);
+  if (record.is_insert) {
+    live_rows_.fetch_sub(1, std::memory_order_relaxed);
+  } else if (record.version->deleted) {
+    live_rows_.fetch_add(1, std::memory_order_relaxed);
+  }
 }
 
 }  // namespace mb2

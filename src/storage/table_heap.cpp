@@ -1,0 +1,65 @@
+#include "storage/table_heap.h"
+
+namespace mb2 {
+
+Result<RowLocation> TableHeap::AppendRow(SlotId slot, const Tuple &row) {
+  if (page::RowBytes(row) > kPagePayloadBytes) {
+    return Status::InvalidArgument(
+        "row of " + std::to_string(page::RowBytes(row)) +
+        " bytes exceeds heap page payload capacity");
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!pages_.empty()) {
+    const PageId tail_id = pages_.back();
+    Page *page = nullptr;
+    Status s = pool_->Pin(tail_id, &page);
+    if (!s.ok()) return s;
+    if (page::AppendRow(page, slot, row)) {
+      const RowLocation loc{tail_id, tail_rows_};
+      tail_rows_++;
+      pool_->Unpin(tail_id, /*dirty=*/true);
+      return loc;
+    }
+    pool_->Unpin(tail_id, /*dirty=*/false);  // full; fall through to a new page
+  }
+  PageId fresh = kInvalidPageId;
+  Page *page = nullptr;
+  Status s = pool_->NewPage(&fresh, &page);
+  if (!s.ok()) return s;
+  const bool appended = page::AppendRow(page, slot, row);
+  MB2_ASSERT(appended, "row must fit an empty page");
+  pool_->Unpin(fresh, /*dirty=*/true);
+  pages_.push_back(fresh);
+  tail_rows_ = 1;
+  return RowLocation{fresh, 0};
+}
+
+Status TableHeap::FetchRow(const RowLocation &loc, Tuple *out) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Page *page = nullptr;
+  Status s = pool_->Pin(loc.page_id, &page);
+  if (!s.ok()) return s;
+  s = page::DecodeRowAt(*page, loc.index, out);
+  pool_->Unpin(loc.page_id, /*dirty=*/false);
+  return s;
+}
+
+Status TableHeap::ScanRows(std::vector<HeapRow> *out) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const PageId id : pages_) {
+    Page *page = nullptr;
+    Status s = pool_->Pin(id, &page);
+    if (!s.ok()) return s;
+    s = page::DecodeRows(*page, id, out);
+    pool_->Unpin(id, /*dirty=*/false);
+    if (!s.ok()) return s;
+  }
+  return Status::Ok();
+}
+
+uint64_t TableHeap::NumPages() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return pages_.size();
+}
+
+}  // namespace mb2

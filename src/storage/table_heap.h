@@ -1,0 +1,62 @@
+#pragma once
+
+/// \file table_heap.h
+/// Per-table payload heap for disk-backed tables (DESIGN.md §4i). Version
+/// payloads are appended to 4 KiB pages obtained from the shared BufferPool;
+/// the in-memory MVCC version chains keep a RowLocation instead of an inline
+/// tuple, and visibility remains entirely the version chains' concern. The
+/// heap is append-only: updates append the new payload, deletes write no
+/// payload (tombstone versions live only in the chain), and space held by
+/// GC'd versions is not reclaimed — the WAL is the durability story, and a
+/// restart replays it into a fresh heap.
+///
+/// All operations serialize on one mutex. That makes concurrent appenders
+/// and scanners safe at the cost of heap-level parallelism — an accepted
+/// tradeoff at this engine's scale (the buffer pool below has its own lock,
+/// and page I/O dominates).
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/status.h"
+#include "storage/buffer_pool.h"
+#include "storage/page.h"
+
+namespace mb2 {
+
+class TableHeap {
+ public:
+  explicit TableHeap(BufferPool *pool) : pool_(pool) {}
+  MB2_DISALLOW_COPY_AND_MOVE(TableHeap);
+
+  /// Appends one row payload for `slot`, returning where it landed.
+  Result<RowLocation> AppendRow(SlotId slot, const Tuple &row);
+
+  /// Reads back the payload at `loc`.
+  Status FetchRow(const RowLocation &loc, Tuple *out);
+
+  /// Decodes every row record of every page into `*out`, page-sequentially.
+  /// Output order is (page, index) append order, not slot order. The caller
+  /// filters by MVCC visibility (matching each row's location against the
+  /// slot's visible version).
+  Status ScanRows(std::vector<HeapRow> *out);
+
+  /// Pages this table's heap occupies.
+  uint64_t NumPages() const;
+
+  BufferPool *pool() { return pool_; }
+
+ private:
+  BufferPool *pool_;
+
+  mutable std::mutex mutex_;
+  /// This table's pages, in append order. Page ids come from the shared
+  /// DiskManager, so they are not contiguous across tables.
+  std::vector<PageId> pages_;
+  /// Rows already appended to the tail page (index of the next append).
+  uint32_t tail_rows_ = 0;
+};
+
+}  // namespace mb2

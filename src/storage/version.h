@@ -19,13 +19,31 @@ constexpr uint64_t kInfinityTs = UINT64_MAX - 1;
 /// Owner id meaning "no uncommitted writer".
 constexpr uint64_t kNoOwner = 0;
 
+/// Identifier of one 4 KiB heap page in a table's disk heap file.
+using PageId = uint64_t;
+constexpr PageId kInvalidPageId = UINT64_MAX;
+
+/// Where a disk-backed table stores a version's payload: (page, row index
+/// within the page). Memory-table versions and tombstones carry the invalid
+/// sentinel and keep their payload inline in `data`.
+struct RowLocation {
+  PageId page_id = kInvalidPageId;
+  uint32_t index = 0;
+
+  bool valid() const { return page_id != kInvalidPageId; }
+  bool operator==(const RowLocation &o) const {
+    return page_id == o.page_id && index == o.index;
+  }
+};
+
 struct VersionNode {
   std::atomic<uint64_t> begin_ts{kUncommittedTs};
   std::atomic<uint64_t> end_ts{kInfinityTs};
   /// Transaction id of the uncommitted writer; kNoOwner once resolved.
   std::atomic<uint64_t> owner{kNoOwner};
   bool deleted = false;  ///< tombstone version (logical delete)
-  Tuple data;
+  Tuple data;            ///< inline payload (memory tables); empty for disk rows
+  RowLocation loc;       ///< heap payload location (disk tables only)
   VersionNode *next = nullptr;  ///< older version
 
   /// Visibility test for a reader.

@@ -17,8 +17,8 @@ namespace {
 
 // --- Descriptors ---------------------------------------------------------------
 
-TEST(OuDescriptorTest, AllNineteenOusDescribed) {
-  EXPECT_EQ(kNumOuTypes, 19u);
+TEST(OuDescriptorTest, AllTwentyTwoOusDescribed) {
+  EXPECT_EQ(kNumOuTypes, 22u);
   std::set<std::string> names;
   for (size_t t = 0; t < kNumOuTypes; t++) {
     const OuDescriptor &d = GetOuDescriptor(static_cast<OuType>(t));
@@ -39,6 +39,17 @@ TEST(OuDescriptorTest, PaperFeatureCounts) {
   EXPECT_EQ(GetOuDescriptor(OuType::kLogSerialize).feature_names.size(), 4u);
   EXPECT_EQ(GetOuDescriptor(OuType::kLogFlush).feature_names.size(), 3u);
   EXPECT_EQ(GetOuDescriptor(OuType::kTxnBegin).feature_names.size(), 2u);
+}
+
+TEST(OuDescriptorTest, PageOuDescriptors) {
+  // Block-I/O OUs (DESIGN.md 4i): batch-class, low-dimensional, with the
+  // miss-count feature second in PAGE_READ (what the translator estimates).
+  EXPECT_EQ(GetOuDescriptor(OuType::kPageRead).feature_names.size(), 4u);
+  EXPECT_EQ(GetOuDescriptor(OuType::kPageWrite).feature_names.size(), 3u);
+  EXPECT_EQ(GetOuDescriptor(OuType::kPageEvict).feature_names.size(), 2u);
+  EXPECT_EQ(GetOuDescriptor(OuType::kPageRead).ou_class, OuClass::kBatch);
+  EXPECT_EQ(GetOuDescriptor(OuType::kPageWrite).ou_class, OuClass::kBatch);
+  EXPECT_EQ(GetOuDescriptor(OuType::kPageEvict).ou_class, OuClass::kBatch);
 }
 
 TEST(OuDescriptorTest, ClassesMatchTable1) {

@@ -515,6 +515,52 @@ TEST_F(ReplicationPairTest, PromotedPrimaryServesTheContinuousStream) {
   promoted_server.Stop();
 }
 
+// Regression for count-based tip-history pruning: the source used to cap
+// `tip_history_` at 256 entries, so a commit burst evicted the checkpoint a
+// slow-but-healthy replica was still behind and mb2_repl_lag_ms collapsed
+// to ~0. Pruning is now by age against `repl_replica_stale_ms`, so the old
+// checkpoint survives the burst and the reported lag keeps growing.
+TEST_F(ReplicationPairTest, LagSurvivesCommitBurstBeyondOldHistoryCap) {
+  // A slow replica subscribes at 0 and never applies anything.
+  net::ReplSubscribeRequest slow;
+  slow.replica_id = "slow";
+  net::ReplSubscribeResponseBody sub_out;
+  ASSERT_TRUE(source_->Subscribe(slow, &sub_out).ok());
+  // A fast replica acks every commit, making the source observe each tip.
+  net::ReplSubscribeRequest fast;
+  fast.replica_id = "fast";
+  ASSERT_TRUE(source_->Subscribe(fast, &sub_out).ok());
+
+  // One durable commit establishes the checkpoint the slow replica is
+  // behind (wal_sync_commit=1: the tip advances with the statement).
+  ASSERT_TRUE(primary_->Execute("INSERT INTO t VALUES (0, 'x', 0.0)").ok());
+  net::ReplAckRequest fast_ack;
+  fast_ack.replica_id = "fast";
+  fast_ack.applied_offset = source_->durable_tip();
+  ASSERT_TRUE(source_->Ack(fast_ack).ok());
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(80));
+
+  // Burst: 300 durable commits, each tip acked by the fast replica — more
+  // observations than the old 256-entry cap could hold.
+  for (int i = 1; i <= 300; i++) {
+    ASSERT_TRUE(primary_->Execute("INSERT INTO t VALUES (" + std::to_string(i) +
+                                  ", 'b', 1.0)")
+                    .ok());
+    fast_ack.applied_offset = source_->durable_tip();
+    ASSERT_TRUE(source_->Ack(fast_ack).ok());
+  }
+
+  // The slow replica reports in, still at offset 0: its lag is the age of
+  // the pre-sleep checkpoint, not of whatever survived a count-based prune.
+  net::ReplAckRequest slow_ack;
+  slow_ack.replica_id = "slow";
+  slow_ack.applied_offset = 0;
+  ASSERT_TRUE(source_->Ack(slow_ack).ok());
+  EXPECT_GE(MetricsRegistry::Instance().GetGauge("mb2_repl_lag_ms").Value(),
+            50.0);
+}
+
 TEST_F(ReplicationPairTest, DeadReplicaStopsPinningLagGauges) {
   // A second replica subscribes once and dies without ever acking.
   net::ReplSubscribeRequest ghost;
