@@ -65,6 +65,40 @@ int main(int argc, char **argv) {
     std::printf("GET_METRICS ok: %zu bytes of JSON\n", metrics.value().size());
   }
 
+  // Controller introspection: what the autonomy daemon has done and why.
+  auto ctrl = client.CtrlStatus();
+  if (ctrl.ok()) {
+    const net::CtrlStatusBody &b = ctrl.value();
+    if (!b.attached) {
+      std::printf("CTRL_STATUS ok: no controller attached\n");
+    } else {
+      std::printf(
+          "CTRL_STATUS ok: %s, ticks=%llu templates=%llu queries=%llu "
+          "applied=%llu rolled_back=%llu retrained=%llu\n",
+          b.running ? "running" : "stopped",
+          static_cast<unsigned long long>(b.status.ticks),
+          static_cast<unsigned long long>(b.status.templates_tracked),
+          static_cast<unsigned long long>(b.status.queries_observed),
+          static_cast<unsigned long long>(b.status.actions_applied),
+          static_cast<unsigned long long>(b.status.actions_rolled_back),
+          static_cast<unsigned long long>(b.status.ous_retrained));
+      for (const ctrl::Decision &d : b.status.decisions) {
+        std::printf("  [%s] %s (predicted %.1f -> %.1f us, observed "
+                    "%.1f -> %.1f us)\n",
+                    d.kind.c_str(), d.action.c_str(), d.predicted_baseline_us,
+                    d.predicted_benefit_us, d.observed_before_us,
+                    d.observed_after_us);
+      }
+      std::printf("  knob changes: %llu total, %zu in the audit ring\n",
+                  static_cast<unsigned long long>(b.knob_changes_total),
+                  b.knob_changes.size());
+      for (const KnobChange &kc : b.knob_changes) {
+        std::printf("  knob %s: %.6g -> %.6g (source %s)\n", kc.name.c_str(),
+                    kc.old_value, kc.new_value, kc.source.c_str());
+      }
+    }
+  }
+
   const net::Client::Stats stats = client.stats();
   std::printf("client: %llu round-trips, %llu retries, %llu dials\n",
               static_cast<unsigned long long>(stats.requests),

@@ -14,10 +14,19 @@
 // itself within repl_failover_grace_ms, draining the shared WAL file to its
 // durable tip before admitting writes.
 //
+// Autonomy: pass --controller to start the autonomous controller daemon
+// alongside the server. It ingests the live SQL stream, forecasts per-
+// template arrival rates, prices candidate actions (indexes, knobs) with
+// the trained behavior models, applies the best one online, and rolls back
+// actions whose observed impact diverges from the prediction. Probe it with
+// the CTRL_STATUS opcode (net_client) or GET_METRICS (mb2_ctrl_* series).
+//
 // Knobs (tunable live through the SettingsManager, e.g. by the self-driving
 // planner): net_worker_threads (applied at start), net_queue_depth and
 // net_default_deadline_ms (re-read on every admission decision),
-// repl_heartbeat_ms / repl_batch_bytes / repl_failover_grace_ms.
+// repl_heartbeat_ms / repl_batch_bytes / repl_failover_grace_ms,
+// ctrl_interval_ms / ctrl_cooldown_ms / ctrl_min_benefit_pct /
+// ctrl_rollback_tolerance_pct.
 
 #include <chrono>
 #include <csignal>
@@ -27,6 +36,7 @@
 #include <string>
 #include <thread>
 
+#include "ctrl/controller.h"
 #include "database.h"
 #include "modeling/model_bot.h"
 #include "net/server.h"
@@ -45,10 +55,13 @@ int main(int argc, char **argv) {
   enum class Role { kStandalone, kPrimary, kFollower } role = Role::kStandalone;
   uint16_t port = 7432;
   uint16_t primary_port = 7432;
+  bool with_controller = false;
   std::string wal_path = "/tmp/mb2_primary.wal";
   std::string copy_path = "/tmp/mb2_copy.wal";
   for (int i = 1; i < argc; i++) {
-    if (std::strcmp(argv[i], "--primary") == 0) {
+    if (std::strcmp(argv[i], "--controller") == 0) {
+      with_controller = true;
+    } else if (std::strcmp(argv[i], "--primary") == 0) {
       role = Role::kPrimary;
       if (i + 1 < argc && argv[i + 1][0] != '-') {
         port = static_cast<uint16_t>(std::atoi(argv[++i]));
@@ -98,6 +111,21 @@ int main(int argc, char **argv) {
   opts.port = port;
   opts.num_reactors = 2;
   net::Server server(&db, &bot, opts);
+
+  // Autonomous controller: attaches its workload stream to the database
+  // (every SQL_QUERY feeds the forecast) and runs the decision loop on its
+  // own thread at ctrl_interval_ms.
+  std::unique_ptr<ctrl::Controller> controller;
+  if (with_controller) {
+    ctrl::ControllerConfig cconf;
+    cconf.forecast.interval_s =
+        static_cast<double>(db.settings().GetInt("ctrl_interval_ms")) / 1000.0;
+    controller = std::make_unique<ctrl::Controller>(&db, &bot, cconf);
+    server.set_controller(controller.get());
+    controller->Start();
+    std::printf("autonomous controller running (interval %lld ms)\n",
+                static_cast<long long>(db.settings().GetInt("ctrl_interval_ms")));
+  }
 
   // Replication wiring (primary ships, follower applies + can be promoted).
   std::unique_ptr<repl::ReplicationSource> source;
@@ -159,6 +187,7 @@ int main(int argc, char **argv) {
   }
 
   std::printf("\ndraining...\n");
+  if (controller) controller->Stop();
   if (coordinator) coordinator->Stop();
   if (node) node->Stop();
   server.Stop();

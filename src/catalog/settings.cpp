@@ -1,5 +1,8 @@
 #include "catalog/settings.h"
 
+#include "metrics/metrics_collector.h"
+#include "obs/metrics_registry.h"
+
 namespace mb2 {
 
 SettingsManager::SettingsManager() {
@@ -47,6 +50,15 @@ SettingsManager::SettingsManager() {
   // returns (committed == durable; what the chaos harness asserts on).
   // 0 = group flush on log_flush_interval_us, the paper's default.
   knobs_["wal_sync_commit"] = {0.0, KnobKind::kBehavior};
+  // Autonomous controller (src/ctrl, DESIGN.md §4j). All hot-read each tick:
+  // the loop period, the minimum gap between applied actions, the predicted
+  // improvement (percent of baseline latency) required before acting, and
+  // how much worse than the pre-action baseline the observed latency may get
+  // before the action is rolled back.
+  knobs_["ctrl_interval_ms"] = {1000.0, KnobKind::kBehavior};
+  knobs_["ctrl_cooldown_ms"] = {5000.0, KnobKind::kBehavior};
+  knobs_["ctrl_min_benefit_pct"] = {5.0, KnobKind::kBehavior};
+  knobs_["ctrl_rollback_tolerance_pct"] = {25.0, KnobKind::kBehavior};
 }
 
 int64_t SettingsManager::GetInt(const std::string &name) const {
@@ -63,16 +75,43 @@ double SettingsManager::GetDouble(const std::string &name) const {
   return it->second.value;
 }
 
-Status SettingsManager::SetInt(const std::string &name, int64_t value) {
-  return SetDouble(name, static_cast<double>(value));
+Status SettingsManager::SetInt(const std::string &name, int64_t value,
+                               const std::string &source) {
+  return SetDouble(name, static_cast<double>(value), source);
 }
 
-Status SettingsManager::SetDouble(const std::string &name, double value) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  auto it = knobs_.find(name);
-  if (it == knobs_.end()) return Status::NotFound("unknown knob: " + name);
-  it->second.value = value;
+Status SettingsManager::SetDouble(const std::string &name, double value,
+                                  const std::string &source) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = knobs_.find(name);
+    if (it == knobs_.end()) return Status::NotFound("unknown knob: " + name);
+    KnobChange change;
+    change.name = name;
+    change.old_value = it->second.value;
+    change.new_value = value;
+    change.source = source;
+    change.time_us = NowMicros();
+    it->second.value = value;
+    if (audit_.size() >= kAuditCapacity) audit_.pop_front();
+    audit_.push_back(std::move(change));
+    total_changes_++;
+  }
+  // Counter registration takes the registry lock; keep it outside ours.
+  MetricsRegistry::Instance()
+      .GetCounter("mb2_knob_changes_total{source=\"" + source + "\"}")
+      .Add();
   return Status::Ok();
+}
+
+std::vector<KnobChange> SettingsManager::History() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return {audit_.begin(), audit_.end()};
+}
+
+uint64_t SettingsManager::total_changes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return total_changes_;
 }
 
 KnobKind SettingsManager::Kind(const std::string &name) const {

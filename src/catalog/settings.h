@@ -8,14 +8,29 @@
 /// knobs through this manager.
 
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <mutex>
 #include <string>
+#include <vector>
 
 #include "common/macros.h"
 #include "common/status.h"
 
 namespace mb2 {
+
+/// One audited knob change: old→new value, when, and who asked for it
+/// ("manual" operator/test code, "controller" for the autonomous daemon,
+/// "planner-whatif" for transient hypothetical evaluations). The manager
+/// keeps a bounded ring of these so controller decisions can be debugged
+/// after the fact (CTRL_STATUS / GET_METRICS expose them).
+struct KnobChange {
+  std::string name;
+  double old_value = 0.0;
+  double new_value = 0.0;
+  std::string source;
+  int64_t time_us = 0;  ///< µs since process start (metrics timeline)
+};
 
 /// Query execution strategy. Interpret runs Volcano-style iterators with
 /// virtual dispatch; Compiled runs fused, batched pipelines (our stand-in
@@ -33,8 +48,19 @@ class SettingsManager {
 
   int64_t GetInt(const std::string &name) const;
   double GetDouble(const std::string &name) const;
-  Status SetInt(const std::string &name, int64_t value);
-  Status SetDouble(const std::string &name, double value);
+  /// `source` attributes the change in the audit trail ("manual" default;
+  /// the controller passes "controller"). No-op values are still audited —
+  /// an explicit SET to the current value is an operator decision too.
+  Status SetInt(const std::string &name, int64_t value,
+                const std::string &source = "manual");
+  Status SetDouble(const std::string &name, double value,
+                   const std::string &source = "manual");
+
+  /// The retained knob-change audit ring, oldest first (bounded at
+  /// kAuditCapacity; older entries are dropped).
+  std::vector<KnobChange> History() const;
+  uint64_t total_changes() const;  ///< lifetime count, incl. dropped entries
+  static constexpr size_t kAuditCapacity = 256;
 
   ExecutionMode GetExecutionMode() const {
     return static_cast<ExecutionMode>(GetInt("execution_mode"));
@@ -63,6 +89,10 @@ class SettingsManager {
   ///   repl_replica_stale_ms   ack age before a replica leaves lag (behavior)
   ///   buffer_pool_pages       disk-heap page cache frames (hot)  (resource)
   ///   wal_sync_commit         1 = flush WAL before commit returns (behavior)
+  ///   ctrl_interval_ms        controller decision-loop period    (behavior)
+  ///   ctrl_cooldown_ms        min gap between applied actions    (behavior)
+  ///   ctrl_min_benefit_pct    predicted improvement to act       (behavior)
+  ///   ctrl_rollback_tolerance_pct observed-regression rollback bar (behavior)
 
  private:
   struct Knob {
@@ -74,6 +104,8 @@ class SettingsManager {
   /// itself is fixed at construction; only values change.
   mutable std::mutex mutex_;
   std::map<std::string, Knob> knobs_;
+  std::deque<KnobChange> audit_;
+  uint64_t total_changes_ = 0;
 };
 
 }  // namespace mb2

@@ -1,0 +1,59 @@
+#pragma once
+
+/// \file candidates.h
+/// Candidate-action generation for the autonomous controller (the "search
+/// space" half of Sec 8.7's planning loop; the Planner prices whatever this
+/// proposes). Three families:
+///
+///   * CREATE INDEX: the forecasted templates are re-planned under the
+///     current catalog; any sequential scan filtered by a comparison against
+///     a column of a sufficiently large table, with no ready index keyed on
+///     that column, yields a `ctrl_<table>_<col>` single-column candidate.
+///   * DROP INDEX: controller-created (`ctrl_`-prefixed) indexes that no
+///     forecasted template's plan uses any more become drop candidates —
+///     the controller only un-does its own work, never operator DDL.
+///   * knob flips: a bounded palette per tunable knob (execution mode,
+///     GC/flush intervals, plan-cache capacity, net queue depth, buffer
+///     pool size), skipping values equal to the current setting.
+///
+/// Generation is pure inspection — no catalog or settings mutation — so it
+/// can run every tick.
+
+#include <string>
+#include <vector>
+
+#include "selfdriving/action.h"
+
+namespace mb2 {
+class Database;
+}
+
+namespace mb2::ctrl {
+
+struct TemplateForecast;
+
+struct CandidateConfig {
+  /// Tables smaller than this never get index candidates (a scan that fits
+  /// in cache is cheaper than maintaining a tree).
+  uint64_t min_table_rows = 1000;
+  /// Parallelism for candidate index builds.
+  uint32_t index_build_threads = 4;
+  /// Enable each family independently (tests and the bench narrow the space).
+  bool propose_indexes = true;
+  bool propose_drops = true;
+  bool propose_knobs = true;
+};
+
+/// Name a controller-owned index for (table, column).
+std::string ControllerIndexName(const std::string &table,
+                                const std::string &column);
+
+/// Enumerate candidate actions for the forecasted workload. `forecast` maps
+/// template key -> forecast (only `sql` is consulted here; rates matter to
+/// the Planner, not to enumeration).
+std::vector<Action> GenerateCandidates(
+    Database *db,
+    const std::vector<const TemplateForecast *> &forecast,
+    const CandidateConfig &config = CandidateConfig());
+
+}  // namespace mb2::ctrl

@@ -1,0 +1,61 @@
+#pragma once
+
+/// \file clock.h
+/// Injectable clock for the autonomous controller. Production uses the
+/// steady-clock-backed SystemClock; tests inject a FakeClock and drive the
+/// decision loop tick by tick, so every controller test is deterministic —
+/// no sleeps, no wall-clock races.
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+namespace mb2::ctrl {
+
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  /// Monotonic microseconds (an arbitrary epoch; only differences matter).
+  virtual int64_t NowUs() = 0;
+  /// Sleeps up to `us`, returning early (true) when `wake` is signalled —
+  /// the controller's Stop() path must not wait out a full interval.
+  virtual bool SleepUs(int64_t us, std::condition_variable *wake,
+                       std::mutex *mutex, const std::atomic<bool> *stop) = 0;
+};
+
+class SystemClock final : public Clock {
+ public:
+  int64_t NowUs() override {
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+  bool SleepUs(int64_t us, std::condition_variable *wake, std::mutex *mutex,
+               const std::atomic<bool> *stop) override {
+    std::unique_lock<std::mutex> lock(*mutex);
+    return wake->wait_for(lock, std::chrono::microseconds(us), [stop] {
+      return stop->load(std::memory_order_acquire);
+    });
+  }
+};
+
+/// Manually advanced clock. SleepUs never blocks: tests call Tick() on the
+/// controller directly and Advance() between ticks.
+class FakeClock final : public Clock {
+ public:
+  explicit FakeClock(int64_t start_us = 0) : now_us_(start_us) {}
+  int64_t NowUs() override { return now_us_.load(std::memory_order_acquire); }
+  bool SleepUs(int64_t us, std::condition_variable *, std::mutex *,
+               const std::atomic<bool> *stop) override {
+    now_us_.fetch_add(us, std::memory_order_acq_rel);
+    return stop != nullptr && stop->load(std::memory_order_acquire);
+  }
+  void Advance(int64_t us) { now_us_.fetch_add(us, std::memory_order_acq_rel); }
+
+ private:
+  std::atomic<int64_t> now_us_;
+};
+
+}  // namespace mb2::ctrl

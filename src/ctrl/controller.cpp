@@ -1,0 +1,277 @@
+#include "ctrl/controller.h"
+
+#include <algorithm>
+#include <iterator>
+
+#include "obs/metrics_registry.h"
+#include "sql/parser.h"
+
+namespace mb2::ctrl {
+
+Controller::Controller(Database *db, ModelBot *models, ControllerConfig config,
+                       Clock *clock)
+    : db_(db),
+      models_(models),
+      config_(std::move(config)),
+      clock_(clock),
+      forecaster_(config_.forecast),
+      planner_(db, models) {
+  if (clock_ == nullptr) {
+    owned_clock_ = std::make_unique<SystemClock>();
+    clock_ = owned_clock_.get();
+  }
+  db_->set_workload_stream(&stream_);
+}
+
+Controller::~Controller() {
+  Stop();
+  // Detach only if the hook still points at our stream (another controller
+  // may have replaced it).
+  if (db_->workload_stream() == &stream_) db_->set_workload_stream(nullptr);
+}
+
+void Controller::Start() {
+  if (running_.exchange(true, std::memory_order_acq_rel)) return;
+  stop_.store(false, std::memory_order_release);
+  loop_ = std::thread([this] { RunLoop(); });
+}
+
+void Controller::Stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  {
+    std::lock_guard<std::mutex> lock(wake_mutex_);
+    stop_.store(true, std::memory_order_release);
+  }
+  wake_.notify_all();
+  if (loop_.joinable()) loop_.join();
+}
+
+void Controller::RunLoop() {
+  while (!stop_.load(std::memory_order_acquire)) {
+    // Re-read the period each cycle: ctrl_interval_ms is hot-tunable (even
+    // by the controller itself, in principle).
+    const int64_t interval_us =
+        db_->settings().GetInt("ctrl_interval_ms") * 1000;
+    if (clock_->SleepUs(interval_us, &wake_, &wake_mutex_, &stop_)) break;
+    if (stop_.load(std::memory_order_acquire)) break;
+    Tick();
+  }
+}
+
+WorkloadForecast Controller::Replan() {
+  WorkloadForecast forecast;
+  forecast.interval_s = config_.forecast.interval_s;
+  forecast.num_threads = config_.workload_threads;
+  replan_plans_.clear();
+  for (const auto &[key, tmpl] : last_forecast_) {
+    if (tmpl.sql.empty()) continue;
+    auto bound = sql::Parse(db_, tmpl.sql);
+    if (!bound.ok() || bound.value().plan == nullptr) continue;
+    replan_plans_.push_back(std::move(bound.value().plan));
+    ForecastEntry entry;
+    entry.plan = replan_plans_.back().get();
+    entry.arrival_rate = tmpl.rate_per_s;
+    entry.label = key;
+    forecast.entries.push_back(std::move(entry));
+  }
+  return forecast;
+}
+
+void Controller::Tick() {
+  const int64_t now = clock_->NowUs();
+  const IntervalObservation interval = stream_.Drain();
+  forecaster_.Ingest(interval);
+  last_forecast_ = forecaster_.Forecast();
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    status_.ticks++;
+    status_.templates_tracked = last_forecast_.size();
+    status_.queries_observed += interval.queries;
+  }
+
+  VerifyPending(interval, now);
+
+  if (config_.check_drift && models_ != nullptr) {
+    const DriftReport report = models_->CheckDrift();
+    if (!report.drifted.empty() && config_.retrain_provider) {
+      const size_t retrained = models_->RetrainDrifted(
+          report, config_.retrain_provider, config_.retrain_algorithms);
+      if (retrained > 0) {
+        {
+          std::lock_guard<std::mutex> lock(mutex_);
+          status_.ous_retrained += retrained;
+        }
+        Decision d;
+        d.time_us = now;
+        d.action = "retrain " + std::to_string(retrained) + " drifted OU(s)";
+        d.kind = "retrain";
+        LogDecision(std::move(d));
+      }
+    }
+  }
+
+  MaybeAct(interval, now);
+
+  MetricsRegistry::Instance().GetCounter("mb2_ctrl_ticks_total").Add();
+  MetricsRegistry::Instance()
+      .GetGauge("mb2_ctrl_templates_tracked")
+      .Set(static_cast<double>(last_forecast_.size()));
+}
+
+void Controller::VerifyPending(const IntervalObservation &interval,
+                               int64_t now_us) {
+  if (!pending_.has_value()) return;
+
+  if (interval.queries < config_.verify_min_queries) {
+    // No traffic to judge against; wait, but not forever.
+    if (++pending_->intervals_waited >= config_.verify_patience) {
+      Decision d;
+      d.time_us = now_us;
+      d.action = pending_->applied.ToString();
+      d.kind = "verified-idle";
+      d.predicted_baseline_us = pending_->predicted_baseline_us;
+      d.predicted_benefit_us = pending_->predicted_benefit_us;
+      d.observed_before_us = pending_->observed_before_us;
+      LogDecision(std::move(d));
+      pending_.reset();
+      std::lock_guard<std::mutex> lock(mutex_);
+      status_.pending_verification = false;
+    }
+    return;
+  }
+
+  const double before = pending_->observed_before_us;
+  const double after = interval.MeanLatencyUs();
+  const double tolerance_pct =
+      db_->settings().GetDouble("ctrl_rollback_tolerance_pct");
+  const bool regressed =
+      before > 0.0 && after > before * (1.0 + tolerance_pct / 100.0);
+
+  Decision d;
+  d.time_us = now_us;
+  d.action = pending_->applied.ToString();
+  d.predicted_baseline_us = pending_->predicted_baseline_us;
+  d.predicted_benefit_us = pending_->predicted_benefit_us;
+  d.observed_before_us = before;
+  d.observed_after_us = after;
+
+  if (regressed) {
+    const Status undo = pending_->inverse.Apply(db_, "controller");
+    d.kind = undo.ok() ? "rollback" : "rollback-failed";
+    // Anti-flap: the lever that just hurt us is barred for a while even if
+    // the models still like it next tick.
+    barred_until_us_[pending_->applied.Key()] =
+        now_us + config_.flap_bar_ms * 1000;
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (undo.ok()) {
+      status_.actions_rolled_back++;
+    } else {
+      status_.rollback_failures++;
+    }
+    status_.pending_verification = false;
+  } else {
+    d.kind = "verified";
+    std::lock_guard<std::mutex> lock(mutex_);
+    status_.pending_verification = false;
+  }
+  LogDecision(std::move(d));
+  pending_.reset();
+}
+
+void Controller::MaybeAct(const IntervalObservation &interval,
+                          int64_t now_us) {
+  if (pending_.has_value()) return;  // one action in flight at a time
+  if (last_forecast_.empty()) return;
+
+  // Global cooldown between applied actions.
+  const int64_t cooldown_us = db_->settings().GetInt("ctrl_cooldown_ms") * 1000;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (status_.last_action_us != 0 &&
+        now_us - status_.last_action_us < cooldown_us) {
+      return;
+    }
+  }
+
+  std::vector<const TemplateForecast *> forecast;
+  forecast.reserve(last_forecast_.size());
+  for (const auto &[key, tmpl] : last_forecast_) forecast.push_back(&tmpl);
+
+  std::vector<Action> candidates =
+      GenerateCandidates(db_, forecast, config_.candidates);
+
+  // Drop recently rolled-back levers; expire stale bars as we go.
+  for (auto it = barred_until_us_.begin(); it != barred_until_us_.end();) {
+    it = it->second <= now_us ? barred_until_us_.erase(it) : std::next(it);
+  }
+  candidates.erase(
+      std::remove_if(candidates.begin(), candidates.end(),
+                     [this](const Action &a) {
+                       return barred_until_us_.count(a.Key()) > 0;
+                     }),
+      candidates.end());
+  if (candidates.empty()) return;
+
+  auto best = planner_.ChooseBest(candidates, [this] { return Replan(); });
+  if (!best.has_value()) return;
+
+  // Act only when the predicted improvement clears the configured fraction
+  // of the predicted baseline — small wins are not worth perturbing a live
+  // system for (and are within model noise anyway).
+  const double min_benefit_pct =
+      db_->settings().GetDouble("ctrl_min_benefit_pct");
+  if (best->baseline_avg_latency_us <= 0.0 ||
+      best->NetImprovementUs() <
+          best->baseline_avg_latency_us * min_benefit_pct / 100.0) {
+    return;
+  }
+
+  // Capture the inverse from the CURRENT state, then apply.
+  auto inverse = best->action.Inverse(db_);
+  if (!inverse.ok()) return;  // e.g. raced with a concurrent DDL
+
+  const Status applied = best->action.Apply(db_, "controller");
+
+  Decision d;
+  d.time_us = now_us;
+  d.action = best->action.ToString();
+  d.kind = applied.ok() ? "apply" : "apply-failed";
+  d.predicted_baseline_us = best->baseline_avg_latency_us;
+  d.predicted_benefit_us = best->benefit_avg_latency_us;
+  d.observed_before_us = interval.MeanLatencyUs();
+  LogDecision(std::move(d));
+
+  if (!applied.ok()) return;
+
+  PendingVerification pending;
+  pending.applied = best->action;
+  pending.inverse = std::move(inverse.value());
+  pending.observed_before_us = interval.MeanLatencyUs();
+  pending.predicted_baseline_us = best->baseline_avg_latency_us;
+  pending.predicted_benefit_us = best->benefit_avg_latency_us;
+  pending_ = std::move(pending);
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  status_.actions_applied++;
+  status_.last_action_us = now_us;
+  status_.pending_verification = true;
+}
+
+void Controller::LogDecision(Decision decision) {
+  MetricsRegistry::Instance()
+      .GetCounter("mb2_ctrl_decisions_total{kind=\"" + decision.kind + "\"}")
+      .Add();
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (decisions_.size() >= kDecisionLogCapacity) decisions_.pop_front();
+  decisions_.push_back(std::move(decision));
+}
+
+ControllerStatus Controller::GetStatus() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ControllerStatus out = status_;
+  out.decisions.assign(decisions_.begin(), decisions_.end());
+  return out;
+}
+
+}  // namespace mb2::ctrl

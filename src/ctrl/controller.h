@@ -1,0 +1,174 @@
+#pragma once
+
+/// \file controller.h
+/// The autonomous controller daemon — the component that closes MB2's
+/// self-driving loop under live traffic (Sec 3's architecture diagram:
+/// forecast -> behavior models -> planning -> deployment -> observation).
+/// One decision cycle (Tick) does, in order:
+///
+///   1. drain the live WorkloadStream into the Forecaster (one interval of
+///      per-template arrival rates and latencies);
+///   2. verify the previously applied action: if the observed mean latency
+///      regressed beyond `ctrl_rollback_tolerance_pct` of the pre-action
+///      baseline, apply the action's stored Inverse (automatic rollback);
+///   3. run the drift check (ModelBot::CheckDrift) and, when a retrain
+///      provider is configured, retrain drifted OUs in place;
+///   4. generate candidate actions for the forecasted workload, price them
+///      all through the Planner (what-if + one batched model prediction per
+///      evaluation), and apply the best candidate online — provided it
+///      clears `ctrl_min_benefit_pct`, the global `ctrl_cooldown_ms`, and
+///      the per-lever anti-flap bar (an action rolled back recently is not
+///      retried immediately).
+///
+/// The loop runs on a background thread against an injected Clock;
+/// deterministic tests construct it with a FakeClock and call Tick()
+/// directly — same code path, no thread, no wall-clock.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "ctrl/candidates.h"
+#include "ctrl/clock.h"
+#include "ctrl/forecaster.h"
+#include "ctrl/workload_stream.h"
+#include "modeling/model_bot.h"
+#include "selfdriving/planner.h"
+
+namespace mb2::ctrl {
+
+struct ControllerConfig {
+  ForecastConfig forecast;
+  CandidateConfig candidates;
+  /// Threads assumed to execute the forecasted workload (interference-model
+  /// context for interval predictions).
+  uint32_t workload_threads = 1;
+  /// Run CheckDrift each tick (needs DriftMonitor sampling to matter).
+  bool check_drift = true;
+  /// When set, drifted OUs are retrained in place with records from this
+  /// provider (e.g. a targeted OU-runner re-run). Unset = report only.
+  std::function<std::vector<OuRecord>(OuType)> retrain_provider;
+  std::vector<MlAlgorithm> retrain_algorithms = {MlAlgorithm::kLinear};
+  /// Intervals to wait for post-action traffic before giving up on
+  /// verification (an idle system yields nothing to judge).
+  size_t verify_patience = 3;
+  /// Queries an interval must carry before it can verify an action.
+  uint64_t verify_min_queries = 1;
+  /// How long a rolled-back lever stays barred from re-application.
+  int64_t flap_bar_ms = 60000;
+};
+
+/// One controller decision, kept in a bounded log for CTRL_STATUS and the
+/// autonomy bench's predicted-vs-actual report.
+struct Decision {
+  int64_t time_us = 0;        ///< clock time of the decision
+  std::string action;         ///< Action::ToString()
+  std::string kind;           ///< "apply" | "verified" | "rollback" | ...
+  double predicted_baseline_us = 0;  ///< model: future latency, no action
+  double predicted_benefit_us = 0;   ///< model: future latency, with action
+  double observed_before_us = 0;     ///< measured mean latency pre-action
+  double observed_after_us = 0;      ///< measured mean latency post-action
+};
+
+struct ControllerStatus {
+  uint64_t ticks = 0;
+  uint64_t actions_applied = 0;
+  uint64_t actions_rolled_back = 0;
+  uint64_t rollback_failures = 0;  ///< Inverse.Apply failed — needs operator
+  uint64_t ous_retrained = 0;
+  uint64_t templates_tracked = 0;
+  uint64_t queries_observed = 0;
+  int64_t last_action_us = 0;  ///< clock time of the last applied action
+  bool pending_verification = false;
+  std::vector<Decision> decisions;  ///< oldest first, bounded
+};
+
+class Controller {
+ public:
+  /// `clock` may be null (owns a SystemClock). `models` must outlive the
+  /// controller and have trained OU models for pricing to be meaningful.
+  Controller(Database *db, ModelBot *models,
+             ControllerConfig config = ControllerConfig(),
+             Clock *clock = nullptr);
+  ~Controller();
+  MB2_DISALLOW_COPY_AND_MOVE(Controller);
+
+  /// The stream to attach to the SQL entry point (Database::set_workload
+  /// _stream); the controller drains it once per tick.
+  WorkloadStream &stream() { return stream_; }
+
+  /// One decision cycle. Called by the background loop every
+  /// `ctrl_interval_ms`; tests call it directly.
+  void Tick();
+
+  /// Starts/stops the background decision loop (idempotent).
+  void Start();
+  void Stop();
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  ControllerStatus GetStatus() const;
+
+  static constexpr size_t kDecisionLogCapacity = 128;
+
+ private:
+  void RunLoop();
+  /// Step 2: judge the pending action against this interval's observations.
+  void VerifyPending(const IntervalObservation &interval, int64_t now_us);
+  /// Step 4: candidate generation + pricing + guarded apply.
+  void MaybeAct(const IntervalObservation &interval, int64_t now_us);
+  /// Rebuilds the WorkloadForecast under the CURRENT engine state by
+  /// re-planning each forecasted template's representative SQL (what-if
+  /// scopes change what the parser picks, so this must re-run per scope).
+  WorkloadForecast Replan();
+  void LogDecision(Decision decision);
+
+  Database *db_;
+  ModelBot *models_;
+  ControllerConfig config_;
+  std::unique_ptr<Clock> owned_clock_;
+  Clock *clock_;
+
+  WorkloadStream stream_;
+  Forecaster forecaster_;
+  Planner planner_;
+
+  /// Plans owned on behalf of the most recent Replan() result (forecast
+  /// entries hold raw pointers).
+  std::vector<PlanPtr> replan_plans_;
+  std::map<std::string, TemplateForecast> last_forecast_;
+
+  /// The applied-but-unverified action, with its pre-computed inverse.
+  struct PendingVerification {
+    Action applied;
+    Action inverse;
+    double observed_before_us = 0;
+    double predicted_baseline_us = 0;
+    double predicted_benefit_us = 0;
+    size_t intervals_waited = 0;
+  };
+  std::optional<PendingVerification> pending_;
+
+  /// Lever key -> clock time until which it may not be re-applied.
+  std::map<std::string, int64_t> barred_until_us_;
+
+  mutable std::mutex mutex_;  ///< guards status counters + decision log
+  ControllerStatus status_;
+  std::deque<Decision> decisions_;
+
+  std::thread loop_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_{false};
+  std::condition_variable wake_;
+  std::mutex wake_mutex_;
+};
+
+}  // namespace mb2::ctrl

@@ -1,0 +1,77 @@
+#include "ctrl/forecaster.h"
+
+#include <algorithm>
+
+namespace mb2::ctrl {
+
+void Forecaster::Ingest(const IntervalObservation &interval) {
+  intervals_++;
+  const double seconds = config_.interval_s > 0 ? config_.interval_s : 1.0;
+
+  // Update templates that appeared this interval.
+  for (const auto &[key, obs] : interval.templates) {
+    TemplateState &state = templates_[key];
+    if (state.sql.empty()) state.sql = obs.sql;
+    const double rate = static_cast<double>(obs.count) / seconds;
+    if (state.total_count == 0) {
+      state.ewma = rate;  // seed with the first sample instead of decaying up
+    } else {
+      state.ewma = config_.alpha * rate + (1.0 - config_.alpha) * state.ewma;
+    }
+    state.history.push_back(rate);
+    while (state.history.size() > std::max<size_t>(config_.history, 1)) {
+      state.history.pop_front();
+    }
+    state.total_elapsed_us += obs.total_elapsed_us;
+    state.total_count += obs.count;
+    state.idle_intervals = 0;
+  }
+
+  // Decay templates that did not appear: a zero-rate sample keeps the EWMA
+  // and seasonal history honest, and the idle counter eventually evicts them.
+  for (auto it = templates_.begin(); it != templates_.end();) {
+    TemplateState &state = it->second;
+    if (interval.templates.count(it->first) == 0) {
+      state.ewma = (1.0 - config_.alpha) * state.ewma;
+      state.history.push_back(0.0);
+      while (state.history.size() > std::max<size_t>(config_.history, 1)) {
+        state.history.pop_front();
+      }
+      state.idle_intervals++;
+      if (config_.evict_after_idle > 0 &&
+          state.idle_intervals >= config_.evict_after_idle) {
+        it = templates_.erase(it);
+        continue;
+      }
+    }
+    ++it;
+  }
+}
+
+std::map<std::string, TemplateForecast> Forecaster::Forecast(
+    double min_rate_per_s) const {
+  std::map<std::string, TemplateForecast> out;
+  for (const auto &[key, state] : templates_) {
+    double predicted = state.ewma;
+    if (config_.season_length > 0 &&
+        state.history.size() >= config_.season_length) {
+      // Seasonal-naive: the rate one season ago predicts the next interval.
+      const double seasonal =
+          state.history[state.history.size() - config_.season_length];
+      predicted = config_.seasonal_weight * seasonal +
+                  (1.0 - config_.seasonal_weight) * predicted;
+    }
+    if (predicted < min_rate_per_s) continue;
+    TemplateForecast forecast;
+    forecast.sql = state.sql;
+    forecast.rate_per_s = predicted;
+    forecast.mean_latency_us =
+        state.total_count == 0
+            ? 0.0
+            : state.total_elapsed_us / static_cast<double>(state.total_count);
+    out.emplace(key, forecast);
+  }
+  return out;
+}
+
+}  // namespace mb2::ctrl

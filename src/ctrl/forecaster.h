@@ -1,0 +1,79 @@
+#pragma once
+
+/// \file forecaster.h
+/// Rolling per-interval workload forecast (the controller's stand-in for the
+/// paper's assumed forecasting subsystem, Ma et al. SIGMOD'18). Each closed
+/// interval contributes one arrival-rate sample per query template; the
+/// forecast for the next interval is a hybrid of
+///
+///   * exponential smoothing  ewma_t = alpha * x_t + (1 - alpha) * ewma_{t-1}
+///     (reactive: tracks level shifts within a few intervals), and
+///   * seasonal-naive         x_{t + 1 - season_length}
+///     (repeats the value from one season ago; captures periodic workloads
+///     like the paper's day/night TPC-C/TPC-H alternation),
+///
+/// blended as  forecast = w * seasonal + (1 - w) * ewma  once a full season
+/// of history exists, pure EWMA before that. Everything is driven by the
+/// controller's injected clock — the forecaster itself never reads time, so
+/// scripted interval feeds produce bit-identical forecasts in tests.
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ctrl/workload_stream.h"
+
+namespace mb2::ctrl {
+
+struct ForecastConfig {
+  double interval_s = 1.0;      ///< forecast granularity (= controller tick)
+  double alpha = 0.5;           ///< EWMA smoothing factor
+  size_t season_length = 0;     ///< intervals per season; 0 disables seasonal
+  double seasonal_weight = 0.5; ///< blend weight once a season of history exists
+  size_t history = 64;          ///< per-template rate samples retained
+  /// Templates idle for this many consecutive intervals are forgotten (their
+  /// EWMA has decayed to noise; dropping them bounds memory under ad-hoc
+  /// traffic).
+  size_t evict_after_idle = 16;
+};
+
+/// Forecast state of one query template.
+struct TemplateForecast {
+  std::string sql;        ///< representative statement for re-planning
+  double rate_per_s = 0;  ///< predicted arrivals/second next interval
+  double mean_latency_us = 0;  ///< observed mean over retained history
+};
+
+class Forecaster {
+ public:
+  explicit Forecaster(ForecastConfig config) : config_(config) {}
+
+  /// Feeds one closed interval's observations.
+  void Ingest(const IntervalObservation &interval);
+
+  /// Predicted per-template arrival rates for the next interval. Templates
+  /// whose predicted rate rounds to < min_rate are omitted.
+  std::map<std::string, TemplateForecast> Forecast(
+      double min_rate_per_s = 1e-6) const;
+
+  size_t intervals_ingested() const { return intervals_; }
+  const ForecastConfig &config() const { return config_; }
+
+ private:
+  struct TemplateState {
+    std::string sql;
+    double ewma = 0.0;           ///< arrivals/second
+    std::deque<double> history;  ///< recent per-interval rates
+    double total_elapsed_us = 0.0;
+    uint64_t total_count = 0;
+    size_t idle_intervals = 0;
+  };
+
+  ForecastConfig config_;
+  std::map<std::string, TemplateState> templates_;
+  size_t intervals_ = 0;
+};
+
+}  // namespace mb2::ctrl

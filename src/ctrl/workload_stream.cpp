@@ -1,0 +1,52 @@
+#include "ctrl/workload_stream.h"
+
+#include <algorithm>
+
+namespace mb2::ctrl {
+
+double IntervalObservation::LatencyPercentileUs(double p) const {
+  if (latencies_us.empty()) return 0.0;
+  std::vector<double> sorted = latencies_us;
+  std::sort(sorted.begin(), sorted.end());
+  const double rank = p * static_cast<double>(sorted.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+void WorkloadStream::Observe(const std::string &template_key,
+                             const std::string &sql, double elapsed_us) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  TemplateObservation &tmpl = current_.templates[template_key];
+  if (tmpl.count == 0) tmpl.sql = sql;
+  tmpl.count++;
+  tmpl.total_elapsed_us += elapsed_us;
+  current_.queries++;
+  current_.total_elapsed_us += elapsed_us;
+  if (current_.latencies_us.size() < kMaxLatencySamples) {
+    current_.latencies_us.push_back(elapsed_us);
+  } else if ((current_.queries & 1) == 0) {
+    // Past the cap, keep a thinning sample: overwrite a rotating slot so the
+    // retained set still spans the whole interval.
+    current_.latencies_us[current_.queries % kMaxLatencySamples] = elapsed_us;
+    current_.latency_samples_dropped++;
+  } else {
+    current_.latency_samples_dropped++;
+  }
+  total_observed_++;
+}
+
+IntervalObservation WorkloadStream::Drain() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  IntervalObservation out = std::move(current_);
+  current_ = IntervalObservation{};
+  return out;
+}
+
+uint64_t WorkloadStream::total_observed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return total_observed_;
+}
+
+}  // namespace mb2::ctrl

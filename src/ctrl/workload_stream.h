@@ -1,0 +1,75 @@
+#pragma once
+
+/// \file workload_stream.h
+/// Live workload ingestion for the autonomous controller. The SQL entry
+/// point (sql::ExecuteSql) reports every successfully executed query/DML
+/// statement here when a stream is attached to the Database: the statement's
+/// normalized template key (the plan-cache normalization, so literal
+/// variants collapse onto one template), a representative literal-bearing
+/// SQL text (used to re-plan the template under hypothetical state), and the
+/// statement's latency.
+///
+/// The stream itself is clock-free: it accumulates observations since the
+/// last Drain(), and the controller's decision loop drains it once per
+/// interval — so tests feed scripted observations and tick the loop with a
+/// fake clock, deterministically.
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace mb2::ctrl {
+
+/// Per-template accumulation within one interval.
+struct TemplateObservation {
+  std::string sql;          ///< representative statement (first seen)
+  uint64_t count = 0;       ///< executions this interval
+  double total_elapsed_us = 0.0;
+};
+
+/// Everything observed since the previous Drain().
+struct IntervalObservation {
+  std::map<std::string, TemplateObservation> templates;  ///< by template key
+  uint64_t queries = 0;
+  double total_elapsed_us = 0.0;
+  /// Per-query latencies (µs), capped at kMaxLatencySamples per interval so
+  /// a traffic spike cannot grow memory; the cap keeps the newest samples'
+  /// statistical shape by sampling every other query once full.
+  std::vector<double> latencies_us;
+  uint64_t latency_samples_dropped = 0;
+
+  double MeanLatencyUs() const {
+    return queries == 0 ? 0.0 : total_elapsed_us / static_cast<double>(queries);
+  }
+  /// p-th latency percentile of the retained samples (p in [0,1]).
+  double LatencyPercentileUs(double p) const;
+};
+
+class WorkloadStream {
+ public:
+  WorkloadStream() = default;
+  MB2_DISALLOW_COPY_AND_MOVE(WorkloadStream);
+
+  static constexpr size_t kMaxLatencySamples = 65536;
+
+  /// Reports one executed statement. Thread-safe; called from every serving
+  /// thread, so the critical section is a few map operations.
+  void Observe(const std::string &template_key, const std::string &sql,
+               double elapsed_us);
+
+  /// Moves out everything observed since the last drain.
+  IntervalObservation Drain();
+
+  uint64_t total_observed() const;
+
+ private:
+  mutable std::mutex mutex_;
+  IntervalObservation current_;
+  uint64_t total_observed_ = 0;
+};
+
+}  // namespace mb2::ctrl

@@ -25,6 +25,10 @@ namespace mb2 {
 
 class ModelBot;
 
+namespace ctrl {
+class WorkloadStream;
+}
+
 class Database {
  public:
   struct Options {
@@ -66,6 +70,17 @@ class Database {
   void set_model_bot(ModelBot *bot) { optimizer_->set_model_bot(bot); }
   ModelBot *model_bot() const { return optimizer_->model_bot(); }
 
+  /// Controller hook: when attached, sql::ExecuteSql reports every
+  /// successfully executed query/DML statement (template key, SQL text,
+  /// latency) so the autonomous controller can forecast the live workload.
+  /// Null detaches. The stream must outlive its attachment.
+  void set_workload_stream(ctrl::WorkloadStream *stream) {
+    workload_stream_.store(stream, std::memory_order_release);
+  }
+  ctrl::WorkloadStream *workload_stream() const {
+    return workload_stream_.load(std::memory_order_acquire);
+  }
+
   /// Write admission. A replication follower serves reads only: SQL DML/DDL
   /// through Execute(sql) answers Status::Unavailable while set (the log
   /// apply path writes through the storage layer directly, below this
@@ -106,6 +121,7 @@ class Database {
   std::unique_ptr<sql::PlanCache> plan_cache_;
   Options options_;
   std::atomic<bool> read_only_{false};
+  std::atomic<ctrl::WorkloadStream *> workload_stream_{nullptr};
 };
 
 }  // namespace mb2

@@ -96,16 +96,22 @@ void BPlusTree::Insert(const Tuple &key, SlotId slot) {
   ws.hash_ops++;  // key digest for accounting parity with hash indexes
 
   root_latch_.LockExclusive();
-  if (root_->entries.size() >= kFanout) {
-    auto *new_root = new Node(/*leaf=*/false);
-    memory_bytes_.fetch_add(sizeof(Node), std::memory_order_relaxed);
-    new_root->children.push_back(root_);
-    // No other writer can touch root_ while we hold root_latch_ exclusively.
-    SplitChild(new_root, 0);
-    root_ = new_root;
-  }
   Node *node = root_;
   node->latch.LockExclusive();
+  if (node->entries.size() >= kFanout) {
+    // Split the root under BOTH latches: root_latch_ alone does not exclude
+    // a writer that latched the old root before releasing root_latch_ on its
+    // way down and is still growing its entries via a child split.
+    auto *new_root = new Node(/*leaf=*/false);
+    memory_bytes_.fetch_add(sizeof(Node), std::memory_order_relaxed);
+    new_root->children.push_back(node);
+    SplitChild(new_root, 0);
+    root_ = new_root;
+    node->latch.UnlockExclusive();
+    node = new_root;
+    // Uncontended: the new root is unreachable until root_latch_ drops.
+    node->latch.LockExclusive();
+  }
   root_latch_.UnlockExclusive();
 
   while (!node->is_leaf) {
@@ -293,13 +299,18 @@ void BPlusTree::ScanPrefix(const Tuple &prefix, std::vector<SlotId> *out) const 
 
 uint32_t BPlusTree::Height() const {
   root_latch_.LockShared();
-  uint32_t height = 1;
   const Node *node = root_;
+  node->latch.LockShared();
+  root_latch_.UnlockShared();
+  uint32_t height = 1;
   while (!node->is_leaf) {
     height++;
-    node = node->children[0];
+    const Node *child = node->children[0];
+    child->latch.LockShared();
+    node->latch.UnlockShared();
+    node = child;
   }
-  root_latch_.UnlockShared();
+  node->latch.UnlockShared();
   return height;
 }
 

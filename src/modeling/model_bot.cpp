@@ -38,13 +38,16 @@ TrainingReport ModelBot::TrainOuModels(const std::vector<OuRecord> &records,
   // Fit the eligible OUs into indexed slots so the parallel path aggregates
   // in the same deterministic (OuType-sorted) order as the serial one.
   std::vector<std::pair<OuType, const OuDataset *>> eligible;
-  for (auto &[type, dataset] : datasets) {
-    // Every observed OU contributes to the degraded-fallback table, even the
-    // ones too small to train on — a rough mean beats a zero when the model
-    // is later missing or corrupt.
-    UpdateFallbackLabels(type, dataset.y);
-    if (dataset.x.rows() < 10) continue;  // not enough data to split
-    eligible.emplace_back(type, &dataset);
+  {
+    std::unique_lock<std::shared_mutex> lock(models_mutex_);
+    for (auto &[type, dataset] : datasets) {
+      // Every observed OU contributes to the degraded-fallback table, even
+      // the ones too small to train on — a rough mean beats a zero when the
+      // model is later missing or corrupt.
+      UpdateFallbackLabels(type, dataset.y);
+      if (dataset.x.rows() < 10) continue;  // not enough data to split
+      eligible.emplace_back(type, &dataset);
+    }
   }
   std::vector<std::unique_ptr<OuModel>> fitted(eligible.size());
   auto fit_one = [&](size_t i) {
@@ -62,6 +65,7 @@ TrainingReport ModelBot::TrainOuModels(const std::vector<OuRecord> &records,
     for (size_t i = 0; i < eligible.size(); i++) fit_one(i);
   }
 
+  std::unique_lock<std::shared_mutex> lock(models_mutex_);
   for (size_t i = 0; i < eligible.size(); i++) {
     const OuType type = eligible[i].first;
     auto model = std::move(fitted[i]);
@@ -82,9 +86,12 @@ void ModelBot::RetrainOu(OuType type, const std::vector<OuRecord> &records,
   auto datasets = GroupRecordsByOu(records);
   auto it = datasets.find(type);
   if (it == datasets.end()) return;
-  UpdateFallbackLabels(type, it->second.y);
+  // Train outside the lock (the slow part); serving keeps answering from the
+  // old model until the swap below.
   auto model = std::make_unique<OuModel>(type);
   model->Train(it->second.x, it->second.y, algorithms, normalize, seed);
+  std::unique_lock<std::shared_mutex> lock(models_mutex_);
+  UpdateFallbackLabels(type, it->second.y);
   ou_models_[type] = std::move(model);
   ou_cache_.Invalidate(type);
 }
@@ -94,7 +101,10 @@ TrainingReport ModelBot::TrainInterferenceModel(
     const std::vector<MlAlgorithm> &algorithms, uint64_t seed) {
   TrainingReport report;
   const auto start = std::chrono::steady_clock::now();
-  InterferenceDataset dataset = BuildInterferenceDataset(records, ou_models_);
+  InterferenceDataset dataset = [&] {
+    std::shared_lock<std::shared_mutex> lock(models_mutex_);
+    return BuildInterferenceDataset(records, ou_models_);
+  }();
   // Cap the training-set size: concurrent runners emit one record per OU
   // invocation and can easily produce 10x more samples than the model needs.
   constexpr size_t kMaxSamples = 20000;
@@ -116,12 +126,18 @@ TrainingReport ModelBot::TrainInterferenceModel(
   return report;
 }
 
-const OuModel *ModelBot::GetOuModel(OuType type) const {
+const OuModel *ModelBot::GetOuModelUnlocked(OuType type) const {
   auto it = ou_models_.find(type);
   return it == ou_models_.end() ? nullptr : it->second.get();
 }
 
+const OuModel *ModelBot::GetOuModel(OuType type) const {
+  std::shared_lock<std::shared_mutex> lock(models_mutex_);
+  return GetOuModelUnlocked(type);
+}
+
 uint64_t ModelBot::TotalOuModelBytes() const {
+  std::shared_lock<std::shared_mutex> lock(models_mutex_);
   uint64_t bytes = 0;
   for (const auto &[type, model] : ou_models_) bytes += model->SerializedBytes();
   return bytes;
@@ -139,7 +155,8 @@ void ModelBot::UpdateFallbackLabels(OuType type, const Matrix &y_raw) {
 }
 
 Labels ModelBot::PredictOu(const TranslatedOu &ou, bool *degraded) const {
-  const OuModel *model = GetOuModel(ou.type);
+  std::shared_lock<std::shared_mutex> lock(models_mutex_);
+  const OuModel *model = GetOuModelUnlocked(ou.type);
   if (model == nullptr) {
     // Degradation policy: no usable model for this OU (never trained, or its
     // file was corrupt/deleted). Serve the interference-free trimmed mean of
@@ -181,12 +198,18 @@ std::vector<Labels> ModelBot::PredictOus(const std::vector<TranslatedOu> &ous,
   const double context_freq =
       with_context ? SimulatedHardware::EffectiveFreqGhz() : 0.0;
 
+  // Hold the model set stable (shared) for the whole batch: a concurrent
+  // RetrainDrifted must not swap a model out from under PredictBatch. Pool
+  // workers below run while this thread owns the shared lock, which is what
+  // keeps writers out — the workers themselves never lock (no recursion).
+  std::shared_lock<std::shared_mutex> models_lock(models_mutex_);
+
   // Serve model-less OUs from the fallback table immediately; group the rest
   // by type, keeping each group's indexes in input order.
   std::vector<std::vector<size_t>> groups(kNumOuTypes);
   uint32_t fell_back = 0;
   for (size_t i = 0; i < ous.size(); i++) {
-    if (GetOuModel(ous[i].type) == nullptr) {
+    if (GetOuModelUnlocked(ous[i].type) == nullptr) {
       fell_back++;
       auto it = fallback_labels_.find(ous[i].type);
       if (it != fallback_labels_.end()) results[i] = it->second;
@@ -199,7 +222,7 @@ std::vector<Labels> ModelBot::PredictOus(const std::vector<TranslatedOu> &ous,
     const std::vector<size_t> &idxs = groups[type_idx];
     if (idxs.empty()) return;
     const OuType type = static_cast<OuType>(type_idx);
-    const OuModel &model = *GetOuModel(type);
+    const OuModel &model = *GetOuModelUnlocked(type);
 
     // Cache pass: hits are answered in place; misses are deduplicated so the
     // model sees each distinct feature vector once.
@@ -251,15 +274,21 @@ DriftReport ModelBot::CheckDrift() const {
   DriftMonitor &monitor = DriftMonitor::Instance();
   DriftReport report;
   const std::vector<OuRecord> samples = monitor.DrainSamples();
-  for (const OuRecord &sample : samples) {
-    const OuModel *model = GetOuModel(sample.ou);
-    if (model == nullptr) continue;  // nothing deployed to drift from
-    const Labels predicted = model->Predict(sample.features);
-    const double observed = sample.labels[kLabelElapsedUs];
-    const double error = std::fabs(predicted[kLabelElapsedUs] - observed) /
-                         std::max(observed, 1.0);
-    monitor.RecordError(sample.ou, error);
-    report.processed++;
+  {
+    // One shared lock across the scoring loop: concurrent serving threads
+    // also read-lock, while a RetrainDrifted on another thread queues behind
+    // everyone — a sample is always scored against a consistent model.
+    std::shared_lock<std::shared_mutex> lock(models_mutex_);
+    for (const OuRecord &sample : samples) {
+      const OuModel *model = GetOuModelUnlocked(sample.ou);
+      if (model == nullptr) continue;  // nothing deployed to drift from
+      const Labels predicted = model->Predict(sample.features);
+      const double observed = sample.labels[kLabelElapsedUs];
+      const double error = std::fabs(predicted[kLabelElapsedUs] - observed) /
+                           std::max(observed, 1.0);
+      monitor.RecordError(sample.ou, error);
+      report.processed++;
+    }
   }
   MetricsRegistry::Instance()
       .GetCounter("mb2_drift_samples_total")
@@ -490,6 +519,7 @@ Status ModelBot::SaveModels(const std::string &dir) const {
   const std::string tmp_path = final_path + ".tmp";
 
   {
+    std::shared_lock<std::shared_mutex> lock(models_mutex_);
     auto writer = BinaryWriter::Open(tmp_path);
     if (!writer.ok()) return writer.status();
     BinaryWriter &w = writer.value();
@@ -615,6 +645,7 @@ Status ModelBot::LoadModels(const std::string &dir) {
   }
   interference_.LoadFrom(&r);
   if (!r.ok()) return Status::InvalidArgument("corrupt model file");
+  std::unique_lock<std::shared_mutex> lock(models_mutex_);
   ou_models_ = std::move(loaded);
   fallback_labels_ = std::move(fallback);
   ou_cache_.InvalidateAll();  // new model set: cached predictions are stale

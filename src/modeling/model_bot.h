@@ -10,6 +10,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -185,9 +186,21 @@ class ModelBot {
  private:
   Labels PredictOu(const TranslatedOu &ou, bool *degraded) const;
   void UpdateFallbackLabels(OuType type, const Matrix &y_raw);
+  /// Map lookup with models_mutex_ already held (shared or unique). The
+  /// public GetOuModel takes the lock itself; internal serving paths hold
+  /// one shared lock across a whole batch instead of re-locking per OU.
+  const OuModel *GetOuModelUnlocked(OuType type) const;
 
   OuTranslator translator_;
   SettingsManager *settings_;
+  /// Guards ou_models_ and fallback_labels_ against concurrent retraining:
+  /// serving (PredictOus, CheckDrift) holds it shared for the duration of a
+  /// batch — a model must not be replaced mid-prediction — while RetrainOu /
+  /// RetrainDrifted / LoadModels install replacements under the exclusive
+  /// side. Training itself (the slow part) runs outside the lock; only the
+  /// pointer swap is exclusive. Never taken recursively: public entry points
+  /// lock once and call *Unlocked internals.
+  mutable std::shared_mutex models_mutex_;
   std::map<OuType, std::unique_ptr<OuModel>> ou_models_;
   std::map<OuType, Labels> fallback_labels_;
   InterferenceModel interference_;

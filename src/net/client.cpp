@@ -377,6 +377,24 @@ Result<HealthInfo> Client::Health() {
   return info;
 }
 
+Result<CtrlStatusBody> Client::CtrlStatus() {
+  Frame response;
+  Status s = Roundtrip(Opcode::kCtrlStatus, {}, &response);
+  if (!s.ok()) return s;
+  WireCode code;
+  std::string message;
+  size_t offset;
+  if (!DecodeResponseHead(response.payload, &code, &message, &offset)) {
+    return Status::IoError("malformed CTRL_STATUS response");
+  }
+  if (code != WireCode::kOk) return WireCodeToStatus(code, message);
+  CtrlStatusBody body;
+  if (!DecodeCtrlStatusResponseBody(response.payload, offset, &body)) {
+    return Status::IoError("malformed CTRL_STATUS response body");
+  }
+  return body;
+}
+
 Result<ReplSubscribeResponseBody> Client::ReplSubscribe(
     const ReplSubscribeRequest &req) {
   Frame response;

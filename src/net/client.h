@@ -87,6 +87,9 @@ class Client {
 
   /// HEALTH probe: the node's role/epoch/replication position.
   Result<HealthInfo> Health();
+  /// CTRL_STATUS probe: controller counters, decision log with
+  /// predicted-vs-actual latencies, and the knob-change audit trail.
+  Result<CtrlStatusBody> CtrlStatus();
   /// Replication RPCs (driven by repl::ReplicaNode against the primary).
   Result<ReplSubscribeResponseBody> ReplSubscribe(
       const ReplSubscribeRequest &req);

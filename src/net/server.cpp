@@ -731,6 +731,20 @@ std::vector<uint8_t> Server::DispatchOpcode(const Frame &frame) {
     case Opcode::kGetMetrics:
       return EncodeMetricsResponse(DumpMetricsJson());
 
+    case Opcode::kCtrlStatus: {
+      // Always answerable: the knob audit trail exists with or without a
+      // controller; the controller section is filled only when attached.
+      CtrlStatusBody body;
+      if (controller_ != nullptr) {
+        body.attached = true;
+        body.running = controller_->running();
+        body.status = controller_->GetStatus();
+      }
+      body.knob_changes = db_->settings().History();
+      body.knob_changes_total = db_->settings().total_changes();
+      return EncodeCtrlStatusResponse(body);
+    }
+
     case Opcode::kHealth: {
       // Answerable on any node: a standalone server (no repl service) is by
       // definition the primary of its one-node cluster, so failover-aware

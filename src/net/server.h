@@ -130,6 +130,11 @@ class Server {
   /// the REPL_* opcodes answer BAD_REQUEST.
   void set_repl_service(ReplService *service) { repl_ = service; }
 
+  /// Attaches the autonomous controller answering CTRL_STATUS. Set before
+  /// Start(); without one, CTRL_STATUS still answers (attached=false, knob
+  /// audit only). The controller must outlive the server.
+  void set_controller(ctrl::Controller *controller) { controller_ = controller; }
+
  private:
   enum class State : int { kIdle, kRunning, kDraining, kStopped };
 
@@ -163,6 +168,7 @@ class Server {
   Database *db_;
   ModelBot *bot_;
   ReplService *repl_ = nullptr;
+  ctrl::Controller *controller_ = nullptr;
   ServerOptions options_;
 
   int listen_fd_ = -1;

@@ -17,6 +17,7 @@ const char *OpcodeName(Opcode op) {
     case Opcode::kReplLogBatch: return "REPL_LOG_BATCH";
     case Opcode::kReplAck: return "REPL_ACK";
     case Opcode::kHealth: return "HEALTH";
+    case Opcode::kCtrlStatus: return "CTRL_STATUS";
   }
   return "UNKNOWN";
 }
@@ -410,6 +411,88 @@ bool DecodeHealthResponseBody(const std::vector<uint8_t> &payload,
   out->epoch = r.Get<uint64_t>();
   out->durable_tip = r.Get<uint64_t>();
   out->applied_offset = r.Get<uint64_t>();
+  return r.ok() && r.RemainingBytes() == 0;
+}
+
+std::vector<uint8_t> EncodeCtrlStatusResponse(const CtrlStatusBody &body) {
+  ByteWriter w;
+  PutHead(&w, WireCode::kOk, "");
+  w.Put<uint8_t>(body.attached ? 1 : 0);
+  w.Put<uint8_t>(body.running ? 1 : 0);
+  w.Put<uint64_t>(body.status.ticks);
+  w.Put<uint64_t>(body.status.actions_applied);
+  w.Put<uint64_t>(body.status.actions_rolled_back);
+  w.Put<uint64_t>(body.status.rollback_failures);
+  w.Put<uint64_t>(body.status.ous_retrained);
+  w.Put<uint64_t>(body.status.templates_tracked);
+  w.Put<uint64_t>(body.status.queries_observed);
+  w.Put<int64_t>(body.status.last_action_us);
+  w.Put<uint8_t>(body.status.pending_verification ? 1 : 0);
+  w.Put<uint32_t>(static_cast<uint32_t>(body.status.decisions.size()));
+  for (const ctrl::Decision &d : body.status.decisions) {
+    w.Put<int64_t>(d.time_us);
+    w.PutString(d.action);
+    w.PutString(d.kind);
+    w.Put<double>(d.predicted_baseline_us);
+    w.Put<double>(d.predicted_benefit_us);
+    w.Put<double>(d.observed_before_us);
+    w.Put<double>(d.observed_after_us);
+  }
+  w.Put<uint32_t>(static_cast<uint32_t>(body.knob_changes.size()));
+  for (const KnobChange &c : body.knob_changes) {
+    w.PutString(c.name);
+    w.Put<double>(c.old_value);
+    w.Put<double>(c.new_value);
+    w.PutString(c.source);
+    w.Put<int64_t>(c.time_us);
+  }
+  w.Put<uint64_t>(body.knob_changes_total);
+  return w.Take();
+}
+
+bool DecodeCtrlStatusResponseBody(const std::vector<uint8_t> &payload,
+                                  size_t offset, CtrlStatusBody *out) {
+  ByteReader r(payload.data() + offset, payload.size() - offset);
+  out->attached = r.Get<uint8_t>() != 0;
+  out->running = r.Get<uint8_t>() != 0;
+  out->status.ticks = r.Get<uint64_t>();
+  out->status.actions_applied = r.Get<uint64_t>();
+  out->status.actions_rolled_back = r.Get<uint64_t>();
+  out->status.rollback_failures = r.Get<uint64_t>();
+  out->status.ous_retrained = r.Get<uint64_t>();
+  out->status.templates_tracked = r.Get<uint64_t>();
+  out->status.queries_observed = r.Get<uint64_t>();
+  out->status.last_action_us = r.Get<int64_t>();
+  out->status.pending_verification = r.Get<uint8_t>() != 0;
+  const uint32_t num_decisions = r.Get<uint32_t>();
+  if (!r.ok() || num_decisions > (1u << 20)) return false;
+  out->status.decisions.clear();
+  out->status.decisions.reserve(num_decisions);
+  for (uint32_t i = 0; i < num_decisions && r.ok(); i++) {
+    ctrl::Decision d;
+    d.time_us = r.Get<int64_t>();
+    d.action = r.GetString();
+    d.kind = r.GetString();
+    d.predicted_baseline_us = r.Get<double>();
+    d.predicted_benefit_us = r.Get<double>();
+    d.observed_before_us = r.Get<double>();
+    d.observed_after_us = r.Get<double>();
+    out->status.decisions.push_back(std::move(d));
+  }
+  const uint32_t num_changes = r.Get<uint32_t>();
+  if (!r.ok() || num_changes > (1u << 20)) return false;
+  out->knob_changes.clear();
+  out->knob_changes.reserve(num_changes);
+  for (uint32_t i = 0; i < num_changes && r.ok(); i++) {
+    KnobChange c;
+    c.name = r.GetString();
+    c.old_value = r.Get<double>();
+    c.new_value = r.Get<double>();
+    c.source = r.GetString();
+    c.time_us = r.Get<int64_t>();
+    out->knob_changes.push_back(std::move(c));
+  }
+  out->knob_changes_total = r.Get<uint64_t>();
   return r.ok() && r.RemainingBytes() == 0;
 }
 

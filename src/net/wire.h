@@ -28,9 +28,11 @@
 #include <string>
 #include <vector>
 
+#include "catalog/settings.h"
 #include "common/serde.h"
 #include "common/status.h"
 #include "common/value.h"
+#include "ctrl/controller.h"
 #include "metrics/resource_tracker.h"
 #include "modeling/ou_translator.h"
 
@@ -61,6 +63,10 @@ enum class Opcode : uint16_t {
   kReplLogBatch = 7,
   kReplAck = 8,
   kHealth = 9,
+  // Autonomous controller introspection (src/ctrl): counters, the bounded
+  // decision log with predicted-vs-actual latencies, and the knob-change
+  // audit trail. The request has no payload.
+  kCtrlStatus = 10,
 };
 inline constexpr uint16_t kResponseBit = 0x8000;
 
@@ -237,6 +243,24 @@ struct ReplAckRequest {
 std::vector<uint8_t> EncodeReplAckRequest(const ReplAckRequest &req);
 bool DecodeReplAckRequest(const std::vector<uint8_t> &payload,
                           ReplAckRequest *req);
+
+// --- Controller payload codecs ----------------------------------------------
+
+/// CTRL_STATUS response: whether a controller is attached and running, its
+/// counters + decision log (ctrl::ControllerStatus verbatim), and the
+/// SettingsManager's knob-change audit ring. `attached` false means the
+/// server runs without a controller; the rest is then empty except the knob
+/// audit, which exists regardless.
+struct CtrlStatusBody {
+  bool attached = false;
+  bool running = false;
+  ctrl::ControllerStatus status;
+  std::vector<KnobChange> knob_changes;
+  uint64_t knob_changes_total = 0;
+};
+std::vector<uint8_t> EncodeCtrlStatusResponse(const CtrlStatusBody &body);
+bool DecodeCtrlStatusResponseBody(const std::vector<uint8_t> &payload,
+                                  size_t offset, CtrlStatusBody *out);
 
 /// HEALTH response: role + replication position. The request has no payload.
 struct HealthInfo {

@@ -14,8 +14,30 @@ DriftMonitor &DriftMonitor::Instance() {
 void DriftMonitor::Configure(const DriftConfig &config) {
   std::lock_guard<std::mutex> lock(mutex_);
   config_ = config;
+  if (config_.window == 0) config_.window = 1;  // RecordError does % window
   sample_every_n_.store(config.sample_every_n == 0 ? 1 : config.sample_every_n,
                         std::memory_order_relaxed);
+  // A shrunken window must trim the rings now: RecordError only overwrites
+  // slots below the new window, so oversized rings would keep stale tail
+  // errors in every Mean() forever. Keep the newest `window` errors, in
+  // chronological order, and restart the cursor at the oldest survivor.
+  for (size_t t = 0; t < kNumOuTypes; t++) {
+    ErrorWindow &ring = rolling_[t];
+    if (ring.errors.size() <= config_.window) {
+      // Ring may still be mid-wrap from an earlier larger window; re-anchor
+      // the cursor if it points past the (possibly shrunken) valid range.
+      if (ring.next >= config_.window) ring.next = 0;
+      continue;
+    }
+    std::vector<double> chronological;
+    chronological.reserve(ring.errors.size());
+    for (size_t i = 0; i < ring.errors.size(); i++) {
+      chronological.push_back(ring.errors[(ring.next + i) % ring.errors.size()]);
+    }
+    ring.errors.assign(chronological.end() - static_cast<ptrdiff_t>(config_.window),
+                       chronological.end());
+    ring.next = 0;
+  }
 }
 
 DriftConfig DriftMonitor::config() const {

@@ -1,6 +1,66 @@
 #include "selfdriving/action.h"
 
+#include "database.h"
+#include "index/index_builder.h"
+
 namespace mb2 {
+
+Status Action::Apply(Database *db, const std::string &source) const {
+  switch (type) {
+    case ActionType::kCreateIndex: {
+      // Registered unpublished: writes maintain it during the build, reads
+      // ignore it until the builder publishes. A failed build drops the
+      // half-built index so a retry starts from a clean catalog.
+      auto created = db->catalog().CreateIndex(index, /*ready=*/false);
+      if (!created.ok()) return created.status();
+      const IndexBuildStats stats = IndexBuilder::Build(
+          &db->catalog(), &db->txn_manager(), created.value(), build_threads);
+      if (!stats.status.ok()) {
+        db->catalog().DropIndex(index.name);
+        return stats.status;
+      }
+      return Status::Ok();
+    }
+    case ActionType::kDropIndex:
+      return db->catalog().DropIndex(index.name);
+    case ActionType::kChangeKnob:
+      return db->settings().SetDouble(knob, knob_value, source);
+  }
+  return Status::Internal("unknown action type");
+}
+
+Result<Action> Action::Inverse(Database *db) const {
+  switch (type) {
+    case ActionType::kCreateIndex:
+      return Action::DropIndex(index.name);
+    case ActionType::kDropIndex: {
+      BPlusTree *existing = db->catalog().GetIndex(index.name);
+      if (existing == nullptr) {
+        return Status::NotFound("no index to invert drop of: " + index.name);
+      }
+      return Action::CreateIndex(existing->schema(), build_threads);
+    }
+    case ActionType::kChangeKnob: {
+      Action a;
+      a.type = ActionType::kChangeKnob;
+      a.knob = knob;
+      a.knob_value = db->settings().GetDouble(knob);
+      return a;
+    }
+  }
+  return Status::Internal("unknown action type");
+}
+
+std::string Action::Key() const {
+  switch (type) {
+    case ActionType::kCreateIndex:
+    case ActionType::kDropIndex:
+      return "index:" + index.name;
+    case ActionType::kChangeKnob:
+      return "knob:" + knob;
+  }
+  return "?";
+}
 
 std::string Action::ToString() const {
   switch (type) {
@@ -13,6 +73,46 @@ std::string Action::ToString() const {
       return "SET " + knob + " = " + std::to_string(knob_value);
   }
   return "UNKNOWN";
+}
+
+WhatIfScope::WhatIfScope(Database *db, const Action &action)
+    : db_(db), action_(action) {
+  switch (action_.type) {
+    case ActionType::kCreateIndex:
+      created_ = db_->catalog().CreateIndex(action_.index).ok();
+      break;
+    case ActionType::kDropIndex: {
+      BPlusTree *index = db_->catalog().GetIndex(action_.index.name);
+      if (index != nullptr && index->ready()) {
+        index->set_ready(false);
+        unpublished_ = true;
+      }
+      break;
+    }
+    case ActionType::kChangeKnob:
+      old_knob_value_ = db_->settings().GetDouble(action_.knob);
+      db_->settings().SetDouble(action_.knob, action_.knob_value,
+                                "planner-whatif");
+      break;
+  }
+}
+
+WhatIfScope::~WhatIfScope() {
+  switch (action_.type) {
+    case ActionType::kCreateIndex:
+      if (created_) db_->catalog().DropIndex(action_.index.name);
+      break;
+    case ActionType::kDropIndex:
+      if (unpublished_) {
+        BPlusTree *index = db_->catalog().GetIndex(action_.index.name);
+        if (index != nullptr) index->set_ready(true);
+      }
+      break;
+    case ActionType::kChangeKnob:
+      db_->settings().SetDouble(action_.knob, old_knob_value_,
+                                "planner-whatif");
+      break;
+  }
 }
 
 }  // namespace mb2

@@ -1,16 +1,27 @@
 #pragma once
 
 /// \file action.h
-/// Self-driving actions the planner can take (Sec 2.1): build an index with
-/// a chosen thread count, drop an index, or change a knob. MB2's models
-/// estimate each action's cost (time, resources), its impact on the running
-/// workload, and its benefit to future queries.
+/// Self-driving actions (Sec 2.1): build an index with a chosen thread
+/// count, drop an index, or change a knob. MB2's models estimate each
+/// action's cost (time, resources), its impact on the running workload, and
+/// its benefit to future queries.
+///
+/// This is the ONE action vocabulary shared by the offline Planner, the SQL
+/// frontend's CREATE/DROP INDEX statements, and the autonomous controller
+/// (src/ctrl): every action knows how to apply itself to a live engine
+/// (Apply), how to compute the action that undoes it from the current state
+/// (Inverse — capture BEFORE applying), and how to pose as a hypothetical
+/// for what-if planning (WhatIfScope).
 
 #include <string>
 
 #include "catalog/schema.h"
+#include "common/macros.h"
+#include "common/status.h"
 
 namespace mb2 {
+
+class Database;
 
 enum class ActionType : uint8_t { kCreateIndex, kDropIndex, kChangeKnob };
 
@@ -46,7 +57,47 @@ struct Action {
     return a;
   }
 
+  /// Applies the action to the live engine for real. CREATE INDEX registers
+  /// the index unpublished, populates it with the parallel IndexBuilder, and
+  /// publishes it (dropping the half-built index on a failed build — the
+  /// same path the SQL frontend's CREATE INDEX executes). DROP INDEX removes
+  /// it. Knob changes go through the SettingsManager attributed to `source`
+  /// in the knob audit trail.
+  Status Apply(Database *db, const std::string &source = "manual") const;
+
+  /// The action that undoes this one given the CURRENT engine state; compute
+  /// it BEFORE Apply. A knob inverse captures today's value; an index create
+  /// inverts to a drop; a drop inverts to a create with the schema stashed
+  /// from the catalog (NotFound when no such index exists).
+  Result<Action> Inverse(Database *db) const;
+
+  /// Stable identity for cooldown / anti-flap bookkeeping: equal keys mean
+  /// "the same lever", e.g. a knob's key ignores the value so raising and
+  /// re-lowering it count as touching one lever.
+  std::string Key() const;
+
   std::string ToString() const;
+};
+
+/// RAII what-if scope for planner evaluation (Sec 8.7): the action is
+/// applied hypothetically on construction and undone on destruction.
+/// An index create is registered empty-but-ready so re-planning picks it
+/// (the estimator sizes it from table statistics); an index drop is
+/// simulated by unpublishing the live index (set_ready(false)) so planning
+/// ignores it while its contents stay intact; a knob change is a real
+/// settings flip attributed to "planner-whatif" in the audit trail.
+class WhatIfScope {
+ public:
+  WhatIfScope(Database *db, const Action &action);
+  ~WhatIfScope();
+  MB2_DISALLOW_COPY_AND_MOVE(WhatIfScope);
+
+ private:
+  Database *db_;
+  Action action_;
+  bool created_ = false;       ///< kCreateIndex: registration succeeded
+  bool unpublished_ = false;   ///< kDropIndex: index existed and was hidden
+  double old_knob_value_ = 0;  ///< kChangeKnob: value to restore
 };
 
 }  // namespace mb2

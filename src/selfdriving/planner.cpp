@@ -4,29 +4,11 @@ namespace mb2 {
 
 void Planner::WithHypotheticalAction(const Action &action,
                                      const std::function<void()> &fn) {
-  switch (action.type) {
-    case ActionType::kCreateIndex: {
-      // What-if index: registered (empty) so re-planning picks it and the
-      // estimator can size it, then removed.
-      const bool created = db_->catalog().CreateIndex(action.index).ok();
-      fn();
-      if (created) db_->catalog().DropIndex(action.index.name);
-      break;
-    }
-    case ActionType::kDropIndex: {
-      // Hypothetical drops would need the index definition stashed; the
-      // planner currently evaluates them by re-planning without the index.
-      fn();
-      break;
-    }
-    case ActionType::kChangeKnob: {
-      const double old_value = db_->settings().GetDouble(action.knob);
-      db_->settings().SetDouble(action.knob, action.knob_value);
-      fn();
-      db_->settings().SetDouble(action.knob, old_value);
-      break;
-    }
-  }
+  // One shared what-if implementation for every action type (create = empty
+  // ready index, drop = live index unpublished, knob = audited settings
+  // flip); the controller's candidate evaluation rides the same scope.
+  WhatIfScope scope(db_, action);
+  fn();
 }
 
 ActionEvaluation Planner::Evaluate(const Action &action,

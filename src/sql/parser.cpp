@@ -2,11 +2,14 @@
 
 #include <algorithm>
 #include <cctype>
+#include <chrono>
 #include <optional>
 #include <vector>
 
+#include "ctrl/workload_stream.h"
 #include "index/index_builder.h"
 #include "plan/cost_optimizer.h"
+#include "selfdriving/action.h"
 #include "sql/lexer.h"
 #include "sql/plan_cache.h"
 
@@ -834,10 +837,29 @@ Result<QueryResult> ExecuteSql(Database *db, const std::string &statement) {
 
   PlanCache &cache = db->plan_cache();
   const bool use_cache = cache.Enabled();
+  // Controller ingestion: successful query/DML executions are reported to
+  // the attached workload stream under their normalized template key (the
+  // plan-cache normalization, so literal variants collapse onto one
+  // template). Cache hits and misses both report.
+  ctrl::WorkloadStream *stream = db->workload_stream();
   std::string key;
   std::vector<Value> literals;
-  if (use_cache) {
+  if (use_cache || stream != nullptr) {
     key = NormalizeTokens(tokens.value());
+  }
+  const auto timed_execute = [&](const PlanNode &plan) {
+    const auto start = std::chrono::steady_clock::now();
+    QueryResult result = db->Execute(plan);
+    if (stream != nullptr && result.status.ok()) {
+      const double elapsed_us =
+          std::chrono::duration<double, std::micro>(
+              std::chrono::steady_clock::now() - start)
+              .count();
+      stream->Observe(key, statement, elapsed_us);
+    }
+    return result;
+  };
+  if (use_cache) {
     literals = LiteralValues(tokens.value());
     if (auto entry = cache.Lookup(key, literals)) {
       // The read-only gate must cover the cache-hit fast path too — a DML
@@ -848,9 +870,9 @@ Result<QueryResult> ExecuteSql(Database *db, const std::string &statement) {
       }
       // Literal-free templates are directly executable; otherwise clone the
       // template and splice the fresh literals into the parameter slots.
-      if (entry->num_literals == 0) return db->Execute(*entry->plan);
+      if (entry->num_literals == 0) return timed_execute(*entry->plan);
       PlanPtr plan = InstantiatePlan(*entry, literals);
-      return db->Execute(*plan);
+      return timed_execute(*plan);
     }
   }
 
@@ -870,7 +892,7 @@ Result<QueryResult> ExecuteSql(Database *db, const std::string &statement) {
   switch (stmt.kind) {
     case BoundStatement::Kind::kQuery:
     case BoundStatement::Kind::kDml: {
-      QueryResult result = db->Execute(*stmt.plan);
+      QueryResult result = timed_execute(*stmt.plan);
       if (use_cache && stmt.cacheable && result.status.ok()) {
         auto entry = std::make_shared<CachedPlan>();
         entry->kind = stmt.kind == BoundStatement::Kind::kQuery
@@ -895,21 +917,16 @@ Result<QueryResult> ExecuteSql(Database *db, const std::string &statement) {
       return QueryResult{};
     }
     case BoundStatement::Kind::kCreateIndex: {
-      auto index = db->catalog().CreateIndex(stmt.index_schema, /*ready=*/false);
-      if (!index.ok()) return index.status();
-      const IndexBuildStats stats = IndexBuilder::Build(
-          &db->catalog(), &db->txn_manager(), index.value(),
-          stmt.build_threads);
-      if (!stats.status.ok()) {
-        // The build aborted before publication: drop the half-built index so
-        // a retry starts from a clean catalog instead of a poisoned entry.
-        db->catalog().DropIndex(stmt.index_schema.name);
-        return stats.status;
-      }
+      // Shared self-driving action path (register unpublished, parallel
+      // build, publish-or-drop) — identical whether the statement or the
+      // autonomous controller asked for the index.
+      Status s = Action::CreateIndex(stmt.index_schema, stmt.build_threads)
+                     .Apply(db, "manual");
+      if (!s.ok()) return s;
       return QueryResult{};
     }
     case BoundStatement::Kind::kDropIndex: {
-      Status s = db->catalog().DropIndex(stmt.index_name);
+      Status s = Action::DropIndex(stmt.index_name).Apply(db, "manual");
       if (!s.ok()) return s;
       return QueryResult{};
     }
